@@ -1,0 +1,118 @@
+// Ablation — design choices DESIGN.md calls out:
+//   1. Faithful §6 ANP (upward-only notices) vs the extended protocol that
+//      also notifies downward: restoration coverage vs message cost.
+//   2. Striping policy: standard vs rotated vs random vs parallel-heavy —
+//      what fraction of single failures ANP can fully mask under each.
+//   3. Redundancy placement (top/spread/bottom) at fixed host count.
+#include <cstdio>
+
+#include <limits>
+
+#include "src/aspen/fixed_hosts.h"
+#include "src/aspen/generator.h"
+#include "src/proto/experiment.h"
+#include "src/util/table.h"
+
+namespace {
+
+constexpr std::uint64_t kAllPairs = std::numeric_limits<std::uint64_t>::max();
+
+aspen::SweepResult run(const aspen::Topology& topo, bool extended) {
+  aspen::SweepOptions options;
+  options.connectivity_flows = kAllPairs;
+  options.anp.notify_children = extended;
+  return sweep_link_failures(aspen::ProtocolKind::kAnp, topo, options);
+}
+
+}  // namespace
+
+int main() {
+  using namespace aspen;
+
+  std::printf("== Ablation 1: faithful (upward-only) vs extended ANP ==\n\n");
+  TextTable a1({"tree", "mode", "fully restored", "avg msgs", "avg reacted",
+                "avg conv (ms)"});
+  for (const auto& ftv : std::vector<std::vector<int>>{
+           {1, 0, 0}, {0, 1, 0}, {3, 0, 0}}) {
+    const int n = static_cast<int>(ftv.size()) + 1;
+    const int k = ftv[0] >= 3 ? 8 : 4;
+    const Topology topo =
+        Topology::build(generate_tree(n, k, FaultToleranceVector(ftv)));
+    for (const bool extended : {false, true}) {
+      const SweepResult r = run(topo, extended);
+      char restored[32];
+      std::snprintf(restored, sizeof restored, "%lu/%lu",
+                    static_cast<unsigned long>(r.fully_restored),
+                    static_cast<unsigned long>(r.failures));
+      a1.add_row({topo.params().to_string(),
+                  extended ? "extended" : "faithful", restored,
+                  format_double(r.messages.mean(), 1),
+                  format_double(r.reacted.mean(), 1),
+                  format_double(r.convergence_ms.mean(), 1)});
+    }
+  }
+  std::printf("%s\n", a1.to_string().c_str());
+  std::printf(
+      "faithful ANP repairs every flow whose up*/down* apex reaches the\n"
+      "absorbing level (the paper's cases 1-3); the extension also steers\n"
+      "lower-apex climbs, closing the gap for a few extra messages.\n\n");
+
+  std::printf("== Ablation 2: striping policy vs ANP effectiveness ==\n\n");
+  TextTable a2({"striping", "mode", "fully restored", "avg reacted",
+                "avg msgs"});
+  for (const auto kind :
+       {StripingKind::kStandard, StripingKind::kRotated,
+        StripingKind::kRandom, StripingKind::kParallelHeavy}) {
+    StripingConfig cfg;
+    cfg.kind = kind;
+    cfg.seed = 11;
+    const Topology topo = Topology::build(
+        generate_tree(4, 4, FaultToleranceVector{1, 0, 0}), cfg);
+    for (const bool extended : {false, true}) {
+      SweepOptions options;
+      options.connectivity_flows = kAllPairs;
+      options.anp.notify_children = extended;
+      const SweepResult r =
+          sweep_link_failures(ProtocolKind::kAnp, topo, options);
+      char restored[32];
+      std::snprintf(restored, sizeof restored, "%lu/%lu",
+                    static_cast<unsigned long>(r.fully_restored),
+                    static_cast<unsigned long>(r.failures));
+      a2.add_row({to_string(kind), extended ? "extended" : "faithful",
+                  restored, format_double(r.reacted.mean(), 1),
+                  format_double(r.messages.mean(), 1)});
+    }
+  }
+  std::printf("%s\n", a2.to_string().c_str());
+  std::printf(
+      "parallel-heavy wiring (Fig. 6(d)) violates the §7 striping\n"
+      "requirement: faithful ANP's absorbing ancestors lose their alternate\n"
+      "pod members, so it masks fewer failures and needs deeper waves; the\n"
+      "extended protocol compensates by steering the climb instead.\n\n");
+
+  std::printf(
+      "== Ablation 3: redundancy placement at fixed host count (k=4, "
+      "n_fat=3, x=2) ==\n\n");
+  TextTable a3({"placement", "FTV", "fully restored", "avg conv (ms)",
+                "avg reacted"});
+  for (const auto placement :
+       {RedundancyPlacement::kTop, RedundancyPlacement::kSpread,
+        RedundancyPlacement::kBottom}) {
+    const TreeParams params = design_fixed_host_tree(3, 4, 2, placement);
+    const Topology topo = Topology::build(params);
+    const SweepResult r = run(topo, /*extended=*/true);
+    const char* name = placement == RedundancyPlacement::kTop ? "top"
+                       : placement == RedundancyPlacement::kSpread
+                           ? "spread"
+                           : "bottom";
+    char restored[32];
+    std::snprintf(restored, sizeof restored, "%lu/%lu",
+                  static_cast<unsigned long>(r.fully_restored),
+                  static_cast<unsigned long>(r.failures));
+    a3.add_row({name, params.ftv().to_string(), restored,
+                format_double(r.convergence_ms.mean(), 1),
+                format_double(r.reacted.mean(), 1)});
+  }
+  std::printf("%s\n", a3.to_string().c_str());
+  return 0;
+}

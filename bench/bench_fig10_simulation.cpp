@@ -1,0 +1,115 @@
+// Experiment F10a/F10b — regenerates Figures 10(a) and 10(b) with the
+// discrete-event simulator: for each small fat/Aspen pair, fail every
+// inter-switch link once, let the tree's protocol (LSP on the fat tree,
+// ANP on the Aspen tree) react, and record switches involved and
+// re-convergence times (§9.2 methodology; 1 µs propagation, 20 ms ANP
+// processing, 300 ms LSA processing).
+//
+// Host-link ("1st hop") failures are excluded from the sweeps: at the
+// edge-switch routing granularity both protocols' tables are unaffected by
+// them (§9.1 footnote 10 makes the same exclusion).
+#include <cstdio>
+
+#include "src/analysis/series.h"
+#include "src/aspen/fixed_hosts.h"
+#include "src/aspen/generator.h"
+#include "src/proto/experiment.h"
+#include "src/topo/topology.h"
+#include "src/util/table.h"
+
+int main() {
+  using namespace aspen;
+
+  std::printf(
+      "== Figures 10(a)/(b): simulated failure reactions, small trees ==\n"
+      "(LSP on the n-level fat tree; ANP on the (n+1)-level Aspen tree with\n"
+      " FTV <k/2-1,0,...,0> and the same host count; every inter-switch\n"
+      " link failed once)\n\n");
+
+  TextTable fig10a({"hosts (k, n_fat/n_aspen)", "Aspen total", "LSP total",
+                    "LSP react", "LSP informed", "Aspen react",
+                    "Aspen informed"});
+  TextTable fig10b({"hosts (k, n_fat/n_aspen)", "LSP avg (ms)",
+                    "LSP max hops", "ANP avg (ms)", "ANP max hops",
+                    "LSP msgs", "ANP msgs"});
+
+  for (const auto& [k, n] :
+       std::vector<std::pair<int, int>>{{4, 3}, {6, 3}, {8, 3}, {4, 4}}) {
+    const Topology fat = Topology::build(fat_tree(n, k));
+    const Topology aspen =
+        Topology::build(design_fixed_host_tree(n, k, /*extra_levels=*/1));
+
+    SweepOptions options;
+    const SweepResult lsp =
+        sweep_link_failures(ProtocolKind::kLsp, fat, options);
+    const SweepResult anp =
+        sweep_link_failures(ProtocolKind::kAnp, aspen, options);
+
+    char label[64];
+    std::snprintf(label, sizeof label, "%lu (k=%d, n=%d,%d)",
+                  static_cast<unsigned long>(fat.num_hosts()), k, n, n + 1);
+
+    fig10a.add_row({label, std::to_string(aspen.num_switches()),
+                    std::to_string(fat.num_switches()),
+                    format_double(lsp.reacted.mean(), 1),
+                    format_double(lsp.informed.mean(), 1),
+                    format_double(anp.reacted.mean(), 1),
+                    format_double(anp.informed.mean(), 1)});
+    fig10b.add_row({label, format_double(lsp.convergence_ms.mean(), 1),
+                    format_double(lsp.hops.max(), 1),
+                    format_double(anp.convergence_ms.mean(), 1),
+                    format_double(anp.hops.max(), 1),
+                    format_double(lsp.messages.mean(), 1),
+                    format_double(anp.messages.mean(), 1)});
+
+    std::printf(
+        "%s: LSP %6.1f ms avg over %3lu failures | ANP %6.1f ms avg over "
+        "%3lu failures (%.0fx faster)\n",
+        label, lsp.convergence_ms.mean(),
+        static_cast<unsigned long>(lsp.failures), anp.convergence_ms.mean(),
+        static_cast<unsigned long>(anp.failures),
+        anp.convergence_ms.mean() > 0
+            ? lsp.convergence_ms.mean() / anp.convergence_ms.mean()
+            : 0.0);
+  }
+
+  std::printf("\n== Figure 10(a): total vs reacting switches ==\n%s\n",
+              fig10a.to_string().c_str());
+  std::printf("== Figure 10(b): convergence time and message cost ==\n%s\n",
+              fig10b.to_string().c_str());
+  std::printf(
+      "note: the paper's Fig. 10(b) LSP hop labels (6.4-9.25) reflect Mace\n"
+      "flooding/queueing internals; our DES measures last-table-change\n"
+      "times directly.  The headline shape — ANP orders of magnitude\n"
+      "faster, gap growing with depth — is reproduced above.\n\n");
+
+  // The paper "failed each link in each tree" — including host links.  At
+  // host-granularity tables those failures are routing-visible, and the
+  // simulated ANP hop averages land on the 1.5 / 2 hop labels of
+  // Fig. 10(b).
+  std::printf(
+      "== Host-granularity sweep (every link, host links included) ==\n\n");
+  TextTable host_table({"hosts (k, n_fat/n_aspen)", "ANP avg hops",
+                        "ANP avg (ms)", "ANP react", "paper label"});
+  for (const auto& [k, n] :
+       std::vector<std::pair<int, int>>{{4, 3}, {6, 3}, {4, 4}}) {
+    const Topology aspen =
+        Topology::build(design_fixed_host_tree(n, k, /*extra_levels=*/1));
+    SweepOptions options;
+    options.granularity = DestGranularity::kHost;
+    for (Level level = 1; level <= aspen.levels(); ++level) {
+      options.levels.push_back(level);
+    }
+    const SweepResult sweep =
+        sweep_link_failures(ProtocolKind::kAnp, aspen, options);
+    char label[64];
+    std::snprintf(label, sizeof label, "%lu (k=%d, n=%d,%d)",
+                  static_cast<unsigned long>(aspen.num_hosts()), k, n, n + 1);
+    host_table.add_row({label, format_double(sweep.hops.mean(), 2),
+                        format_double(sweep.convergence_ms.mean(), 1),
+                        format_double(sweep.reacted.mean(), 1),
+                        n == 3 ? "1.5 hops" : "2 hops"});
+  }
+  std::printf("%s\n", host_table.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Design explorer — the workflow §1 promises data center architects:
+// "enabling them to design networks that balance their requirements for
+//  scale, cost and fault tolerance."
+//
+// Given operator constraints — hosts to support, a switch budget, and a
+// worst-case failure-reaction SLA in milliseconds — enumerate every Aspen
+// tree for a set of candidate shapes, filter by the constraints, and rank
+// the survivors.
+//
+//   ./design_explorer [min_hosts] [max_switches] [sla_ms]
+//   defaults: 500 hosts, 3000 switches, 100 ms
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/analysis/convergence.h"
+#include "src/aspen/enumerate.h"
+#include "src/aspen/recommend.h"
+#include "src/util/table.h"
+
+namespace {
+
+struct Candidate {
+  aspen::TreeParams tree;
+  double worst_ms;
+  double avg_ms;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace aspen;
+
+  const std::uint64_t min_hosts =
+      argc > 1 ? std::stoull(argv[1]) : 500;
+  const std::uint64_t max_switches =
+      argc > 2 ? std::stoull(argv[2]) : 3000;
+  const double sla_ms = argc > 3 ? std::stod(argv[3]) : 100.0;
+
+  std::printf(
+      "operator requirements: >= %lu hosts, <= %lu switches, every failure "
+      "reaction <= %.0f ms\n\n",
+      static_cast<unsigned long>(min_hosts),
+      static_cast<unsigned long>(max_switches), sla_ms);
+
+  // Candidate shapes an operator would realistically consider (§9.1: "we
+  // expect trees with 3<=n<=7 levels and 16<=k<=128 ports per switch").
+  const std::vector<std::pair<int, int>> shapes{
+      {3, 16}, {3, 24}, {3, 32}, {4, 16}, {4, 24}, {5, 16}};
+
+  std::vector<Candidate> candidates;
+  for (const auto& [n, k] : shapes) {
+    EnumerationFilter filter;
+    filter.min_hosts = min_hosts;
+    filter.max_switches = max_switches;
+    for (const TreeParams& tree : enumerate_trees(n, k, filter)) {
+      // Worst single failure: the §9.1 propagation distance, converted to
+      // time under ANP constants (global fallback still pays LSP rates).
+      const FaultToleranceVector ftv = tree.ftv();
+      double worst = 0.0;
+      for (Level i = 2; i <= n; ++i) {
+        const bool covered =
+            ftv.nearest_fault_tolerant_level_at_or_above(i) != 0;
+        const double hops = update_propagation_distance(ftv, i);
+        worst = std::max(
+            worst, estimate_convergence_ms(
+                       hops, covered ? ProtocolKind::kAnp
+                                     : ProtocolKind::kLsp));
+      }
+      if (worst > sla_ms) continue;
+      const double avg =
+          estimate_convergence_ms(average_update_propagation(ftv),
+                                  ProtocolKind::kAnp);
+      candidates.push_back({tree, worst, avg});
+    }
+  }
+
+  if (candidates.empty()) {
+    std::printf("no Aspen tree satisfies these constraints; relax one.\n");
+    return 1;
+  }
+
+  // Rank: most hosts first, then fewest switches, then fastest reaction.
+  std::ranges::sort(candidates, [](const Candidate& a, const Candidate& b) {
+    if (a.tree.num_hosts() != b.tree.num_hosts()) {
+      return a.tree.num_hosts() > b.tree.num_hosts();
+    }
+    if (a.tree.total_switches() != b.tree.total_switches()) {
+      return a.tree.total_switches() < b.tree.total_switches();
+    }
+    return a.worst_ms < b.worst_ms;
+  });
+
+  TextTable table({"rank", "tree", "hosts", "switches", "links",
+                   "worst reaction", "avg reaction"});
+  const std::size_t shown = std::min<std::size_t>(candidates.size(), 15);
+  for (std::size_t i = 0; i < shown; ++i) {
+    const Candidate& c = candidates[i];
+    table.add_row({std::to_string(i + 1), c.tree.to_string(),
+                   std::to_string(c.tree.num_hosts()),
+                   std::to_string(c.tree.total_switches()),
+                   std::to_string(c.tree.total_links()),
+                   format_double(c.worst_ms, 1) + " ms",
+                   format_double(c.avg_ms, 1) + " ms"});
+  }
+  std::printf("%zu candidates satisfy the constraints; top %zu:\n\n%s\n",
+              candidates.size(), shown, table.to_string().c_str());
+
+  const Candidate& best = candidates.front();
+  std::printf("recommended: %s — %lu hosts on %lu switches, every single-"
+              "link failure masked within %.1f ms\n",
+              best.tree.to_string().c_str(),
+              static_cast<unsigned long>(best.tree.num_hosts()),
+              static_cast<unsigned long>(best.tree.total_switches()),
+              best.worst_ms);
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Failure drill — the paper's §1 availability story, end to end.
+//
+// Runs the same failure sequence against an OSPF-style fabric (LSP on a
+// fat tree) and an Aspen fabric (ANP on the fixed-host Aspen tree), and
+// estimates the packet-loss exposure of each reaction: flows that the
+// stale tables doom, multiplied by the measured re-convergence window.
+//
+//   ./failure_drill [k] [n_fat] [failures] [seed]
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "src/aspen/fixed_hosts.h"
+#include "src/aspen/generator.h"
+#include "src/proto/experiment.h"
+#include "src/routing/packet_walk.h"
+#include "src/routing/reachability.h"
+#include "src/util/rng.h"
+#include "src/util/table.h"
+
+namespace {
+
+using namespace aspen;
+
+struct DrillResult {
+  double total_window_ms = 0;
+  double worst_window_ms = 0;
+  std::uint64_t doomed_flows = 0;  // flows undeliverable pre-reaction
+  std::uint64_t residual_flows = 0;  // still undeliverable post-reaction
+  std::uint64_t messages = 0;
+};
+
+DrillResult drill(const Topology& topo, ProtocolKind kind,
+                  const std::vector<LinkId>& failures, bool extended) {
+  DrillResult result;
+  AnpOptions anp;
+  anp.notify_children = extended;
+  auto proto = make_protocol(kind, topo, DelayModel{}, anp);
+
+  for (const LinkId link : failures) {
+    // Exposure before the protocol reacts: walk flows against the *stale*
+    // tables with the link already dead.
+    const RoutingState stale = proto->tables();
+    LinkStateOverlay degraded(topo);
+    for (const LinkId failed : proto->overlay().failed_links()) {
+      degraded.fail(failed);
+    }
+    degraded.fail(link);
+    const TableRouter stale_router(stale);
+    const ReachabilityStats before =
+        measure_all_pairs(topo, stale_router, degraded);
+
+    const FailureReport report = proto->simulate_link_failure(link);
+    result.total_window_ms += report.convergence_time_ms;
+    result.worst_window_ms =
+        std::max(result.worst_window_ms, report.convergence_time_ms);
+    result.doomed_flows += before.undelivered();
+    result.messages += report.messages_sent;
+
+    const TableRouter patched(proto->tables());
+    result.residual_flows +=
+        measure_all_pairs(topo, patched, proto->overlay()).undelivered();
+
+    (void)proto->simulate_link_recovery(link);
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int k = argc > 1 ? std::stoi(argv[1]) : 6;
+  const int n = argc > 2 ? std::stoi(argv[2]) : 3;
+  const std::size_t failures = argc > 3 ? std::stoul(argv[3]) : 12;
+  const std::uint64_t seed = argc > 4 ? std::stoull(argv[4]) : 7;
+
+  const Topology fat = Topology::build(fat_tree(n, k));
+  const Topology aspen =
+      Topology::build(design_fixed_host_tree(n, k, /*extra_levels=*/1));
+  std::printf("fat tree : %s\n", fat.describe().c_str());
+  std::printf("aspen    : %s\n\n", aspen.describe().c_str());
+
+  // One shared failure *schedule*: pick random inter-switch levels/offsets
+  // and map them to concrete links in each tree.
+  Rng rng(seed);
+  std::vector<LinkId> fat_failures;
+  std::vector<LinkId> aspen_failures;
+  for (std::size_t i = 0; i < failures; ++i) {
+    const Level level = static_cast<Level>(rng.uniform(2, n));
+    const double position = rng.real();
+    const auto pick = [&](const Topology& topo) {
+      const auto links = topo.links_at_level(level);
+      return links[static_cast<std::size_t>(
+          position * static_cast<double>(links.size()))];
+    };
+    fat_failures.push_back(pick(fat));
+    aspen_failures.push_back(pick(aspen));
+  }
+
+  const DrillResult lsp =
+      drill(fat, ProtocolKind::kLsp, fat_failures, /*extended=*/false);
+  const DrillResult anp =
+      drill(aspen, ProtocolKind::kAnp, aspen_failures, /*extended=*/true);
+
+  aspen::TextTable table({"fabric", "failures", "total window (ms)",
+                          "worst window (ms)", "doomed flows (pre)",
+                          "residual flows (post)", "messages"});
+  const auto row = [&](const char* name, const DrillResult& r) {
+    table.add_row({name, std::to_string(failures),
+                   aspen::format_double(r.total_window_ms, 1),
+                   aspen::format_double(r.worst_window_ms, 1),
+                   std::to_string(r.doomed_flows),
+                   std::to_string(r.residual_flows),
+                   std::to_string(r.messages)});
+  };
+  row("fat tree + LSP", lsp);
+  row("aspen + ANP", anp);
+  std::printf("%s\n", table.to_string().c_str());
+
+  std::printf(
+      "interpretation: both fabrics doom roughly the same flows the instant\n"
+      "a link dies, but the Aspen fabric closes its window %.0fx faster\n"
+      "(%.1f ms vs %.1f ms cumulative downtime across the drill) with far\n"
+      "fewer control messages — the §1 availability argument.\n",
+      anp.total_window_ms > 0 ? lsp.total_window_ms / anp.total_window_ms
+                              : 0.0,
+      anp.total_window_ms, lsp.total_window_ms);
+  return 0;
+}

@@ -1,0 +1,196 @@
+// Paper walkthrough — re-enacts the paper's narrative figures with the
+// library's APIs:
+//
+//   Figure 1: a packet from x to y is doomed by the f−g failure the moment
+//             switch a picks b.
+//   Figure 2: turning a 3-level, 4-port fat tree into a 1-fault-tolerant
+//             Aspen tree by freeing, repurposing and reconnecting links.
+//   Figure 4: ANP cases 1 and 2 on the FTV <0,1,0> tree.
+//   Figure 5: ANP case 3 on the FTV <1,0,0> tree.
+#include <cstdio>
+#include <vector>
+
+#include "src/aspen/generator.h"
+#include "src/proto/anp.h"
+#include "src/routing/packet_walk.h"
+#include "src/topo/import.h"
+#include "src/topo/validate.h"
+
+namespace {
+
+using namespace aspen;
+
+void print_walk(const Topology& topo, const WalkResult& walk) {
+  std::printf("   ");
+  for (const NodeId node : walk.path) {
+    std::printf(" %s", topo.is_switch_node(node)
+                           ? to_string(topo.switch_of(node)).c_str()
+                           : to_string(topo.host_of(node)).c_str());
+  }
+  switch (walk.status) {
+    case WalkStatus::kDelivered: std::printf("  [delivered]\n"); break;
+    case WalkStatus::kDropped: std::printf("  [DROPPED]\n"); break;
+    case WalkStatus::kNoRoute: std::printf("  [NO ROUTE]\n"); break;
+    case WalkStatus::kTtlExceeded: std::printf("  [LOOP]\n"); break;
+  }
+}
+
+void figure1() {
+  std::printf(
+      "== Figure 1: a doomed packet in the 4-level, 4-port fat tree ==\n");
+  const Topology topo = Topology::build(fat_tree(4, 4));
+  const StructuralRouter stale(topo);
+
+  // Fail the single link from an L2 switch down to the destination edge —
+  // the paper's f−g — after routing state was computed.
+  const HostId x{0};
+  const HostId y{static_cast<std::uint32_t>(topo.num_hosts() - 1)};
+  const SwitchId g = topo.edge_switch_of(y);
+  const SwitchId f = topo.switch_of(topo.up_neighbors(g)[0].node);
+  LinkStateOverlay actual(topo);
+  actual.fail(topo.find_link(f, g));
+  std::printf(" failed %s-%s; every shortest path from x's second hop to y\n"
+              " crosses it for half the ECMP choices:\n",
+              to_string(f).c_str(), to_string(g).c_str());
+  int shown = 0;
+  for (std::uint64_t seed = 0; seed < 8 && shown < 3; ++seed) {
+    WalkOptions options;
+    options.flow_seed = seed;
+    const WalkResult walk = walk_packet(topo, stale, actual, x, y, options);
+    if (!walk.delivered()) {
+      print_walk(topo, walk);
+      ++shown;
+    }
+  }
+  std::printf("\n");
+}
+
+void figure2() {
+  std::printf(
+      "== Figure 2: repurposing links to build 1-fault tolerance at L3 ==\n");
+  const TreeParams fat = fat_tree(3, 4);
+  const Topology fat_topo = Topology::build(fat);
+  // Survivors: cores s,w (L3 idx 0,1), L2 pods q,r (idx 0,1 → switches
+  // 8..11), their edges (0..3) and hosts (0..7).
+  const TreeParams aspen = generate_tree(3, 4, FaultToleranceVector{1, 0});
+
+  // Old→new switch renumbering: keep the left half of every level.
+  const auto renumber = [&](SwitchId old) {
+    const Level level = fat_topo.level_of(old);
+    const std::uint64_t idx = fat_topo.index_in_level(old);
+    std::uint64_t base = 0;
+    for (Level i = 1; i < level; ++i) base += aspen.switches_at_level(i);
+    return SwitchId{static_cast<std::uint32_t>(base + idx)};
+  };
+  const auto survives = [&](SwitchId old) {
+    return fat_topo.index_in_level(old) <
+           aspen.switches_at_level(fat_topo.level_of(old));
+  };
+
+  std::vector<LinkSpec> links;
+  std::uint64_t freed = 0;
+  std::uint64_t repurposed = 0;
+  for (std::uint32_t id = 0; id < fat_topo.num_links(); ++id) {
+    const Topology::LinkRec& rec = fat_topo.link(LinkId{id});
+    const SwitchId upper = fat_topo.switch_of(rec.upper);
+    if (!fat_topo.is_switch_node(rec.lower)) {
+      // Host link: survives iff its edge survives.
+      const HostId h = fat_topo.host_of(rec.lower);
+      if (!survives(upper)) continue;
+      links.push_back(LinkSpec{renumber(upper), h.value(), true});
+      continue;
+    }
+    const SwitchId lower = fat_topo.switch_of(rec.lower);
+    if (!survives(lower)) {
+      // A downlink into the doomed right half: repurpose it if its upper
+      // endpoint survives (the dotted links of Fig. 2(b)), else drop it.
+      if (survives(upper)) ++repurposed;
+      continue;
+    }
+    if (!survives(upper)) {
+      // An uplink from a survivor into a doomed core: freed (Fig. 2(a)).
+      ++freed;
+      continue;
+    }
+    links.push_back(
+        LinkSpec{renumber(upper), renumber(lower).value(), false});
+  }
+  std::printf(" freed %lu uplinks, repurposing %lu core downlinks…\n",
+              static_cast<unsigned long>(freed),
+              static_cast<unsigned long>(repurposed));
+
+  // Reconnect: each surviving core doubles up on each surviving L2 pod,
+  // landing its second link on the member whose uplink was freed.
+  for (std::uint64_t core = 0; core < aspen.switches_at_level(3); ++core) {
+    const SwitchId new_core{static_cast<std::uint32_t>(
+        aspen.S + aspen.S + core)};  // L3 ids follow L1 and L2 blocks
+    for (std::uint64_t pod = 0; pod < aspen.p[2]; ++pod) {
+      // The freed port lives on the member the core did NOT already reach:
+      // standard striping sent core c to member c mod 2, so attach to the
+      // other member.
+      const std::uint64_t member = 1 - core % 2;
+      const SwitchId target{static_cast<std::uint32_t>(
+          aspen.S + pod * aspen.m[2] + member)};
+      links.push_back(LinkSpec{new_core, target.value(), false});
+    }
+  }
+
+  const Topology rebuilt = build_custom_topology(aspen, links);
+  const ValidationReport report = validate_topology(rebuilt);
+  std::printf(" rebuilt: %s\n", rebuilt.describe().c_str());
+  std::printf(" validation: %s — every L3 switch now reaches each L2 pod "
+              "twice\n\n",
+              report.all_ok() ? "all checks pass" : "FAILED");
+}
+
+void figures4and5() {
+  std::printf("== Figures 4 and 5: the three ANP cases ==\n");
+  // Case 1 and 2 on FTV <0,1,0>.
+  {
+    const Topology topo =
+        Topology::build(generate_tree(4, 4, FaultToleranceVector{0, 1, 0}));
+    AnpSimulation anp(topo);
+    const SwitchId e = topo.switch_at(3, 0);
+    const FailureReport case1 =
+        anp.simulate_link_failure(topo.down_neighbors(e)[0].link);
+    std::printf(
+        " case 1 (failure at the fault-tolerant level): %lu switches react "
+        "locally, %lu messages, %.0f ms\n",
+        static_cast<unsigned long>(case1.switches_reacted),
+        static_cast<unsigned long>(case1.messages_sent),
+        case1.convergence_time_ms);
+    (void)anp.simulate_link_recovery(topo.down_neighbors(e)[0].link);
+
+    const SwitchId f = topo.switch_at(2, 0);
+    const FailureReport case2 =
+        anp.simulate_link_failure(topo.down_neighbors(f)[0].link);
+    std::printf(
+        " case 2 (fault tolerance one level up): notification travels %d "
+        "hop, %.0f ms\n",
+        case2.max_update_hops, case2.convergence_time_ms);
+  }
+  // Case 3 on FTV <1,0,0>.
+  {
+    const Topology topo =
+        Topology::build(generate_tree(4, 4, FaultToleranceVector{1, 0, 0}));
+    AnpSimulation anp(topo);
+    const SwitchId f = topo.switch_at(2, 0);
+    const FailureReport case3 =
+        anp.simulate_link_failure(topo.down_neighbors(f)[0].link);
+    std::printf(
+        " case 3 (fault tolerance two levels up): notification travels %d "
+        "hops, %.0f ms, %lu switches react\n",
+        case3.max_update_hops, case3.convergence_time_ms,
+        static_cast<unsigned long>(case3.switches_reacted));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  figure1();
+  figure2();
+  figures4and5();
+  return 0;
+}

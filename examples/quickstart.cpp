@@ -1,0 +1,84 @@
+// Quickstart — the library in one file.
+//
+// Builds an Aspen tree from command-line parameters, prints its §5
+// properties, constructs and validates the concrete topology, computes
+// routes, and walks a packet.
+//
+//   ./quickstart [n] [k] [ftv]         e.g.  ./quickstart 4 6 "<0,2,0>"
+//   ./quickstart --dot 3 4 "<1,0>"     emit Graphviz instead
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/analysis/convergence.h"
+#include "src/aspen/generator.h"
+#include "src/routing/packet_walk.h"
+#include "src/routing/updown.h"
+#include "src/topo/export.h"
+#include "src/topo/topology.h"
+#include "src/topo/validate.h"
+
+int main(int argc, char** argv) {
+  using namespace aspen;
+
+  bool emit_dot = false;
+  int arg = 1;
+  if (arg < argc && std::strcmp(argv[arg], "--dot") == 0) {
+    emit_dot = true;
+    ++arg;
+  }
+  const int n = arg < argc ? std::stoi(argv[arg++]) : 4;
+  const int k = arg < argc ? std::stoi(argv[arg++]) : 6;
+  const FaultToleranceVector ftv =
+      arg < argc ? FaultToleranceVector::parse(argv[arg++])
+                 : FaultToleranceVector{0, 2, 0};
+
+  // 1. Generate the tree definition (Listing 1 of the paper).
+  const TreeParams tree = generate_tree(n, k, ftv);
+  std::printf("%s\n", tree.to_string().c_str());
+  std::printf("  switches per level (S) : %lu\n",
+              static_cast<unsigned long>(tree.S));
+  std::printf("  total switches         : %lu\n",
+              static_cast<unsigned long>(tree.total_switches()));
+  std::printf("  hosts supported        : %lu\n",
+              static_cast<unsigned long>(tree.num_hosts()));
+  std::printf("  total links            : %lu\n",
+              static_cast<unsigned long>(tree.total_links()));
+  std::printf("  duplicate conn. count  : %lu\n",
+              static_cast<unsigned long>(tree.dcc()));
+  std::printf("  overall aggregation    : %.0f\n", tree.overall_aggregation());
+  std::printf("  avg convergence (hops) : %.2f  (fat tree of same size: %.2f)\n",
+              average_update_propagation(ftv),
+              average_update_propagation(FaultToleranceVector::fat_tree(n)));
+
+  // 2. Build the physical topology and validate the wiring (§7).
+  const Topology topo = Topology::build(tree);
+  if (emit_dot) {
+    std::printf("%s", to_dot(topo).c_str());
+    return 0;
+  }
+  const ValidationReport report = validate_topology(topo);
+  std::printf("  wiring valid           : %s\n",
+              report.all_ok() ? "yes" : "NO");
+  for (const std::string& problem : report.problems) {
+    std::printf("    problem: %s\n", problem.c_str());
+  }
+
+  // 3. Compute up*/down* routes and walk a cross-fabric packet.
+  const RoutingState routes = compute_updown_routes(topo);
+  const TableRouter router(routes);
+  const LinkStateOverlay intact(topo);
+  const HostId src{0};
+  const HostId dst{static_cast<std::uint32_t>(topo.num_hosts() - 1)};
+  const WalkResult walk = walk_packet(topo, router, intact, src, dst);
+  std::printf("  packet %s -> %s        : %s in %d hops, path:",
+              to_string(src).c_str(), to_string(dst).c_str(),
+              walk.delivered() ? "delivered" : "LOST", walk.hops);
+  for (const NodeId node : walk.path) {
+    std::printf(" %s", topo.is_switch_node(node)
+                           ? to_string(topo.switch_of(node)).c_str()
+                           : to_string(topo.host_of(node)).c_str());
+  }
+  std::printf("\n");
+  return 0;
+}

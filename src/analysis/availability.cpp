@@ -1,0 +1,121 @@
+#include "src/analysis/availability.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/analysis/convergence.h"
+#include "src/util/status.h"
+
+namespace aspen {
+
+double availability_from_downtime(double downtime_s_per_year) {
+  ASPEN_REQUIRE(downtime_s_per_year >= 0.0, "downtime must be non-negative");
+  return std::max(0.0, 1.0 - downtime_s_per_year / kSecondsPerYear);
+}
+
+double downtime_budget_s(double availability) {
+  ASPEN_REQUIRE(availability >= 0.0 && availability <= 1.0,
+                "availability must be in [0,1]");
+  return (1.0 - availability) * kSecondsPerYear;
+}
+
+double nines(double availability) {
+  ASPEN_REQUIRE(availability >= 0.0 && availability <= 1.0,
+                "availability must be in [0,1]");
+  if (availability >= 1.0) return 12.0;  // better than any fabric measures
+  return -std::log10(1.0 - availability);
+}
+
+double affordable_failures_per_year(double availability, double reaction_s) {
+  ASPEN_REQUIRE(reaction_s > 0.0, "reaction time must be positive");
+  return downtime_budget_s(availability) / reaction_s;
+}
+
+namespace {
+
+// Mean per-failure window over failure levels 2..n: covered levels react at
+// ANP rates, uncovered ones at global (LSA) rates.
+double mean_reaction_ms(const TreeParams& tree, const DelayModel& delays) {
+  const FaultToleranceVector ftv = tree.ftv();
+  double total = 0.0;
+  for (Level i = 2; i <= tree.n; ++i) {
+    const bool covered =
+        ftv.nearest_fault_tolerant_level_at_or_above(i) != 0;
+    const double hops = update_propagation_distance(ftv, i);
+    total += estimate_convergence_ms(
+        hops, covered ? ProtocolKind::kAnp : ProtocolKind::kLsp, delays);
+  }
+  return total / static_cast<double>(tree.n - 1);
+}
+
+}  // namespace
+
+AvailabilityEstimate estimate_availability(
+    const TreeParams& tree, double link_failures_per_year_per_link,
+    const DelayModel& delays) {
+  return estimate_availability_with_reaction(
+      tree, link_failures_per_year_per_link, mean_reaction_ms(tree, delays));
+}
+
+AvailabilityEstimate estimate_availability_per_level(
+    const TreeParams& tree, const std::vector<double>& per_level_rates,
+    const DelayModel& delays) {
+  ASPEN_REQUIRE(per_level_rates.size() ==
+                    static_cast<std::size_t>(tree.n) + 1,
+                "need one rate per level, 1..n (index 0 unused)");
+  const FaultToleranceVector ftv = tree.ftv();
+  const double links_per_level =
+      static_cast<double>(tree.S) * tree.k / 2.0;  // every level, hosts too
+
+  AvailabilityEstimate estimate;
+  double weighted_window_s = 0.0;
+  for (Level i = 1; i <= tree.n; ++i) {
+    const double rate = per_level_rates[static_cast<std::size_t>(i)];
+    ASPEN_REQUIRE(rate >= 0.0, "rates must be non-negative");
+    const double failures = links_per_level * rate;
+    double window_ms = 0.0;
+    if (i == 1) {
+      // Host links: notifications climb to the roots (host granularity).
+      window_ms = estimate_convergence_ms(
+          anp_notification_distance(ftv, 1), ProtocolKind::kAnp, delays);
+    } else {
+      const bool covered =
+          ftv.nearest_fault_tolerant_level_at_or_above(i) != 0;
+      window_ms = estimate_convergence_ms(
+          update_propagation_distance(ftv, i),
+          covered ? ProtocolKind::kAnp : ProtocolKind::kLsp, delays);
+    }
+    estimate.failures_per_year += failures;
+    weighted_window_s += failures * window_ms / 1000.0;
+  }
+  estimate.downtime_s_per_year = weighted_window_s;
+  estimate.reaction_s =
+      estimate.failures_per_year > 0
+          ? weighted_window_s / estimate.failures_per_year
+          : 0.0;
+  estimate.availability =
+      availability_from_downtime(estimate.downtime_s_per_year);
+  estimate.nines = aspen::nines(estimate.availability);
+  return estimate;
+}
+
+AvailabilityEstimate estimate_availability_with_reaction(
+    const TreeParams& tree, double link_failures_per_year_per_link,
+    double reaction_ms) {
+  ASPEN_REQUIRE(link_failures_per_year_per_link >= 0.0,
+                "failure rate must be non-negative");
+  ASPEN_REQUIRE(reaction_ms >= 0.0, "reaction time must be non-negative");
+  AvailabilityEstimate estimate;
+  estimate.failures_per_year =
+      static_cast<double>(tree.total_links()) *
+      link_failures_per_year_per_link;
+  estimate.reaction_s = reaction_ms / 1000.0;
+  estimate.downtime_s_per_year =
+      estimate.failures_per_year * estimate.reaction_s;
+  estimate.availability =
+      availability_from_downtime(estimate.downtime_s_per_year);
+  estimate.nines = aspen::nines(estimate.availability);
+  return estimate;
+}
+
+}  // namespace aspen

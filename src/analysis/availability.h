@@ -1,0 +1,73 @@
+// Availability accounting (§1).
+//
+// "An expectation of 5 nines (99.999%) availability corresponds to about 5
+//  minutes of downtime per year, or 30 failures, each with a 10 second
+//  re-convergence time."
+//
+// The paper's accounting is event-based: every link failure opens a window
+// of packet loss equal to the fabric's re-convergence time, and annual
+// downtime is the sum of those windows.  Given a per-link annual failure
+// rate, a topology's link count, and a protocol's average reaction time,
+// this module computes expected downtime and the resulting "nines" — the
+// quantitative version of the paper's argument that shrinking the window
+// beats trying to prevent failures.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/aspen/tree_params.h"
+#include "src/proto/protocol.h"
+#include "src/sim/simulator.h"
+
+namespace aspen {
+
+constexpr double kSecondsPerYear = 365.25 * 24 * 3600;
+
+/// Availability from annual downtime, e.g. 315.6 s/yr → 0.99999.
+[[nodiscard]] double availability_from_downtime(double downtime_s_per_year);
+
+/// Annual downtime budget for a given availability, e.g. 0.99999 → ~315 s.
+[[nodiscard]] double downtime_budget_s(double availability);
+
+/// Number of nines: 0.99999 → 5.0; clamped for availability >= 1.
+[[nodiscard]] double nines(double availability);
+
+/// The §1 example: failures affordable per year at `availability` if each
+/// failure costs `reaction_s` seconds (5 nines, 10 s → ≈31).
+[[nodiscard]] double affordable_failures_per_year(double availability,
+                                                  double reaction_s);
+
+struct AvailabilityEstimate {
+  double failures_per_year = 0.0;     ///< links × per-link rate
+  double reaction_s = 0.0;            ///< per-failure window (seconds)
+  double downtime_s_per_year = 0.0;   ///< failures × reaction
+  double availability = 0.0;
+  double nines = 0.0;
+};
+
+/// Event-based estimate for a tree under a protocol: the reaction window is
+/// the tree's average §9.1 propagation distance converted to time with the
+/// §9.2 constants (ANP rates when the FTV covers the failure, LSP rates
+/// when global re-convergence is forced).
+[[nodiscard]] AvailabilityEstimate estimate_availability(
+    const TreeParams& tree, double link_failures_per_year_per_link,
+    const DelayModel& delays = {});
+
+/// Same accounting with an externally measured reaction time (e.g. a DES
+/// sweep's mean convergence), for apples-to-apples protocol comparisons.
+[[nodiscard]] AvailabilityEstimate estimate_availability_with_reaction(
+    const TreeParams& tree, double link_failures_per_year_per_link,
+    double reaction_ms);
+
+/// Level-weighted accounting, for the Gill et al. finding the paper leans
+/// on in §10: "links in the core of the network have the highest
+/// probability of failure and benefit most from network redundancy."
+/// `per_level_rates[i]` is the annual failure rate of links whose upper
+/// endpoint sits at level i (index 1..n; index 0 unused); each level
+/// contributes links(level) × rate(level) × window(level).
+[[nodiscard]] AvailabilityEstimate estimate_availability_per_level(
+    const TreeParams& tree, const std::vector<double>& per_level_rates,
+    const DelayModel& delays = {});
+
+}  // namespace aspen

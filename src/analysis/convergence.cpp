@@ -1,0 +1,74 @@
+#include "src/analysis/convergence.h"
+
+#include "src/util/status.h"
+
+namespace aspen {
+
+int update_propagation_distance(const FaultToleranceVector& ftv,
+                                Level failure_level) {
+  const int n = ftv.levels();
+  ASPEN_REQUIRE(failure_level >= 2 && failure_level <= n,
+                "failure level ", failure_level, " out of range [2,", n, "]");
+  const Level f = ftv.nearest_fault_tolerant_level_at_or_above(failure_level);
+  if (f != 0) return f - failure_level;
+  return global_update_distance(n, failure_level);
+}
+
+double average_update_propagation(const FaultToleranceVector& ftv) {
+  const int n = ftv.levels();
+  double total = 0.0;
+  for (Level i = 2; i <= n; ++i) {
+    total += update_propagation_distance(ftv, i);
+  }
+  return total / static_cast<double>(n - 1);
+}
+
+int global_update_distance(int n, Level failure_level) {
+  ASPEN_REQUIRE(failure_level >= 1 && failure_level <= n,
+                "failure level out of range");
+  return (n - failure_level) + (n - 1);
+}
+
+int max_update_distance(int n) { return global_update_distance(n, 2); }
+
+int anp_notification_distance(const FaultToleranceVector& ftv,
+                              Level failure_level) {
+  const int n = ftv.levels();
+  ASPEN_REQUIRE(failure_level >= 1 && failure_level <= n,
+                "failure level ", failure_level, " out of range [1,", n, "]");
+  if (failure_level == 1) return n - 1;  // single-homed host: climb to roots
+  const Level f = ftv.nearest_fault_tolerant_level_at_or_above(failure_level);
+  return (f != 0 ? f : n) - failure_level;
+}
+
+double anp_average_notification_distance(const FaultToleranceVector& ftv) {
+  const int n = ftv.levels();
+  double total = 0.0;
+  for (Level i = 1; i <= n; ++i) {
+    total += anp_notification_distance(ftv, i);
+  }
+  return total / static_cast<double>(n);
+}
+
+int lsp_flood_distance(int n, Level failure_level) {
+  return global_update_distance(n, failure_level);
+}
+
+double lsp_average_flood_distance(int n) {
+  double total = 0.0;
+  for (Level i = 1; i <= n; ++i) {
+    total += lsp_flood_distance(n, i);
+  }
+  return total / static_cast<double>(n);
+}
+
+SimTime estimate_convergence_ms(double hops, ProtocolKind kind,
+                                const DelayModel& delays) {
+  const SimTime per_hop = (kind == ProtocolKind::kLsp
+                               ? delays.lsa_processing
+                               : delays.anp_processing) +
+                          delays.propagation;
+  return hops * per_hop;
+}
+
+}  // namespace aspen

@@ -1,0 +1,74 @@
+// Analytical convergence-distance models (§9.1, §9.2).
+//
+// Two distance models appear in the paper's evaluation:
+//
+// 1. The §9.1 *update propagation distance* behind Figures 8 and 9: a
+//    failure between L_i and L_{i-1} is absorbed by the nearest level
+//    f >= i with non-zero fault tolerance after f − i hops; if no such
+//    level exists the tree falls back to global re-convergence and updates
+//    must reach the farthest switches, (n − i) + (n − 1) hops.  First-hop
+//    (host-link) failures are excluded (footnote 10).
+//
+// 2. The Figure 10(b)/(d) *message travel* models: LSP floods to the whole
+//    tree on any failure including host links (avg 1.5·(n−1) hops over
+//    levels 1..n), while ANP notifications climb to the absorbing level —
+//    or to the roots when nothing can absorb (host links, fat trees).
+//
+// Both are validated against the paper's published values in
+// tests/test_analysis_convergence.cpp.
+#pragma once
+
+#include "src/aspen/ftv.h"
+#include "src/proto/protocol.h"
+#include "src/sim/simulator.h"
+
+namespace aspen {
+
+// ---- Model 1: §9.1 update propagation distance (Figs. 8, 9) ------------
+
+/// Hops updates travel for a failure at L_i (2 <= i <= n).
+[[nodiscard]] int update_propagation_distance(const FaultToleranceVector& ftv,
+                                              Level failure_level);
+
+/// Mean over failure levels 2..n ("we express the average convergence time
+/// for a tree as the average of this propagation distance across failures
+/// at all levels", host links excluded).
+[[nodiscard]] double average_update_propagation(
+    const FaultToleranceVector& ftv);
+
+/// Global re-convergence distance for a failure at L_i in an n-level tree:
+/// up to the roots, then down to the farthest L_1 switches.
+[[nodiscard]] int global_update_distance(int n, Level failure_level);
+
+/// The worst case: a failure at L_2 of a tree with no fault tolerance —
+/// (n−2) + (n−1).  This is the "Max Hops" normalizer of Figs. 8/9.
+[[nodiscard]] int max_update_distance(int n);
+
+// ---- Model 2: Fig. 10 message-travel distances --------------------------
+
+/// Hops an ANP notification chain travels for a failure at L_i (1 <= i <=
+/// n).  Host links (i = 1) have no alternate path anywhere, so notices
+/// climb to the roots (n − 1 hops); otherwise they stop at the nearest
+/// fault-tolerant level, or at the roots when none exists.
+[[nodiscard]] int anp_notification_distance(const FaultToleranceVector& ftv,
+                                            Level failure_level);
+
+/// Mean over failure levels 1..n; for the paper's <x,0,…,0> trees this is
+/// (n−1)/2 — the 1.5/2/2.5-hop labels of Fig. 10(b)/(d).
+[[nodiscard]] double anp_average_notification_distance(
+    const FaultToleranceVector& ftv);
+
+/// LSP floods globally on any failure: (n − i) + (n − 1) hops.
+[[nodiscard]] int lsp_flood_distance(int n, Level failure_level);
+
+/// Mean over failure levels 1..n = 1.5·(n−1) — the 3/4.5/6-hop labels of
+/// Fig. 10(d).
+[[nodiscard]] double lsp_average_flood_distance(int n);
+
+// ---- Hop-to-time conversion (§9.2 constants) ----------------------------
+
+/// convergence time ≈ hops × (per-update processing + propagation).
+[[nodiscard]] SimTime estimate_convergence_ms(double hops, ProtocolKind kind,
+                                              const DelayModel& delays = {});
+
+}  // namespace aspen

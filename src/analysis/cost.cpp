@@ -1,0 +1,46 @@
+#include "src/analysis/cost.h"
+
+#include "src/analysis/convergence.h"
+#include "src/aspen/generator.h"
+#include "src/util/status.h"
+
+namespace aspen {
+
+ConvergenceCost convergence_cost(const TreeParams& tree) {
+  ConvergenceCost result;
+  result.average_hops = average_update_propagation(tree.ftv());
+  result.links = tree.total_links();
+  result.cost = result.average_hops * static_cast<double>(result.links);
+  return result;
+}
+
+ConvergenceCost fat_tree_cost(int n, int k) {
+  return convergence_cost(fat_tree(n, k));
+}
+
+ConvergenceCost aspen_fixed_host_cost(int n_fat, int k, int extra_levels,
+                                      RedundancyPlacement placement) {
+  return convergence_cost(
+      design_fixed_host_tree(n_fat, k, extra_levels, placement));
+}
+
+double fat_vs_aspen_cost_ratio(int n_fat, int extra_levels,
+                               RedundancyPlacement placement) {
+  ASPEN_REQUIRE(n_fat >= 2 && extra_levels >= 1,
+                "need n_fat >= 2 and extra_levels >= 1");
+  // The ratio is k-independent: with hosts fixed, S cancels from the link
+  // counts and the propagation model only reads zero/non-zero FTV entries.
+  // k = 4 is the smallest switch size for which fixed-host designs exist.
+  const int k = 4;
+  const double fat_avg =
+      average_update_propagation(FaultToleranceVector::fat_tree(n_fat));
+  const double aspen_avg = average_update_propagation(
+      fixed_host_ftv(n_fat, k, extra_levels, placement));
+  const double fat_cost = fat_avg * static_cast<double>(n_fat);
+  const double aspen_cost =
+      aspen_avg * static_cast<double>(n_fat + extra_levels);
+  ASPEN_CHECK(aspen_cost > 0.0, "aspen tree with zero convergence cost");
+  return fat_cost / aspen_cost;
+}
+
+}  // namespace aspen

@@ -1,0 +1,49 @@
+// Convergence-cost model (§8.2, Figure 7).
+//
+// "We first calculate the number of links added to turn a fat tree into a
+//  corresponding Aspen tree with non-zero fault tolerance and an identical
+//  number of hosts.  We then calculate the average convergence time of each
+//  tree across failures at all levels.  Finally, for each tree, we multiply
+//  this average convergence time by the number of links in the tree to
+//  determine the tree's convergence cost."
+//
+// Convergence cost = (average §9.1 propagation distance) × (total links,
+// host links included).  For a fixed host count the fat and Aspen trees
+// have identical S, so the fat:Aspen cost ratio reduces to
+//     (avg_fat × n) / (avg_aspen × (n + x)),
+// independent of k — which is why Figure 7 plots one curve per x.
+#pragma once
+
+#include <cstdint>
+
+#include "src/aspen/fixed_hosts.h"
+#include "src/aspen/tree_params.h"
+
+namespace aspen {
+
+struct ConvergenceCost {
+  double average_hops = 0.0;     ///< §9.1 model, failure levels 2..n
+  std::uint64_t links = 0;       ///< total links including host links
+  double cost = 0.0;             ///< average_hops × links
+};
+
+/// Convergence cost of an arbitrary Aspen tree.
+[[nodiscard]] ConvergenceCost convergence_cost(const TreeParams& tree);
+
+/// Cost of the n-level, k-port fat tree.
+[[nodiscard]] ConvergenceCost fat_tree_cost(int n, int k);
+
+/// Cost of the fixed-host Aspen tree built from an n-level, k-port fat
+/// tree by adding `extra_levels` fault-tolerant levels.
+[[nodiscard]] ConvergenceCost aspen_fixed_host_cost(
+    int n_fat, int k, int extra_levels,
+    RedundancyPlacement placement = RedundancyPlacement::kTop);
+
+/// The Figure 7 curve value: fat-tree cost divided by Aspen-tree cost for
+/// base depth `n_fat` and `extra_levels` added levels.  Values above 1 mean
+/// the Aspen tree wins despite its extra links.  k-independent.
+[[nodiscard]] double fat_vs_aspen_cost_ratio(
+    int n_fat, int extra_levels,
+    RedundancyPlacement placement = RedundancyPlacement::kTop);
+
+}  // namespace aspen

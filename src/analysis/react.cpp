@@ -1,0 +1,62 @@
+#include "src/analysis/react.h"
+
+#include <algorithm>
+
+#include "src/util/status.h"
+
+namespace aspen {
+
+namespace {
+
+// Σ_{j=start..stop} min((k/2)^{j-origin}, m_j): the notified-ancestor count
+// of a wave that starts at `origin` and is absorbed at `stop`.
+std::uint64_t ancestor_wave(const TreeParams& tree, Level origin, Level stop) {
+  const auto half_k = static_cast<std::uint64_t>(tree.k) / 2;
+  std::uint64_t total = 0;
+  std::uint64_t spread = 1;
+  for (Level j = origin + 1; j <= stop; ++j) {
+    // Saturate instead of overflowing: spread is only compared to m_j.
+    const std::uint64_t mj = tree.m[static_cast<std::size_t>(j)];
+    spread = spread > mj ? mj : spread * half_k;
+    total += std::min(spread, mj);
+  }
+  return total;
+}
+
+}  // namespace
+
+std::uint64_t anp_reacting_switches(const TreeParams& tree,
+                                    Level failure_level) {
+  const int n = tree.n;
+  ASPEN_REQUIRE(failure_level >= 1 && failure_level <= n,
+                "failure level ", failure_level, " out of range [1,", n, "]");
+
+  if (failure_level == 1) {
+    // Host link: the edge switch reacts and — having no alternate path to a
+    // single-homed host — notifies all the way to the roots.
+    return 1 + ancestor_wave(tree, 1, n);
+  }
+
+  const FaultToleranceVector ftv = tree.ftv();
+  const Level f = ftv.nearest_fault_tolerant_level_at_or_above(failure_level);
+  const Level stop = (f != 0) ? f : n;
+  // Both endpoints react locally; the wave is empty when c_i > 1
+  // (stop == failure_level).
+  return 2 + ancestor_wave(tree, failure_level, stop);
+}
+
+double anp_average_reacting_switches(const TreeParams& tree,
+                                     bool include_host_links) {
+  const Level first = include_host_links ? 1 : 2;
+  double total = 0.0;
+  for (Level i = first; i <= tree.n; ++i) {
+    total += static_cast<double>(anp_reacting_switches(tree, i));
+  }
+  return total / static_cast<double>(tree.n - first + 1);
+}
+
+std::uint64_t lsp_reacting_switches(const TreeParams& tree) {
+  return tree.total_switches();
+}
+
+}  // namespace aspen

@@ -1,0 +1,35 @@
+// Analytic model of how many switches react to a failure under ANP.
+//
+// Used for the mega-data-center points of Figure 10(c), where — as in the
+// paper — simulation does not scale and "we use additional analysis".
+//
+// For a failure of the link from L_i switch s down to t (standard striping):
+//   * both endpoints react locally (2 switches; 1 for host links);
+//   * if s has no remaining link to t's pod (c_i = 1), a notification wave
+//     climbs: the ancestors of s at level j number (k/2)^{j−i}, capped by
+//     the size m_j of s's ancestor pod at that level, and the wave stops at
+//     the nearest fault-tolerant level f (or at the roots).
+// Validated against the DES on small trees in tests/test_react_model.cpp.
+#pragma once
+
+#include <cstdint>
+
+#include "src/aspen/tree_params.h"
+
+namespace aspen {
+
+/// Switches reacting to a failure at L_i (1 <= i <= n; i = 1 is a host
+/// link, whose loss notice climbs to the roots).
+[[nodiscard]] std::uint64_t anp_reacting_switches(const TreeParams& tree,
+                                                  Level failure_level);
+
+/// Mean over failure levels; `include_host_links` selects averaging over
+/// i = 1..n (Fig. 10's "every link" sweeps) or i = 2..n (§9.1 convention).
+[[nodiscard]] double anp_average_reacting_switches(const TreeParams& tree,
+                                                   bool include_host_links);
+
+/// LSP informs every switch in the tree on any failure (flooding); the
+/// Fig. 10(c) "LSP React" curve.
+[[nodiscard]] std::uint64_t lsp_reacting_switches(const TreeParams& tree);
+
+}  // namespace aspen

@@ -1,0 +1,52 @@
+#include "src/analysis/scalability.h"
+
+#include <algorithm>
+
+#include "src/analysis/convergence.h"
+#include "src/aspen/enumerate.h"
+#include "src/aspen/generator.h"
+
+namespace aspen {
+
+std::vector<TradeoffPoint> scalability_tradeoff(int n, int k) {
+  const std::uint64_t max_hosts = fat_tree(n, k).num_hosts();
+  std::vector<TradeoffPoint> points;
+  for (const TreeParams& tree : enumerate_trees(n, k)) {
+    TradeoffPoint point;
+    point.ftv = tree.ftv();
+    point.hosts = tree.num_hosts();
+    point.hosts_removed = max_hosts - point.hosts;
+    point.average_convergence_hops = average_update_propagation(point.ftv);
+    point.total_switches = tree.total_switches();
+    point.overall_aggregation = tree.overall_aggregation();
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+std::vector<TradeoffPoint> collapse_duplicates(
+    std::vector<TradeoffPoint> points) {
+  sort_for_display(points);
+  std::vector<TradeoffPoint> unique;
+  for (auto& point : points) {
+    if (!unique.empty() && unique.back().hosts == point.hosts &&
+        unique.back().average_convergence_hops ==
+            point.average_convergence_hops) {
+      continue;
+    }
+    unique.push_back(std::move(point));
+  }
+  return unique;
+}
+
+void sort_for_display(std::vector<TradeoffPoint>& points) {
+  std::ranges::stable_sort(points, [](const TradeoffPoint& a,
+                                      const TradeoffPoint& b) {
+    if (a.hosts_removed != b.hosts_removed) {
+      return a.hosts_removed < b.hosts_removed;
+    }
+    return a.average_convergence_hops > b.average_convergence_hops;
+  });
+}
+
+}  // namespace aspen

@@ -1,0 +1,50 @@
+// Convergence-versus-scalability tradeoff series (§9.1, Figures 8 and 9).
+//
+// For every valid (n, k) Aspen tree: its average §9.1 convergence distance
+// and the number of hosts *removed* relative to the traditional fat tree of
+// the same depth and switch size ("we elect to consider hosts removed,
+// rather than hosts remaining, so that the compared measurements are both
+// minimal in the ideal case").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/aspen/ftv.h"
+#include "src/aspen/tree_params.h"
+
+namespace aspen {
+
+struct TradeoffPoint {
+  FaultToleranceVector ftv;
+  std::uint64_t hosts = 0;
+  std::uint64_t hosts_removed = 0;      ///< vs the fat tree of same (n, k)
+  double average_convergence_hops = 0.0;
+  std::uint64_t total_switches = 0;
+  double overall_aggregation = 0.0;
+
+  /// Normalizers for percent-of-maximum plots.
+  [[nodiscard]] double convergence_percent(int max_hops) const {
+    return 100.0 * average_convergence_hops / static_cast<double>(max_hops);
+  }
+  [[nodiscard]] double removed_percent(std::uint64_t max_hosts) const {
+    return 100.0 * static_cast<double>(hosts_removed) /
+           static_cast<double>(max_hosts);
+  }
+};
+
+/// One point per valid (n, k) Aspen tree, in enumeration (FTV) order; the
+/// fat tree <0,…,0> is first.
+[[nodiscard]] std::vector<TradeoffPoint> scalability_tradeoff(int n, int k);
+
+/// Collapses points with identical [host count, convergence time] pairs —
+/// the paper's Fig. 9 treatment ("we collapsed all such duplicates into
+/// single entries").  Output is sorted by (hosts_removed, convergence).
+[[nodiscard]] std::vector<TradeoffPoint> collapse_duplicates(
+    std::vector<TradeoffPoint> points);
+
+/// Sorts points the way Figs. 8/9 are laid out: by hosts removed
+/// ascending, then by convergence time descending within a host count.
+void sort_for_display(std::vector<TradeoffPoint>& points);
+
+}  // namespace aspen

@@ -1,0 +1,71 @@
+#include "src/analysis/series.h"
+
+#include <sstream>
+
+#include "src/analysis/convergence.h"
+#include "src/analysis/react.h"
+#include "src/aspen/fixed_hosts.h"
+#include "src/aspen/generator.h"
+
+namespace aspen {
+
+std::string PairPoint::label() const {
+  std::ostringstream os;
+  os << hosts << ":k=" << k << ",n=" << n_fat << "," << (n_fat + 1);
+  return os.str();
+}
+
+PairPoint analyze_pair(int k, int n_fat, const DelayModel& delays) {
+  PairPoint p;
+  p.k = k;
+  p.n_fat = n_fat;
+  p.fat = fat_tree(n_fat, k);
+  p.aspen = design_fixed_host_tree(n_fat, k, /*extra_levels=*/1);
+  p.hosts = p.fat.num_hosts();
+
+  p.fat_switches = p.fat.total_switches();
+  p.aspen_switches = p.aspen.total_switches();
+  p.fat_switch_host_ratio =
+      static_cast<double>(p.fat_switches) / static_cast<double>(p.hosts);
+  p.aspen_switch_host_ratio =
+      static_cast<double>(p.aspen_switches) / static_cast<double>(p.hosts);
+
+  p.lsp_react = static_cast<double>(lsp_reacting_switches(p.fat));
+  p.anp_react =
+      anp_average_reacting_switches(p.aspen, /*include_host_links=*/true);
+  p.lsp_react_host_ratio = p.lsp_react / static_cast<double>(p.hosts);
+  p.anp_react_host_ratio = p.anp_react / static_cast<double>(p.hosts);
+
+  p.lsp_avg_hops = lsp_average_flood_distance(n_fat);
+  p.anp_avg_hops = anp_average_notification_distance(p.aspen.ftv());
+  p.lsp_avg_ms =
+      estimate_convergence_ms(p.lsp_avg_hops, ProtocolKind::kLsp, delays);
+  p.anp_avg_ms =
+      estimate_convergence_ms(p.anp_avg_hops, ProtocolKind::kAnp, delays);
+  return p;
+}
+
+std::vector<PairPoint> figure10_small_series(const DelayModel& delays) {
+  std::vector<PairPoint> series;
+  series.push_back(analyze_pair(4, 3, delays));
+  series.push_back(analyze_pair(6, 3, delays));
+  series.push_back(analyze_pair(8, 3, delays));
+  series.push_back(analyze_pair(4, 4, delays));
+  return series;
+}
+
+std::vector<PairPoint> figure10_large_series(const DelayModel& delays) {
+  std::vector<PairPoint> series;
+  for (const int k : {4, 6, 8, 16, 32, 64, 128}) {
+    series.push_back(analyze_pair(k, 3, delays));
+  }
+  for (const int k : {4, 6, 8, 16, 32}) {
+    series.push_back(analyze_pair(k, 4, delays));
+  }
+  for (const int k : {4, 6, 8, 16}) {
+    series.push_back(analyze_pair(k, 5, delays));
+  }
+  return series;
+}
+
+}  // namespace aspen

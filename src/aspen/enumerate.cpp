@@ -1,0 +1,98 @@
+#include "src/aspen/enumerate.h"
+
+#include <algorithm>
+
+#include "src/aspen/generator.h"
+#include "src/util/math.h"
+#include "src/util/status.h"
+
+namespace aspen {
+
+namespace {
+
+// Update-propagation distance used by the max_propagation_hops filter; the
+// full model lives in src/analysis/convergence.h but enumeration must not
+// depend on the analysis library (it is a lower layer).
+int worst_case_propagation_hops(const TreeParams& t) {
+  int worst = 0;
+  const FaultToleranceVector ftv = t.ftv();
+  for (Level i = 2; i <= t.n; ++i) {
+    const Level f = ftv.nearest_fault_tolerant_level_at_or_above(i);
+    const int hops = (f != 0) ? (f - i) : (t.n - i) + (t.n - 1);
+    worst = std::max(worst, hops);
+  }
+  return worst;
+}
+
+}  // namespace
+
+bool EnumerationFilter::accepts(const TreeParams& t) const {
+  if (min_hosts && t.num_hosts() < *min_hosts) return false;
+  if (max_switches && t.total_switches() > *max_switches) return false;
+  if (max_fault_tolerance) {
+    for (Level i = 2; i <= t.n; ++i) {
+      if (t.fault_tolerance_at_level(i) > *max_fault_tolerance) return false;
+    }
+  }
+  if (max_propagation_hops &&
+      worst_case_propagation_hops(t) > *max_propagation_hops) {
+    return false;
+  }
+  return true;
+}
+
+void for_each_tree(int n, int k,
+                   const std::function<bool(const TreeParams&)>& visit) {
+  ASPEN_REQUIRE(n >= 2, "tree depth must be >= 2, got ", n);
+  ASPEN_REQUIRE(k >= 2 && k % 2 == 0, "switch size must be even and >= 2, got ",
+                k);
+
+  // Candidate c_i values: factors of k at the top level, of k/2 elsewhere.
+  const auto top_choices = divisors(static_cast<std::uint64_t>(k));
+  const auto mid_choices = divisors(static_cast<std::uint64_t>(k) / 2);
+
+  // Depth-first sweep over all (c_n, …, c_2) combinations, in ascending
+  // order at each level so the fat tree <0,…,0> comes first.
+  std::vector<int> entries(static_cast<std::size_t>(n - 1), 0);
+  bool keep_going = true;
+
+  const std::function<void(std::size_t)> recurse = [&](std::size_t depth) {
+    if (!keep_going) return;
+    if (depth == entries.size()) {
+      const FaultToleranceVector ftv{entries};
+      if (auto t = try_generate_tree(n, k, ftv)) {
+        keep_going = visit(*t);
+      }
+      return;
+    }
+    // entries[0] is the top level (c_n): its choices come from `top_choices`.
+    const auto& choices = (depth == 0) ? top_choices : mid_choices;
+    for (std::uint64_t ci : choices) {
+      entries[depth] = static_cast<int>(ci) - 1;
+      recurse(depth + 1);
+      if (!keep_going) return;
+    }
+  };
+  recurse(0);
+}
+
+std::vector<TreeParams> enumerate_trees(int n, int k,
+                                        const EnumerationFilter& filter) {
+  std::vector<TreeParams> result;
+  for_each_tree(n, k, [&](const TreeParams& t) {
+    if (filter.accepts(t)) result.push_back(t);
+    return true;
+  });
+  return result;
+}
+
+std::size_t count_trees(int n, int k) {
+  std::size_t count = 0;
+  for_each_tree(n, k, [&](const TreeParams&) {
+    ++count;
+    return true;
+  });
+  return count;
+}
+
+}  // namespace aspen

@@ -1,0 +1,45 @@
+// Exhaustive enumeration of Aspen trees (§4.1.2, last paragraph).
+//
+// "Instead of making decisions for the values of r_i and c_i at each level,
+//  we can choose to enumerate all possibilities … this generates an
+//  exhaustive listing of all possible Aspen trees given k and n."
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "src/aspen/tree_params.h"
+
+namespace aspen {
+
+/// Optional filters applied during enumeration.
+struct EnumerationFilter {
+  /// Keep only trees supporting at least this many hosts.
+  std::optional<std::uint64_t> min_hosts;
+  /// Keep only trees with at most this many total switches.
+  std::optional<std::uint64_t> max_switches;
+  /// Keep only trees whose every level's fault tolerance is at most this.
+  std::optional<int> max_fault_tolerance;
+  /// Keep only trees whose worst-case update propagation distance is at
+  /// most this many hops (uses the §9.1 distance model).
+  std::optional<int> max_propagation_hops;
+
+  [[nodiscard]] bool accepts(const TreeParams& t) const;
+};
+
+/// All valid n-level, k-port Aspen trees, in lexicographic FTV order
+/// (top level varies slowest).  The traditional fat tree is always first.
+[[nodiscard]] std::vector<TreeParams> enumerate_trees(
+    int n, int k, const EnumerationFilter& filter = {});
+
+/// Streaming variant: invokes `visit` for each valid tree; `visit` may
+/// return false to stop early.  Useful for very large (n, k).
+void for_each_tree(int n, int k,
+                   const std::function<bool(const TreeParams&)>& visit);
+
+/// Number of valid n-level, k-port Aspen trees.
+[[nodiscard]] std::size_t count_trees(int n, int k);
+
+}  // namespace aspen

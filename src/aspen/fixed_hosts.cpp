@@ -1,0 +1,73 @@
+#include "src/aspen/fixed_hosts.h"
+
+#include <algorithm>
+
+#include "src/aspen/generator.h"
+#include "src/util/status.h"
+
+namespace aspen {
+
+FaultToleranceVector fixed_host_ftv(int n_fat, int k, int extra_levels,
+                                    RedundancyPlacement placement) {
+  ASPEN_REQUIRE(n_fat >= 2, "base fat tree depth must be >= 2, got ", n_fat);
+  ASPEN_REQUIRE(k >= 4 && k % 2 == 0,
+                "fixed-host designs need even k >= 4, got ", k);
+  ASPEN_REQUIRE(extra_levels >= 1, "extra_levels must be >= 1, got ",
+                extra_levels);
+
+  const int n = n_fat + extra_levels;
+  const int ft = k / 2 - 1;  // c = k/2 at each fault-tolerant level
+  std::vector<int> entries(static_cast<std::size_t>(n - 1), 0);
+
+  switch (placement) {
+    case RedundancyPlacement::kTop:
+      // Levels n, n-1, …, n-x+1 carry redundancy: leftmost x entries.
+      for (int j = 0; j < extra_levels; ++j) {
+        entries[static_cast<std::size_t>(j)] = ft;
+      }
+      break;
+    case RedundancyPlacement::kBottom:
+      // Levels x+1, …, 2 carry redundancy: rightmost x entries.
+      for (int j = 0; j < extra_levels; ++j) {
+        entries[entries.size() - 1 - static_cast<std::size_t>(j)] = ft;
+      }
+      break;
+    case RedundancyPlacement::kSpread: {
+      // §8.1: cluster non-zero entries leftward while minimizing runs of
+      // contiguous zeros: split the vector into x contiguous segments of
+      // near-equal length, each starting with a non-zero entry.
+      const auto len = entries.size();
+      const auto x = static_cast<std::size_t>(extra_levels);
+      std::size_t start = 0;
+      for (std::size_t seg = 0; seg < x; ++seg) {
+        const std::size_t seg_len = len / x + (seg < len % x ? 1 : 0);
+        ASPEN_CHECK(seg_len >= 1, "more redundant levels than entries");
+        entries[start] = ft;
+        start += seg_len;
+      }
+      break;
+    }
+  }
+  return FaultToleranceVector(std::move(entries));
+}
+
+TreeParams design_fixed_host_tree(int n_fat, int k, int extra_levels,
+                                  RedundancyPlacement placement) {
+  const auto ftv = fixed_host_ftv(n_fat, k, extra_levels, placement);
+  TreeParams aspen = generate_tree(n_fat + extra_levels, k, ftv);
+
+  // Invariant promised by the design: host count matches the base fat tree.
+  const TreeParams base = fat_tree(n_fat, k);
+  ASPEN_CHECK(aspen.num_hosts() == base.num_hosts(),
+              "fixed-host design changed the host count: ", aspen.num_hosts(),
+              " vs ", base.num_hosts());
+  return aspen;
+}
+
+std::uint64_t switches_added(int n_fat, int k, int extra_levels) {
+  const TreeParams base = fat_tree(n_fat, k);
+  const TreeParams aspen = design_fixed_host_tree(n_fat, k, extra_levels);
+  return aspen.total_switches() - base.total_switches();
+}
+
+}  // namespace aspen

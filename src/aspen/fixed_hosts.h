@@ -1,0 +1,54 @@
+// Fixed-host-count Aspen trees (§4.2, §8.2).
+//
+// Instead of trading hosts for fault tolerance at fixed network size, a data
+// center operator can keep the host count of an n-level fat tree and *grow*
+// the network: an Aspen tree with x levels of redundant links has n + x
+// total levels.  Host count is preserved exactly when the added redundancy
+// multiplies to DCC = (k/2)^x, since hosts = k^{n+x}/2^{n+x-1}/DCC.
+//
+// The paper's construction for x = 1 (§9.2) raises L_n from S/2 to S
+// switches and adds a new L_{n+1} of S/2 switches, i.e. FTV <k/2−1, 0, …, 0>.
+// We generalize to x added levels, with a placement knob used by the
+// ablation benchmarks.
+#pragma once
+
+#include <vector>
+
+#include "src/aspen/tree_params.h"
+
+namespace aspen {
+
+/// Where the x fault-tolerant levels sit in the (n+x)-level tree.
+enum class RedundancyPlacement {
+  /// Redundancy in the x added *top* levels (the paper's construction;
+  /// per §8.1 this is the most useful placement).
+  kTop,
+  /// Redundancy at the x *bottom-most* eligible levels (L_2..L_{x+1}).
+  /// Pathological for convergence; used for the placement ablation.
+  kBottom,
+  /// Redundancy spread as evenly as possible across levels, clustering
+  /// non-zero entries leftward per the §8.1 guidance.
+  kSpread,
+};
+
+/// Designs the (n_fat + extra_levels)-level, k-port Aspen tree that supports
+/// exactly the same number of hosts as the n_fat-level, k-port fat tree.
+///
+/// Each fault-tolerant level carries c = k/2 (fault tolerance k/2 − 1), so
+/// extra_levels must satisfy 1 <= extra_levels and k >= 4.
+/// Throws InvalidTreeError if the resulting design is not a valid tree.
+[[nodiscard]] TreeParams design_fixed_host_tree(
+    int n_fat, int k, int extra_levels,
+    RedundancyPlacement placement = RedundancyPlacement::kTop);
+
+/// The FTV used by design_fixed_host_tree (exposed for analysis code that
+/// needs the vector without constructing the whole tree).
+[[nodiscard]] FaultToleranceVector fixed_host_ftv(
+    int n_fat, int k, int extra_levels,
+    RedundancyPlacement placement = RedundancyPlacement::kTop);
+
+/// Switches added relative to the base fat tree (e.g. S for x = 1, per
+/// §9.2: "we add S new switches to the tree").
+[[nodiscard]] std::uint64_t switches_added(int n_fat, int k, int extra_levels);
+
+}  // namespace aspen

@@ -1,0 +1,98 @@
+#include "src/aspen/ftv.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "src/util/status.h"
+
+namespace aspen {
+
+FaultToleranceVector::FaultToleranceVector(std::vector<int> top_down_entries)
+    : entries_(std::move(top_down_entries)) {
+  for (int e : entries_) {
+    ASPEN_REQUIRE(e >= 0, "FTV entries must be non-negative, got ", e);
+  }
+}
+
+FaultToleranceVector::FaultToleranceVector(
+    std::initializer_list<int> top_down_entries)
+    : FaultToleranceVector(std::vector<int>(top_down_entries)) {}
+
+FaultToleranceVector FaultToleranceVector::fat_tree(int levels) {
+  ASPEN_REQUIRE(levels >= 2, "a tree needs at least 2 levels, got ", levels);
+  return FaultToleranceVector(
+      std::vector<int>(static_cast<std::size_t>(levels - 1), 0));
+}
+
+FaultToleranceVector FaultToleranceVector::uniform(int levels, int ft) {
+  ASPEN_REQUIRE(levels >= 2, "a tree needs at least 2 levels, got ", levels);
+  return FaultToleranceVector(
+      std::vector<int>(static_cast<std::size_t>(levels - 1), ft));
+}
+
+FaultToleranceVector FaultToleranceVector::parse(const std::string& text) {
+  std::string body = text;
+  // Strip optional angle brackets and whitespace.
+  std::erase_if(body, [](char c) { return c == '<' || c == '>' || c == ' '; });
+  ASPEN_REQUIRE(!body.empty(), "cannot parse empty FTV string");
+  std::vector<int> entries;
+  std::istringstream is(body);
+  std::string cell;
+  while (std::getline(is, cell, ',')) {
+    ASPEN_REQUIRE(!cell.empty(), "malformed FTV string: '", text, "'");
+    std::size_t pos = 0;
+    const int value = std::stoi(cell, &pos);
+    ASPEN_REQUIRE(pos == cell.size(), "malformed FTV entry: '", cell, "'");
+    entries.push_back(value);
+  }
+  return FaultToleranceVector(std::move(entries));
+}
+
+int FaultToleranceVector::at_level(Level i) const {
+  const int n = levels();
+  ASPEN_REQUIRE(i >= 2 && i <= n, "FTV level ", i, " out of range [2,", n, "]");
+  return entries_[static_cast<std::size_t>(n - i)];
+}
+
+std::uint64_t FaultToleranceVector::dcc() const {
+  std::uint64_t product = 1;
+  for (int e : entries_) product *= static_cast<std::uint64_t>(e) + 1;
+  return product;
+}
+
+bool FaultToleranceVector::is_fat_tree() const {
+  return std::ranges::all_of(entries_, [](int e) { return e == 0; });
+}
+
+bool FaultToleranceVector::is_fully_fault_tolerant() const {
+  return std::ranges::all_of(entries_, [](int e) { return e > 0; });
+}
+
+Level FaultToleranceVector::nearest_fault_tolerant_level_at_or_above(
+    Level from) const {
+  const int n = levels();
+  ASPEN_REQUIRE(from >= 2 && from <= n, "level ", from, " out of range [2,", n,
+                "]");
+  for (Level i = from; i <= n; ++i) {
+    if (at_level(i) > 0) return i;
+  }
+  return 0;
+}
+
+std::string FaultToleranceVector::to_string() const {
+  std::ostringstream os;
+  os << '<';
+  for (std::size_t j = 0; j < entries_.size(); ++j) {
+    if (j > 0) os << ',';
+    os << entries_[j];
+  }
+  os << '>';
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const FaultToleranceVector& ftv) {
+  return os << ftv.to_string();
+}
+
+}  // namespace aspen

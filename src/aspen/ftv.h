@@ -1,0 +1,79 @@
+// Fault Tolerance Vector (FTV) — the paper's taxonomy for Aspen trees (§5.1).
+//
+// An n-level Aspen tree's FTV lists, from the top of the tree down, the
+// per-level fault tolerance values <c_n − 1, …, c_2 − 1>.  Entry j (0-based
+// from the left) therefore describes the links between level n−j and the
+// level beneath it.  A traditional fat tree is <0, …, 0>.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/util/ids.h"
+
+namespace aspen {
+
+class FaultToleranceVector {
+ public:
+  /// An empty FTV (valid only for degenerate 1-level trees).
+  FaultToleranceVector() = default;
+
+  /// Constructs from top-down entries <ft_n, …, ft_2>; each entry >= 0.
+  explicit FaultToleranceVector(std::vector<int> top_down_entries);
+  FaultToleranceVector(std::initializer_list<int> top_down_entries);
+
+  /// The all-zero FTV of a traditional fat tree with `levels` levels.
+  [[nodiscard]] static FaultToleranceVector fat_tree(int levels);
+
+  /// Uniform FTV (same fault tolerance between every pair of levels).
+  [[nodiscard]] static FaultToleranceVector uniform(int levels, int ft);
+
+  /// Parses strings like "<1,0,0>" or "1,0,0".
+  [[nodiscard]] static FaultToleranceVector parse(const std::string& text);
+
+  /// Number of levels n in a tree described by this FTV (entries + 1).
+  [[nodiscard]] int levels() const { return static_cast<int>(entries_.size()) + 1; }
+
+  /// Entries, top-down, as given at construction.
+  [[nodiscard]] const std::vector<int>& entries() const { return entries_; }
+
+  /// Fault tolerance between L_i and L_{i-1}, for i in [2, n].
+  [[nodiscard]] int at_level(Level i) const;
+
+  /// Connection count c_i = fault tolerance + 1, for i in [2, n].
+  [[nodiscard]] int connections_at_level(Level i) const {
+    return at_level(i) + 1;
+  }
+
+  /// Duplicate Connection Count: Π c_i — the number of distinct paths from
+  /// an L_n switch to any given L_1 switch (§5.2 footnote 8).
+  [[nodiscard]] std::uint64_t dcc() const;
+
+  /// True iff every entry is zero (a traditional fat tree).
+  [[nodiscard]] bool is_fat_tree() const;
+
+  /// True iff every entry is non-zero (instant local reaction everywhere).
+  [[nodiscard]] bool is_fully_fault_tolerant() const;
+
+  /// Highest level i with non-zero fault tolerance at or above `from`
+  /// (i >= from), or 0 if no such level exists.  This is the level whose
+  /// redundancy absorbs a failure at `from` (§6).
+  [[nodiscard]] Level nearest_fault_tolerant_level_at_or_above(
+      Level from) const;
+
+  /// Renders as "<a,b,c>".
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const FaultToleranceVector&,
+                         const FaultToleranceVector&) = default;
+
+ private:
+  std::vector<int> entries_;  // top-down: entries_[0] is between L_n, L_{n-1}
+};
+
+std::ostream& operator<<(std::ostream& os, const FaultToleranceVector& ftv);
+
+}  // namespace aspen

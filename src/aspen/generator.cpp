@@ -1,0 +1,93 @@
+#include "src/aspen/generator.h"
+
+#include <string>
+
+#include "src/util/math.h"
+#include "src/util/status.h"
+
+namespace aspen {
+
+namespace {
+
+void check_inputs(int n, int k, const FaultToleranceVector& ftv) {
+  ASPEN_REQUIRE(n >= 2, "tree depth must be >= 2, got ", n);
+  ASPEN_REQUIRE(k >= 2 && k % 2 == 0, "switch size must be even and >= 2, got ",
+                k);
+  ASPEN_REQUIRE(ftv.levels() == n, "FTV ", ftv.to_string(), " describes a ",
+                ftv.levels(), "-level tree, expected ", n);
+}
+
+}  // namespace
+
+TreeParams generate_tree(int n, int k, const FaultToleranceVector& ftv) {
+  check_inputs(n, k, ftv);
+
+  TreeParams t;
+  t.n = n;
+  t.k = k;
+  const auto sz = static_cast<std::size_t>(n) + 1;
+  t.p.assign(sz, 0);
+  t.m.assign(sz, 0);
+  t.r.assign(sz, 0);
+  t.c.assign(sz, 0);
+
+  const auto K = static_cast<std::uint64_t>(k);
+
+  // Listing 1, lines 8-14: top-down choice of c_i, derivation of r_i, p_{i-1}.
+  t.p[static_cast<std::size_t>(n)] = 1;
+  std::uint64_t downlinks = K;  // L_n switches have k downward ports
+  for (Level i = n; i >= 2; --i) {
+    const auto ui = static_cast<std::size_t>(i);
+    const auto ci = static_cast<std::uint64_t>(ftv.connections_at_level(i));
+    if (!divides(ci, downlinks)) {
+      throw InvalidTreeError(
+          "c_" + std::to_string(i) + " = " + std::to_string(ci) +
+          " is not a factor of the downlink budget " +
+          std::to_string(downlinks) + " (n=" + std::to_string(n) +
+          ", k=" + std::to_string(k) + ", FTV=" + ftv.to_string() + ")");
+    }
+    t.c[ui] = ci;
+    t.r[ui] = downlinks / ci;
+    t.p[ui - 1] = t.p[ui] * t.r[ui];
+    downlinks = K / 2;
+  }
+
+  // Listing 1, lines 15-20: S = p_1, pod sizes m_i, integrality checks.
+  t.S = t.p[1];
+  if (t.S % 2 != 0) {
+    throw InvalidTreeError("m_n = S/2 is not an integer for " +
+                           ftv.to_string() + " (S=" + std::to_string(t.S) +
+                           ")");
+  }
+  t.m[static_cast<std::size_t>(n)] = t.S / 2;
+  for (Level i = 1; i <= n - 1; ++i) {
+    const auto ui = static_cast<std::size_t>(i);
+    if (!divides(t.p[ui], t.S)) {
+      throw InvalidTreeError("m_" + std::to_string(i) +
+                             " is not an integer for FTV " + ftv.to_string());
+    }
+    t.m[ui] = t.S / t.p[ui];
+  }
+
+  t.validate();
+  return t;
+}
+
+std::optional<TreeParams> try_generate_tree(int n, int k,
+                                            const FaultToleranceVector& ftv) {
+  try {
+    return generate_tree(n, k, ftv);
+  } catch (const InvalidTreeError&) {
+    return std::nullopt;
+  }
+}
+
+TreeParams fat_tree(int n, int k) {
+  return generate_tree(n, k, FaultToleranceVector::fat_tree(n));
+}
+
+bool is_valid_tree(int n, int k, const FaultToleranceVector& ftv) {
+  return try_generate_tree(n, k, ftv).has_value();
+}
+
+}  // namespace aspen

@@ -1,0 +1,39 @@
+// Aspen tree generation — the paper's Listing 1 (§4.1.2).
+//
+// Starting from the top of the tree (p_n = 1), the algorithm walks downward
+// choosing c_i (links per pod below) at each level, deriving r_i from the
+// downlink budget, and p_{i-1} from Eq. 3.  Reaching L_1 fixes S = p_1, after
+// which pod sizes m_i follow from Eq. 1; any non-integer m_i means the
+// requested tree does not exist.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "src/aspen/ftv.h"
+#include "src/aspen/tree_params.h"
+
+namespace aspen {
+
+/// Generates the n-level, k-port Aspen tree whose per-level connection
+/// counts are given by `ftv` (entry e at level i means c_i = e + 1).
+///
+/// Throws PreconditionError on malformed inputs (odd k, ftv length != n−1)
+/// and InvalidTreeError when the FTV admits no valid tree (c_i does not
+/// divide the downlink budget, or some m_i is not an integer — Listing 1
+/// lines 19-20).
+[[nodiscard]] TreeParams generate_tree(int n, int k,
+                                       const FaultToleranceVector& ftv);
+
+/// Like generate_tree but returns std::nullopt instead of throwing
+/// InvalidTreeError.  Precondition violations still throw.
+[[nodiscard]] std::optional<TreeParams> try_generate_tree(
+    int n, int k, const FaultToleranceVector& ftv);
+
+/// The traditional n-level, k-port fat tree: FTV <0, …, 0>.
+[[nodiscard]] TreeParams fat_tree(int n, int k);
+
+/// True iff the FTV yields a valid n-level, k-port Aspen tree.
+[[nodiscard]] bool is_valid_tree(int n, int k, const FaultToleranceVector& ftv);
+
+}  // namespace aspen

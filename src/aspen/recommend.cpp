@@ -1,0 +1,108 @@
+#include "src/aspen/recommend.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "src/aspen/generator.h"
+#include "src/util/status.h"
+
+namespace aspen {
+
+FaultToleranceVector recommend_ftv_placement(int n, int budget, int ft) {
+  ASPEN_REQUIRE(n >= 2, "tree depth must be >= 2, got ", n);
+  ASPEN_REQUIRE(budget >= 1 && budget <= n - 1, "budget ", budget,
+                " out of range [1,", n - 1, "]");
+  ASPEN_REQUIRE(ft >= 1, "fault tolerance value must be >= 1, got ", ft);
+
+  const auto len = static_cast<std::size_t>(n - 1);
+  const auto b = static_cast<std::size_t>(budget);
+  std::vector<int> entries(len, 0);
+  // Contiguous segments of near-equal length, longer segments first, each
+  // led by a non-zero entry; yields <x,0,0,x,0,0> for len=6, budget=2.
+  std::size_t start = 0;
+  for (std::size_t seg = 0; seg < b; ++seg) {
+    const std::size_t seg_len = len / b + (seg < len % b ? 1 : 0);
+    entries[start] = ft;
+    start += seg_len;
+  }
+  return FaultToleranceVector(std::move(entries));
+}
+
+TreeParams top_level_redundant_tree(int n, int k) {
+  std::vector<int> entries(static_cast<std::size_t>(n - 1), 0);
+  entries[0] = 1;
+  return generate_tree(n, k, FaultToleranceVector(std::move(entries)));
+}
+
+PlacementQuality evaluate_placement(const FaultToleranceVector& ftv) {
+  const int n = ftv.levels();
+  PlacementQuality q;
+
+  // Longest run of zeros in top-down entry order.
+  int run = 0;
+  for (int e : ftv.entries()) {
+    run = (e == 0) ? run + 1 : 0;
+    q.longest_zero_run = std::max(q.longest_zero_run, run);
+  }
+
+  // A zero entry at level i is covered when some level f > i has ft > 0;
+  // in top-down entry order that means a non-zero entry to its left.
+  q.covered = true;
+  bool seen_nonzero = false;
+  for (int e : ftv.entries()) {
+    if (e != 0) {
+      seen_nonzero = true;
+    } else if (!seen_nonzero) {
+      q.covered = false;
+    }
+  }
+
+  // Mean propagation distance over failure levels 2..n (§9.1 model).
+  double total = 0.0;
+  for (Level i = 2; i <= n; ++i) {
+    const Level f = ftv.nearest_fault_tolerant_level_at_or_above(i);
+    total += (f != 0) ? (f - i) : (n - i) + (n - 1);
+  }
+  q.average_hops = total / static_cast<double>(n - 1);
+  return q;
+}
+
+std::vector<FaultToleranceVector> rank_placements(int n, int k, int budget,
+                                                  int ft) {
+  ASPEN_REQUIRE(budget >= 1 && budget <= n - 1, "budget ", budget,
+                " out of range [1,", n - 1, "]");
+  const auto len = static_cast<std::size_t>(n - 1);
+
+  // Enumerate all C(len, budget) placements of `ft` into a zero vector,
+  // keeping only placements that form valid (n, k) trees.
+  std::vector<FaultToleranceVector> placements;
+  std::vector<int> entries(len, 0);
+  const std::function<void(std::size_t, int)> recurse = [&](std::size_t pos,
+                                                            int remaining) {
+    if (remaining == 0) {
+      FaultToleranceVector ftv{entries};
+      if (is_valid_tree(n, k, ftv)) placements.push_back(std::move(ftv));
+      return;
+    }
+    if (pos + static_cast<std::size_t>(remaining) > len) return;
+    entries[pos] = ft;
+    recurse(pos + 1, remaining - 1);
+    entries[pos] = 0;
+    recurse(pos + 1, remaining);
+  };
+  recurse(0, budget);
+
+  std::ranges::stable_sort(placements, [](const FaultToleranceVector& a,
+                                          const FaultToleranceVector& b) {
+    const PlacementQuality qa = evaluate_placement(a);
+    const PlacementQuality qb = evaluate_placement(b);
+    if (qa.covered != qb.covered) return qa.covered;  // covered first
+    if (qa.average_hops != qb.average_hops) {
+      return qa.average_hops < qb.average_hops;
+    }
+    return qa.longest_zero_run < qb.longest_zero_run;
+  });
+  return placements;
+}
+
+}  // namespace aspen

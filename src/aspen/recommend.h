@@ -1,0 +1,53 @@
+// Practical Aspen tree recommendations (§8.1).
+//
+// "…in FTVs with non-maximal entries it is best to cluster non-zero values
+//  towards the left while simultaneously minimizing the lengths of series of
+//  contiguous zeros.  For instance, if an FTV of length 6 can include only
+//  two non-zero entries, the ideal placement would be <x,0,0,x,0,0>."
+//
+// This module encodes that guidance: FTV placement for a budget of
+// fault-tolerant levels, plus the §8.1 "special mention" tree <1,0,0,…>.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/aspen/tree_params.h"
+
+namespace aspen {
+
+/// Places `budget` non-zero entries (value `ft`) in an FTV of an n-level
+/// tree per the §8.1 guidance: contiguous near-equal segments, each led by
+/// a non-zero entry, longest segments first.  budget in [1, n−1].
+[[nodiscard]] FaultToleranceVector recommend_ftv_placement(int n, int budget,
+                                                           int ft = 1);
+
+/// The §8.1 "special mention" tree: fault tolerance only at the top level,
+/// FTV <1,0,…,0>.  Halves host count versus the fat tree of equal depth and
+/// guarantees every update travels only upward.  (The VL2 topology is an
+/// instance of this family.)
+[[nodiscard]] TreeParams top_level_redundant_tree(int n, int k);
+
+/// Quality metrics the §8.1 discussion ranks placements by.
+struct PlacementQuality {
+  /// Longest run of contiguous zeros in the FTV (max hops an update must
+  /// travel, as long as some non-zero entry exists to the left).
+  int longest_zero_run = 0;
+  /// True iff every zero entry has a non-zero entry somewhere to its left
+  /// (i.e. no failure ever triggers global re-convergence).
+  bool covered = false;
+  /// Mean update-propagation distance over failure levels 2..n (§9.1).
+  double average_hops = 0.0;
+};
+
+[[nodiscard]] PlacementQuality evaluate_placement(
+    const FaultToleranceVector& ftv);
+
+/// All FTVs for (n, k) with exactly `budget` non-zero entries of value `ft`,
+/// ranked best-first by (covered, average_hops, longest_zero_run).  Used by
+/// tests to confirm the §8.1 heuristic actually wins.
+[[nodiscard]] std::vector<FaultToleranceVector> rank_placements(int n, int k,
+                                                                int budget,
+                                                                int ft = 1);
+
+}  // namespace aspen

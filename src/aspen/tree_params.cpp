@@ -1,0 +1,115 @@
+#include "src/aspen/tree_params.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "src/util/status.h"
+
+namespace aspen {
+
+std::uint64_t TreeParams::switches_at_level(Level i) const {
+  ASPEN_REQUIRE(i >= 1 && i <= n, "level ", i, " out of range [1,", n, "]");
+  return i == n ? S / 2 : S;
+}
+
+std::uint64_t TreeParams::total_switches() const {
+  return static_cast<std::uint64_t>(n - 1) * S + S / 2;
+}
+
+std::uint64_t TreeParams::num_hosts() const {
+  return S * static_cast<std::uint64_t>(k) / 2;
+}
+
+std::uint64_t TreeParams::total_links() const {
+  return static_cast<std::uint64_t>(n) * S * static_cast<std::uint64_t>(k) / 2;
+}
+
+std::uint64_t TreeParams::inter_switch_links() const {
+  return static_cast<std::uint64_t>(n - 1) * S *
+         static_cast<std::uint64_t>(k) / 2;
+}
+
+std::uint64_t TreeParams::dcc() const {
+  std::uint64_t product = 1;
+  for (Level i = 2; i <= n; ++i) product *= c[static_cast<std::size_t>(i)];
+  return product;
+}
+
+FaultToleranceVector TreeParams::ftv() const {
+  std::vector<int> entries;
+  entries.reserve(static_cast<std::size_t>(n - 1));
+  for (Level i = n; i >= 2; --i) {
+    entries.push_back(static_cast<int>(c[static_cast<std::size_t>(i)]) - 1);
+  }
+  return FaultToleranceVector(std::move(entries));
+}
+
+int TreeParams::fault_tolerance_at_level(Level i) const {
+  ASPEN_REQUIRE(i >= 2 && i <= n, "level ", i, " out of range [2,", n, "]");
+  return static_cast<int>(c[static_cast<std::size_t>(i)]) - 1;
+}
+
+double TreeParams::aggregation_at_level(Level i) const {
+  ASPEN_REQUIRE(i >= 2 && i <= n, "level ", i, " out of range [2,", n, "]");
+  return static_cast<double>(m[static_cast<std::size_t>(i)]) /
+         static_cast<double>(m[static_cast<std::size_t>(i - 1)]);
+}
+
+double TreeParams::overall_aggregation() const {
+  return static_cast<double>(m[static_cast<std::size_t>(n)]) /
+         static_cast<double>(m[1]);
+}
+
+void TreeParams::validate() const {
+  ASPEN_REQUIRE(n >= 2, "tree depth must be >= 2, got ", n);
+  ASPEN_REQUIRE(k >= 2 && k % 2 == 0, "switch size must be even and >= 2, got ",
+                k);
+  const auto sz = static_cast<std::size_t>(n) + 1;
+  if (p.size() != sz || m.size() != sz || r.size() != sz || c.size() != sz) {
+    throw InvalidTreeError("TreeParams vectors must all have size n+1");
+  }
+  if (S == 0 || S % 2 != 0) {
+    throw InvalidTreeError("S must be positive and even, got " +
+                           std::to_string(S));
+  }
+  const auto K = static_cast<std::uint64_t>(k);
+  if (p[static_cast<std::size_t>(n)] != 1) {
+    throw InvalidTreeError("p_n must be 1 (all top switches form one pod)");
+  }
+  for (Level i = 1; i <= n; ++i) {
+    const auto ui = static_cast<std::size_t>(i);
+    const std::uint64_t level_switches = (i == n) ? S / 2 : S;
+    if (p[ui] == 0 || m[ui] == 0) {
+      throw InvalidTreeError("p_i and m_i must be positive at level " +
+                             std::to_string(i));
+    }
+    if (p[ui] * m[ui] != level_switches) {  // Eq. 1
+      throw InvalidTreeError("Eq.1 violated at level " + std::to_string(i));
+    }
+  }
+  for (Level i = 2; i <= n; ++i) {
+    const auto ui = static_cast<std::size_t>(i);
+    const std::uint64_t downlinks = (i == n) ? K : K / 2;
+    if (r[ui] == 0 || c[ui] == 0 || r[ui] * c[ui] != downlinks) {  // Eq. 2
+      throw InvalidTreeError("Eq.2 violated at level " + std::to_string(i));
+    }
+    if (p[ui] * r[ui] != p[ui - 1]) {  // Eq. 3
+      throw InvalidTreeError("Eq.3 violated at level " + std::to_string(i));
+    }
+  }
+  if (p[1] != S) {
+    throw InvalidTreeError("each L1 switch must form its own pod (p_1 = S)");
+  }
+}
+
+std::string TreeParams::to_string() const {
+  std::ostringstream os;
+  os << "Aspen(n=" << n << ",k=" << k << ",FTV=" << ftv().to_string() << ")";
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const TreeParams& params) {
+  return os << params.to_string();
+}
+
+}  // namespace aspen

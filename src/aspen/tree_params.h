@@ -1,0 +1,81 @@
+// TreeParams — the formal definition of an Aspen tree (§4.1.1).
+//
+// An n-level, k-port Aspen tree is defined by per-level values p_i (pods at
+// L_i), m_i (switches per L_i pod), r_i (L_{i-1} pods each L_i switch
+// connects to) and c_i (links from an L_i switch to each such pod), subject
+// to the paper's constraint equations:
+//
+//   (1)  p_i·m_i = S for 1 <= i < n,  p_n·m_n = S/2
+//   (2)  r_i·c_i = k/2 for 1 < i < n,  r_n·c_n = k
+//   (3)  p_i·r_i = p_{i-1} for 1 < i <= n,  with p_n = 1
+//
+// All vectors here are 1-indexed by level (index 0 is unused) so code reads
+// exactly like the paper's math.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/aspen/ftv.h"
+#include "src/util/ids.h"
+
+namespace aspen {
+
+struct TreeParams {
+  int n = 0;  ///< number of switch levels
+  int k = 0;  ///< ports per switch (even)
+
+  /// Switches per level: S at L_1..L_{n-1}, S/2 at L_n.
+  std::uint64_t S = 0;
+
+  std::vector<std::uint64_t> p;  ///< p[1..n]: pods per level
+  std::vector<std::uint64_t> m;  ///< m[1..n]: switches per pod
+  std::vector<std::uint64_t> r;  ///< r[2..n]: pods-below per switch
+  std::vector<std::uint64_t> c;  ///< c[2..n]: links per pod-below per switch
+
+  /// Number of switches at level i (S for i < n, S/2 for i == n).
+  [[nodiscard]] std::uint64_t switches_at_level(Level i) const;
+
+  /// Total switch count: (n − 1/2)·S (§5.2).
+  [[nodiscard]] std::uint64_t total_switches() const;
+
+  /// Host count: (k/2)·S = k^n / 2^{n-1} / DCC (Eq. 6).
+  [[nodiscard]] std::uint64_t num_hosts() const;
+
+  /// Total number of links, including host links: each of L_1..L_{n-1}
+  /// contributes S·k/2 uplinks and hosts contribute S·k/2 links, i.e.
+  /// n·S·k/2 in total (matches §1 footnote 1: 196,608 for n=3, k=64).
+  [[nodiscard]] std::uint64_t total_links() const;
+
+  /// Links between switch levels only (no host links): (n−1)·S·k/2.
+  [[nodiscard]] std::uint64_t inter_switch_links() const;
+
+  /// Duplicate Connection Count: Π c_i (§5.2).
+  [[nodiscard]] std::uint64_t dcc() const;
+
+  /// The tree's Fault Tolerance Vector <c_n−1, …, c_2−1>.
+  [[nodiscard]] FaultToleranceVector ftv() const;
+
+  /// Fault tolerance (c_i − 1) between L_i and L_{i-1}, i in [2, n].
+  [[nodiscard]] int fault_tolerance_at_level(Level i) const;
+
+  /// Hierarchical aggregation at level i: m_i / m_{i-1} (§5.3).
+  [[nodiscard]] double aggregation_at_level(Level i) const;
+
+  /// Overall hierarchical aggregation: m_n / m_1 = S/2 / m_1 (§5.3).
+  [[nodiscard]] double overall_aggregation() const;
+
+  /// Throws InvalidTreeError unless Eq. 1–3 and integrality all hold.
+  void validate() const;
+
+  /// Human-readable one-liner, e.g. "Aspen(n=4,k=6,FTV=<0,2,0>)".
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const TreeParams&, const TreeParams&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const TreeParams& params);
+
+}  // namespace aspen

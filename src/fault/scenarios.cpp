@@ -1,0 +1,109 @@
+#include "src/fault/scenarios.h"
+
+#include <algorithm>
+
+#include "src/routing/packet_walk.h"
+#include "src/routing/updown.h"
+#include "src/util/status.h"
+
+namespace aspen {
+
+MultiFailureOutcome run_multi_failure(ProtocolKind kind, const Topology& topo,
+                                      std::span<const LinkId> links,
+                                      const MultiFailureOptions& options) {
+  ASPEN_REQUIRE(!links.empty(), "scenario needs at least one link");
+
+  auto proto = make_protocol(kind, topo, options.delays, options.anp);
+  const RoutingState initial = proto->tables();
+
+  MultiFailureOutcome outcome;
+  for (const LinkId link : links) {
+    outcome.failure_reports.push_back(proto->simulate_link_failure(link));
+  }
+
+  const TableRouter router(proto->tables());
+  if (options.sample_flows == 0) {
+    outcome.degraded_delivery =
+        measure_all_pairs(topo, router, proto->overlay());
+  } else {
+    Rng rng(options.seed);
+    outcome.degraded_delivery = measure_sampled(
+        topo, router, proto->overlay(), options.sample_flows, rng);
+  }
+
+  for (auto it = links.rbegin(); it != links.rend(); ++it) {
+    outcome.recovery_reports.push_back(proto->simulate_link_recovery(*it));
+  }
+  outcome.tables_restored =
+      switches_with_changed_tables(initial, proto->tables()) == 0;
+  return outcome;
+}
+
+std::vector<LinkId> random_inter_switch_links(const Topology& topo,
+                                              std::size_t count, Rng& rng) {
+  std::vector<LinkId> pool;
+  for (Level i = 2; i <= topo.levels(); ++i) {
+    const std::vector<LinkId> at_level = topo.links_at_level(i);
+    pool.insert(pool.end(), at_level.begin(), at_level.end());
+  }
+  ASPEN_REQUIRE(count <= pool.size(), "asked for ", count, " links, only ",
+                pool.size(), " inter-switch links exist");
+  rng.shuffle(pool);
+  pool.resize(count);
+  std::ranges::sort(pool);
+  return pool;
+}
+
+std::vector<LinkId> far_apart_pair(const Topology& topo, Level level,
+                                   Rng& rng) {
+  ASPEN_REQUIRE(level >= 2 && level <= topo.levels(), "level out of range");
+  const std::vector<LinkId> at_level = topo.links_at_level(level);
+  ASPEN_REQUIRE(at_level.size() >= 2, "level has fewer than two links");
+
+  const LinkId first = at_level[rng.index(at_level.size())];
+  const SwitchId first_upper = topo.switch_of(topo.link(first).upper);
+
+  // Prefer a second link whose upper endpoint lies in a different pod (and
+  // is a different switch); fall back to any other link.
+  std::vector<LinkId> preferred;
+  for (const LinkId cand : at_level) {
+    if (cand == first) continue;
+    const SwitchId upper = topo.switch_of(topo.link(cand).upper);
+    if (upper == first_upper) continue;
+    if (topo.pod_of(upper) != topo.pod_of(first_upper)) {
+      preferred.push_back(cand);
+    }
+  }
+  if (preferred.empty()) {
+    for (const LinkId cand : at_level) {
+      if (cand != first) preferred.push_back(cand);
+    }
+  }
+  const LinkId second = preferred[rng.index(preferred.size())];
+  std::vector<LinkId> pair{first, second};
+  std::ranges::sort(pair);
+  return pair;
+}
+
+std::vector<LinkId> same_switch_pair(const Topology& topo, SwitchId upper) {
+  const auto downs = topo.down_neighbors(upper);
+  ASPEN_REQUIRE(downs.size() >= 2, "switch has fewer than two downlinks");
+  return {downs[0].link, downs[1].link};
+}
+
+std::vector<LinkId> kill_pod_connectivity(const Topology& topo,
+                                          SwitchId upper, PodId child_pod) {
+  const Level level = topo.level_of(upper);
+  ASPEN_REQUIRE(level >= 2, "upper must be above L1");
+  std::vector<LinkId> links;
+  for (const Topology::Neighbor& nb : topo.down_neighbors(upper)) {
+    if (!topo.is_switch_node(nb.node)) continue;
+    if (topo.pod_of(topo.switch_of(nb.node)) == child_pod) {
+      links.push_back(nb.link);
+    }
+  }
+  ASPEN_REQUIRE(!links.empty(), "switch has no links into that child pod");
+  return links;
+}
+
+}  // namespace aspen

@@ -1,0 +1,71 @@
+// Failure scenarios, including the §8.3 compound-failure cases.
+//
+// "In most cases, our techniques apply seamlessly to multiple simultaneous
+//  link failures.  In fact, failures far enough apart in a tree have no
+//  effect on one another … It is possible that in some pathological cases,
+//  compound failures can lead to violations of the striping policy of §7,
+//  ultimately causing packet loss."
+//
+// Scenario generators produce interesting link sets; the driver applies
+// them to a protocol simulation, measures delivery over the degraded
+// network, then rolls everything back and verifies restoration.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/proto/experiment.h"
+#include "src/proto/protocol.h"
+#include "src/routing/reachability.h"
+#include "src/topo/topology.h"
+#include "src/util/rng.h"
+
+namespace aspen {
+
+struct MultiFailureOutcome {
+  std::vector<FailureReport> failure_reports;   ///< one per failed link
+  std::vector<FailureReport> recovery_reports;  ///< reverse order
+  /// Delivery measured with the protocol's patched tables while all links
+  /// in the scenario were down.
+  ReachabilityStats degraded_delivery;
+  /// True when fail-all-then-recover-all restored the initial tables.
+  bool tables_restored = false;
+};
+
+struct MultiFailureOptions {
+  DelayModel delays;
+  AnpOptions anp;  ///< used only for ANP runs
+  /// 0 = all ordered host pairs; otherwise sample this many flows.
+  std::uint64_t sample_flows = 0;
+  std::uint64_t seed = 7;
+};
+
+/// Fails every link in `links` (in order), measures delivery, recovers in
+/// reverse order, and checks table restoration.
+[[nodiscard]] MultiFailureOutcome run_multi_failure(
+    ProtocolKind kind, const Topology& topo, std::span<const LinkId> links,
+    const MultiFailureOptions& options = {});
+
+// ---- Scenario generators ------------------------------------------------
+
+/// `count` distinct random inter-switch links (levels >= 2).
+[[nodiscard]] std::vector<LinkId> random_inter_switch_links(
+    const Topology& topo, std::size_t count, Rng& rng);
+
+/// Two failures "far apart": links at the same level whose upper endpoints
+/// sit in different top-level subtrees wherever possible.
+[[nodiscard]] std::vector<LinkId> far_apart_pair(const Topology& topo,
+                                                 Level level, Rng& rng);
+
+/// Two failures close together: distinct downlinks of the same switch.
+[[nodiscard]] std::vector<LinkId> same_switch_pair(const Topology& topo,
+                                                   SwitchId upper);
+
+/// The §8.3 pathological pattern for a fault-tolerant level: *all* of a
+/// switch's links into one child pod, defeating that level's redundancy.
+[[nodiscard]] std::vector<LinkId> kill_pod_connectivity(const Topology& topo,
+                                                        SwitchId upper,
+                                                        PodId child_pod);
+
+}  // namespace aspen

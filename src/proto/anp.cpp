@@ -1,0 +1,256 @@
+#include "src/proto/anp.h"
+
+#include <algorithm>
+
+#include "src/util/status.h"
+
+namespace aspen {
+
+namespace {
+
+// Keeps ECMP sets sorted by link id (the order route computation emits), so
+// fail-then-recover restores byte-identical tables.
+void insert_sorted(std::vector<Topology::Neighbor>& hops,
+                   const Topology::Neighbor& nb) {
+  const auto pos = std::ranges::lower_bound(
+      hops, nb.link.value(), {},
+      [](const Topology::Neighbor& h) { return h.link.value(); });
+  if (pos != hops.end() && pos->link == nb.link) return;  // already present
+  hops.insert(pos, nb);
+}
+
+}  // namespace
+
+AnpSimulation::AnpSimulation(const Topology& topo, DelayModel delays,
+                             AnpOptions options, DestGranularity granularity)
+    : topo_(&topo), delays_(delays), options_(options), overlay_(topo) {
+  tables_ = compute_updown_routes(topo, overlay_, granularity);
+  state_.resize(topo.num_switches());
+  for (auto& s : state_) {
+    s.announced_lost.assign(tables_.num_dests(), 0);
+  }
+}
+
+AnpSimulation::RunContext AnpSimulation::make_context() const {
+  RunContext ctx;
+  ctx.cpus.resize(topo_->num_switches());
+  ctx.informed.assign(topo_->num_switches(), 0);
+  ctx.reacted.assign(topo_->num_switches(), 0);
+  ctx.react_time.assign(topo_->num_switches(), 0.0);
+  ctx.react_hops.assign(topo_->num_switches(), 0);
+  return ctx;
+}
+
+void AnpSimulation::mark_informed(RunContext& ctx, SwitchId s) {
+  if (!ctx.informed[s.value()]) {
+    ctx.informed[s.value()] = 1;
+    ++ctx.report.switches_informed;
+  }
+}
+
+void AnpSimulation::mark_reaction(RunContext& ctx, SwitchId s, SimTime when,
+                                  int hops) {
+  if (!ctx.reacted[s.value()]) {
+    ctx.reacted[s.value()] = 1;
+    ++ctx.report.switches_reacted;
+  }
+  ctx.react_time[s.value()] = std::max(ctx.react_time[s.value()], when);
+  ctx.react_hops[s.value()] = std::max(ctx.react_hops[s.value()], hops);
+}
+
+void AnpSimulation::send_notification(RunContext& ctx, SwitchId from,
+                                      NodeId exclude,
+                                      std::vector<DestIndex> dests, bool lost,
+                                      int hops) {
+  if (dests.empty()) return;
+
+  const auto transmit = [&](const Topology::Neighbor& nb) {
+    if (nb.node == exclude) return;
+    if (!overlay_.is_up(nb.link)) return;
+    if (!topo_->is_switch_node(nb.node)) return;  // hosts are mute
+    const SwitchId peer = topo_->switch_of(nb.node);
+    ++ctx.report.messages_sent;
+    ctx.sim.schedule(delays_.propagation, [this, &ctx, peer, from, dests,
+                                           lost, hops] {
+      const SimTime done = ctx.cpus[peer.value()].occupy(
+          ctx.sim.now(), delays_.anp_processing);
+      ctx.sim.schedule_at(done, [this, &ctx, peer, from, dests, lost, hops] {
+        handle_notification(ctx, peer, from, dests, lost, hops);
+      });
+    });
+  };
+
+  for (const Topology::Neighbor& nb : topo_->up_neighbors(from)) {
+    transmit(nb);
+  }
+  if (options_.notify_children) {
+    for (const Topology::Neighbor& nb : topo_->down_neighbors(from)) {
+      transmit(nb);
+    }
+  }
+}
+
+void AnpSimulation::handle_notification(RunContext& ctx, SwitchId at,
+                                        SwitchId neighbor,
+                                        const std::vector<DestIndex>& dests,
+                                        bool lost, int hops) {
+  mark_informed(ctx, at);
+  SwitchState& st = state_[at.value()];
+  const NodeId neighbor_node = topo_->node_of(neighbor);
+  bool changed = false;
+  std::vector<DestIndex> to_forward;
+
+  if (lost) {
+    // The neighbor can no longer reach these destinations: every next hop
+    // of ours that goes *through it* is dead for them, regardless of which
+    // of our links to it carries the traffic.
+    for (const DestIndex e : dests) {
+      ForwardingTable::Entry& entry = tables_.table(at).entry(e);
+      std::vector<Topology::Neighbor> removed;
+      std::erase_if(entry.next_hops, [&](const Topology::Neighbor& nb) {
+        if (nb.node != neighbor_node) return false;
+        removed.push_back(nb);
+        return true;
+      });
+      if (removed.empty()) continue;
+      changed = true;
+      auto& log = st.removed_by_neighbor[neighbor.value()][e];
+      log.insert(log.end(), removed.begin(), removed.end());
+      if (entry.next_hops.empty() && !st.announced_lost[e]) {
+        st.announced_lost[e] = 1;
+        to_forward.push_back(e);
+      }
+    }
+  } else {
+    // Recovery: restore exactly what this neighbor's loss notice removed.
+    const auto nb_it = st.removed_by_neighbor.find(neighbor.value());
+    for (const DestIndex e : dests) {
+      if (nb_it == st.removed_by_neighbor.end()) break;
+      const auto log_it = nb_it->second.find(e);
+      if (log_it == nb_it->second.end()) continue;
+      ForwardingTable::Entry& entry = tables_.table(at).entry(e);
+      const bool was_empty = entry.next_hops.empty();
+      for (const Topology::Neighbor& nb : log_it->second) {
+        insert_sorted(entry.next_hops, nb);
+      }
+      nb_it->second.erase(log_it);
+      changed = true;
+      if (was_empty && st.announced_lost[e]) {
+        st.announced_lost[e] = 0;
+        to_forward.push_back(e);
+      }
+    }
+    if (nb_it != st.removed_by_neighbor.end() && nb_it->second.empty()) {
+      st.removed_by_neighbor.erase(nb_it);
+    }
+  }
+
+  if (changed) mark_reaction(ctx, at, ctx.sim.now(), hops);
+  send_notification(ctx, at, neighbor_node, std::move(to_forward), lost,
+                    hops + 1);
+}
+
+void AnpSimulation::detect_failure(RunContext& ctx, SwitchId s, LinkId link) {
+  mark_informed(ctx, s);
+  SwitchState& st = state_[s.value()];
+  bool changed = false;
+  std::vector<DestIndex> lost;
+  for (DestIndex e = 0; e < tables_.num_dests(); ++e) {
+    ForwardingTable::Entry& entry = tables_.table(s).entry(e);
+    const auto it = std::ranges::find_if(
+        entry.next_hops,
+        [&](const Topology::Neighbor& nb) { return nb.link == link; });
+    if (it == entry.next_hops.end()) continue;
+    st.removed_by_link[link.value()][e] = *it;
+    entry.next_hops.erase(it);
+    changed = true;
+    if (entry.next_hops.empty() && !st.announced_lost[e]) {
+      st.announced_lost[e] = 1;
+      lost.push_back(e);
+    }
+  }
+  if (changed) mark_reaction(ctx, s, ctx.sim.now(), 0);
+  send_notification(ctx, s, NodeId::invalid(), std::move(lost),
+                    /*lost=*/true, /*hops=*/1);
+}
+
+void AnpSimulation::detect_recovery(RunContext& ctx, SwitchId s, LinkId link) {
+  mark_informed(ctx, s);
+  SwitchState& st = state_[s.value()];
+  const auto link_it = st.removed_by_link.find(link.value());
+  if (link_it == st.removed_by_link.end()) return;
+  bool changed = false;
+  std::vector<DestIndex> restored;
+  for (const auto& [e, nb] : link_it->second) {
+    ForwardingTable::Entry& entry = tables_.table(s).entry(e);
+    const bool was_empty = entry.next_hops.empty();
+    insert_sorted(entry.next_hops, nb);
+    changed = true;
+    if (was_empty && st.announced_lost[e]) {
+      st.announced_lost[e] = 0;
+      restored.push_back(e);
+    }
+  }
+  st.removed_by_link.erase(link_it);
+  if (changed) mark_reaction(ctx, s, ctx.sim.now(), 0);
+  send_notification(ctx, s, NodeId::invalid(), std::move(restored),
+                    /*lost=*/false, /*hops=*/1);
+}
+
+FailureReport AnpSimulation::simulate_link_failure(LinkId link) {
+  ASPEN_REQUIRE(overlay_.is_up(link), "link ", link.value(),
+                " is already down");
+  overlay_.fail(link);
+
+  RunContext ctx = make_context();
+  const Topology::LinkRec& rec = topo_->link(link);
+
+  // Local detection and pruning at each endpoint.  Endpoints react at
+  // detection time: disabling a dead port is a data-plane action, not a
+  // routing-CPU computation (§6: the switch "simply forwards packets …
+  // through h rather than f upon discovering the failure").
+  for (const NodeId endpoint : {rec.upper, rec.lower}) {
+    if (!topo_->is_switch_node(endpoint)) continue;  // hosts do not react
+    const SwitchId s = topo_->switch_of(endpoint);
+    ctx.sim.schedule(delays_.detection,
+                     [this, &ctx, s, link] { detect_failure(ctx, s, link); });
+  }
+  return finish(ctx);
+}
+
+FailureReport AnpSimulation::simulate_link_recovery(LinkId link) {
+  ASPEN_REQUIRE(!overlay_.is_up(link), "link ", link.value(),
+                " is already up");
+  overlay_.recover(link);
+
+  RunContext ctx = make_context();
+  const Topology::LinkRec& rec = topo_->link(link);
+  for (const NodeId endpoint : {rec.upper, rec.lower}) {
+    if (!topo_->is_switch_node(endpoint)) continue;
+    const SwitchId s = topo_->switch_of(endpoint);
+    ctx.sim.schedule(delays_.detection,
+                     [this, &ctx, s, link] { detect_recovery(ctx, s, link); });
+  }
+  return finish(ctx);
+}
+
+FailureReport AnpSimulation::finish(RunContext& ctx) {
+  ctx.report.events = ctx.sim.run();
+  ctx.report.table_change_completed.assign(topo_->num_switches(),
+                                           FailureReport::kNoChange);
+  for (std::uint32_t s = 0; s < topo_->num_switches(); ++s) {
+    if (ctx.reacted[s]) {
+      ctx.report.table_change_completed[s] = ctx.react_time[s];
+    }
+  }
+  for (std::uint32_t s = 0; s < topo_->num_switches(); ++s) {
+    if (!ctx.reacted[s]) continue;
+    ctx.report.convergence_time_ms =
+        std::max(ctx.report.convergence_time_ms, ctx.react_time[s]);
+    ctx.report.max_update_hops =
+        std::max(ctx.report.max_update_hops, ctx.react_hops[s]);
+  }
+  return ctx.report;
+}
+
+}  // namespace aspen

@@ -1,0 +1,127 @@
+// ANP — the Aspen Reaction and Notification Protocol (§6).
+//
+// On the failure of a downward link from L_i switch s to t:
+//   * If s retains another live link to t's pod (c_i > 1), s reroutes
+//     locally and sends nothing (case 1).
+//   * Otherwise s withdraws the dead routes and notifies its parents of the
+//     set of destinations it can no longer reach.  An ancestor that still
+//     has alternate next hops for those destinations absorbs the
+//     notification after patching its table (cases 2 and 3); an ancestor
+//     left with none forwards the notification to *its* parents.
+// Upward-link failures never generate notifications: the switch below the
+// failure prunes the dead uplink and keeps climbing via any other port.
+//
+// Notifications carry destination sets keyed by edge switch (the same
+// prefix granularity as the forwarding tables).  Each switch keeps a
+// withdrawal log — which next hops it removed, per link and per notifying
+// neighbor, and which destinations it announced lost — so that link
+// recovery (§6's "the process is similar for link recovery") replays the
+// exact inverse: restore logged entries, then propagate recovery notices
+// along the paths the loss notices took.
+//
+// ## The intra-pod gap, and the extended mode
+//
+// Reproducing §6 literally exposes a gap the paper does not discuss: with
+// upward-only notifications, only the switches at the absorbing level L_f
+// learn to steer around the dead region — so a flow is guaranteed only if
+// its up*/down* apex reaches L_f.  A flow with a lower apex (intra-pod
+// traffic, or traffic whose climb tops out between the failure and L_f)
+// can still hash its blind up-choice into a switch whose routes died.
+// Global re-convergence (LSP) repairs those flows; upward-only ANP cannot
+// (tests/test_section7_property.cpp pins down the exact boundary).
+// AnpOptions::notify_children (off by default, to match the paper) extends
+// the protocol symmetrically: a switch whose entry for some destinations
+// became empty also tells the switches *below* it to stop climbing through
+// it.  With the extension, ANP restores all-pairs connectivity whenever the
+// FTV covers the failure level; the ablation benchmark quantifies the extra
+// messages this costs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/proto/protocol.h"
+#include "src/proto/report.h"
+#include "src/routing/updown.h"
+#include "src/sim/simulator.h"
+#include "src/topo/link_state.h"
+#include "src/topo/topology.h"
+
+namespace aspen {
+
+struct AnpOptions {
+  /// Also send loss/recovery notices downward when a switch's entry for a
+  /// destination empties (extension; see header comment).
+  bool notify_children = false;
+};
+
+class AnpSimulation final : public ProtocolSimulation {
+ public:
+  explicit AnpSimulation(const Topology& topo, DelayModel delays = {},
+                         AnpOptions options = {},
+                         DestGranularity granularity = DestGranularity::kEdge);
+
+  /// Fails the link and runs ANP until quiescent.
+  FailureReport simulate_link_failure(LinkId link) override;
+
+  /// Recovers a previously failed link and runs ANP until quiescent.
+  FailureReport simulate_link_recovery(LinkId link) override;
+
+  /// Current forwarding tables, as patched by ANP so far.
+  [[nodiscard]] const RoutingState& tables() const override { return tables_; }
+  [[nodiscard]] const LinkStateOverlay& overlay() const override {
+    return overlay_;
+  }
+  [[nodiscard]] const Topology& topology() const override { return *topo_; }
+  [[nodiscard]] const AnpOptions& options() const { return options_; }
+
+ private:
+  using DestIndex = std::uint64_t;
+
+  /// Per-switch protocol state.
+  struct SwitchState {
+    /// Next hops removed on local detection, per failed link.
+    std::map<std::uint32_t, std::map<DestIndex, Topology::Neighbor>>
+        removed_by_link;
+    /// Next hops removed on notification, per notifying neighbor switch.
+    std::map<std::uint32_t,
+             std::map<DestIndex, std::vector<Topology::Neighbor>>>
+        removed_by_neighbor;
+    /// Destinations this switch announced as lost to its neighbors.
+    std::vector<char> announced_lost;  // indexed by dest edge
+  };
+
+  struct RunContext {
+    Simulator sim;
+    std::vector<CpuQueue> cpus;
+    std::vector<char> informed;      // per switch: processed an update
+    std::vector<char> reacted;       // per switch: table changed this run
+    std::vector<SimTime> react_time; // completion time of last change
+    std::vector<int> react_hops;     // farthest hops of a change
+    FailureReport report;
+  };
+
+  [[nodiscard]] RunContext make_context() const;
+  void mark_informed(RunContext& ctx, SwitchId s);
+  void mark_reaction(RunContext& ctx, SwitchId s, SimTime when, int hops);
+  /// Sends {dests, lost} from `from` to every live parent — and, in
+  /// notify_children mode, every live switch child — except `exclude`.
+  void send_notification(RunContext& ctx, SwitchId from, NodeId exclude,
+                         std::vector<DestIndex> dests, bool lost, int hops);
+  void handle_notification(RunContext& ctx, SwitchId at, SwitchId neighbor,
+                           const std::vector<DestIndex>& dests, bool lost,
+                           int hops);
+  void detect_failure(RunContext& ctx, SwitchId s, LinkId link);
+  void detect_recovery(RunContext& ctx, SwitchId s, LinkId link);
+  FailureReport finish(RunContext& ctx);
+
+  const Topology* topo_;
+  DelayModel delays_;
+  AnpOptions options_;
+  LinkStateOverlay overlay_;
+  RoutingState tables_;
+  std::vector<SwitchState> state_;  // per switch
+};
+
+}  // namespace aspen

@@ -1,0 +1,97 @@
+#include "src/proto/experiment.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/routing/packet_walk.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace aspen {
+
+std::unique_ptr<ProtocolSimulation> make_protocol(ProtocolKind kind,
+                                                  const Topology& topo,
+                                                  DelayModel delays,
+                                                  AnpOptions anp_options,
+                                                  DestGranularity granularity) {
+  if (kind == ProtocolKind::kLsp) {
+    return std::make_unique<LspSimulation>(topo, delays, granularity);
+  }
+  return std::make_unique<AnpSimulation>(topo, delays, anp_options,
+                                         granularity);
+}
+
+SingleFailureResult run_single_failure(ProtocolSimulation& proto, LinkId link,
+                                       const ExperimentOptions& options) {
+  SingleFailureResult result;
+  result.failure = proto.simulate_link_failure(link);
+
+  if (options.connectivity_flows > 0) {
+    const Topology& topo = proto.topology();
+    const TableRouter router(proto.tables());
+    if (options.connectivity_flows ==
+        std::numeric_limits<std::uint64_t>::max()) {
+      result.post_failure_delivery =
+          measure_all_pairs(topo, router, proto.overlay());
+    } else {
+      Rng rng(options.seed ^ (0x517CC1B727220A95ULL + link.value()));
+      result.post_failure_delivery = measure_sampled(
+          topo, router, proto.overlay(), options.connectivity_flows, rng);
+    }
+  }
+
+  result.recovery = proto.simulate_link_recovery(link);
+  return result;
+}
+
+SweepResult sweep_link_failures(ProtocolKind kind, const Topology& topo,
+                                const SweepOptions& options) {
+  // Candidate links: inter-switch only (host-link failures are the "1st
+  // hop" failures the paper's convergence metric excludes).
+  std::vector<Level> levels = options.levels;
+  if (levels.empty()) {
+    for (Level i = 2; i <= topo.levels(); ++i) levels.push_back(i);
+  }
+
+  Rng rng(options.seed);
+  std::vector<LinkId> candidates;
+  for (const Level level : levels) {
+    ASPEN_REQUIRE(level >= 1 && level <= topo.levels(),
+                  "sweep level out of range: ", level);
+    std::vector<LinkId> at_level = topo.links_at_level(level);
+    if (options.max_links_per_level > 0 &&
+        at_level.size() > options.max_links_per_level) {
+      rng.shuffle(at_level);
+      at_level.resize(options.max_links_per_level);
+      std::ranges::sort(at_level);
+    }
+    candidates.insert(candidates.end(), at_level.begin(), at_level.end());
+  }
+
+  auto proto = make_protocol(kind, topo, options.delays, options.anp,
+                             options.granularity);
+  const RoutingState initial_tables = proto->tables();
+
+  SweepResult sweep;
+  for (const LinkId link : candidates) {
+    const SingleFailureResult one = run_single_failure(*proto, link, options);
+    sweep.convergence_ms.add(one.failure.convergence_time_ms);
+    sweep.reacted.add(static_cast<double>(one.failure.switches_reacted));
+    sweep.informed.add(static_cast<double>(one.failure.switches_informed));
+    sweep.messages.add(static_cast<double>(one.failure.messages_sent));
+    sweep.hops.add(static_cast<double>(one.failure.max_update_hops));
+    ++sweep.failures;
+    if (one.post_failure_delivery &&
+        one.post_failure_delivery->undelivered() == 0) {
+      ++sweep.fully_restored;
+    }
+    if (options.verify_recovery_restores_tables) {
+      if (switches_with_changed_tables(initial_tables, proto->tables()) != 0) {
+        ++sweep.recovery_mismatches;
+      }
+    }
+  }
+  return sweep;
+}
+
+}  // namespace aspen

@@ -1,0 +1,90 @@
+// Failure-experiment drivers (§9.2 methodology).
+//
+// "Using the Mace simulator, we then failed each link in each tree several
+//  times and allowed the corresponding recovery protocol … to react and
+//  update switches' forwarding tables.  We recorded the minimum, maximum,
+//  and average numbers of switches involved and re-convergence times across
+//  failures for each tree."
+//
+// These drivers do the same over our DES: construct a protocol simulation,
+// fail every (or a sampled subset of) inter-switch link(s), record the
+// FailureReport distributions, optionally verify post-reaction delivery,
+// and recover the link before moving on.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "src/proto/anp.h"
+#include "src/proto/lsp.h"
+#include "src/proto/protocol.h"
+#include "src/routing/reachability.h"
+#include "src/sim/stats.h"
+#include "src/topo/topology.h"
+
+namespace aspen {
+
+/// Creates a fresh, converged protocol simulation on the intact topology.
+/// `anp_options` applies only when kind == kAnp.
+[[nodiscard]] std::unique_ptr<ProtocolSimulation> make_protocol(
+    ProtocolKind kind, const Topology& topo, DelayModel delays = {},
+    AnpOptions anp_options = {},
+    DestGranularity granularity = DestGranularity::kEdge);
+
+/// Result of one failure (and its subsequent recovery).
+struct SingleFailureResult {
+  FailureReport failure;
+  FailureReport recovery;
+  /// Present when connectivity checking was requested: delivery measured
+  /// with the protocol's post-reaction tables over the failed network.
+  std::optional<ReachabilityStats> post_failure_delivery;
+};
+
+struct ExperimentOptions {
+  DelayModel delays;
+  AnpOptions anp;  ///< used only for ANP sweeps
+  /// Table keying: kHost makes host-link ("1st hop") failures visible.
+  DestGranularity granularity = DestGranularity::kEdge;
+  /// 0 = skip delivery check; >0 = walk that many sampled flows after the
+  /// reaction; UINT64_MAX = walk every ordered host pair.
+  std::uint64_t connectivity_flows = 0;
+  std::uint64_t seed = 42;  ///< sampling seed
+};
+
+/// Fails `link`, lets the protocol react, measures, then recovers it.
+[[nodiscard]] SingleFailureResult run_single_failure(
+    ProtocolSimulation& proto, LinkId link, const ExperimentOptions& options);
+
+/// Aggregates over a sweep of single-link failures.
+struct SweepResult {
+  Summary convergence_ms;   ///< per-failure convergence times
+  Summary reacted;          ///< per-failure reacting switch counts
+  Summary informed;         ///< per-failure switches that processed updates
+  Summary messages;         ///< per-failure protocol messages
+  Summary hops;             ///< per-failure max update hop distance
+  std::uint64_t failures = 0;
+  /// Failures after which every checked flow was delivered (only counted
+  /// when connectivity checking is on).
+  std::uint64_t fully_restored = 0;
+  std::uint64_t recovery_mismatches = 0;  ///< tables not restored post-recovery
+};
+
+struct SweepOptions : ExperimentOptions {
+  /// Only fail links whose upper endpoint is at one of these levels; empty
+  /// means all levels >= 2 (host links — "1st hop failures", §9.1 footnote
+  /// 10 — are excluded by default, but may be requested explicitly with
+  /// level 1, which is only meaningful at kHost granularity).
+  std::vector<Level> levels;
+  /// Fail at most this many links per level (0 = all); sampling is
+  /// deterministic given `seed`.
+  std::uint64_t max_links_per_level = 0;
+  /// Verify that fail-then-recover restores the pre-failure tables.
+  bool verify_recovery_restores_tables = false;
+};
+
+[[nodiscard]] SweepResult sweep_link_failures(ProtocolKind kind,
+                                              const Topology& topo,
+                                              const SweepOptions& options);
+
+}  // namespace aspen

@@ -1,0 +1,157 @@
+#include "src/proto/inflight.h"
+
+#include "src/proto/experiment.h"
+#include "src/util/status.h"
+
+namespace aspen {
+
+namespace {
+
+// SplitMix64, matching the packet walker's ECMP hash.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+// Data-plane per-hop latency: propagation dominates (switching is ns).
+constexpr SimTime kHopLatency = 0.001;  // 1 µs in ms
+
+}  // namespace
+
+WalkResult walk_during_convergence(const Topology& topo,
+                                   const RoutingState& before,
+                                   const RoutingState& after,
+                                   const FailureReport& report,
+                                   const LinkStateOverlay& actual,
+                                   HostId src, HostId dst, SimTime inject_ms,
+                                   const WalkOptions& options) {
+  ASPEN_REQUIRE(report.table_change_completed.size() == topo.num_switches(),
+                "report lacks per-switch change times");
+  ASPEN_REQUIRE(before.num_dests() == after.num_dests(),
+                "before/after tables have different granularity");
+
+  WalkResult result;
+  result.path.push_back(topo.node_of(src));
+  const SwitchId dest_edge = topo.edge_switch_of(dst);
+  SimTime now = inject_ms;
+
+  const Topology::Neighbor ingress = topo.host_uplink(src);
+  if (!actual.is_up(ingress.link)) {
+    result.status = WalkStatus::kDropped;
+    result.dropped_at = SwitchId::invalid();
+    return result;
+  }
+  SwitchId at = topo.switch_of(ingress.node);
+  result.path.push_back(ingress.node);
+  result.hops = 1;
+  now += kHopLatency;
+
+  while (result.hops < options.ttl) {
+    if (at == dest_edge) {
+      const Topology::Neighbor downlink = topo.host_uplink(dst);
+      if (!actual.is_up(downlink.link)) {
+        result.status = WalkStatus::kDropped;
+        result.dropped_at = at;
+        return result;
+      }
+      result.path.push_back(topo.node_of(dst));
+      ++result.hops;
+      result.status = WalkStatus::kDelivered;
+      return result;
+    }
+
+    // The racing lookup: old entry before this switch's change completes.
+    const SimTime flipped_at = report.table_change_completed[at.value()];
+    const bool updated =
+        flipped_at != FailureReport::kNoChange && now >= flipped_at;
+    const RoutingState& view = updated ? after : before;
+    const auto& hops = view.table(at).entry(view.dest_index(dst)).next_hops;
+    if (hops.empty()) {
+      result.status = WalkStatus::kNoRoute;
+      result.dropped_at = at;
+      return result;
+    }
+
+    const std::uint64_t key =
+        mix64(options.flow_seed ^
+              (static_cast<std::uint64_t>(src.value()) << 32) ^ dst.value() ^
+              (static_cast<std::uint64_t>(at.value()) << 16));
+    const std::size_t first_choice = key % hops.size();
+
+    const Topology::Neighbor* chosen = nullptr;
+    if (options.local_link_awareness) {
+      for (std::size_t off = 0; off < hops.size(); ++off) {
+        const Topology::Neighbor& cand =
+            hops[(first_choice + off) % hops.size()];
+        if (actual.is_up(cand.link)) {
+          chosen = &cand;
+          break;
+        }
+      }
+    } else if (actual.is_up(hops[first_choice].link)) {
+      chosen = &hops[first_choice];
+    }
+    if (chosen == nullptr) {
+      result.status = WalkStatus::kDropped;
+      result.dropped_at = at;
+      return result;
+    }
+
+    result.path.push_back(chosen->node);
+    ++result.hops;
+    now += kHopLatency;
+    if (!topo.is_switch_node(chosen->node)) {
+      ASPEN_CHECK(chosen->node == topo.node_of(dst),
+                  "routed into a host that is not the destination");
+      result.status = WalkStatus::kDelivered;
+      return result;
+    }
+    at = topo.switch_of(chosen->node);
+  }
+
+  result.status = WalkStatus::kTtlExceeded;
+  result.dropped_at = at;
+  return result;
+}
+
+std::vector<WindowSample> measure_vulnerability_window(
+    const Topology& topo, const RoutingState& before,
+    const RoutingState& after, const FailureReport& report,
+    const LinkStateOverlay& actual, const std::vector<Flow>& flows,
+    const std::vector<SimTime>& sample_times_ms,
+    const WalkOptions& options) {
+  std::vector<WindowSample> curve;
+  curve.reserve(sample_times_ms.size());
+  for (const SimTime t : sample_times_ms) {
+    WindowSample sample;
+    sample.inject_ms = t;
+    for (const Flow& flow : flows) {
+      ++sample.flows;
+      const WalkResult walk =
+          walk_during_convergence(topo, before, after, report, actual,
+                                  flow.src, flow.dst, t, options);
+      if (!walk.delivered()) ++sample.lost;
+    }
+    curve.push_back(sample);
+  }
+  return curve;
+}
+
+std::vector<WindowSample> run_window_experiment(
+    ProtocolKind kind, const Topology& topo, LinkId link,
+    const std::vector<Flow>& flows,
+    const std::vector<SimTime>& sample_times_ms, DelayModel delays,
+    AnpOptions anp_options) {
+  auto proto = make_protocol(kind, topo, delays, anp_options);
+  const RoutingState before = proto->tables();
+  const FailureReport report = proto->simulate_link_failure(link);
+  const auto curve = measure_vulnerability_window(
+      topo, before, proto->tables(), report, proto->overlay(), flows,
+      sample_times_ms);
+  (void)proto->simulate_link_recovery(link);
+  return curve;
+}
+
+}  // namespace aspen

@@ -1,0 +1,153 @@
+#include "src/proto/lsp.h"
+
+#include <algorithm>
+#include <array>
+#include <functional>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace aspen {
+
+LspSimulation::LspSimulation(const Topology& topo, DelayModel delays,
+                             DestGranularity granularity)
+    : topo_(&topo),
+      delays_(delays),
+      granularity_(granularity),
+      overlay_(topo) {
+  tables_ = compute_updown_routes(topo, overlay_, granularity_);
+}
+
+FailureReport LspSimulation::simulate_link_failure(LinkId link) {
+  ASPEN_REQUIRE(overlay_.is_up(link), "link ", link.value(),
+                " is already down");
+  overlay_.fail(link);
+  return simulate_link_event(link, /*failure=*/true);
+}
+
+FailureReport LspSimulation::simulate_link_recovery(LinkId link) {
+  ASPEN_REQUIRE(!overlay_.is_up(link), "link ", link.value(),
+                " is already up");
+  overlay_.recover(link);
+  return simulate_link_event(link, /*failure=*/false);
+}
+
+FailureReport LspSimulation::simulate_link_event(LinkId link, bool) {
+  const Topology& topo = *topo_;
+
+  // Exact set of switches whose converged tables differ across the event.
+  const RoutingState after =
+      compute_updown_routes(topo, overlay_, granularity_);
+  std::vector<char> changes(topo.num_switches(), 0);
+  std::uint64_t reacted = 0;
+  for (std::uint32_t s = 0; s < topo.num_switches(); ++s) {
+    if (!(tables_.tables[s] == after.tables[s])) {
+      changes[s] = 1;
+      ++reacted;
+    }
+  }
+
+  // Flood simulation: per-switch highest sequence seen per origin (two
+  // origins per event), serialized CPUs, hop counters on LSAs.
+  Simulator sim;
+  std::vector<CpuQueue> cpus(topo.num_switches());
+  // seen[s][origin_slot]: origin_slot 0 = upper endpoint, 1 = lower.
+  std::vector<std::array<char, 2>> seen(topo.num_switches(),
+                                        std::array<char, 2>{0, 0});
+  std::vector<SimTime> table_change_time(topo.num_switches(), -1.0);
+  std::vector<int> table_change_hops(topo.num_switches(), 0);
+  FailureReport report;
+
+  // Flood `origin_slot`'s LSA out of `from` on every live link except the
+  // one it arrived on.
+  const std::function<void(SwitchId, LinkId, int, int)> flood =
+      [&](SwitchId from, LinkId arrival_link, int origin_slot, int hops) {
+        const auto forward = [&](const Topology::Neighbor& nb) {
+          if (nb.link == arrival_link) return;
+          if (!overlay_.is_up(nb.link)) return;
+          if (!topo.is_switch_node(nb.node)) return;  // hosts do not flood
+          const SwitchId dst = topo.switch_of(nb.node);
+          ++report.messages_sent;
+          sim.schedule(delays_.propagation, [&, dst, origin_slot, hops,
+                                             via = nb.link] {
+            const bool is_new = !seen[dst.value()][static_cast<std::size_t>(
+                origin_slot)];
+            const SimTime cost = is_new ? delays_.lsa_processing
+                                        : delays_.lsa_duplicate_processing;
+            const SimTime done = cpus[dst.value()].occupy(sim.now(), cost);
+            sim.schedule_at(done, [&, dst, origin_slot, hops, via] {
+              // Re-check at processing completion: a copy that raced in
+              // while this one sat on the CPU may have installed it first.
+              if (seen[dst.value()][static_cast<std::size_t>(origin_slot)]) {
+                return;
+              }
+              seen[dst.value()][static_cast<std::size_t>(origin_slot)] = 1;
+              if (changes[dst.value()] && table_change_time[dst.value()] < 0) {
+                // Routes install only after the SPF hold-down; flooding is
+                // not held (OSPF's fast-flood/slow-SPF split).
+                table_change_time[dst.value()] = sim.now() + delays_.spf_delay;
+                table_change_hops[dst.value()] = hops + 1;
+              }
+              flood(dst, via, origin_slot, hops + 1);
+            });
+          });
+        };
+        for (const Topology::Neighbor& nb : topo.up_neighbors(from)) {
+          forward(nb);
+        }
+        for (const Topology::Neighbor& nb : topo.down_neighbors(from)) {
+          forward(nb);
+        }
+      };
+
+  // Both endpoints detect the event and originate LSAs; origination itself
+  // costs one LSA processing interval (SPF on the switch's own new view).
+  const Topology::LinkRec& rec = topo.link(link);
+  const auto originate = [&](NodeId endpoint, int origin_slot) {
+    if (!topo.is_switch_node(endpoint)) return;  // host links: hosts are mute
+    const SwitchId origin = topo.switch_of(endpoint);
+    // Origination waits out the LSA-generation throttle before the CPU
+    // builds and floods the update.
+    sim.schedule(delays_.detection + delays_.lsa_generation_delay,
+                 [&, origin, origin_slot] {
+      const SimTime done =
+          cpus[origin.value()].occupy(sim.now(), delays_.lsa_processing);
+      sim.schedule_at(done, [&, origin, origin_slot] {
+        seen[origin.value()][static_cast<std::size_t>(origin_slot)] = 1;
+        if (changes[origin.value()] &&
+            table_change_time[origin.value()] < 0) {
+          table_change_time[origin.value()] = sim.now() + delays_.spf_delay;
+          table_change_hops[origin.value()] = 0;
+        }
+        flood(origin, LinkId::invalid(), origin_slot, 0);
+      });
+    });
+  };
+  originate(rec.upper, 0);
+  originate(rec.lower, 1);
+
+  report.events = sim.run();
+  report.switches_reacted = reacted;
+  for (std::uint32_t s = 0; s < topo.num_switches(); ++s) {
+    if (seen[s][0] || seen[s][1]) ++report.switches_informed;
+  }
+  report.table_change_completed.assign(topo.num_switches(),
+                                       FailureReport::kNoChange);
+  for (std::uint32_t s = 0; s < topo.num_switches(); ++s) {
+    if (changes[s]) report.table_change_completed[s] = table_change_time[s];
+  }
+  for (std::uint32_t s = 0; s < topo.num_switches(); ++s) {
+    if (!changes[s]) continue;
+    ASPEN_CHECK(table_change_time[s] >= 0.0,
+                "switch ", s, " needs new routes but never heard an LSA");
+    report.convergence_time_ms =
+        std::max(report.convergence_time_ms, table_change_time[s]);
+    report.max_update_hops =
+        std::max(report.max_update_hops, table_change_hops[s]);
+  }
+
+  tables_ = after;
+  return report;
+}
+
+}  // namespace aspen

@@ -1,0 +1,58 @@
+// LSP — a link-state protocol in the style of OSPF/IS-IS (§9.2).
+//
+// The paper's baseline: "we implemented both ANP and a link-state protocol
+// based on OSPF, which we call LSP."  On a link event both endpoints
+// originate sequence-numbered LSAs and flood them over every live link.
+// Each switch that receives a *new* LSA spends DelayModel::lsa_processing of
+// serialized CPU (SPF recomputation is folded into that constant, per the
+// paper's measurement model), installs the update, and re-floods; duplicate
+// copies cost only a sequence-number check.
+//
+// Forwarding tables are the global up*/down* shortest-path routes for the
+// switch's current view; since a single link event is fully described by
+// either endpoint's LSA, a switch's table flips to the post-event routes
+// the first time it processes a new LSA, which is when we timestamp its
+// reaction.  Which switches' tables change at all is decided exactly, by
+// diffing converged pre- and post-event routing states.
+#pragma once
+
+#include <vector>
+
+#include "src/proto/protocol.h"
+#include "src/proto/report.h"
+#include "src/routing/updown.h"
+#include "src/sim/simulator.h"
+#include "src/topo/link_state.h"
+#include "src/topo/topology.h"
+
+namespace aspen {
+
+class LspSimulation final : public ProtocolSimulation {
+ public:
+  explicit LspSimulation(const Topology& topo, DelayModel delays = {},
+                         DestGranularity granularity = DestGranularity::kEdge);
+
+  /// Fails the link and floods until quiescent.
+  FailureReport simulate_link_failure(LinkId link) override;
+
+  /// Recovers a previously failed link and floods until quiescent.
+  FailureReport simulate_link_recovery(LinkId link) override;
+
+  /// Converged forwarding tables for the current link state.
+  [[nodiscard]] const RoutingState& tables() const override { return tables_; }
+  [[nodiscard]] const LinkStateOverlay& overlay() const override {
+    return overlay_;
+  }
+  [[nodiscard]] const Topology& topology() const override { return *topo_; }
+
+ private:
+  FailureReport simulate_link_event(LinkId link, bool failure);
+
+  const Topology* topo_;
+  DelayModel delays_;
+  DestGranularity granularity_;
+  LinkStateOverlay overlay_;
+  RoutingState tables_;
+};
+
+}  // namespace aspen

@@ -1,0 +1,153 @@
+#include "src/proto/lsp_full.h"
+
+#include <algorithm>
+
+#include "src/util/status.h"
+
+namespace aspen {
+
+LspLsdbSimulation::LspLsdbSimulation(const Topology& topo, DelayModel delays,
+                                     DestGranularity granularity)
+    : topo_(&topo),
+      delays_(delays),
+      granularity_(granularity),
+      overlay_(topo) {
+  tables_ = compute_updown_routes(topo, overlay_, granularity_);
+  state_.assign(topo.num_switches(), SwitchState(topo));
+  own_seq_.assign(topo.num_switches(), 0);
+}
+
+bool LspLsdbSimulation::recompute_row(SwitchId s) {
+  // SPF over this switch's believed overlay.  Computing the full state and
+  // keeping one row is wasteful but exact; this class exists for fidelity,
+  // not speed (the fast model carries the benchmarks).
+  const RoutingState view = compute_updown_routes(
+      *topo_, state_[s.value()].believed, granularity_);
+  if (tables_.tables[s.value()] == view.tables[s.value()]) return false;
+  tables_.tables[s.value()] = view.tables[s.value()];
+  return true;
+}
+
+void LspLsdbSimulation::transmit(RunContext& ctx, SwitchId from,
+                                 const Lsa& lsa, LinkId arrival_link) {
+  const auto forward = [&](const Topology::Neighbor& nb) {
+    if (nb.link == arrival_link) return;
+    if (!overlay_.is_up(nb.link)) return;
+    if (!topo_->is_switch_node(nb.node)) return;
+    const SwitchId peer = topo_->switch_of(nb.node);
+    ++ctx.report.messages_sent;
+    Lsa hopped = lsa;
+    hopped.hops = lsa.hops + 1;
+    ctx.sim.schedule(delays_.propagation, [this, &ctx, peer, hopped,
+                                           via = nb.link] {
+      // CPU cost decided on arrival: new LSAs pay full processing (SPF
+      // folded in), stale copies only the sequence check.
+      SwitchState& st = state_[peer.value()];
+      const auto it = st.highest_seq.find(hopped.origin);
+      const bool is_new =
+          it == st.highest_seq.end() || it->second < hopped.seq;
+      const SimTime cost = is_new ? delays_.lsa_processing
+                                  : delays_.lsa_duplicate_processing;
+      const SimTime done = ctx.cpus[peer.value()].occupy(ctx.sim.now(), cost);
+      ctx.sim.schedule_at(done, [this, &ctx, peer, hopped, via] {
+        install_and_flood(ctx, peer, hopped, via);
+      });
+    });
+  };
+  for (const Topology::Neighbor& nb : topo_->up_neighbors(from)) forward(nb);
+  for (const Topology::Neighbor& nb : topo_->down_neighbors(from)) {
+    forward(nb);
+  }
+}
+
+void LspLsdbSimulation::install_and_flood(RunContext& ctx, SwitchId at,
+                                          const Lsa& lsa,
+                                          LinkId arrival_link) {
+  SwitchState& st = state_[at.value()];
+  const auto it = st.highest_seq.find(lsa.origin);
+  if (it != st.highest_seq.end() && it->second >= lsa.seq) return;  // stale
+  st.highest_seq[lsa.origin] = lsa.seq;
+  if (!ctx.informed[at.value()]) {
+    ctx.informed[at.value()] = 1;
+    ++ctx.report.switches_informed;
+  }
+
+  // Install the reported link state into this switch's believed overlay
+  // and rerun SPF — with the SPF hold-down charged to the install time.
+  const LinkId link{lsa.link};
+  if (lsa.up) {
+    st.believed.recover(link);
+  } else {
+    st.believed.fail(link);
+  }
+  if (recompute_row(at)) {
+    if (!ctx.reacted[at.value()]) {
+      ctx.reacted[at.value()] = 1;
+      ++ctx.report.switches_reacted;
+    }
+    ctx.react_time[at.value()] =
+        std::max(ctx.react_time[at.value()], ctx.sim.now() + delays_.spf_delay);
+    ctx.react_hops[at.value()] =
+        std::max(ctx.react_hops[at.value()], lsa.hops);
+  }
+  transmit(ctx, at, lsa, arrival_link);
+}
+
+FailureReport LspLsdbSimulation::simulate_link_event(LinkId link, bool up) {
+  RunContext ctx;
+  ctx.cpus.resize(topo_->num_switches());
+  ctx.informed.assign(topo_->num_switches(), 0);
+  ctx.reacted.assign(topo_->num_switches(), 0);
+  ctx.react_time.assign(topo_->num_switches(), 0.0);
+  ctx.react_hops.assign(topo_->num_switches(), 0);
+
+  const Topology::LinkRec& rec = topo_->link(link);
+  for (const NodeId endpoint : {rec.upper, rec.lower}) {
+    if (!topo_->is_switch_node(endpoint)) continue;
+    const SwitchId origin = topo_->switch_of(endpoint);
+    ctx.sim.schedule(
+        delays_.detection + delays_.lsa_generation_delay,
+        [this, &ctx, origin, link, up] {
+          const SimTime done = ctx.cpus[origin.value()].occupy(
+              ctx.sim.now(), delays_.lsa_processing);
+          ctx.sim.schedule_at(done, [this, &ctx, origin, link, up] {
+            Lsa lsa;
+            lsa.origin = origin.value();
+            lsa.seq = ++own_seq_[origin.value()];
+            lsa.link = link.value();
+            lsa.up = up;
+            lsa.hops = 0;
+            install_and_flood(ctx, origin, lsa, LinkId::invalid());
+          });
+        });
+  }
+
+  ctx.report.events = ctx.sim.run();
+  ctx.report.table_change_completed.assign(topo_->num_switches(),
+                                           FailureReport::kNoChange);
+  for (std::uint32_t s = 0; s < topo_->num_switches(); ++s) {
+    if (!ctx.reacted[s]) continue;
+    ctx.report.table_change_completed[s] = ctx.react_time[s];
+    ctx.report.convergence_time_ms =
+        std::max(ctx.report.convergence_time_ms, ctx.react_time[s]);
+    ctx.report.max_update_hops =
+        std::max(ctx.report.max_update_hops, ctx.react_hops[s]);
+  }
+  return ctx.report;
+}
+
+FailureReport LspLsdbSimulation::simulate_link_failure(LinkId link) {
+  ASPEN_REQUIRE(overlay_.is_up(link), "link ", link.value(),
+                " is already down");
+  overlay_.fail(link);
+  return simulate_link_event(link, /*up=*/false);
+}
+
+FailureReport LspLsdbSimulation::simulate_link_recovery(LinkId link) {
+  ASPEN_REQUIRE(!overlay_.is_up(link), "link ", link.value(),
+                " is already up");
+  overlay_.recover(link);
+  return simulate_link_event(link, /*up=*/true);
+}
+
+}  // namespace aspen

@@ -1,0 +1,92 @@
+// LSP, the long way: a fully distributed link-state implementation.
+//
+// LspSimulation (lsp.h) computes the post-event routing state once and uses
+// the DES only for timing — a sound shortcut because a single link event is
+// fully described by one LSA.  This class keeps no such global knowledge:
+// every switch owns
+//   * an LSDB: highest sequence number seen per origin, plus its *believed*
+//     link-state overlay assembled purely from received LSAs, and
+//   * its own forwarding row, recomputed by running SPF on its believed
+//     overlay whenever a new LSA is installed.
+// Switch views are transiently inconsistent, exactly like a real IGP; the
+// equivalence tests (tests/test_lsp_full.cpp) show the shortcut and the
+// distributed protocol converge to identical tables with identical
+// reaction sets and timing — the justification for using the fast model in
+// the Figure 10 benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/proto/protocol.h"
+#include "src/proto/report.h"
+#include "src/routing/updown.h"
+#include "src/sim/simulator.h"
+#include "src/topo/link_state.h"
+#include "src/topo/topology.h"
+
+namespace aspen {
+
+class LspLsdbSimulation final : public ProtocolSimulation {
+ public:
+  explicit LspLsdbSimulation(
+      const Topology& topo, DelayModel delays = {},
+      DestGranularity granularity = DestGranularity::kEdge);
+
+  FailureReport simulate_link_failure(LinkId link) override;
+  FailureReport simulate_link_recovery(LinkId link) override;
+
+  /// The fabric's forwarding state: each switch's self-computed row.
+  [[nodiscard]] const RoutingState& tables() const override { return tables_; }
+  [[nodiscard]] const LinkStateOverlay& overlay() const override {
+    return overlay_;
+  }
+  [[nodiscard]] const Topology& topology() const override { return *topo_; }
+
+ private:
+  struct Lsa {
+    std::uint32_t origin;  ///< switch id
+    std::uint64_t seq;
+    std::uint32_t link;    ///< the link the update describes
+    bool up;
+    int hops;              ///< distance traveled, for metrics
+  };
+
+  /// Per-switch protocol state.
+  struct SwitchState {
+    std::map<std::uint32_t, std::uint64_t> highest_seq;  ///< per origin
+    LinkStateOverlay believed;
+
+    explicit SwitchState(const Topology& topo) : believed(topo) {}
+  };
+
+  struct RunContext {
+    Simulator sim;
+    std::vector<CpuQueue> cpus;
+    std::vector<char> informed;
+    std::vector<char> reacted;
+    std::vector<SimTime> react_time;
+    std::vector<int> react_hops;
+    FailureReport report;
+  };
+
+  FailureReport simulate_link_event(LinkId link, bool up);
+  /// Recomputes `s`'s own forwarding row from its believed overlay;
+  /// returns true when the row changed.
+  bool recompute_row(SwitchId s);
+  void install_and_flood(RunContext& ctx, SwitchId at, const Lsa& lsa,
+                         LinkId arrival_link);
+  void transmit(RunContext& ctx, SwitchId from, const Lsa& lsa,
+                LinkId arrival_link);
+
+  const Topology* topo_;
+  DelayModel delays_;
+  DestGranularity granularity_;
+  LinkStateOverlay overlay_;   ///< ground truth
+  RoutingState tables_;        ///< row s computed by switch s
+  std::vector<SwitchState> state_;
+  std::vector<std::uint64_t> own_seq_;  ///< per switch, as LSA origin
+};
+
+}  // namespace aspen

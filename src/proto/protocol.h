@@ -1,0 +1,30 @@
+// Common interface over the two failure-reaction protocols, so experiment
+// drivers and tests can run LSP and ANP through identical harnesses.
+#pragma once
+
+#include "src/proto/report.h"
+#include "src/routing/fwd_table.h"
+#include "src/topo/link_state.h"
+#include "src/topo/topology.h"
+
+namespace aspen {
+
+enum class ProtocolKind { kLsp, kAnp };
+
+[[nodiscard]] constexpr const char* to_cstring(ProtocolKind kind) {
+  return kind == ProtocolKind::kLsp ? "LSP" : "ANP";
+}
+
+class ProtocolSimulation {
+ public:
+  virtual ~ProtocolSimulation() = default;
+
+  virtual FailureReport simulate_link_failure(LinkId link) = 0;
+  virtual FailureReport simulate_link_recovery(LinkId link) = 0;
+
+  [[nodiscard]] virtual const RoutingState& tables() const = 0;
+  [[nodiscard]] virtual const LinkStateOverlay& overlay() const = 0;
+  [[nodiscard]] virtual const Topology& topology() const = 0;
+};
+
+}  // namespace aspen

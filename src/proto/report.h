@@ -1,0 +1,39 @@
+// Result types shared by the LSP and ANP simulations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/simulator.h"
+
+namespace aspen {
+
+/// Outcome of simulating one link failure (or recovery) under a protocol.
+struct FailureReport {
+  /// Time from the failure until the last switch finished updating its
+  /// forwarding table (ms).  0 when the reaction was entirely local.
+  SimTime convergence_time_ms = 0.0;
+  /// Switches whose forwarding tables changed — the paper's "switches that
+  /// react to each failure" (Fig. 10(a)/(c); footnote 12: "our measurements
+  /// only attribute an LSA to a switch that changes its forwarding table").
+  std::uint64_t switches_reacted = 0;
+  /// Switches that processed at least one protocol update (new LSA or ANP
+  /// notification), whether or not their tables changed.  For LSP this is
+  /// essentially every switch (flooding); for ANP only the endpoints and
+  /// the notified ancestors.
+  std::uint64_t switches_informed = 0;
+  /// Protocol messages transmitted on links.
+  std::uint64_t messages_sent = 0;
+  /// Farthest hop distance a table-changing update traveled from the
+  /// failure (0 = purely local reaction).
+  int max_update_hops = 0;
+  /// Simulator events processed.
+  std::uint64_t events = 0;
+  /// Per-switch completion time of its (last) table change this run;
+  /// kNoChange for switches whose tables did not change.  Feeds the
+  /// in-flight window-of-vulnerability experiments (src/proto/inflight.h).
+  std::vector<SimTime> table_change_completed;
+  static constexpr SimTime kNoChange = -1.0;
+};
+
+}  // namespace aspen

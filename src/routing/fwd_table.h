@@ -1,0 +1,103 @@
+// Forwarding state for up*/down* routing.
+//
+// Destinations are keyed by *edge switch* (the L_1 switch a host attaches
+// to), mirroring the prefix-based aggregation real fabrics use (§5.3): all
+// hosts under one edge switch share forwarding entries.  Each entry is the
+// ECMP set of next hops on shortest valid up*/down* paths.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/topo/topology.h"
+#include "src/util/ids.h"
+
+namespace aspen {
+
+/// What a forwarding-table destination key denotes.
+///
+/// kEdge aggregates all hosts under one L_1 switch into a single prefix —
+/// the compact state real fabrics use (§5.3).  kHost gives every host its
+/// own entry; host ("1st hop") link failures then become visible to the
+/// routing layer, which is what the paper's "failed each link in each
+/// tree" sweeps assume.
+enum class DestGranularity { kEdge, kHost };
+
+/// Forwarding entries of a single switch: per destination edge switch, the
+/// set of usable next hops (and the path cost backing them, for protocol
+/// code that needs to compare alternatives).
+class ForwardingTable {
+ public:
+  ForwardingTable() = default;
+  explicit ForwardingTable(std::uint64_t num_edge_switches)
+      : entries_(num_edge_switches) {}
+
+  struct Entry {
+    std::vector<Topology::Neighbor> next_hops;
+    /// Hops to the destination edge switch via those next hops;
+    /// kUnreachable when next_hops is empty.
+    int cost = kUnreachable;
+    static constexpr int kUnreachable = -1;
+
+    [[nodiscard]] bool reachable() const { return !next_hops.empty(); }
+  };
+
+  [[nodiscard]] const Entry& entry(std::uint64_t dest_edge_index) const {
+    return entries_.at(dest_edge_index);
+  }
+  [[nodiscard]] Entry& entry(std::uint64_t dest_edge_index) {
+    return entries_.at(dest_edge_index);
+  }
+
+  [[nodiscard]] std::uint64_t size() const { return entries_.size(); }
+
+  /// Number of destinations currently reachable.
+  [[nodiscard]] std::uint64_t reachable_count() const {
+    std::uint64_t count = 0;
+    for (const Entry& e : entries_) {
+      if (e.reachable()) ++count;
+    }
+    return count;
+  }
+
+  friend bool operator==(const ForwardingTable&,
+                         const ForwardingTable&) = default;
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+inline bool operator==(const ForwardingTable::Entry& a,
+                       const ForwardingTable::Entry& b) {
+  return a.next_hops == b.next_hops && a.cost == b.cost;
+}
+
+/// Forwarding tables for every switch in a topology.
+struct RoutingState {
+  DestGranularity granularity = DestGranularity::kEdge;
+  /// k/2 — maps a HostId to its edge-switch prefix index under kEdge.
+  std::uint32_t hosts_per_edge = 1;
+  std::vector<ForwardingTable> tables;  ///< indexed by SwitchId
+
+  /// Table index for packets destined to `dst`.
+  [[nodiscard]] std::uint64_t dest_index(HostId dst) const {
+    return granularity == DestGranularity::kEdge
+               ? dst.value() / hosts_per_edge
+               : dst.value();
+  }
+
+  [[nodiscard]] const ForwardingTable& table(SwitchId s) const {
+    return tables.at(s.value());
+  }
+  [[nodiscard]] ForwardingTable& table(SwitchId s) {
+    return tables.at(s.value());
+  }
+
+  /// Destinations per table (S for kEdge, host count for kHost).
+  [[nodiscard]] std::uint64_t num_dests() const {
+    return tables.empty() ? 0 : tables.front().size();
+  }
+};
+
+}  // namespace aspen

@@ -1,0 +1,160 @@
+#include "src/routing/packet_walk.h"
+
+#include "src/util/status.h"
+
+namespace aspen {
+
+namespace {
+
+// SplitMix64: cheap, well-mixed hash for deterministic ECMP picks.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::vector<Topology::Neighbor> TableRouter::next_hops(SwitchId at,
+                                                       HostId dst) const {
+  return state_->table(at).entry(state_->dest_index(dst)).next_hops;
+}
+
+StructuralRouter::StructuralRouter(const Topology& topo) : topo_(&topo) {
+  const TreeParams& params = topo.params();
+  // edges_per_pod[i] = Π_{j=2..i} r_j — how many L_1 switches live under
+  // each L_i pod.  Child pod ids are blocked (Eq. 3), so "is this edge under
+  // that pod" is a range test.
+  edges_per_pod_.assign(static_cast<std::size_t>(params.n) + 1, 1);
+  for (Level i = 2; i <= params.n; ++i) {
+    const auto ui = static_cast<std::size_t>(i);
+    edges_per_pod_[ui] = edges_per_pod_[ui - 1] * params.r[ui];
+  }
+}
+
+std::vector<Topology::Neighbor> StructuralRouter::next_hops(
+    SwitchId at, HostId dst) const {
+  const Topology& topo = *topo_;
+  const std::uint64_t dest_edge_index =
+      dst.value() / (static_cast<std::uint64_t>(topo.ports()) / 2);
+  const Level level = topo.level_of(at);
+  ASPEN_REQUIRE(level >= 1, "packets are routed at switches");
+
+  if (level == 1) {
+    // Wrong edge switch: the destination is elsewhere, climb.
+    ASPEN_REQUIRE(topo.index_in_level(at) != dest_edge_index,
+                  "next_hops called at the destination edge switch");
+    return {topo.up_neighbors(at).begin(), topo.up_neighbors(at).end()};
+  }
+
+  const std::uint64_t span_here = edges_per_pod_[static_cast<std::size_t>(level)];
+  const std::uint64_t my_pod = topo.pod_of(at).value();
+  const bool descendant = dest_edge_index / span_here == my_pod;
+  if (!descendant) {
+    return {topo.up_neighbors(at).begin(), topo.up_neighbors(at).end()};
+  }
+
+  // Descend toward the child pod that owns the destination edge.
+  const std::uint64_t span_below =
+      edges_per_pod_[static_cast<std::size_t>(level) - 1];
+  const std::uint64_t target_child_pod = dest_edge_index / span_below;
+  std::vector<Topology::Neighbor> hops;
+  for (const Topology::Neighbor& nb : topo.down_neighbors(at)) {
+    const SwitchId below = topo.switch_of(nb.node);
+    if (topo.pod_of(below).value() == target_child_pod) hops.push_back(nb);
+  }
+  return hops;
+}
+
+WalkResult walk_packet(const Topology& topo, const Router& knowledge,
+                       const LinkStateOverlay& actual, HostId src, HostId dst,
+                       const WalkOptions& options) {
+  WalkResult result;
+  result.path.push_back(topo.node_of(src));
+
+  const SwitchId dest_edge = topo.edge_switch_of(dst);
+
+  // First hop: host to its edge switch.
+  const Topology::Neighbor ingress = topo.host_uplink(src);
+  if (!actual.is_up(ingress.link)) {
+    result.status = WalkStatus::kDropped;
+    result.dropped_at = SwitchId::invalid();  // died on the host link
+    return result;
+  }
+  SwitchId at = topo.switch_of(ingress.node);
+  result.path.push_back(ingress.node);
+  result.hops = 1;
+
+  while (result.hops < options.ttl) {
+    if (at == dest_edge) {
+      // Final hop: edge switch to host.
+      const Topology::Neighbor downlink = topo.host_uplink(dst);
+      if (!actual.is_up(downlink.link)) {
+        result.status = WalkStatus::kDropped;
+        result.dropped_at = at;
+        return result;
+      }
+      result.path.push_back(topo.node_of(dst));
+      ++result.hops;
+      result.status = WalkStatus::kDelivered;
+      return result;
+    }
+
+    const std::vector<Topology::Neighbor> hops = knowledge.next_hops(at, dst);
+    if (hops.empty()) {
+      result.status = WalkStatus::kNoRoute;
+      result.dropped_at = at;
+      return result;
+    }
+
+    // Deterministic ECMP pick over the offered set.
+    const std::uint64_t key =
+        mix64(options.flow_seed ^ (static_cast<std::uint64_t>(src.value()) << 32) ^
+              dst.value() ^ (static_cast<std::uint64_t>(at.value()) << 16));
+    const std::size_t first_choice = key % hops.size();
+
+    const Topology::Neighbor* chosen = nullptr;
+    if (options.local_link_awareness) {
+      // The switch sees its own dead ports: rotate from the hashed choice
+      // to the first live one.
+      for (std::size_t off = 0; off < hops.size(); ++off) {
+        const Topology::Neighbor& cand =
+            hops[(first_choice + off) % hops.size()];
+        if (actual.is_up(cand.link)) {
+          chosen = &cand;
+          break;
+        }
+      }
+      if (chosen == nullptr) {
+        result.status = WalkStatus::kDropped;
+        result.dropped_at = at;
+        return result;
+      }
+    } else {
+      chosen = &hops[first_choice];
+      if (!actual.is_up(chosen->link)) {
+        result.status = WalkStatus::kDropped;
+        result.dropped_at = at;
+        return result;
+      }
+    }
+
+    result.path.push_back(chosen->node);
+    ++result.hops;
+    if (!topo.is_switch_node(chosen->node)) {
+      // Host-granularity tables can hand us the host link directly.
+      ASPEN_CHECK(chosen->node == topo.node_of(dst),
+                  "router forwarded into a host that is not the destination");
+      result.status = WalkStatus::kDelivered;
+      return result;
+    }
+    at = topo.switch_of(chosen->node);
+  }
+
+  result.status = WalkStatus::kTtlExceeded;
+  result.dropped_at = at;
+  return result;
+}
+
+}  // namespace aspen

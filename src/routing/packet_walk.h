@@ -1,0 +1,104 @@
+// Hop-by-hop packet walking.
+//
+// A packet is forwarded by consulting a Router (the switches' *knowledge*,
+// which may be stale) while traversing links whose liveness comes from the
+// network's *actual* state.  This separation reproduces the paper's §2
+// scenario exactly: a packet is doomed the moment an upstream switch picks a
+// next hop whose every downstream path crosses a failed link the switch has
+// not yet heard about.
+//
+// Switches are aware of their own incident links (failure *detection* is
+// local even when *notification* has not propagated), so by default a switch
+// skips next hops whose first link is down and only drops when no offered
+// next hop is actually usable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/routing/fwd_table.h"
+#include "src/topo/link_state.h"
+#include "src/topo/topology.h"
+
+namespace aspen {
+
+/// Source of next-hop decisions at each switch.
+class Router {
+ public:
+  virtual ~Router() = default;
+  /// ECMP next-hop set at switch `at` for a packet destined to host `dst`.
+  /// An empty set means "no route".  Never called at the destination's
+  /// edge switch (delivery there is the walker's job).
+  [[nodiscard]] virtual std::vector<Topology::Neighbor> next_hops(
+      SwitchId at, HostId dst) const = 0;
+};
+
+/// Routes from explicit forwarding tables (e.g. what LSP converged to, or
+/// what ANP patched after a failure).
+class TableRouter final : public Router {
+ public:
+  explicit TableRouter(const RoutingState& state) : state_(&state) {}
+  [[nodiscard]] std::vector<Topology::Neighbor> next_hops(
+      SwitchId at, HostId dst) const override;
+
+ private:
+  const RoutingState* state_;
+};
+
+/// Structural router: next hops computed from the tree's shape assuming an
+/// intact network — the canonical "stale tables" of a fabric that has not
+/// re-converged.  O(k) per hop with no per-destination state, so it scales
+/// to the 64-port trees of the §1 disconnection claim.
+class StructuralRouter final : public Router {
+ public:
+  explicit StructuralRouter(const Topology& topo);
+  [[nodiscard]] std::vector<Topology::Neighbor> next_hops(
+      SwitchId at, HostId dst) const override;
+
+  /// Number of L_1 switches underneath one pod at `level`.
+  [[nodiscard]] std::uint64_t edges_per_pod(Level level) const {
+    return edges_per_pod_.at(static_cast<std::size_t>(level));
+  }
+
+ private:
+  const Topology* topo_;
+  std::vector<std::uint64_t> edges_per_pod_;  // [1..n]
+};
+
+enum class WalkStatus {
+  kDelivered,     ///< reached the destination host
+  kDropped,       ///< switch had candidate hops but every one was dead
+  kNoRoute,       ///< router returned an empty next-hop set
+  kTtlExceeded,   ///< forwarding loop or pathologically long path
+};
+
+struct WalkResult {
+  WalkStatus status = WalkStatus::kNoRoute;
+  std::vector<NodeId> path;  ///< nodes visited, starting at the source host
+  SwitchId dropped_at = SwitchId::invalid();  ///< where the packet died
+  int hops = 0;  ///< links traversed (including the final host link)
+
+  [[nodiscard]] bool delivered() const {
+    return status == WalkStatus::kDelivered;
+  }
+};
+
+struct WalkOptions {
+  /// Per-flow seed mixed into the ECMP hash; vary to explore path diversity.
+  std::uint64_t flow_seed = 0;
+  /// Max links traversed before declaring a loop.
+  int ttl = 64;
+  /// Model local failure detection: skip offered next hops whose link is
+  /// actually down, dropping only when all offered hops are dead (§6: "a
+  /// switch … can simply select an alternate upward-facing output port").
+  bool local_link_awareness = true;
+};
+
+/// Walks one packet from src to dst. `knowledge` decides, `actual` kills.
+[[nodiscard]] WalkResult walk_packet(const Topology& topo,
+                                     const Router& knowledge,
+                                     const LinkStateOverlay& actual,
+                                     HostId src, HostId dst,
+                                     const WalkOptions& options = {});
+
+}  // namespace aspen

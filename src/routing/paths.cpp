@@ -1,0 +1,103 @@
+#include "src/routing/paths.h"
+
+#include <functional>
+#include <unordered_map>
+
+#include "src/util/status.h"
+
+namespace aspen {
+
+namespace {
+
+std::uint64_t count_down_paths_memo(
+    const Topology& topo, const LinkStateOverlay& overlay, SwitchId from,
+    SwitchId to_edge, std::unordered_map<std::uint32_t, std::uint64_t>& memo) {
+  if (from == to_edge) return 1;
+  if (topo.level_of(from) == 1) return 0;
+  if (const auto it = memo.find(from.value()); it != memo.end()) {
+    return it->second;
+  }
+  std::uint64_t total = 0;
+  for (const Topology::Neighbor& nb : topo.down_neighbors(from)) {
+    if (!overlay.is_up(nb.link)) continue;
+    if (!topo.is_switch_node(nb.node)) continue;
+    total += count_down_paths_memo(topo, overlay, topo.switch_of(nb.node),
+                                   to_edge, memo);
+  }
+  memo[from.value()] = total;
+  return total;
+}
+
+}  // namespace
+
+std::uint64_t count_down_paths(const Topology& topo,
+                               const LinkStateOverlay& overlay, SwitchId from,
+                               SwitchId to_edge) {
+  ASPEN_REQUIRE(topo.level_of(to_edge) == 1,
+                "to_edge must be an L1 switch");
+  std::unordered_map<std::uint32_t, std::uint64_t> memo;
+  return count_down_paths_memo(topo, overlay, from, to_edge, memo);
+}
+
+std::vector<std::vector<NodeId>> enumerate_shortest_paths(
+    const Topology& topo, const RoutingState& routes, HostId src,
+    HostId dst) {
+  const SwitchId dest_edge = topo.edge_switch_of(dst);
+  const std::uint64_t dest_index = topo.index_in_level(dest_edge);
+
+  std::vector<std::vector<NodeId>> paths;
+  std::vector<NodeId> current{topo.node_of(src)};
+
+  // DFS over the ECMP DAG; the routing state is loop-free by construction
+  // (shortest-path costs strictly decrease along next hops), but we cap the
+  // depth defensively.
+  const int max_depth = 2 * topo.levels() + 2;
+
+  const std::function<void(SwitchId)> dfs = [&](SwitchId at) {
+    if (static_cast<int>(current.size()) > max_depth) {
+      throw AspenError("shortest-path DAG deeper than any valid path");
+    }
+    current.push_back(topo.node_of(at));
+    if (at == dest_edge) {
+      current.push_back(topo.node_of(dst));
+      paths.push_back(current);
+      current.pop_back();
+    } else {
+      for (const Topology::Neighbor& nb :
+           routes.table(at).entry(dest_index).next_hops) {
+        dfs(topo.switch_of(nb.node));
+      }
+    }
+    current.pop_back();
+  };
+
+  dfs(topo.switch_of(topo.host_uplink(src).node));
+  return paths;
+}
+
+std::uint64_t count_shortest_paths(const Topology& topo,
+                                   const RoutingState& routes, HostId src,
+                                   HostId dst) {
+  const SwitchId dest_edge = topo.edge_switch_of(dst);
+  const std::uint64_t dest_index = topo.index_in_level(dest_edge);
+
+  std::unordered_map<std::uint32_t, std::uint64_t> memo;
+  const std::function<std::uint64_t(SwitchId)> count =
+      [&](SwitchId at) -> std::uint64_t {
+    if (at == dest_edge) return 1;
+    if (const auto it = memo.find(at.value()); it != memo.end()) {
+      return it->second;
+    }
+    std::uint64_t total = 0;
+    for (const Topology::Neighbor& nb :
+         routes.table(at).entry(dest_index).next_hops) {
+      total += count(topo.switch_of(nb.node));
+    }
+    memo[at.value()] = total;
+    return total;
+  };
+
+  return count(topo.switch_of(topo.host_uplink(src).node));
+}
+
+}  // namespace aspen

@@ -1,0 +1,39 @@
+// Path counting and enumeration.
+//
+// The DCC "counts distinct paths from an L_n switch to an L_1 switch" (§5.2
+// footnote 8); this module verifies that property on built graphs and
+// enumerates the ECMP shortest-path DAG between host pairs — the paper's
+// "diverse yet short paths" (§1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/routing/fwd_table.h"
+#include "src/topo/link_state.h"
+#include "src/topo/topology.h"
+
+namespace aspen {
+
+/// Number of distinct all-downward link paths from `from` to the edge
+/// switch `to_edge` over live links.  A descent from L_i to L_1 multiplies
+/// one factor of c_j per level crossed, so for an intact tree and any
+/// (L_n switch, descendant edge switch) pair the count is Π_{j=2..n} c_j —
+/// exactly the DCC.
+[[nodiscard]] std::uint64_t count_down_paths(const Topology& topo,
+                                             const LinkStateOverlay& overlay,
+                                             SwitchId from, SwitchId to_edge);
+
+/// All distinct switch-level paths from src to dst host along the shortest
+/// up*/down* DAG encoded in `routes`.  Paths are returned as node
+/// sequences including the two hosts.  Exponential in path diversity —
+/// intended for small trees and tests.
+[[nodiscard]] std::vector<std::vector<NodeId>> enumerate_shortest_paths(
+    const Topology& topo, const RoutingState& routes, HostId src, HostId dst);
+
+/// Number of such paths without materializing them (DP over the DAG).
+[[nodiscard]] std::uint64_t count_shortest_paths(const Topology& topo,
+                                                 const RoutingState& routes,
+                                                 HostId src, HostId dst);
+
+}  // namespace aspen

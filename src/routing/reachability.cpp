@@ -1,0 +1,109 @@
+#include "src/routing/reachability.h"
+
+#include <unordered_set>
+
+#include "src/util/status.h"
+
+namespace aspen {
+
+namespace {
+
+class StatsAccumulator {
+ public:
+  void record(HostId dst, const WalkResult& walk) {
+    ++stats_.flows;
+    switch (walk.status) {
+      case WalkStatus::kDelivered:
+        ++stats_.delivered;
+        total_hops_ += static_cast<std::uint64_t>(walk.hops);
+        return;
+      case WalkStatus::kDropped:
+        ++stats_.dropped;
+        break;
+      case WalkStatus::kNoRoute:
+        ++stats_.no_route;
+        break;
+      case WalkStatus::kTtlExceeded:
+        ++stats_.looped;
+        break;
+    }
+    affected_.insert(dst.value());
+  }
+
+  [[nodiscard]] ReachabilityStats finish() {
+    stats_.affected_destinations = affected_.size();
+    stats_.average_hops =
+        stats_.delivered == 0
+            ? 0.0
+            : static_cast<double>(total_hops_) /
+                  static_cast<double>(stats_.delivered);
+    return stats_;
+  }
+
+ private:
+  ReachabilityStats stats_;
+  std::uint64_t total_hops_ = 0;
+  std::unordered_set<std::uint32_t> affected_;
+};
+
+}  // namespace
+
+ReachabilityStats measure_all_pairs(const Topology& topo,
+                                    const Router& knowledge,
+                                    const LinkStateOverlay& actual,
+                                    const WalkOptions& options) {
+  StatsAccumulator acc;
+  const auto hosts = static_cast<std::uint32_t>(topo.num_hosts());
+  for (std::uint32_t s = 0; s < hosts; ++s) {
+    for (std::uint32_t d = 0; d < hosts; ++d) {
+      if (s == d) continue;
+      const HostId src{s};
+      const HostId dst{d};
+      acc.record(dst, walk_packet(topo, knowledge, actual, src, dst, options));
+    }
+  }
+  return acc.finish();
+}
+
+ReachabilityStats measure_sampled(const Topology& topo,
+                                  const Router& knowledge,
+                                  const LinkStateOverlay& actual,
+                                  std::uint64_t num_flows, Rng& rng,
+                                  const WalkOptions& options) {
+  ASPEN_REQUIRE(topo.num_hosts() >= 2, "sampling needs at least two hosts");
+  StatsAccumulator acc;
+  for (std::uint64_t i = 0; i < num_flows; ++i) {
+    const auto s = static_cast<std::uint32_t>(rng.index(topo.num_hosts()));
+    auto d = static_cast<std::uint32_t>(rng.index(topo.num_hosts() - 1));
+    if (d >= s) ++d;  // uniform over dst != src
+    const HostId src{s};
+    const HostId dst{d};
+    acc.record(dst, walk_packet(topo, knowledge, actual, src, dst, options));
+  }
+  return acc.finish();
+}
+
+ReachabilityStats measure_to_edge_range(const Topology& topo,
+                                        const Router& knowledge,
+                                        const LinkStateOverlay& actual,
+                                        std::uint64_t first_edge,
+                                        std::uint64_t last_edge,
+                                        const WalkOptions& options) {
+  ASPEN_REQUIRE(first_edge <= last_edge && last_edge < topo.params().S,
+                "edge range out of bounds");
+  StatsAccumulator acc;
+  const auto hosts = static_cast<std::uint32_t>(topo.num_hosts());
+  for (std::uint64_t e = first_edge; e <= last_edge; ++e) {
+    for (HostId dst : topo.hosts_of_edge(topo.switch_at(1, e))) {
+      for (std::uint32_t s = 0; s < hosts; ++s) {
+        const HostId src{s};
+        if (src == dst) continue;
+        acc.record(dst,
+                   walk_packet(topo, knowledge, actual, src, dst, options));
+      }
+    }
+  }
+  return acc.finish();
+}
+
+}  // namespace aspen

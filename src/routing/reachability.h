@@ -1,0 +1,61 @@
+// Reachability measurement over packet walks.
+//
+// Quantifies the paper's core complaint (§1, §2): during the window between
+// a failure and re-convergence, stale routes doom packets to entire sets of
+// destination hosts.  `measure_reachability` walks flows between host pairs
+// and aggregates delivery statistics, including the number of *destination
+// hosts* with at least one doomed flow — the "logically disconnected" host
+// count of the paper's 1,024-host example.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/routing/packet_walk.h"
+#include "src/topo/link_state.h"
+#include "src/topo/topology.h"
+#include "src/util/rng.h"
+
+namespace aspen {
+
+struct ReachabilityStats {
+  std::uint64_t flows = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t no_route = 0;
+  std::uint64_t looped = 0;
+  double average_hops = 0.0;  ///< over delivered flows
+  /// Destination hosts with at least one undelivered flow.
+  std::uint64_t affected_destinations = 0;
+
+  [[nodiscard]] std::uint64_t undelivered() const {
+    return flows - delivered;
+  }
+  [[nodiscard]] double delivery_rate() const {
+    return flows == 0 ? 1.0 : static_cast<double>(delivered) /
+                                  static_cast<double>(flows);
+  }
+};
+
+/// Walks every ordered host pair (src != dst).  Quadratic in host count —
+/// intended for trees up to a few hundred hosts.
+[[nodiscard]] ReachabilityStats measure_all_pairs(
+    const Topology& topo, const Router& knowledge,
+    const LinkStateOverlay& actual, const WalkOptions& options = {});
+
+/// Walks `num_flows` uniformly random (src, dst) pairs; scales to large
+/// trees.  Deterministic given the Rng seed.
+[[nodiscard]] ReachabilityStats measure_sampled(
+    const Topology& topo, const Router& knowledge,
+    const LinkStateOverlay& actual, std::uint64_t num_flows, Rng& rng,
+    const WalkOptions& options = {});
+
+/// Walks all flows from every host to every host attached to edge switches
+/// in [first_edge, last_edge] — used to probe a specific pod's destinations.
+[[nodiscard]] ReachabilityStats measure_to_edge_range(
+    const Topology& topo, const Router& knowledge,
+    const LinkStateOverlay& actual, std::uint64_t first_edge,
+    std::uint64_t last_edge, const WalkOptions& options = {});
+
+}  // namespace aspen

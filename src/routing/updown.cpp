@@ -1,0 +1,149 @@
+#include "src/routing/updown.h"
+
+#include <limits>
+
+#include "src/util/status.h"
+
+namespace aspen {
+
+namespace {
+
+constexpr int kInf = std::numeric_limits<int>::max() / 2;
+
+// Fills the tables of every switch for one destination.  For edge
+// granularity the destination is the edge switch itself (base cost 0 at the
+// edge); for host granularity it is one host, whose (possibly failed) host
+// link adds a final hop below the edge switch.
+void route_one_destination(const Topology& topo,
+                           const LinkStateOverlay& overlay,
+                           SwitchId dest_edge, std::uint64_t dest_index,
+                           const Topology::Neighbor* host_link,
+                           RoutingState& state) {
+  const std::uint64_t num_switches = topo.num_switches();
+  const bool host_reachable =
+      host_link == nullptr || overlay.is_up(host_link->link);
+
+  // Phase 1 — downward reachability.  Any all-downward path from level i to
+  // the destination edge (level 1) has exactly i−1 hops, so we only track
+  // *whether* a switch reaches the destination going strictly down.
+  std::vector<char> down_reach(num_switches, 0);
+  if (host_reachable) down_reach[dest_edge.value()] = 1;
+  for (Level i = 2; i <= topo.levels(); ++i) {
+    for (std::uint64_t idx = 0; idx < topo.params().switches_at_level(i);
+         ++idx) {
+      const SwitchId s = topo.switch_at(i, idx);
+      for (const Topology::Neighbor& nb : topo.down_neighbors(s)) {
+        if (!overlay.is_up(nb.link)) continue;
+        if (!topo.is_switch_node(nb.node)) continue;
+        if (down_reach[nb.node.value()]) {
+          down_reach[s.value()] = 1;
+          break;
+        }
+      }
+    }
+  }
+
+  // Extra hop for the host link in host granularity.
+  const int base = host_link != nullptr ? 1 : 0;
+
+  // Phase 2 — best valid up*/down* cost, processed top level first so each
+  // switch can consult its parents' already-final costs.
+  std::vector<int> best(num_switches, kInf);
+  for (Level i = topo.levels(); i >= 1; --i) {
+    for (std::uint64_t idx = 0; idx < topo.params().switches_at_level(i);
+         ++idx) {
+      const SwitchId s = topo.switch_at(i, idx);
+      ForwardingTable::Entry& entry = state.table(s).entry(dest_index);
+      entry.next_hops.clear();
+      entry.cost = ForwardingTable::Entry::kUnreachable;
+
+      if (down_reach[s.value()]) {
+        best[s.value()] = i - 1 + base;
+        if (s == dest_edge) {
+          if (host_link != nullptr) {
+            // Host granularity: the final hop is the host link itself.
+            entry.next_hops.push_back(*host_link);
+            entry.cost = 1;
+          } else {
+            // Edge granularity: local delivery, no switch next hop.
+            entry.cost = 0;
+          }
+          continue;
+        }
+        for (const Topology::Neighbor& nb : topo.down_neighbors(s)) {
+          if (!overlay.is_up(nb.link)) continue;
+          if (!topo.is_switch_node(nb.node)) continue;
+          if (down_reach[nb.node.value()]) entry.next_hops.push_back(nb);
+        }
+        entry.cost = best[s.value()];
+        continue;
+      }
+
+      // Must climb: ECMP over parents with the minimal best cost.
+      int min_parent = kInf;
+      for (const Topology::Neighbor& nb : topo.up_neighbors(s)) {
+        if (!overlay.is_up(nb.link)) continue;
+        min_parent = std::min(min_parent, best[nb.node.value()]);
+      }
+      if (min_parent >= kInf) continue;  // destination unreachable from s
+      best[s.value()] = 1 + min_parent;
+      for (const Topology::Neighbor& nb : topo.up_neighbors(s)) {
+        if (!overlay.is_up(nb.link)) continue;
+        if (best[nb.node.value()] == min_parent) entry.next_hops.push_back(nb);
+      }
+      entry.cost = best[s.value()];
+    }
+  }
+}
+
+}  // namespace
+
+RoutingState compute_updown_routes(const Topology& topo,
+                                   const LinkStateOverlay& overlay,
+                                   DestGranularity granularity) {
+  RoutingState state;
+  state.granularity = granularity;
+  state.hosts_per_edge = static_cast<std::uint32_t>(topo.ports()) / 2;
+  const std::uint64_t num_dests = granularity == DestGranularity::kEdge
+                                      ? topo.params().S
+                                      : topo.num_hosts();
+  state.tables.assign(topo.num_switches(), ForwardingTable(num_dests));
+  for (std::uint64_t dest = 0; dest < num_dests; ++dest) {
+    if (granularity == DestGranularity::kEdge) {
+      route_one_destination(topo, overlay, topo.switch_at(1, dest), dest,
+                            nullptr, state);
+    } else {
+      const HostId host{static_cast<std::uint32_t>(dest)};
+      const Topology::Neighbor uplink = topo.host_uplink(host);
+      // The host's entry is keyed on the *downlink* direction: the same
+      // physical link, seen from the edge switch.
+      const Topology::Neighbor downlink{topo.node_of(host), uplink.link};
+      route_one_destination(topo, overlay, topo.edge_switch_of(host), dest,
+                            &downlink, state);
+    }
+  }
+  return state;
+}
+
+RoutingState compute_updown_routes(const Topology& topo,
+                                   const LinkStateOverlay& overlay) {
+  return compute_updown_routes(topo, overlay, DestGranularity::kEdge);
+}
+
+RoutingState compute_updown_routes(const Topology& topo) {
+  return compute_updown_routes(topo, LinkStateOverlay(topo),
+                               DestGranularity::kEdge);
+}
+
+std::uint64_t switches_with_changed_tables(const RoutingState& before,
+                                           const RoutingState& after) {
+  ASPEN_REQUIRE(before.tables.size() == after.tables.size(),
+                "routing states describe different topologies");
+  std::uint64_t changed = 0;
+  for (std::size_t s = 0; s < before.tables.size(); ++s) {
+    if (!(before.tables[s] == after.tables[s])) ++changed;
+  }
+  return changed;
+}
+
+}  // namespace aspen

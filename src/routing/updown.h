@@ -1,0 +1,37 @@
+// Global-knowledge up*/down* shortest-path route computation.
+//
+// This is the routing function a converged link-state protocol (OSPF/IS-IS,
+// or our LSP) computes: for every switch and every destination edge switch,
+// the ECMP set of next hops on shortest *valid* paths — paths that climb
+// zero or more levels and then descend, never turning upward again (§3, §6).
+//
+// The computation respects a LinkStateOverlay, so the same function yields
+// pre-failure routes (intact overlay) and post-convergence routes (overlay
+// with failures applied); diffing the two identifies exactly which switches
+// a failure forces to update — the paper's "switches that react" metric.
+#pragma once
+
+#include "src/routing/fwd_table.h"
+#include "src/topo/link_state.h"
+#include "src/topo/topology.h"
+
+namespace aspen {
+
+/// Computes up*/down* shortest-path forwarding tables for every switch,
+/// using only links that are up in `overlay`.  `granularity` keys the
+/// tables by edge switch (compact prefixes, the default) or by individual
+/// host (making host-link failures routing-visible).
+[[nodiscard]] RoutingState compute_updown_routes(const Topology& topo,
+                                                 const LinkStateOverlay& overlay,
+                                                 DestGranularity granularity);
+[[nodiscard]] RoutingState compute_updown_routes(const Topology& topo,
+                                                 const LinkStateOverlay& overlay);
+
+/// Convenience: routes over the intact topology, edge granularity.
+[[nodiscard]] RoutingState compute_updown_routes(const Topology& topo);
+
+/// Number of switches whose forwarding table differs between two states.
+[[nodiscard]] std::uint64_t switches_with_changed_tables(
+    const RoutingState& before, const RoutingState& after);
+
+}  // namespace aspen

@@ -1,0 +1,40 @@
+#include "src/sim/simulator.h"
+
+#include <utility>
+
+namespace aspen {
+
+void Simulator::schedule(SimTime delay, std::function<void()> action) {
+  ASPEN_REQUIRE(delay >= 0.0, "cannot schedule into the past (delay=", delay,
+                ")");
+  schedule_at(now_ + delay, std::move(action));
+}
+
+void Simulator::schedule_at(SimTime when, std::function<void()> action) {
+  ASPEN_REQUIRE(when >= now_, "cannot schedule into the past (when=", when,
+                ", now=", now_, ")");
+  queue_.push(Event{when, next_seq_++, std::move(action)});
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // Move the action out before popping so the event can schedule others.
+  Event event = queue_.top();
+  queue_.pop();
+  now_ = event.time;
+  ++events_processed_;
+  event.action();
+  return true;
+}
+
+std::uint64_t Simulator::run(std::uint64_t max_events) {
+  const std::uint64_t start = events_processed_;
+  while (step()) {
+    ASPEN_CHECK(events_processed_ - start <= max_events,
+                "simulation exceeded ", max_events,
+                " events — runaway protocol?");
+  }
+  return events_processed_ - start;
+}
+
+}  // namespace aspen

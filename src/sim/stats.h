@@ -1,0 +1,36 @@
+// Aggregation helpers for simulation metrics.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace aspen {
+
+/// Running min/max/mean over a stream of samples.
+class Summary {
+ public:
+  void add(double value) {
+    ++count_;
+    total_ += value;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double mean() const {
+    return count_ == 0 ? 0.0 : total_ / static_cast<double>(count_);
+  }
+  [[nodiscard]] double min() const { return count_ == 0 ? 0.0 : min_; }
+  [[nodiscard]] double max() const { return count_ == 0 ? 0.0 : max_; }
+  [[nodiscard]] double total() const { return total_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double total_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace aspen

@@ -1,0 +1,67 @@
+#include "src/topo/export.h"
+
+#include <sstream>
+
+namespace aspen {
+
+namespace {
+
+std::string node_name(const Topology& topo, NodeId node) {
+  return topo.is_switch_node(node) ? to_string(topo.switch_of(node))
+                                   : to_string(topo.host_of(node));
+}
+
+}  // namespace
+
+std::string to_dot(const Topology& topo, const DotOptions& options) {
+  std::ostringstream os;
+  os << "graph aspen {\n";
+  os << "  // " << topo.describe() << "\n";
+  os << "  node [shape=box];\n";
+
+  if (options.rank_by_level) {
+    for (Level i = topo.levels(); i >= 1; --i) {
+      os << "  { rank=same; ";
+      for (std::uint64_t idx = 0;
+           idx < topo.params().switches_at_level(i); ++idx) {
+        os << to_string(topo.switch_at(i, idx)) << "; ";
+      }
+      os << "}\n";
+    }
+    if (options.include_hosts) {
+      os << "  { rank=same; ";
+      for (std::uint32_t h = 0; h < topo.num_hosts(); ++h) {
+        os << to_string(HostId{h}) << "; ";
+      }
+      os << "}\n";
+    }
+  }
+  if (options.include_hosts) {
+    for (std::uint32_t h = 0; h < topo.num_hosts(); ++h) {
+      os << "  " << to_string(HostId{h}) << " [shape=ellipse];\n";
+    }
+  }
+
+  for (std::uint32_t id = 0; id < topo.num_links(); ++id) {
+    const Topology::LinkRec& link = topo.link(LinkId{id});
+    const bool host_link = !topo.is_switch_node(link.lower);
+    if (host_link && !options.include_hosts) continue;
+    os << "  " << node_name(topo, link.upper) << " -- "
+       << node_name(topo, link.lower) << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_csv(const Topology& topo) {
+  std::ostringstream os;
+  os << "link_id,upper,lower,level\n";
+  for (std::uint32_t id = 0; id < topo.num_links(); ++id) {
+    const Topology::LinkRec& link = topo.link(LinkId{id});
+    os << id << ',' << node_name(topo, link.upper) << ','
+       << node_name(topo, link.lower) << ',' << link.upper_level << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace aspen

@@ -1,0 +1,27 @@
+// Topology export: Graphviz DOT and CSV edge lists.
+//
+// Handy for eyeballing small trees (the paper's Figs. 1–6 are all drawable
+// this way) and for feeding external analysis tools.
+#pragma once
+
+#include <string>
+
+#include "src/topo/topology.h"
+
+namespace aspen {
+
+struct DotOptions {
+  bool include_hosts = true;
+  /// Rank switches by level (top level at the top of the drawing).
+  bool rank_by_level = true;
+};
+
+/// Renders the topology as a Graphviz graph.
+[[nodiscard]] std::string to_dot(const Topology& topo,
+                                 const DotOptions& options = {});
+
+/// One line per link: "link_id,upper,lower,level".  Host links list the
+/// host as "hN"; switch endpoints as "sN".
+[[nodiscard]] std::string to_csv(const Topology& topo);
+
+}  // namespace aspen

@@ -1,0 +1,137 @@
+#include "src/topo/import.h"
+
+#include <sstream>
+
+#include "src/util/status.h"
+
+namespace aspen {
+
+Topology build_custom_topology(const TreeParams& params,
+                               const std::vector<LinkSpec>& links) {
+  params.validate();
+  ASPEN_REQUIRE(links.size() == params.total_links(), "expected ",
+                params.total_links(), " links, got ", links.size());
+
+  Topology t;
+  t.params_ = params;
+  t.striping_ = StripingConfig{};  // label only; wiring is explicit
+  t.num_switches_ = params.total_switches();
+  t.num_hosts_ = params.num_hosts();
+
+  t.level_offset_.assign(static_cast<std::size_t>(params.n) + 1, 0);
+  std::uint64_t offset = 0;
+  for (Level i = 1; i <= params.n; ++i) {
+    t.level_offset_[static_cast<std::size_t>(i)] = offset;
+    offset += params.switches_at_level(i);
+  }
+  t.switch_level_.resize(t.num_switches_);
+  for (Level i = 1; i <= params.n; ++i) {
+    const std::uint64_t base = t.level_offset_[static_cast<std::size_t>(i)];
+    for (std::uint64_t j = 0; j < params.switches_at_level(i); ++j) {
+      t.switch_level_[base + j] = i;
+    }
+  }
+
+  t.up_.resize(t.num_switches_);
+  t.down_.resize(t.num_switches_);
+  t.host_up_.resize(t.num_hosts_);
+
+  std::vector<char> host_wired(t.num_hosts_, 0);
+  for (const LinkSpec& spec : links) {
+    ASPEN_REQUIRE(spec.upper.value() < t.num_switches_,
+                  "upper switch out of range");
+    const Level upper_level = t.switch_level_[spec.upper.value()];
+    const LinkId id{static_cast<std::uint32_t>(t.links_.size())};
+    const NodeId upper_node = t.node_of(spec.upper);
+
+    if (spec.lower_is_host) {
+      ASPEN_REQUIRE(upper_level == 1, "hosts attach only to L1 switches");
+      const HostId host{spec.lower};
+      ASPEN_REQUIRE(host.value() < t.num_hosts_, "host out of range");
+      ASPEN_REQUIRE(!host_wired[host.value()], "host ", host.value(),
+                    " wired twice");
+      ASPEN_REQUIRE(t.edge_switch_of(host) == spec.upper,
+                    "host ", host.value(),
+                    " must attach to its numbering edge switch");
+      host_wired[host.value()] = 1;
+      const NodeId host_node = t.node_of(host);
+      t.links_.push_back(Topology::LinkRec{upper_node, host_node, 1});
+      t.down_[spec.upper.value()].push_back(
+          Topology::Neighbor{host_node, id});
+      t.host_up_[host.value()] = Topology::Neighbor{upper_node, id};
+      continue;
+    }
+
+    const SwitchId lower{spec.lower};
+    ASPEN_REQUIRE(lower.value() < t.num_switches_,
+                  "lower switch out of range");
+    ASPEN_REQUIRE(t.switch_level_[lower.value()] == upper_level - 1,
+                  "links must connect adjacent levels (", upper_level,
+                  " vs ", t.switch_level_[lower.value()], ")");
+    const NodeId lower_node = t.node_of(lower);
+    t.links_.push_back(
+        Topology::LinkRec{upper_node, lower_node, upper_level});
+    t.down_[spec.upper.value()].push_back(
+        Topology::Neighbor{lower_node, id});
+    t.up_[lower.value()].push_back(Topology::Neighbor{upper_node, id});
+  }
+
+  // Port budgets: every switch must use exactly k ports, every host one.
+  for (std::uint32_t v = 0; v < t.num_switches_; ++v) {
+    const std::uint64_t used = t.up_[v].size() + t.down_[v].size();
+    ASPEN_REQUIRE(used == static_cast<std::uint64_t>(params.k),
+                  "switch ", v, " uses ", used, " ports, expected ",
+                  params.k);
+  }
+  for (std::uint32_t h = 0; h < t.num_hosts_; ++h) {
+    ASPEN_REQUIRE(host_wired[h], "host ", h, " is not wired");
+  }
+  return t;
+}
+
+std::vector<LinkSpec> parse_links_csv(const std::string& csv) {
+  std::vector<LinkSpec> links;
+  std::istringstream is(csv);
+  std::string line;
+  bool first = true;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (first) {
+      first = false;
+      ASPEN_REQUIRE(line.rfind("link_id,", 0) == 0,
+                    "missing CSV header: '", line, "'");
+      continue;
+    }
+    // Format: link_id,upper,lower,level — endpoints like "s12" / "h3".
+    std::istringstream cells(line);
+    std::string id_cell;
+    std::string upper_cell;
+    std::string lower_cell;
+    std::string level_cell;
+    ASPEN_REQUIRE(std::getline(cells, id_cell, ',') &&
+                      std::getline(cells, upper_cell, ',') &&
+                      std::getline(cells, lower_cell, ',') &&
+                      std::getline(cells, level_cell, ','),
+                  "malformed CSV row: '", line, "'");
+    ASPEN_REQUIRE(!upper_cell.empty() && upper_cell[0] == 's',
+                  "upper endpoint must be a switch: '", upper_cell, "'");
+    ASPEN_REQUIRE(!lower_cell.empty() &&
+                      (lower_cell[0] == 's' || lower_cell[0] == 'h'),
+                  "bad lower endpoint: '", lower_cell, "'");
+    LinkSpec spec;
+    spec.upper = SwitchId{static_cast<std::uint32_t>(
+        std::stoul(upper_cell.substr(1)))};
+    spec.lower =
+        static_cast<std::uint32_t>(std::stoul(lower_cell.substr(1)));
+    spec.lower_is_host = lower_cell[0] == 'h';
+    links.push_back(spec);
+  }
+  return links;
+}
+
+Topology import_topology_csv(const TreeParams& params,
+                             const std::string& csv) {
+  return build_custom_topology(params, parse_links_csv(csv));
+}
+
+}  // namespace aspen

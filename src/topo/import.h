@@ -1,0 +1,43 @@
+// Topology import: rebuild a Topology from an explicit link list.
+//
+// Round-trips the CSV produced by export.h and, more importantly, admits
+// *arbitrary* wirings — including ones our generator would never produce,
+// like the disconnected striping of Fig. 6(c).  That is exactly what the
+// §7 validator exists to catch, so import + validate is the supported path
+// for auditing externally-designed fabrics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/aspen/tree_params.h"
+#include "src/topo/topology.h"
+
+namespace aspen {
+
+/// One link of a custom wiring: the upper endpoint is always a switch; the
+/// lower endpoint is a switch one level down, or a host for L1 links.
+struct LinkSpec {
+  SwitchId upper;
+  /// Lower endpoint: a switch id, or a host id when `lower_is_host`.
+  std::uint32_t lower = 0;
+  bool lower_is_host = false;
+};
+
+/// Builds a topology with the given explicit link list instead of a
+/// striping policy.  Level structure, pod arithmetic and node numbering
+/// follow `params`; the link list must have exactly params.total_links()
+/// entries, connect adjacent levels only, and respect every port budget.
+/// Wirings that violate the paper's *structural* constraints (pods,
+/// coverage, §7) are accepted here and flagged by validate_topology().
+[[nodiscard]] Topology build_custom_topology(
+    const TreeParams& params, const std::vector<LinkSpec>& links);
+
+/// Parses the CSV format emitted by to_csv() back into a link list.
+[[nodiscard]] std::vector<LinkSpec> parse_links_csv(const std::string& csv);
+
+/// Convenience: to_csv → parse → build.
+[[nodiscard]] Topology import_topology_csv(const TreeParams& params,
+                                           const std::string& csv);
+
+}  // namespace aspen

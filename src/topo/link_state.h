@@ -1,0 +1,61 @@
+// Dynamic link up/down state, layered over an immutable Topology.
+//
+// "The tree consists of a relatively stable set of deployed physical links,
+//  and a subset of these links are up and available at any given time" (§6).
+// Keeping liveness separate from structure lets one built topology serve
+// many failure experiments, and lets a router's *knowledge* of the network
+// (possibly stale) be a different overlay than the network's actual state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/topo/topology.h"
+#include "src/util/ids.h"
+
+namespace aspen {
+
+class LinkStateOverlay {
+ public:
+  /// All links initially up.
+  explicit LinkStateOverlay(const Topology& topo)
+      : up_(topo.num_links(), true) {}
+
+  [[nodiscard]] bool is_up(LinkId id) const { return up_.at(id.value()); }
+
+  /// Marks a link failed; idempotent. Returns true if state changed.
+  bool fail(LinkId id) {
+    const bool was_up = up_.at(id.value());
+    up_[id.value()] = false;
+    return was_up;
+  }
+
+  /// Marks a link recovered; idempotent. Returns true if state changed.
+  bool recover(LinkId id) {
+    const bool was_up = up_.at(id.value());
+    up_[id.value()] = true;
+    return !was_up;
+  }
+
+  /// Restores every link to up.
+  void recover_all() { up_.assign(up_.size(), true); }
+
+  [[nodiscard]] std::vector<LinkId> failed_links() const {
+    std::vector<LinkId> failed;
+    for (std::uint32_t id = 0; id < up_.size(); ++id) {
+      if (!up_[id]) failed.push_back(LinkId{id});
+    }
+    return failed;
+  }
+
+  [[nodiscard]] std::uint64_t num_failed() const {
+    std::uint64_t count = 0;
+    for (bool b : up_) count += b ? 0 : 1;
+    return count;
+  }
+
+ private:
+  std::vector<bool> up_;
+};
+
+}  // namespace aspen

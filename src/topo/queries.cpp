@@ -1,0 +1,115 @@
+#include "src/topo/queries.h"
+
+#include <algorithm>
+
+#include "src/util/status.h"
+
+namespace aspen {
+
+namespace {
+
+// Walks up or down from `s` to `target_level`, collecting the frontier.
+std::vector<SwitchId> walk(const Topology& topo, SwitchId s,
+                           Level target_level, bool upward) {
+  const Level start = topo.level_of(s);
+  ASPEN_REQUIRE(upward ? target_level > start : target_level < start,
+                "walk target level ", target_level,
+                " not strictly ", upward ? "above" : "below", " level ",
+                start);
+  ASPEN_REQUIRE(target_level >= 1 && target_level <= topo.levels(),
+                "target level out of range");
+
+  std::vector<SwitchId> frontier{s};
+  for (Level lvl = start; lvl != target_level; upward ? ++lvl : --lvl) {
+    std::vector<SwitchId> next;
+    for (SwitchId cur : frontier) {
+      const auto neighbors =
+          upward ? topo.up_neighbors(cur) : topo.down_neighbors(cur);
+      for (const Topology::Neighbor& nb : neighbors) {
+        if (!topo.is_switch_node(nb.node)) continue;  // skip hosts
+        next.push_back(topo.switch_of(nb.node));
+      }
+    }
+    std::ranges::sort(next);
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+    frontier = std::move(next);
+  }
+  return frontier;
+}
+
+}  // namespace
+
+std::vector<SwitchId> ancestors_at_level(const Topology& topo, SwitchId s,
+                                         Level level) {
+  return walk(topo, s, level, /*upward=*/true);
+}
+
+std::vector<SwitchId> descendants_at_level(const Topology& topo, SwitchId s,
+                                           Level level) {
+  return walk(topo, s, level, /*upward=*/false);
+}
+
+std::vector<HostId> descendant_hosts(const Topology& topo, SwitchId s) {
+  const std::vector<SwitchId> edges =
+      topo.level_of(s) == 1 ? std::vector<SwitchId>{s}
+                            : descendants_at_level(topo, s, 1);
+  std::vector<HostId> hosts;
+  for (SwitchId edge : edges) {
+    const auto attached = topo.hosts_of_edge(edge);
+    hosts.insert(hosts.end(), attached.begin(), attached.end());
+  }
+  std::ranges::sort(hosts);
+  return hosts;
+}
+
+std::vector<SwitchId> shared_pod_ancestors(const Topology& topo, SwitchId s,
+                                           Level level) {
+  const Level my_level = topo.level_of(s);
+  const std::vector<SwitchId> mine = ancestors_at_level(topo, s, level);
+
+  std::vector<SwitchId> shared;
+  for (SwitchId peer : topo.pod_members(my_level, topo.pod_of(s))) {
+    if (peer == s) continue;
+    const std::vector<SwitchId> theirs =
+        ancestors_at_level(topo, peer, level);
+    std::vector<SwitchId> common;
+    std::ranges::set_intersection(mine, theirs, std::back_inserter(common));
+    shared.insert(shared.end(), common.begin(), common.end());
+  }
+  std::ranges::sort(shared);
+  shared.erase(std::unique(shared.begin(), shared.end()), shared.end());
+  return shared;
+}
+
+Level apex_level(const Topology& topo, HostId a, HostId b) {
+  const TreeParams& params = topo.params();
+  const auto half_k = static_cast<std::uint64_t>(params.k) / 2;
+  std::uint64_t pod_a = a.value() / half_k;  // L1 pod = edge index
+  std::uint64_t pod_b = b.value() / half_k;
+  Level level = 1;
+  while (pod_a != pod_b) {
+    ASPEN_CHECK(level < params.n, "hosts share no pod below the top");
+    ++level;
+    const std::uint64_t r = params.r[static_cast<std::size_t>(level)];
+    pod_a /= r;
+    pod_b /= r;
+  }
+  return level;
+}
+
+bool intersects(const std::vector<SwitchId>& a,
+                const std::vector<SwitchId>& b) {
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia == *ib) return true;
+    if (*ia < *ib) {
+      ++ia;
+    } else {
+      ++ib;
+    }
+  }
+  return false;
+}
+
+}  // namespace aspen

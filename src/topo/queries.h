@@ -1,0 +1,47 @@
+// Structural queries over a Topology: ancestry, descendants, common
+// ancestors.  ANP's correctness argument (§6, §7) is phrased in terms of
+// these relations, so both the protocol implementation and the striping
+// validator build on this module.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/topo/topology.h"
+#include "src/util/ids.h"
+
+namespace aspen {
+
+/// Switches at `level` with a downward path to `s` (level > level_of(s)).
+/// Sorted ascending, deduplicated.
+[[nodiscard]] std::vector<SwitchId> ancestors_at_level(const Topology& topo,
+                                                       SwitchId s,
+                                                       Level level);
+
+/// Switches at `level` reachable downward from `s` (level < level_of(s)).
+/// Sorted ascending, deduplicated.
+[[nodiscard]] std::vector<SwitchId> descendants_at_level(const Topology& topo,
+                                                         SwitchId s,
+                                                         Level level);
+
+/// All hosts reachable downward from switch `s`, sorted ascending.
+[[nodiscard]] std::vector<HostId> descendant_hosts(const Topology& topo,
+                                                   SwitchId s);
+
+/// Ancestors of `s` at `level` that are also ancestors of some *other*
+/// member of `s`'s pod — exactly the switches ANP's striping requirement
+/// (§7) demands exist.  Sorted ascending.
+[[nodiscard]] std::vector<SwitchId> shared_pod_ancestors(const Topology& topo,
+                                                         SwitchId s,
+                                                         Level level);
+
+/// The apex level of a flow between two hosts: the lowest level j such
+/// that both hosts live under the same L_j pod.  1 for same-edge flows;
+/// a shortest up*/down* path climbs exactly to this level.
+[[nodiscard]] Level apex_level(const Topology& topo, HostId a, HostId b);
+
+/// True iff the two sorted id vectors intersect.
+[[nodiscard]] bool intersects(const std::vector<SwitchId>& a,
+                              const std::vector<SwitchId>& b);
+
+}  // namespace aspen

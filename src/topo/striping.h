@@ -1,0 +1,74 @@
+// Striping policies (§7) — the organization of connections between a switch
+// and the members of each pod below it.
+//
+// Pods form a tree (each L_{i-1} pod has exactly one parent L_i pod, from
+// Eq. 3), so striping reduces to: for parent-pod member `a` and its z-th of
+// c_i links into child pod Q, which of Q's m_{i-1} members does the link
+// land on?  Every policy below keeps per-child-member in-degree exactly k/2
+// (the child's full uplink budget), which is what makes the wiring port-
+// feasible; they differ in *which* members are hit, which is exactly what
+// determines whether ANP can find the common ancestors it needs (§7).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/aspen/tree_params.h"
+#include "src/util/ids.h"
+
+namespace aspen {
+
+enum class StripingKind {
+  /// The fat tree's standard pattern (Fig. 6(a)): member (a·c_i + z) mod
+  /// m_{i-1}.  Consecutive links hit distinct members whenever c_i <= m_{i-1}.
+  kStandard,
+  /// Standard pattern rotated by the child pod's ordinal (Fig. 6(b)) —
+  /// topologically equivalent, used to show striping variation is tolerated.
+  kRotated,
+  /// Randomly dealt (seeded, balanced).  May create avoidable parallel
+  /// links; exercises the §7 validator.
+  kRandom,
+  /// Pathological (Fig. 6(d)): all c_i links from a member land on a single
+  /// child member, producing pure parallel links that defeat added fault
+  /// tolerance.  Rejected by the ANP striping check whenever c_i > 1.
+  kParallelHeavy,
+};
+
+[[nodiscard]] std::string to_string(StripingKind kind);
+
+struct StripingConfig {
+  StripingKind kind = StripingKind::kStandard;
+  std::uint64_t seed = 1;  ///< used only by kRandom
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Computes link landing spots for one (n, k, FTV) tree.  Deterministic:
+/// the same config always wires the same topology.
+class Striper {
+ public:
+  Striper(const TreeParams& params, StripingConfig config);
+
+  /// Member index (in [0, m_{i-1})) within child pod that receives the z-th
+  /// (z in [0, c_i)) link from parent member `a` (in [0, m_i)) of the parent
+  /// pod `parent_pod` at level `i`, into its `child_ordinal`-th child pod
+  /// (in [0, r_i)).
+  [[nodiscard]] std::uint64_t child_member(Level i, std::uint64_t parent_pod,
+                                           std::uint64_t child_ordinal,
+                                           std::uint64_t parent_member,
+                                           std::uint64_t z) const;
+
+  [[nodiscard]] const StripingConfig& config() const { return config_; }
+
+ private:
+  [[nodiscard]] std::uint64_t random_member(Level i, std::uint64_t parent_pod,
+                                            std::uint64_t child_ordinal,
+                                            std::uint64_t parent_member,
+                                            std::uint64_t z) const;
+
+  TreeParams params_;
+  StripingConfig config_;
+};
+
+}  // namespace aspen

@@ -1,0 +1,262 @@
+#include "src/topo/topology.h"
+
+#include <sstream>
+
+#include "src/util/status.h"
+
+namespace aspen {
+
+Topology Topology::build(const TreeParams& params,
+                         const StripingConfig& striping) {
+  params.validate();
+  const Striper striper(params, striping);
+
+  Topology t;
+  t.params_ = params;
+  t.striping_ = striping;
+  t.num_switches_ = params.total_switches();
+  t.num_hosts_ = params.num_hosts();
+
+  // Bottom-up level offsets: L_1 switches first.
+  t.level_offset_.assign(static_cast<std::size_t>(params.n) + 1, 0);
+  std::uint64_t offset = 0;
+  for (Level i = 1; i <= params.n; ++i) {
+    t.level_offset_[static_cast<std::size_t>(i)] = offset;
+    offset += params.switches_at_level(i);
+  }
+  ASPEN_CHECK(offset == t.num_switches_, "switch count mismatch");
+
+  t.switch_level_.resize(t.num_switches_);
+  for (Level i = 1; i <= params.n; ++i) {
+    const std::uint64_t base = t.level_offset_[static_cast<std::size_t>(i)];
+    for (std::uint64_t j = 0; j < params.switches_at_level(i); ++j) {
+      t.switch_level_[base + j] = i;
+    }
+  }
+
+  t.up_.resize(t.num_switches_);
+  t.down_.resize(t.num_switches_);
+  t.host_up_.resize(t.num_hosts_);
+
+  const auto add_link = [&t](NodeId upper, NodeId lower, Level upper_level) {
+    const LinkId id{static_cast<std::uint32_t>(t.links_.size())};
+    t.links_.push_back(LinkRec{upper, lower, upper_level});
+    return id;
+  };
+
+  // Host links: k/2 hosts per L_1 switch, contiguous host ids.
+  const auto half_k = static_cast<std::uint64_t>(params.k) / 2;
+  for (std::uint64_t e = 0; e < params.S; ++e) {
+    const SwitchId edge = t.switch_at(1, e);
+    for (std::uint64_t j = 0; j < half_k; ++j) {
+      const HostId h{static_cast<std::uint32_t>(e * half_k + j)};
+      const LinkId id = add_link(t.node_of(edge), t.node_of(h), 1);
+      t.down_[edge.value()].push_back(Neighbor{t.node_of(h), id});
+      t.host_up_[h.value()] = Neighbor{t.node_of(edge), id};
+    }
+  }
+
+  // Inter-switch links, level by level (L_2→L_1 upward).  Pods at L_{i-1}
+  // partition among L_i pods: child pod id = parent_pod · r_i + ordinal.
+  for (Level i = 2; i <= params.n; ++i) {
+    const auto ui = static_cast<std::size_t>(i);
+    const std::uint64_t pi = params.p[ui];
+    const std::uint64_t mi = params.m[ui];
+    const std::uint64_t ri = params.r[ui];
+    const std::uint64_t ci = params.c[ui];
+    const std::uint64_t m_below = params.m[ui - 1];
+    for (std::uint64_t pod = 0; pod < pi; ++pod) {
+      for (std::uint64_t a = 0; a < mi; ++a) {
+        const SwitchId upper = t.switch_at(i, pod * mi + a);
+        for (std::uint64_t b = 0; b < ri; ++b) {
+          const std::uint64_t child_pod = pod * ri + b;
+          for (std::uint64_t z = 0; z < ci; ++z) {
+            const std::uint64_t member =
+                striper.child_member(i, pod, b, a, z);
+            const SwitchId lower =
+                t.switch_at(i - 1, child_pod * m_below + member);
+            const LinkId id = add_link(t.node_of(upper), t.node_of(lower), i);
+            t.down_[upper.value()].push_back(
+                Neighbor{t.node_of(lower), id});
+            t.up_[lower.value()].push_back(Neighbor{t.node_of(upper), id});
+          }
+        }
+      }
+    }
+  }
+
+  ASPEN_CHECK(t.links_.size() == params.total_links(),
+              "built ", t.links_.size(), " links, expected ",
+              params.total_links());
+  return t;
+}
+
+NodeId Topology::node_of(SwitchId s) const {
+  ASPEN_REQUIRE(s.value() < num_switches_, "switch id out of range");
+  return NodeId{s.value()};
+}
+
+NodeId Topology::node_of(HostId h) const {
+  ASPEN_REQUIRE(h.value() < num_hosts_, "host id out of range");
+  return NodeId{static_cast<std::uint32_t>(num_switches_ + h.value())};
+}
+
+bool Topology::is_switch_node(NodeId node) const {
+  return node.value() < num_switches_;
+}
+
+SwitchId Topology::switch_of(NodeId node) const {
+  ASPEN_REQUIRE(is_switch_node(node), "node ", node.value(),
+                " is not a switch");
+  return SwitchId{node.value()};
+}
+
+HostId Topology::host_of(NodeId node) const {
+  ASPEN_REQUIRE(!is_switch_node(node) && node.value() < num_nodes(),
+                "node is not a host");
+  return HostId{static_cast<std::uint32_t>(node.value() - num_switches_)};
+}
+
+SwitchId Topology::switch_at(Level level, std::uint64_t index) const {
+  ASPEN_REQUIRE(level >= 1 && level <= params_.n, "level out of range");
+  ASPEN_REQUIRE(index < params_.switches_at_level(level),
+                "switch index out of range at level ", level);
+  return SwitchId{static_cast<std::uint32_t>(
+      level_offset_[static_cast<std::size_t>(level)] + index)};
+}
+
+Level Topology::level_of(SwitchId s) const {
+  ASPEN_REQUIRE(s.value() < num_switches_, "switch id out of range");
+  return switch_level_[s.value()];
+}
+
+std::uint64_t Topology::index_in_level(SwitchId s) const {
+  const Level level = level_of(s);
+  return s.value() - level_offset_[static_cast<std::size_t>(level)];
+}
+
+std::uint64_t Topology::pods_at_level(Level level) const {
+  ASPEN_REQUIRE(level >= 1 && level <= params_.n, "level out of range");
+  return params_.p[static_cast<std::size_t>(level)];
+}
+
+PodId Topology::pod_of(SwitchId s) const {
+  const Level level = level_of(s);
+  const std::uint64_t m = params_.m[static_cast<std::size_t>(level)];
+  return PodId{static_cast<std::uint32_t>(index_in_level(s) / m)};
+}
+
+std::uint64_t Topology::member_index(SwitchId s) const {
+  const Level level = level_of(s);
+  const std::uint64_t m = params_.m[static_cast<std::size_t>(level)];
+  return index_in_level(s) % m;
+}
+
+std::vector<SwitchId> Topology::pod_members(Level level, PodId pod) const {
+  ASPEN_REQUIRE(pod.value() < pods_at_level(level), "pod out of range");
+  const std::uint64_t m = params_.m[static_cast<std::size_t>(level)];
+  std::vector<SwitchId> members;
+  members.reserve(m);
+  for (std::uint64_t j = 0; j < m; ++j) {
+    members.push_back(switch_at(level, pod.value() * m + j));
+  }
+  return members;
+}
+
+PodId Topology::parent_pod(Level level, PodId pod) const {
+  ASPEN_REQUIRE(level >= 1 && level < params_.n,
+                "parent_pod: level must be below the top");
+  ASPEN_REQUIRE(pod.value() < pods_at_level(level), "pod out of range");
+  const std::uint64_t r = params_.r[static_cast<std::size_t>(level) + 1];
+  return PodId{static_cast<std::uint32_t>(pod.value() / r)};
+}
+
+std::vector<PodId> Topology::child_pods(Level level, PodId pod) const {
+  ASPEN_REQUIRE(level >= 2 && level <= params_.n,
+                "child_pods: level must be >= 2");
+  ASPEN_REQUIRE(pod.value() < pods_at_level(level), "pod out of range");
+  const std::uint64_t r = params_.r[static_cast<std::size_t>(level)];
+  std::vector<PodId> children;
+  children.reserve(r);
+  for (std::uint64_t b = 0; b < r; ++b) {
+    children.push_back(
+        PodId{static_cast<std::uint32_t>(pod.value() * r + b)});
+  }
+  return children;
+}
+
+SwitchId Topology::edge_switch_of(HostId h) const {
+  ASPEN_REQUIRE(h.value() < num_hosts_, "host id out of range");
+  const auto half_k = static_cast<std::uint64_t>(params_.k) / 2;
+  return switch_at(1, h.value() / half_k);
+}
+
+std::vector<HostId> Topology::hosts_of_edge(SwitchId s) const {
+  ASPEN_REQUIRE(level_of(s) == 1, "hosts attach only to L1 switches");
+  const auto half_k = static_cast<std::uint64_t>(params_.k) / 2;
+  const std::uint64_t base = index_in_level(s) * half_k;
+  std::vector<HostId> hosts;
+  hosts.reserve(half_k);
+  for (std::uint64_t j = 0; j < half_k; ++j) {
+    hosts.push_back(HostId{static_cast<std::uint32_t>(base + j)});
+  }
+  return hosts;
+}
+
+std::span<const Topology::Neighbor> Topology::up_neighbors(SwitchId s) const {
+  ASPEN_REQUIRE(s.value() < num_switches_, "switch id out of range");
+  return up_[s.value()];
+}
+
+std::span<const Topology::Neighbor> Topology::down_neighbors(
+    SwitchId s) const {
+  ASPEN_REQUIRE(s.value() < num_switches_, "switch id out of range");
+  return down_[s.value()];
+}
+
+Topology::Neighbor Topology::host_uplink(HostId h) const {
+  ASPEN_REQUIRE(h.value() < num_hosts_, "host id out of range");
+  return host_up_[h.value()];
+}
+
+const Topology::LinkRec& Topology::link(LinkId id) const {
+  ASPEN_REQUIRE(id.value() < links_.size(), "link id out of range");
+  return links_[id.value()];
+}
+
+std::vector<LinkId> Topology::links_between(SwitchId upper,
+                                            SwitchId lower) const {
+  std::vector<LinkId> result;
+  const NodeId lower_node = node_of(lower);
+  for (const Neighbor& nb : down_neighbors(upper)) {
+    if (nb.node == lower_node) result.push_back(nb.link);
+  }
+  return result;
+}
+
+LinkId Topology::find_link(SwitchId upper, SwitchId lower) const {
+  const NodeId lower_node = node_of(lower);
+  for (const Neighbor& nb : down_neighbors(upper)) {
+    if (nb.node == lower_node) return nb.link;
+  }
+  return LinkId::invalid();
+}
+
+std::vector<LinkId> Topology::links_at_level(Level level) const {
+  ASPEN_REQUIRE(level >= 1 && level <= params_.n, "level out of range");
+  std::vector<LinkId> result;
+  for (std::uint32_t id = 0; id < links_.size(); ++id) {
+    if (links_[id].upper_level == level) result.push_back(LinkId{id});
+  }
+  return result;
+}
+
+std::string Topology::describe() const {
+  std::ostringstream os;
+  os << params_.to_string() << " striping=" << striping_.to_string()
+     << " switches=" << num_switches_ << " hosts=" << num_hosts_
+     << " links=" << num_links();
+  return os.str();
+}
+
+}  // namespace aspen

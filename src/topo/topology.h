@@ -1,0 +1,146 @@
+// Concrete Aspen tree topology: switches, hosts, links and pods (§3).
+//
+// A Topology is an immutable graph instantiated from TreeParams plus a
+// striping policy.  Switches at each level L_i are grouped into p_i pods of
+// m_i members; global ordering is bottom-up by level, then pod-major within
+// a level, so pod membership is index arithmetic rather than stored state.
+// Hosts hang off L_1 switches, k/2 per switch.
+//
+// The Topology itself is purely structural: link up/down state during
+// failure experiments is an overlay (see src/fault and src/sim), which keeps
+// a single built topology shareable across experiments.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/aspen/tree_params.h"
+#include "src/topo/striping.h"
+#include "src/util/ids.h"
+
+namespace aspen {
+
+struct LinkSpec;  // custom wirings, see import.h
+
+class Topology {
+ public:
+  /// A directed view of an adjacency entry: the node on the other side of
+  /// `link`.
+  struct Neighbor {
+    NodeId node;
+    LinkId link;
+
+    friend bool operator==(const Neighbor&, const Neighbor&) = default;
+  };
+
+  /// A physical link.  `upper` is always the endpoint at the higher level;
+  /// for host links, `upper` is the L_1 switch and `lower` the host.
+  struct LinkRec {
+    NodeId upper;
+    NodeId lower;
+    Level upper_level = 0;  ///< level of `upper`; 1 for host links
+
+    friend bool operator==(const LinkRec&, const LinkRec&) = default;
+  };
+
+  /// Builds the topology for `params` wired with `striping`.
+  static Topology build(const TreeParams& params,
+                        const StripingConfig& striping = {});
+
+  // ---- Shape ---------------------------------------------------------
+
+  [[nodiscard]] const TreeParams& params() const { return params_; }
+  [[nodiscard]] const StripingConfig& striping() const { return striping_; }
+  [[nodiscard]] int levels() const { return params_.n; }
+  [[nodiscard]] int ports() const { return params_.k; }
+
+  [[nodiscard]] std::uint64_t num_switches() const { return num_switches_; }
+  [[nodiscard]] std::uint64_t num_hosts() const { return num_hosts_; }
+  [[nodiscard]] std::uint64_t num_links() const { return links_.size(); }
+  [[nodiscard]] std::uint64_t num_nodes() const {
+    return num_switches_ + num_hosts_;
+  }
+
+  // ---- Id mapping ----------------------------------------------------
+
+  /// Nodes are numbered with all switches first, then all hosts.
+  [[nodiscard]] NodeId node_of(SwitchId s) const;
+  [[nodiscard]] NodeId node_of(HostId h) const;
+  [[nodiscard]] bool is_switch_node(NodeId node) const;
+  [[nodiscard]] SwitchId switch_of(NodeId node) const;
+  [[nodiscard]] HostId host_of(NodeId node) const;
+
+  /// Global id of the `index`-th switch (pod-major order) at `level`.
+  [[nodiscard]] SwitchId switch_at(Level level, std::uint64_t index) const;
+  [[nodiscard]] Level level_of(SwitchId s) const;
+  /// Index of `s` within its level (pod-major).
+  [[nodiscard]] std::uint64_t index_in_level(SwitchId s) const;
+
+  // ---- Pods ----------------------------------------------------------
+
+  [[nodiscard]] std::uint64_t pods_at_level(Level level) const;
+  [[nodiscard]] PodId pod_of(SwitchId s) const;
+  /// Index of `s` within its pod, in [0, m_i).
+  [[nodiscard]] std::uint64_t member_index(SwitchId s) const;
+  /// All switches of the given pod (contiguous, m_i of them).
+  [[nodiscard]] std::vector<SwitchId> pod_members(Level level,
+                                                  PodId pod) const;
+  /// Parent pod (at level+1) of the given pod; pods form a tree (Eq. 3).
+  [[nodiscard]] PodId parent_pod(Level level, PodId pod) const;
+  /// Child pods (at level−1) of the given pod, r_i of them, in order.
+  [[nodiscard]] std::vector<PodId> child_pods(Level level, PodId pod) const;
+
+  // ---- Hosts ---------------------------------------------------------
+
+  /// The L_1 switch the host is attached to.
+  [[nodiscard]] SwitchId edge_switch_of(HostId h) const;
+  /// Hosts attached to an L_1 switch (k/2 of them, contiguous ids).
+  [[nodiscard]] std::vector<HostId> hosts_of_edge(SwitchId s) const;
+
+  // ---- Adjacency -----------------------------------------------------
+
+  /// Upward neighbors of a switch (empty for L_n switches).
+  [[nodiscard]] std::span<const Neighbor> up_neighbors(SwitchId s) const;
+  /// Downward neighbors of a switch: switches below, or hosts for L_1.
+  [[nodiscard]] std::span<const Neighbor> down_neighbors(SwitchId s) const;
+  /// The single switch neighbor of a host.
+  [[nodiscard]] Neighbor host_uplink(HostId h) const;
+
+  [[nodiscard]] const LinkRec& link(LinkId id) const;
+  /// All links incident on `s` going down to switch `t` (parallel links are
+  /// possible under some stripings).
+  [[nodiscard]] std::vector<LinkId> links_between(SwitchId upper,
+                                                  SwitchId lower) const;
+  /// First link between the two switches, or LinkId::invalid().
+  [[nodiscard]] LinkId find_link(SwitchId upper, SwitchId lower) const;
+
+  /// All links whose upper endpoint sits at `level` (level 1 with
+  /// `include_host_links=false` returns L_2→L_1 links' complement: none).
+  /// For level >= 2 these are the L_level → L_{level−1} links; for level 1
+  /// they are host links.
+  [[nodiscard]] std::vector<LinkId> links_at_level(Level level) const;
+
+  /// Human-readable structural summary.
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  friend Topology build_custom_topology(const TreeParams& params,
+                                        const std::vector<LinkSpec>& links);
+
+  Topology() = default;
+
+  TreeParams params_;
+  StripingConfig striping_;
+  std::uint64_t num_switches_ = 0;
+  std::uint64_t num_hosts_ = 0;
+  std::vector<std::uint64_t> level_offset_;  // [1..n] -> first switch id
+  std::vector<Level> switch_level_;          // per switch
+  std::vector<LinkRec> links_;
+  std::vector<std::vector<Neighbor>> up_;    // per switch
+  std::vector<std::vector<Neighbor>> down_;  // per switch
+  std::vector<Neighbor> host_up_;            // per host
+};
+
+}  // namespace aspen

@@ -1,0 +1,150 @@
+#include "src/topo/validate.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "src/topo/queries.h"
+
+namespace aspen {
+
+namespace {
+
+void check_ports(const Topology& topo, ValidationReport& report) {
+  const auto k = static_cast<std::uint64_t>(topo.ports());
+  report.ports_ok = true;
+  for (std::uint32_t v = 0; v < topo.num_switches(); ++v) {
+    const SwitchId s{v};
+    const std::uint64_t used =
+        topo.up_neighbors(s).size() + topo.down_neighbors(s).size();
+    if (used != k) {
+      report.ports_ok = false;
+      std::ostringstream os;
+      os << to_string(s) << " at L" << topo.level_of(s) << " uses " << used
+         << " ports, expected " << k;
+      report.problems.push_back(os.str());
+    }
+  }
+}
+
+void check_uniform_fault_tolerance(const Topology& topo,
+                                   ValidationReport& report) {
+  const TreeParams& params = topo.params();
+  report.uniform_fault_tolerance = true;
+  for (Level i = 2; i <= params.n; ++i) {
+    const std::uint64_t expected_c = params.c[static_cast<std::size_t>(i)];
+    const std::uint64_t expected_r = params.r[static_cast<std::size_t>(i)];
+    for (std::uint64_t idx = 0; idx < params.switches_at_level(i); ++idx) {
+      const SwitchId s = topo.switch_at(i, idx);
+      // Count links per child pod.
+      std::map<std::uint32_t, std::uint64_t> per_pod;
+      for (const Topology::Neighbor& nb : topo.down_neighbors(s)) {
+        const SwitchId below = topo.switch_of(nb.node);
+        ++per_pod[topo.pod_of(below).value()];
+      }
+      bool ok = per_pod.size() == expected_r;
+      for (const auto& [pod, count] : per_pod) {
+        if (count != expected_c) ok = false;
+      }
+      if (!ok) {
+        report.uniform_fault_tolerance = false;
+        std::ostringstream os;
+        os << to_string(s) << " at L" << i << " connects to "
+           << per_pod.size() << " pods (expected " << expected_r
+           << ") with non-uniform link counts (expected " << expected_c
+           << " per pod)";
+        report.problems.push_back(os.str());
+      }
+    }
+  }
+}
+
+void check_top_level_coverage(const Topology& topo,
+                              ValidationReport& report) {
+  const TreeParams& params = topo.params();
+  const Level n = params.n;
+  if (n < 2) {
+    report.top_level_coverage = true;
+    return;
+  }
+  const std::uint64_t pods_below = topo.pods_at_level(n - 1);
+  report.top_level_coverage = true;
+  for (std::uint64_t idx = 0; idx < params.switches_at_level(n); ++idx) {
+    const SwitchId s = topo.switch_at(n, idx);
+    std::vector<bool> covered(pods_below, false);
+    for (const Topology::Neighbor& nb : topo.down_neighbors(s)) {
+      covered[topo.pod_of(topo.switch_of(nb.node)).value()] = true;
+    }
+    if (!std::ranges::all_of(covered, [](bool b) { return b; })) {
+      report.top_level_coverage = false;
+      std::ostringstream os;
+      os << "top-level " << to_string(s)
+         << " does not reach every L" << (n - 1) << " pod";
+      report.problems.push_back(os.str());
+    }
+  }
+}
+
+void check_anp_striping(const Topology& topo, ValidationReport& report) {
+  const TreeParams& params = topo.params();
+  const FaultToleranceVector ftv = params.ftv();
+  report.anp_striping_ok = true;
+  for (Level i = 2; i < params.n; ++i) {  // L_n has nothing above
+    if (params.c[static_cast<std::size_t>(i)] != 1) continue;
+    const Level f = ftv.nearest_fault_tolerant_level_at_or_above(i + 1);
+    if (f == 0) continue;  // no fault tolerance above: requirement is vacuous
+    // Pods at L_i with more than one member must share L_f ancestors.
+    if (params.m[static_cast<std::size_t>(i)] < 2) continue;
+    for (std::uint64_t idx = 0; idx < params.switches_at_level(i); ++idx) {
+      const SwitchId s = topo.switch_at(i, idx);
+      if (shared_pod_ancestors(topo, s, f).empty()) {
+        report.anp_striping_ok = false;
+        std::ostringstream os;
+        os << to_string(s) << " at L" << i
+           << " shares no L" << f
+           << " ancestor with any other member of its pod (ANP cannot "
+              "route around failures below it)";
+        report.problems.push_back(os.str());
+      }
+    }
+  }
+}
+
+void count_parallel_links(const Topology& topo, ValidationReport& report) {
+  report.parallel_link_pairs = 0;
+  for (std::uint32_t v = 0; v < topo.num_switches(); ++v) {
+    const SwitchId s{v};
+    std::map<std::uint32_t, std::uint64_t> per_neighbor;
+    for (const Topology::Neighbor& nb : topo.down_neighbors(s)) {
+      if (!topo.is_switch_node(nb.node)) continue;
+      ++per_neighbor[nb.node.value()];
+    }
+    for (const auto& [node, count] : per_neighbor) {
+      if (count > 1) ++report.parallel_link_pairs;
+    }
+  }
+}
+
+void find_bottleneck_pods(const Topology& topo, ValidationReport& report) {
+  const TreeParams& params = topo.params();
+  for (Level i = 2; i <= params.n; ++i) {
+    if (params.m[static_cast<std::size_t>(i)] == 1) {
+      report.bottleneck_pod_levels.push_back(i);
+    }
+  }
+}
+
+}  // namespace
+
+ValidationReport validate_topology(const Topology& topo) {
+  ValidationReport report;
+  check_ports(topo, report);
+  check_uniform_fault_tolerance(topo, report);
+  check_top_level_coverage(topo, report);
+  check_anp_striping(topo, report);
+  count_parallel_links(topo, report);
+  find_bottleneck_pods(topo, report);
+  return report;
+}
+
+}  // namespace aspen

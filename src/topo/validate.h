@@ -1,0 +1,51 @@
+// Topology and striping validation (§3, §7, §8.4).
+//
+// Checks that a built graph actually is the Aspen tree its parameters claim:
+// port budgets, pod uniformity, the §4 constraint that every L_n switch
+// covers every L_{n-1} pod, the §7 ANP striping requirement, and the §8.4
+// bottleneck-pod pathology.  Used by tests on every enumerated tree and by
+// the striping-lab example to show which wirings ANP can live with.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/topo/topology.h"
+
+namespace aspen {
+
+struct ValidationReport {
+  /// Every switch uses exactly k ports and every host exactly 1.
+  bool ports_ok = false;
+  /// Every switch at L_i has exactly c_i links to each of its r_i child
+  /// pods (§3's uniform-fault-tolerance requirement).
+  bool uniform_fault_tolerance = false;
+  /// Every L_n switch connects at least once to every L_{n-1} pod (§4);
+  /// Fig. 6(c) violates this.
+  bool top_level_coverage = false;
+  /// §7: for every level L_i with c_i = 1 whose nearest fault-tolerant
+  /// level above is L_f, each L_i switch shares an L_f ancestor with
+  /// another member of its pod.  Vacuously true when no level above has
+  /// fault tolerance.  Fig. 6(d)-style pure parallel wiring violates this.
+  bool anp_striping_ok = false;
+  /// Number of unordered switch pairs joined by more than one parallel
+  /// link (informational; forced when c_i > m_{i-1}).
+  std::uint64_t parallel_link_pairs = 0;
+  /// §8.4: pods of size 1 at levels above L_1 ("bottleneck pods") —
+  /// informational, as redundancy above them cannot mask failures below.
+  std::vector<Level> bottleneck_pod_levels;
+
+  /// Human-readable explanations for every failed check.
+  std::vector<std::string> problems;
+
+  [[nodiscard]] bool all_ok() const {
+    return ports_ok && uniform_fault_tolerance && top_level_coverage &&
+           anp_striping_ok;
+  }
+};
+
+/// Runs all structural checks against the topology.
+[[nodiscard]] ValidationReport validate_topology(const Topology& topo);
+
+}  // namespace aspen

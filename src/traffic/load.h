@@ -1,0 +1,59 @@
+// Flow-level load model: ECMP path assignment plus max-min fair rates.
+//
+// Each flow is pinned to one path by the same deterministic ECMP hash the
+// packet walker uses; links are full duplex (one unit-capacity channel
+// per direction); rates are assigned by
+// progressive filling (the classic max-min fair allocation: repeatedly
+// saturate the most-contended link, freezing its flows at the fair share).
+// This is the standard flow-level approximation used to evaluate topology
+// bisection bandwidth.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/routing/packet_walk.h"
+#include "src/topo/link_state.h"
+#include "src/topo/topology.h"
+#include "src/traffic/patterns.h"
+
+namespace aspen {
+
+struct LoadResult {
+  std::uint64_t flows_routed = 0;
+  std::uint64_t flows_unroutable = 0;
+  /// Max-min fair rate per routed flow (same order as the routed subset).
+  std::vector<double> rates;
+  /// Links carrying at least one flow.
+  std::uint64_t links_used = 0;
+  /// Highest number of flows sharing one directed channel.
+  std::uint64_t max_link_flows = 0;
+  double aggregate_throughput = 0.0;  ///< Σ rates
+  double min_rate = 0.0;
+  double mean_rate = 0.0;
+  double mean_path_links = 0.0;  ///< links per routed flow
+
+  /// Throughput normalized by flow count — 1.0 means every flow got full
+  /// line rate (the "full bisection bandwidth" ideal).
+  [[nodiscard]] double normalized_throughput() const {
+    return flows_routed == 0 ? 0.0
+                             : aggregate_throughput /
+                                   static_cast<double>(flows_routed);
+  }
+};
+
+struct LoadOptions {
+  /// Seed mixed into the ECMP hash (selects one path per flow).
+  std::uint64_t flow_seed = 0;
+  int ttl = 64;
+};
+
+/// Routes every flow with `knowledge` over the `actual` link state and
+/// computes max-min fair rates over the resulting link loads.
+[[nodiscard]] LoadResult assign_load(const Topology& topo,
+                                     const Router& knowledge,
+                                     const LinkStateOverlay& actual,
+                                     const std::vector<Flow>& flows,
+                                     const LoadOptions& options = {});
+
+}  // namespace aspen

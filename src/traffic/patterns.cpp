@@ -1,0 +1,93 @@
+#include "src/traffic/patterns.h"
+
+#include <numeric>
+
+#include "src/util/status.h"
+
+namespace aspen {
+
+std::vector<Flow> permutation_traffic(const Topology& topo, Rng& rng) {
+  const auto hosts = static_cast<std::uint32_t>(topo.num_hosts());
+  ASPEN_REQUIRE(hosts >= 2, "permutation needs at least two hosts");
+  std::vector<std::uint32_t> targets(hosts);
+  std::iota(targets.begin(), targets.end(), 0);
+  // Shuffle until derangement-ish: re-draw self-loops by swapping with a
+  // neighbor (bounded, deterministic fixup).
+  rng.shuffle(targets);
+  for (std::uint32_t i = 0; i < hosts; ++i) {
+    if (targets[i] == i) {
+      const std::uint32_t j = (i + 1) % hosts;
+      std::swap(targets[i], targets[j]);
+    }
+  }
+  std::vector<Flow> flows;
+  flows.reserve(hosts);
+  for (std::uint32_t i = 0; i < hosts; ++i) {
+    if (targets[i] == i) continue;  // possible residual single fixed point
+    flows.push_back(Flow{HostId{i}, HostId{targets[i]}});
+  }
+  return flows;
+}
+
+std::vector<Flow> uniform_random_traffic(const Topology& topo,
+                                         std::uint64_t count, Rng& rng) {
+  ASPEN_REQUIRE(topo.num_hosts() >= 2, "need at least two hosts");
+  std::vector<Flow> flows;
+  flows.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto src = static_cast<std::uint32_t>(rng.index(topo.num_hosts()));
+    auto dst = static_cast<std::uint32_t>(rng.index(topo.num_hosts() - 1));
+    if (dst >= src) ++dst;
+    flows.push_back(Flow{HostId{src}, HostId{dst}});
+  }
+  return flows;
+}
+
+std::vector<Flow> hotspot_traffic(const Topology& topo,
+                                  std::uint64_t hot_edge, Rng& rng) {
+  ASPEN_REQUIRE(hot_edge < topo.params().S, "hot edge out of range");
+  const auto hot_hosts = topo.hosts_of_edge(
+      topo.switch_at(1, hot_edge));
+  std::vector<Flow> flows;
+  for (std::uint32_t s = 0; s < topo.num_hosts(); ++s) {
+    const HostId src{s};
+    if (topo.edge_switch_of(src) == topo.switch_at(1, hot_edge)) continue;
+    flows.push_back(Flow{src, hot_hosts[rng.index(hot_hosts.size())]});
+  }
+  return flows;
+}
+
+std::vector<Flow> stride_traffic(const Topology& topo, std::uint64_t stride) {
+  const std::uint64_t hosts = topo.num_hosts();
+  ASPEN_REQUIRE(stride > 0 && stride < hosts, "stride must be in (0, hosts)");
+  std::vector<Flow> flows;
+  flows.reserve(hosts);
+  for (std::uint64_t i = 0; i < hosts; ++i) {
+    flows.push_back(Flow{HostId{static_cast<std::uint32_t>(i)},
+                         HostId{static_cast<std::uint32_t>(
+                             (i + stride) % hosts)}});
+  }
+  return flows;
+}
+
+std::vector<Flow> pod_local_traffic(const Topology& topo, Rng& rng) {
+  const TreeParams& params = topo.params();
+  // Edges under the same L2 pod form contiguous blocks of r_2.
+  const std::uint64_t block = params.n >= 2 ? params.r[2] : 1;
+  const auto half_k = static_cast<std::uint64_t>(params.k) / 2;
+  const std::uint64_t hosts_per_block = block * half_k;
+
+  std::vector<Flow> flows;
+  flows.reserve(topo.num_hosts());
+  for (std::uint32_t s = 0; s < topo.num_hosts(); ++s) {
+    if (hosts_per_block < 2) break;  // no local peer exists
+    const std::uint64_t base = (s / hosts_per_block) * hosts_per_block;
+    auto offset = rng.index(hosts_per_block - 1);
+    auto dst = static_cast<std::uint32_t>(base + offset);
+    if (dst >= s) ++dst;  // skip self
+    flows.push_back(Flow{HostId{s}, HostId{dst}});
+  }
+  return flows;
+}
+
+}  // namespace aspen

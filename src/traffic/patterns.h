@@ -1,0 +1,54 @@
+// Traffic patterns for load experiments.
+//
+// The paper motivates fat trees with "full bisection bandwidth" and
+// "diverse yet short paths" (§1); the traffic substrate lets experiments
+// quantify what the Aspen modifications do (and don't do) to those
+// properties.  Patterns are plain (src, dst) flow lists; the load model in
+// load.h turns them into per-link utilization and max-min fair rates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/topo/topology.h"
+#include "src/util/ids.h"
+#include "src/util/rng.h"
+
+namespace aspen {
+
+struct Flow {
+  HostId src;
+  HostId dst;
+
+  friend bool operator==(const Flow&, const Flow&) = default;
+};
+
+/// A random permutation: every host sends to exactly one other host and
+/// receives from exactly one — the canonical bisection-bandwidth workload.
+[[nodiscard]] std::vector<Flow> permutation_traffic(const Topology& topo,
+                                                    Rng& rng);
+
+/// `count` flows with independently uniform src and dst (src != dst).
+[[nodiscard]] std::vector<Flow> uniform_random_traffic(const Topology& topo,
+                                                       std::uint64_t count,
+                                                       Rng& rng);
+
+/// All hosts send to hosts in a single "hot" edge-switch range — an incast
+/// pattern that stresses the links above the hot pod.
+[[nodiscard]] std::vector<Flow> hotspot_traffic(const Topology& topo,
+                                                std::uint64_t hot_edge,
+                                                Rng& rng);
+
+/// Every host sends to the host `stride` positions away (mod host count);
+/// stride = hosts/2 crosses the bisection for every flow.
+[[nodiscard]] std::vector<Flow> stride_traffic(const Topology& topo,
+                                               std::uint64_t stride);
+
+/// Pod-local shuffle: each host sends to a random host under the same
+/// L2-pod subtree (never crosses the core) — the baseline that any
+/// top-level damage should leave untouched.
+[[nodiscard]] std::vector<Flow> pod_local_traffic(const Topology& topo,
+                                                  Rng& rng);
+
+}  // namespace aspen

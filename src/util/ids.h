@@ -1,0 +1,85 @@
+// Strongly-typed identifiers used throughout the Aspen tree library.
+//
+// Raw integers are error-prone when a function juggles switch indices, host
+// indices, link indices, pod indices and tree levels at once.  Each entity
+// gets its own thin wrapper type so the compiler rejects accidental mixes.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace aspen {
+
+/// Tree level. Hosts live at level 0; switches at levels 1..n (L1..Ln).
+using Level = int;
+
+namespace detail {
+
+/// CRTP-free tagged index. `Tag` makes distinct instantiations incompatible.
+template <typename Tag>
+class TypedId {
+ public:
+  using value_type = std::uint32_t;
+
+  static constexpr value_type kInvalidValue =
+      std::numeric_limits<value_type>::max();
+
+  constexpr TypedId() = default;
+  constexpr explicit TypedId(value_type v) : value_(v) {}
+
+  [[nodiscard]] constexpr value_type value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalidValue; }
+
+  friend constexpr auto operator<=>(TypedId, TypedId) = default;
+
+  /// Sentinel id meaning "no such entity".
+  [[nodiscard]] static constexpr TypedId invalid() {
+    return TypedId{kInvalidValue};
+  }
+
+ private:
+  value_type value_ = kInvalidValue;
+};
+
+}  // namespace detail
+
+struct SwitchTag {};
+struct HostTag {};
+struct NodeTag {};
+struct LinkTag {};
+struct PodTag {};
+
+/// Index of a switch within a Topology (dense, 0-based).
+using SwitchId = detail::TypedId<SwitchTag>;
+/// Index of a host within a Topology (dense, 0-based).
+using HostId = detail::TypedId<HostTag>;
+/// Index of any node (switches first, then hosts) within a Topology.
+using NodeId = detail::TypedId<NodeTag>;
+/// Index of a link within a Topology (dense, 0-based).
+using LinkId = detail::TypedId<LinkTag>;
+/// Index of a pod within a level of a Topology (dense, 0-based per level).
+using PodId = detail::TypedId<PodTag>;
+
+[[nodiscard]] inline std::string to_string(SwitchId id) {
+  return id.valid() ? "s" + std::to_string(id.value()) : "s<invalid>";
+}
+[[nodiscard]] inline std::string to_string(HostId id) {
+  return id.valid() ? "h" + std::to_string(id.value()) : "h<invalid>";
+}
+[[nodiscard]] inline std::string to_string(LinkId id) {
+  return id.valid() ? "e" + std::to_string(id.value()) : "e<invalid>";
+}
+
+}  // namespace aspen
+
+namespace std {
+template <typename Tag>
+struct hash<aspen::detail::TypedId<Tag>> {
+  size_t operator()(aspen::detail::TypedId<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,38 @@
+// Minimal leveled logger.
+//
+// The simulator and protocol agents emit trace output through this logger;
+// tests keep it at kWarn, example binaries turn on kInfo/kDebug to show the
+// protocols at work.  A global level keeps the hot path to a single branch.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace aspen {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the process-wide minimum level that will be emitted.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// True when a message at `level` would be emitted.
+[[nodiscard]] bool log_enabled(LogLevel level);
+
+/// Emits a single formatted line to stderr. Prefer the ASPEN_LOG macro.
+void log_line(LogLevel level, const std::string& message);
+
+#define ASPEN_LOG(level, ...)                                     \
+  do {                                                            \
+    if (::aspen::log_enabled(level)) {                            \
+      std::ostringstream aspen_log_os_;                           \
+      aspen_log_os_ << __VA_ARGS__;                               \
+      ::aspen::log_line(level, aspen_log_os_.str());              \
+    }                                                             \
+  } while (false)
+
+#define ASPEN_DEBUG(...) ASPEN_LOG(::aspen::LogLevel::kDebug, __VA_ARGS__)
+#define ASPEN_INFO(...) ASPEN_LOG(::aspen::LogLevel::kInfo, __VA_ARGS__)
+#define ASPEN_WARN(...) ASPEN_LOG(::aspen::LogLevel::kWarn, __VA_ARGS__)
+
+}  // namespace aspen

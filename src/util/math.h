@@ -1,0 +1,53 @@
+// Small exact-integer helpers used by the analytical models.
+//
+// Tree sizes grow as k^n; with k up to 128 and n up to 7 the counts exceed
+// 2^32 but fit comfortably in 64 bits (128^7 ≈ 2^49), so everything here is
+// std::uint64_t / std::int64_t with overflow checks where products can grow.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace aspen {
+
+/// Exact integer power; checks against overflow.
+[[nodiscard]] constexpr std::uint64_t ipow(std::uint64_t base,
+                                           unsigned exp) {
+  std::uint64_t result = 1;
+  for (unsigned i = 0; i < exp; ++i) {
+    ASPEN_CHECK(base == 0 || result <= UINT64_MAX / (base ? base : 1),
+                "integer overflow in ipow");
+    result *= base;
+  }
+  return result;
+}
+
+/// True iff `a` divides `b` exactly (a > 0).
+[[nodiscard]] constexpr bool divides(std::uint64_t a, std::uint64_t b) {
+  return a != 0 && b % a == 0;
+}
+
+/// All positive divisors of `v`, ascending.
+[[nodiscard]] inline std::vector<std::uint64_t> divisors(std::uint64_t v) {
+  ASPEN_REQUIRE(v > 0, "divisors() requires a positive value");
+  std::vector<std::uint64_t> lo;
+  std::vector<std::uint64_t> hi;
+  for (std::uint64_t d = 1; d * d <= v; ++d) {
+    if (v % d == 0) {
+      lo.push_back(d);
+      if (d != v / d) hi.push_back(v / d);
+    }
+  }
+  lo.insert(lo.end(), hi.rbegin(), hi.rend());
+  return lo;
+}
+
+/// Ceil division for non-negative integers.
+[[nodiscard]] constexpr std::uint64_t ceil_div(std::uint64_t a,
+                                               std::uint64_t b) {
+  return b == 0 ? 0 : (a + b - 1) / b;
+}
+
+}  // namespace aspen

@@ -1,0 +1,66 @@
+// Deterministic random-number utilities.
+//
+// All stochastic pieces of the library (random striping, randomized failure
+// schedules, workload generators) draw from an explicitly-seeded Rng so that
+// every experiment is reproducible from its printed seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace aspen {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed), seed_(seed) {}
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform(std::int64_t lo, std::int64_t hi) {
+    ASPEN_REQUIRE(lo <= hi, "uniform(): empty range");
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform index in [0, n) — n must be positive.
+  [[nodiscard]] std::size_t index(std::size_t n) {
+    ASPEN_REQUIRE(n > 0, "index(): empty range");
+    return std::uniform_int_distribution<std::size_t>(0, n - 1)(engine_);
+  }
+
+  /// Uniform real in [0, 1).
+  [[nodiscard]] double real() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Bernoulli trial.
+  [[nodiscard]] bool chance(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Exponentially distributed value with the given mean (> 0).
+  [[nodiscard]] double exponential(double mean) {
+    ASPEN_REQUIRE(mean > 0.0, "exponential(): mean must be positive");
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// In-place Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[index(i)]);
+    }
+  }
+
+  /// Access the underlying engine for std distributions.
+  [[nodiscard]] std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t seed_;
+};
+
+}  // namespace aspen

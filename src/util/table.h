@@ -1,0 +1,43 @@
+// Plain-text table rendering for benchmark/report output.
+//
+// The benchmark binaries regenerate the paper's tables and figure series as
+// aligned text tables; this tiny formatter keeps that output consistent.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace aspen {
+
+class TextTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Number of data rows added so far.
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders the table with a header rule and column alignment.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given precision, trimming trailing zeros.
+[[nodiscard]] std::string format_double(double v, int precision = 2);
+
+/// Formats `part/whole` as a percentage string such as "37.5%".
+[[nodiscard]] std::string format_percent(double part, double whole,
+                                         int precision = 1);
+
+/// Renders a horizontal ASCII bar of width proportional to value/max.
+[[nodiscard]] std::string ascii_bar(double value, double max_value,
+                                    int width = 40);
+
+}  // namespace aspen

@@ -1,0 +1,134 @@
+// Tests for the analytical convergence models, anchored to every number the
+// paper publishes about them.
+#include <gtest/gtest.h>
+
+#include "src/analysis/convergence.h"
+#include "src/util/status.h"
+
+namespace aspen {
+namespace {
+
+TEST(Convergence, DistanceToNearestFaultTolerantLevel) {
+  // §9.1: "if there is non-zero fault tolerance between L_i and L_{i-1},
+  // then the update propagation distance for failures at L_i is 0 and the
+  // distance for failures at L_{i-2} is 2."
+  // Entries top-down for n=5 are <c5−1, c4−1, c3−1, c2−1> → FT at L4.
+  const FaultToleranceVector ftv{0, 1, 0, 0};
+  EXPECT_EQ(update_propagation_distance(ftv, 4), 0);
+  EXPECT_EQ(update_propagation_distance(ftv, 2), 2);
+  EXPECT_EQ(update_propagation_distance(ftv, 3), 1);
+}
+
+TEST(Convergence, GlobalFallbackDistance) {
+  // No fault tolerance above the failure: updates must reach the farthest
+  // switches — up to the roots, then down to L1.
+  const auto fat = FaultToleranceVector::fat_tree(4);
+  EXPECT_EQ(update_propagation_distance(fat, 2), 5);  // (4−2)+(4−1)
+  EXPECT_EQ(update_propagation_distance(fat, 3), 4);
+  EXPECT_EQ(update_propagation_distance(fat, 4), 3);
+  EXPECT_EQ(global_update_distance(4, 2), 5);
+  EXPECT_EQ(global_update_distance(5, 2), 7);
+}
+
+TEST(Convergence, MaxHopsNormalizersMatchFigures) {
+  // Fig. 8: "Max Hops=5" (n=4); Fig. 9(a): 7 (n=5); Fig. 9(b): 3 (n=3).
+  EXPECT_EQ(max_update_distance(4), 5);
+  EXPECT_EQ(max_update_distance(5), 7);
+  EXPECT_EQ(max_update_distance(3), 3);
+}
+
+TEST(Convergence, PaperAverageValuesForN4K6) {
+  // §9.1: "the host counts are all 1/3 … but the average update propagation
+  // distance varies from 1 to 2.3 hops" for <0,0,2>, <0,2,0>, <2,0,0>;
+  // and "<2,0,0> and <0,2,2> … both have average update propagation
+  // distances of 1."
+  EXPECT_NEAR(average_update_propagation({0, 0, 2}), 7.0 / 3.0, 1e-12);
+  EXPECT_NEAR(average_update_propagation({0, 2, 0}), 4.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(average_update_propagation({2, 0, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(average_update_propagation({0, 2, 2}), 1.0);
+  // The fat tree: (5+4+3)/3 = 4.
+  EXPECT_DOUBLE_EQ(average_update_propagation({0, 0, 0}), 4.0);
+  // Fully fault tolerant: instant everywhere.
+  EXPECT_DOUBLE_EQ(average_update_propagation({2, 2, 2}), 0.0);
+}
+
+TEST(Convergence, Section81ClaimTopRedundancyHalvesConvergence) {
+  // §8.1: "The average convergence propagation distance for this tree
+  // [<1,0,0,…>] is less than half of that for a traditional fat tree."
+  for (int n = 3; n <= 7; ++n) {
+    std::vector<int> entries(static_cast<std::size_t>(n - 1), 0);
+    entries[0] = 1;
+    const double aspen = average_update_propagation(
+        FaultToleranceVector{entries});
+    const double fat =
+        average_update_propagation(FaultToleranceVector::fat_tree(n));
+    EXPECT_LT(aspen, fat / 2.0) << "n=" << n;
+  }
+}
+
+TEST(Convergence, Section81EightyPercentFasterClaim) {
+  // §8.1: "an Aspen tree with n=4, k=16 and FTV=<1,0,0> … converges 80%
+  // faster" than the n=4, k=16 fat tree.
+  const double aspen = average_update_propagation({1, 0, 0});
+  const double fat = average_update_propagation({0, 0, 0});
+  EXPECT_NEAR(1.0 - aspen / fat, 0.75, 0.06);  // 1 vs 4 hops → 75%, ≈80%
+}
+
+TEST(Convergence, PreconditionsThrow) {
+  const auto fat = FaultToleranceVector::fat_tree(4);
+  EXPECT_THROW((void)update_propagation_distance(fat, 1), PreconditionError);
+  EXPECT_THROW((void)update_propagation_distance(fat, 5), PreconditionError);
+  EXPECT_THROW((void)global_update_distance(4, 0), PreconditionError);
+  EXPECT_THROW((void)anp_notification_distance(fat, 0), PreconditionError);
+}
+
+TEST(Convergence, AnpNotificationDistances) {
+  // Host links climb to the roots; covered levels stop at the absorber;
+  // uncovered levels stop at the roots (ANP never floods downward).
+  const FaultToleranceVector vl2{1, 0, 0};  // n=4, FT at top
+  EXPECT_EQ(anp_notification_distance(vl2, 1), 3);
+  EXPECT_EQ(anp_notification_distance(vl2, 2), 2);
+  EXPECT_EQ(anp_notification_distance(vl2, 3), 1);
+  EXPECT_EQ(anp_notification_distance(vl2, 4), 0);
+
+  const auto fat = FaultToleranceVector::fat_tree(3);
+  EXPECT_EQ(anp_notification_distance(fat, 2), 1);  // dies at the roots
+  EXPECT_EQ(anp_notification_distance(fat, 3), 0);
+}
+
+TEST(Convergence, Figure10HopLabels) {
+  // Fig. 10(b)/(d) ANP labels: 1.5 hops (n'=4), 2 (n'=5), 2.5 (n'=6).
+  EXPECT_DOUBLE_EQ(anp_average_notification_distance({1, 0, 0}), 1.5);
+  EXPECT_DOUBLE_EQ(anp_average_notification_distance({1, 0, 0, 0}), 2.0);
+  EXPECT_DOUBLE_EQ(anp_average_notification_distance({1, 0, 0, 0, 0}), 2.5);
+  // LSP labels: 3 hops (n=3), 4.5 (n=4), 6 (n=5).
+  EXPECT_DOUBLE_EQ(lsp_average_flood_distance(3), 3.0);
+  EXPECT_DOUBLE_EQ(lsp_average_flood_distance(4), 4.5);
+  EXPECT_DOUBLE_EQ(lsp_average_flood_distance(5), 6.0);
+}
+
+TEST(Convergence, LspFloodDistanceFormula) {
+  EXPECT_EQ(lsp_flood_distance(3, 1), 4);  // (3−1)+(3−1)
+  EXPECT_EQ(lsp_flood_distance(3, 3), 2);
+  EXPECT_EQ(lsp_flood_distance(5, 2), 7);
+}
+
+TEST(Convergence, TimeEstimates) {
+  const DelayModel delays;
+  // LSP: 300 ms + 1 µs per hop; ANP: 20 ms + 1 µs per hop.
+  EXPECT_NEAR(estimate_convergence_ms(3.0, ProtocolKind::kLsp), 900.003,
+              1e-9);
+  EXPECT_NEAR(estimate_convergence_ms(1.5, ProtocolKind::kAnp), 30.0015,
+              1e-9);
+  EXPECT_DOUBLE_EQ(estimate_convergence_ms(0.0, ProtocolKind::kAnp), 0.0);
+  // "ANP converges orders of magnitude more quickly than LSP."
+  EXPECT_GT(estimate_convergence_ms(lsp_average_flood_distance(3),
+                                    ProtocolKind::kLsp) /
+                estimate_convergence_ms(
+                    anp_average_notification_distance({1, 0, 0}),
+                    ProtocolKind::kAnp),
+            25.0);
+}
+
+}  // namespace
+}  // namespace aspen

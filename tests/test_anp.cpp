@@ -1,0 +1,238 @@
+// Tests for ANP — the §6 failure scenarios (cases 1–3, Figures 4 and 5),
+// recovery, and the intra-pod gap of the faithful protocol.
+#include <gtest/gtest.h>
+
+#include "src/aspen/generator.h"
+#include "src/proto/anp.h"
+#include "src/routing/packet_walk.h"
+#include "src/routing/reachability.h"
+#include "src/util/status.h"
+
+namespace aspen {
+namespace {
+
+Topology make_tree(std::vector<int> ftv, int k = 4) {
+  const int n = static_cast<int>(ftv.size()) + 1;
+  return Topology::build(generate_tree(n, k, FaultToleranceVector(ftv)));
+}
+
+TEST(Anp, Case1LocalRerouteNoNotifications) {
+  // Fig. 4, failure of e−f at the fault-tolerant level (c_3 = 2): "e does
+  // not need to send any notifications … it simply forwards packets
+  // destined for y through h rather than f."
+  const Topology topo = make_tree({0, 1, 0});
+  AnpSimulation anp(topo);
+  const SwitchId e = topo.switch_at(3, 0);
+  const FailureReport report =
+      anp.simulate_link_failure(topo.down_neighbors(e)[0].link);
+  EXPECT_EQ(report.messages_sent, 0u);
+  EXPECT_EQ(report.max_update_hops, 0);
+  EXPECT_DOUBLE_EQ(report.convergence_time_ms, 0.0);
+  // Exactly the two endpoints react.
+  EXPECT_EQ(report.switches_reacted, 2u);
+
+  // All flows still deliverable with ANP's tables.
+  const TableRouter router(anp.tables());
+  EXPECT_EQ(measure_all_pairs(topo, router, anp.overlay()).undelivered(), 0u);
+}
+
+TEST(Anp, Case2NotifyOneHop) {
+  // Fig. 4, failure of f−g one level below the fault tolerance: f notifies
+  // its parents, which have second connections to f's pod.
+  const Topology topo = make_tree({0, 1, 0});
+  AnpSimulation anp(topo);
+  const SwitchId f = topo.switch_at(2, 0);
+  // f's downlink to an edge switch (c_2 = 1).
+  const FailureReport report =
+      anp.simulate_link_failure(topo.down_neighbors(f)[0].link);
+  EXPECT_GT(report.messages_sent, 0u);
+  EXPECT_EQ(report.max_update_hops, 1);
+  const DelayModel delays;
+  EXPECT_NEAR(report.convergence_time_ms,
+              delays.anp_processing + delays.propagation, 1e-9);
+}
+
+TEST(Anp, Case3NotifyTwoHops) {
+  // Fig. 5 (FTV <1,0,0>): failure at L2; the nearest fault tolerance is at
+  // L4, two hops above.
+  const Topology topo = make_tree({1, 0, 0});
+  AnpSimulation anp(topo);
+  const SwitchId f = topo.switch_at(2, 0);
+  const FailureReport report =
+      anp.simulate_link_failure(topo.down_neighbors(f)[0].link);
+  EXPECT_EQ(report.max_update_hops, 2);
+  const DelayModel delays;
+  EXPECT_NEAR(report.convergence_time_ms,
+              2 * (delays.anp_processing + delays.propagation), 1e-9);
+}
+
+TEST(Anp, UpwardFailureIsSilent) {
+  // §6: upward-segment failures require no notifications at all — but here
+  // the *upper* endpoint of the same physical link may need to notify.
+  // Pick a top-level link in a tree with top fault tolerance: the top
+  // switch has c = 2 links to the pod, so even it stays silent.
+  const Topology topo = make_tree({1, 0, 0});
+  AnpSimulation anp(topo);
+  const SwitchId top = topo.switch_at(4, 0);
+  const FailureReport report =
+      anp.simulate_link_failure(topo.down_neighbors(top)[0].link);
+  EXPECT_EQ(report.messages_sent, 0u);
+  EXPECT_EQ(report.switches_reacted, 2u);  // both endpoints, locally
+}
+
+TEST(Anp, InterSubtreeTrafficRestoredFaithful) {
+  // Faithful (upward-only) ANP: flows whose apex is above the failure are
+  // repaired.  Fail f−g at L2 in the Fig. 4 tree and check flows from a
+  // remote pod to the affected edge.
+  const Topology topo = make_tree({0, 1, 0});
+  AnpSimulation anp(topo);
+  const SwitchId f = topo.switch_at(2, 0);
+  const auto& dead = topo.down_neighbors(f)[0];
+  const SwitchId g = topo.switch_of(dead.node);
+  ASSERT_EQ(topo.level_of(g), 1);
+  (void)anp.simulate_link_failure(dead.link);
+
+  const TableRouter router(anp.tables());
+  const auto hosts = topo.hosts_of_edge(g);
+  // Sources from the other half of the tree (different L3 pod subtree).
+  const auto far_host =
+      HostId{static_cast<std::uint32_t>(topo.num_hosts() - 1)};
+  for (const HostId dst : hosts) {
+    for (std::uint64_t seed = 0; seed < 4; ++seed) {
+      WalkOptions options;
+      options.flow_seed = seed;
+      EXPECT_TRUE(
+          walk_packet(topo, router, anp.overlay(), far_host, dst, options)
+              .delivered())
+          << "seed " << seed;
+    }
+  }
+}
+
+TEST(Anp, IntraPodGapExistsFaithfulAndClosesExtended) {
+  // The documented §6 gap: with upward-only notifications some intra-pod
+  // flows stay broken; the notify_children extension repairs them.
+  const Topology topo = make_tree({0, 1, 0});
+
+  AnpSimulation faithful(topo);
+  const SwitchId f = topo.switch_at(2, 0);
+  const LinkId dead = topo.down_neighbors(f)[0].link;
+  (void)faithful.simulate_link_failure(dead);
+  const TableRouter faithful_router(faithful.tables());
+  const auto broken =
+      measure_all_pairs(topo, faithful_router, faithful.overlay());
+  EXPECT_GT(broken.undelivered(), 0u);
+
+  AnpOptions extended;
+  extended.notify_children = true;
+  AnpSimulation fixed(topo, DelayModel{}, extended);
+  (void)fixed.simulate_link_failure(dead);
+  const TableRouter fixed_router(fixed.tables());
+  EXPECT_EQ(measure_all_pairs(topo, fixed_router, fixed.overlay())
+                .undelivered(),
+            0u);
+}
+
+TEST(Anp, FatTreeCannotMaskFailures) {
+  // With FTV <0,…,0> there is no redundancy to exploit: packets to the cut
+  // subtree are lost until global re-convergence (which ANP never does).
+  const Topology topo = make_tree({0, 0});
+  AnpSimulation anp(topo);
+  const SwitchId agg = topo.switch_at(2, 0);
+  (void)anp.simulate_link_failure(topo.down_neighbors(agg)[0].link);
+  const TableRouter router(anp.tables());
+  EXPECT_GT(measure_all_pairs(topo, router, anp.overlay()).undelivered(), 0u);
+}
+
+TEST(Anp, RecoveryRestoresTablesExactly) {
+  const Topology topo = make_tree({1, 0, 0});
+  AnpSimulation anp(topo);
+  const RoutingState initial = anp.tables();
+  for (Level lvl = 2; lvl <= topo.levels(); ++lvl) {
+    for (const LinkId link : topo.links_at_level(lvl)) {
+      (void)anp.simulate_link_failure(link);
+      (void)anp.simulate_link_recovery(link);
+    }
+  }
+  EXPECT_EQ(switches_with_changed_tables(initial, anp.tables()), 0u);
+}
+
+TEST(Anp, RecoveryRestoresTablesExtendedMode) {
+  const Topology topo = make_tree({0, 1, 0});
+  AnpOptions extended;
+  extended.notify_children = true;
+  AnpSimulation anp(topo, DelayModel{}, extended);
+  const RoutingState initial = anp.tables();
+  for (Level lvl = 2; lvl <= topo.levels(); ++lvl) {
+    for (const LinkId link : topo.links_at_level(lvl)) {
+      (void)anp.simulate_link_failure(link);
+      (void)anp.simulate_link_recovery(link);
+    }
+  }
+  EXPECT_EQ(switches_with_changed_tables(initial, anp.tables()), 0u);
+}
+
+TEST(Anp, OverlappingFailuresThenRecoveries) {
+  const Topology topo = make_tree({1, 0, 0});
+  AnpSimulation anp(topo);
+  const RoutingState initial = anp.tables();
+  const LinkId a = topo.links_at_level(2)[0];
+  const LinkId b = topo.links_at_level(3)[3];
+  (void)anp.simulate_link_failure(a);
+  (void)anp.simulate_link_failure(b);
+  (void)anp.simulate_link_recovery(b);
+  (void)anp.simulate_link_recovery(a);
+  EXPECT_EQ(switches_with_changed_tables(initial, anp.tables()), 0u);
+}
+
+TEST(Anp, ReactionCountsStayLocal) {
+  // The headline claim: ANP involves a small subset of switches, not the
+  // whole tree.
+  const Topology topo = make_tree({1, 0, 0});
+  AnpSimulation anp(topo);
+  for (Level lvl = 2; lvl <= topo.levels(); ++lvl) {
+    for (const LinkId link : topo.links_at_level(lvl)) {
+      const FailureReport report = anp.simulate_link_failure(link);
+      EXPECT_LT(report.switches_reacted, topo.num_switches() / 2)
+          << "level " << lvl;
+      (void)anp.simulate_link_recovery(link);
+    }
+  }
+}
+
+TEST(Anp, ConvergenceScalesWithDistanceToFaultTolerance) {
+  const Topology topo = make_tree({1, 0, 0});
+  AnpSimulation anp(topo);
+  SimTime previous = 1e18;
+  for (Level lvl = 2; lvl <= topo.levels(); ++lvl) {
+    const FailureReport report =
+        anp.simulate_link_failure(topo.links_at_level(lvl)[0]);
+    EXPECT_LT(report.convergence_time_ms, previous);
+    previous = report.convergence_time_ms;
+    (void)anp.simulate_link_recovery(topo.links_at_level(lvl)[0]);
+  }
+}
+
+TEST(Anp, DoubleFailureRejected) {
+  const Topology topo = make_tree({0, 0});
+  AnpSimulation anp(topo);
+  const LinkId link = topo.links_at_level(2)[0];
+  (void)anp.simulate_link_failure(link);
+  EXPECT_THROW(anp.simulate_link_failure(link), PreconditionError);
+  (void)anp.simulate_link_recovery(link);
+  EXPECT_THROW(anp.simulate_link_recovery(link), PreconditionError);
+}
+
+TEST(Anp, InformedIncludesAbsorbers) {
+  const Topology topo = make_tree({0, 1, 0});
+  AnpSimulation anp(topo);
+  const SwitchId f = topo.switch_at(2, 0);
+  const FailureReport report =
+      anp.simulate_link_failure(topo.down_neighbors(f)[0].link);
+  // Endpoints plus f's parents (all of which absorb).
+  EXPECT_GE(report.switches_informed, report.switches_reacted);
+  EXPECT_LE(report.switches_informed, 6u);
+}
+
+}  // namespace
+}  // namespace aspen

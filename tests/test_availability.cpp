@@ -1,0 +1,159 @@
+// Tests for the §1 availability accounting.
+#include <gtest/gtest.h>
+
+#include "src/analysis/availability.h"
+#include "src/aspen/fixed_hosts.h"
+#include "src/aspen/generator.h"
+#include "src/util/status.h"
+
+namespace aspen {
+namespace {
+
+TEST(Availability, FiveNinesBudgetIsAboutFiveMinutes) {
+  // §1: "an expectation of 5 nines (99.999%) availability corresponds to
+  // about 5 minutes of downtime per year."
+  const double budget = downtime_budget_s(0.99999);
+  EXPECT_NEAR(budget / 60.0, 5.26, 0.05);  // 5.256 minutes
+}
+
+TEST(Availability, ThirtyFailuresOfTenSeconds) {
+  // "…or 30 failures, each with a 10 second re-convergence time."
+  EXPECT_NEAR(affordable_failures_per_year(0.99999, 10.0), 31.6, 0.5);
+}
+
+TEST(Availability, NinesRoundTrip) {
+  EXPECT_NEAR(nines(0.99999), 5.0, 1e-9);
+  EXPECT_NEAR(nines(0.9999), 4.0, 1e-9);
+  EXPECT_NEAR(nines(0.9), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(nines(1.0), 12.0);
+  EXPECT_DOUBLE_EQ(nines(0.0), 0.0);
+}
+
+TEST(Availability, DowntimeAvailabilityInverse) {
+  for (const double downtime : {0.0, 100.0, 3600.0, 86400.0}) {
+    EXPECT_NEAR(downtime_budget_s(availability_from_downtime(downtime)),
+                downtime, 1e-6);
+  }
+}
+
+TEST(Availability, PreconditionsThrow) {
+  EXPECT_THROW((void)availability_from_downtime(-1.0), PreconditionError);
+  EXPECT_THROW((void)downtime_budget_s(1.5), PreconditionError);
+  EXPECT_THROW((void)nines(-0.1), PreconditionError);
+  EXPECT_THROW((void)affordable_failures_per_year(0.99, 0.0), PreconditionError);
+}
+
+TEST(Availability, EstimateScalesWithLinksAndRate) {
+  const TreeParams tree = fat_tree(3, 8);
+  const AvailabilityEstimate one =
+      estimate_availability_with_reaction(tree, 0.25, 1000.0);
+  EXPECT_DOUBLE_EQ(one.failures_per_year,
+                   0.25 * static_cast<double>(tree.total_links()));
+  EXPECT_DOUBLE_EQ(one.reaction_s, 1.0);
+  EXPECT_DOUBLE_EQ(one.downtime_s_per_year, one.failures_per_year);
+
+  const AvailabilityEstimate twice =
+      estimate_availability_with_reaction(tree, 0.5, 1000.0);
+  EXPECT_DOUBLE_EQ(twice.downtime_s_per_year,
+                   2.0 * one.downtime_s_per_year);
+  EXPECT_LT(twice.availability, one.availability);
+}
+
+TEST(Availability, AspenBeatsFatTreeDespiteMoreLinks) {
+  // §8.2's conclusion in availability terms: the fixed-host Aspen tree has
+  // more links (more failures/year) but reacts so much faster that its
+  // expected downtime is far lower.
+  const TreeParams fat = fat_tree(4, 16);
+  const TreeParams aspen = design_fixed_host_tree(4, 16, 1);
+  const double rate = 0.25;  // failures per link per year
+  const AvailabilityEstimate fat_est = estimate_availability(fat, rate);
+  const AvailabilityEstimate aspen_est = estimate_availability(aspen, rate);
+
+  EXPECT_GT(aspen_est.failures_per_year, fat_est.failures_per_year);
+  EXPECT_LT(aspen_est.downtime_s_per_year, fat_est.downtime_s_per_year);
+  EXPECT_GT(aspen_est.nines, fat_est.nines);
+}
+
+TEST(Availability, FullyFaultTolerantTreeHasNoWindow) {
+  // FTV <2,2,2>: every failure reacts locally (0 hops → 0 ms window).
+  const TreeParams tree = generate_tree(4, 6, FaultToleranceVector{2, 2, 2});
+  const AvailabilityEstimate estimate = estimate_availability(tree, 1.0);
+  EXPECT_DOUBLE_EQ(estimate.downtime_s_per_year, 0.0);
+  EXPECT_DOUBLE_EQ(estimate.nines, 12.0);
+}
+
+TEST(Availability, MixedCoverageUsesLspRatesWhereUncovered) {
+  // FTV <0,2,0> (n=4): failures at L4 are uncovered → global (LSA-rate)
+  // windows dominate the average.
+  const TreeParams covered = generate_tree(4, 6, FaultToleranceVector{2, 0, 0});
+  const TreeParams partial = generate_tree(4, 6, FaultToleranceVector{0, 2, 0});
+  const AvailabilityEstimate c = estimate_availability(covered, 0.25);
+  const AvailabilityEstimate p = estimate_availability(partial, 0.25);
+  // Same link count; the uncovered tree's mean window is much larger.
+  EXPECT_DOUBLE_EQ(c.failures_per_year, p.failures_per_year);
+  EXPECT_GT(p.downtime_s_per_year, 5.0 * c.downtime_s_per_year);
+}
+
+TEST(Availability, PerLevelRatesValidateInputs) {
+  const TreeParams tree = fat_tree(3, 4);
+  EXPECT_THROW((void)estimate_availability_per_level(tree, {0.1, 0.1}),
+               PreconditionError);
+  EXPECT_THROW(
+      (void)estimate_availability_per_level(tree, {0.0, 0.1, -1.0, 0.1}),
+      PreconditionError);
+}
+
+TEST(Availability, PerLevelMatchesUniformWhenRatesEqual) {
+  // With equal rates everywhere and a fully covered FTV, the per-level
+  // model degenerates to uniform accounting over the same failure count.
+  const TreeParams tree = generate_tree(4, 6, FaultToleranceVector{2, 2, 2});
+  const std::vector<double> rates(5, 0.25);
+  const AvailabilityEstimate per_level =
+      estimate_availability_per_level(tree, rates);
+  EXPECT_DOUBLE_EQ(per_level.failures_per_year,
+                   0.25 * static_cast<double>(tree.total_links()));
+}
+
+TEST(Availability, CoreHeavyRatesFavorTopLevelRedundancy) {
+  // §10: core links fail most and "benefit most from network redundancy.
+  // This aligns well with the subset of Aspen trees highlighted in §8.1."
+  // With core-heavy rates, <2,0,0> (top redundancy) must beat <0,0,2>
+  // (bottom redundancy) decisively; both support 54 hosts.
+  const TreeParams top = generate_tree(4, 6, FaultToleranceVector{2, 0, 0});
+  const TreeParams bottom =
+      generate_tree(4, 6, FaultToleranceVector{0, 0, 2});
+  // Rates skewed to the top two levels (per Gill et al.'s core finding).
+  const std::vector<double> core_heavy{0.0, 0.05, 0.1, 0.5, 1.0};
+  const AvailabilityEstimate top_est =
+      estimate_availability_per_level(top, core_heavy);
+  const AvailabilityEstimate bottom_est =
+      estimate_availability_per_level(bottom, core_heavy);
+  EXPECT_LT(top_est.downtime_s_per_year,
+            bottom_est.downtime_s_per_year / 4.0);
+  EXPECT_GT(top_est.nines, bottom_est.nines);
+}
+
+TEST(Availability, EdgeHeavyRatesShrinkTheGapButTopStillWins) {
+  // Flip the skew toward the bottom.  Bottom redundancy now masks the
+  // dominant failures locally (0 ms windows) — yet the top-redundant tree
+  // *still* wins, because the bottom-redundant tree's uncovered upper
+  // levels pay global LSA-rate windows that dwarf everything else.  The
+  // §8.1 top-placement guidance is robust to the failure-rate skew; only
+  // the size of the gap changes.
+  const TreeParams top = generate_tree(4, 6, FaultToleranceVector{2, 0, 0});
+  const TreeParams bottom =
+      generate_tree(4, 6, FaultToleranceVector{0, 0, 2});
+  const std::vector<double> core_heavy{0.0, 0.0, 0.05, 0.1, 0.5};
+  const std::vector<double> edge_heavy{0.0, 0.0, 1.0, 0.1, 0.05};
+
+  const auto gap = [&](const std::vector<double>& rates) {
+    return estimate_availability_per_level(bottom, rates)
+               .downtime_s_per_year /
+           estimate_availability_per_level(top, rates).downtime_s_per_year;
+  };
+  EXPECT_GT(gap(edge_heavy), 1.0);              // top still better
+  EXPECT_LT(gap(edge_heavy), gap(core_heavy));  // but the gap shrinks
+}
+
+}  // namespace
+}  // namespace aspen

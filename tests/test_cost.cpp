@@ -1,0 +1,119 @@
+// Tests for the convergence-cost model behind Figure 7 (§8.2).
+#include <gtest/gtest.h>
+
+#include "src/analysis/cost.h"
+#include "src/aspen/generator.h"
+#include "src/util/status.h"
+
+namespace aspen {
+namespace {
+
+TEST(Cost, FatTreeCost) {
+  const ConvergenceCost cost = fat_tree_cost(3, 4);
+  EXPECT_DOUBLE_EQ(cost.average_hops, 2.5);  // (3 + 2)/2
+  EXPECT_EQ(cost.links, 48u);                // 3·S·k/2 = 3·8·2
+  EXPECT_DOUBLE_EQ(cost.cost, 120.0);
+}
+
+TEST(Cost, AspenFixedHostCost) {
+  const ConvergenceCost cost = aspen_fixed_host_cost(3, 4, 1);
+  // FTV <1,0,0>: distances (2,1,0) → avg 1; links = 4·S·k/2 = 64.
+  EXPECT_DOUBLE_EQ(cost.average_hops, 1.0);
+  EXPECT_EQ(cost.links, 64u);
+  EXPECT_DOUBLE_EQ(cost.cost, 64.0);
+}
+
+TEST(Cost, RatioMatchesHandComputation) {
+  // n=3, x=1: fat cost ∝ 2.5·3, aspen ∝ 1·4 → ratio 1.875.
+  EXPECT_NEAR(fat_vs_aspen_cost_ratio(3, 1), 1.875, 1e-12);
+  // Consistency with the explicit k-specific computation.
+  for (const int k : {4, 8, 16}) {
+    const double explicit_ratio =
+        fat_tree_cost(3, k).cost / aspen_fixed_host_cost(3, k, 1).cost;
+    EXPECT_NEAR(explicit_ratio, fat_vs_aspen_cost_ratio(3, 1), 1e-12)
+        << "k=" << k;
+  }
+}
+
+TEST(Cost, RatioIsKIndependent) {
+  for (int n = 3; n <= 5; ++n) {
+    for (int x = 1; x <= 3; ++x) {
+      const double reference = fat_vs_aspen_cost_ratio(n, x);
+      for (const int k : {4, 6, 8, 16}) {
+        EXPECT_NEAR(fat_tree_cost(n, k).cost /
+                        aspen_fixed_host_cost(n, k, x).cost,
+                    reference, 1e-9)
+            << "n=" << n << " x=" << x << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(Cost, Figure7ClaimAspenAlwaysWinsForSmallX) {
+  // "when an n-level fat tree is extended with up to x = n−2 new levels
+  // that have non-zero fault tolerance, the resulting (n+x)-level Aspen
+  // tree always has a lower convergence cost than the corresponding fat
+  // tree" — ratio > 1 in our fat:aspen orientation.
+  for (int n = 3; n <= 7; ++n) {
+    for (int x = 1; x <= n - 2; ++x) {
+      EXPECT_GT(fat_vs_aspen_cost_ratio(n, x), 1.0)
+          << "n=" << n << " x=" << x;
+    }
+  }
+}
+
+TEST(Cost, Figure7FullGridIsFinite) {
+  // The plotted grid: n = 3..7, x = 1..4.
+  for (int n = 3; n <= 7; ++n) {
+    for (int x = 1; x <= 4; ++x) {
+      const double ratio = fat_vs_aspen_cost_ratio(n, x);
+      EXPECT_GT(ratio, 0.0);
+      EXPECT_LT(ratio, 3.0);  // the figure's y-range
+    }
+  }
+}
+
+TEST(Cost, TopPlacementBeatsBottomPlacement) {
+  // §8.1's guidance shows up in the cost model: clustering redundancy at
+  // the top converges strictly cheaper than pushing it to the bottom.
+  for (int n = 3; n <= 6; ++n) {
+    const double top = fat_vs_aspen_cost_ratio(n, 1, RedundancyPlacement::kTop);
+    const double bottom =
+        fat_vs_aspen_cost_ratio(n, 1, RedundancyPlacement::kBottom);
+    EXPECT_GT(top, bottom) << "n=" << n;
+  }
+}
+
+TEST(Cost, BottomPlacementCanLose) {
+  // With redundancy buried at the bottom, failures above it still trigger
+  // global re-convergence over *more* links: the Aspen tree costs more
+  // than the fat tree it came from (ratio < 1).
+  EXPECT_LT(fat_vs_aspen_cost_ratio(3, 1, RedundancyPlacement::kBottom), 1.0);
+}
+
+TEST(Cost, MoreRedundantLevelsReduceAspenCost) {
+  // Adding a second fault-tolerant level (top placement) never increases
+  // the Aspen tree's average hop count.
+  for (int n = 3; n <= 6; ++n) {
+    const ConvergenceCost one = aspen_fixed_host_cost(n, 8, 1);
+    const ConvergenceCost two = aspen_fixed_host_cost(n, 8, 2);
+    EXPECT_LE(two.average_hops, one.average_hops) << "n=" << n;
+    EXPECT_GT(two.links, one.links);
+  }
+}
+
+TEST(Cost, GenericConvergenceCost) {
+  const ConvergenceCost cost =
+      convergence_cost(generate_tree(4, 6, FaultToleranceVector{2, 0, 0}));
+  EXPECT_DOUBLE_EQ(cost.average_hops, 1.0);
+  EXPECT_EQ(cost.links, 4u * 18u * 3u);
+  EXPECT_DOUBLE_EQ(cost.cost, 216.0);
+}
+
+TEST(Cost, PreconditionsThrow) {
+  EXPECT_THROW((void)fat_vs_aspen_cost_ratio(1, 1), PreconditionError);
+  EXPECT_THROW((void)fat_vs_aspen_cost_ratio(3, 0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace aspen

@@ -1,0 +1,138 @@
+// Tests for exhaustive Aspen tree enumeration (§4.1.2).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/aspen/enumerate.h"
+#include "src/aspen/generator.h"
+#include "src/util/status.h"
+
+namespace aspen {
+namespace {
+
+TEST(Enumerate, Figure3aListsExactlyEightTrees) {
+  // "Figure 3(a) lists all possible n=4, k=6 Aspen trees, omitting those
+  // with a non-integer value for m_i at any level."
+  const auto trees = enumerate_trees(4, 6);
+  ASSERT_EQ(trees.size(), 8u);
+  EXPECT_EQ(count_trees(4, 6), 8u);
+
+  const std::vector<FaultToleranceVector> expected{
+      {0, 0, 0}, {0, 0, 2}, {0, 2, 0}, {0, 2, 2},
+      {2, 0, 0}, {2, 0, 2}, {2, 2, 0}, {2, 2, 2},
+  };
+  std::vector<FaultToleranceVector> actual;
+  for (const TreeParams& t : trees) actual.push_back(t.ftv());
+  // Order-insensitive comparison; the fat tree must come first.
+  EXPECT_EQ(actual.front(), expected.front());
+  for (const auto& e : expected) {
+    EXPECT_NE(std::find(actual.begin(), actual.end(), e), actual.end())
+        << "missing " << e.to_string();
+  }
+}
+
+TEST(Enumerate, FatTreeAlwaysFirst) {
+  for (const auto& [n, k] :
+       std::vector<std::pair<int, int>>{{3, 4}, {4, 4}, {3, 8}, {5, 4}}) {
+    const auto trees = enumerate_trees(n, k);
+    ASSERT_FALSE(trees.empty());
+    EXPECT_TRUE(trees.front().ftv().is_fat_tree())
+        << "n=" << n << " k=" << k;
+  }
+}
+
+TEST(Enumerate, EveryEnumeratedTreeIsValid) {
+  for (const TreeParams& t : enumerate_trees(5, 4)) {
+    EXPECT_NO_THROW(t.validate()) << t.to_string();
+  }
+}
+
+TEST(Enumerate, CountsGrowWithPortCount) {
+  EXPECT_LT(count_trees(3, 4), count_trees(3, 8));
+  EXPECT_LT(count_trees(3, 8), count_trees(3, 16));
+}
+
+TEST(Enumerate, KnownSmallCounts) {
+  // n=3, k=4: c_3 ∈ {1,2,4}, c_2 ∈ {1,2}; S must stay even and m integral.
+  const auto trees = enumerate_trees(3, 4);
+  for (const TreeParams& t : trees) {
+    EXPECT_EQ(t.n, 3);
+    EXPECT_EQ(t.k, 4);
+  }
+  EXPECT_EQ(trees.size(), count_trees(3, 4));
+  EXPECT_GE(trees.size(), 4u);
+}
+
+TEST(Enumerate, ForEachStopsEarly) {
+  std::size_t visited = 0;
+  for_each_tree(4, 6, [&](const TreeParams&) {
+    ++visited;
+    return visited < 3;
+  });
+  EXPECT_EQ(visited, 3u);
+}
+
+TEST(Enumerate, MinHostsFilter) {
+  EnumerationFilter filter;
+  filter.min_hosts = 54;
+  const auto trees = enumerate_trees(4, 6, filter);
+  ASSERT_FALSE(trees.empty());
+  for (const TreeParams& t : trees) EXPECT_GE(t.num_hosts(), 54u);
+  // <2,2,2> (6 hosts) must be excluded.
+  for (const TreeParams& t : trees) {
+    EXPECT_NE(t.ftv(), (FaultToleranceVector{2, 2, 2}));
+  }
+}
+
+TEST(Enumerate, MaxSwitchesFilter) {
+  EnumerationFilter filter;
+  filter.max_switches = 63;
+  for (const TreeParams& t : enumerate_trees(4, 6, filter)) {
+    EXPECT_LE(t.total_switches(), 63u);
+  }
+  // The fat tree (189 switches) is excluded.
+  EXPECT_EQ(enumerate_trees(4, 6, filter).size(), 7u);
+}
+
+TEST(Enumerate, MaxFaultToleranceFilter) {
+  EnumerationFilter filter;
+  filter.max_fault_tolerance = 0;
+  const auto trees = enumerate_trees(4, 6, filter);
+  ASSERT_EQ(trees.size(), 1u);
+  EXPECT_TRUE(trees.front().ftv().is_fat_tree());
+}
+
+TEST(Enumerate, MaxPropagationFilter) {
+  // Only trees whose worst failure propagates <= 1 hop: requires fault
+  // tolerance at or within one level above every level.
+  EnumerationFilter filter;
+  filter.max_propagation_hops = 1;
+  for (const TreeParams& t : enumerate_trees(4, 6, filter)) {
+    const auto ftv = t.ftv();
+    for (Level i = 2; i <= 4; ++i) {
+      const Level f = ftv.nearest_fault_tolerant_level_at_or_above(i);
+      ASSERT_NE(f, 0) << t.to_string();
+      EXPECT_LE(f - i, 1) << t.to_string();
+    }
+  }
+  // <2,2,2> qualifies; the fat tree does not.
+  EXPECT_FALSE(enumerate_trees(4, 6, filter).empty());
+}
+
+TEST(Enumerate, CombinedFilters) {
+  EnumerationFilter filter;
+  filter.min_hosts = 10;
+  filter.max_switches = 100;
+  for (const TreeParams& t : enumerate_trees(4, 6, filter)) {
+    EXPECT_GE(t.num_hosts(), 10u);
+    EXPECT_LE(t.total_switches(), 100u);
+  }
+}
+
+TEST(Enumerate, PreconditionsThrow) {
+  EXPECT_THROW(enumerate_trees(1, 4), PreconditionError);
+  EXPECT_THROW(enumerate_trees(3, 7), PreconditionError);
+}
+
+}  // namespace
+}  // namespace aspen

@@ -1,0 +1,137 @@
+// Tests for compound-failure scenarios (§8.3).
+#include <gtest/gtest.h>
+
+#include "src/aspen/generator.h"
+#include "src/fault/scenarios.h"
+#include "src/util/status.h"
+
+namespace aspen {
+namespace {
+
+Topology make_tree(std::vector<int> ftv, int k = 4) {
+  const int n = static_cast<int>(ftv.size()) + 1;
+  return Topology::build(generate_tree(n, k, FaultToleranceVector(ftv)));
+}
+
+TEST(FaultScenarios, RandomLinksAreDistinctAndInterSwitch) {
+  const Topology topo = make_tree({0, 0, 0});
+  Rng rng(3);
+  const auto links = random_inter_switch_links(topo, 5, rng);
+  EXPECT_EQ(links.size(), 5u);
+  for (std::size_t i = 1; i < links.size(); ++i) {
+    EXPECT_LT(links[i - 1], links[i]);  // sorted, distinct
+  }
+  for (const LinkId link : links) {
+    EXPECT_GE(topo.link(link).upper_level, 2);
+  }
+  EXPECT_THROW(random_inter_switch_links(topo, 10'000, rng),
+               PreconditionError);
+}
+
+TEST(FaultScenarios, FarApartPairPrefersDifferentPods) {
+  const Topology topo = make_tree({0, 0, 0});
+  Rng rng(11);
+  const auto pair = far_apart_pair(topo, 2, rng);
+  ASSERT_EQ(pair.size(), 2u);
+  const SwitchId a = topo.switch_of(topo.link(pair[0]).upper);
+  const SwitchId b = topo.switch_of(topo.link(pair[1]).upper);
+  EXPECT_NE(a, b);
+  EXPECT_NE(topo.pod_of(a), topo.pod_of(b));
+}
+
+TEST(FaultScenarios, SameSwitchPairSharesUpper) {
+  const Topology topo = make_tree({0, 0});
+  const SwitchId agg = topo.switch_at(2, 0);
+  const auto pair = same_switch_pair(topo, agg);
+  ASSERT_EQ(pair.size(), 2u);
+  EXPECT_EQ(topo.switch_of(topo.link(pair[0]).upper), agg);
+  EXPECT_EQ(topo.switch_of(topo.link(pair[1]).upper), agg);
+  EXPECT_NE(pair[0], pair[1]);
+}
+
+TEST(FaultScenarios, KillPodConnectivityCollectsAllLinks) {
+  const Topology topo = make_tree({0, 1, 0});
+  const SwitchId l3 = topo.switch_at(3, 0);
+  const PodId child = topo.pod_of(
+      topo.switch_of(topo.down_neighbors(l3)[0].node));
+  const auto links = kill_pod_connectivity(topo, l3, child);
+  EXPECT_EQ(links.size(), 2u);  // c_3 = 2
+}
+
+TEST(FaultScenarios, FarApartFailuresAreIndependent) {
+  // §8.3: "failures far enough apart in a tree have no effect on one
+  // another and can be considered individually."
+  const Topology topo = make_tree({0, 1, 0});
+  Rng rng(5);
+  const auto pair = far_apart_pair(topo, 3, rng);
+  MultiFailureOptions options;
+  options.anp.notify_children = true;
+  const MultiFailureOutcome outcome =
+      run_multi_failure(ProtocolKind::kAnp, topo, pair, options);
+  EXPECT_EQ(outcome.degraded_delivery.undelivered(), 0u);
+  EXPECT_TRUE(outcome.tables_restored);
+}
+
+TEST(FaultScenarios, CompoundFailureKillingAPodCausesLoss) {
+  // §8.3's pathological case: fail *every* link from an L3 switch into one
+  // child pod.  Redundancy at L3 is defeated; with no fault tolerance
+  // above L3, faithful ANP cannot mask the combination.
+  const Topology topo = make_tree({0, 1, 0});
+  const SwitchId l3 = topo.switch_at(3, 0);
+  const PodId child = topo.pod_of(
+      topo.switch_of(topo.down_neighbors(l3)[0].node));
+  const auto links = kill_pod_connectivity(topo, l3, child);
+  const MultiFailureOutcome outcome =
+      run_multi_failure(ProtocolKind::kAnp, topo, links);
+  EXPECT_GT(outcome.degraded_delivery.undelivered(), 0u);
+  EXPECT_TRUE(outcome.tables_restored);  // recovery still rolls back
+}
+
+TEST(FaultScenarios, LspSurvivesCompoundFailures) {
+  const Topology topo = make_tree({0, 1, 0});
+  Rng rng(23);
+  const auto links = random_inter_switch_links(topo, 3, rng);
+  const MultiFailureOutcome outcome =
+      run_multi_failure(ProtocolKind::kLsp, topo, links);
+  // Global re-convergence handles any failure set that leaves hosts
+  // physically connected via valid up/down paths.
+  EXPECT_EQ(outcome.degraded_delivery.no_route +
+                outcome.degraded_delivery.dropped,
+            outcome.degraded_delivery.undelivered());
+  EXPECT_TRUE(outcome.tables_restored);
+  EXPECT_EQ(outcome.failure_reports.size(), 3u);
+  EXPECT_EQ(outcome.recovery_reports.size(), 3u);
+}
+
+TEST(FaultScenarios, SameSwitchDoubleFailureWithTopRedundancy) {
+  // Two downlinks of one L2 switch fail; fault tolerance at the top level
+  // plus downward notices reroute around both.
+  const Topology topo = make_tree({1, 0, 0});
+  const SwitchId l2 = topo.switch_at(2, 0);
+  const auto pair = same_switch_pair(topo, l2);
+  MultiFailureOptions options;
+  options.anp.notify_children = true;
+  const MultiFailureOutcome outcome =
+      run_multi_failure(ProtocolKind::kAnp, topo, pair, options);
+  EXPECT_EQ(outcome.degraded_delivery.undelivered(), 0u);
+  EXPECT_TRUE(outcome.tables_restored);
+}
+
+TEST(FaultScenarios, SampledDeliveryOption) {
+  const Topology topo = make_tree({0, 0});
+  MultiFailureOptions options;
+  options.sample_flows = 64;
+  const std::vector<LinkId> one{topo.links_at_level(2)[0]};
+  const MultiFailureOutcome outcome =
+      run_multi_failure(ProtocolKind::kLsp, topo, one, options);
+  EXPECT_EQ(outcome.degraded_delivery.flows, 64u);
+}
+
+TEST(FaultScenarios, EmptyScenarioRejected) {
+  const Topology topo = make_tree({0, 0});
+  EXPECT_THROW(run_multi_failure(ProtocolKind::kLsp, topo, {}),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace aspen

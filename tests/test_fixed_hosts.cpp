@@ -1,0 +1,116 @@
+// Tests for fixed-host-count Aspen tree designs (§4.2, §8.2, §9.2).
+#include <gtest/gtest.h>
+
+#include "src/aspen/fixed_hosts.h"
+#include "src/aspen/generator.h"
+#include "src/util/status.h"
+
+namespace aspen {
+namespace {
+
+TEST(FixedHosts, PreservesHostCount) {
+  for (const auto& [n, k] : std::vector<std::pair<int, int>>{
+           {3, 4}, {3, 6}, {3, 8}, {4, 4}, {4, 16}, {5, 4}}) {
+    const TreeParams base = fat_tree(n, k);
+    for (int x = 1; x <= 2; ++x) {
+      const TreeParams aspen = design_fixed_host_tree(n, k, x);
+      SCOPED_TRACE(aspen.to_string());
+      EXPECT_EQ(aspen.num_hosts(), base.num_hosts());
+      EXPECT_EQ(aspen.n, n + x);
+      EXPECT_EQ(aspen.S, base.S);  // same hosts → same S
+    }
+  }
+}
+
+TEST(FixedHosts, PaperConstructionForOneLevel) {
+  // §9.2: "we increase the number of switches at Ln from S/2 to S and add a
+  // new level, Ln+1, with S/2 switches.  In other words, we add S new
+  // switches to the tree."
+  for (const auto& [n, k] :
+       std::vector<std::pair<int, int>>{{3, 4}, {3, 8}, {4, 6}}) {
+    const TreeParams base = fat_tree(n, k);
+    EXPECT_EQ(switches_added(n, k, 1), base.S) << "n=" << n << " k=" << k;
+  }
+}
+
+TEST(FixedHosts, SwitchIncreasePercentagesMatchPaper) {
+  // §9.2: adding one level "corresponds to 40%, 29% and 22% increases in
+  // total switch count, for 3, 4 and 5-level fat trees."
+  for (const auto& [n, pct] :
+       std::vector<std::pair<int, double>>{{3, 40.0}, {4, 28.6}, {5, 22.2}}) {
+    const TreeParams base = fat_tree(n, 4);
+    const double increase = 100.0 *
+                            static_cast<double>(switches_added(n, 4, 1)) /
+                            static_cast<double>(base.total_switches());
+    EXPECT_NEAR(increase, pct, 0.5) << "n=" << n;
+  }
+}
+
+TEST(FixedHosts, SwitchToHostRatioIncrease) {
+  // §9.2: "a 2/k increase in the switch-to-host ratio."
+  const int n = 3;
+  const int k = 8;
+  const TreeParams base = fat_tree(n, k);
+  const TreeParams aspen = design_fixed_host_tree(n, k, 1);
+  const double base_ratio = static_cast<double>(base.total_switches()) /
+                            static_cast<double>(base.num_hosts());
+  const double aspen_ratio = static_cast<double>(aspen.total_switches()) /
+                             static_cast<double>(aspen.num_hosts());
+  EXPECT_NEAR(aspen_ratio - base_ratio, 2.0 / k, 1e-12);
+}
+
+TEST(FixedHosts, TopPlacementFtv) {
+  // x=1 on a 3-level tree: FTV <k/2−1, 0, 0>.
+  EXPECT_EQ(fixed_host_ftv(3, 8, 1), (FaultToleranceVector{3, 0, 0}));
+  // x=2: two fault-tolerant levels on top.
+  EXPECT_EQ(fixed_host_ftv(3, 8, 2), (FaultToleranceVector{3, 3, 0, 0}));
+}
+
+TEST(FixedHosts, BottomPlacementFtv) {
+  EXPECT_EQ(fixed_host_ftv(3, 8, 1, RedundancyPlacement::kBottom),
+            (FaultToleranceVector{0, 0, 3}));
+  EXPECT_EQ(fixed_host_ftv(3, 8, 2, RedundancyPlacement::kBottom),
+            (FaultToleranceVector{0, 0, 3, 3}));
+}
+
+TEST(FixedHosts, SpreadPlacementFtv) {
+  // 4 entries, 2 redundant levels: segments of 2, each led by redundancy.
+  EXPECT_EQ(fixed_host_ftv(3, 8, 2, RedundancyPlacement::kSpread),
+            (FaultToleranceVector{3, 0, 3, 0}));
+  // One redundant level spreads to the top.
+  EXPECT_EQ(fixed_host_ftv(3, 8, 1, RedundancyPlacement::kSpread),
+            (FaultToleranceVector{3, 0, 0}));
+}
+
+TEST(FixedHosts, AllPlacementsPreserveHosts) {
+  const TreeParams base = fat_tree(4, 8);
+  for (const auto placement :
+       {RedundancyPlacement::kTop, RedundancyPlacement::kBottom,
+        RedundancyPlacement::kSpread}) {
+    const TreeParams aspen = design_fixed_host_tree(4, 8, 2, placement);
+    EXPECT_EQ(aspen.num_hosts(), base.num_hosts());
+  }
+}
+
+TEST(FixedHosts, Vl2StyleTreeIsTopLevelRedundant) {
+  // §8.1/§2: the VL2 topology is an Aspen tree with FTV <1,0,0,…> — for
+  // k = 4 the fixed-host design with one added level is exactly that.
+  const TreeParams aspen = design_fixed_host_tree(3, 4, 1);
+  EXPECT_EQ(aspen.ftv(), (FaultToleranceVector{1, 0, 0}));
+}
+
+TEST(FixedHosts, PreconditionsThrow) {
+  EXPECT_THROW(design_fixed_host_tree(1, 4, 1), PreconditionError);
+  EXPECT_THROW(design_fixed_host_tree(3, 2, 1), PreconditionError);  // k<4
+  EXPECT_THROW(design_fixed_host_tree(3, 5, 1), PreconditionError);  // odd
+  EXPECT_THROW(design_fixed_host_tree(3, 4, 0), PreconditionError);
+}
+
+TEST(FixedHosts, DeeperTreesKeepAddingSwitches) {
+  const std::uint64_t one = switches_added(3, 8, 1);
+  const std::uint64_t two = switches_added(3, 8, 2);
+  EXPECT_GT(two, one);
+}
+
+}  // namespace
+}  // namespace aspen

@@ -1,0 +1,118 @@
+// Unit tests for the Fault Tolerance Vector (§5.1).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/aspen/ftv.h"
+#include "src/util/status.h"
+
+namespace aspen {
+namespace {
+
+TEST(Ftv, ConstructionAndLevels) {
+  const FaultToleranceVector ftv{1, 0, 2};
+  EXPECT_EQ(ftv.levels(), 4);
+  EXPECT_EQ(ftv.entries(), (std::vector<int>{1, 0, 2}));
+}
+
+TEST(Ftv, RejectsNegativeEntries) {
+  EXPECT_THROW(FaultToleranceVector({1, -1}), PreconditionError);
+}
+
+TEST(Ftv, AtLevelReadsTopDown) {
+  // <c_n−1, …, c_2−1>: entry 0 is the top level.
+  const FaultToleranceVector ftv{3, 0, 1, 0};  // 5-level tree
+  EXPECT_EQ(ftv.at_level(5), 3);
+  EXPECT_EQ(ftv.at_level(4), 0);
+  EXPECT_EQ(ftv.at_level(3), 1);
+  EXPECT_EQ(ftv.at_level(2), 0);
+  EXPECT_THROW((void)ftv.at_level(1), PreconditionError);
+  EXPECT_THROW((void)ftv.at_level(6), PreconditionError);
+}
+
+TEST(Ftv, ConnectionsAtLevel) {
+  const FaultToleranceVector ftv{2, 0};
+  EXPECT_EQ(ftv.connections_at_level(3), 3);
+  EXPECT_EQ(ftv.connections_at_level(2), 1);
+}
+
+TEST(Ftv, PaperExampleFtvDescription) {
+  // §5.1: "an FTV of <3,0,1,0> describes a five level tree, with four links
+  // between every L5 switch and each neighboring L4 pod, two links between
+  // an L3 switch and each neighboring L2 pod."
+  const FaultToleranceVector ftv{3, 0, 1, 0};
+  EXPECT_EQ(ftv.levels(), 5);
+  EXPECT_EQ(ftv.connections_at_level(5), 4);
+  EXPECT_EQ(ftv.connections_at_level(3), 2);
+  EXPECT_EQ(ftv.connections_at_level(4), 1);
+  EXPECT_EQ(ftv.connections_at_level(2), 1);
+}
+
+TEST(Ftv, FatTreeFactory) {
+  const auto ftv = FaultToleranceVector::fat_tree(4);
+  EXPECT_EQ(ftv.levels(), 4);
+  EXPECT_TRUE(ftv.is_fat_tree());
+  EXPECT_FALSE(ftv.is_fully_fault_tolerant());
+  EXPECT_EQ(ftv.dcc(), 1u);
+  EXPECT_THROW(FaultToleranceVector::fat_tree(1), PreconditionError);
+}
+
+TEST(Ftv, UniformFactory) {
+  const auto ftv = FaultToleranceVector::uniform(4, 2);
+  EXPECT_EQ(ftv.entries(), (std::vector<int>{2, 2, 2}));
+  EXPECT_TRUE(ftv.is_fully_fault_tolerant());
+}
+
+TEST(Ftv, DccMultipliesIncrementedEntries) {
+  // §5.2: "the DCC of an Aspen tree with FTV <1,2,3> is 2×3×4 = 24."
+  EXPECT_EQ((FaultToleranceVector{1, 2, 3}).dcc(), 24u);
+  EXPECT_EQ((FaultToleranceVector{0, 0, 0}).dcc(), 1u);
+  EXPECT_EQ((FaultToleranceVector{2, 2, 2}).dcc(), 27u);
+}
+
+TEST(Ftv, NearestFaultTolerantLevel) {
+  const FaultToleranceVector ftv{1, 0, 0};  // 4 levels, FT at L4 only
+  EXPECT_EQ(ftv.nearest_fault_tolerant_level_at_or_above(2), 4);
+  EXPECT_EQ(ftv.nearest_fault_tolerant_level_at_or_above(4), 4);
+
+  const FaultToleranceVector mid{0, 1, 0};  // FT at L3
+  EXPECT_EQ(mid.nearest_fault_tolerant_level_at_or_above(2), 3);
+  EXPECT_EQ(mid.nearest_fault_tolerant_level_at_or_above(3), 3);
+  EXPECT_EQ(mid.nearest_fault_tolerant_level_at_or_above(4), 0);  // none
+
+  const auto fat = FaultToleranceVector::fat_tree(4);
+  EXPECT_EQ(fat.nearest_fault_tolerant_level_at_or_above(2), 0);
+}
+
+TEST(Ftv, ToStringAndStream) {
+  const FaultToleranceVector ftv{1, 0, 2};
+  EXPECT_EQ(ftv.to_string(), "<1,0,2>");
+  std::ostringstream os;
+  os << ftv;
+  EXPECT_EQ(os.str(), "<1,0,2>");
+}
+
+TEST(Ftv, ParseRoundTrip) {
+  EXPECT_EQ(FaultToleranceVector::parse("<1,0,2>"),
+            (FaultToleranceVector{1, 0, 2}));
+  EXPECT_EQ(FaultToleranceVector::parse("3, 0, 1, 0"),
+            (FaultToleranceVector{3, 0, 1, 0}));
+  EXPECT_EQ(FaultToleranceVector::parse("0"), (FaultToleranceVector{0}));
+}
+
+TEST(Ftv, ParseRejectsGarbage) {
+  EXPECT_THROW(FaultToleranceVector::parse(""), PreconditionError);
+  EXPECT_THROW(FaultToleranceVector::parse("<>"), PreconditionError);
+  EXPECT_THROW(FaultToleranceVector::parse("1,,2"), PreconditionError);
+  EXPECT_THROW(FaultToleranceVector::parse("1,x"), std::exception);
+  EXPECT_THROW(FaultToleranceVector::parse("<1,-2>"), PreconditionError);
+}
+
+TEST(Ftv, Equality) {
+  EXPECT_EQ((FaultToleranceVector{1, 0}), (FaultToleranceVector{1, 0}));
+  EXPECT_NE((FaultToleranceVector{1, 0}), (FaultToleranceVector{0, 1}));
+  EXPECT_NE((FaultToleranceVector{1, 0}), (FaultToleranceVector{1, 0, 0}));
+}
+
+}  // namespace
+}  // namespace aspen

@@ -1,0 +1,189 @@
+// Tests for the Listing 1 generation algorithm (§4.1) and TreeParams
+// properties (§5), anchored to the paper's published examples.
+#include <gtest/gtest.h>
+
+#include "src/aspen/generator.h"
+#include "src/util/status.h"
+
+namespace aspen {
+namespace {
+
+TEST(Generator, TraditionalFatTree3Level4Port) {
+  const TreeParams t = fat_tree(3, 4);
+  EXPECT_EQ(t.S, 8u);                   // k^2/2
+  EXPECT_EQ(t.num_hosts(), 16u);        // k^3/4
+  EXPECT_EQ(t.total_switches(), 20u);   // 2.5·S
+  EXPECT_EQ(t.dcc(), 1u);
+  EXPECT_EQ(t.p[1], 8u);
+  EXPECT_EQ(t.p[2], 4u);
+  EXPECT_EQ(t.p[3], 1u);
+  EXPECT_EQ(t.m[1], 1u);
+  EXPECT_EQ(t.m[2], 2u);
+  EXPECT_EQ(t.m[3], 4u);
+  EXPECT_EQ(t.r[2], 2u);
+  EXPECT_EQ(t.r[3], 4u);
+  EXPECT_EQ(t.c[2], 1u);
+  EXPECT_EQ(t.c[3], 1u);
+}
+
+TEST(Generator, Figure1FatTree4Level4Port) {
+  // "In Figure 1, k is 4 and S is 16."
+  const TreeParams t = fat_tree(4, 4);
+  EXPECT_EQ(t.S, 16u);
+  EXPECT_EQ(t.num_hosts(), 32u);
+  EXPECT_EQ(t.total_switches(), 56u);  // 3.5·S
+}
+
+struct Fig3Row {
+  std::vector<int> ftv;
+  std::uint64_t dcc;
+  std::uint64_t S;
+  std::uint64_t switches;
+  std::uint64_t hosts;
+  double agg_l4, agg_l3, agg_l2, agg_overall;
+};
+
+// The complete Figure 3(a) table.
+const Fig3Row kFig3Table[] = {
+    {{0, 0, 0}, 1, 54, 189, 162, 3, 3, 3, 27},
+    {{0, 0, 2}, 3, 18, 63, 54, 3, 3, 1, 9},
+    {{0, 2, 0}, 3, 18, 63, 54, 3, 1, 3, 9},
+    {{0, 2, 2}, 9, 6, 21, 18, 3, 1, 1, 3},
+    {{2, 0, 0}, 3, 18, 63, 54, 1, 3, 3, 9},
+    {{2, 0, 2}, 9, 6, 21, 18, 1, 3, 1, 3},
+    {{2, 2, 0}, 9, 6, 21, 18, 1, 1, 3, 3},
+    {{2, 2, 2}, 27, 2, 7, 6, 1, 1, 1, 1},
+};
+
+TEST(Generator, Figure3aTableReproducesExactly) {
+  for (const Fig3Row& row : kFig3Table) {
+    const TreeParams t = generate_tree(4, 6, FaultToleranceVector(row.ftv));
+    SCOPED_TRACE(t.to_string());
+    EXPECT_EQ(t.dcc(), row.dcc);
+    EXPECT_EQ(t.S, row.S);
+    EXPECT_EQ(t.total_switches(), row.switches);
+    EXPECT_EQ(t.num_hosts(), row.hosts);
+    EXPECT_DOUBLE_EQ(t.aggregation_at_level(4), row.agg_l4);
+    EXPECT_DOUBLE_EQ(t.aggregation_at_level(3), row.agg_l3);
+    EXPECT_DOUBLE_EQ(t.aggregation_at_level(2), row.agg_l2);
+    EXPECT_DOUBLE_EQ(t.overall_aggregation(), row.agg_overall);
+  }
+}
+
+TEST(Generator, FtvRoundTrips) {
+  const FaultToleranceVector ftv{2, 0, 2};
+  const TreeParams t = generate_tree(4, 6, ftv);
+  EXPECT_EQ(t.ftv(), ftv);
+  EXPECT_EQ(t.fault_tolerance_at_level(4), 2);
+  EXPECT_EQ(t.fault_tolerance_at_level(3), 0);
+  EXPECT_EQ(t.fault_tolerance_at_level(2), 2);
+}
+
+TEST(Generator, EquationsHoldForSampledTrees) {
+  for (const auto& [n, k] : std::vector<std::pair<int, int>>{
+           {3, 4}, {3, 8}, {4, 6}, {5, 4}, {3, 16}, {6, 4}}) {
+    const TreeParams t = fat_tree(n, k);
+    SCOPED_TRACE(t.to_string());
+    EXPECT_NO_THROW(t.validate());
+    // Eq. 5: S = k^{n-1} / 2^{n-2} / DCC.
+    const auto K = static_cast<std::uint64_t>(k);
+    std::uint64_t expect_s = K;
+    for (int i = 2; i < n; ++i) expect_s = expect_s * K / 2;
+    EXPECT_EQ(t.S, expect_s / t.dcc());
+    // Eq. 6: hosts = k/2 · S.
+    EXPECT_EQ(t.num_hosts(), K / 2 * t.S);
+    // §5.3: overall aggregation = S/2.
+    EXPECT_DOUBLE_EQ(t.overall_aggregation(),
+                     static_cast<double>(t.S) / 2.0);
+  }
+}
+
+TEST(Generator, HostReductionIsMultiplicative) {
+  // §5.3: raising one level's c_i from 1 to x divides host count by x.
+  const TreeParams base = fat_tree(4, 6);
+  const TreeParams one = generate_tree(4, 6, FaultToleranceVector{2, 0, 0});
+  EXPECT_EQ(base.num_hosts(), 3 * one.num_hosts());
+  const TreeParams other = generate_tree(4, 6, FaultToleranceVector{0, 2, 0});
+  EXPECT_EQ(one.num_hosts(), other.num_hosts());  // level placement irrelevant
+}
+
+TEST(Generator, LinkCountMatchesPaperFootnote) {
+  // §1 footnote 1: "Even a relatively small 64-port, 3-level fat tree has
+  // 196,608 links."
+  EXPECT_EQ(fat_tree(3, 64).total_links(), 196'608u);
+}
+
+TEST(Generator, InterSwitchLinks) {
+  const TreeParams t = fat_tree(3, 4);
+  EXPECT_EQ(t.total_links(), 48u);        // 3·S·k/2
+  EXPECT_EQ(t.inter_switch_links(), 32u); // 2·S·k/2
+}
+
+TEST(Generator, InvalidConnectionCountThrows) {
+  // c_2 = 4 does not divide k/2 = 3 for k = 6.
+  EXPECT_THROW(generate_tree(3, 6, FaultToleranceVector{0, 3}),
+               InvalidTreeError);
+  EXPECT_FALSE(is_valid_tree(3, 6, FaultToleranceVector{0, 3}));
+}
+
+TEST(Generator, NonIntegerPodSizeThrows) {
+  // n=4, k=6, FTV <1,…>: c_4 = 2 divides 6, but S becomes 27 (odd) so
+  // m_4 = S/2 is not an integer.
+  EXPECT_THROW(generate_tree(4, 6, FaultToleranceVector{1, 0, 0}),
+               InvalidTreeError);
+  EXPECT_EQ(try_generate_tree(4, 6, FaultToleranceVector{1, 0, 0}),
+            std::nullopt);
+}
+
+TEST(Generator, TryGenerateReturnsValueOnSuccess) {
+  const auto t = try_generate_tree(3, 4, FaultToleranceVector{1, 0});
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->num_hosts(), 8u);  // half of the 16-host fat tree
+}
+
+TEST(Generator, PreconditionsThrow) {
+  EXPECT_THROW(fat_tree(1, 4), PreconditionError);
+  EXPECT_THROW(fat_tree(3, 5), PreconditionError);   // odd k
+  EXPECT_THROW(fat_tree(3, 0), PreconditionError);
+  EXPECT_THROW(generate_tree(3, 4, FaultToleranceVector{0, 0, 0}),
+               PreconditionError);  // FTV length mismatch
+}
+
+TEST(Generator, MaximallyFaultTolerantTree) {
+  // Figure 3(e): FTV <2,2,2> for n=4, k=6: S=2, 7 switches, 6 hosts.
+  const TreeParams t = generate_tree(4, 6, FaultToleranceVector{2, 2, 2});
+  EXPECT_EQ(t.S, 2u);
+  EXPECT_EQ(t.total_switches(), 7u);
+  EXPECT_EQ(t.num_hosts(), 6u);
+  EXPECT_TRUE(t.ftv().is_fully_fault_tolerant());
+}
+
+TEST(Generator, TwoLevelTrees) {
+  // Degenerate but valid: n=2.  L2 switches connect to every L1 pod.
+  const TreeParams t = fat_tree(2, 4);
+  EXPECT_EQ(t.S, 4u);
+  EXPECT_EQ(t.num_hosts(), 8u);
+  EXPECT_NO_THROW(t.validate());
+}
+
+TEST(Generator, ValidateCatchesCorruptedParams) {
+  TreeParams t = fat_tree(3, 4);
+  t.c[2] = 2;  // breaks Eq. 2 (r·c != k/2)
+  EXPECT_THROW(t.validate(), InvalidTreeError);
+
+  TreeParams t2 = fat_tree(3, 4);
+  t2.p[2] = 3;  // breaks Eq. 1 and 3
+  EXPECT_THROW(t2.validate(), InvalidTreeError);
+
+  TreeParams t3 = fat_tree(3, 4);
+  t3.S = 7;  // odd S
+  EXPECT_THROW(t3.validate(), InvalidTreeError);
+}
+
+TEST(Generator, ToStringMentionsShape) {
+  const TreeParams t = generate_tree(4, 6, FaultToleranceVector{0, 2, 0});
+  EXPECT_EQ(t.to_string(), "Aspen(n=4,k=6,FTV=<0,2,0>)");
+}
+
+}  // namespace
+}  // namespace aspen

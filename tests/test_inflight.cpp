@@ -1,0 +1,130 @@
+// Tests for the in-flight window-of-vulnerability measurement (§8.4).
+#include <gtest/gtest.h>
+
+#include "src/aspen/fixed_hosts.h"
+#include "src/aspen/generator.h"
+#include "src/proto/experiment.h"
+#include "src/proto/inflight.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace aspen {
+namespace {
+
+std::vector<Flow> all_cross_flows(const Topology& topo) {
+  // One flow from every host to a host in the "opposite" half.
+  std::vector<Flow> flows;
+  const auto hosts = static_cast<std::uint32_t>(topo.num_hosts());
+  for (std::uint32_t s = 0; s < hosts; ++s) {
+    flows.push_back(Flow{HostId{s}, HostId{(s + hosts / 2) % hosts}});
+  }
+  return flows;
+}
+
+TEST(Inflight, NoFailureMeansNoLoss) {
+  const Topology topo = Topology::build(fat_tree(3, 4));
+  AnpSimulation anp(topo);
+  const RoutingState before = anp.tables();
+  FailureReport empty_report;
+  empty_report.table_change_completed.assign(
+      topo.num_switches(), FailureReport::kNoChange);
+  const LinkStateOverlay intact(topo);
+  for (const Flow& flow : all_cross_flows(topo)) {
+    const WalkResult walk = walk_during_convergence(
+        topo, before, before, empty_report, intact, flow.src, flow.dst, 0.0);
+    EXPECT_TRUE(walk.delivered());
+  }
+}
+
+TEST(Inflight, LossStopsAfterConvergence) {
+  // Packets injected after every switch has updated see only new tables:
+  // on a coverable failure under extended ANP, zero loss.
+  const Topology topo =
+      Topology::build(generate_tree(4, 4, FaultToleranceVector{1, 0, 0}));
+  AnpOptions extended;
+  extended.notify_children = true;
+  const LinkId link = topo.links_at_level(2)[0];
+  const auto curve = run_window_experiment(
+      ProtocolKind::kAnp, topo, link, all_cross_flows(topo),
+      {0.0, 10.0, 1000.0}, DelayModel{}, extended);
+  ASSERT_EQ(curve.size(), 3u);
+  // Long after convergence: no loss.
+  EXPECT_EQ(curve[2].lost, 0u);
+  // At t=0 some flows race into the dead region.
+  EXPECT_GE(curve[0].lost, curve[2].lost);
+}
+
+TEST(Inflight, AnpWindowShorterThanLsp) {
+  const int k = 4;
+  const int n = 3;
+  const Topology fat = Topology::build(fat_tree(n, k));
+  const Topology aspen =
+      Topology::build(design_fixed_host_tree(n, k, /*extra_levels=*/1));
+
+  // Sweep injection times; the window length is the last sample with loss.
+  std::vector<SimTime> times;
+  for (SimTime t = 0.0; t <= 1500.0; t += 25.0) times.push_back(t);
+
+  const auto window_end = [&](const std::vector<WindowSample>& curve) {
+    SimTime end = 0.0;
+    for (const WindowSample& s : curve) {
+      if (s.lost > 0) end = s.inject_ms;
+    }
+    return end;
+  };
+
+  AnpOptions extended;
+  extended.notify_children = true;
+  // Pick the same structural failure in both trees: an L2 downlink.
+  const auto lsp_curve = run_window_experiment(
+      ProtocolKind::kLsp, fat, fat.links_at_level(2)[0],
+      all_cross_flows(fat), times);
+  const auto anp_curve = run_window_experiment(
+      ProtocolKind::kAnp, aspen, aspen.links_at_level(2)[0],
+      all_cross_flows(aspen), times, DelayModel{}, extended);
+
+  const SimTime lsp_window = window_end(lsp_curve);
+  const SimTime anp_window = window_end(anp_curve);
+  EXPECT_GT(lsp_window, 250.0);   // LSA-rate reaction
+  EXPECT_LT(anp_window, 100.0);   // notification-rate reaction
+  EXPECT_GT(lsp_window, 3 * anp_window);
+}
+
+TEST(Inflight, UncoveredFailureLeaksForever) {
+  // Fat tree + faithful ANP: the loss never stops (no redundancy and no
+  // global re-convergence).
+  const Topology topo = Topology::build(fat_tree(3, 4));
+  const LinkId link = topo.links_at_level(2)[0];
+  const auto curve =
+      run_window_experiment(ProtocolKind::kAnp, topo, link,
+                            all_cross_flows(topo), {0.0, 10'000.0});
+  EXPECT_GT(curve[1].lost, 0u);
+}
+
+TEST(Inflight, CurveIsMonotoneOnceConverged) {
+  const Topology topo =
+      Topology::build(generate_tree(4, 4, FaultToleranceVector{0, 1, 0}));
+  const LinkId link = topo.links_at_level(2)[0];
+  AnpOptions extended;
+  extended.notify_children = true;
+  std::vector<SimTime> times{0.0, 20.0, 40.0, 80.0, 160.0, 320.0};
+  const auto curve = run_window_experiment(ProtocolKind::kAnp, topo, link,
+                                           all_cross_flows(topo), times,
+                                           DelayModel{}, extended);
+  // After the final change time (<= convergence), loss is zero and stays.
+  EXPECT_EQ(curve.back().lost, 0u);
+}
+
+TEST(Inflight, ReportWithoutChangeTimesRejected) {
+  const Topology topo = Topology::build(fat_tree(3, 4));
+  AnpSimulation anp(topo);
+  const FailureReport bogus;  // empty table_change_completed
+  const LinkStateOverlay intact(topo);
+  EXPECT_THROW((void)walk_during_convergence(topo, anp.tables(),
+                                             anp.tables(), bogus, intact,
+                                             HostId{0}, HostId{8}, 0.0),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace aspen

@@ -1,0 +1,151 @@
+// Tests for the LSP (link-state, OSPF-style) baseline protocol.
+#include <gtest/gtest.h>
+
+#include "src/aspen/generator.h"
+#include "src/proto/lsp.h"
+#include "src/routing/packet_walk.h"
+#include "src/routing/reachability.h"
+#include "src/util/status.h"
+
+namespace aspen {
+namespace {
+
+LinkId core_downlink(const Topology& topo) {
+  return topo.down_neighbors(topo.switch_at(topo.levels(), 0))[0].link;
+}
+
+TEST(Lsp, InitialTablesAreConverged) {
+  const Topology topo = Topology::build(fat_tree(3, 4));
+  const LspSimulation lsp(topo);
+  const RoutingState expected = compute_updown_routes(topo);
+  EXPECT_EQ(switches_with_changed_tables(lsp.tables(), expected), 0u);
+}
+
+TEST(Lsp, FailureConvergesToGlobalRecomputation) {
+  const Topology topo = Topology::build(fat_tree(3, 4));
+  LspSimulation lsp(topo);
+  const LinkId link = core_downlink(topo);
+  const FailureReport report = lsp.simulate_link_failure(link);
+
+  LinkStateOverlay failed(topo);
+  failed.fail(link);
+  const RoutingState expected = compute_updown_routes(topo, failed);
+  EXPECT_EQ(switches_with_changed_tables(lsp.tables(), expected), 0u);
+  EXPECT_FALSE(lsp.overlay().is_up(link));
+  EXPECT_GT(report.switches_reacted, 0u);
+}
+
+TEST(Lsp, FloodingInformsEverySwitch) {
+  const Topology topo = Topology::build(fat_tree(3, 4));
+  LspSimulation lsp(topo);
+  const FailureReport report = lsp.simulate_link_failure(core_downlink(topo));
+  EXPECT_EQ(report.switches_informed, topo.num_switches());
+  // LSAs cross (nearly) every link from both origins.
+  EXPECT_GT(report.messages_sent, topo.num_links() / 2);
+}
+
+TEST(Lsp, ConvergenceTimeDominatedByLsaProcessing) {
+  const Topology topo = Topology::build(fat_tree(3, 4));
+  LspSimulation lsp(topo);
+  const FailureReport report = lsp.simulate_link_failure(core_downlink(topo));
+  const DelayModel delays;
+  // At least one serialized LSA processing interval; bounded by a few.
+  EXPECT_GE(report.convergence_time_ms, delays.lsa_processing);
+  EXPECT_LE(report.convergence_time_ms, 12 * delays.lsa_processing);
+  EXPECT_GT(report.events, 0u);
+}
+
+TEST(Lsp, RecoveryRestoresInitialTables) {
+  const Topology topo = Topology::build(fat_tree(3, 4));
+  LspSimulation lsp(topo);
+  const RoutingState initial = lsp.tables();
+  const LinkId link = core_downlink(topo);
+  (void)lsp.simulate_link_failure(link);
+  const FailureReport recovery = lsp.simulate_link_recovery(link);
+  EXPECT_EQ(switches_with_changed_tables(initial, lsp.tables()), 0u);
+  EXPECT_TRUE(lsp.overlay().is_up(link));
+  EXPECT_GT(recovery.switches_informed, 0u);
+}
+
+TEST(Lsp, PostConvergenceDeliveryIsComplete) {
+  // After LSP converges on a single failure, every host pair that remains
+  // physically connected is deliverable.
+  const Topology topo = Topology::build(fat_tree(3, 4));
+  LspSimulation lsp(topo);
+  (void)lsp.simulate_link_failure(core_downlink(topo));
+  const TableRouter router(lsp.tables());
+  const ReachabilityStats stats =
+      measure_all_pairs(topo, router, lsp.overlay());
+  EXPECT_EQ(stats.undelivered(), 0u);
+}
+
+TEST(Lsp, DoubleFailureRejected) {
+  const Topology topo = Topology::build(fat_tree(3, 4));
+  LspSimulation lsp(topo);
+  const LinkId link = core_downlink(topo);
+  (void)lsp.simulate_link_failure(link);
+  EXPECT_THROW(lsp.simulate_link_failure(link), PreconditionError);
+  (void)lsp.simulate_link_recovery(link);
+  EXPECT_THROW(lsp.simulate_link_recovery(link), PreconditionError);
+}
+
+TEST(Lsp, HostLinkFailureFloodsButChangesNothing) {
+  // Host links are invisible at edge-switch granularity: flooding happens,
+  // but no forwarding table (keyed by edge switch) changes.
+  const Topology topo = Topology::build(fat_tree(3, 4));
+  LspSimulation lsp(topo);
+  const LinkId host_link = topo.host_uplink(HostId{0}).link;
+  const FailureReport report = lsp.simulate_link_failure(host_link);
+  EXPECT_EQ(report.switches_reacted, 0u);
+  EXPECT_EQ(report.switches_informed, topo.num_switches());
+}
+
+TEST(Lsp, MultipleSequentialFailures) {
+  const Topology topo = Topology::build(fat_tree(3, 6));
+  LspSimulation lsp(topo);
+  const RoutingState initial = lsp.tables();
+  std::vector<LinkId> links;
+  links.push_back(topo.links_at_level(3)[0]);
+  links.push_back(topo.links_at_level(2)[5]);
+  links.push_back(topo.links_at_level(3)[7]);
+  for (const LinkId link : links) (void)lsp.simulate_link_failure(link);
+
+  LinkStateOverlay failed(topo);
+  for (const LinkId link : links) failed.fail(link);
+  EXPECT_EQ(switches_with_changed_tables(
+                lsp.tables(), compute_updown_routes(topo, failed)),
+            0u);
+
+  for (auto it = links.rbegin(); it != links.rend(); ++it) {
+    (void)lsp.simulate_link_recovery(*it);
+  }
+  EXPECT_EQ(switches_with_changed_tables(initial, lsp.tables()), 0u);
+}
+
+TEST(Lsp, ReactionSubsetOfInformed) {
+  const Topology topo =
+      Topology::build(generate_tree(4, 4, FaultToleranceVector{1, 0, 0}));
+  LspSimulation lsp(topo);
+  for (Level lvl = 2; lvl <= topo.levels(); ++lvl) {
+    const LinkId link = topo.links_at_level(lvl)[1];
+    const FailureReport report = lsp.simulate_link_failure(link);
+    EXPECT_LE(report.switches_reacted, report.switches_informed);
+    (void)lsp.simulate_link_recovery(link);
+  }
+}
+
+TEST(Lsp, FasterCpusConvergeFaster) {
+  const Topology topo = Topology::build(fat_tree(3, 4));
+  DelayModel slow;
+  DelayModel fast;
+  fast.lsa_processing = 10.0;
+  LspSimulation a(topo, slow);
+  LspSimulation b(topo, fast);
+  const LinkId link = core_downlink(topo);
+  const auto ra = a.simulate_link_failure(link);
+  const auto rb = b.simulate_link_failure(link);
+  EXPECT_GT(ra.convergence_time_ms, rb.convergence_time_ms);
+}
+
+}  // namespace
+}  // namespace aspen

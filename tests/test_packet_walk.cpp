@@ -1,0 +1,216 @@
+// Tests for packet walking — including the paper's §2 doomed-packet story.
+#include <gtest/gtest.h>
+
+#include "src/aspen/generator.h"
+#include "src/routing/packet_walk.h"
+#include "src/routing/reachability.h"
+#include "src/routing/updown.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace aspen {
+namespace {
+
+TEST(PacketWalk, DeliversOnIntactFatTree) {
+  const Topology topo = Topology::build(fat_tree(3, 4));
+  const LinkStateOverlay actual(topo);
+  const StructuralRouter router(topo);
+  const WalkResult r =
+      walk_packet(topo, router, actual, HostId{0}, HostId{15});
+  EXPECT_TRUE(r.delivered());
+  EXPECT_EQ(r.hops, 6);  // host-edge, up, up, down, down, edge-host
+  EXPECT_EQ(r.path.size(), 7u);
+  EXPECT_EQ(r.path.front(), topo.node_of(HostId{0}));
+  EXPECT_EQ(r.path.back(), topo.node_of(HostId{15}));
+}
+
+TEST(PacketWalk, IntraPodPathIsShort) {
+  const Topology topo = Topology::build(fat_tree(3, 4));
+  const LinkStateOverlay actual(topo);
+  const StructuralRouter router(topo);
+  // Hosts 0 and 2 are on edges 0 and 1 — both in pod 0: 4 links.
+  const WalkResult r = walk_packet(topo, router, actual, HostId{0}, HostId{2});
+  EXPECT_TRUE(r.delivered());
+  EXPECT_EQ(r.hops, 4);
+}
+
+TEST(PacketWalk, SameEdgePathIsTwoHops) {
+  const Topology topo = Topology::build(fat_tree(3, 4));
+  const LinkStateOverlay actual(topo);
+  const StructuralRouter router(topo);
+  const WalkResult r = walk_packet(topo, router, actual, HostId{0}, HostId{1});
+  EXPECT_TRUE(r.delivered());
+  EXPECT_EQ(r.hops, 2);
+}
+
+TEST(PacketWalk, StructuralMatchesComputedRoutesWhenIntact) {
+  const Topology topo =
+      Topology::build(generate_tree(4, 4, FaultToleranceVector{0, 1, 0}));
+  const LinkStateOverlay actual(topo);
+  const StructuralRouter structural(topo);
+  const RoutingState routes = compute_updown_routes(topo);
+  const TableRouter tables(routes);
+  for (std::uint32_t s = 0; s < topo.num_hosts(); s += 3) {
+    for (std::uint32_t d = 0; d < topo.num_hosts(); d += 5) {
+      if (s == d) continue;
+      const WalkResult a =
+          walk_packet(topo, structural, actual, HostId{s}, HostId{d});
+      const WalkResult b =
+          walk_packet(topo, tables, actual, HostId{s}, HostId{d});
+      EXPECT_TRUE(a.delivered());
+      EXPECT_TRUE(b.delivered());
+      EXPECT_EQ(a.hops, b.hops);
+    }
+  }
+}
+
+TEST(PacketWalk, StaleKnowledgeDoomsPacket) {
+  // §2: a packet from x to y is doomed the moment an upstream switch picks
+  // a next hop whose every downstream path crosses the failed link.
+  const Topology topo = Topology::build(fat_tree(3, 4));
+  const StructuralRouter stale(topo);  // believes the network is intact
+
+  // Fail the single link from agg (pod 3, member 0) down to edge 6 and
+  // walk packets to a host on edge 6 from a remote pod, trying all flow
+  // seeds so ECMP explores both cores: some flow must die at the agg.
+  const SwitchId agg = topo.switch_at(2, 6);
+  const SwitchId edge = topo.switch_at(1, 6);
+  LinkStateOverlay actual(topo);
+  actual.fail(topo.find_link(agg, edge));
+
+  int dropped = 0;
+  int delivered = 0;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    WalkOptions options;
+    options.flow_seed = seed;
+    const WalkResult r =
+        walk_packet(topo, stale, actual, HostId{0}, HostId{12}, options);
+    if (r.delivered()) {
+      ++delivered;
+    } else {
+      EXPECT_EQ(r.status, WalkStatus::kDropped);
+      EXPECT_EQ(r.dropped_at, agg);
+      ++dropped;
+    }
+  }
+  EXPECT_GT(dropped, 0);   // the doomed paths exist
+  EXPECT_GT(delivered, 0); // so do healthy ones (other agg)
+}
+
+TEST(PacketWalk, LocalAwarenessSavesUpwardFailures) {
+  // §6: "a packet can travel upward towards any Ln switch, and a switch at
+  // the bottom of a failed link can simply select an alternate upward-
+  // facing output port."
+  const Topology topo = Topology::build(fat_tree(3, 4));
+  const StructuralRouter stale(topo);
+  const SwitchId edge0 = topo.switch_at(1, 0);
+  LinkStateOverlay actual(topo);
+  actual.fail(topo.up_neighbors(edge0)[0].link);
+
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    WalkOptions options;
+    options.flow_seed = seed;
+    EXPECT_TRUE(walk_packet(topo, stale, actual, HostId{0}, HostId{15},
+                            options)
+                    .delivered());
+  }
+
+  // Without local awareness the hashed-to-dead-port flows die.
+  WalkOptions blind;
+  blind.local_link_awareness = false;
+  int dropped = 0;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    blind.flow_seed = seed;
+    if (!walk_packet(topo, stale, actual, HostId{0}, HostId{15}, blind)
+             .delivered()) {
+      ++dropped;
+    }
+  }
+  EXPECT_GT(dropped, 0);
+}
+
+TEST(PacketWalk, AspenCase1LocalReroute) {
+  // Fig. 4, case 1 (failure at the fault-tolerant level): the switch above
+  // the failure still has a second link into the pod; stale knowledge plus
+  // local awareness delivers every flow with no notifications at all.
+  const Topology topo =
+      Topology::build(generate_tree(4, 4, FaultToleranceVector{0, 1, 0}));
+  const StructuralRouter stale(topo);
+  // Fail one of the two links from an L3 switch into its child pod.
+  const SwitchId l3 = topo.switch_at(3, 0);
+  LinkStateOverlay actual(topo);
+  actual.fail(topo.down_neighbors(l3)[0].link);
+
+  Rng rng(3);
+  const ReachabilityStats stats =
+      measure_sampled(topo, stale, actual, 2000, rng);
+  EXPECT_EQ(stats.undelivered(), 0u);
+}
+
+TEST(PacketWalk, HostLinkFailureDropsAtEdge) {
+  const Topology topo = Topology::build(fat_tree(3, 4));
+  const StructuralRouter router(topo);
+  LinkStateOverlay actual(topo);
+  actual.fail(topo.host_uplink(HostId{5}).link);
+  // Packets to host 5 die at its edge switch.
+  const WalkResult to = walk_packet(topo, router, actual, HostId{0}, HostId{5});
+  EXPECT_EQ(to.status, WalkStatus::kDropped);
+  EXPECT_EQ(to.dropped_at, topo.edge_switch_of(HostId{5}));
+  // Packets from host 5 die immediately (source link).
+  const WalkResult from =
+      walk_packet(topo, router, actual, HostId{5}, HostId{0});
+  EXPECT_EQ(from.status, WalkStatus::kDropped);
+  EXPECT_FALSE(from.dropped_at.valid());
+}
+
+TEST(PacketWalk, NoRouteWhenTablesEmpty) {
+  const Topology topo = Topology::build(fat_tree(3, 4));
+  LinkStateOverlay failed(topo);
+  const SwitchId edge0 = topo.switch_at(1, 0);
+  for (const auto& nb : topo.up_neighbors(edge0)) failed.fail(nb.link);
+  // Tables computed on the degraded network have no route to edge 0.
+  const RoutingState routes = compute_updown_routes(topo, failed);
+  const TableRouter router(routes);
+  const WalkResult r = walk_packet(topo, router, failed, HostId{4}, HostId{0});
+  EXPECT_EQ(r.status, WalkStatus::kNoRoute);
+}
+
+TEST(PacketWalk, MeasureAllPairsIntact) {
+  const Topology topo = Topology::build(fat_tree(3, 4));
+  const LinkStateOverlay actual(topo);
+  const StructuralRouter router(topo);
+  const ReachabilityStats stats = measure_all_pairs(topo, router, actual);
+  EXPECT_EQ(stats.flows, 16u * 15u);
+  EXPECT_EQ(stats.delivered, stats.flows);
+  EXPECT_EQ(stats.affected_destinations, 0u);
+  EXPECT_DOUBLE_EQ(stats.delivery_rate(), 1.0);
+  EXPECT_GT(stats.average_hops, 2.0);
+  EXPECT_LT(stats.average_hops, 6.0);
+}
+
+TEST(PacketWalk, MeasureSampledDeterministic) {
+  const Topology topo = Topology::build(fat_tree(3, 4));
+  const LinkStateOverlay actual(topo);
+  const StructuralRouter router(topo);
+  Rng rng1(5);
+  Rng rng2(5);
+  const auto a = measure_sampled(topo, router, actual, 500, rng1);
+  const auto b = measure_sampled(topo, router, actual, 500, rng2);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.flows, 500u);
+}
+
+TEST(PacketWalk, MeasureToEdgeRange) {
+  const Topology topo = Topology::build(fat_tree(3, 4));
+  const LinkStateOverlay actual(topo);
+  const StructuralRouter router(topo);
+  const auto stats = measure_to_edge_range(topo, router, actual, 0, 1);
+  // Destinations: 4 hosts on edges 0..1; sources: all other hosts.
+  EXPECT_EQ(stats.flows, 4u * 15u);
+  EXPECT_EQ(stats.undelivered(), 0u);
+  EXPECT_THROW((void)measure_to_edge_range(topo, router, actual, 5, 99),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace aspen

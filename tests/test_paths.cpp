@@ -1,0 +1,137 @@
+// Tests for path counting: the DCC property (§5.2 footnote 8) and the
+// "diverse yet short paths" of §1.
+#include <gtest/gtest.h>
+
+#include "src/aspen/enumerate.h"
+#include "src/aspen/generator.h"
+#include "src/routing/paths.h"
+#include "src/routing/updown.h"
+#include "src/util/status.h"
+
+namespace aspen {
+namespace {
+
+TEST(Paths, DccCountsTopToBottomPaths) {
+  // "The DCC counts distinct paths from an Ln switch to an L1 switch."
+  for (const auto& ftv : std::vector<std::vector<int>>{
+           {0, 0}, {1, 0}, {0, 1}, {0, 0, 0}, {1, 0, 0}, {0, 1, 0},
+           {1, 1, 0}}) {
+    const int n = static_cast<int>(ftv.size()) + 1;
+    const auto params = try_generate_tree(n, 4, FaultToleranceVector(ftv));
+    if (!params) continue;
+    const Topology topo = Topology::build(*params);
+    const LinkStateOverlay overlay(topo);
+    SCOPED_TRACE(topo.describe());
+    const SwitchId top = topo.switch_at(n, 0);
+    for (std::uint64_t e = 0; e < params->S; ++e) {
+      EXPECT_EQ(count_down_paths(topo, overlay, top, topo.switch_at(1, e)),
+                params->dcc());
+    }
+  }
+}
+
+TEST(Paths, DccHoldsForAll4Level6PortTrees) {
+  for (const TreeParams& params : enumerate_trees(4, 6)) {
+    const Topology topo = Topology::build(params);
+    const LinkStateOverlay overlay(topo);
+    const SwitchId top = topo.switch_at(4, 0);
+    EXPECT_EQ(count_down_paths(topo, overlay, top, topo.switch_at(1, 0)),
+              params.dcc())
+        << params.to_string();
+  }
+}
+
+TEST(Paths, FailureReducesPathCount) {
+  const Topology topo =
+      Topology::build(generate_tree(4, 4, FaultToleranceVector{0, 1, 0}));
+  LinkStateOverlay overlay(topo);
+  const SwitchId top = topo.switch_at(4, 0);
+  const SwitchId edge = topo.switch_at(1, 0);
+  const std::uint64_t before = count_down_paths(topo, overlay, top, edge);
+  EXPECT_EQ(before, 2u);  // DCC = 2
+
+  // Fail one L3→L2 link on a path from `top` to `edge`.
+  const SwitchId l3 = topo.switch_of(topo.down_neighbors(top)[0].node);
+  overlay.fail(topo.down_neighbors(l3)[0].link);
+  const std::uint64_t after = count_down_paths(topo, overlay, top, edge);
+  EXPECT_LE(after, before);
+}
+
+TEST(Paths, CountDownPathsFromEdgeIsIdentityOrZero) {
+  const Topology topo = Topology::build(fat_tree(3, 4));
+  const LinkStateOverlay overlay(topo);
+  EXPECT_EQ(count_down_paths(topo, overlay, topo.switch_at(1, 0),
+                             topo.switch_at(1, 0)),
+            1u);
+  EXPECT_EQ(count_down_paths(topo, overlay, topo.switch_at(1, 1),
+                             topo.switch_at(1, 0)),
+            0u);
+  EXPECT_THROW((void)count_down_paths(topo, overlay, topo.switch_at(3, 0),
+                                topo.switch_at(2, 0)),
+               PreconditionError);
+}
+
+TEST(Paths, EnumerateShortestPathsInFatTree) {
+  const Topology topo = Topology::build(fat_tree(3, 4));
+  const RoutingState routes = compute_updown_routes(topo);
+  // Cross-pod flow: 2 uplink choices at the edge × 2 core choices at the
+  // agg = 4 distinct shortest paths.
+  const auto paths =
+      enumerate_shortest_paths(topo, routes, HostId{0}, HostId{15});
+  EXPECT_EQ(paths.size(), 4u);
+  for (const auto& path : paths) {
+    EXPECT_EQ(path.size(), 7u);  // h, e, a, c, a, e, h
+    EXPECT_EQ(path.front(), topo.node_of(HostId{0}));
+    EXPECT_EQ(path.back(), topo.node_of(HostId{15}));
+  }
+  EXPECT_EQ(count_shortest_paths(topo, routes, HostId{0}, HostId{15}), 4u);
+}
+
+TEST(Paths, EnumerateIntraPodPaths) {
+  const Topology topo = Topology::build(fat_tree(3, 4));
+  const RoutingState routes = compute_updown_routes(topo);
+  // Same pod: apex at L2, one choice per agg → 2 paths.
+  EXPECT_EQ(count_shortest_paths(topo, routes, HostId{0}, HostId{2}), 2u);
+  // Same edge: exactly one path (via the edge switch).
+  EXPECT_EQ(count_shortest_paths(topo, routes, HostId{0}, HostId{1}), 1u);
+}
+
+TEST(Paths, CountMatchesEnumerationEverywhere) {
+  const Topology topo =
+      Topology::build(generate_tree(4, 4, FaultToleranceVector{1, 0, 0}));
+  const RoutingState routes = compute_updown_routes(topo);
+  for (std::uint32_t s = 0; s < topo.num_hosts(); s += 5) {
+    for (std::uint32_t d = 0; d < topo.num_hosts(); d += 7) {
+      if (s == d) continue;
+      EXPECT_EQ(
+          enumerate_shortest_paths(topo, routes, HostId{s}, HostId{d}).size(),
+          count_shortest_paths(topo, routes, HostId{s}, HostId{d}));
+    }
+  }
+}
+
+TEST(Paths, RedundancyMultipliesPathDiversity) {
+  // FTV <1,0,0> doubles the top-level connections, doubling cross-subtree
+  // shortest paths relative to the fat tree of the same depth.
+  const Topology fat = Topology::build(fat_tree(4, 4));
+  const Topology aspen =
+      Topology::build(generate_tree(4, 4, FaultToleranceVector{1, 0, 0}));
+  const RoutingState fat_routes = compute_updown_routes(fat);
+  const RoutingState aspen_routes = compute_updown_routes(aspen);
+
+  const auto cross_paths = [](const Topology& topo,
+                              const RoutingState& routes) {
+    const HostId src{0};
+    const auto dst =
+        static_cast<std::uint32_t>(topo.num_hosts() - 1);
+    return count_shortest_paths(topo, routes, src, HostId{dst});
+  };
+  // Fat tree n=4: 2·2·2 up choices × 1 descent = 8 paths.  Aspen <1,0,0>:
+  // same up choices but every root has c_4 = 2 links into the destination
+  // subtree → 16 paths, double the diversity (over half as many hosts).
+  EXPECT_EQ(cross_paths(fat, fat_routes), 8u);
+  EXPECT_EQ(cross_paths(aspen, aspen_routes), 16u);
+}
+
+}  // namespace
+}  // namespace aspen

@@ -1,0 +1,242 @@
+// Parameterized property sweeps over every enumerated Aspen tree for a grid
+// of (n, k) shapes: construction invariants, routing correctness, the DCC
+// path property, and protocol end-to-end behaviour under failures.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "src/aspen/enumerate.h"
+#include "src/aspen/generator.h"
+#include "src/analysis/convergence.h"
+#include "src/proto/experiment.h"
+#include "src/routing/paths.h"
+#include "src/routing/reachability.h"
+#include "src/routing/updown.h"
+#include "src/topo/validate.h"
+#include "src/util/math.h"
+
+namespace aspen {
+namespace {
+
+struct Shape {
+  int n;
+  int k;
+  friend std::ostream& operator<<(std::ostream& os, const Shape& s) {
+    return os << "n" << s.n << "k" << s.k;
+  }
+};
+
+// Keeps the sweep fast: trees beyond these sizes are covered analytically.
+constexpr std::uint64_t kMaxHostsToBuild = 200;
+
+std::vector<TreeParams> buildable_trees(const Shape& shape) {
+  std::vector<TreeParams> result;
+  for (const TreeParams& t : enumerate_trees(shape.n, shape.k)) {
+    if (t.num_hosts() <= kMaxHostsToBuild) result.push_back(t);
+  }
+  return result;
+}
+
+class TreeSweep : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(TreeSweep, ClosedFormsMatchDefinition) {
+  const auto [n, k] = GetParam();
+  for (const TreeParams& t : enumerate_trees(n, k)) {
+    SCOPED_TRACE(t.to_string());
+    EXPECT_NO_THROW(t.validate());
+    // Eq. 5: S = k^{n−1}/2^{n−2}/DCC.
+    const std::uint64_t numerator =
+        ipow(static_cast<std::uint64_t>(k), static_cast<unsigned>(n - 1));
+    EXPECT_EQ(t.S, numerator / ipow(2, static_cast<unsigned>(n - 2)) /
+                       t.dcc());
+    // Eq. 6 and §5.2/§5.3 identities.
+    EXPECT_EQ(t.num_hosts(), t.S * static_cast<std::uint64_t>(k) / 2);
+    EXPECT_EQ(t.total_switches(),
+              static_cast<std::uint64_t>(n - 1) * t.S + t.S / 2);
+    EXPECT_DOUBLE_EQ(t.overall_aggregation(),
+                     static_cast<double>(t.S) / 2.0);
+    EXPECT_EQ(t.ftv().dcc(), t.dcc());
+  }
+}
+
+TEST_P(TreeSweep, BuiltTopologiesPassValidation) {
+  for (const TreeParams& t : buildable_trees(GetParam())) {
+    const Topology topo = Topology::build(t);
+    SCOPED_TRACE(topo.describe());
+    const ValidationReport report = validate_topology(topo);
+    EXPECT_TRUE(report.ports_ok);
+    EXPECT_TRUE(report.uniform_fault_tolerance);
+    EXPECT_TRUE(report.top_level_coverage);
+    EXPECT_TRUE(report.anp_striping_ok)
+        << (report.problems.empty() ? "" : report.problems.front());
+    EXPECT_EQ(topo.num_links(), t.total_links());
+  }
+}
+
+TEST_P(TreeSweep, IntactRoutingDeliversEveryFlow) {
+  for (const TreeParams& t : buildable_trees(GetParam())) {
+    const Topology topo = Topology::build(t);
+    SCOPED_TRACE(topo.describe());
+    const RoutingState routes = compute_updown_routes(topo);
+    const TableRouter router(routes);
+    const LinkStateOverlay intact(topo);
+    const ReachabilityStats stats = measure_all_pairs(topo, router, intact);
+    EXPECT_EQ(stats.undelivered(), 0u);
+    EXPECT_EQ(stats.looped, 0u);
+  }
+}
+
+TEST_P(TreeSweep, DccCountsTopDownPaths) {
+  for (const TreeParams& t : buildable_trees(GetParam())) {
+    const Topology topo = Topology::build(t);
+    SCOPED_TRACE(topo.describe());
+    const LinkStateOverlay intact(topo);
+    const SwitchId top = topo.switch_at(t.n, 0);
+    for (std::uint64_t e = 0; e < t.S; e += (t.S > 8 ? 3 : 1)) {
+      EXPECT_EQ(count_down_paths(topo, intact, top, topo.switch_at(1, e)),
+                t.dcc());
+    }
+  }
+}
+
+TEST_P(TreeSweep, ExtendedAnpMatchesGroundTruthReachability) {
+  // For every single-link failure (one link sampled per level), extended
+  // ANP's patched tables deliver exactly the flows that remain deliverable
+  // under full global recomputation.
+  for (const TreeParams& t : buildable_trees(GetParam())) {
+    const Topology topo = Topology::build(t);
+    SCOPED_TRACE(topo.describe());
+    AnpOptions extended;
+    extended.notify_children = true;
+    AnpSimulation anp(topo, DelayModel{}, extended);
+    for (Level level = 2; level <= t.n; ++level) {
+      const auto links = topo.links_at_level(level);
+      const LinkId link = links[links.size() / 2];
+      (void)anp.simulate_link_failure(link);
+
+      const TableRouter anp_router(anp.tables());
+      const ReachabilityStats anp_stats =
+          measure_all_pairs(topo, anp_router, anp.overlay());
+
+      const RoutingState truth = compute_updown_routes(topo, anp.overlay());
+      const TableRouter truth_router(truth);
+      const ReachabilityStats truth_stats =
+          measure_all_pairs(topo, truth_router, anp.overlay());
+
+      EXPECT_EQ(anp_stats.undelivered(), truth_stats.undelivered())
+          << "level " << level;
+      (void)anp.simulate_link_recovery(link);
+    }
+  }
+}
+
+TEST_P(TreeSweep, ExtendedAnpMatchesGroundTruthUnderRandomStriping) {
+  // The withdrawal protocol's equivalence to global recomputation must not
+  // depend on the §7-friendly standard striping: random (possibly
+  // §7-violating) wirings still converge to the same delivered-flow set.
+  StripingConfig cfg;
+  cfg.kind = StripingKind::kRandom;
+  cfg.seed = 1234;
+  for (const TreeParams& t : buildable_trees(GetParam())) {
+    const Topology topo = Topology::build(t, cfg);
+    SCOPED_TRACE(topo.describe());
+    AnpOptions extended;
+    extended.notify_children = true;
+    AnpSimulation anp(topo, DelayModel{}, extended);
+    for (Level level = 2; level <= t.n; ++level) {
+      const auto links = topo.links_at_level(level);
+      const LinkId link = links[links.size() / 4];
+      (void)anp.simulate_link_failure(link);
+      const ReachabilityStats anp_stats = measure_all_pairs(
+          topo, TableRouter(anp.tables()), anp.overlay());
+      const RoutingState truth = compute_updown_routes(topo, anp.overlay());
+      const ReachabilityStats truth_stats =
+          measure_all_pairs(topo, TableRouter(truth), anp.overlay());
+      EXPECT_EQ(anp_stats.undelivered(), truth_stats.undelivered())
+          << "level " << level;
+      (void)anp.simulate_link_recovery(link);
+    }
+  }
+}
+
+TEST_P(TreeSweep, FaithfulAnpLocalizesReactions) {
+  // Faithful ANP reacts with at most the §9.1 propagation distance: the
+  // farthest table-changing update travels to the absorbing level, or to
+  // the roots when nothing absorbs.
+  for (const TreeParams& t : buildable_trees(GetParam())) {
+    const Topology topo = Topology::build(t);
+    SCOPED_TRACE(topo.describe());
+    AnpSimulation anp(topo);
+    const FaultToleranceVector ftv = t.ftv();
+    for (Level level = 2; level <= t.n; ++level) {
+      const auto links = topo.links_at_level(level);
+      const LinkId link = links[links.size() / 3];
+      const FailureReport report = anp.simulate_link_failure(link);
+      const Level f = ftv.nearest_fault_tolerant_level_at_or_above(level);
+      const int bound = ((f != 0) ? f : t.n) - level;
+      EXPECT_LE(report.max_update_hops, bound) << "level " << level;
+      (void)anp.simulate_link_recovery(link);
+    }
+  }
+}
+
+TEST_P(TreeSweep, FaithfulAnpHopsMatchAnalyticDistanceExactly) {
+  // For a covered failure at a minimally connected level, the notification
+  // wave is absorbed exactly at the nearest fault-tolerant level: the DES
+  // hop metric equals the §9.1 distance, not merely bounds it.
+  for (const TreeParams& t : buildable_trees(GetParam())) {
+    const Topology topo = Topology::build(t);
+    SCOPED_TRACE(topo.describe());
+    AnpSimulation anp(topo);
+    const FaultToleranceVector ftv = t.ftv();
+    for (Level level = 2; level <= t.n; ++level) {
+      const Level f = ftv.nearest_fault_tolerant_level_at_or_above(level);
+      if (f == 0) continue;  // uncovered: the wave dies at the roots
+      const auto links = topo.links_at_level(level);
+      const LinkId link = links[0];
+      const FailureReport report = anp.simulate_link_failure(link);
+      EXPECT_EQ(report.max_update_hops, f - level) << "level " << level;
+      (void)anp.simulate_link_recovery(link);
+    }
+  }
+}
+
+TEST_P(TreeSweep, ProtocolsRecoverTheirTables) {
+  for (const TreeParams& t : buildable_trees(GetParam())) {
+    const Topology topo = Topology::build(t);
+    SCOPED_TRACE(topo.describe());
+    for (const auto kind : {ProtocolKind::kLsp, ProtocolKind::kAnp}) {
+      SweepOptions options;
+      options.max_links_per_level = 1;
+      options.verify_recovery_restores_tables = true;
+      const SweepResult sweep = sweep_link_failures(kind, topo, options);
+      EXPECT_EQ(sweep.recovery_mismatches, 0u) << to_cstring(kind);
+    }
+  }
+}
+
+TEST_P(TreeSweep, LspFloodingInformsEveryone) {
+  for (const TreeParams& t : buildable_trees(GetParam())) {
+    const Topology topo = Topology::build(t);
+    LspSimulation lsp(topo);
+    const auto links = topo.links_at_level(2);
+    const FailureReport report = lsp.simulate_link_failure(links[0]);
+    EXPECT_EQ(report.switches_informed, topo.num_switches())
+        << topo.describe();
+    (void)lsp.simulate_link_recovery(links[0]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, TreeSweep,
+                         ::testing::Values(Shape{2, 4}, Shape{2, 6},
+                                           Shape{3, 4}, Shape{3, 6},
+                                           Shape{3, 8}, Shape{3, 10},
+                                           Shape{4, 4}, Shape{4, 6},
+                                           Shape{4, 8}, Shape{5, 4}),
+                         [](const ::testing::TestParamInfo<Shape>& param) {
+                           return "n" + std::to_string(param.param.n) +
+                                  "k" + std::to_string(param.param.k);
+                         });
+
+}  // namespace
+}  // namespace aspen

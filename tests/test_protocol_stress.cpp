@@ -1,0 +1,164 @@
+// Stress properties: long random interleavings of failures and recoveries,
+// checked against the protocols' core invariants after every operation.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/aspen/fixed_hosts.h"
+#include "src/aspen/generator.h"
+#include "src/proto/anp.h"
+#include "src/proto/lsp.h"
+#include "src/routing/reachability.h"
+#include "src/routing/updown.h"
+#include "src/util/rng.h"
+
+namespace aspen {
+namespace {
+
+// A random walk over link states: each step fails a random live link or
+// recovers a random dead one, keeping at most `max_down` links down.
+class LinkChaos {
+ public:
+  LinkChaos(const Topology& topo, std::uint64_t seed, std::size_t max_down)
+      : topo_(&topo), rng_(seed), max_down_(max_down) {}
+
+  // Returns (link, fail?) for the next step.
+  std::pair<LinkId, bool> next() {
+    const bool must_recover = down_.size() >= max_down_;
+    const bool recover = !down_.empty() && (must_recover || rng_.chance(0.4));
+    if (recover) {
+      auto it = down_.begin();
+      std::advance(it, static_cast<long>(rng_.index(down_.size())));
+      const LinkId link = *it;
+      down_.erase(it);
+      return {link, false};
+    }
+    // Fail a random live inter-switch link.
+    while (true) {
+      const auto id = static_cast<std::uint32_t>(
+          rng_.index(topo_->num_links()));
+      const LinkId link{id};
+      if (topo_->link(link).upper_level < 2) continue;  // skip host links
+      if (down_.contains(link)) continue;
+      down_.insert(link);
+      return {link, true};
+    }
+  }
+
+  [[nodiscard]] const std::set<LinkId>& down() const { return down_; }
+
+ private:
+  const Topology* topo_;
+  Rng rng_;
+  std::size_t max_down_;
+  std::set<LinkId> down_;
+};
+
+TEST(ProtocolStress, LspTablesAlwaysMatchGlobalRecomputation) {
+  const Topology topo =
+      Topology::build(generate_tree(4, 4, FaultToleranceVector{1, 0, 0}));
+  LspSimulation lsp(topo);
+  LinkChaos chaos(topo, 99, 4);
+  for (int step = 0; step < 60; ++step) {
+    const auto [link, fail] = chaos.next();
+    if (fail) {
+      (void)lsp.simulate_link_failure(link);
+    } else {
+      (void)lsp.simulate_link_recovery(link);
+    }
+    const RoutingState expected = compute_updown_routes(topo, lsp.overlay());
+    ASSERT_EQ(switches_with_changed_tables(lsp.tables(), expected), 0u)
+        << "step " << step;
+  }
+}
+
+TEST(ProtocolStress, AnpFullRecoveryRestoresInitialTables) {
+  for (const bool extended : {false, true}) {
+    const Topology topo =
+        Topology::build(generate_tree(4, 4, FaultToleranceVector{0, 1, 0}));
+    AnpOptions options;
+    options.notify_children = extended;
+    AnpSimulation anp(topo, DelayModel{}, options);
+    const RoutingState initial = anp.tables();
+
+    LinkChaos chaos(topo, 7, 3);
+    std::set<LinkId> down;
+    for (int step = 0; step < 80; ++step) {
+      const auto [link, fail] = chaos.next();
+      if (fail) {
+        (void)anp.simulate_link_failure(link);
+        down.insert(link);
+      } else {
+        (void)anp.simulate_link_recovery(link);
+        down.erase(link);
+      }
+    }
+    for (const LinkId link : down) {
+      (void)anp.simulate_link_recovery(link);
+    }
+    EXPECT_EQ(switches_with_changed_tables(initial, anp.tables()), 0u)
+        << (extended ? "extended" : "faithful");
+  }
+}
+
+TEST(ProtocolStress, ExtendedAnpDeliveryNeverLoops) {
+  // Whatever the damage, packets routed by ANP-patched tables either
+  // deliver or die cleanly — they never cycle.
+  const Topology topo =
+      Topology::build(generate_tree(4, 4, FaultToleranceVector{1, 0, 0}));
+  AnpOptions extended;
+  extended.notify_children = true;
+  AnpSimulation anp(topo, DelayModel{}, extended);
+  LinkChaos chaos(topo, 1234, 5);
+  for (int step = 0; step < 40; ++step) {
+    const auto [link, fail] = chaos.next();
+    if (fail) {
+      (void)anp.simulate_link_failure(link);
+    } else {
+      (void)anp.simulate_link_recovery(link);
+    }
+    const TableRouter router(anp.tables());
+    const ReachabilityStats stats =
+        measure_all_pairs(topo, router, anp.overlay());
+    ASSERT_EQ(stats.looped, 0u) << "step " << step;
+  }
+}
+
+TEST(ProtocolStress, LspTimersOnlyDelayNeverChangeOutcomes) {
+  const Topology topo = Topology::build(fat_tree(3, 4));
+  LspSimulation fast(topo);
+  LspSimulation paced(topo, DelayModel::classic_ospf_timers());
+  LinkChaos chaos_a(topo, 5, 3);
+  LinkChaos chaos_b(topo, 5, 3);
+  for (int step = 0; step < 30; ++step) {
+    const auto [link_a, fail_a] = chaos_a.next();
+    const auto [link_b, fail_b] = chaos_b.next();
+    ASSERT_EQ(link_a, link_b);
+    ASSERT_EQ(fail_a, fail_b);
+    const FailureReport ra = fail_a ? fast.simulate_link_failure(link_a)
+                                    : fast.simulate_link_recovery(link_a);
+    const FailureReport rb = fail_b ? paced.simulate_link_failure(link_b)
+                                    : paced.simulate_link_recovery(link_b);
+    // Same reacting set and final tables; pacing only stretches time.
+    EXPECT_EQ(ra.switches_reacted, rb.switches_reacted);
+    if (ra.switches_reacted > 0) {
+      EXPECT_GT(rb.convergence_time_ms, ra.convergence_time_ms);
+    }
+    EXPECT_EQ(
+        switches_with_changed_tables(fast.tables(), paced.tables()), 0u);
+  }
+}
+
+TEST(ProtocolStress, ClassicTimersReachTensOfSeconds) {
+  // The §1 claim, as a regression test.
+  const Topology topo = Topology::build(fat_tree(3, 6));
+  DelayModel conservative = DelayModel::classic_ospf_timers();
+  conservative.spf_delay = 10'000.0;
+  LspSimulation lsp(topo, conservative);
+  const FailureReport report = lsp.simulate_link_failure(
+      topo.down_neighbors(topo.switch_at(3, 0))[0].link);
+  EXPECT_GT(report.convergence_time_ms, 10'000.0);
+}
+
+}  // namespace
+}  // namespace aspen

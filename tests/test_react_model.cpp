@@ -1,0 +1,104 @@
+// Validation of the analytic ANP reacting-switch model (src/analysis/react)
+// against the discrete-event simulation, per failure level, on the small
+// tree pairs that Figure 10 simulates.
+#include <gtest/gtest.h>
+
+#include "src/analysis/react.h"
+#include "src/aspen/fixed_hosts.h"
+#include "src/aspen/generator.h"
+#include "src/proto/anp.h"
+#include "src/sim/stats.h"
+#include "src/util/status.h"
+
+namespace aspen {
+namespace {
+
+// Measures the DES reacting-switch count averaged over all links whose
+// upper endpoint is at `level`.
+double measured_reacting(const Topology& topo, Level level) {
+  AnpSimulation anp(topo);
+  Summary reacted;
+  for (const LinkId link : topo.links_at_level(level)) {
+    const FailureReport report = anp.simulate_link_failure(link);
+    reacted.add(static_cast<double>(report.switches_reacted));
+    (void)anp.simulate_link_recovery(link);
+  }
+  return reacted.mean();
+}
+
+TEST(ReactModel, MatchesSimulationOnVl2Pairs) {
+  // The paper's <k/2−1, 0, …, 0> trees under faithful (upward-only) ANP.
+  for (const auto& [k, n_fat] :
+       std::vector<std::pair<int, int>>{{4, 3}, {6, 3}, {4, 4}}) {
+    const TreeParams params = design_fixed_host_tree(n_fat, k, 1);
+    const Topology topo = Topology::build(params);
+    for (Level level = 2; level <= params.n; ++level) {
+      const double analytic =
+          static_cast<double>(anp_reacting_switches(params, level));
+      const double measured = measured_reacting(topo, level);
+      EXPECT_NEAR(measured, analytic, analytic * 0.25 + 0.5)
+          << "k=" << k << " n_fat=" << n_fat << " level=" << level;
+    }
+  }
+}
+
+TEST(ReactModel, ExactOnFaultTolerantLevels) {
+  // At a fault-tolerant level the reaction is exactly the two endpoints.
+  const TreeParams params = design_fixed_host_tree(3, 4, 1);
+  const Topology topo = Topology::build(params);
+  EXPECT_EQ(anp_reacting_switches(params, params.n), 2u);
+  EXPECT_DOUBLE_EQ(measured_reacting(topo, params.n), 2.0);
+}
+
+TEST(ReactModel, WaveGrowsGeometricallyThenSaturates) {
+  // FTV <1,0,0,0> (n=5, k=4): failure at L2 notifies (k/2)^j ancestors per
+  // level until pod sizes cap the growth.
+  const TreeParams params = generate_tree(5, 4, FaultToleranceVector{1, 0, 0, 0});
+  // Wave from L2 to L5: 2 + (2 + 4 + min(8, m_5)).
+  const std::uint64_t m5 = params.m[5];
+  EXPECT_EQ(anp_reacting_switches(params, 2),
+            2u + 2u + 4u + std::min<std::uint64_t>(8, m5));
+}
+
+TEST(ReactModel, HostLinkFailuresClimbToRoots) {
+  const TreeParams params = fat_tree(3, 4);
+  // 1 edge switch + its 2 parents + min(4, m_3 = 4) roots.
+  EXPECT_EQ(anp_reacting_switches(params, 1), 1u + 2u + 4u);
+}
+
+TEST(ReactModel, AverageIncludesOrExcludesHostLinks) {
+  const TreeParams params = design_fixed_host_tree(3, 4, 1);
+  const double with_hosts =
+      anp_average_reacting_switches(params, /*include_host_links=*/true);
+  const double without =
+      anp_average_reacting_switches(params, /*include_host_links=*/false);
+  // Host-link failures trigger the deepest waves → they raise the mean.
+  EXPECT_GT(with_hosts, without);
+}
+
+TEST(ReactModel, LspReactsEverywhere) {
+  const TreeParams params = fat_tree(3, 8);
+  EXPECT_EQ(lsp_reacting_switches(params), params.total_switches());
+}
+
+TEST(ReactModel, AnpReactionIsSmallFractionAtScale) {
+  // The Fig. 10(c) claim: "only 10-20% of Aspen switches react to each
+  // failure" (we bound it at 25% to absorb small-tree granularity).
+  for (const auto& [k, n_fat] :
+       std::vector<std::pair<int, int>>{{16, 3}, {32, 3}, {16, 4}}) {
+    const TreeParams params = design_fixed_host_tree(n_fat, k, 1);
+    const double avg =
+        anp_average_reacting_switches(params, /*include_host_links=*/true);
+    EXPECT_LT(avg, 0.25 * static_cast<double>(params.total_switches()))
+        << "k=" << k << " n=" << n_fat;
+  }
+}
+
+TEST(ReactModel, PreconditionsThrow) {
+  const TreeParams params = fat_tree(3, 4);
+  EXPECT_THROW((void)anp_reacting_switches(params, 0), PreconditionError);
+  EXPECT_THROW((void)anp_reacting_switches(params, 4), PreconditionError);
+}
+
+}  // namespace
+}  // namespace aspen

@@ -1,0 +1,110 @@
+// Tests for the §8.1 practical-tree guidance.
+#include <gtest/gtest.h>
+
+#include "src/aspen/generator.h"
+#include "src/aspen/recommend.h"
+#include "src/util/status.h"
+
+namespace aspen {
+namespace {
+
+TEST(Recommend, PaperLength6Budget2Example) {
+  // "if an FTV of length 6 can include only two non-zero entries, the ideal
+  // placement would be <x,0,0,x,0,0>."
+  const auto ftv = recommend_ftv_placement(/*n=*/7, /*budget=*/2, /*ft=*/1);
+  EXPECT_EQ(ftv, (FaultToleranceVector{1, 0, 0, 1, 0, 0}));
+}
+
+TEST(Recommend, SingleBudgetGoesToTop) {
+  EXPECT_EQ(recommend_ftv_placement(4, 1), (FaultToleranceVector{1, 0, 0}));
+  EXPECT_EQ(recommend_ftv_placement(6, 1),
+            (FaultToleranceVector{1, 0, 0, 0, 0}));
+}
+
+TEST(Recommend, FullBudgetIsUniform) {
+  EXPECT_EQ(recommend_ftv_placement(4, 3), (FaultToleranceVector{1, 1, 1}));
+}
+
+TEST(Recommend, UnevenSegmentsPutLongerFirst) {
+  // 5 entries, budget 2: segments of 3 and 2.
+  EXPECT_EQ(recommend_ftv_placement(6, 2),
+            (FaultToleranceVector{1, 0, 0, 1, 0}));
+}
+
+TEST(Recommend, CustomFtValue) {
+  EXPECT_EQ(recommend_ftv_placement(4, 2, 3), (FaultToleranceVector{3, 0, 3}));
+}
+
+TEST(Recommend, PreconditionsThrow) {
+  EXPECT_THROW(recommend_ftv_placement(4, 0), PreconditionError);
+  EXPECT_THROW(recommend_ftv_placement(4, 4), PreconditionError);
+  EXPECT_THROW(recommend_ftv_placement(4, 1, 0), PreconditionError);
+}
+
+TEST(Recommend, TopLevelRedundantTreeHalvesHosts) {
+  // §8.1: "A tree with only Ln fault tolerance and an FTV of <1,0,0,…>
+  // supports half as many hosts as does a traditional fat tree."
+  const TreeParams t = top_level_redundant_tree(4, 16);
+  EXPECT_EQ(t.ftv(), (FaultToleranceVector{1, 0, 0}));
+  EXPECT_EQ(t.num_hosts(), fat_tree(4, 16).num_hosts() / 2);
+}
+
+TEST(Recommend, EvaluatePlacementCoverage) {
+  const PlacementQuality top = evaluate_placement({1, 0, 0});
+  EXPECT_TRUE(top.covered);
+  EXPECT_EQ(top.longest_zero_run, 2);
+
+  const PlacementQuality bottom = evaluate_placement({0, 0, 1});
+  EXPECT_FALSE(bottom.covered);  // zeros left of the non-zero entry
+
+  const PlacementQuality fat = evaluate_placement({0, 0, 0});
+  EXPECT_FALSE(fat.covered);
+  EXPECT_EQ(fat.longest_zero_run, 3);
+}
+
+TEST(Recommend, EvaluatePlacementAverageHops) {
+  // n=4: <1,0,0> → distances (2,1,0) for i=2..4 → mean 1.
+  EXPECT_DOUBLE_EQ(evaluate_placement({1, 0, 0}).average_hops, 1.0);
+  // <0,1,0> → (1,0,global=3) → mean 4/3.
+  EXPECT_NEAR(evaluate_placement({0, 1, 0}).average_hops, 4.0 / 3.0, 1e-12);
+}
+
+TEST(Recommend, RecommendedPlacementIsAlwaysCovered) {
+  for (int n = 3; n <= 8; ++n) {
+    for (int budget = 1; budget < n - 1; ++budget) {
+      const auto ftv = recommend_ftv_placement(n, budget);
+      EXPECT_TRUE(evaluate_placement(ftv).covered)
+          << "n=" << n << " budget=" << budget << " → " << ftv.to_string();
+    }
+  }
+}
+
+TEST(Recommend, RankPlacementsPrefersTheHeuristic) {
+  // Among all valid single-non-zero placements for n=4, k=4, the top-level
+  // placement must rank first (it is the only covered one).
+  const auto ranked = rank_placements(4, 4, /*budget=*/1);
+  ASSERT_FALSE(ranked.empty());
+  EXPECT_EQ(ranked.front(), (FaultToleranceVector{1, 0, 0}));
+}
+
+TEST(Recommend, RankPlacementsBudget2MatchesHeuristic) {
+  const auto ranked = rank_placements(5, 4, /*budget=*/2);
+  ASSERT_FALSE(ranked.empty());
+  const auto heuristic = recommend_ftv_placement(5, 2);
+  // The heuristic placement must be at least as good as the ranked winner.
+  const auto best = evaluate_placement(ranked.front());
+  const auto ours = evaluate_placement(heuristic);
+  EXPECT_TRUE(ours.covered);
+  EXPECT_LE(best.average_hops, ours.average_hops + 1e-12);
+  EXPECT_DOUBLE_EQ(ours.average_hops, best.average_hops);
+}
+
+TEST(Recommend, RankPlacementsOnlyReturnsValidTrees) {
+  // n=4, k=6: FTV <1,0,0> is invalid (odd S); ranking must skip it.
+  for (const auto& ftv : rank_placements(4, 6, 1)) {
+    EXPECT_NE(ftv, (FaultToleranceVector{1, 0, 0}));
+  }
+}
+
+}  // namespace
+}  // namespace aspen

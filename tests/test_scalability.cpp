@@ -1,0 +1,143 @@
+// Tests for the Figure 8/9 convergence-versus-scalability series.
+#include <gtest/gtest.h>
+
+#include "src/analysis/scalability.h"
+#include "src/aspen/generator.h"
+
+namespace aspen {
+namespace {
+
+const TradeoffPoint* find_point(const std::vector<TradeoffPoint>& points,
+                                const FaultToleranceVector& ftv) {
+  for (const TradeoffPoint& p : points) {
+    if (p.ftv == ftv) return &p;
+  }
+  return nullptr;
+}
+
+TEST(Scalability, Figure8SeriesForN4K6) {
+  const auto points = scalability_tradeoff(4, 6);
+  ASSERT_EQ(points.size(), 8u);
+
+  // Fat tree: zero hosts removed, worst convergence.
+  const TradeoffPoint* fat = find_point(points, {0, 0, 0});
+  ASSERT_NE(fat, nullptr);
+  EXPECT_EQ(fat->hosts_removed, 0u);
+  EXPECT_DOUBLE_EQ(fat->average_convergence_hops, 4.0);
+
+  // "At the other end are trees with high fault tolerance … but with over
+  // 95% of the hosts removed."
+  const TradeoffPoint* full = find_point(points, {2, 2, 2});
+  ASSERT_NE(full, nullptr);
+  EXPECT_DOUBLE_EQ(full->average_convergence_hops, 0.0);
+  EXPECT_GT(full->removed_percent(162), 95.0);
+
+  // The three 54-host middle-ground trees of §9.1.
+  for (const auto& [ftv, hops] :
+       std::vector<std::pair<FaultToleranceVector, double>>{
+           {{0, 0, 2}, 7.0 / 3.0}, {{0, 2, 0}, 4.0 / 3.0},
+           {{2, 0, 0}, 1.0}}) {
+    const TradeoffPoint* p = find_point(points, ftv);
+    ASSERT_NE(p, nullptr) << ftv.to_string();
+    EXPECT_EQ(p->hosts, 54u);
+    EXPECT_EQ(p->hosts_removed, 108u);
+    EXPECT_NEAR(p->average_convergence_hops, hops, 1e-12);
+  }
+
+  // "<2,0,0> and <0,2,2>: both have average update propagation distances
+  // of 1, but the former supports 54 hosts and the latter only 18."
+  const TradeoffPoint* a = find_point(points, {2, 0, 0});
+  const TradeoffPoint* b = find_point(points, {0, 2, 2});
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_DOUBLE_EQ(a->average_convergence_hops,
+                   b->average_convergence_hops);
+  EXPECT_EQ(a->hosts, 54u);
+  EXPECT_EQ(b->hosts, 18u);
+}
+
+TEST(Scalability, PercentNormalizers) {
+  const auto points = scalability_tradeoff(4, 6);
+  const TradeoffPoint* fat = find_point(points, {0, 0, 0});
+  ASSERT_NE(fat, nullptr);
+  // Fig. 8: "Because we average convergence times across tree levels, no
+  // individual bar in the graph reaches 100% of the maximum hop count."
+  for (const TradeoffPoint& p : points) {
+    EXPECT_LT(p.convergence_percent(5), 100.0);
+    EXPECT_LE(p.removed_percent(162), 100.0);
+  }
+  EXPECT_DOUBLE_EQ(fat->convergence_percent(5), 80.0);
+}
+
+TEST(Scalability, SortForDisplayOrdersLikeTheFigure) {
+  auto points = scalability_tradeoff(4, 6);
+  sort_for_display(points);
+  EXPECT_TRUE(points.front().ftv.is_fat_tree());
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_LE(points[i - 1].hosts_removed, points[i].hosts_removed);
+    if (points[i - 1].hosts_removed == points[i].hosts_removed) {
+      EXPECT_GE(points[i - 1].average_convergence_hops,
+                points[i].average_convergence_hops);
+    }
+  }
+}
+
+TEST(Scalability, CollapseDuplicatesMatchesFigure9Treatment) {
+  // n=5, k=16: "numerous trees (FTVs) all correspond to a single
+  // [host count, convergence time] pair.  We collapsed all such duplicates
+  // into single entries."
+  const auto all = scalability_tradeoff(5, 16);
+  const auto collapsed = collapse_duplicates(all);
+  EXPECT_LT(collapsed.size(), all.size());
+  for (std::size_t i = 1; i < collapsed.size(); ++i) {
+    const bool same = collapsed[i - 1].hosts == collapsed[i].hosts &&
+                      collapsed[i - 1].average_convergence_hops ==
+                          collapsed[i].average_convergence_hops;
+    EXPECT_FALSE(same);
+  }
+}
+
+TEST(Scalability, Figure9aShape) {
+  // n=5, k=16: max hosts 65,536 (paper: "Max Hosts=65,536", Fig. 9(a)).
+  EXPECT_EQ(fat_tree(5, 16).num_hosts(), 65'536u);
+  const auto points = scalability_tradeoff(5, 16);
+  EXPECT_GT(points.size(), 20u);  // many valid trees at this size
+  // Larger fault tolerance never increases host count.
+  const TradeoffPoint* fat = find_point(
+      points, FaultToleranceVector::fat_tree(5));
+  ASSERT_NE(fat, nullptr);
+  for (const TradeoffPoint& p : points) {
+    EXPECT_LE(p.hosts, fat->hosts);
+  }
+}
+
+TEST(Scalability, Figure9bShape) {
+  // n=3, k=64: max hosts 65,536, max hops 3.
+  EXPECT_EQ(fat_tree(3, 64).num_hosts(), 65'536u);
+  const auto points = scalability_tradeoff(3, 64);
+  for (const TradeoffPoint& p : points) {
+    EXPECT_LE(p.average_convergence_hops, 3.0);
+  }
+  // "With only modest reductions to host count, the reaction time of a
+  // tree can be significantly improved": some tree keeps >= 1/4 of hosts
+  // with average convergence <= 1 hop.
+  bool good_middle_ground = false;
+  for (const TradeoffPoint& p : points) {
+    if (p.hosts * 4 >= 65'536u && p.average_convergence_hops <= 1.0) {
+      good_middle_ground = true;
+    }
+  }
+  EXPECT_TRUE(good_middle_ground);
+}
+
+TEST(Scalability, SwitchCountsTrackHostCounts) {
+  for (const TradeoffPoint& p : scalability_tradeoff(4, 6)) {
+    // switches = (n−1/2)·S and hosts = (k/2)·S → fixed ratio 7/6 at n=4,k=6.
+    EXPECT_DOUBLE_EQ(static_cast<double>(p.total_switches) /
+                         static_cast<double>(p.hosts),
+                     3.5 / 3.0);
+  }
+}
+
+}  // namespace
+}  // namespace aspen

@@ -1,0 +1,113 @@
+// Tests for the Figure 10 fat/Aspen pair series.
+#include <gtest/gtest.h>
+
+#include "src/analysis/series.h"
+#include "src/aspen/generator.h"
+
+namespace aspen {
+namespace {
+
+TEST(Series, PairBasics) {
+  const PairPoint p = analyze_pair(4, 3);
+  EXPECT_EQ(p.hosts, 16u);
+  EXPECT_EQ(p.fat.n, 3);
+  EXPECT_EQ(p.aspen.n, 4);
+  EXPECT_EQ(p.aspen.ftv(), (FaultToleranceVector{1, 0, 0}));
+  EXPECT_EQ(p.fat_switches, 20u);
+  EXPECT_EQ(p.aspen_switches, 28u);
+  EXPECT_EQ(p.label(), "16:k=4,n=3,4");
+}
+
+TEST(Series, SmallSeriesMatchesFigure10ab) {
+  const auto series = figure10_small_series();
+  ASSERT_EQ(series.size(), 4u);
+  // Host counts on the x-axis of Fig. 10(a): 16, 54, 128, 32.
+  EXPECT_EQ(series[0].hosts, 16u);
+  EXPECT_EQ(series[1].hosts, 54u);
+  EXPECT_EQ(series[2].hosts, 128u);
+  EXPECT_EQ(series[3].hosts, 32u);
+}
+
+TEST(Series, LargeSeriesMatchesFigure10cd) {
+  const auto series = figure10_large_series();
+  ASSERT_EQ(series.size(), 16u);
+  // Spot-check the published x labels.
+  EXPECT_EQ(series[0].label(), "16:k=4,n=3,4");
+  EXPECT_EQ(series[6].label(), "524288:k=128,n=3,4");
+  EXPECT_EQ(series[11].label(), "131072:k=32,n=4,5");
+  EXPECT_EQ(series[15].label(), "65536:k=16,n=5,6");
+}
+
+TEST(Series, SwitchHostRatiosShrinkWithK) {
+  const auto series = figure10_large_series();
+  // Within the n=3 group, the switch:host ratio falls as k grows.
+  for (int i = 1; i < 7; ++i) {
+    EXPECT_LT(series[static_cast<std::size_t>(i)].fat_switch_host_ratio,
+              series[static_cast<std::size_t>(i - 1)].fat_switch_host_ratio);
+  }
+  // Aspen needs modestly more switches than fat for every pair.
+  for (const PairPoint& p : series) {
+    EXPECT_GT(p.aspen_switch_host_ratio, p.fat_switch_host_ratio);
+    EXPECT_LT(p.aspen_switch_host_ratio, 2.0 * p.fat_switch_host_ratio);
+  }
+}
+
+TEST(Series, LspInvolvesAllSwitchesAnpFew) {
+  // Fig. 10(c): "LSP re-convergence consistently involves all switches in
+  // the tree, whereas only 10-20% of Aspen switches react to each failure."
+  for (const PairPoint& p : figure10_large_series()) {
+    EXPECT_DOUBLE_EQ(p.lsp_react, static_cast<double>(p.fat_switches));
+    EXPECT_LT(p.anp_react, 0.25 * static_cast<double>(p.aspen_switches))
+        << p.label();
+  }
+}
+
+TEST(Series, ConvergenceGapIsOrdersOfMagnitude) {
+  // Fig. 10(d): "ANP converges orders of magnitude more quickly than LSP."
+  for (const PairPoint& p : figure10_large_series()) {
+    EXPECT_GT(p.lsp_avg_ms, 20.0 * p.anp_avg_ms) << p.label();
+  }
+}
+
+TEST(Series, ConvergenceGapGrowsWithDepth) {
+  // Fig. 10(b): "this difference grows as n increases."
+  const PairPoint n3 = analyze_pair(4, 3);
+  const PairPoint n4 = analyze_pair(4, 4);
+  const PairPoint n5 = analyze_pair(4, 5);
+  EXPECT_GT(n4.lsp_avg_ms - n4.anp_avg_ms, n3.lsp_avg_ms - n3.anp_avg_ms);
+  EXPECT_GT(n5.lsp_avg_ms - n5.anp_avg_ms, n4.lsp_avg_ms - n4.anp_avg_ms);
+}
+
+TEST(Series, HopLabelsMatchPaper) {
+  // Fig. 10(d) labels: LSP 3 / 4.5 / 6 hops, ANP 1.5 / 2 / 2.5 hops.
+  const PairPoint n3 = analyze_pair(16, 3);
+  EXPECT_DOUBLE_EQ(n3.lsp_avg_hops, 3.0);
+  EXPECT_DOUBLE_EQ(n3.anp_avg_hops, 1.5);
+  const PairPoint n4 = analyze_pair(16, 4);
+  EXPECT_DOUBLE_EQ(n4.lsp_avg_hops, 4.5);
+  EXPECT_DOUBLE_EQ(n4.anp_avg_hops, 2.0);
+  const PairPoint n5 = analyze_pair(16, 5);
+  EXPECT_DOUBLE_EQ(n5.lsp_avg_hops, 6.0);
+  EXPECT_DOUBLE_EQ(n5.anp_avg_hops, 2.5);
+}
+
+TEST(Series, CustomDelayModelPropagates) {
+  DelayModel delays;
+  delays.lsa_processing = 100.0;
+  delays.anp_processing = 10.0;
+  const PairPoint p = analyze_pair(4, 3, delays);
+  EXPECT_NEAR(p.lsp_avg_ms, 3.0 * 100.001, 1e-6);
+  EXPECT_NEAR(p.anp_avg_ms, 1.5 * 10.001, 1e-6);
+}
+
+TEST(Series, HugePairsStayAnalytic) {
+  // k=128, n=3 → 524,288 hosts: must complete instantly without building
+  // any topology.
+  const PairPoint p = analyze_pair(128, 3);
+  EXPECT_EQ(p.hosts, 524'288u);
+  EXPECT_EQ(p.fat_switches, 20'480u);
+  EXPECT_EQ(p.aspen_switches, 28'672u);
+}
+
+}  // namespace
+}  // namespace aspen

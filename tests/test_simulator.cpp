@@ -1,0 +1,118 @@
+// Tests for the discrete-event simulation core.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/simulator.h"
+#include "src/sim/stats.h"
+#include "src/util/status.h"
+
+namespace aspen {
+namespace {
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(3.0, [&] { order.push_back(3); });
+  sim.schedule(1.0, [&] { order.push_back(1); });
+  sim.schedule(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, EqualTimesRunFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(5.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) sim.schedule(1.0, chain);
+  };
+  sim.schedule(1.0, chain);
+  sim.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(Simulator, StepReturnsFalseWhenIdle) {
+  Simulator sim;
+  EXPECT_TRUE(sim.idle());
+  EXPECT_FALSE(sim.step());
+  sim.schedule(1.0, [] {});
+  EXPECT_FALSE(sim.idle());
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(sim.events_processed(), 1u);
+}
+
+TEST(Simulator, ScheduleAtAbsoluteTime) {
+  Simulator sim;
+  double fired_at = -1;
+  sim.schedule_at(7.5, [&] { fired_at = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(Simulator, CannotScheduleIntoThePast) {
+  Simulator sim;
+  sim.schedule(1.0, [&] {
+    EXPECT_THROW(sim.schedule_at(0.5, [] {}), PreconditionError);
+    EXPECT_THROW(sim.schedule(-1.0, [] {}), PreconditionError);
+  });
+  sim.run();
+}
+
+TEST(Simulator, RunawayGuardTrips) {
+  Simulator sim;
+  std::function<void()> forever = [&] { sim.schedule(0.1, forever); };
+  sim.schedule(0.1, forever);
+  EXPECT_THROW(sim.run(/*max_events=*/1000), AspenError);
+}
+
+TEST(CpuQueue, SerializesWork) {
+  CpuQueue cpu;
+  // First job: arrives at 0, takes 10 → done at 10.
+  EXPECT_DOUBLE_EQ(cpu.occupy(0.0, 10.0), 10.0);
+  // Second job arrives at 5 while busy → starts at 10, done at 15.
+  EXPECT_DOUBLE_EQ(cpu.occupy(5.0, 5.0), 15.0);
+  // Third arrives after idle gap → starts on arrival.
+  EXPECT_DOUBLE_EQ(cpu.occupy(20.0, 1.0), 21.0);
+  EXPECT_DOUBLE_EQ(cpu.next_free(), 21.0);
+  cpu.reset();
+  EXPECT_DOUBLE_EQ(cpu.next_free(), 0.0);
+  EXPECT_THROW(cpu.occupy(0.0, -1.0), PreconditionError);
+}
+
+TEST(DelayModel, PaperDefaults) {
+  // §9.2: 1 µs propagation, 20 ms ANP, 300 ms LSA.
+  const DelayModel delays;
+  EXPECT_DOUBLE_EQ(delays.propagation, 0.001);
+  EXPECT_DOUBLE_EQ(delays.anp_processing, 20.0);
+  EXPECT_DOUBLE_EQ(delays.lsa_processing, 300.0);
+}
+
+TEST(Summary, Accumulates) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  s.add(1.0);
+  s.add(3.0);
+  s.add(2.0);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+  EXPECT_DOUBLE_EQ(s.total(), 6.0);
+}
+
+}  // namespace
+}  // namespace aspen

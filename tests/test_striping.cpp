@@ -1,0 +1,181 @@
+// Tests for striping policies and the §7 validator (Figure 6).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/aspen/generator.h"
+#include "src/topo/striping.h"
+#include "src/topo/topology.h"
+#include "src/topo/validate.h"
+#include "src/util/status.h"
+
+namespace aspen {
+namespace {
+
+Topology build(int n, int k, std::vector<int> ftv, StripingConfig cfg = {}) {
+  return Topology::build(generate_tree(n, k, FaultToleranceVector(ftv)), cfg);
+}
+
+TEST(Striping, StandardFatTreeIsValid) {
+  const ValidationReport report = validate_topology(build(3, 4, {0, 0}));
+  EXPECT_TRUE(report.all_ok()) << report.problems.size() << " problems";
+  EXPECT_TRUE(report.ports_ok);
+  EXPECT_TRUE(report.uniform_fault_tolerance);
+  EXPECT_TRUE(report.top_level_coverage);
+  EXPECT_TRUE(report.anp_striping_ok);
+  EXPECT_EQ(report.parallel_link_pairs, 0u);
+  EXPECT_TRUE(report.problems.empty());
+}
+
+TEST(Striping, AllKindsValidOnFatTree) {
+  // With c_i = 1 everywhere, every policy degenerates to a valid wiring.
+  for (const auto kind :
+       {StripingKind::kStandard, StripingKind::kRotated,
+        StripingKind::kRandom, StripingKind::kParallelHeavy}) {
+    StripingConfig cfg;
+    cfg.kind = kind;
+    cfg.seed = 3;
+    const ValidationReport report = validate_topology(build(3, 4, {0, 0}, cfg));
+    EXPECT_TRUE(report.ports_ok) << to_string(kind);
+    EXPECT_TRUE(report.uniform_fault_tolerance) << to_string(kind);
+    EXPECT_TRUE(report.top_level_coverage) << to_string(kind);
+  }
+}
+
+TEST(Striping, StandardAndRotatedValidOnAspenTrees) {
+  for (const auto kind : {StripingKind::kStandard, StripingKind::kRotated}) {
+    StripingConfig cfg;
+    cfg.kind = kind;
+    const ValidationReport report =
+        validate_topology(build(4, 4, {1, 0, 0}, cfg));
+    EXPECT_TRUE(report.all_ok())
+        << to_string(kind) << ": "
+        << (report.problems.empty() ? "" : report.problems.front());
+  }
+}
+
+TEST(Striping, ParallelHeavyDefeatsFaultTolerance) {
+  // Figure 6(d): all redundant links land on a single pod member, so the
+  // §7 shared-ancestor requirement fails wherever it matters.
+  StripingConfig cfg;
+  cfg.kind = StripingKind::kParallelHeavy;
+  const ValidationReport report = validate_topology(build(4, 4, {1, 0, 0}, cfg));
+  EXPECT_TRUE(report.ports_ok);
+  EXPECT_FALSE(report.anp_striping_ok);
+  EXPECT_GT(report.parallel_link_pairs, 0u);
+  EXPECT_FALSE(report.problems.empty());
+}
+
+TEST(Striping, RandomStripingIsDeterministicPerSeed) {
+  StripingConfig cfg;
+  cfg.kind = StripingKind::kRandom;
+  cfg.seed = 99;
+  const Topology a = build(3, 4, {1, 0}, cfg);
+  const Topology b = build(3, 4, {1, 0}, cfg);
+  for (std::uint32_t id = 0; id < a.num_links(); ++id) {
+    EXPECT_EQ(a.link(LinkId{id}), b.link(LinkId{id}));
+  }
+  cfg.seed = 100;
+  const Topology c = build(3, 4, {1, 0}, cfg);
+  bool any_difference = false;
+  for (std::uint32_t id = 0; id < a.num_links(); ++id) {
+    if (!(a.link(LinkId{id}) == c.link(LinkId{id}))) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Striping, RandomStripingKeepsPortBudgets) {
+  StripingConfig cfg;
+  cfg.kind = StripingKind::kRandom;
+  cfg.seed = 5;
+  const ValidationReport report = validate_topology(build(4, 4, {1, 0, 0}, cfg));
+  EXPECT_TRUE(report.ports_ok);
+  EXPECT_TRUE(report.uniform_fault_tolerance);
+  EXPECT_TRUE(report.top_level_coverage);
+}
+
+TEST(Striping, StandardPatternMatchesFormula) {
+  const TreeParams params = fat_tree(3, 4);
+  const Striper striper(params, {});
+  // L2: c=1, child pods have 1 member each.
+  EXPECT_EQ(striper.child_member(2, 0, 0, 0, 0), 0u);
+  // L3: c=1, child pods have m_2=2 members; member a lands on a mod 2.
+  EXPECT_EQ(striper.child_member(3, 0, 0, 0, 0), 0u);
+  EXPECT_EQ(striper.child_member(3, 0, 0, 1, 0), 1u);
+  EXPECT_EQ(striper.child_member(3, 0, 0, 2, 0), 0u);
+  EXPECT_EQ(striper.child_member(3, 0, 0, 3, 0), 1u);
+}
+
+TEST(Striping, RotatedShiftsByChildOrdinal) {
+  const TreeParams params = fat_tree(3, 4);
+  StripingConfig cfg;
+  cfg.kind = StripingKind::kRotated;
+  const Striper striper(params, cfg);
+  EXPECT_EQ(striper.child_member(3, 0, 0, 0, 0), 0u);
+  EXPECT_EQ(striper.child_member(3, 0, 1, 0, 0), 1u);
+  EXPECT_EQ(striper.child_member(3, 0, 2, 0, 0), 0u);
+}
+
+TEST(Striping, OutOfRangeArgumentsThrow) {
+  const TreeParams params = fat_tree(3, 4);
+  const Striper striper(params, {});
+  EXPECT_THROW((void)striper.child_member(1, 0, 0, 0, 0), PreconditionError);
+  EXPECT_THROW((void)striper.child_member(4, 0, 0, 0, 0), PreconditionError);
+  EXPECT_THROW((void)striper.child_member(3, 1, 0, 0, 0), PreconditionError);
+  EXPECT_THROW((void)striper.child_member(3, 0, 9, 0, 0), PreconditionError);
+  EXPECT_THROW((void)striper.child_member(3, 0, 0, 9, 0), PreconditionError);
+  EXPECT_THROW((void)striper.child_member(3, 0, 0, 0, 9), PreconditionError);
+}
+
+TEST(Striping, ForcedParallelLinksAreCountedNotFatal) {
+  // Figure 3(e)-style tree: c exceeds the child pod size, so parallel links
+  // are unavoidable; the validator reports them without failing the §7
+  // check (pods of size 1 have no "other member" to share ancestors with).
+  const ValidationReport report = validate_topology(build(4, 6, {2, 2, 2}));
+  EXPECT_TRUE(report.ports_ok);
+  EXPECT_TRUE(report.uniform_fault_tolerance);
+  EXPECT_GT(report.parallel_link_pairs, 0u);
+  EXPECT_TRUE(report.anp_striping_ok);  // vacuous: every pod has one member
+  EXPECT_FALSE(report.bottleneck_pod_levels.empty());  // §8.4 pathology
+}
+
+TEST(Striping, BottleneckPodsDetected) {
+  // §8.4: "pods with only a single switch at high levels in the tree."
+  const ValidationReport healthy = validate_topology(build(3, 4, {0, 0}));
+  EXPECT_TRUE(healthy.bottleneck_pod_levels.empty());
+
+  const ValidationReport degenerate = validate_topology(build(4, 6, {2, 2, 2}));
+  EXPECT_FALSE(degenerate.bottleneck_pod_levels.empty());
+}
+
+TEST(Striping, ConfigToString) {
+  StripingConfig cfg;
+  EXPECT_EQ(cfg.to_string(), "standard");
+  cfg.kind = StripingKind::kRandom;
+  cfg.seed = 12;
+  EXPECT_EQ(cfg.to_string(), "random(seed=12)");
+  cfg.kind = StripingKind::kParallelHeavy;
+  EXPECT_EQ(cfg.to_string(), "parallel-heavy");
+  cfg.kind = StripingKind::kRotated;
+  EXPECT_EQ(cfg.to_string(), "rotated");
+}
+
+TEST(Striping, EveryChildReceivesFullUplinkBudget) {
+  // The wiring invariant that makes striping port-feasible.
+  for (const auto kind : {StripingKind::kStandard, StripingKind::kRotated,
+                          StripingKind::kRandom}) {
+    StripingConfig cfg;
+    cfg.kind = kind;
+    cfg.seed = 21;
+    const Topology topo = build(4, 4, {0, 1, 0}, cfg);
+    for (std::uint32_t v = 0; v < topo.num_switches(); ++v) {
+      const SwitchId s{v};
+      if (topo.level_of(s) == topo.levels()) continue;
+      EXPECT_EQ(topo.up_neighbors(s).size(), 2u)
+          << to_string(kind) << " " << to_string(s);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aspen

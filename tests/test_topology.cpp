@@ -1,0 +1,256 @@
+// Tests for concrete topology construction (§3).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/aspen/generator.h"
+#include "src/topo/export.h"
+#include "src/topo/link_state.h"
+#include "src/topo/topology.h"
+#include "src/util/status.h"
+
+namespace aspen {
+namespace {
+
+TEST(Topology, CountsMatchParams) {
+  for (const auto& [n, k] :
+       std::vector<std::pair<int, int>>{{3, 4}, {4, 4}, {3, 8}, {4, 6}}) {
+    const TreeParams params = fat_tree(n, k);
+    const Topology topo = Topology::build(params);
+    SCOPED_TRACE(topo.describe());
+    EXPECT_EQ(topo.num_switches(), params.total_switches());
+    EXPECT_EQ(topo.num_hosts(), params.num_hosts());
+    EXPECT_EQ(topo.num_links(), params.total_links());
+    EXPECT_EQ(topo.num_nodes(), topo.num_switches() + topo.num_hosts());
+  }
+}
+
+TEST(Topology, EveryPortIsUsedExactlyOnce) {
+  const Topology topo = Topology::build(fat_tree(3, 4));
+  for (std::uint32_t v = 0; v < topo.num_switches(); ++v) {
+    const SwitchId s{v};
+    EXPECT_EQ(topo.up_neighbors(s).size() + topo.down_neighbors(s).size(),
+              4u)
+        << to_string(s);
+  }
+}
+
+TEST(Topology, LevelStructure) {
+  const Topology topo = Topology::build(fat_tree(3, 4));
+  // S = 8: L1 ids 0..7, L2 ids 8..15, L3 ids 16..19.
+  EXPECT_EQ(topo.level_of(SwitchId{0}), 1);
+  EXPECT_EQ(topo.level_of(SwitchId{7}), 1);
+  EXPECT_EQ(topo.level_of(SwitchId{8}), 2);
+  EXPECT_EQ(topo.level_of(SwitchId{15}), 2);
+  EXPECT_EQ(topo.level_of(SwitchId{16}), 3);
+  EXPECT_EQ(topo.level_of(SwitchId{19}), 3);
+  EXPECT_EQ(topo.switch_at(2, 0), SwitchId{8});
+  EXPECT_EQ(topo.index_in_level(SwitchId{9}), 1u);
+  EXPECT_THROW((void)topo.switch_at(3, 4), PreconditionError);
+}
+
+TEST(Topology, TopLevelSwitchesHaveNoUplinksAndKDownlinks) {
+  const Topology topo = Topology::build(fat_tree(3, 4));
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    const SwitchId s = topo.switch_at(3, i);
+    EXPECT_TRUE(topo.up_neighbors(s).empty());
+    EXPECT_EQ(topo.down_neighbors(s).size(), 4u);
+  }
+}
+
+TEST(Topology, EdgeSwitchesServeHalfPortsOfHosts) {
+  const Topology topo = Topology::build(fat_tree(3, 4));
+  for (std::uint64_t i = 0; i < topo.params().S; ++i) {
+    const SwitchId edge = topo.switch_at(1, i);
+    const auto hosts = topo.hosts_of_edge(edge);
+    EXPECT_EQ(hosts.size(), 2u);
+    for (const HostId h : hosts) {
+      EXPECT_EQ(topo.edge_switch_of(h), edge);
+      EXPECT_EQ(topo.host_uplink(h).node, topo.node_of(edge));
+    }
+    std::uint64_t host_neighbors = 0;
+    for (const auto& nb : topo.down_neighbors(edge)) {
+      if (!topo.is_switch_node(nb.node)) ++host_neighbors;
+    }
+    EXPECT_EQ(host_neighbors, 2u);
+  }
+}
+
+TEST(Topology, PodStructure) {
+  const Topology topo = Topology::build(fat_tree(3, 4));
+  // p_2 = 4 pods of m_2 = 2; p_3 = 1 pod of m_3 = 4.
+  EXPECT_EQ(topo.pods_at_level(1), 8u);
+  EXPECT_EQ(topo.pods_at_level(2), 4u);
+  EXPECT_EQ(topo.pods_at_level(3), 1u);
+  const auto pod = topo.pod_members(2, PodId{1});
+  ASSERT_EQ(pod.size(), 2u);
+  for (const SwitchId s : pod) {
+    EXPECT_EQ(topo.pod_of(s), PodId{1});
+    EXPECT_EQ(topo.level_of(s), 2);
+  }
+  EXPECT_EQ(topo.member_index(pod[0]), 0u);
+  EXPECT_EQ(topo.member_index(pod[1]), 1u);
+}
+
+TEST(Topology, PodsFormATree) {
+  const Topology topo = Topology::build(fat_tree(4, 4));
+  for (Level level = 2; level <= topo.levels(); ++level) {
+    for (std::uint64_t p = 0; p < topo.pods_at_level(level); ++p) {
+      for (const PodId child : topo.child_pods(level, PodId{
+               static_cast<std::uint32_t>(p)})) {
+        EXPECT_EQ(topo.parent_pod(level - 1, child).value(), p);
+      }
+    }
+  }
+}
+
+TEST(Topology, PodMembersConnectToSameChildPods) {
+  // The defining property of a pod (§3): all members connect to the same
+  // set of pods below.
+  const Topology topo =
+      Topology::build(generate_tree(4, 6, FaultToleranceVector{0, 2, 0}));
+  for (Level level = 2; level <= topo.levels(); ++level) {
+    for (std::uint64_t p = 0; p < topo.pods_at_level(level); ++p) {
+      std::set<std::uint32_t> reference;
+      bool first = true;
+      for (const SwitchId s : topo.pod_members(level, PodId{
+               static_cast<std::uint32_t>(p)})) {
+        std::set<std::uint32_t> pods;
+        for (const auto& nb : topo.down_neighbors(s)) {
+          if (!topo.is_switch_node(nb.node)) continue;
+          pods.insert(topo.pod_of(topo.switch_of(nb.node)).value());
+        }
+        if (first) {
+          reference = pods;
+          first = false;
+        } else {
+          EXPECT_EQ(pods, reference);
+        }
+      }
+    }
+  }
+}
+
+TEST(Topology, NodeIdMapping) {
+  const Topology topo = Topology::build(fat_tree(3, 4));
+  const NodeId sn = topo.node_of(SwitchId{5});
+  EXPECT_TRUE(topo.is_switch_node(sn));
+  EXPECT_EQ(topo.switch_of(sn), SwitchId{5});
+  const NodeId hn = topo.node_of(HostId{3});
+  EXPECT_FALSE(topo.is_switch_node(hn));
+  EXPECT_EQ(topo.host_of(hn), HostId{3});
+  EXPECT_THROW((void)topo.host_of(sn), PreconditionError);
+  EXPECT_THROW((void)topo.switch_of(hn), PreconditionError);
+}
+
+TEST(Topology, LinksAreConsistent) {
+  const Topology topo = Topology::build(fat_tree(3, 4));
+  for (std::uint32_t id = 0; id < topo.num_links(); ++id) {
+    const Topology::LinkRec& rec = topo.link(LinkId{id});
+    ASSERT_TRUE(topo.is_switch_node(rec.upper));
+    const SwitchId upper = topo.switch_of(rec.upper);
+    EXPECT_EQ(topo.level_of(upper), rec.upper_level);
+    if (topo.is_switch_node(rec.lower)) {
+      EXPECT_EQ(topo.level_of(topo.switch_of(rec.lower)),
+                rec.upper_level - 1);
+    } else {
+      EXPECT_EQ(rec.upper_level, 1);
+    }
+  }
+}
+
+TEST(Topology, LinksAtLevelPartitionAllLinks) {
+  const Topology topo = Topology::build(fat_tree(4, 4));
+  std::uint64_t total = 0;
+  for (Level level = 1; level <= topo.levels(); ++level) {
+    const auto links = topo.links_at_level(level);
+    EXPECT_EQ(links.size(), topo.params().S * 2u);  // S·k/2 per level
+    total += links.size();
+  }
+  EXPECT_EQ(total, topo.num_links());
+}
+
+TEST(Topology, FindLinkAndLinksBetween) {
+  const Topology topo = Topology::build(fat_tree(3, 4));
+  const SwitchId agg = topo.switch_at(2, 0);
+  const auto downs = topo.down_neighbors(agg);
+  ASSERT_FALSE(downs.empty());
+  const SwitchId edge = topo.switch_of(downs[0].node);
+  EXPECT_EQ(topo.find_link(agg, edge), downs[0].link);
+  EXPECT_EQ(topo.links_between(agg, edge).size(), 1u);
+  // No link between two edge switches.
+  EXPECT_FALSE(topo.find_link(agg, topo.switch_at(1, 7)).valid() &&
+               topo.level_of(topo.switch_at(1, 7)) == 2);
+}
+
+TEST(Topology, UpDownSymmetry) {
+  const Topology topo = Topology::build(fat_tree(4, 4));
+  for (std::uint32_t v = 0; v < topo.num_switches(); ++v) {
+    const SwitchId s{v};
+    for (const auto& nb : topo.up_neighbors(s)) {
+      const SwitchId parent = topo.switch_of(nb.node);
+      bool found = false;
+      for (const auto& back : topo.down_neighbors(parent)) {
+        if (back.link == nb.link) {
+          EXPECT_EQ(back.node, topo.node_of(s));
+          found = true;
+        }
+      }
+      EXPECT_TRUE(found);
+    }
+  }
+}
+
+TEST(Topology, FaultTolerantTreeHasDenserInterconnect) {
+  const Topology topo =
+      Topology::build(generate_tree(4, 4, FaultToleranceVector{0, 1, 0}));
+  // Each L3 switch connects twice to its single child pod (c_3 = 2).
+  const SwitchId l3 = topo.switch_at(3, 0);
+  std::set<std::uint32_t> pods;
+  for (const auto& nb : topo.down_neighbors(l3)) {
+    pods.insert(topo.pod_of(topo.switch_of(nb.node)).value());
+  }
+  EXPECT_EQ(pods.size(), 1u);  // r_3 = 1
+  EXPECT_EQ(topo.down_neighbors(l3).size(), 2u);
+}
+
+TEST(Topology, LinkStateOverlay) {
+  const Topology topo = Topology::build(fat_tree(3, 4));
+  LinkStateOverlay overlay(topo);
+  EXPECT_EQ(overlay.num_failed(), 0u);
+  EXPECT_TRUE(overlay.is_up(LinkId{0}));
+  EXPECT_TRUE(overlay.fail(LinkId{0}));
+  EXPECT_FALSE(overlay.fail(LinkId{0}));  // idempotent
+  EXPECT_FALSE(overlay.is_up(LinkId{0}));
+  EXPECT_EQ(overlay.num_failed(), 1u);
+  EXPECT_EQ(overlay.failed_links(), (std::vector<LinkId>{LinkId{0}}));
+  EXPECT_TRUE(overlay.recover(LinkId{0}));
+  EXPECT_FALSE(overlay.recover(LinkId{0}));
+  overlay.fail(LinkId{3});
+  overlay.fail(LinkId{5});
+  overlay.recover_all();
+  EXPECT_EQ(overlay.num_failed(), 0u);
+}
+
+TEST(TopologyExport, DotContainsAllNodes) {
+  const Topology topo = Topology::build(fat_tree(3, 4));
+  const std::string dot = to_dot(topo);
+  EXPECT_NE(dot.find("graph aspen {"), std::string::npos);
+  EXPECT_NE(dot.find("s0 -- "), std::string::npos);
+  EXPECT_NE(dot.find("h15"), std::string::npos);
+
+  DotOptions no_hosts;
+  no_hosts.include_hosts = false;
+  EXPECT_EQ(to_dot(topo, no_hosts).find("h0"), std::string::npos);
+}
+
+TEST(TopologyExport, CsvHasOneRowPerLink) {
+  const Topology topo = Topology::build(fat_tree(3, 4));
+  const std::string csv = to_csv(topo);
+  const auto rows = std::count(csv.begin(), csv.end(), '\n');
+  EXPECT_EQ(static_cast<std::uint64_t>(rows), topo.num_links() + 1);  // header
+  EXPECT_NE(csv.find("link_id,upper,lower,level"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aspen

@@ -1,0 +1,392 @@
+// aspen — command-line front end to the Aspen tree library.
+//
+//   aspen generate <n> <k> <ftv>                  tree properties
+//   aspen enumerate <n> <k> [min_hosts [max_sw]]  design-space catalog
+//   aspen validate <n> <k> <ftv> [striping [seed]]   §7 wiring checks
+//   aspen export <dot|csv> <n> <k> <ftv>          topology to stdout
+//   aspen design <n_fat> <k> <x> [placement]      fixed-host Aspen tree
+//   aspen recommend <n> <budget> [ft]             §8.1 FTV placement
+//   aspen simulate <n> <k> <ftv> <lsp|anp|anp+> [level]   failure sweep
+//   aspen availability <n> <k> <ftv> [rate]       §1 nines accounting
+//   aspen window <n> <k> <ftv> <lsp|anp|anp+>     §8.4 loss-vs-time curve
+//   aspen label <n> <k> <ftv> [host]              §5.3 hierarchical labels
+//   aspen audit <n> <k> <ftv> <links.csv>         validate external wiring
+//
+// Every subcommand is a thin veneer over the public library API; exit code
+// 0 on success, 1 on bad usage, 2 when a check fails.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/analysis/availability.h"
+#include "src/analysis/convergence.h"
+#include "src/aspen/enumerate.h"
+#include "src/aspen/fixed_hosts.h"
+#include "src/aspen/generator.h"
+#include "src/aspen/recommend.h"
+#include "src/proto/experiment.h"
+#include "src/labels/labels.h"
+#include "src/proto/inflight.h"
+#include "src/traffic/patterns.h"
+#include "src/topo/export.h"
+#include "src/topo/import.h"
+#include "src/topo/validate.h"
+#include "src/util/table.h"
+
+namespace {
+
+using namespace aspen;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  aspen generate <n> <k> <ftv>\n"
+      "  aspen enumerate <n> <k> [min_hosts [max_switches]]\n"
+      "  aspen validate <n> <k> <ftv> [standard|rotated|random|parallel "
+      "[seed]]\n"
+      "  aspen export <dot|csv> <n> <k> <ftv>\n"
+      "  aspen design <n_fat> <k> <x> [top|bottom|spread]\n"
+      "  aspen recommend <n> <budget> [ft]\n"
+      "  aspen simulate <n> <k> <ftv> <lsp|anp|anp+> [level]\n"
+      "  aspen availability <n> <k> <ftv> [failures_per_link_per_year]\n"
+      "  aspen window <n> <k> <ftv> <lsp|anp|anp+>\n"
+      "  aspen label <n> <k> <ftv> [host]\n"
+      "  aspen audit <n> <k> <ftv> <links.csv>\n"
+      "ftv syntax: \"<a,b,c>\" or \"a,b,c\" (top level first)\n");
+  return 1;
+}
+
+void print_tree(const TreeParams& tree) {
+  std::printf("%s\n", tree.to_string().c_str());
+  std::printf("  hosts            : %lu\n",
+              static_cast<unsigned long>(tree.num_hosts()));
+  std::printf("  switches         : %lu (S=%lu per level, S/2 on top)\n",
+              static_cast<unsigned long>(tree.total_switches()),
+              static_cast<unsigned long>(tree.S));
+  std::printf("  links            : %lu\n",
+              static_cast<unsigned long>(tree.total_links()));
+  std::printf("  DCC              : %lu\n",
+              static_cast<unsigned long>(tree.dcc()));
+  std::printf("  aggregation      : %.0f\n", tree.overall_aggregation());
+  std::printf("  avg convergence  : %.2f hops\n",
+              average_update_propagation(tree.ftv()));
+  std::printf("  per-level (i: p m r c ft):\n");
+  for (Level i = tree.n; i >= 1; --i) {
+    const auto ui = static_cast<std::size_t>(i);
+    std::printf("    L%d: p=%-4lu m=%-4lu", i,
+                static_cast<unsigned long>(tree.p[ui]),
+                static_cast<unsigned long>(tree.m[ui]));
+    if (i >= 2) {
+      std::printf(" r=%-4lu c=%-2lu ft=%d",
+                  static_cast<unsigned long>(tree.r[ui]),
+                  static_cast<unsigned long>(tree.c[ui]),
+                  tree.fault_tolerance_at_level(i));
+    }
+    std::printf("\n");
+  }
+}
+
+int cmd_generate(const std::vector<std::string>& args) {
+  if (args.size() != 3) return usage();
+  print_tree(generate_tree(std::stoi(args[0]), std::stoi(args[1]),
+                           FaultToleranceVector::parse(args[2])));
+  return 0;
+}
+
+int cmd_enumerate(const std::vector<std::string>& args) {
+  if (args.size() < 2 || args.size() > 4) return usage();
+  EnumerationFilter filter;
+  if (args.size() >= 3) filter.min_hosts = std::stoull(args[2]);
+  if (args.size() >= 4) filter.max_switches = std::stoull(args[3]);
+  TextTable table({"FTV", "DCC", "hosts", "switches", "links", "avg hops"});
+  for (const TreeParams& t :
+       enumerate_trees(std::stoi(args[0]), std::stoi(args[1]), filter)) {
+    table.add_row({t.ftv().to_string(), std::to_string(t.dcc()),
+                   std::to_string(t.num_hosts()),
+                   std::to_string(t.total_switches()),
+                   std::to_string(t.total_links()),
+                   format_double(average_update_propagation(t.ftv()), 2)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}
+
+StripingConfig parse_striping(const std::vector<std::string>& args,
+                              std::size_t index) {
+  StripingConfig cfg;
+  if (args.size() > index) {
+    const std::string& name = args[index];
+    if (name == "rotated") {
+      cfg.kind = StripingKind::kRotated;
+    } else if (name == "random") {
+      cfg.kind = StripingKind::kRandom;
+    } else if (name == "parallel") {
+      cfg.kind = StripingKind::kParallelHeavy;
+    } else if (name != "standard") {
+      throw PreconditionError("unknown striping: " + name);
+    }
+  }
+  if (args.size() > index + 1) cfg.seed = std::stoull(args[index + 1]);
+  return cfg;
+}
+
+int cmd_validate(const std::vector<std::string>& args) {
+  if (args.size() < 3 || args.size() > 5) return usage();
+  const Topology topo = Topology::build(
+      generate_tree(std::stoi(args[0]), std::stoi(args[1]),
+                    FaultToleranceVector::parse(args[2])),
+      parse_striping(args, 3));
+  const ValidationReport report = validate_topology(topo);
+  std::printf("%s\n", topo.describe().c_str());
+  std::printf("  ports ok                : %s\n", report.ports_ok ? "yes" : "NO");
+  std::printf("  uniform fault tolerance : %s\n",
+              report.uniform_fault_tolerance ? "yes" : "NO");
+  std::printf("  top-level coverage      : %s\n",
+              report.top_level_coverage ? "yes" : "NO");
+  std::printf("  §7 ANP striping         : %s\n",
+              report.anp_striping_ok ? "yes" : "NO");
+  std::printf("  parallel link pairs     : %lu\n",
+              static_cast<unsigned long>(report.parallel_link_pairs));
+  if (!report.bottleneck_pod_levels.empty()) {
+    std::printf("  bottleneck pods (§8.4) at levels:");
+    for (const Level level : report.bottleneck_pod_levels) {
+      std::printf(" L%d", level);
+    }
+    std::printf("\n");
+  }
+  for (const std::string& problem : report.problems) {
+    std::printf("  problem: %s\n", problem.c_str());
+  }
+  return report.all_ok() ? 0 : 2;
+}
+
+int cmd_export(const std::vector<std::string>& args) {
+  if (args.size() != 4) return usage();
+  const Topology topo = Topology::build(
+      generate_tree(std::stoi(args[1]), std::stoi(args[2]),
+                    FaultToleranceVector::parse(args[3])));
+  if (args[0] == "dot") {
+    std::printf("%s", to_dot(topo).c_str());
+  } else if (args[0] == "csv") {
+    std::printf("%s", to_csv(topo).c_str());
+  } else {
+    return usage();
+  }
+  return 0;
+}
+
+int cmd_design(const std::vector<std::string>& args) {
+  if (args.size() < 3 || args.size() > 4) return usage();
+  RedundancyPlacement placement = RedundancyPlacement::kTop;
+  if (args.size() == 4) {
+    if (args[3] == "bottom") {
+      placement = RedundancyPlacement::kBottom;
+    } else if (args[3] == "spread") {
+      placement = RedundancyPlacement::kSpread;
+    } else if (args[3] != "top") {
+      return usage();
+    }
+  }
+  const int n_fat = std::stoi(args[0]);
+  const int k = std::stoi(args[1]);
+  const TreeParams aspen =
+      design_fixed_host_tree(n_fat, k, std::stoi(args[2]), placement);
+  const TreeParams fat = fat_tree(n_fat, k);
+  print_tree(aspen);
+  std::printf("  vs the %d-level fat tree: +%lu switches, +%lu links, same "
+              "%lu hosts\n",
+              n_fat,
+              static_cast<unsigned long>(aspen.total_switches() -
+                                         fat.total_switches()),
+              static_cast<unsigned long>(aspen.total_links() -
+                                         fat.total_links()),
+              static_cast<unsigned long>(fat.num_hosts()));
+  return 0;
+}
+
+int cmd_recommend(const std::vector<std::string>& args) {
+  if (args.size() < 2 || args.size() > 3) return usage();
+  const int ft = args.size() == 3 ? std::stoi(args[2]) : 1;
+  const auto ftv =
+      recommend_ftv_placement(std::stoi(args[0]), std::stoi(args[1]), ft);
+  const PlacementQuality quality = evaluate_placement(ftv);
+  std::printf("%s  covered=%s longest_zero_run=%d avg_hops=%.2f\n",
+              ftv.to_string().c_str(), quality.covered ? "yes" : "no",
+              quality.longest_zero_run, quality.average_hops);
+  return 0;
+}
+
+int cmd_simulate(const std::vector<std::string>& args) {
+  if (args.size() < 4 || args.size() > 5) return usage();
+  const Topology topo = Topology::build(
+      generate_tree(std::stoi(args[0]), std::stoi(args[1]),
+                    FaultToleranceVector::parse(args[2])));
+  SweepOptions options;
+  ProtocolKind kind;
+  if (args[3] == "lsp") {
+    kind = ProtocolKind::kLsp;
+  } else if (args[3] == "anp") {
+    kind = ProtocolKind::kAnp;
+  } else if (args[3] == "anp+") {
+    kind = ProtocolKind::kAnp;
+    options.anp.notify_children = true;
+  } else {
+    return usage();
+  }
+  if (args.size() == 5) options.levels = {std::stoi(args[4])};
+  options.connectivity_flows = 2000;
+  const SweepResult sweep = sweep_link_failures(kind, topo, options);
+  std::printf("%s, protocol %s: %lu failures swept\n",
+              topo.describe().c_str(), args[3].c_str(),
+              static_cast<unsigned long>(sweep.failures));
+  std::printf("  convergence ms : avg %.1f  min %.1f  max %.1f\n",
+              sweep.convergence_ms.mean(), sweep.convergence_ms.min(),
+              sweep.convergence_ms.max());
+  std::printf("  reacted        : avg %.1f of %lu switches\n",
+              sweep.reacted.mean(),
+              static_cast<unsigned long>(topo.num_switches()));
+  std::printf("  informed       : avg %.1f\n", sweep.informed.mean());
+  std::printf("  messages       : avg %.1f\n", sweep.messages.mean());
+  std::printf("  fully restored : %lu/%lu (2000 sampled flows each)\n",
+              static_cast<unsigned long>(sweep.fully_restored),
+              static_cast<unsigned long>(sweep.failures));
+  return 0;
+}
+
+int cmd_availability(const std::vector<std::string>& args) {
+  if (args.size() < 3 || args.size() > 4) return usage();
+  const TreeParams tree =
+      generate_tree(std::stoi(args[0]), std::stoi(args[1]),
+                    FaultToleranceVector::parse(args[2]));
+  const double rate = args.size() == 4 ? std::stod(args[3]) : 0.25;
+  const AvailabilityEstimate estimate = estimate_availability(tree, rate);
+  std::printf("%s at %.2f failures/link/year:\n", tree.to_string().c_str(),
+              rate);
+  std::printf("  failures/year  : %.0f\n", estimate.failures_per_year);
+  std::printf("  window/failure : %.1f ms\n", estimate.reaction_s * 1000.0);
+  std::printf("  downtime/year  : %.1f s\n", estimate.downtime_s_per_year);
+  std::printf("  availability   : %.7f (%.2f nines)\n",
+              estimate.availability, estimate.nines);
+  return 0;
+}
+
+int cmd_window(const std::vector<std::string>& args) {
+  if (args.size() != 4) return usage();
+  const Topology topo = Topology::build(
+      generate_tree(std::stoi(args[0]), std::stoi(args[1]),
+                    FaultToleranceVector::parse(args[2])));
+  ProtocolKind kind;
+  AnpOptions anp;
+  if (args[3] == "lsp") {
+    kind = ProtocolKind::kLsp;
+  } else if (args[3] == "anp") {
+    kind = ProtocolKind::kAnp;
+  } else if (args[3] == "anp+") {
+    kind = ProtocolKind::kAnp;
+    anp.notify_children = true;
+  } else {
+    return usage();
+  }
+  std::vector<Flow> flows;
+  const auto hosts = static_cast<std::uint32_t>(topo.num_hosts());
+  for (std::uint32_t h = 0; h < hosts; ++h) {
+    flows.push_back(Flow{HostId{h}, HostId{(h + hosts / 2) % hosts}});
+  }
+  const std::vector<SimTime> times{0,   5,   10,  20,   40,  80,
+                                   160, 320, 640, 1280, 2560};
+  const auto curve = run_window_experiment(
+      kind, topo, topo.links_at_level(2)[0], flows, times, DelayModel{},
+      anp);
+  std::printf("%s, %s, L2 failure — loss vs injection time:\n",
+              topo.params().to_string().c_str(), args[3].c_str());
+  for (const WindowSample& sample : curve) {
+    std::printf("  t=%6.0f ms  loss %5.1f%%\n", sample.inject_ms,
+                100.0 * sample.loss_rate());
+  }
+  return 0;
+}
+
+int cmd_label(const std::vector<std::string>& args) {
+  if (args.size() < 3 || args.size() > 4) return usage();
+  const Topology topo = Topology::build(
+      generate_tree(std::stoi(args[0]), std::stoi(args[1]),
+                    FaultToleranceVector::parse(args[2])));
+  const ForwardingStateStats stats = forwarding_state_stats(topo);
+  std::printf("%s\n", topo.describe().c_str());
+  std::printf("  compact prefix entries : %lu total, %.1f per switch\n",
+              static_cast<unsigned long>(stats.compact_entries),
+              stats.mean_compact_per_switch);
+  std::printf("  flat host-keyed        : %lu total\n",
+              static_cast<unsigned long>(stats.flat_host_entries));
+  if (args.size() == 4) {
+    const HostId host{static_cast<std::uint32_t>(std::stoul(args[3]))};
+    std::printf("  label(%s)             : %s\n", to_string(host).c_str(),
+                label_of(topo, host).to_string().c_str());
+  } else {
+    for (std::uint32_t h = 0;
+         h < std::min<std::uint64_t>(8, topo.num_hosts()); ++h) {
+      std::printf("  label(%s) = %s\n", to_string(HostId{h}).c_str(),
+                  label_of(topo, HostId{h}).to_string().c_str());
+    }
+  }
+  return 0;
+}
+
+int cmd_audit(const std::vector<std::string>& args) {
+  if (args.size() != 4) return usage();
+  std::ifstream file(args[3]);
+  if (!file) {
+    std::fprintf(stderr, "cannot open %s\n", args[3].c_str());
+    return 1;
+  }
+  std::ostringstream csv;
+  csv << file.rdbuf();
+  const TreeParams params =
+      generate_tree(std::stoi(args[0]), std::stoi(args[1]),
+                    FaultToleranceVector::parse(args[2]));
+  const Topology topo = import_topology_csv(params, csv.str());
+  const ValidationReport report = validate_topology(topo);
+  std::printf("audited %s against %s\n", args[3].c_str(),
+              params.to_string().c_str());
+  std::printf("  ports ok / uniform ft / coverage / §7 striping: "
+              "%s / %s / %s / %s\n",
+              report.ports_ok ? "yes" : "NO",
+              report.uniform_fault_tolerance ? "yes" : "NO",
+              report.top_level_coverage ? "yes" : "NO",
+              report.anp_striping_ok ? "yes" : "NO");
+  for (const std::string& problem : report.problems) {
+    std::printf("  problem: %s\n", problem.c_str());
+  }
+  return report.all_ok() ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  std::vector<std::string> args;
+  for (int i = 2; i < argc; ++i) args.emplace_back(argv[i]);
+
+  try {
+    if (command == "generate") return cmd_generate(args);
+    if (command == "enumerate") return cmd_enumerate(args);
+    if (command == "validate") return cmd_validate(args);
+    if (command == "export") return cmd_export(args);
+    if (command == "design") return cmd_design(args);
+    if (command == "recommend") return cmd_recommend(args);
+    if (command == "simulate") return cmd_simulate(args);
+    if (command == "availability") return cmd_availability(args);
+    if (command == "window") return cmd_window(args);
+    if (command == "label") return cmd_label(args);
+    if (command == "audit") return cmd_audit(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
