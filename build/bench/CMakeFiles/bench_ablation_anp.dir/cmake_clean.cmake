@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_anp.dir/bench_ablation_anp.cpp.o"
+  "CMakeFiles/bench_ablation_anp.dir/bench_ablation_anp.cpp.o.d"
+  "bench_ablation_anp"
+  "bench_ablation_anp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_anp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

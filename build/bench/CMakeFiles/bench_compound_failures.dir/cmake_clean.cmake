@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_compound_failures.dir/bench_compound_failures.cpp.o"
+  "CMakeFiles/bench_compound_failures.dir/bench_compound_failures.cpp.o.d"
+  "bench_compound_failures"
+  "bench_compound_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_compound_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

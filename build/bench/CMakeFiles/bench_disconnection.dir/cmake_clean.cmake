@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_disconnection.dir/bench_disconnection.cpp.o"
+  "CMakeFiles/bench_disconnection.dir/bench_disconnection.cpp.o.d"
+  "bench_disconnection"
+  "bench_disconnection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_disconnection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_simulation.dir/bench_fig10_simulation.cpp.o"
+  "CMakeFiles/bench_fig10_simulation.dir/bench_fig10_simulation.cpp.o.d"
+  "bench_fig10_simulation"
+  "bench_fig10_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

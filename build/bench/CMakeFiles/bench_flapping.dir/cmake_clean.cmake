@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_flapping.dir/bench_flapping.cpp.o"
+  "CMakeFiles/bench_flapping.dir/bench_flapping.cpp.o.d"
+  "bench_flapping"
+  "bench_flapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_flapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

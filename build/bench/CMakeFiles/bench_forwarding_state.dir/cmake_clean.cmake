@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_forwarding_state.dir/bench_forwarding_state.cpp.o"
+  "CMakeFiles/bench_forwarding_state.dir/bench_forwarding_state.cpp.o.d"
+  "bench_forwarding_state"
+  "bench_forwarding_state.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_forwarding_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_timers.dir/bench_timers.cpp.o"
+  "CMakeFiles/bench_timers.dir/bench_timers.cpp.o.d"
+  "bench_timers"
+  "bench_timers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_timers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/striping_lab.dir/striping_lab.cpp.o"
+  "CMakeFiles/striping_lab.dir/striping_lab.cpp.o.d"
+  "striping_lab"
+  "striping_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/striping_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

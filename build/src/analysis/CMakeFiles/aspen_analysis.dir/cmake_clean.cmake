@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aspen_analysis.dir/availability.cpp.o"
+  "CMakeFiles/aspen_analysis.dir/availability.cpp.o.d"
+  "CMakeFiles/aspen_analysis.dir/convergence.cpp.o"
+  "CMakeFiles/aspen_analysis.dir/convergence.cpp.o.d"
+  "CMakeFiles/aspen_analysis.dir/cost.cpp.o"
+  "CMakeFiles/aspen_analysis.dir/cost.cpp.o.d"
+  "CMakeFiles/aspen_analysis.dir/react.cpp.o"
+  "CMakeFiles/aspen_analysis.dir/react.cpp.o.d"
+  "CMakeFiles/aspen_analysis.dir/scalability.cpp.o"
+  "CMakeFiles/aspen_analysis.dir/scalability.cpp.o.d"
+  "CMakeFiles/aspen_analysis.dir/series.cpp.o"
+  "CMakeFiles/aspen_analysis.dir/series.cpp.o.d"
+  "libaspen_analysis.a"
+  "libaspen_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aspen_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

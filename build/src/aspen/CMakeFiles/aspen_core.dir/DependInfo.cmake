@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aspen/enumerate.cpp" "src/aspen/CMakeFiles/aspen_core.dir/enumerate.cpp.o" "gcc" "src/aspen/CMakeFiles/aspen_core.dir/enumerate.cpp.o.d"
+  "/root/repo/src/aspen/fixed_hosts.cpp" "src/aspen/CMakeFiles/aspen_core.dir/fixed_hosts.cpp.o" "gcc" "src/aspen/CMakeFiles/aspen_core.dir/fixed_hosts.cpp.o.d"
+  "/root/repo/src/aspen/ftv.cpp" "src/aspen/CMakeFiles/aspen_core.dir/ftv.cpp.o" "gcc" "src/aspen/CMakeFiles/aspen_core.dir/ftv.cpp.o.d"
+  "/root/repo/src/aspen/generator.cpp" "src/aspen/CMakeFiles/aspen_core.dir/generator.cpp.o" "gcc" "src/aspen/CMakeFiles/aspen_core.dir/generator.cpp.o.d"
+  "/root/repo/src/aspen/recommend.cpp" "src/aspen/CMakeFiles/aspen_core.dir/recommend.cpp.o" "gcc" "src/aspen/CMakeFiles/aspen_core.dir/recommend.cpp.o.d"
+  "/root/repo/src/aspen/tree_params.cpp" "src/aspen/CMakeFiles/aspen_core.dir/tree_params.cpp.o" "gcc" "src/aspen/CMakeFiles/aspen_core.dir/tree_params.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/aspen_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aspen_core.dir/enumerate.cpp.o"
+  "CMakeFiles/aspen_core.dir/enumerate.cpp.o.d"
+  "CMakeFiles/aspen_core.dir/fixed_hosts.cpp.o"
+  "CMakeFiles/aspen_core.dir/fixed_hosts.cpp.o.d"
+  "CMakeFiles/aspen_core.dir/ftv.cpp.o"
+  "CMakeFiles/aspen_core.dir/ftv.cpp.o.d"
+  "CMakeFiles/aspen_core.dir/generator.cpp.o"
+  "CMakeFiles/aspen_core.dir/generator.cpp.o.d"
+  "CMakeFiles/aspen_core.dir/recommend.cpp.o"
+  "CMakeFiles/aspen_core.dir/recommend.cpp.o.d"
+  "CMakeFiles/aspen_core.dir/tree_params.cpp.o"
+  "CMakeFiles/aspen_core.dir/tree_params.cpp.o.d"
+  "libaspen_core.a"
+  "libaspen_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aspen_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aspen_fault.dir/scenarios.cpp.o"
+  "CMakeFiles/aspen_fault.dir/scenarios.cpp.o.d"
+  "libaspen_fault.a"
+  "libaspen_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aspen_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

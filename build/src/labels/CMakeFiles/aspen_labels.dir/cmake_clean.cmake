@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aspen_labels.dir/labels.cpp.o"
+  "CMakeFiles/aspen_labels.dir/labels.cpp.o.d"
+  "libaspen_labels.a"
+  "libaspen_labels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aspen_labels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aspen_proto.dir/anp.cpp.o"
+  "CMakeFiles/aspen_proto.dir/anp.cpp.o.d"
+  "CMakeFiles/aspen_proto.dir/experiment.cpp.o"
+  "CMakeFiles/aspen_proto.dir/experiment.cpp.o.d"
+  "CMakeFiles/aspen_proto.dir/inflight.cpp.o"
+  "CMakeFiles/aspen_proto.dir/inflight.cpp.o.d"
+  "CMakeFiles/aspen_proto.dir/lsp.cpp.o"
+  "CMakeFiles/aspen_proto.dir/lsp.cpp.o.d"
+  "CMakeFiles/aspen_proto.dir/lsp_full.cpp.o"
+  "CMakeFiles/aspen_proto.dir/lsp_full.cpp.o.d"
+  "libaspen_proto.a"
+  "libaspen_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aspen_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

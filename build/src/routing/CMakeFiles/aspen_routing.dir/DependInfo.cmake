@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/packet_walk.cpp" "src/routing/CMakeFiles/aspen_routing.dir/packet_walk.cpp.o" "gcc" "src/routing/CMakeFiles/aspen_routing.dir/packet_walk.cpp.o.d"
+  "/root/repo/src/routing/paths.cpp" "src/routing/CMakeFiles/aspen_routing.dir/paths.cpp.o" "gcc" "src/routing/CMakeFiles/aspen_routing.dir/paths.cpp.o.d"
+  "/root/repo/src/routing/reachability.cpp" "src/routing/CMakeFiles/aspen_routing.dir/reachability.cpp.o" "gcc" "src/routing/CMakeFiles/aspen_routing.dir/reachability.cpp.o.d"
+  "/root/repo/src/routing/updown.cpp" "src/routing/CMakeFiles/aspen_routing.dir/updown.cpp.o" "gcc" "src/routing/CMakeFiles/aspen_routing.dir/updown.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topo/CMakeFiles/aspen_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/aspen/CMakeFiles/aspen_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/aspen_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aspen_routing.dir/packet_walk.cpp.o"
+  "CMakeFiles/aspen_routing.dir/packet_walk.cpp.o.d"
+  "CMakeFiles/aspen_routing.dir/paths.cpp.o"
+  "CMakeFiles/aspen_routing.dir/paths.cpp.o.d"
+  "CMakeFiles/aspen_routing.dir/reachability.cpp.o"
+  "CMakeFiles/aspen_routing.dir/reachability.cpp.o.d"
+  "CMakeFiles/aspen_routing.dir/updown.cpp.o"
+  "CMakeFiles/aspen_routing.dir/updown.cpp.o.d"
+  "libaspen_routing.a"
+  "libaspen_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aspen_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

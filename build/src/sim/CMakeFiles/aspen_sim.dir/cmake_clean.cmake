@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aspen_sim.dir/simulator.cpp.o"
+  "CMakeFiles/aspen_sim.dir/simulator.cpp.o.d"
+  "libaspen_sim.a"
+  "libaspen_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aspen_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaspen_sim.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/export.cpp" "src/topo/CMakeFiles/aspen_topo.dir/export.cpp.o" "gcc" "src/topo/CMakeFiles/aspen_topo.dir/export.cpp.o.d"
+  "/root/repo/src/topo/import.cpp" "src/topo/CMakeFiles/aspen_topo.dir/import.cpp.o" "gcc" "src/topo/CMakeFiles/aspen_topo.dir/import.cpp.o.d"
+  "/root/repo/src/topo/queries.cpp" "src/topo/CMakeFiles/aspen_topo.dir/queries.cpp.o" "gcc" "src/topo/CMakeFiles/aspen_topo.dir/queries.cpp.o.d"
+  "/root/repo/src/topo/striping.cpp" "src/topo/CMakeFiles/aspen_topo.dir/striping.cpp.o" "gcc" "src/topo/CMakeFiles/aspen_topo.dir/striping.cpp.o.d"
+  "/root/repo/src/topo/topology.cpp" "src/topo/CMakeFiles/aspen_topo.dir/topology.cpp.o" "gcc" "src/topo/CMakeFiles/aspen_topo.dir/topology.cpp.o.d"
+  "/root/repo/src/topo/validate.cpp" "src/topo/CMakeFiles/aspen_topo.dir/validate.cpp.o" "gcc" "src/topo/CMakeFiles/aspen_topo.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/aspen/CMakeFiles/aspen_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/aspen_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

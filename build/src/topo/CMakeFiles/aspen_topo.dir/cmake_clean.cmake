@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aspen_topo.dir/export.cpp.o"
+  "CMakeFiles/aspen_topo.dir/export.cpp.o.d"
+  "CMakeFiles/aspen_topo.dir/import.cpp.o"
+  "CMakeFiles/aspen_topo.dir/import.cpp.o.d"
+  "CMakeFiles/aspen_topo.dir/queries.cpp.o"
+  "CMakeFiles/aspen_topo.dir/queries.cpp.o.d"
+  "CMakeFiles/aspen_topo.dir/striping.cpp.o"
+  "CMakeFiles/aspen_topo.dir/striping.cpp.o.d"
+  "CMakeFiles/aspen_topo.dir/topology.cpp.o"
+  "CMakeFiles/aspen_topo.dir/topology.cpp.o.d"
+  "CMakeFiles/aspen_topo.dir/validate.cpp.o"
+  "CMakeFiles/aspen_topo.dir/validate.cpp.o.d"
+  "libaspen_topo.a"
+  "libaspen_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aspen_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

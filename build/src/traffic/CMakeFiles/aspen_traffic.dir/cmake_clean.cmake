@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aspen_traffic.dir/load.cpp.o"
+  "CMakeFiles/aspen_traffic.dir/load.cpp.o.d"
+  "CMakeFiles/aspen_traffic.dir/patterns.cpp.o"
+  "CMakeFiles/aspen_traffic.dir/patterns.cpp.o.d"
+  "libaspen_traffic.a"
+  "libaspen_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aspen_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

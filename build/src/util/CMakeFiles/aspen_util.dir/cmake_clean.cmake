@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aspen_util.dir/log.cpp.o"
+  "CMakeFiles/aspen_util.dir/log.cpp.o.d"
+  "CMakeFiles/aspen_util.dir/table.cpp.o"
+  "CMakeFiles/aspen_util.dir/table.cpp.o.d"
+  "libaspen_util.a"
+  "libaspen_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aspen_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

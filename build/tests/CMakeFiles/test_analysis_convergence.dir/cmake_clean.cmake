@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_convergence.dir/test_analysis_convergence.cpp.o"
+  "CMakeFiles/test_analysis_convergence.dir/test_analysis_convergence.cpp.o.d"
+  "test_analysis_convergence"
+  "test_analysis_convergence.pdb"
+  "test_analysis_convergence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_anp.dir/test_anp.cpp.o"
+  "CMakeFiles/test_anp.dir/test_anp.cpp.o.d"
+  "test_anp"
+  "test_anp.pdb"
+  "test_anp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_anp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fault_scenarios.dir/test_fault_scenarios.cpp.o"
+  "CMakeFiles/test_fault_scenarios.dir/test_fault_scenarios.cpp.o.d"
+  "test_fault_scenarios"
+  "test_fault_scenarios.pdb"
+  "test_fault_scenarios[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fault_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

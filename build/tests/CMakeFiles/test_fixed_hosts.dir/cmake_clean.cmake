@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fixed_hosts.dir/test_fixed_hosts.cpp.o"
+  "CMakeFiles/test_fixed_hosts.dir/test_fixed_hosts.cpp.o.d"
+  "test_fixed_hosts"
+  "test_fixed_hosts.pdb"
+  "test_fixed_hosts[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fixed_hosts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ftv.dir/test_ftv.cpp.o"
+  "CMakeFiles/test_ftv.dir/test_ftv.cpp.o.d"
+  "test_ftv"
+  "test_ftv.pdb"
+  "test_ftv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ftv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_host_granularity.dir/test_host_granularity.cpp.o"
+  "CMakeFiles/test_host_granularity.dir/test_host_granularity.cpp.o.d"
+  "test_host_granularity"
+  "test_host_granularity.pdb"
+  "test_host_granularity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_host_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

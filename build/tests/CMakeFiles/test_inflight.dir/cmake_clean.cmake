@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_inflight.dir/test_inflight.cpp.o"
+  "CMakeFiles/test_inflight.dir/test_inflight.cpp.o.d"
+  "test_inflight"
+  "test_inflight.pdb"
+  "test_inflight[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_inflight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lsp.dir/test_lsp.cpp.o"
+  "CMakeFiles/test_lsp.dir/test_lsp.cpp.o.d"
+  "test_lsp"
+  "test_lsp.pdb"
+  "test_lsp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

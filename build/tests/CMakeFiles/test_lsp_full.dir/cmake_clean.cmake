@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lsp_full.dir/test_lsp_full.cpp.o"
+  "CMakeFiles/test_lsp_full.dir/test_lsp_full.cpp.o.d"
+  "test_lsp_full"
+  "test_lsp_full.pdb"
+  "test_lsp_full[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lsp_full.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_packet_walk.cpp" "tests/CMakeFiles/test_packet_walk.dir/test_packet_walk.cpp.o" "gcc" "tests/CMakeFiles/test_packet_walk.dir/test_packet_walk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/aspen_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/aspen_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/aspen_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/aspen_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/labels/CMakeFiles/aspen_labels.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/aspen_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aspen_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/aspen_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/aspen/CMakeFiles/aspen_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/aspen_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

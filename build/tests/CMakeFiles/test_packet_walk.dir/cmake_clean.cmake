@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_packet_walk.dir/test_packet_walk.cpp.o"
+  "CMakeFiles/test_packet_walk.dir/test_packet_walk.cpp.o.d"
+  "test_packet_walk"
+  "test_packet_walk.pdb"
+  "test_packet_walk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_packet_walk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

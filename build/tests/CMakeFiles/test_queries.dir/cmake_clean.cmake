@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_queries.dir/test_queries.cpp.o"
+  "CMakeFiles/test_queries.dir/test_queries.cpp.o.d"
+  "test_queries"
+  "test_queries.pdb"
+  "test_queries[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

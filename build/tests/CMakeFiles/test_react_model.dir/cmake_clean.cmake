@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_react_model.dir/test_react_model.cpp.o"
+  "CMakeFiles/test_react_model.dir/test_react_model.cpp.o.d"
+  "test_react_model"
+  "test_react_model.pdb"
+  "test_react_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_react_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

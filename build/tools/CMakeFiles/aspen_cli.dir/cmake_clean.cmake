@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aspen_cli.dir/aspen_cli.cpp.o"
+  "CMakeFiles/aspen_cli.dir/aspen_cli.cpp.o.d"
+  "aspen"
+  "aspen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aspen_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
