@@ -1,0 +1,197 @@
+#include "src/fault/chaos.h"
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "src/routing/packet_walk.h"
+#include "src/routing/reachability.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace aspen {
+
+namespace {
+
+void absorb(ChaosOutcome& outcome, const FailureReport& report) {
+  outcome.messages += report.messages_sent;
+  outcome.retransmits += report.retransmits;
+  outcome.acks += report.acks_sent;
+  outcome.duplicates_dropped += report.duplicates_dropped;
+  outcome.channel_dropped += report.channel_dropped;
+  outcome.channel_duplicated += report.channel_duplicated;
+  outcome.gave_up += report.gave_up;
+  outcome.stale_switches += report.stale_switches;
+  outcome.all_quiesced = outcome.all_quiesced && report.quiesced;
+  outcome.convergence_ms.add(report.convergence_time_ms);
+}
+
+/// Invariant (a): walk sampled flows with the protocol's tables over the
+/// actual network, and with ground-truth tables computed *from* the actual
+/// network.  The protocol may fall short of physics, never beat it.
+void check_consistency(const Topology& topo, const ProtocolSimulation& proto,
+                       DestGranularity granularity, std::uint64_t flows,
+                       Rng& rng, ChaosOutcome& outcome) {
+  if (flows == 0 || topo.num_hosts() < 2) return;
+  const RoutingState truth =
+      compute_updown_routes(topo, proto.overlay(), granularity);
+  const TableRouter truth_router(truth);
+  const TableRouter proto_router(proto.tables());
+  ++outcome.checks;
+  for (std::uint64_t f = 0; f < flows; ++f) {
+    const HostId src{static_cast<std::uint32_t>(rng.index(
+        static_cast<std::size_t>(topo.num_hosts())))};
+    HostId dst{static_cast<std::uint32_t>(
+        rng.index(static_cast<std::size_t>(topo.num_hosts())))};
+    if (dst == src) {
+      dst = HostId{static_cast<std::uint32_t>((dst.value() + 1) %
+                                              topo.num_hosts())};
+    }
+    ++outcome.checked_flows;
+    const WalkResult via_proto =
+        walk_packet(topo, proto_router, proto.overlay(), src, dst);
+    const WalkResult via_truth =
+        walk_packet(topo, truth_router, proto.overlay(), src, dst);
+    if (via_proto.delivered() && !via_truth.delivered()) {
+      ++outcome.ground_truth_violations;
+    } else if (!via_proto.delivered() && via_truth.delivered()) {
+      ++outcome.protocol_shortfall;
+    }
+  }
+}
+
+}  // namespace
+
+ChaosOutcome run_chaos_campaign(ProtocolKind kind, const Topology& topo,
+                                const ChaosOptions& options) {
+  ASPEN_REQUIRE(options.num_events >= 0, "negative event count");
+  auto proto = make_protocol(kind, topo, options.delays, options.anp,
+                             options.granularity);
+  const RoutingState initial = proto->tables();
+
+  Rng rng(options.seed);
+  Rng flow_rng(options.seed ^ 0x9E3779B97F4A7C15ull);
+  ChaosOutcome outcome;
+
+  // Campaign-owned outstanding faults.  Links a crash takes down belong to
+  // the protocol's crash bookkeeping, not to these lists; a campaign link
+  // that is recovered while an endpoint is crashed silently transfers to
+  // that crash (the protocol applies the custody rule), so it leaves
+  // `down_links` either way.
+  std::vector<LinkId> down_links;
+  std::vector<SwitchId> crashed;
+
+  const auto up_candidates = [&] {
+    std::vector<LinkId> up;
+    for (Level level = 2; level <= topo.levels(); ++level) {
+      for (const LinkId link : topo.links_at_level(level)) {
+        if (proto->overlay().is_up(link)) up.push_back(link);
+      }
+    }
+    return up;
+  };
+  const auto alive_candidates = [&] {
+    std::vector<SwitchId> alive;
+    for (std::uint32_t s = 0; s < topo.num_switches(); ++s) {
+      if (proto->is_alive(SwitchId{s})) alive.push_back(SwitchId{s});
+    }
+    return alive;
+  };
+
+  for (int action = 0; action < options.num_events; ++action) {
+    const std::size_t outstanding = down_links.size() + crashed.size();
+    const bool want_recover =
+        outstanding > 0 &&
+        (rng.chance(options.p_recover) ||
+         (down_links.size() >= options.max_concurrent_link_faults &&
+          crashed.size() >= options.max_concurrent_switch_crashes));
+
+    if (want_recover) {
+      const std::size_t pick = rng.index(outstanding);
+      if (pick < down_links.size()) {
+        const LinkId link = down_links[pick];
+        down_links.erase(down_links.begin() +
+                         static_cast<std::ptrdiff_t>(pick));
+        absorb(outcome, proto->simulate_link_recovery(link));
+        ++outcome.link_recoveries;
+      } else {
+        const std::size_t at = pick - down_links.size();
+        const SwitchId victim = crashed[at];
+        crashed.erase(crashed.begin() + static_cast<std::ptrdiff_t>(at));
+        absorb(outcome, proto->simulate_switch_recovery(victim));
+        ++outcome.switch_recoveries;
+      }
+    } else if (crashed.size() < options.max_concurrent_switch_crashes &&
+               rng.chance(options.p_switch_crash)) {
+      const std::vector<SwitchId> alive = alive_candidates();
+      if (alive.empty()) continue;
+      const SwitchId victim = alive[rng.index(alive.size())];
+      if (rng.chance(options.p_crash_mid_reaction) &&
+          down_links.size() < options.max_concurrent_link_faults) {
+        // Crash-while-reacting: a link dies, and a few milliseconds into
+        // the protocol's reaction the switch goes with it, discarding its
+        // queued work mid-flight.
+        std::vector<LinkId> up = up_candidates();
+        std::erase_if(up, [&](LinkId l) {
+          const Topology::LinkRec& rec = topo.link(l);
+          return rec.upper == topo.node_of(victim) ||
+                 rec.lower == topo.node_of(victim);
+        });
+        if (!up.empty()) {
+          const LinkId link = up[rng.index(up.size())];
+          const SimTime crash_at = 1.0 + rng.real() * 29.0;  // 1–30 ms in
+          const std::array<TimedFault, 2> schedule{
+              TimedFault::link_fail(link),
+              TimedFault::switch_fail(victim, crash_at)};
+          absorb(outcome, proto->simulate_timed_events(schedule));
+          down_links.push_back(link);
+          ++outcome.link_failures;
+          ++outcome.compound_runs;
+        } else {
+          absorb(outcome, proto->simulate_switch_failure(victim));
+        }
+      } else {
+        absorb(outcome, proto->simulate_switch_failure(victim));
+      }
+      crashed.push_back(victim);
+      ++outcome.switch_crashes;
+    } else if (down_links.size() < options.max_concurrent_link_faults) {
+      const std::vector<LinkId> up = up_candidates();
+      if (up.empty()) continue;
+      const LinkId link = up[rng.index(up.size())];
+      absorb(outcome, proto->simulate_link_failure(link));
+      down_links.push_back(link);
+      ++outcome.link_failures;
+    }
+
+    if (options.check_every > 0 && (action + 1) % options.check_every == 0) {
+      check_consistency(topo, *proto, options.granularity,
+                        options.check_flows, flow_rng, outcome);
+    }
+  }
+
+  // One last degraded-state check before unwinding.
+  check_consistency(topo, *proto, options.granularity, options.check_flows,
+                    flow_rng, outcome);
+
+  // ---- Unwind: revive every switch, then raise every campaign link.
+  // Order is deliberately arbitrary relative to the failure order —
+  // restoration must not depend on LIFO unwinding.
+  for (const SwitchId victim : crashed) {
+    absorb(outcome, proto->simulate_switch_recovery(victim));
+    ++outcome.switch_recoveries;
+  }
+  crashed.clear();
+  for (const LinkId link : down_links) {
+    if (proto->overlay().is_up(link)) continue;  // came back with a crash
+    absorb(outcome, proto->simulate_link_recovery(link));
+    ++outcome.link_recoveries;
+  }
+  down_links.clear();
+
+  outcome.tables_restored =
+      switches_with_changed_tables(initial, proto->tables()) == 0;
+  return outcome;
+}
+
+}  // namespace aspen

@@ -1,0 +1,97 @@
+// Chaos campaigns: long, randomized fault schedules against one protocol.
+//
+// A campaign composes the fault-plane primitives — link failures, switch
+// crashes (possibly mid-reaction, discarding the victim's queued work),
+// recoveries — over a seeded schedule, with the control plane optionally
+// riding a lossy channel (DelayModel::channel) and the protocols' own
+// ack/retransmit machinery (channel.reliable).  Two invariants are checked:
+//
+//   (a) *Physics consistency* while degraded: any flow the protocol's
+//       patched tables deliver over the actual (faulted) network must also
+//       be deliverable by ground-truth routes computed from that network.
+//       The protocol may do worse than physics (stale tables black-hole —
+//       counted as `protocol_shortfall`) but never better; a violation
+//       means the simulation delivered a packet across a dead region.
+//   (b) *Restoration*: after every outstanding fault is recovered, each
+//       switch's forwarding table is byte-identical to its pre-campaign
+//       table.
+//
+// Campaigns drive both protocols through the common ProtocolSimulation
+// interface; for ANP they enable adjacency_resync by default, because
+// faults recover in arbitrary (non-LIFO) order — see docs/CHAOS.md.
+#pragma once
+
+#include <cstdint>
+
+#include "src/proto/experiment.h"
+#include "src/proto/protocol.h"
+#include "src/routing/updown.h"
+#include "src/sim/simulator.h"
+#include "src/sim/stats.h"
+#include "src/topo/topology.h"
+
+namespace aspen {
+
+struct ChaosOptions {
+  /// Timing plus the channel/retransmit knobs for the whole campaign.
+  DelayModel delays;
+  /// ANP-only options.  Resync is on: chaos recoveries are not LIFO.
+  AnpOptions anp{.notify_children = false, .adjacency_resync = true};
+  DestGranularity granularity = DestGranularity::kEdge;
+  std::uint64_t seed = 1;
+  /// Fault-plane actions before the final unwind.
+  int num_events = 50;
+  /// P(next action recovers an outstanding fault), given one exists.
+  double p_recover = 0.45;
+  /// P(next non-recovery action is a switch crash rather than a link cut).
+  double p_switch_crash = 0.25;
+  /// P(a switch crash is compounded: it lands a few ms into the reaction
+  /// to a simultaneous link failure, discarding the victim's queued work).
+  double p_crash_mid_reaction = 0.4;
+  /// Random (src, dst) flows walked per consistency check.
+  std::uint64_t check_flows = 256;
+  /// Run invariant (a) after every this-many actions (0 = only at the end
+  /// of the faulted phase).
+  int check_every = 5;
+  std::size_t max_concurrent_switch_crashes = 2;
+  std::size_t max_concurrent_link_faults = 6;
+};
+
+struct ChaosOutcome {
+  // ---- What the schedule did ------------------------------------------
+  std::uint64_t link_failures = 0;
+  std::uint64_t link_recoveries = 0;
+  std::uint64_t switch_crashes = 0;
+  std::uint64_t switch_recoveries = 0;
+  std::uint64_t compound_runs = 0;  ///< crash-mid-reaction composites
+
+  // ---- Aggregated protocol accounting ---------------------------------
+  std::uint64_t messages = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t acks = 0;
+  std::uint64_t duplicates_dropped = 0;
+  std::uint64_t channel_dropped = 0;
+  std::uint64_t channel_duplicated = 0;
+  std::uint64_t gave_up = 0;
+  std::uint64_t stale_switches = 0;  ///< summed over runs (LSP only)
+  Summary convergence_ms;            ///< per-run convergence times
+  bool all_quiesced = true;          ///< no run hit the event budget
+
+  // ---- Invariant results ----------------------------------------------
+  std::uint64_t checks = 0;
+  std::uint64_t checked_flows = 0;
+  /// Invariant (a) breaches: protocol delivered where ground truth cannot.
+  std::uint64_t ground_truth_violations = 0;
+  /// Flows physics could deliver but the protocol's tables did not.
+  std::uint64_t protocol_shortfall = 0;
+  /// Invariant (b): tables byte-identical to pre-campaign after unwind.
+  bool tables_restored = false;
+};
+
+/// Runs one seeded campaign of `options.num_events` actions plus a full
+/// unwind against a fresh protocol instance on `topo`.
+[[nodiscard]] ChaosOutcome run_chaos_campaign(ProtocolKind kind,
+                                              const Topology& topo,
+                                              const ChaosOptions& options = {});
+
+}  // namespace aspen

@@ -13,7 +13,8 @@ MultiFailureOutcome run_multi_failure(ProtocolKind kind, const Topology& topo,
                                       const MultiFailureOptions& options) {
   ASPEN_REQUIRE(!links.empty(), "scenario needs at least one link");
 
-  auto proto = make_protocol(kind, topo, options.delays, options.anp);
+  auto proto = make_protocol(kind, topo, options.delays, options.anp,
+                             options.granularity);
   const RoutingState initial = proto->tables();
 
   MultiFailureOutcome outcome;

@@ -36,6 +36,8 @@ struct MultiFailureOutcome {
 struct MultiFailureOptions {
   DelayModel delays;
   AnpOptions anp;  ///< used only for ANP runs
+  /// Table keying: kHost makes host-link failures visible to the tables.
+  DestGranularity granularity = DestGranularity::kEdge;
   /// 0 = all ordered host pairs; otherwise sample this many flows.
   std::uint64_t sample_flows = 0;
   std::uint64_t seed = 7;

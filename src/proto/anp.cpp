@@ -1,6 +1,7 @@
 #include "src/proto/anp.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "src/util/status.h"
 
@@ -29,16 +30,19 @@ AnpSimulation::AnpSimulation(const Topology& topo, DelayModel delays,
   for (auto& s : state_) {
     s.announced_lost.assign(tables_.num_dests(), 0);
   }
+  alive_.assign(topo.num_switches(), 1);
 }
 
-AnpSimulation::RunContext AnpSimulation::make_context() const {
-  RunContext ctx;
+void AnpSimulation::init_context(RunContext& ctx) {
+  ctx.channel = ChannelModel(delays_.channel);
+  if (delays_.channel.reliable) {
+    ctx.transport.emplace(ctx.sim, ctx.channel, delays_.retransmit);
+  }
   ctx.cpus.resize(topo_->num_switches());
   ctx.informed.assign(topo_->num_switches(), 0);
   ctx.reacted.assign(topo_->num_switches(), 0);
   ctx.react_time.assign(topo_->num_switches(), 0.0);
   ctx.react_hops.assign(topo_->num_switches(), 0);
-  return ctx;
 }
 
 void AnpSimulation::mark_informed(RunContext& ctx, SwitchId s) {
@@ -58,35 +62,74 @@ void AnpSimulation::mark_reaction(RunContext& ctx, SwitchId s, SimTime when,
   ctx.react_hops[s.value()] = std::max(ctx.react_hops[s.value()], hops);
 }
 
+void AnpSimulation::transmit_notification(RunContext& ctx, SwitchId from,
+                                          const Topology::Neighbor& nb,
+                                          const std::vector<DestIndex>& dests,
+                                          bool lost, int hops) {
+  if (!overlay_.is_up(nb.link)) return;
+  if (!topo_->is_switch_node(nb.node)) return;  // hosts are mute
+  const SwitchId peer = topo_->switch_of(nb.node);
+  ++ctx.report.messages_sent;
+  auto deliver = [this, &ctx, peer, from, dests, lost, hops] {
+    const SimTime done =
+        ctx.cpus[peer.value()].occupy(ctx.sim.now(), delays_.anp_processing);
+    ctx.sim.schedule_at(done, [this, &ctx, peer, from, dests, lost, hops] {
+      if (!alive_[peer.value()]) return;  // crashed while queued on its CPU
+      handle_notification(ctx, peer, from, dests, lost, hops);
+    });
+  };
+  if (ctx.transport) {
+    ctx.transport->send(
+        delays_.propagation, std::move(deliver),
+        [this, link = nb.link, from] {
+          return overlay_.is_up(link) && alive_[from.value()];
+        },
+        [this, peer] { return alive_[peer.value()]; });
+  } else {
+    ctx.channel.transmit(ctx.sim, delays_.propagation,
+                         [this, peer, deliver = std::move(deliver)] {
+                           if (!alive_[peer.value()]) return;  // died in flight
+                           deliver();
+                         });
+  }
+}
+
 void AnpSimulation::send_notification(RunContext& ctx, SwitchId from,
                                       NodeId exclude,
                                       std::vector<DestIndex> dests, bool lost,
                                       int hops) {
   if (dests.empty()) return;
-
-  const auto transmit = [&](const Topology::Neighbor& nb) {
-    if (nb.node == exclude) return;
-    if (!overlay_.is_up(nb.link)) return;
-    if (!topo_->is_switch_node(nb.node)) return;  // hosts are mute
-    const SwitchId peer = topo_->switch_of(nb.node);
-    ++ctx.report.messages_sent;
-    ctx.sim.schedule(delays_.propagation, [this, &ctx, peer, from, dests,
-                                           lost, hops] {
-      const SimTime done = ctx.cpus[peer.value()].occupy(
-          ctx.sim.now(), delays_.anp_processing);
-      ctx.sim.schedule_at(done, [this, &ctx, peer, from, dests, lost, hops] {
-        handle_notification(ctx, peer, from, dests, lost, hops);
-      });
-    });
-  };
+  if (!alive_[from.value()]) return;  // the dead do not speak
 
   for (const Topology::Neighbor& nb : topo_->up_neighbors(from)) {
-    transmit(nb);
+    if (nb.node == exclude) continue;
+    transmit_notification(ctx, from, nb, dests, lost, hops);
   }
   if (options_.notify_children) {
     for (const Topology::Neighbor& nb : topo_->down_neighbors(from)) {
-      transmit(nb);
+      if (nb.node == exclude) continue;
+      transmit_notification(ctx, from, nb, dests, lost, hops);
     }
+  }
+}
+
+void AnpSimulation::send_resync(RunContext& ctx, SwitchId from,
+                                const Topology::Neighbor& peer) {
+  // Which destinations does `from` currently consider lost?  The peer uses
+  // the complement to restore withdrawal-log entries whose loss notices
+  // were since retracted — retractions it may have missed while this
+  // adjacency (or either switch) was down.
+  std::vector<DestIndex> lost;
+  std::vector<DestIndex> fine;
+  const SwitchState& st = state_[from.value()];
+  for (DestIndex e = 0; e < tables_.num_dests(); ++e) {
+    (st.announced_lost[e] ? lost : fine).push_back(e);
+  }
+  if (!lost.empty()) {
+    transmit_notification(ctx, from, peer, lost, /*lost=*/true, /*hops=*/1);
+  }
+  if (!fine.empty()) {
+    transmit_notification(ctx, from, peer, fine, /*lost=*/false, /*hops=*/1);
   }
 }
 
@@ -178,64 +221,203 @@ void AnpSimulation::detect_recovery(RunContext& ctx, SwitchId s, LinkId link) {
   mark_informed(ctx, s);
   SwitchState& st = state_[s.value()];
   const auto link_it = st.removed_by_link.find(link.value());
-  if (link_it == st.removed_by_link.end()) return;
-  bool changed = false;
-  std::vector<DestIndex> restored;
-  for (const auto& [e, nb] : link_it->second) {
-    ForwardingTable::Entry& entry = tables_.table(s).entry(e);
-    const bool was_empty = entry.next_hops.empty();
-    insert_sorted(entry.next_hops, nb);
-    changed = true;
-    if (was_empty && st.announced_lost[e]) {
-      st.announced_lost[e] = 0;
-      restored.push_back(e);
+  if (link_it != st.removed_by_link.end()) {
+    bool changed = false;
+    std::vector<DestIndex> restored;
+    for (const auto& [e, nb] : link_it->second) {
+      ForwardingTable::Entry& entry = tables_.table(s).entry(e);
+      const bool was_empty = entry.next_hops.empty();
+      insert_sorted(entry.next_hops, nb);
+      changed = true;
+      if (was_empty && st.announced_lost[e]) {
+        st.announced_lost[e] = 0;
+        restored.push_back(e);
+      }
+    }
+    st.removed_by_link.erase(link_it);
+    if (changed) mark_reaction(ctx, s, ctx.sim.now(), 0);
+    send_notification(ctx, s, NodeId::invalid(), std::move(restored),
+                      /*lost=*/false, /*hops=*/1);
+  }
+
+  // With the local log replayed, summarize current state for the peer —
+  // but only along directions notifications normally flow (up always, down
+  // only with notify_children).  A resync in a direction the protocol never
+  // uses would plant withdrawal state the peer has no later notice to
+  // retract, permanently wedging its table.
+  if (options_.adjacency_resync) {
+    const Topology::LinkRec& rec = topo_->link(link);
+    const NodeId self = topo_->node_of(s);
+    const NodeId other = rec.upper == self ? rec.lower : rec.upper;
+    const bool peer_is_parent = other == rec.upper;
+    if ((peer_is_parent || options_.notify_children) &&
+        topo_->is_switch_node(other) &&
+        alive_[topo_->switch_of(other).value()]) {
+      send_resync(ctx, s, Topology::Neighbor{other, link});
     }
   }
-  st.removed_by_link.erase(link_it);
-  if (changed) mark_reaction(ctx, s, ctx.sim.now(), 0);
-  send_notification(ctx, s, NodeId::invalid(), std::move(restored),
-                    /*lost=*/false, /*hops=*/1);
+}
+
+void AnpSimulation::schedule_detections(RunContext& ctx, LinkId link,
+                                        bool failure) {
+  // Detection is a local, data-plane observation (§6: the switch "simply
+  // forwards packets … through h rather than f upon discovering the
+  // failure") — it happens at +detection, not after a routing-CPU slot.
+  const Topology::LinkRec& rec = topo_->link(link);
+  for (const NodeId endpoint : {rec.upper, rec.lower}) {
+    if (!topo_->is_switch_node(endpoint)) continue;  // hosts do not react
+    const SwitchId s = topo_->switch_of(endpoint);
+    if (!alive_[s.value()]) continue;
+    ctx.sim.schedule(delays_.detection, [this, &ctx, s, link, failure] {
+      if (!alive_[s.value()]) return;  // crashed before detection fired
+      if (failure) {
+        detect_failure(ctx, s, link);
+      } else {
+        detect_recovery(ctx, s, link);
+      }
+    });
+  }
+}
+
+void AnpSimulation::apply_fault(RunContext& ctx, const TimedFault& ev) {
+  switch (ev.kind) {
+    case TimedFault::Kind::kLinkFail: {
+      if (!overlay_.is_up(ev.link)) return;  // idempotent
+      overlay_.fail(ev.link);
+      schedule_detections(ctx, ev.link, /*failure=*/true);
+      return;
+    }
+
+    case TimedFault::Kind::kLinkRecover: {
+      if (overlay_.is_up(ev.link)) return;  // idempotent
+      const Topology::LinkRec& rec = topo_->link(ev.link);
+      // A link to a crashed switch cannot come up; it is owed to that
+      // switch's recovery instead.
+      for (const NodeId endpoint : {rec.upper, rec.lower}) {
+        if (!topo_->is_switch_node(endpoint)) continue;
+        const std::uint32_t s = topo_->switch_of(endpoint).value();
+        if (alive_[s]) continue;
+        auto& owed = crash_links_[s];
+        if (std::ranges::find(owed, ev.link) == owed.end()) {
+          owed.push_back(ev.link);
+        }
+        return;
+      }
+      overlay_.recover(ev.link);
+      schedule_detections(ctx, ev.link, /*failure=*/false);
+      return;
+    }
+
+    case TimedFault::Kind::kSwitchFail: {
+      if (!alive_[ev.sw.value()]) return;  // idempotent
+      alive_[ev.sw.value()] = 0;
+      // Every incident live link dies atomically.  The dead switch itself
+      // detects nothing; any work already queued for it is discarded by
+      // the alive guards on the scheduled closures.
+      auto& owed = crash_links_[ev.sw.value()];
+      const auto take = [&](const Topology::Neighbor& nb) {
+        if (!overlay_.is_up(nb.link)) return;  // was already down
+        overlay_.fail(nb.link);
+        owed.push_back(nb.link);
+        if (!topo_->is_switch_node(nb.node)) return;
+        const SwitchId peer = topo_->switch_of(nb.node);
+        ctx.sim.schedule(delays_.detection,
+                         [this, &ctx, peer, link = nb.link] {
+                           if (!alive_[peer.value()]) return;
+                           detect_failure(ctx, peer, link);
+                         });
+      };
+      for (const Topology::Neighbor& nb : topo_->up_neighbors(ev.sw)) {
+        take(nb);
+      }
+      for (const Topology::Neighbor& nb : topo_->down_neighbors(ev.sw)) {
+        take(nb);
+      }
+      return;
+    }
+
+    case TimedFault::Kind::kSwitchRecover: {
+      if (alive_[ev.sw.value()]) return;  // idempotent
+      alive_[ev.sw.value()] = 1;
+      std::vector<LinkId> owed;
+      if (const auto it = crash_links_.find(ev.sw.value());
+          it != crash_links_.end()) {
+        owed = std::move(it->second);
+        crash_links_.erase(it);
+      }
+      const NodeId self = topo_->node_of(ev.sw);
+      for (const LinkId link : owed) {
+        if (overlay_.is_up(link)) continue;
+        const Topology::LinkRec& rec = topo_->link(link);
+        const NodeId other = rec.upper == self ? rec.lower : rec.upper;
+        if (topo_->is_switch_node(other) &&
+            !alive_[topo_->switch_of(other).value()]) {
+          // Far endpoint is still down: custody of the link moves to it.
+          auto& peer_owed = crash_links_[topo_->switch_of(other).value()];
+          if (std::ranges::find(peer_owed, link) == peer_owed.end()) {
+            peer_owed.push_back(link);
+          }
+          continue;
+        }
+        overlay_.recover(link);
+        schedule_detections(ctx, link, /*failure=*/false);
+      }
+      return;
+    }
+  }
 }
 
 FailureReport AnpSimulation::simulate_link_failure(LinkId link) {
   ASPEN_REQUIRE(overlay_.is_up(link), "link ", link.value(),
                 " is already down");
-  overlay_.fail(link);
-
-  RunContext ctx = make_context();
-  const Topology::LinkRec& rec = topo_->link(link);
-
-  // Local detection and pruning at each endpoint.  Endpoints react at
-  // detection time: disabling a dead port is a data-plane action, not a
-  // routing-CPU computation (§6: the switch "simply forwards packets …
-  // through h rather than f upon discovering the failure").
-  for (const NodeId endpoint : {rec.upper, rec.lower}) {
-    if (!topo_->is_switch_node(endpoint)) continue;  // hosts do not react
-    const SwitchId s = topo_->switch_of(endpoint);
-    ctx.sim.schedule(delays_.detection,
-                     [this, &ctx, s, link] { detect_failure(ctx, s, link); });
-  }
-  return finish(ctx);
+  const TimedFault ev = TimedFault::link_fail(link);
+  return simulate_timed_events({&ev, 1});
 }
 
 FailureReport AnpSimulation::simulate_link_recovery(LinkId link) {
   ASPEN_REQUIRE(!overlay_.is_up(link), "link ", link.value(),
                 " is already up");
-  overlay_.recover(link);
+  const TimedFault ev = TimedFault::link_recover(link);
+  return simulate_timed_events({&ev, 1});
+}
 
-  RunContext ctx = make_context();
-  const Topology::LinkRec& rec = topo_->link(link);
-  for (const NodeId endpoint : {rec.upper, rec.lower}) {
-    if (!topo_->is_switch_node(endpoint)) continue;
-    const SwitchId s = topo_->switch_of(endpoint);
-    ctx.sim.schedule(delays_.detection,
-                     [this, &ctx, s, link] { detect_recovery(ctx, s, link); });
+FailureReport AnpSimulation::simulate_switch_failure(SwitchId s) {
+  ASPEN_REQUIRE(alive_.at(s.value()), "switch ", s.value(),
+                " is already down");
+  const TimedFault ev = TimedFault::switch_fail(s);
+  return simulate_timed_events({&ev, 1});
+}
+
+FailureReport AnpSimulation::simulate_switch_recovery(SwitchId s) {
+  ASPEN_REQUIRE(!alive_.at(s.value()), "switch ", s.value(),
+                " is already up");
+  const TimedFault ev = TimedFault::switch_recover(s);
+  return simulate_timed_events({&ev, 1});
+}
+
+FailureReport AnpSimulation::simulate_timed_events(
+    std::span<const TimedFault> events) {
+  RunContext ctx;
+  init_context(ctx);
+  SimTime prev = 0.0;
+  for (const TimedFault& ev : events) {
+    ASPEN_REQUIRE(ev.at >= prev, "timed faults must be sorted by time");
+    prev = ev.at;
+    if (ev.at <= 0.0) {
+      // Immediate application keeps single-event runs identical to the
+      // pre-chaos code path (no extra scheduler events).
+      apply_fault(ctx, ev);
+    } else {
+      ctx.sim.schedule_at(ev.at, [this, &ctx, ev] { apply_fault(ctx, ev); });
+    }
   }
   return finish(ctx);
 }
 
 FailureReport AnpSimulation::finish(RunContext& ctx) {
-  ctx.report.events = ctx.sim.run();
+  const RunResult run = ctx.sim.run_bounded(delays_.max_run_events);
+  ctx.report.events = run.events;
+  ctx.report.quiesced = run.completed;
   ctx.report.table_change_completed.assign(topo_->num_switches(),
                                            FailureReport::kNoChange);
   for (std::uint32_t s = 0; s < topo_->num_switches(); ++s) {
@@ -249,6 +431,16 @@ FailureReport AnpSimulation::finish(RunContext& ctx) {
         std::max(ctx.report.convergence_time_ms, ctx.react_time[s]);
     ctx.report.max_update_hops =
         std::max(ctx.report.max_update_hops, ctx.react_hops[s]);
+  }
+  const ChannelStats& ch = ctx.channel.stats();
+  ctx.report.channel_dropped = ch.dropped;
+  ctx.report.channel_duplicated = ch.duplicated;
+  if (ctx.transport) {
+    const TransportStats& tr = ctx.transport->stats();
+    ctx.report.retransmits = tr.retransmits;
+    ctx.report.acks_sent = tr.acks_sent;
+    ctx.report.duplicates_dropped = tr.duplicates_dropped;
+    ctx.report.gave_up = tr.gave_up;
   }
   return ctx.report;
 }

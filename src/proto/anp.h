@@ -35,15 +35,31 @@
 // it.  With the extension, ANP restores all-pairs connectivity whenever the
 // FTV covers the failure level; the ablation benchmark quantifies the extra
 // messages this costs.
+//
+// ## The unreliable control plane
+//
+// The paper assumes every notification is delivered exactly once.  This
+// implementation does not: notifications ride a seeded lossy ChannelModel
+// (DelayModel::channel), and when `channel.reliable` is set each
+// notification gets a sequence id, receiver-side duplicate suppression,
+// acks, and timeout-driven retransmission with exponential backoff and a
+// retry cap (src/sim/channel.h; docs/CHAOS.md).  Switches can also *crash*
+// — all incident links fail atomically, queued work is discarded, and
+// in-flight conversations with the dead switch run out their retries —
+// possibly mid-reaction (simulate_timed_events composes, e.g., a link
+// failure at t=0 with a crash at t=5ms).
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <optional>
+#include <span>
 #include <vector>
 
 #include "src/proto/protocol.h"
 #include "src/proto/report.h"
 #include "src/routing/updown.h"
+#include "src/sim/channel.h"
 #include "src/sim/simulator.h"
 #include "src/topo/link_state.h"
 #include "src/topo/topology.h"
@@ -54,6 +70,14 @@ struct AnpOptions {
   /// Also send loss/recovery notices downward when a switch's entry for a
   /// destination empties (extension; see header comment).
   bool notify_children = false;
+  /// On link recovery each endpoint tells its peer which destinations it
+  /// currently considers lost (and implicitly which it does not), so the
+  /// peer can repair a withdrawal log that went stale while the adjacency
+  /// — or either switch — was down and notices could not be delivered.
+  /// Off by default: the paper's ANP has no such exchange, and it costs
+  /// extra messages on every recovery.  Chaos campaigns need it: they
+  /// recover faults in arbitrary (non-LIFO) order.
+  bool adjacency_resync = false;
 };
 
 class AnpSimulation final : public ProtocolSimulation {
@@ -68,12 +92,29 @@ class AnpSimulation final : public ProtocolSimulation {
   /// Recovers a previously failed link and runs ANP until quiescent.
   FailureReport simulate_link_recovery(LinkId link) override;
 
+  /// Crashes the switch: fails every incident live link atomically; the
+  /// dead switch neither processes nor emits protocol messages.
+  FailureReport simulate_switch_failure(SwitchId s) override;
+
+  /// Revives a crashed switch, restoring the links its crash took down
+  /// (links whose far endpoint is still crashed stay down, custody moving
+  /// to that switch).
+  FailureReport simulate_switch_recovery(SwitchId s) override;
+
+  /// One reaction over a compound, timed schedule — e.g. a switch dying
+  /// 5 ms into the reaction to a link failure, discarding its queued work.
+  FailureReport simulate_timed_events(
+      std::span<const TimedFault> events) override;
+
   /// Current forwarding tables, as patched by ANP so far.
   [[nodiscard]] const RoutingState& tables() const override { return tables_; }
   [[nodiscard]] const LinkStateOverlay& overlay() const override {
     return overlay_;
   }
   [[nodiscard]] const Topology& topology() const override { return *topo_; }
+  [[nodiscard]] bool is_alive(SwitchId s) const override {
+    return alive_.at(s.value()) != 0;
+  }
   [[nodiscard]] const AnpOptions& options() const { return options_; }
 
  private:
@@ -94,6 +135,10 @@ class AnpSimulation final : public ProtocolSimulation {
 
   struct RunContext {
     Simulator sim;
+    ChannelModel channel;
+    /// Present when DelayModel::channel.reliable; holds pointers into this
+    /// struct, so a RunContext must never be moved after init_context().
+    std::optional<ReliableTransport> transport;
     std::vector<CpuQueue> cpus;
     std::vector<char> informed;      // per switch: processed an update
     std::vector<char> reacted;       // per switch: table changed this run
@@ -102,13 +147,26 @@ class AnpSimulation final : public ProtocolSimulation {
     FailureReport report;
   };
 
-  [[nodiscard]] RunContext make_context() const;
+  void init_context(RunContext& ctx);
+  void apply_fault(RunContext& ctx, const TimedFault& ev);
+  /// Schedules detect_failure/detect_recovery at each live switch endpoint
+  /// of `link`, `detection` ms out (guarded again at fire time — the
+  /// endpoint may crash in between).
+  void schedule_detections(RunContext& ctx, LinkId link, bool failure);
   void mark_informed(RunContext& ctx, SwitchId s);
   void mark_reaction(RunContext& ctx, SwitchId s, SimTime when, int hops);
   /// Sends {dests, lost} from `from` to every live parent — and, in
   /// notify_children mode, every live switch child — except `exclude`.
   void send_notification(RunContext& ctx, SwitchId from, NodeId exclude,
                          std::vector<DestIndex> dests, bool lost, int hops);
+  /// One notification over one adjacency, via the transport when reliable.
+  void transmit_notification(RunContext& ctx, SwitchId from,
+                             const Topology::Neighbor& nb,
+                             const std::vector<DestIndex>& dests, bool lost,
+                             int hops);
+  /// Adjacency (re-)establishment summary: see AnpOptions::adjacency_resync.
+  void send_resync(RunContext& ctx, SwitchId from,
+                   const Topology::Neighbor& peer);
   void handle_notification(RunContext& ctx, SwitchId at, SwitchId neighbor,
                            const std::vector<DestIndex>& dests, bool lost,
                            int hops);
@@ -122,6 +180,9 @@ class AnpSimulation final : public ProtocolSimulation {
   LinkStateOverlay overlay_;
   RoutingState tables_;
   std::vector<SwitchState> state_;  // per switch
+  std::vector<char> alive_;         // per switch; 0 while crashed
+  /// Links a crash took down, owed back on that switch's recovery.
+  std::map<std::uint32_t, std::vector<LinkId>> crash_links_;
 };
 
 }  // namespace aspen

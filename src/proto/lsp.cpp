@@ -1,13 +1,115 @@
 #include "src/proto/lsp.h"
 
 #include <algorithm>
-#include <array>
+#include <cstddef>
 #include <functional>
+#include <optional>
+#include <utility>
 #include <vector>
 
+#include "src/sim/channel.h"
 #include "src/util/status.h"
 
 namespace aspen {
+
+namespace {
+
+/// Links whose overlay state one fault event actually changed.
+struct FaultEffect {
+  std::vector<LinkId> failed;
+  std::vector<LinkId> recovered;
+};
+
+/// Pure state transition for one fault event, shared by the preview pass
+/// (on copies) and the live application (on the protocol's real state), so
+/// the two can never diverge.  Mirrors AnpSimulation::apply_fault's rules:
+/// idempotent per event; a recovering link with a crashed endpoint is owed
+/// to that switch's crash-links list instead of coming up; a crash fails
+/// every incident live link; a revival restores the owed links, passing
+/// custody onward for links whose far endpoint is still down.
+FaultEffect apply_fault_state(
+    const Topology& topo, LinkStateOverlay& overlay, std::vector<char>& alive,
+    std::map<std::uint32_t, std::vector<LinkId>>& crash_links,
+    const TimedFault& ev) {
+  FaultEffect effect;
+  switch (ev.kind) {
+    case TimedFault::Kind::kLinkFail: {
+      if (!overlay.is_up(ev.link)) break;  // idempotent
+      overlay.fail(ev.link);
+      effect.failed.push_back(ev.link);
+      break;
+    }
+
+    case TimedFault::Kind::kLinkRecover: {
+      if (overlay.is_up(ev.link)) break;  // idempotent
+      const Topology::LinkRec& rec = topo.link(ev.link);
+      bool owed = false;
+      for (const NodeId endpoint : {rec.upper, rec.lower}) {
+        if (!topo.is_switch_node(endpoint)) continue;
+        const std::uint32_t s = topo.switch_of(endpoint).value();
+        if (alive[s]) continue;
+        auto& list = crash_links[s];
+        if (std::ranges::find(list, ev.link) == list.end()) {
+          list.push_back(ev.link);
+        }
+        owed = true;
+        break;
+      }
+      if (owed) break;
+      overlay.recover(ev.link);
+      effect.recovered.push_back(ev.link);
+      break;
+    }
+
+    case TimedFault::Kind::kSwitchFail: {
+      if (!alive[ev.sw.value()]) break;  // idempotent
+      alive[ev.sw.value()] = 0;
+      auto& owed = crash_links[ev.sw.value()];
+      const auto take = [&](const Topology::Neighbor& nb) {
+        if (!overlay.is_up(nb.link)) return;  // was already down
+        overlay.fail(nb.link);
+        owed.push_back(nb.link);
+        effect.failed.push_back(nb.link);
+      };
+      for (const Topology::Neighbor& nb : topo.up_neighbors(ev.sw)) take(nb);
+      for (const Topology::Neighbor& nb : topo.down_neighbors(ev.sw)) {
+        take(nb);
+      }
+      break;
+    }
+
+    case TimedFault::Kind::kSwitchRecover: {
+      if (alive[ev.sw.value()]) break;  // idempotent
+      alive[ev.sw.value()] = 1;
+      std::vector<LinkId> owed;
+      if (const auto it = crash_links.find(ev.sw.value());
+          it != crash_links.end()) {
+        owed = std::move(it->second);
+        crash_links.erase(it);
+      }
+      const NodeId self = topo.node_of(ev.sw);
+      for (const LinkId link : owed) {
+        if (overlay.is_up(link)) continue;
+        const Topology::LinkRec& rec = topo.link(link);
+        const NodeId other = rec.upper == self ? rec.lower : rec.upper;
+        if (topo.is_switch_node(other) &&
+            !alive[topo.switch_of(other).value()]) {
+          auto& peer = crash_links[topo.switch_of(other).value()];
+          if (std::ranges::find(peer, link) == peer.end()) {
+            peer.push_back(link);
+          }
+          continue;
+        }
+        overlay.recover(link);
+        effect.recovered.push_back(link);
+      }
+      break;
+    }
+  }
+  return effect;
+}
+
+}  // namespace
 
 LspSimulation::LspSimulation(const Topology& topo, DelayModel delays,
                              DestGranularity granularity)
@@ -16,81 +118,185 @@ LspSimulation::LspSimulation(const Topology& topo, DelayModel delays,
       granularity_(granularity),
       overlay_(topo) {
   tables_ = compute_updown_routes(topo, overlay_, granularity_);
+  alive_.assign(topo.num_switches(), 1);
 }
 
 FailureReport LspSimulation::simulate_link_failure(LinkId link) {
   ASPEN_REQUIRE(overlay_.is_up(link), "link ", link.value(),
                 " is already down");
-  overlay_.fail(link);
-  return simulate_link_event(link, /*failure=*/true);
+  const TimedFault ev = TimedFault::link_fail(link);
+  return simulate_timed_events({&ev, 1});
 }
 
 FailureReport LspSimulation::simulate_link_recovery(LinkId link) {
   ASPEN_REQUIRE(!overlay_.is_up(link), "link ", link.value(),
                 " is already up");
-  overlay_.recover(link);
-  return simulate_link_event(link, /*failure=*/false);
+  const TimedFault ev = TimedFault::link_recover(link);
+  return simulate_timed_events({&ev, 1});
 }
 
-FailureReport LspSimulation::simulate_link_event(LinkId link, bool) {
+FailureReport LspSimulation::simulate_switch_failure(SwitchId s) {
+  ASPEN_REQUIRE(alive_.at(s.value()), "switch ", s.value(),
+                " is already down");
+  const TimedFault ev = TimedFault::switch_fail(s);
+  return simulate_timed_events({&ev, 1});
+}
+
+FailureReport LspSimulation::simulate_switch_recovery(SwitchId s) {
+  ASPEN_REQUIRE(!alive_.at(s.value()), "switch ", s.value(),
+                " is already up");
+  const TimedFault ev = TimedFault::switch_recover(s);
+  return simulate_timed_events({&ev, 1});
+}
+
+FailureReport LspSimulation::simulate_timed_events(
+    std::span<const TimedFault> events) {
   const Topology& topo = *topo_;
 
-  // Exact set of switches whose converged tables differ across the event.
-  const RoutingState after =
-      compute_updown_routes(topo, overlay_, granularity_);
+  // ---- Preview pass: replay the schedule on copies of the fault-plane
+  // state to learn each event's effective link changes (its LSA origins)
+  // and the final converged tables.
+  struct Record {
+    SimTime at = 0.0;
+    std::vector<SwitchId> origins;  // upper endpoint first (slot order)
+  };
+  std::vector<Record> records;
+  bool has_switch_event = false;
+  const bool was_fully_alive =
+      std::ranges::all_of(alive_, [](char a) { return a != 0; });
+  RoutingState after;
   std::vector<char> changes(topo.num_switches(), 0);
-  std::uint64_t reacted = 0;
-  for (std::uint32_t s = 0; s < topo.num_switches(); ++s) {
-    if (!(tables_.tables[s] == after.tables[s])) {
-      changes[s] = 1;
-      ++reacted;
+  {
+    LinkStateOverlay future = overlay_;
+    std::vector<char> future_alive = alive_;
+    auto future_crash = crash_links_;
+    SimTime prev = 0.0;
+    for (const TimedFault& ev : events) {
+      ASPEN_REQUIRE(ev.at >= prev, "timed faults must be sorted by time");
+      prev = ev.at;
+      if (ev.kind == TimedFault::Kind::kSwitchFail ||
+          ev.kind == TimedFault::Kind::kSwitchRecover) {
+        has_switch_event = true;
+      }
+      const FaultEffect effect =
+          apply_fault_state(topo, future, future_alive, future_crash, ev);
+      Record rec{ev.at, {}};
+      const auto add_origin = [&](NodeId endpoint) {
+        if (!topo.is_switch_node(endpoint)) return;  // hosts are mute
+        const SwitchId s = topo.switch_of(endpoint);
+        if (!future_alive[s.value()]) return;  // the dead flood nothing
+        if (std::ranges::find(rec.origins, s) == rec.origins.end()) {
+          rec.origins.push_back(s);
+        }
+      };
+      for (const LinkId link : effect.failed) {
+        add_origin(topo.link(link).upper);
+        add_origin(topo.link(link).lower);
+      }
+      for (const LinkId link : effect.recovered) {
+        add_origin(topo.link(link).upper);
+        add_origin(topo.link(link).lower);
+      }
+      if (!effect.failed.empty() || !effect.recovered.empty()) {
+        records.push_back(std::move(rec));
+      }
+    }
+    // Exact set of switches whose converged tables differ across the run.
+    // A switch dead at the end keeps its stale tables (it flips in a later
+    // run, once revived — the diff is always against current tables_).
+    after = compute_updown_routes(topo, future, granularity_);
+    for (std::uint32_t s = 0; s < topo.num_switches(); ++s) {
+      if (future_alive[s] && !(tables_.tables[s] == after.tables[s])) {
+        changes[s] = 1;
+      }
     }
   }
+  // In the paper's regime — perfect channel, no crashes — every changed
+  // switch must hear an LSA, and failing to is a model bug, not an outcome.
+  const bool strict =
+      delays_.channel.perfect() && !has_switch_event && was_fully_alive;
 
-  // Flood simulation: per-switch highest sequence seen per origin (two
-  // origins per event), serialized CPUs, hop counters on LSAs.
+  // ---- Flood simulation: per-switch highest sequence seen per origin
+  // slot, serialized CPUs, hop counters on LSAs.  A changed switch flips to
+  // the post-run routes once it has heard at least one origin of *every*
+  // record (for a single link event: its first new LSA, as before).
   Simulator sim;
+  ChannelModel channel(delays_.channel);
+  std::optional<ReliableTransport> transport;
+  if (delays_.channel.reliable) {
+    transport.emplace(sim, channel, delays_.retransmit);
+  }
   std::vector<CpuQueue> cpus(topo.num_switches());
-  // seen[s][origin_slot]: origin_slot 0 = upper endpoint, 1 = lower.
-  std::vector<std::array<char, 2>> seen(topo.num_switches(),
-                                        std::array<char, 2>{0, 0});
+  std::vector<std::size_t> slot_base(records.size(), 0);
+  std::size_t num_slots = 0;
+  std::size_t required = 0;
+  for (std::size_t r = 0; r < records.size(); ++r) {
+    slot_base[r] = num_slots;
+    num_slots += records[r].origins.size();
+    if (!records[r].origins.empty()) ++required;
+  }
+  std::vector<std::vector<char>> seen(topo.num_switches(),
+                                      std::vector<char>(num_slots, 0));
+  std::vector<std::vector<char>> record_heard(
+      topo.num_switches(), std::vector<char>(records.size(), 0));
+  std::vector<std::size_t> records_heard(topo.num_switches(), 0);
   std::vector<SimTime> table_change_time(topo.num_switches(), -1.0);
   std::vector<int> table_change_hops(topo.num_switches(), 0);
   FailureReport report;
 
-  // Flood `origin_slot`'s LSA out of `from` on every live link except the
-  // one it arrived on.
-  const std::function<void(SwitchId, LinkId, int, int)> flood =
-      [&](SwitchId from, LinkId arrival_link, int origin_slot, int hops) {
+  const auto install = [&](SwitchId at, std::size_t slot, std::size_t rec,
+                           int hops) {
+    seen[at.value()][slot] = 1;
+    if (!record_heard[at.value()][rec]) {
+      record_heard[at.value()][rec] = 1;
+      ++records_heard[at.value()];
+    }
+    if (changes[at.value()] && records_heard[at.value()] == required &&
+        table_change_time[at.value()] < 0) {
+      // Routes install only after the SPF hold-down; flooding is not held
+      // (OSPF's fast-flood/slow-SPF split).
+      table_change_time[at.value()] = sim.now() + delays_.spf_delay;
+      table_change_hops[at.value()] = hops;
+    }
+  };
+
+  // Flood `slot`'s LSA out of `from` on every live link except the one it
+  // arrived on.
+  const std::function<void(SwitchId, LinkId, std::size_t, std::size_t, int)>
+      flood = [&](SwitchId from, LinkId arrival_link, std::size_t slot,
+                  std::size_t rec, int hops) {
         const auto forward = [&](const Topology::Neighbor& nb) {
           if (nb.link == arrival_link) return;
           if (!overlay_.is_up(nb.link)) return;
           if (!topo.is_switch_node(nb.node)) return;  // hosts do not flood
           const SwitchId dst = topo.switch_of(nb.node);
           ++report.messages_sent;
-          sim.schedule(delays_.propagation, [&, dst, origin_slot, hops,
-                                             via = nb.link] {
-            const bool is_new = !seen[dst.value()][static_cast<std::size_t>(
-                origin_slot)];
+          auto deliver = [&, dst, slot, rec, hops, via = nb.link] {
+            if (!alive_[dst.value()]) return;  // crashed while in flight
+            const bool is_new = !seen[dst.value()][slot];
             const SimTime cost = is_new ? delays_.lsa_processing
                                         : delays_.lsa_duplicate_processing;
             const SimTime done = cpus[dst.value()].occupy(sim.now(), cost);
-            sim.schedule_at(done, [&, dst, origin_slot, hops, via] {
+            sim.schedule_at(done, [&, dst, slot, rec, hops, via] {
               // Re-check at processing completion: a copy that raced in
-              // while this one sat on the CPU may have installed it first.
-              if (seen[dst.value()][static_cast<std::size_t>(origin_slot)]) {
-                return;
-              }
-              seen[dst.value()][static_cast<std::size_t>(origin_slot)] = 1;
-              if (changes[dst.value()] && table_change_time[dst.value()] < 0) {
-                // Routes install only after the SPF hold-down; flooding is
-                // not held (OSPF's fast-flood/slow-SPF split).
-                table_change_time[dst.value()] = sim.now() + delays_.spf_delay;
-                table_change_hops[dst.value()] = hops + 1;
-              }
-              flood(dst, via, origin_slot, hops + 1);
+              // while this one sat on the CPU may have installed it first;
+              // the switch may also have crashed while the copy queued.
+              if (!alive_[dst.value()]) return;
+              if (seen[dst.value()][slot]) return;
+              install(dst, slot, rec, hops + 1);
+              flood(dst, via, slot, rec, hops + 1);
             });
-          });
+          };
+          if (transport) {
+            transport->send(
+                delays_.propagation, std::move(deliver),
+                [&, link = nb.link, from] {
+                  return overlay_.is_up(link) && alive_[from.value()];
+                },
+                [&, dst] { return alive_[dst.value()]; });
+          } else {
+            channel.transmit(sim, delays_.propagation, std::move(deliver));
+          }
         };
         for (const Topology::Neighbor& nb : topo.up_neighbors(from)) {
           forward(nb);
@@ -100,53 +306,78 @@ FailureReport LspSimulation::simulate_link_event(LinkId link, bool) {
         }
       };
 
-  // Both endpoints detect the event and originate LSAs; origination itself
-  // costs one LSA processing interval (SPF on the switch's own new view).
-  const Topology::LinkRec& rec = topo.link(link);
-  const auto originate = [&](NodeId endpoint, int origin_slot) {
-    if (!topo.is_switch_node(endpoint)) return;  // host links: hosts are mute
-    const SwitchId origin = topo.switch_of(endpoint);
-    // Origination waits out the LSA-generation throttle before the CPU
-    // builds and floods the update.
-    sim.schedule(delays_.detection + delays_.lsa_generation_delay,
-                 [&, origin, origin_slot] {
-      const SimTime done =
-          cpus[origin.value()].occupy(sim.now(), delays_.lsa_processing);
-      sim.schedule_at(done, [&, origin, origin_slot] {
-        seen[origin.value()][static_cast<std::size_t>(origin_slot)] = 1;
-        if (changes[origin.value()] &&
-            table_change_time[origin.value()] < 0) {
-          table_change_time[origin.value()] = sim.now() + delays_.spf_delay;
-          table_change_hops[origin.value()] = 0;
-        }
-        flood(origin, LinkId::invalid(), origin_slot, 0);
+  // ---- Apply the schedule.  State mutations land at event times (t=0
+  // immediately, keeping single-event runs identical to the pre-chaos code
+  // path); each origin's LSA follows detection + generation-throttle later,
+  // costing one LSA processing interval (SPF on its own new view).
+  for (const TimedFault& ev : events) {
+    if (ev.at <= 0.0) {
+      apply_fault_state(topo, overlay_, alive_, crash_links_, ev);
+    } else {
+      sim.schedule_at(ev.at, [this, &topo, ev] {
+        apply_fault_state(topo, overlay_, alive_, crash_links_, ev);
       });
-    });
-  };
-  originate(rec.upper, 0);
-  originate(rec.lower, 1);
+    }
+  }
+  for (std::size_t r = 0; r < records.size(); ++r) {
+    for (std::size_t j = 0; j < records[r].origins.size(); ++j) {
+      const SwitchId origin = records[r].origins[j];
+      const std::size_t slot = slot_base[r] + j;
+      const SimTime when =
+          records[r].at + delays_.detection + delays_.lsa_generation_delay;
+      sim.schedule_at(when, [&, origin, slot, r] {
+        if (!alive_[origin.value()]) return;  // crashed before detecting
+        const SimTime done =
+            cpus[origin.value()].occupy(sim.now(), delays_.lsa_processing);
+        sim.schedule_at(done, [&, origin, slot, r] {
+          if (!alive_[origin.value()]) return;  // crashed mid-origination
+          if (seen[origin.value()][slot]) return;
+          install(origin, slot, r, 0);
+          flood(origin, LinkId::invalid(), slot, r, 0);
+        });
+      });
+    }
+  }
 
-  report.events = sim.run();
-  report.switches_reacted = reacted;
+  const RunResult run = sim.run_bounded(delays_.max_run_events);
+  report.events = run.events;
+  report.quiesced = run.completed;
   for (std::uint32_t s = 0; s < topo.num_switches(); ++s) {
-    if (seen[s][0] || seen[s][1]) ++report.switches_informed;
+    if (std::ranges::any_of(seen[s], [](char c) { return c != 0; })) {
+      ++report.switches_informed;
+    }
   }
   report.table_change_completed.assign(topo.num_switches(),
                                        FailureReport::kNoChange);
   for (std::uint32_t s = 0; s < topo.num_switches(); ++s) {
-    if (changes[s]) report.table_change_completed[s] = table_change_time[s];
-  }
-  for (std::uint32_t s = 0; s < topo.num_switches(); ++s) {
     if (!changes[s]) continue;
-    ASPEN_CHECK(table_change_time[s] >= 0.0,
-                "switch ", s, " needs new routes but never heard an LSA");
-    report.convergence_time_ms =
-        std::max(report.convergence_time_ms, table_change_time[s]);
-    report.max_update_hops =
-        std::max(report.max_update_hops, table_change_hops[s]);
+    if (table_change_time[s] >= 0.0) {
+      tables_.tables[s] = after.tables[s];
+      report.table_change_completed[s] = table_change_time[s];
+      ++report.switches_reacted;
+      report.convergence_time_ms =
+          std::max(report.convergence_time_ms, table_change_time[s]);
+      report.max_update_hops =
+          std::max(report.max_update_hops, table_change_hops[s]);
+    } else {
+      ASPEN_CHECK(!strict, "switch ", s,
+                  " needs new routes but never heard an LSA");
+      // Under a lossy channel (or with crashes in play) a switch can simply
+      // miss the news.  Its tables stay stale; the next run's diff will
+      // mark it changed again, so a later flood heals it.
+      ++report.stale_switches;
+    }
   }
-
-  tables_ = after;
+  const ChannelStats& ch = channel.stats();
+  report.channel_dropped = ch.dropped;
+  report.channel_duplicated = ch.duplicated;
+  if (transport) {
+    const TransportStats& tr = transport->stats();
+    report.retransmits = tr.retransmits;
+    report.acks_sent = tr.acks_sent;
+    report.duplicates_dropped = tr.duplicates_dropped;
+    report.gave_up = tr.gave_up;
+  }
   return report;
 }
 

@@ -9,13 +9,32 @@
 // copies cost only a sequence-number check.
 //
 // Forwarding tables are the global up*/down* shortest-path routes for the
-// switch's current view; since a single link event is fully described by
-// either endpoint's LSA, a switch's table flips to the post-event routes
-// the first time it processes a new LSA, which is when we timestamp its
-// reaction.  Which switches' tables change at all is decided exactly, by
-// diffing converged pre- and post-event routing states.
+// switch's current view.  Which switches' tables change at all is decided
+// exactly, by diffing converged pre- and post-run routing states; a switch's
+// table flips to the post-run routes once it has processed a new LSA for
+// *every* fault event in the run (for a single link event — the paper's
+// experiment — that is simply its first new LSA, which is when we timestamp
+// its reaction).
+//
+// ## Unreliable control plane
+//
+// LSAs ride the same seeded lossy ChannelModel as ANP notifications
+// (DelayModel::channel).  With `channel.reliable` set, each LSA transmission
+// to a neighbor is acked and retransmitted on an exponential-backoff timer
+// until acknowledged or the retry cap trips — OSPF's retransmission-list
+// mechanism.  Without it, a dropped LSA can leave a switch that needed new
+// routes permanently stale (FailureReport::stale_switches counts these; a
+// later flood heals them, because the next run diffs against the stale
+// tables).  Switch crashes discard the victim's queued work and fail its
+// incident links atomically; the model is conservative for partial
+// knowledge — a switch that heard about only some of a run's events keeps
+// its old tables rather than computing a mixed view (the LSDB cross-check
+// in lsp_full.h models per-switch views exactly, for single events).
 #pragma once
 
+#include <cstdint>
+#include <map>
+#include <span>
 #include <vector>
 
 #include "src/proto/protocol.h"
@@ -38,21 +57,37 @@ class LspSimulation final : public ProtocolSimulation {
   /// Recovers a previously failed link and floods until quiescent.
   FailureReport simulate_link_recovery(LinkId link) override;
 
+  /// Crashes the switch: every incident live link fails atomically, each
+  /// surviving peer originates an LSA; the victim floods nothing.
+  FailureReport simulate_switch_failure(SwitchId s) override;
+
+  /// Revives a crashed switch and the links its crash took down (links
+  /// whose far endpoint is still crashed stay down, custody moving there).
+  FailureReport simulate_switch_recovery(SwitchId s) override;
+
+  /// One flood run over a compound, timed fault schedule.
+  FailureReport simulate_timed_events(
+      std::span<const TimedFault> events) override;
+
   /// Converged forwarding tables for the current link state.
   [[nodiscard]] const RoutingState& tables() const override { return tables_; }
   [[nodiscard]] const LinkStateOverlay& overlay() const override {
     return overlay_;
   }
   [[nodiscard]] const Topology& topology() const override { return *topo_; }
+  [[nodiscard]] bool is_alive(SwitchId s) const override {
+    return alive_.at(s.value()) != 0;
+  }
 
  private:
-  FailureReport simulate_link_event(LinkId link, bool failure);
-
   const Topology* topo_;
   DelayModel delays_;
   DestGranularity granularity_;
   LinkStateOverlay overlay_;
   RoutingState tables_;
+  std::vector<char> alive_;  // per switch; 0 while crashed
+  /// Links a crash took down, owed back on that switch's recovery.
+  std::map<std::uint32_t, std::vector<LinkId>> crash_links_;
 };
 
 }  // namespace aspen

@@ -2,6 +2,8 @@
 // drivers and tests can run LSP and ANP through identical harnesses.
 #pragma once
 
+#include <span>
+
 #include "src/proto/report.h"
 #include "src/routing/fwd_table.h"
 #include "src/topo/link_state.h"
@@ -15,12 +17,73 @@ enum class ProtocolKind { kLsp, kAnp };
   return kind == ProtocolKind::kLsp ? "LSP" : "ANP";
 }
 
+/// One fault-plane event inside a single protocol reaction run.  A list of
+/// these describes a compound scenario — e.g. a link failing at t=0 and a
+/// switch crashing at t=5ms, *while the protocol is still reacting* to the
+/// first event (§8.3 treats a switch failure as all of its links failing).
+struct TimedFault {
+  enum class Kind {
+    kLinkFail,
+    kLinkRecover,
+    kSwitchFail,     ///< atomically fails every incident live link
+    kSwitchRecover,  ///< revives the switch and the links its crash took
+  };
+
+  Kind kind = Kind::kLinkFail;
+  SimTime at = 0.0;        ///< offset into the run (>= 0, non-decreasing)
+  LinkId link{};           ///< for the link kinds
+  SwitchId sw{};           ///< for the switch kinds
+
+  [[nodiscard]] static TimedFault link_fail(LinkId l, SimTime at = 0.0) {
+    return {Kind::kLinkFail, at, l, SwitchId::invalid()};
+  }
+  [[nodiscard]] static TimedFault link_recover(LinkId l, SimTime at = 0.0) {
+    return {Kind::kLinkRecover, at, l, SwitchId::invalid()};
+  }
+  [[nodiscard]] static TimedFault switch_fail(SwitchId s, SimTime at = 0.0) {
+    return {Kind::kSwitchFail, at, LinkId::invalid(), s};
+  }
+  [[nodiscard]] static TimedFault switch_recover(SwitchId s,
+                                                 SimTime at = 0.0) {
+    return {Kind::kSwitchRecover, at, LinkId::invalid(), s};
+  }
+};
+
 class ProtocolSimulation {
  public:
   virtual ~ProtocolSimulation() = default;
 
   virtual FailureReport simulate_link_failure(LinkId link) = 0;
   virtual FailureReport simulate_link_recovery(LinkId link) = 0;
+
+  /// Crashes a switch: every incident live link fails atomically and the
+  /// switch stops processing or emitting protocol messages (its queued
+  /// work is discarded) until recovered.  The default throws — AnpSimulation
+  /// and LspSimulation override; the LSDB cross-check implementation
+  /// (lsp_full) does not model crashes.
+  virtual FailureReport simulate_switch_failure(SwitchId s) {
+    (void)s;
+    throw PreconditionError("switch crashes not supported by this protocol");
+  }
+  virtual FailureReport simulate_switch_recovery(SwitchId s) {
+    (void)s;
+    throw PreconditionError("switch crashes not supported by this protocol");
+  }
+
+  /// Runs one reaction over a compound, timed fault schedule.  Events must
+  /// be sorted by `at`; the run continues until the protocol quiesces (or
+  /// the event budget trips — see FailureReport::quiesced).
+  virtual FailureReport simulate_timed_events(
+      std::span<const TimedFault> events) {
+    (void)events;
+    throw PreconditionError("timed fault events not supported");
+  }
+
+  /// False while the switch is crashed (all protocols start fully alive).
+  [[nodiscard]] virtual bool is_alive(SwitchId s) const {
+    (void)s;
+    return true;
+  }
 
   [[nodiscard]] virtual const RoutingState& tables() const = 0;
   [[nodiscard]] virtual const LinkStateOverlay& overlay() const = 0;

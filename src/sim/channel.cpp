@@ -1,0 +1,110 @@
+#include "src/sim/channel.h"
+
+#include <cmath>
+#include <utility>
+
+#include "src/util/status.h"
+
+namespace aspen {
+
+int ChannelModel::transmit(Simulator& sim, SimTime base_delay,
+                           std::function<void()> deliver) {
+  ++stats_.attempted;
+  if (options_.perfect()) {
+    // Fast path: exactly one on-time copy, no Rng draws — lossless runs
+    // stay bit-identical to the pre-channel implementation.
+    ++stats_.delivered;
+    sim.schedule(base_delay, std::move(deliver));
+    return 1;
+  }
+  int copies = 1;
+  if (rng_.chance(options_.drop_rate)) {
+    copies = 0;
+    ++stats_.dropped;
+  } else if (rng_.chance(options_.duplicate_rate)) {
+    copies = 2;
+    ++stats_.duplicated;
+  }
+  for (int c = 0; c < copies; ++c) {
+    const SimTime jitter =
+        options_.jitter_ms > 0.0 ? rng_.real() * options_.jitter_ms : 0.0;
+    ++stats_.delivered;
+    if (c + 1 == copies) {
+      sim.schedule(base_delay + jitter, std::move(deliver));
+    } else {
+      sim.schedule(base_delay + jitter, deliver);
+    }
+  }
+  return copies;
+}
+
+void ReliableTransport::send(SimTime propagation,
+                             std::function<void()> on_deliver,
+                             std::function<bool()> can_transmit,
+                             std::function<bool()> can_receive) {
+  ASPEN_REQUIRE(on_deliver && can_transmit && can_receive,
+                "reliable send needs a payload and viability predicates");
+  const std::uint64_t id = next_id_++;
+  Pending& p = pending_[id];
+  p.propagation = propagation;
+  p.on_deliver = std::move(on_deliver);
+  p.can_transmit = std::move(can_transmit);
+  p.can_receive = std::move(can_receive);
+  ++stats_.sends;
+  transmit_copy(id);
+  arm_timer(id);
+}
+
+void ReliableTransport::transmit_copy(std::uint64_t id) {
+  Pending& p = pending_.at(id);
+  if (!p.can_transmit()) return;  // link down or sender dead: never wired
+  channel_->transmit(*sim_, p.propagation, [this, id] {
+    Pending& arrived = pending_.at(id);
+    if (!arrived.can_receive()) return;  // receiver crashed: copy vanishes
+    if (arrived.delivered) {
+      // Sequence-number comparison at the line card — no CPU charged.
+      ++stats_.duplicates_dropped;
+    } else {
+      arrived.delivered = true;
+      arrived.on_deliver();
+    }
+    // (Re-)ack every surviving copy: the original ack may have been lost.
+    ++stats_.acks_sent;
+    channel_->transmit(*sim_, arrived.propagation, [this, id] {
+      pending_.at(id).acked = true;
+    });
+  });
+}
+
+void ReliableTransport::arm_timer(std::uint64_t id) {
+  const int attempts = pending_.at(id).attempts;
+  const SimTime timeout =
+      policy_.rto_ms * std::pow(policy_.backoff, attempts);
+  sim_->schedule(timeout, [this, id] {
+    Pending& p = pending_.at(id);
+    if (p.done) return;
+    if (p.acked) {
+      p.done = true;
+      return;
+    }
+    if (p.attempts >= policy_.max_retries) {
+      p.done = true;
+      ++stats_.gave_up;
+      return;
+    }
+    ++p.attempts;
+    ++stats_.retransmits;
+    transmit_copy(id);
+    arm_timer(id);
+  });
+}
+
+std::size_t ReliableTransport::in_flight() const {
+  std::size_t count = 0;
+  for (const auto& [id, p] : pending_) {
+    if (!p.done && !p.acked) ++count;
+  }
+  return count;
+}
+
+}  // namespace aspen

@@ -27,14 +27,20 @@ bool Simulator::step() {
   return true;
 }
 
-std::uint64_t Simulator::run(std::uint64_t max_events) {
-  const std::uint64_t start = events_processed_;
-  while (step()) {
-    ASPEN_CHECK(events_processed_ - start <= max_events,
-                "simulation exceeded ", max_events,
-                " events — runaway protocol?");
+RunResult Simulator::run_bounded(std::uint64_t max_events) {
+  RunResult result;
+  while (result.events < max_events && step()) {
+    ++result.events;
   }
-  return events_processed_ - start;
+  result.completed = queue_.empty();
+  return result;
+}
+
+std::uint64_t Simulator::run(std::uint64_t max_events) {
+  const RunResult result = run_bounded(max_events);
+  ASPEN_CHECK(result.completed, "simulation exceeded ", max_events,
+              " events — runaway protocol?");
+  return result.events;
 }
 
 }  // namespace aspen

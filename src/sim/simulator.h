@@ -22,6 +22,33 @@ namespace aspen {
 /// Simulated time in milliseconds.
 using SimTime = double;
 
+/// An imperfect control-plane medium (see src/sim/channel.h for the model
+/// that enacts these options).  The default is the paper's idealized
+/// perfect channel: nothing dropped, nothing duplicated, no jitter.
+struct ChannelOptions {
+  double drop_rate = 0.0;       ///< P(a scheduled control message is lost)
+  double duplicate_rate = 0.0;  ///< P(an extra copy of a message arrives)
+  SimTime jitter_ms = 0.0;      ///< uniform extra delay in [0, jitter_ms]
+  std::uint64_t seed = 0xA59E;  ///< seeds the channel's private Rng
+  /// Run the protocols' ack/retransmit machinery (ReliableTransport) on
+  /// top of the channel.  Off by default so lossless runs keep the seed
+  /// repo's exact message counts; chaos campaigns and loss sweeps turn it
+  /// on (and must, for convergence under loss).
+  bool reliable = false;
+
+  [[nodiscard]] bool perfect() const {
+    return drop_rate == 0.0 && duplicate_rate == 0.0 && jitter_ms == 0.0;
+  }
+};
+
+/// Endpoint behavior over an unreliable channel: how long to wait for an
+/// ack, how the wait grows, and when to give up.
+struct RetransmitPolicy {
+  SimTime rto_ms = 50.0;   ///< initial retransmission timeout
+  double backoff = 2.0;    ///< timeout multiplier per retry (exponential)
+  int max_retries = 8;     ///< retransmissions before declaring the peer lost
+};
+
 /// The paper's §9.2 timing constants (defaults), all in milliseconds:
 /// "estimating the propagation delay between switches and the time to
 ///  process ANP and LSA packets as 1µs, 20ms, and 300 ms, respectively.
@@ -44,6 +71,16 @@ struct DelayModel {
   /// router defaults are on the order of 500 ms and 5000 ms.
   SimTime lsa_generation_delay = 0.0;
   SimTime spf_delay = 0.0;
+  /// Control-plane medium the protocols' messages ride on, plus the
+  /// endpoints' ack/retransmit policy when `channel.reliable` is set.
+  /// Folding these into DelayModel plumbs lossy channels through every
+  /// existing experiment driver without signature churn.
+  ChannelOptions channel;
+  RetransmitPolicy retransmit;
+  /// Per-reaction event budget: a protocol run that exceeds it is reported
+  /// as "did not quiesce" (FailureReport::quiesced == false) instead of
+  /// aborting the experiment.
+  std::uint64_t max_run_events = 50'000'000;
 
   /// Classic vendor-default OSPF pacing, for the §1 "re-convergence can be
   /// tens of seconds" experiments.
@@ -53,6 +90,12 @@ struct DelayModel {
     delays.spf_delay = 5000.0;
     return delays;
   }
+};
+
+/// Outcome of a bounded simulation run.
+struct RunResult {
+  std::uint64_t events = 0;  ///< events processed by this call
+  bool completed = false;    ///< true when the queue drained (quiescence)
 };
 
 class Simulator {
@@ -65,6 +108,12 @@ class Simulator {
 
   /// Schedules `action` at an absolute time (>= now()).
   void schedule_at(SimTime when, std::function<void()> action);
+
+  /// Runs until the queue drains or `max_events` fire, whichever is first.
+  /// Hitting the cap is an *outcome*, not an error: `completed` is false
+  /// and the remaining events stay queued, so chaos campaigns can report
+  /// "protocol did not quiesce" as a measurement and carry on.
+  RunResult run_bounded(std::uint64_t max_events);
 
   /// Runs events until the queue drains; returns events processed.
   /// Throws if more than `max_events` fire (runaway-protocol guard).

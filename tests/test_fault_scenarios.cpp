@@ -127,6 +127,86 @@ TEST(FaultScenarios, SampledDeliveryOption) {
   EXPECT_EQ(outcome.degraded_delivery.flows, 64u);
 }
 
+// ---- §8.3 sweep: both protocols × both table granularities × scenario ---
+
+struct CompoundCase {
+  ProtocolKind kind;
+  DestGranularity granularity;
+  bool pathological;  ///< kill_pod_connectivity vs far_apart_pair
+};
+
+std::string compound_case_name(
+    const ::testing::TestParamInfo<CompoundCase>& info) {
+  std::string name = to_cstring(info.param.kind);
+  name += info.param.granularity == DestGranularity::kHost ? "Host" : "Edge";
+  name += info.param.pathological ? "KillPod" : "FarApart";
+  return name;
+}
+
+class CompoundFailureMatrix : public ::testing::TestWithParam<CompoundCase> {};
+
+TEST_P(CompoundFailureMatrix, DegradedDeliveryConsistentAndTablesRestore) {
+  const CompoundCase& c = GetParam();
+  const Topology topo = make_tree({0, 1, 0});
+
+  std::vector<LinkId> links;
+  if (c.pathological) {
+    const SwitchId l3 = topo.switch_at(3, 0);
+    const PodId child =
+        topo.pod_of(topo.switch_of(topo.down_neighbors(l3)[0].node));
+    links = kill_pod_connectivity(topo, l3, child);
+  } else {
+    Rng rng(5);
+    links = far_apart_pair(topo, 3, rng);
+  }
+
+  MultiFailureOptions options;
+  // Faithful ANP (upward notices only) for the pathological case — that is
+  // the configuration §8.3 says compound failures can defeat.  Downward
+  // notices for the far-apart case, where masking must be complete.
+  options.anp.notify_children = !c.pathological;
+  options.granularity = c.granularity;
+  const MultiFailureOutcome outcome =
+      run_multi_failure(c.kind, topo, links, options);
+
+  // Every walked flow is accounted for, and none loops: stale up/down
+  // tables may black-hole, but they cannot cycle.
+  const ReachabilityStats& d = outcome.degraded_delivery;
+  EXPECT_EQ(d.delivered + d.no_route + d.dropped + d.looped, d.flows);
+  EXPECT_EQ(d.looped, 0u);
+
+  if (c.pathological && c.kind == ProtocolKind::kAnp) {
+    // Redundancy into the child pod is defeated; without downward notices
+    // faithful ANP cannot mask the combination and some flows must die.
+    EXPECT_GT(d.undelivered(), 0u);
+  } else {
+    // LSP re-converges globally (the network stays physically connected),
+    // and far-apart failures are independent and fully masked (§8.3).
+    EXPECT_EQ(d.undelivered(), 0u);
+  }
+
+  // Physics consistency: the protocol cannot beat ground-truth routes
+  // computed from the degraded network.
+  EXPECT_EQ(outcome.failure_reports.size(), links.size());
+  for (const FailureReport& report : outcome.failure_reports) {
+    EXPECT_TRUE(report.quiesced);
+  }
+  EXPECT_TRUE(outcome.tables_restored);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Section8_3, CompoundFailureMatrix,
+    ::testing::Values(
+        CompoundCase{ProtocolKind::kLsp, DestGranularity::kEdge, false},
+        CompoundCase{ProtocolKind::kLsp, DestGranularity::kEdge, true},
+        CompoundCase{ProtocolKind::kLsp, DestGranularity::kHost, false},
+        CompoundCase{ProtocolKind::kLsp, DestGranularity::kHost, true},
+        CompoundCase{ProtocolKind::kAnp, DestGranularity::kEdge, false},
+        CompoundCase{ProtocolKind::kAnp, DestGranularity::kEdge, true},
+        CompoundCase{ProtocolKind::kAnp, DestGranularity::kHost, false},
+        CompoundCase{ProtocolKind::kAnp, DestGranularity::kHost, true}),
+    compound_case_name);
+
 TEST(FaultScenarios, EmptyScenarioRejected) {
   const Topology topo = make_tree({0, 0});
   EXPECT_THROW(run_multi_failure(ProtocolKind::kLsp, topo, {}),

@@ -78,6 +78,35 @@ TEST(Simulator, RunawayGuardTrips) {
   EXPECT_THROW(sim.run(/*max_events=*/1000), AspenError);
 }
 
+TEST(Simulator, RunBoundedReportsCapAsOutcome) {
+  // Hitting the cap is a measurement ("did not quiesce"), not an error: the
+  // queue keeps the unprocessed events and the run can resume.
+  Simulator sim;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(static_cast<SimTime>(i + 1), [&] { ++fired; });
+  }
+  const RunResult first = sim.run_bounded(3);
+  EXPECT_EQ(first.events, 3u);
+  EXPECT_FALSE(first.completed);
+  EXPECT_EQ(fired, 3);
+  EXPECT_FALSE(sim.idle());
+
+  const RunResult rest = sim.run_bounded(1000);
+  EXPECT_EQ(rest.events, 7u);
+  EXPECT_TRUE(rest.completed);
+  EXPECT_EQ(fired, 10);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(Simulator, RunBoundedExactBudgetCompletes) {
+  Simulator sim;
+  for (int i = 0; i < 4; ++i) sim.schedule(1.0, [] {});
+  const RunResult result = sim.run_bounded(4);
+  EXPECT_EQ(result.events, 4u);
+  EXPECT_TRUE(result.completed);  // drained exactly at the cap
+}
+
 TEST(CpuQueue, SerializesWork) {
   CpuQueue cpu;
   // First job: arrives at 0, takes 10 → done at 10.

@@ -9,6 +9,8 @@
 //   aspen simulate <n> <k> <ftv> <lsp|anp|anp+> [level]   failure sweep
 //   aspen availability <n> <k> <ftv> [rate]       §1 nines accounting
 //   aspen window <n> <k> <ftv> <lsp|anp|anp+>     §8.4 loss-vs-time curve
+//   aspen chaos <n> <k> <ftv> <lsp|anp|anp+> [events [drop [seed]]]
+//                                                 randomized fault campaign
 //   aspen label <n> <k> <ftv> [host]              §5.3 hierarchical labels
 //   aspen audit <n> <k> <ftv> <links.csv>         validate external wiring
 //
@@ -23,6 +25,7 @@
 
 #include "src/analysis/availability.h"
 #include "src/analysis/convergence.h"
+#include "src/fault/chaos.h"
 #include "src/aspen/enumerate.h"
 #include "src/aspen/fixed_hosts.h"
 #include "src/aspen/generator.h"
@@ -54,6 +57,8 @@ int usage() {
       "  aspen simulate <n> <k> <ftv> <lsp|anp|anp+> [level]\n"
       "  aspen availability <n> <k> <ftv> [failures_per_link_per_year]\n"
       "  aspen window <n> <k> <ftv> <lsp|anp|anp+>\n"
+      "  aspen chaos <n> <k> <ftv> <lsp|anp|anp+> [events [drop_rate "
+      "[seed]]]\n"
       "  aspen label <n> <k> <ftv> [host]\n"
       "  aspen audit <n> <k> <ftv> <links.csv>\n"
       "ftv syntax: \"<a,b,c>\" or \"a,b,c\" (top level first)\n");
@@ -310,6 +315,84 @@ int cmd_window(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_chaos(const std::vector<std::string>& args) {
+  if (args.size() < 4 || args.size() > 7) return usage();
+  const Topology topo = Topology::build(
+      generate_tree(std::stoi(args[0]), std::stoi(args[1]),
+                    FaultToleranceVector::parse(args[2])));
+  ChaosOptions options;
+  ProtocolKind kind;
+  if (args[3] == "lsp") {
+    kind = ProtocolKind::kLsp;
+  } else if (args[3] == "anp") {
+    kind = ProtocolKind::kAnp;
+  } else if (args[3] == "anp+") {
+    kind = ProtocolKind::kAnp;
+    options.anp.notify_children = true;
+  } else {
+    return usage();
+  }
+  if (args.size() >= 5) options.num_events = std::stoi(args[4]);
+  if (args.size() >= 6) {
+    options.delays.channel.drop_rate = std::stod(args[5]);
+    options.delays.channel.duplicate_rate =
+        options.delays.channel.drop_rate / 4.0;
+    options.delays.channel.jitter_ms = 0.5;
+    options.delays.channel.reliable = options.delays.channel.drop_rate > 0.0;
+  }
+  if (args.size() >= 7) {
+    options.seed = std::stoull(args[6]);
+    options.delays.channel.seed = options.seed ^ 0xC44A05;
+  }
+
+  const ChaosOutcome outcome = run_chaos_campaign(kind, topo, options);
+  std::printf("%s, protocol %s: %d-event chaos campaign, seed %lu, "
+              "drop rate %.0f%%\n",
+              topo.describe().c_str(), args[3].c_str(), options.num_events,
+              static_cast<unsigned long>(options.seed),
+              100.0 * options.delays.channel.drop_rate);
+
+  TextTable table({"metric", "value"});
+  table.add_row({"link failures / recoveries",
+                 std::to_string(outcome.link_failures) + " / " +
+                     std::to_string(outcome.link_recoveries)});
+  table.add_row({"switch crashes / recoveries",
+                 std::to_string(outcome.switch_crashes) + " / " +
+                     std::to_string(outcome.switch_recoveries)});
+  table.add_row({"crash-mid-reaction runs",
+                 std::to_string(outcome.compound_runs)});
+  table.add_row({"protocol messages", std::to_string(outcome.messages)});
+  table.add_row({"retransmits / acks",
+                 std::to_string(outcome.retransmits) + " / " +
+                     std::to_string(outcome.acks)});
+  table.add_row({"channel dropped / duplicated",
+                 std::to_string(outcome.channel_dropped) + " / " +
+                     std::to_string(outcome.channel_duplicated)});
+  table.add_row({"duplicates suppressed",
+                 std::to_string(outcome.duplicates_dropped)});
+  table.add_row({"gave up / stale switches",
+                 std::to_string(outcome.gave_up) + " / " +
+                     std::to_string(outcome.stale_switches)});
+  table.add_row({"convergence ms (avg/max)",
+                 format_double(outcome.convergence_ms.mean(), 1) + " / " +
+                     format_double(outcome.convergence_ms.max(), 1)});
+  table.add_row({"all runs quiesced", outcome.all_quiesced ? "yes" : "NO"});
+  table.add_row({"consistency checks",
+                 std::to_string(outcome.checks) + " (" +
+                     std::to_string(outcome.checked_flows) + " flows)"});
+  table.add_row({"ground-truth violations",
+                 std::to_string(outcome.ground_truth_violations)});
+  table.add_row({"protocol shortfall flows",
+                 std::to_string(outcome.protocol_shortfall)});
+  table.add_row({"tables restored", outcome.tables_restored ? "yes" : "NO"});
+  std::printf("%s", table.to_string().c_str());
+
+  const bool ok = outcome.tables_restored &&
+                  outcome.ground_truth_violations == 0 &&
+                  outcome.all_quiesced;
+  return ok ? 0 : 2;
+}
+
 int cmd_label(const std::vector<std::string>& args) {
   if (args.size() < 3 || args.size() > 4) return usage();
   const Topology topo = Topology::build(
@@ -382,6 +465,7 @@ int main(int argc, char** argv) {
     if (command == "simulate") return cmd_simulate(args);
     if (command == "availability") return cmd_availability(args);
     if (command == "window") return cmd_window(args);
+    if (command == "chaos") return cmd_chaos(args);
     if (command == "label") return cmd_label(args);
     if (command == "audit") return cmd_audit(args);
     return usage();
