@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/analysis/convergence.h"
+#include "src/util/contracts.h"
 #include "src/util/status.h"
 
 namespace aspen {
@@ -45,6 +46,7 @@ double mean_reaction_ms(const TreeParams& tree, const DelayModel& delays) {
     total += estimate_convergence_ms(
         hops, covered ? ProtocolKind::kAnp : ProtocolKind::kLsp, delays);
   }
+  ASPEN_ASSERT(total >= 0.0, "reaction windows are non-negative");
   return total / static_cast<double>(tree.n - 1);
 }
 
@@ -115,6 +117,8 @@ AvailabilityEstimate estimate_availability_with_reaction(
   estimate.availability =
       availability_from_downtime(estimate.downtime_s_per_year);
   estimate.nines = aspen::nines(estimate.availability);
+  ASPEN_ASSERT(estimate.availability >= 0.0 && estimate.availability <= 1.0,
+               "availability must land in [0,1]");
   return estimate;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/aspen/generator.h"
+#include "src/util/contracts.h"
 #include "src/util/math.h"
 #include "src/util/status.h"
 
@@ -61,6 +62,8 @@ void for_each_tree(int n, int k,
     if (depth == entries.size()) {
       const FaultToleranceVector ftv{entries};
       if (auto t = try_generate_tree(n, k, ftv)) {
+        ASPEN_ASSERT(t->ftv() == ftv,
+                     "enumerated tree drifted from its candidate FTV");
         keep_going = visit(*t);
       }
       return;

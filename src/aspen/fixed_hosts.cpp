@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/aspen/generator.h"
+#include "src/util/contracts.h"
 #include "src/util/status.h"
 
 namespace aspen {
@@ -48,6 +49,10 @@ FaultToleranceVector fixed_host_ftv(int n_fat, int k, int extra_levels,
       break;
     }
   }
+  ASPEN_ASSERT(std::ranges::count_if(entries,
+                                     [](int e) { return e != 0; }) ==
+                   extra_levels,
+               "each added level carries exactly one redundancy entry");
   return FaultToleranceVector(std::move(entries));
 }
 

@@ -4,6 +4,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "src/util/contracts.h"
 #include "src/util/status.h"
 
 namespace aspen {
@@ -58,6 +59,7 @@ int FaultToleranceVector::at_level(Level i) const {
 std::uint64_t FaultToleranceVector::dcc() const {
   std::uint64_t product = 1;
   for (int e : entries_) product *= static_cast<std::uint64_t>(e) + 1;
+  ASPEN_ASSERT(product >= 1, "DCC is a product of positive terms");
   return product;
 }
 
@@ -77,6 +79,8 @@ Level FaultToleranceVector::nearest_fault_tolerant_level_at_or_above(
   for (Level i = from; i <= n; ++i) {
     if (at_level(i) > 0) return i;
   }
+  ASPEN_ASSERT(!is_fully_fault_tolerant(),
+               "a fully fault-tolerant FTV always has a level at or above");
   return 0;
 }
 

@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "src/util/contracts.h"
 #include "src/util/math.h"
 #include "src/util/status.h"
 
@@ -48,6 +49,8 @@ TreeParams generate_tree(int n, int k, const FaultToleranceVector& ftv) {
     }
     t.c[ui] = ci;
     t.r[ui] = downlinks / ci;
+    ASPEN_ASSERT(t.r[ui] * t.c[ui] == downlinks,
+                 "Eq. 2 broken during generation at level ", i);
     t.p[ui - 1] = t.p[ui] * t.r[ui];
     downlinks = K / 2;
   }
@@ -69,6 +72,11 @@ TreeParams generate_tree(int n, int k, const FaultToleranceVector& ftv) {
     t.m[ui] = t.S / t.p[ui];
   }
 
+  // Listing 1's derivation must agree with the FTV it started from.
+  ASPEN_ASSERT(t.ftv() == ftv, "generated tree's FTV ", t.ftv().to_string(),
+               " differs from the requested ", ftv.to_string());
+  ASPEN_ASSERT(t.dcc() == ftv.dcc(),
+               "tree DCC disagrees with the FTV's DCC");
   t.validate();
   return t;
 }

@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "src/aspen/generator.h"
+#include "src/util/contracts.h"
 #include "src/util/status.h"
 
 namespace aspen {
@@ -25,6 +26,9 @@ FaultToleranceVector recommend_ftv_placement(int n, int budget, int ft) {
     entries[start] = ft;
     start += seg_len;
   }
+  ASPEN_ASSERT(static_cast<std::size_t>(std::ranges::count_if(
+                   entries, [](int e) { return e != 0; })) == b,
+               "placement must spend exactly the budget");
   return FaultToleranceVector(std::move(entries));
 }
 

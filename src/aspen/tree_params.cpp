@@ -3,6 +3,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "src/util/contracts.h"
 #include "src/util/status.h"
 
 namespace aspen {
@@ -39,6 +40,8 @@ FaultToleranceVector TreeParams::ftv() const {
   std::vector<int> entries;
   entries.reserve(static_cast<std::size_t>(n - 1));
   for (Level i = n; i >= 2; --i) {
+    ASPEN_ASSERT(c[static_cast<std::size_t>(i)] >= 1,
+                 "c_i must be positive to express a fault tolerance");
     entries.push_back(static_cast<int>(c[static_cast<std::size_t>(i)]) - 1);
   }
   return FaultToleranceVector(std::move(entries));

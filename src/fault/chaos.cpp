@@ -4,8 +4,11 @@
 #include <array>
 #include <vector>
 
+#include "src/routing/audit.h"
 #include "src/routing/packet_walk.h"
 #include "src/routing/reachability.h"
+#include "src/topo/audit.h"
+#include "src/util/contracts.h"
 #include "src/util/rng.h"
 #include "src/util/status.h"
 
@@ -60,6 +63,19 @@ void check_consistency(const Topology& topo, const ProtocolSimulation& proto,
   }
 }
 
+/// Folds one auditor pass into the outcome, retaining the first few
+/// violation messages for the caller's diagnostics.
+void record_audit(ChaosOutcome& outcome, const AuditReport& report) {
+  constexpr std::size_t kMaxRetainedMessages = 8;
+  ++outcome.audit_checks;
+  outcome.audit_violations += report.findings.size();
+  for (const AuditFinding& f : report.findings) {
+    if (outcome.audit_messages.size() >= kMaxRetainedMessages) break;
+    outcome.audit_messages.push_back(std::string(to_cstring(f.code)) + ": " +
+                                     f.message);
+  }
+}
+
 }  // namespace
 
 ChaosOutcome run_chaos_campaign(ProtocolKind kind, const Topology& topo,
@@ -80,6 +96,40 @@ ChaosOutcome run_chaos_campaign(ProtocolKind kind, const Topology& topo,
   // `down_links` either way.
   std::vector<LinkId> down_links;
   std::vector<SwitchId> crashed;
+
+  const bool paranoid =
+      contracts::effective_audit_level(options.delays.audit_level) >=
+      contracts::AuditLevel::kParanoid;
+  if (paranoid) {
+    record_audit(outcome, topo::audit_tree(topo));
+  }
+  // One auditor pass over the forwarding state and protocol bookkeeping.
+  // Checks that only hold in settled states — table walks, dead-next-hop
+  // scans, the protocols' withdrawal/custody self-audits — are gated: a
+  // crashed switch legitimately strands custody links its revived peer
+  // still points at, abandoned conversations (gave_up) and stale LSP
+  // switches legitimately leave tables behind the physical truth, and an
+  // unquiesced run still has detections queued.
+  const auto run_audits = [&](bool unwound) {
+    if (!paranoid) return;
+    AuditReport report;
+    const bool settled = crashed.empty() && outcome.gave_up == 0 &&
+                         outcome.stale_switches == 0 && outcome.all_quiesced;
+    std::vector<char> alive(topo.num_switches(), 1);
+    for (std::uint32_t s = 0; s < topo.num_switches(); ++s) {
+      alive[s] = proto->is_alive(SwitchId{s}) ? 1 : 0;
+    }
+    routing::TableAuditOptions table_options;
+    table_options.check_walks = settled;
+    table_options.check_dead_next_hops = settled;
+    table_options.expect_full_reachability =
+        unwound && outcome.tables_restored;
+    table_options.alive = &alive;
+    report.merge(routing::audit_tables(topo, proto->tables(),
+                                       proto->overlay(), table_options));
+    if (outcome.all_quiesced) report.merge(proto->audit());
+    record_audit(outcome, report);
+  };
 
   const auto up_candidates = [&] {
     std::vector<LinkId> up;
@@ -167,12 +217,14 @@ ChaosOutcome run_chaos_campaign(ProtocolKind kind, const Topology& topo,
     if (options.check_every > 0 && (action + 1) % options.check_every == 0) {
       check_consistency(topo, *proto, options.granularity,
                         options.check_flows, flow_rng, outcome);
+      run_audits(/*unwound=*/false);
     }
   }
 
   // One last degraded-state check before unwinding.
   check_consistency(topo, *proto, options.granularity, options.check_flows,
                     flow_rng, outcome);
+  run_audits(/*unwound=*/false);
 
   // ---- Unwind: revive every switch, then raise every campaign link.
   // Order is deliberately arbitrary relative to the failure order —
@@ -191,6 +243,7 @@ ChaosOutcome run_chaos_campaign(ProtocolKind kind, const Topology& topo,
 
   outcome.tables_restored =
       switches_with_changed_tables(initial, proto->tables()) == 0;
+  run_audits(/*unwound=*/true);
   return outcome;
 }
 

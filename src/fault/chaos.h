@@ -22,6 +22,8 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "src/proto/experiment.h"
 #include "src/proto/protocol.h"
@@ -86,6 +88,18 @@ struct ChaosOutcome {
   std::uint64_t protocol_shortfall = 0;
   /// Invariant (b): tables byte-identical to pre-campaign after unwind.
   bool tables_restored = false;
+
+  // ---- Invariant audits (paranoid mode only) --------------------------
+  // Run when contracts::effective_audit_level(delays.audit_level) reaches
+  // kParanoid: the topology is audited once up front, forwarding state and
+  // protocol bookkeeping at every consistency-check cadence, and the whole
+  // stack again after the unwind.  Expensive checks that only hold in
+  // settled states (table walks, dead-next-hop scans) are gated on the
+  // campaign being crash-free, fully quiesced, and loss-clean so far.
+  std::uint64_t audit_checks = 0;      ///< auditor passes executed
+  std::uint64_t audit_violations = 0;  ///< findings across every pass
+  /// First few violations, as "<code>: <message>" lines.
+  std::vector<std::string> audit_messages;
 };
 
 /// Runs one seeded campaign of `options.num_events` actions plus a full

@@ -4,6 +4,7 @@
 
 #include "src/routing/packet_walk.h"
 #include "src/routing/updown.h"
+#include "src/util/contracts.h"
 #include "src/util/status.h"
 
 namespace aspen {
@@ -49,6 +50,8 @@ std::vector<LinkId> random_inter_switch_links(const Topology& topo,
   }
   ASPEN_REQUIRE(count <= pool.size(), "asked for ", count, " links, only ",
                 pool.size(), " inter-switch links exist");
+  ASPEN_ASSERT(pool.size() == topo.params().inter_switch_links(),
+               "link pool misses inter-switch links");
   rng.shuffle(pool);
   pool.resize(count);
   std::ranges::sort(pool);
@@ -80,6 +83,8 @@ std::vector<LinkId> far_apart_pair(const Topology& topo, Level level,
       if (cand != first) preferred.push_back(cand);
     }
   }
+  ASPEN_ASSERT(!preferred.empty(),
+               "a level with two links always yields a candidate pair");
   const LinkId second = preferred[rng.index(preferred.size())];
   std::vector<LinkId> pair{first, second};
   std::ranges::sort(pair);

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "src/util/contracts.h"
 #include "src/util/status.h"
 
 namespace aspen {
@@ -47,6 +48,8 @@ HostLabel label_of(const Topology& topo, HostId host) {
   // d_0: the host's ordinal on its edge switch.
   label.digits.push_back(
       static_cast<std::uint32_t>(host.value() % half_k));
+  ASPEN_ASSERT(label.digits.size() == static_cast<std::size_t>(params.n),
+               "a §5.3 label has exactly n digits");
   return label;
 }
 
@@ -99,6 +102,8 @@ std::vector<CompactTable> build_compact_tables(const Topology& topo) {
         const SwitchId below = topo.switch_of(nb.node);
         const std::uint64_t child_pod = topo.pod_of(below).value();
         const std::uint64_t ordinal = child_pod - my_pod * r;
+        ASPEN_ASSERT(ordinal < r, "child pod ", child_pod,
+                     " is not nested under pod ", my_pod, " (Eq. 3)");
         table.child_pod_ports[ordinal].push_back(nb);
       }
     }

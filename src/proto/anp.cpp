@@ -1,8 +1,12 @@
 #include "src/proto/anp.h"
 
 #include <algorithm>
+#include <sstream>
 #include <utility>
 
+#include "src/proto/audit.h"
+#include "src/sim/audit.h"
+#include "src/util/contracts.h"
 #include "src/util/status.h"
 
 namespace aspen {
@@ -54,6 +58,7 @@ void AnpSimulation::mark_informed(RunContext& ctx, SwitchId s) {
 
 void AnpSimulation::mark_reaction(RunContext& ctx, SwitchId s, SimTime when,
                                   int hops) {
+  ASPEN_ASSERT(alive_[s.value()], "a crashed switch cannot react");
   if (!ctx.reacted[s.value()]) {
     ctx.reacted[s.value()] = 1;
     ++ctx.report.switches_reacted;
@@ -68,6 +73,7 @@ void AnpSimulation::transmit_notification(RunContext& ctx, SwitchId from,
                                           bool lost, int hops) {
   if (!overlay_.is_up(nb.link)) return;
   if (!topo_->is_switch_node(nb.node)) return;  // hosts are mute
+  ASPEN_ASSERT(!dests.empty(), "notifications always carry destinations");
   const SwitchId peer = topo_->switch_of(nb.node);
   ++ctx.report.messages_sent;
   auto deliver = [this, &ctx, peer, from, dests, lost, hops] {
@@ -115,6 +121,11 @@ void AnpSimulation::send_notification(RunContext& ctx, SwitchId from,
 
 void AnpSimulation::send_resync(RunContext& ctx, SwitchId from,
                                 const Topology::Neighbor& peer) {
+  // A resync must only travel along directions notifications flow; planting
+  // withdrawal state the peer can never retract would wedge its table.
+  contracts::enforce(
+      proto::audit_resync_direction(*this, from, topo_->switch_of(peer.node)),
+      "anp send_resync");
   // Which destinations does `from` currently consider lost?  The peer uses
   // the complement to restore withdrawal-log entries whose loss notices
   // were since retracted — retractions it may have missed while this
@@ -176,6 +187,8 @@ void AnpSimulation::handle_notification(RunContext& ctx, SwitchId at,
       for (const Topology::Neighbor& nb : log_it->second) {
         insert_sorted(entry.next_hops, nb);
       }
+      ASPEN_ASSERT(!entry.next_hops.empty(),
+                   "replaying a withdrawal log restores at least one hop");
       nb_it->second.erase(log_it);
       changed = true;
       if (was_empty && st.announced_lost[e]) {
@@ -212,6 +225,8 @@ void AnpSimulation::detect_failure(RunContext& ctx, SwitchId s, LinkId link) {
       lost.push_back(e);
     }
   }
+  ASPEN_ASSERT(changed || lost.empty(),
+               "cannot announce losses without removing hops");
   if (changed) mark_reaction(ctx, s, ctx.sim.now(), 0);
   send_notification(ctx, s, NodeId::invalid(), std::move(lost),
                     /*lost=*/true, /*hops=*/1);
@@ -362,6 +377,10 @@ void AnpSimulation::apply_fault(RunContext& ctx, const TimedFault& ev) {
         overlay_.recover(link);
         schedule_detections(ctx, link, /*failure=*/false);
       }
+      // Custody transfers move links to *other* crashed switches only; the
+      // revived switch must end the event owing nothing.
+      ASPEN_ASSERT(crash_links_.find(ev.sw.value()) == crash_links_.end(),
+                   "revived switch ", ev.sw.value(), " retains custody");
       return;
     }
   }
@@ -414,6 +433,37 @@ FailureReport AnpSimulation::simulate_timed_events(
   return finish(ctx);
 }
 
+AuditReport AnpSimulation::audit() const {
+  AuditReport report;
+  for (std::uint32_t v = 0; v < topo_->num_switches(); ++v) {
+    const SwitchId s{v};
+    const SwitchState& st = state_[v];
+    // Recovery detection replays and erases the per-link log, so a log
+    // keyed by a live link means a replay never happened.
+    for (const auto& [link_raw, log] : st.removed_by_link) {
+      if (overlay_.is_up(LinkId{link_raw})) {
+        std::ostringstream os;
+        os << to_string(s) << " logs " << log.size()
+           << " withdrawal(s) against " << to_string(LinkId{link_raw})
+           << " which is up";
+        report.add(AuditCode::kWithdrawalLogStale, os.str());
+      }
+    }
+    for (DestIndex e = 0; e < tables_.num_dests(); ++e) {
+      if (st.announced_lost[e] != 0 &&
+          !tables_.table(s).entry(e).next_hops.empty()) {
+        std::ostringstream os;
+        os << to_string(s) << " announced dest " << e
+           << " lost but still holds "
+           << tables_.table(s).entry(e).next_hops.size() << " next hop(s)";
+        report.add(AuditCode::kAnnouncedLostMismatch, os.str());
+      }
+    }
+  }
+  report.merge(proto::audit_custody(*topo_, overlay_, alive_, crash_links_));
+  return report;
+}
+
 FailureReport AnpSimulation::finish(RunContext& ctx) {
   const RunResult run = ctx.sim.run_bounded(delays_.max_run_events);
   ctx.report.events = run.events;
@@ -422,6 +472,8 @@ FailureReport AnpSimulation::finish(RunContext& ctx) {
                                            FailureReport::kNoChange);
   for (std::uint32_t s = 0; s < topo_->num_switches(); ++s) {
     if (ctx.reacted[s]) {
+      ASPEN_ASSERT(ctx.informed[s],
+                   "a reacting switch must first have been informed");
       ctx.report.table_change_completed[s] = ctx.react_time[s];
     }
   }
@@ -441,6 +493,21 @@ FailureReport AnpSimulation::finish(RunContext& ctx) {
     ctx.report.acks_sent = tr.acks_sent;
     ctx.report.duplicates_dropped = tr.duplicates_dropped;
     ctx.report.gave_up = tr.gave_up;
+  }
+  if (contracts::effective_audit_level(delays_.audit_level) >=
+      contracts::AuditLevel::kParanoid) {
+    AuditReport self_audit = proto::audit_channel(ch);
+    if (ctx.transport) {
+      self_audit.merge(proto::audit_transport(ctx.transport->stats(),
+                                              delays_.retransmit.max_retries));
+      if (run.completed) {
+        self_audit.merge(proto::audit_transport_quiescence(*ctx.transport));
+      }
+    }
+    self_audit.merge(sim::audit_queue(ctx.sim));
+    // State invariants assume no detection is still queued.
+    if (run.completed) self_audit.merge(audit());
+    contracts::enforce(self_audit, "anp self-audit");
   }
   return ctx.report;
 }

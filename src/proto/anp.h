@@ -66,6 +66,10 @@
 
 namespace aspen {
 
+namespace proto {
+struct AnpAuditPeer;  // test-only corruption hooks, src/proto/audit.h
+}
+
 struct AnpOptions {
   /// Also send loss/recovery notices downward when a switch's entry for a
   /// destination empties (extension; see header comment).
@@ -117,7 +121,13 @@ class AnpSimulation final : public ProtocolSimulation {
   }
   [[nodiscard]] const AnpOptions& options() const { return options_; }
 
+  /// Withdrawal-log, announced-lost and crash-custody invariants (see
+  /// src/proto/audit.h).  Valid at quiescent phase boundaries.
+  [[nodiscard]] AuditReport audit() const override;
+
  private:
+  friend struct proto::AnpAuditPeer;
+
   using DestIndex = std::uint64_t;
 
   /// Per-switch protocol state.

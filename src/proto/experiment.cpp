@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "src/routing/packet_walk.h"
+#include "src/util/contracts.h"
 #include "src/util/rng.h"
 #include "src/util/status.h"
 
@@ -74,12 +75,16 @@ SweepResult sweep_link_failures(ProtocolKind kind, const Topology& topo,
 
   SweepResult sweep;
   for (const LinkId link : candidates) {
+    ASPEN_ASSERT(proto->overlay().is_up(link),
+                 "sweep candidates must be live before each failure");
     const SingleFailureResult one = run_single_failure(*proto, link, options);
     sweep.convergence_ms.add(one.failure.convergence_time_ms);
     sweep.reacted.add(static_cast<double>(one.failure.switches_reacted));
     sweep.informed.add(static_cast<double>(one.failure.switches_informed));
     sweep.messages.add(static_cast<double>(one.failure.messages_sent));
     sweep.hops.add(static_cast<double>(one.failure.max_update_hops));
+    ASPEN_ASSERT(one.failure.switches_reacted <= one.failure.switches_informed,
+                 "reaction without information");
     ++sweep.failures;
     if (one.post_failure_delivery &&
         one.post_failure_delivery->undelivered() == 0) {

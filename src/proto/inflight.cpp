@@ -1,6 +1,7 @@
 #include "src/proto/inflight.h"
 
 #include "src/proto/experiment.h"
+#include "src/util/contracts.h"
 #include "src/util/status.h"
 
 namespace aspen {
@@ -62,6 +63,8 @@ WalkResult walk_during_convergence(const Topology& topo,
       return result;
     }
 
+    ASPEN_ASSERT(now >= inject_ms,
+                 "in-flight clock ran backwards during a walk");
     // The racing lookup: old entry before this switch's change completes.
     const SimTime flipped_at = report.table_change_completed[at.value()];
     const bool updated =
@@ -128,6 +131,7 @@ std::vector<WindowSample> measure_vulnerability_window(
     WindowSample sample;
     sample.inject_ms = t;
     for (const Flow& flow : flows) {
+      ASPEN_ASSERT(flow.src != flow.dst, "window flows must cross the fabric");
       ++sample.flows;
       const WalkResult walk =
           walk_during_convergence(topo, before, after, report, actual,

@@ -1,13 +1,17 @@
 #include "src/proto/lsp.h"
 
 #include <algorithm>
+#include <array>
 #include <cstddef>
 #include <functional>
 #include <optional>
 #include <utility>
 #include <vector>
 
+#include "src/proto/audit.h"
+#include "src/sim/audit.h"
 #include "src/sim/channel.h"
+#include "src/util/contracts.h"
 #include "src/util/status.h"
 
 namespace aspen {
@@ -56,6 +60,13 @@ FaultEffect apply_fault_state(
         break;
       }
       if (owed) break;
+      ASPEN_ASSERT(std::ranges::all_of(
+                       std::array{rec.upper, rec.lower},
+                       [&](NodeId n) {
+                         return !topo.is_switch_node(n) ||
+                                alive[topo.switch_of(n).value()];
+                       }),
+                   "recovering a link with a crashed endpoint");
       overlay.recover(ev.link);
       effect.recovered.push_back(ev.link);
       break;
@@ -246,6 +257,8 @@ FailureReport LspSimulation::simulate_timed_events(
 
   const auto install = [&](SwitchId at, std::size_t slot, std::size_t rec,
                            int hops) {
+    ASPEN_ASSERT(slot < num_slots, "LSA slot out of range");
+    ASPEN_ASSERT(alive_[at.value()], "a crashed switch cannot install LSAs");
     seen[at.value()][slot] = 1;
     if (!record_heard[at.value()][rec]) {
       record_heard[at.value()][rec] = 1;
@@ -352,6 +365,8 @@ FailureReport LspSimulation::simulate_timed_events(
   for (std::uint32_t s = 0; s < topo.num_switches(); ++s) {
     if (!changes[s]) continue;
     if (table_change_time[s] >= 0.0) {
+      ASPEN_ASSERT(records_heard[s] == required,
+                   "switch flipped tables before hearing every record");
       tables_.tables[s] = after.tables[s];
       report.table_change_completed[s] = table_change_time[s];
       ++report.switches_reacted;
@@ -378,7 +393,25 @@ FailureReport LspSimulation::simulate_timed_events(
     report.duplicates_dropped = tr.duplicates_dropped;
     report.gave_up = tr.gave_up;
   }
+  if (contracts::effective_audit_level(delays_.audit_level) >=
+      contracts::AuditLevel::kParanoid) {
+    AuditReport self_audit = proto::audit_channel(ch);
+    if (transport) {
+      self_audit.merge(proto::audit_transport(transport->stats(),
+                                              delays_.retransmit.max_retries));
+      if (run.completed) {
+        self_audit.merge(proto::audit_transport_quiescence(*transport));
+      }
+    }
+    self_audit.merge(sim::audit_queue(sim));
+    self_audit.merge(audit());
+    contracts::enforce(self_audit, "lsp self-audit");
+  }
   return report;
+}
+
+AuditReport LspSimulation::audit() const {
+  return proto::audit_custody(*topo_, overlay_, alive_, crash_links_);
 }
 
 }  // namespace aspen

@@ -46,6 +46,10 @@
 
 namespace aspen {
 
+namespace proto {
+struct LspAuditPeer;  // test-only corruption hooks, src/proto/audit.h
+}
+
 class LspSimulation final : public ProtocolSimulation {
  public:
   explicit LspSimulation(const Topology& topo, DelayModel delays = {},
@@ -79,7 +83,12 @@ class LspSimulation final : public ProtocolSimulation {
     return alive_.at(s.value()) != 0;
   }
 
+  /// Crash-custody invariants (see src/proto/audit.h).
+  [[nodiscard]] AuditReport audit() const override;
+
  private:
+  friend struct proto::LspAuditPeer;
+
   const Topology* topo_;
   DelayModel delays_;
   DestGranularity granularity_;

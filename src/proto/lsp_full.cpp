@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/util/contracts.h"
 #include "src/util/status.h"
 
 namespace aspen {
@@ -66,6 +67,7 @@ void LspLsdbSimulation::install_and_flood(RunContext& ctx, SwitchId at,
   SwitchState& st = state_[at.value()];
   const auto it = st.highest_seq.find(lsa.origin);
   if (it != st.highest_seq.end() && it->second >= lsa.seq) return;  // stale
+  ASPEN_ASSERT(lsa.seq >= 1, "LSA sequence numbers start at 1");
   st.highest_seq[lsa.origin] = lsa.seq;
   if (!ctx.informed[at.value()]) {
     ctx.informed[at.value()] = 1;
@@ -127,6 +129,7 @@ FailureReport LspLsdbSimulation::simulate_link_event(LinkId link, bool up) {
                                            FailureReport::kNoChange);
   for (std::uint32_t s = 0; s < topo_->num_switches(); ++s) {
     if (!ctx.reacted[s]) continue;
+    ASPEN_ASSERT(ctx.informed[s], "a reacting switch was never informed");
     ctx.report.table_change_completed[s] = ctx.react_time[s];
     ctx.report.convergence_time_ms =
         std::max(ctx.report.convergence_time_ms, ctx.react_time[s]);

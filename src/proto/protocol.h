@@ -8,6 +8,7 @@
 #include "src/routing/fwd_table.h"
 #include "src/topo/link_state.h"
 #include "src/topo/topology.h"
+#include "src/util/contracts.h"
 
 namespace aspen {
 
@@ -84,6 +85,12 @@ class ProtocolSimulation {
     (void)s;
     return true;
   }
+
+  /// Audits the protocol's internal bookkeeping invariants (withdrawal
+  /// logs, custody state — see src/proto/audit.h).  Valid at quiescent
+  /// phase boundaries; an empty report means every invariant held.  The
+  /// default has no state to audit.
+  [[nodiscard]] virtual AuditReport audit() const { return {}; }
 
   [[nodiscard]] virtual const RoutingState& tables() const = 0;
   [[nodiscard]] virtual const LinkStateOverlay& overlay() const = 0;

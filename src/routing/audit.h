@@ -1,0 +1,57 @@
+// Forwarding-state invariant auditor (§3, §6).
+//
+// audit_tables() checks everything the routing layer promises the rest of
+// the stack about a RoutingState:
+//
+//   * shape — one table per switch, one entry per destination, consistent
+//     hosts_per_edge (kTableShape);
+//   * entry coherence — an unreachable cost never carries next hops
+//     (kCostInconsistency), and every next hop's link actually joins this
+//     switch to the named neighbor (kNextHopLink);
+//   * liveness — no next hop rides a failed link (kDeadNextHop).  Only
+//     meaningful when the tables are *supposed* to reflect `overlay`; after
+//     crashes or lost notifications a stale-but-internally-consistent table
+//     is expected, so callers gate this (see ChaosOptions handling);
+//   * walk safety — following any chain of table entries toward any
+//     destination never climbs after descending (kUpAfterDown, the up*/down*
+//     rule of §3/§6) and never revisits a switch (kRoutingLoop).  Because
+//     every Aspen link joins adjacent levels, loop-freedom is in fact
+//     implied by the up-after-down check; auditing both keeps the oracle
+//     valid for corrupted tables that break the level discipline too;
+//   * completeness — under `expect_full_reachability`, every live switch
+//     has a route to every destination (kDefaultRouteGap).
+//
+// The expensive walk checks memoize over (switch, has-descended) states, so
+// one audit costs O(switches · dests), not O(paths).
+#pragma once
+
+#include <vector>
+
+#include "src/routing/fwd_table.h"
+#include "src/topo/link_state.h"
+#include "src/topo/topology.h"
+#include "src/util/contracts.h"
+
+namespace aspen::routing {
+
+struct TableAuditOptions {
+  /// Run the memoized table walks (kUpAfterDown / kRoutingLoop).
+  bool check_walks = true;
+  /// Flag next hops over links that are down in the overlay.  Gate this
+  /// off when auditing deliberately-stale tables (crashed switches, lost
+  /// notifications).
+  bool check_dead_next_hops = true;
+  /// Require every live switch to reach every destination
+  /// (kDefaultRouteGap).  Only sensible on an intact fabric.
+  bool expect_full_reachability = false;
+  /// Per-switch liveness (indexed by SwitchId); crashed switches' tables
+  /// are skipped entirely.  nullptr means all switches are live.
+  const std::vector<char>* alive = nullptr;
+};
+
+[[nodiscard]] AuditReport audit_tables(const Topology& topo,
+                                       const RoutingState& state,
+                                       const LinkStateOverlay& overlay,
+                                       const TableAuditOptions& options = {});
+
+}  // namespace aspen::routing

@@ -1,5 +1,6 @@
 #include "src/routing/packet_walk.h"
 
+#include "src/util/contracts.h"
 #include "src/util/status.h"
 
 namespace aspen {
@@ -31,6 +32,11 @@ StructuralRouter::StructuralRouter(const Topology& topo) : topo_(&topo) {
     const auto ui = static_cast<std::size_t>(i);
     edges_per_pod_[ui] = edges_per_pod_[ui - 1] * params.r[ui];
   }
+  // With p_n = 1 (Eq. 3), the top-level pod spans every edge switch.
+  ASPEN_ASSERT(edges_per_pod_[static_cast<std::size_t>(params.n)] == params.S,
+               "top pod spans ",
+               edges_per_pod_[static_cast<std::size_t>(params.n)],
+               " edges, expected ", params.S);
 }
 
 std::vector<Topology::Neighbor> StructuralRouter::next_hops(
@@ -64,6 +70,9 @@ std::vector<Topology::Neighbor> StructuralRouter::next_hops(
     const SwitchId below = topo.switch_of(nb.node);
     if (topo.pod_of(below).value() == target_child_pod) hops.push_back(nb);
   }
+  // Striping regularity (Eq. 2): c_i >= 1 links reach every child pod.
+  ASPEN_ASSERT(!hops.empty(), "no structural link into child pod ",
+               target_child_pod, " from switch ", at.value());
   return hops;
 }
 
@@ -97,6 +106,9 @@ WalkResult walk_packet(const Topology& topo, const Router& knowledge,
       }
       result.path.push_back(topo.node_of(dst));
       ++result.hops;
+      ASPEN_ASSERT(result.path.size() ==
+                       static_cast<std::size_t>(result.hops) + 1,
+                   "walk path length disagrees with hop count");
       result.status = WalkStatus::kDelivered;
       return result;
     }

@@ -3,6 +3,7 @@
 #include <functional>
 #include <unordered_map>
 
+#include "src/util/contracts.h"
 #include "src/util/status.h"
 
 namespace aspen {
@@ -60,6 +61,8 @@ std::vector<std::vector<NodeId>> enumerate_shortest_paths(
     current.push_back(topo.node_of(at));
     if (at == dest_edge) {
       current.push_back(topo.node_of(dst));
+      ASPEN_ASSERT(current.size() >= 3,
+                   "a host-to-host path has at least src, edge, dst");
       paths.push_back(current);
       current.pop_back();
     } else {

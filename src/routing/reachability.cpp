@@ -2,6 +2,7 @@
 
 #include <unordered_set>
 
+#include "src/util/contracts.h"
 #include "src/util/status.h"
 
 namespace aspen {
@@ -31,6 +32,10 @@ class StatsAccumulator {
   }
 
   [[nodiscard]] ReachabilityStats finish() {
+    ASPEN_ASSERT(stats_.delivered + stats_.dropped + stats_.no_route +
+                         stats_.looped ==
+                     stats_.flows,
+                 "per-status counts must partition the walked flows");
     stats_.affected_destinations = affected_.size();
     stats_.average_hops =
         stats_.delivered == 0

@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "src/util/contracts.h"
 #include "src/util/status.h"
 
 namespace aspen {
@@ -75,6 +76,9 @@ void route_one_destination(const Topology& topo,
           if (!topo.is_switch_node(nb.node)) continue;
           if (down_reach[nb.node.value()]) entry.next_hops.push_back(nb);
         }
+        // Down-reachability above L1 came from some live downward edge.
+        ASPEN_ASSERT(!entry.next_hops.empty(),
+                     "down-reachable switch has no live downward hop");
         entry.cost = best[s.value()];
         continue;
       }
@@ -91,6 +95,8 @@ void route_one_destination(const Topology& topo,
         if (!overlay.is_up(nb.link)) continue;
         if (best[nb.node.value()] == min_parent) entry.next_hops.push_back(nb);
       }
+      ASPEN_ASSERT(!entry.next_hops.empty(),
+                   "a finite parent cost implies at least one ECMP uplink");
       entry.cost = best[s.value()];
     }
   }
@@ -115,6 +121,7 @@ RoutingState compute_updown_routes(const Topology& topo,
     } else {
       const HostId host{static_cast<std::uint32_t>(dest)};
       const Topology::Neighbor uplink = topo.host_uplink(host);
+      ASPEN_ASSERT(uplink.link.valid(), "every host has a wired uplink");
       // The host's entry is keyed on the *downlink* direction: the same
       // physical link, seen from the edge switch.
       const Topology::Neighbor downlink{topo.node_of(host), uplink.link};

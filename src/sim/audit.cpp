@@ -1,0 +1,42 @@
+#include "src/sim/audit.h"
+
+#include <sstream>
+
+namespace aspen::sim {
+
+AuditReport audit_queue(const Simulator& simulator) {
+  AuditReport report;
+  if (!simulator.queue_.empty() &&
+      simulator.queue_.top().time < simulator.now_) {
+    std::ostringstream os;
+    os << "earliest pending event at t=" << simulator.queue_.top().time
+       << " precedes the clock at t=" << simulator.now_;
+    report.add(AuditCode::kTimeMonotonicity, os.str());
+  }
+  const std::uint64_t accounted =
+      simulator.events_processed_ + simulator.queue_.size();
+  if (simulator.next_seq_ != accounted) {
+    std::ostringstream os;
+    os << "issued " << simulator.next_seq_ << " event sequence numbers but "
+       << simulator.events_processed_ << " processed + "
+       << simulator.queue_.size() << " pending = " << accounted;
+    report.add(AuditCode::kQueueAccounting, os.str());
+  }
+  return report;
+}
+
+void SimAuditPeer::push_unchecked(Simulator& simulator, SimTime when) {
+  simulator.queue_.push(
+      Simulator::Event{when, simulator.next_seq_++, [] {}});
+}
+
+void SimAuditPeer::set_now(Simulator& simulator, SimTime now) {
+  simulator.now_ = now;
+}
+
+void SimAuditPeer::set_events_processed(Simulator& simulator,
+                                        std::uint64_t n) {
+  simulator.events_processed_ = n;
+}
+
+}  // namespace aspen::sim

@@ -1,0 +1,34 @@
+// Event-queue invariant auditor for the discrete-event core.
+//
+// audit_queue() checks the two promises the simulator makes to every
+// protocol built on it:
+//
+//   * time monotonicity — no queued event precedes the clock; the earliest
+//     pending event (the heap top) is at or after now() (kTimeMonotonicity);
+//   * queue accounting — every sequence number ever issued is either an
+//     event already processed or one still pending, so
+//     next_seq == events_processed + pending (kQueueAccounting).
+//
+// SimAuditPeer exists solely so tests can corrupt the private queue state
+// (schedule_at() rejects past times at the API boundary) and prove the
+// auditor catches what the guards cannot.
+#pragma once
+
+#include "src/sim/simulator.h"
+#include "src/util/contracts.h"
+
+namespace aspen::sim {
+
+[[nodiscard]] AuditReport audit_queue(const Simulator& simulator);
+
+/// Test-only corruption hooks; never used by production code.
+struct SimAuditPeer {
+  /// Enqueues an event at `when` without the schedule_at() past-time guard.
+  static void push_unchecked(Simulator& simulator, SimTime when);
+  /// Rewrites the clock without draining the queue.
+  static void set_now(Simulator& simulator, SimTime now);
+  /// Rewrites the processed-event counter.
+  static void set_events_processed(Simulator& simulator, std::uint64_t n);
+};
+
+}  // namespace aspen::sim

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <utility>
 
+#include "src/util/contracts.h"
 #include "src/util/status.h"
 
 namespace aspen {
@@ -35,6 +36,11 @@ int ChannelModel::transmit(Simulator& sim, SimTime base_delay,
       sim.schedule(base_delay + jitter, deliver);
     }
   }
+  // Conservation (audited later): every attempt lands in delivered or
+  // dropped, with duplication adding one extra delivered copy.
+  ASPEN_ASSERT(stats_.delivered + stats_.dropped ==
+                   stats_.attempted + stats_.duplicated,
+               "channel copy conservation violated");
   return copies;
 }
 
@@ -90,6 +96,8 @@ void ReliableTransport::arm_timer(std::uint64_t id) {
     if (p.attempts >= policy_.max_retries) {
       p.done = true;
       ++stats_.gave_up;
+      ASPEN_ASSERT(stats_.gave_up <= stats_.sends,
+                   "more abandoned conversations than sends");
       return;
     }
     ++p.attempts;

@@ -21,9 +21,16 @@ bool Simulator::step() {
   // Move the action out before popping so the event can schedule others.
   Event event = queue_.top();
   queue_.pop();
+  ASPEN_ASSERT(event.time >= now_,
+               "event queue yielded time ", event.time,
+               " behind the clock at ", now_);
   now_ = event.time;
   ++events_processed_;
   event.action();
+  // Sequence numbers are handed out once per push: the processed and the
+  // still-queued events always partition them (audited by sim::audit_queue).
+  ASPEN_ASSERT(next_seq_ == events_processed_ + queue_.size(),
+               "event sequence accounting diverged");
   return true;
 }
 
@@ -33,6 +40,8 @@ RunResult Simulator::run_bounded(std::uint64_t max_events) {
     ++result.events;
   }
   result.completed = queue_.empty();
+  ASPEN_ASSERT(result.completed || result.events == max_events,
+               "run stopped early with events still queued");
   return result;
 }
 

@@ -15,9 +15,18 @@
 #include <queue>
 #include <vector>
 
+#include "src/util/contracts.h"
 #include "src/util/status.h"
 
 namespace aspen {
+
+class Simulator;
+
+namespace sim {
+/// Declared here so Simulator can befriend it; see src/sim/audit.h.
+[[nodiscard]] AuditReport audit_queue(const Simulator& simulator);
+struct SimAuditPeer;
+}  // namespace sim
 
 /// Simulated time in milliseconds.
 using SimTime = double;
@@ -81,6 +90,12 @@ struct DelayModel {
   /// as "did not quiesce" (FailureReport::quiesced == false) instead of
   /// aborting the experiment.
   std::uint64_t max_run_events = 50'000'000;
+  /// How much runtime invariant auditing a simulation performs at phase
+  /// boundaries.  kParanoid makes protocols self-audit (transport/channel
+  /// accounting, custody state) at the end of every reaction; the
+  /// ASPEN_AUDIT_LEVEL environment variable can promote any run (see
+  /// contracts::effective_audit_level).
+  contracts::AuditLevel audit_level = contracts::AuditLevel::kBasic;
 
   /// Classic vendor-default OSPF pacing, for the §1 "re-convergence can be
   /// tens of seconds" experiments.
@@ -128,6 +143,9 @@ class Simulator {
   [[nodiscard]] bool idle() const { return queue_.empty(); }
 
  private:
+  friend AuditReport sim::audit_queue(const Simulator&);
+  friend struct sim::SimAuditPeer;
+
   struct Event {
     SimTime time;
     std::uint64_t seq;

@@ -1,0 +1,217 @@
+#include "src/topo/audit.h"
+
+#include <cstddef>
+#include <sstream>
+
+#include "src/topo/validate.h"
+
+namespace aspen::topo {
+
+namespace {
+
+void check_eq1(const TreeParams& params, AuditReport& report) {
+  for (Level i = 1; i <= params.n; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const std::uint64_t expected = (i == params.n) ? params.S / 2 : params.S;
+    const std::uint64_t actual = params.p[idx] * params.m[idx];
+    if (actual != expected) {
+      std::ostringstream os;
+      os << "Eq. 1 violated at L" << i << ": p_" << i << "*m_" << i << " = "
+         << params.p[idx] << "*" << params.m[idx] << " = " << actual
+         << ", expected " << expected << (i == params.n ? " (S/2)" : " (S)");
+      report.add(AuditCode::kEq1Conservation, os.str());
+    }
+  }
+}
+
+void check_eq2(const TreeParams& params, AuditReport& report) {
+  const auto k = static_cast<std::uint64_t>(params.k);
+  for (Level i = 2; i <= params.n; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const std::uint64_t expected = (i == params.n) ? k : k / 2;
+    const std::uint64_t actual = params.r[idx] * params.c[idx];
+    if (actual != expected) {
+      std::ostringstream os;
+      os << "Eq. 2 violated at L" << i << ": r_" << i << "*c_" << i << " = "
+         << params.r[idx] << "*" << params.c[idx] << " = " << actual
+         << ", expected " << expected << (i == params.n ? " (k)" : " (k/2)");
+      report.add(AuditCode::kEq2PortBudget, os.str());
+    }
+  }
+}
+
+void check_eq3(const TreeParams& params, AuditReport& report) {
+  if (params.p[static_cast<std::size_t>(params.n)] != 1) {
+    std::ostringstream os;
+    os << "Eq. 3 boundary violated: p_n = "
+       << params.p[static_cast<std::size_t>(params.n)] << ", expected 1";
+    report.add(AuditCode::kEq3PodNesting, os.str());
+  }
+  for (Level i = 2; i <= params.n; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const std::uint64_t expected = params.p[idx - 1];
+    const std::uint64_t actual = params.p[idx] * params.r[idx];
+    if (actual != expected) {
+      std::ostringstream os;
+      os << "Eq. 3 violated at L" << i << ": p_" << i << "*r_" << i << " = "
+         << params.p[idx] << "*" << params.r[idx] << " = " << actual
+         << ", expected p_" << (i - 1) << " = " << expected;
+      report.add(AuditCode::kEq3PodNesting, os.str());
+    }
+  }
+}
+
+void check_dcc(const TreeParams& params, AuditReport& report) {
+  // Eq. 6 (§5.2): hosts = k^n / (2^{n-1}·DCC), i.e. hosts·DCC·2^{n-1} = k^n.
+  // This ties S (through num_hosts) to the c vector, so a corrupted S or c
+  // breaks it even when each equation's local form still multiplies out.
+  const auto k = static_cast<std::uint64_t>(params.k);
+  std::uint64_t k_pow_n = 1;
+  for (int j = 0; j < params.n; ++j) k_pow_n *= k;
+  const std::uint64_t actual =
+      params.num_hosts() * params.dcc() * (1ULL << (params.n - 1));
+  if (actual != k_pow_n) {
+    std::ostringstream os;
+    os << "DCC inconsistency (Eq. 6): hosts*DCC*2^(n-1) = "
+       << params.num_hosts() << "*" << params.dcc() << "*"
+       << (1ULL << (params.n - 1)) << " = " << actual << ", expected k^n = "
+       << k_pow_n;
+    report.add(AuditCode::kDccConsistency, os.str());
+  }
+}
+
+std::string node_name(const Topology& topo, NodeId node) {
+  return topo.is_switch_node(node) ? to_string(topo.switch_of(node))
+                                   : to_string(topo.host_of(node));
+}
+
+void check_link_records(const Topology& topo, AuditReport& report) {
+  // Every link record must have `upper` one level above `lower`, with
+  // `upper_level` matching, and appear exactly once in each endpoint's
+  // adjacency list (down for the upper node, up for the lower).
+  std::vector<std::uint64_t> up_seen(topo.num_switches(), 0);
+  std::vector<std::uint64_t> down_seen(topo.num_switches(), 0);
+  std::vector<std::uint64_t> host_seen(topo.num_hosts(), 0);
+  for (std::uint64_t raw = 0; raw < topo.num_links(); ++raw) {
+    const LinkId id{static_cast<std::uint32_t>(raw)};
+    const Topology::LinkRec& rec = topo.link(id);
+    if (!topo.is_switch_node(rec.upper)) {
+      std::ostringstream os;
+      os << to_string(id) << ": upper endpoint " << node_name(topo, rec.upper)
+         << " is a host";
+      report.add(AuditCode::kLinkRecord, os.str());
+      continue;
+    }
+    const SwitchId upper = topo.switch_of(rec.upper);
+    const Level upper_level = topo.level_of(upper);
+    if (upper_level != rec.upper_level) {
+      std::ostringstream os;
+      os << to_string(id) << ": upper_level says " << rec.upper_level
+         << " but " << to_string(upper) << " sits at L" << upper_level;
+      report.add(AuditCode::kLinkRecord, os.str());
+    }
+    if (topo.is_switch_node(rec.lower)) {
+      const SwitchId lower = topo.switch_of(rec.lower);
+      const Level lower_level = topo.level_of(lower);
+      if (lower_level + 1 != upper_level) {
+        std::ostringstream os;
+        os << to_string(id) << ": endpoints " << to_string(upper) << " (L"
+           << upper_level << ") and " << to_string(lower) << " (L"
+           << lower_level << ") are not at adjacent levels";
+        report.add(AuditCode::kLinkRecord, os.str());
+      }
+      ++up_seen[lower.value()];
+    } else {
+      if (upper_level != 1) {
+        std::ostringstream os;
+        os << to_string(id) << ": host link hangs off L" << upper_level
+           << " switch " << to_string(upper) << ", expected L1";
+        report.add(AuditCode::kLinkRecord, os.str());
+      }
+      ++host_seen[topo.host_of(rec.lower).value()];
+    }
+    ++down_seen[upper.value()];
+  }
+  // Adjacency lists must agree with the per-endpoint tallies, and each
+  // adjacency entry must point back at a link record naming this node.
+  for (std::uint32_t v = 0; v < topo.num_switches(); ++v) {
+    const SwitchId s{v};
+    if (topo.up_neighbors(s).size() != up_seen[v] ||
+        topo.down_neighbors(s).size() != down_seen[v]) {
+      std::ostringstream os;
+      os << to_string(s) << ": adjacency lists record "
+         << topo.up_neighbors(s).size() << " up / "
+         << topo.down_neighbors(s).size() << " down entries but link table has "
+         << up_seen[v] << " / " << down_seen[v];
+      report.add(AuditCode::kLinkRecord, os.str());
+    }
+    for (const Topology::Neighbor& nb : topo.up_neighbors(s)) {
+      const Topology::LinkRec& rec = topo.link(nb.link);
+      if (rec.lower != topo.node_of(s) || rec.upper != nb.node) {
+        std::ostringstream os;
+        os << to_string(s) << ": up entry names " << node_name(topo, nb.node)
+           << " via " << to_string(nb.link)
+           << " but the link record disagrees";
+        report.add(AuditCode::kLinkRecord, os.str());
+      }
+    }
+    for (const Topology::Neighbor& nb : topo.down_neighbors(s)) {
+      const Topology::LinkRec& rec = topo.link(nb.link);
+      if (rec.upper != topo.node_of(s) || rec.lower != nb.node) {
+        std::ostringstream os;
+        os << to_string(s) << ": down entry names " << node_name(topo, nb.node)
+           << " via " << to_string(nb.link)
+           << " but the link record disagrees";
+        report.add(AuditCode::kLinkRecord, os.str());
+      }
+    }
+  }
+  for (std::uint32_t h = 0; h < topo.num_hosts(); ++h) {
+    const HostId host{h};
+    const Topology::Neighbor nb = topo.host_uplink(host);
+    const Topology::LinkRec& rec = topo.link(nb.link);
+    if (host_seen[h] != 1 || rec.lower != topo.node_of(host) ||
+        rec.upper != nb.node) {
+      std::ostringstream os;
+      os << to_string(host) << ": expected exactly one host link agreeing "
+         << "with host_uplink(), saw " << host_seen[h];
+      report.add(AuditCode::kLinkRecord, os.str());
+    }
+  }
+}
+
+}  // namespace
+
+AuditReport audit_params(const TreeParams& params) {
+  AuditReport report;
+  const auto n = static_cast<std::size_t>(params.n);
+  if (params.n < 2 || params.k < 2 || params.k % 2 != 0 || params.S == 0 ||
+      params.p.size() != n + 1 || params.m.size() != n + 1 ||
+      params.r.size() != n + 1 || params.c.size() != n + 1) {
+    std::ostringstream os;
+    os << "malformed TreeParams: n=" << params.n << " k=" << params.k
+       << " S=" << params.S << " |p|=" << params.p.size()
+       << " |m|=" << params.m.size() << " |r|=" << params.r.size()
+       << " |c|=" << params.c.size() << " (vectors must have n+1 entries)";
+    report.add(AuditCode::kEq1Conservation, os.str());
+    return report;  // the equation checks below would index out of range
+  }
+  check_eq1(params, report);
+  check_eq2(params, report);
+  check_eq3(params, report);
+  check_dcc(params, report);
+  return report;
+}
+
+AuditReport audit_tree(const Topology& topo) {
+  AuditReport report = audit_params(topo.params());
+  if (!report.ok()) return report;  // structure checks assume sane params
+  check_link_records(topo, report);
+  const ValidationReport validation = validate_topology(topo);
+  for (const AuditFinding& f : validation.findings) {
+    report.add(f.code, f.message);
+  }
+  return report;
+}
+
+}  // namespace aspen::topo

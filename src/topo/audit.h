@@ -1,0 +1,34 @@
+// Structural invariant auditor for Aspen trees (Eq. 1–3, §3–§5).
+//
+// Where validate_topology() asks "is this wiring a legal Aspen tree?",
+// audit_tree() asks the stronger question paranoid runs need: "is every
+// structural invariant the rest of the stack leans on still true of this
+// object?" — parameter conservation (Eq. 1–3), DCC consistency (§5.2),
+// link-record coherence (endpoints at adjacent levels, adjacency lists and
+// link table agreeing), plus everything validate_topology() checks.
+//
+// Auditors never throw; they return an AuditReport whose findings name the
+// violated invariant by AuditCode.  contracts::enforce() routes a failed
+// report through the active ViolationPolicy when a caller wants teeth.
+#pragma once
+
+#include "src/aspen/tree_params.h"
+#include "src/topo/topology.h"
+#include "src/util/contracts.h"
+
+namespace aspen::topo {
+
+/// Checks the paper's conservation equations on bare parameters:
+///   Eq. 1  p_i·m_i = S  (S/2 at L_n)
+///   Eq. 2  r_i·c_i = k/2  (k at L_n)
+///   Eq. 3  p_i·r_i = p_{i-1}  (p_n = 1)
+/// plus DCC = Π c_i (§5.2) and basic vector shape.
+[[nodiscard]] AuditReport audit_params(const TreeParams& params);
+
+/// Full structural audit of a built topology: audit_params() on its
+/// TreeParams, link-record coherence, host attachment, and every
+/// validate_topology() check (port budgets, striping regularity, §4
+/// coverage, §7 ANP striping).
+[[nodiscard]] AuditReport audit_tree(const Topology& topo);
+
+}  // namespace aspen::topo

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "src/util/contracts.h"
 #include "src/util/status.h"
 
 namespace aspen {
@@ -86,6 +87,8 @@ Topology build_custom_topology(const TreeParams& params,
   for (std::uint32_t h = 0; h < t.num_hosts_; ++h) {
     ASPEN_REQUIRE(host_wired[h], "host ", h, " is not wired");
   }
+  ASPEN_ASSERT(t.links_.size() == params.total_links(),
+               "imported link count diverged from the spec count");
   return t;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/util/contracts.h"
 #include "src/util/status.h"
 
 namespace aspen {
@@ -33,6 +34,12 @@ std::vector<SwitchId> walk(const Topology& topo, SwitchId s,
     std::ranges::sort(next);
     next.erase(std::unique(next.begin(), next.end()), next.end());
     frontier = std::move(next);
+    ASPEN_ASSERT(!frontier.empty(),
+                 "every switch reaches every level in a connected tree");
+  }
+  for ([[maybe_unused]] const SwitchId reached : frontier) {
+    ASPEN_ASSERT(topo.level_of(reached) == target_level,
+                 "walk frontier strayed off level ", target_level);
   }
   return frontier;
 }
@@ -94,6 +101,7 @@ Level apex_level(const Topology& topo, HostId a, HostId b) {
     pod_a /= r;
     pod_b /= r;
   }
+  ASPEN_ASSERT(level <= params.n, "apex above the top level");
   return level;
 }
 

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "src/util/contracts.h"
 #include "src/util/rng.h"
 #include "src/util/status.h"
 
@@ -82,6 +83,12 @@ std::uint64_t Striper::random_member(Level i, std::uint64_t parent_pod,
     }
   }
   rng.shuffle(deck);
+  // Eq. 2: the deck holds each child member exactly k/2 times, so every
+  // parent member's c_i-slot window is in bounds.
+  ASPEN_ASSERT(deck.size() == mi * ci, "random striping deck covers ",
+               deck.size(), " slots, expected ", mi * ci);
+  ASPEN_ASSERT(parent_member * ci + z < deck.size(),
+               "random striping slot out of range");
   return deck[parent_member * ci + z];
 }
 

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "src/util/contracts.h"
 #include "src/util/status.h"
 
 namespace aspen {
@@ -56,6 +57,10 @@ Topology Topology::build(const TreeParams& params,
     }
   }
 
+  ASPEN_ASSERT(t.links_.size() == t.num_hosts_,
+               "built ", t.links_.size(), " host links for ", t.num_hosts_,
+               " hosts");
+
   // Inter-switch links, level by level (L_2→L_1 upward).  Pods at L_{i-1}
   // partition among L_i pods: child pod id = parent_pod · r_i + ordinal.
   for (Level i = 2; i <= params.n; ++i) {
@@ -73,6 +78,8 @@ Topology Topology::build(const TreeParams& params,
           for (std::uint64_t z = 0; z < ci; ++z) {
             const std::uint64_t member =
                 striper.child_member(i, pod, b, a, z);
+            ASPEN_ASSERT(member < m_below, "striper picked member ", member,
+                         " in a pod of ", m_below, " switches");
             const SwitchId lower =
                 t.switch_at(i - 1, child_pod * m_below + member);
             const LinkId id = add_link(t.node_of(upper), t.node_of(lower), i);
@@ -143,7 +150,10 @@ std::uint64_t Topology::pods_at_level(Level level) const {
 PodId Topology::pod_of(SwitchId s) const {
   const Level level = level_of(s);
   const std::uint64_t m = params_.m[static_cast<std::size_t>(level)];
-  return PodId{static_cast<std::uint32_t>(index_in_level(s) / m)};
+  const auto pod = PodId{static_cast<std::uint32_t>(index_in_level(s) / m)};
+  ASPEN_ASSERT(pod.value() < pods_at_level(level), "switch ", s.value(),
+               " maps to pod ", pod.value(), " of ", pods_at_level(level));
+  return pod;
 }
 
 std::uint64_t Topology::member_index(SwitchId s) const {
@@ -168,7 +178,11 @@ PodId Topology::parent_pod(Level level, PodId pod) const {
                 "parent_pod: level must be below the top");
   ASPEN_REQUIRE(pod.value() < pods_at_level(level), "pod out of range");
   const std::uint64_t r = params_.r[static_cast<std::size_t>(level) + 1];
-  return PodId{static_cast<std::uint32_t>(pod.value() / r)};
+  const auto parent = PodId{static_cast<std::uint32_t>(pod.value() / r)};
+  ASPEN_ASSERT(parent.value() < pods_at_level(level + 1),
+               "parent pod ", parent.value(), " out of range at level ",
+               level + 1);
+  return parent;
 }
 
 std::vector<PodId> Topology::child_pods(Level level, PodId pod) const {

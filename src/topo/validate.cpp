@@ -22,7 +22,7 @@ void check_ports(const Topology& topo, ValidationReport& report) {
       std::ostringstream os;
       os << to_string(s) << " at L" << topo.level_of(s) << " uses " << used
          << " ports, expected " << k;
-      report.problems.push_back(os.str());
+      report.add(AuditCode::kPortCount, os.str());
     }
   }
 }
@@ -53,7 +53,7 @@ void check_uniform_fault_tolerance(const Topology& topo,
            << per_pod.size() << " pods (expected " << expected_r
            << ") with non-uniform link counts (expected " << expected_c
            << " per pod)";
-        report.problems.push_back(os.str());
+        report.add(AuditCode::kStripingRegularity, os.str());
       }
     }
   }
@@ -80,7 +80,7 @@ void check_top_level_coverage(const Topology& topo,
       std::ostringstream os;
       os << "top-level " << to_string(s)
          << " does not reach every L" << (n - 1) << " pod";
-      report.problems.push_back(os.str());
+      report.add(AuditCode::kTopLevelCoverage, os.str());
     }
   }
 }
@@ -104,7 +104,7 @@ void check_anp_striping(const Topology& topo, ValidationReport& report) {
            << " shares no L" << f
            << " ancestor with any other member of its pod (ANP cannot "
               "route around failures below it)";
-        report.problems.push_back(os.str());
+        report.add(AuditCode::kAnpStriping, os.str());
       }
     }
   }
@@ -144,6 +144,8 @@ ValidationReport validate_topology(const Topology& topo) {
   check_anp_striping(topo, report);
   count_parallel_links(topo, report);
   find_bottleneck_pods(topo, report);
+  ASPEN_ASSERT(report.findings.size() == report.problems.size(),
+               "structured and prose views of the report diverged");
   return report;
 }
 

@@ -5,6 +5,11 @@
 // covers every L_{n-1} pod, the §7 ANP striping requirement, and the §8.4
 // bottleneck-pod pathology.  Used by tests on every enumerated tree and by
 // the striping-lab example to show which wirings ANP can live with.
+//
+// Results are structured: every violated constraint becomes an AuditFinding
+// (code + subject + expected/actual values), so callers can branch on *what*
+// failed rather than parsing prose.  `problems` keeps the human-readable
+// strings.  `aspen validate` prints both.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +17,7 @@
 #include <vector>
 
 #include "src/topo/topology.h"
+#include "src/util/contracts.h"
 
 namespace aspen {
 
@@ -36,12 +42,22 @@ struct ValidationReport {
   /// informational, as redundancy above them cannot mask failures below.
   std::vector<Level> bottleneck_pod_levels;
 
-  /// Human-readable explanations for every failed check.
+  /// One structured entry per violated constraint, with the offending
+  /// switch/level and the expected vs. actual values.
+  std::vector<AuditFinding> findings;
+  /// Human-readable explanations for every failed check (parallel to
+  /// `findings`, same order).
   std::vector<std::string> problems;
 
   [[nodiscard]] bool all_ok() const {
     return ports_ok && uniform_fault_tolerance && top_level_coverage &&
            anp_striping_ok;
+  }
+
+  /// Records one violation under both views.
+  void add(AuditCode code, const std::string& message) {
+    findings.push_back(AuditFinding{code, message});
+    problems.push_back(message);
   }
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "src/util/contracts.h"
 #include "src/util/status.h"
 
 namespace aspen {
@@ -119,6 +120,8 @@ LoadResult assign_load(const Topology& topo, const Router& knowledge,
     }
   }
 
+  ASPEN_ASSERT(result.flows_routed + result.flows_unroutable == flows.size(),
+               "every flow is either routed or unroutable");
   result.min_rate = *std::ranges::min_element(result.rates);
   for (const double r : result.rates) result.aggregate_throughput += r;
   result.mean_rate =

@@ -2,6 +2,7 @@
 
 #include <numeric>
 
+#include "src/util/contracts.h"
 #include "src/util/status.h"
 
 namespace aspen {
@@ -26,6 +27,8 @@ std::vector<Flow> permutation_traffic(const Topology& topo, Rng& rng) {
     if (targets[i] == i) continue;  // possible residual single fixed point
     flows.push_back(Flow{HostId{i}, HostId{targets[i]}});
   }
+  ASPEN_ASSERT(flows.size() + 1 >= hosts,
+               "fixup leaves at most one fixed point");
   return flows;
 }
 
@@ -38,6 +41,7 @@ std::vector<Flow> uniform_random_traffic(const Topology& topo,
     const auto src = static_cast<std::uint32_t>(rng.index(topo.num_hosts()));
     auto dst = static_cast<std::uint32_t>(rng.index(topo.num_hosts() - 1));
     if (dst >= src) ++dst;
+    ASPEN_ASSERT(dst != src, "uniform draw must avoid self-flows");
     flows.push_back(Flow{HostId{src}, HostId{dst}});
   }
   return flows;

@@ -1,0 +1,245 @@
+#include "src/util/contracts.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace aspen {
+
+const char* to_cstring(AuditCode code) {
+  switch (code) {
+    case AuditCode::kEq1Conservation: return "eq1-conservation";
+    case AuditCode::kEq2PortBudget: return "eq2-port-budget";
+    case AuditCode::kEq3PodNesting: return "eq3-pod-nesting";
+    case AuditCode::kDccConsistency: return "dcc-consistency";
+    case AuditCode::kPortCount: return "port-count";
+    case AuditCode::kStripingRegularity: return "striping-regularity";
+    case AuditCode::kTopLevelCoverage: return "top-level-coverage";
+    case AuditCode::kAnpStriping: return "anp-striping";
+    case AuditCode::kLinkRecord: return "link-record";
+    case AuditCode::kTableShape: return "table-shape";
+    case AuditCode::kCostInconsistency: return "cost-inconsistency";
+    case AuditCode::kNextHopLink: return "next-hop-link";
+    case AuditCode::kDeadNextHop: return "dead-next-hop";
+    case AuditCode::kUpAfterDown: return "up-after-down";
+    case AuditCode::kRoutingLoop: return "routing-loop";
+    case AuditCode::kDefaultRouteGap: return "default-route-gap";
+    case AuditCode::kWithdrawalLogStale: return "withdrawal-log-stale";
+    case AuditCode::kAnnouncedLostMismatch: return "announced-lost-mismatch";
+    case AuditCode::kCrashCustody: return "crash-custody";
+    case AuditCode::kCustodyLinkUp: return "custody-link-up";
+    case AuditCode::kResyncDirection: return "resync-direction";
+    case AuditCode::kInflightAccounting: return "inflight-accounting";
+    case AuditCode::kTransportAccounting: return "transport-accounting";
+    case AuditCode::kChannelAccounting: return "channel-accounting";
+    case AuditCode::kTimeMonotonicity: return "time-monotonicity";
+    case AuditCode::kQueueAccounting: return "queue-accounting";
+  }
+  ASPEN_UNREACHABLE("unknown AuditCode ", static_cast<int>(code));
+}
+
+bool AuditReport::has(AuditCode code) const {
+  for (const AuditFinding& f : findings) {
+    if (f.code == code) return true;
+  }
+  return false;
+}
+
+std::uint64_t AuditReport::count(AuditCode code) const {
+  std::uint64_t n = 0;
+  for (const AuditFinding& f : findings) {
+    if (f.code == code) ++n;
+  }
+  return n;
+}
+
+std::string AuditReport::to_string() const {
+  std::string out;
+  for (const AuditFinding& f : findings) {
+    out += aspen::to_cstring(f.code);
+    out += ": ";
+    out += f.message;
+    out += '\n';
+  }
+  return out;
+}
+
+namespace contracts {
+
+namespace {
+
+/// Messages kept under kCountAndLog, so a chaos run's first violations can
+/// be inspected after the fact without unbounded growth.
+constexpr std::size_t kMaxRetainedMessages = 16;
+
+struct State {
+  std::mutex mu;
+  ViolationPolicy policy = ViolationPolicy::kThrow;
+  AuditLevel level = AuditLevel::kOff;  // env folds in via audit_level()
+  std::uint64_t violations = 0;
+  std::vector<std::string> messages;
+};
+
+State& state() {
+  static State s;
+  return s;
+}
+
+AuditLevel env_audit_level() {
+  static const AuditLevel level = [] {
+    const char* env = std::getenv("ASPEN_AUDIT_LEVEL");
+    if (env == nullptr || *env == '\0') return AuditLevel::kOff;
+    try {
+      return parse_audit_level(env);
+    } catch (const AspenError&) {
+      std::fprintf(stderr,
+                   "aspen: ignoring unrecognized ASPEN_AUDIT_LEVEL=%s\n", env);
+      return AuditLevel::kOff;
+    }
+  }();
+  return level;
+}
+
+}  // namespace
+
+ViolationPolicy policy() {
+  State& s = state();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  return s.policy;
+}
+
+void set_policy(ViolationPolicy policy) {
+  State& s = state();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  s.policy = policy;
+}
+
+AuditLevel audit_level() {
+  State& s = state();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  return std::max(s.level, env_audit_level());
+}
+
+void set_audit_level(AuditLevel level) {
+  State& s = state();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  s.level = level;
+}
+
+AuditLevel effective_audit_level(AuditLevel configured) {
+  return std::max(configured, audit_level());
+}
+
+AuditLevel parse_audit_level(const std::string& text) {
+  if (text == "off" || text == "0") return AuditLevel::kOff;
+  if (text == "basic" || text == "1") return AuditLevel::kBasic;
+  if (text == "paranoid" || text == "2") return AuditLevel::kParanoid;
+  throw PreconditionError("unknown audit level: " + text +
+                          " (expected off|basic|paranoid)");
+}
+
+const char* to_cstring(AuditLevel level) {
+  switch (level) {
+    case AuditLevel::kOff: return "off";
+    case AuditLevel::kBasic: return "basic";
+    case AuditLevel::kParanoid: return "paranoid";
+  }
+  ASPEN_UNREACHABLE("unknown AuditLevel ", static_cast<int>(level));
+}
+
+std::uint64_t violation_count() {
+  State& s = state();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  return s.violations;
+}
+
+std::vector<std::string> recent_violations() {
+  State& s = state();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  return s.messages;
+}
+
+void reset_violations() {
+  State& s = state();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  s.violations = 0;
+  s.messages.clear();
+}
+
+void report_violation(const std::string& message) {
+  State& s = state();
+  ViolationPolicy active;
+  {
+    const std::lock_guard<std::mutex> lock(s.mu);
+    active = s.policy;
+    if (active == ViolationPolicy::kCountAndLog) {
+      ++s.violations;
+      if (s.messages.size() < kMaxRetainedMessages) {
+        s.messages.push_back(message);
+      }
+    }
+  }
+  switch (active) {
+    case ViolationPolicy::kThrow:
+      throw ContractViolation(message);
+    case ViolationPolicy::kAbort:
+      std::fprintf(stderr, "aspen: contract violation: %s\n", message.c_str());
+      std::abort();
+    case ViolationPolicy::kCountAndLog:
+      return;
+  }
+}
+
+void enforce(const AuditReport& report, const char* where) {
+  if (report.ok()) return;
+  if (policy() == ViolationPolicy::kCountAndLog) {
+    // One violation per finding, so the tally reflects audit granularity.
+    for (const AuditFinding& f : report.findings) {
+      report_violation(std::string(where) + ": " +
+                       std::string(aspen::to_cstring(f.code)) + ": " +
+                       f.message);
+    }
+    return;
+  }
+  report_violation(std::string(where) + ": " +
+                   std::to_string(report.findings.size()) +
+                   " invariant violation(s)\n" + report.to_string());
+}
+
+ScopedPolicy::ScopedPolicy(ViolationPolicy policy)
+    : saved_policy_(contracts::policy()), saved_level_(state().level) {
+  set_policy(policy);
+}
+
+ScopedPolicy::ScopedPolicy(ViolationPolicy policy, AuditLevel level)
+    : ScopedPolicy(policy) {
+  set_audit_level(level);
+}
+
+ScopedPolicy::~ScopedPolicy() {
+  set_policy(saved_policy_);
+  set_audit_level(saved_level_);
+}
+
+namespace detail {
+
+void unreachable(const char* file, int line, const std::string& note) {
+  std::ostringstream os;
+  os << file << ":" << line << ": reached unreachable code";
+  if (!note.empty()) os << " — " << note;
+  // Unreachable code is unconditionally fatal under every policy except
+  // kCountAndLog, where execution genuinely cannot continue either — so it
+  // escalates to a throw after tallying.
+  const std::string message = os.str();
+  if (policy() == ViolationPolicy::kCountAndLog) {
+    report_violation(message);  // tallies and returns
+    throw ContractViolation(message);
+  }
+  report_violation(message);  // throws or aborts
+  throw ContractViolation(message);  // not reached; satisfies [[noreturn]]
+}
+
+}  // namespace detail
+}  // namespace contracts
+}  // namespace aspen

@@ -37,6 +37,7 @@
 #include "src/topo/export.h"
 #include "src/topo/import.h"
 #include "src/topo/validate.h"
+#include "src/util/contracts.h"
 #include "src/util/table.h"
 
 namespace {
@@ -61,7 +62,12 @@ int usage() {
       "[seed]]]\n"
       "  aspen label <n> <k> <ftv> [host]\n"
       "  aspen audit <n> <k> <ftv> <links.csv>\n"
-      "ftv syntax: \"<a,b,c>\" or \"a,b,c\" (top level first)\n");
+      "ftv syntax: \"<a,b,c>\" or \"a,b,c\" (top level first)\n"
+      "global flags (any position):\n"
+      "  --audit=<off|basic|paranoid>   runtime invariant-audit level;\n"
+      "                                 paranoid runs every layer auditor at\n"
+      "                                 phase boundaries (also via the\n"
+      "                                 ASPEN_AUDIT_LEVEL env variable)\n");
   return 1;
 }
 
@@ -163,8 +169,9 @@ int cmd_validate(const std::vector<std::string>& args) {
     }
     std::printf("\n");
   }
-  for (const std::string& problem : report.problems) {
-    std::printf("  problem: %s\n", problem.c_str());
+  for (const AuditFinding& finding : report.findings) {
+    std::printf("  problem [%s]: %s\n", to_cstring(finding.code),
+                finding.message.c_str());
   }
   return report.all_ok() ? 0 : 2;
 }
@@ -345,12 +352,27 @@ int cmd_chaos(const std::vector<std::string>& args) {
     options.delays.channel.seed = options.seed ^ 0xC44A05;
   }
 
-  const ChaosOutcome outcome = run_chaos_campaign(kind, topo, options);
+  // Under paranoid auditing the protocols self-audit mid-run; tally those
+  // violations rather than aborting the campaign on the first one.
+  options.delays.audit_level =
+      contracts::effective_audit_level(options.delays.audit_level);
+  const bool paranoid =
+      options.delays.audit_level >= contracts::AuditLevel::kParanoid;
+  contracts::reset_violations();
+  ChaosOutcome outcome;
+  {
+    const contracts::ScopedPolicy tally(
+        paranoid ? contracts::ViolationPolicy::kCountAndLog
+                 : contracts::policy());
+    outcome = run_chaos_campaign(kind, topo, options);
+  }
+  const std::uint64_t contract_violations = contracts::violation_count();
   std::printf("%s, protocol %s: %d-event chaos campaign, seed %lu, "
-              "drop rate %.0f%%\n",
+              "drop rate %.0f%%, audit %s\n",
               topo.describe().c_str(), args[3].c_str(), options.num_events,
               static_cast<unsigned long>(options.seed),
-              100.0 * options.delays.channel.drop_rate);
+              100.0 * options.delays.channel.drop_rate,
+              to_cstring(options.delays.audit_level));
 
   TextTable table({"metric", "value"});
   table.add_row({"link failures / recoveries",
@@ -385,11 +407,28 @@ int cmd_chaos(const std::vector<std::string>& args) {
   table.add_row({"protocol shortfall flows",
                  std::to_string(outcome.protocol_shortfall)});
   table.add_row({"tables restored", outcome.tables_restored ? "yes" : "NO"});
+  if (paranoid) {
+    table.add_row({"invariant audit passes",
+                   std::to_string(outcome.audit_checks)});
+    table.add_row({"invariant audit violations",
+                   std::to_string(outcome.audit_violations)});
+    table.add_row({"contract violations",
+                   std::to_string(contract_violations)});
+  }
   std::printf("%s", table.to_string().c_str());
+  for (const std::string& message : outcome.audit_messages) {
+    std::printf("  audit: %s\n", message.c_str());
+  }
+  if (paranoid) {
+    for (const std::string& message : contracts::recent_violations()) {
+      std::printf("  contract: %s\n", message.c_str());
+    }
+  }
 
   const bool ok = outcome.tables_restored &&
                   outcome.ground_truth_violations == 0 &&
-                  outcome.all_quiesced;
+                  outcome.all_quiesced && outcome.audit_violations == 0 &&
+                  contract_violations == 0;
   return ok ? 0 : 2;
 }
 
@@ -450,10 +489,26 @@ int cmd_audit(const std::vector<std::string>& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string command = argv[1];
-  std::vector<std::string> args;
-  for (int i = 2; i < argc; ++i) args.emplace_back(argv[i]);
+  // Strip global flags first so they work in any position.
+  std::vector<std::string> words;
+  for (int i = 1; i < argc; ++i) {
+    const std::string word = argv[i];
+    constexpr const char* kAuditFlag = "--audit=";
+    if (word.rfind(kAuditFlag, 0) == 0) {
+      try {
+        aspen::contracts::set_audit_level(aspen::contracts::parse_audit_level(
+            word.substr(std::strlen(kAuditFlag))));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return usage();
+      }
+      continue;
+    }
+    words.push_back(word);
+  }
+  if (words.empty()) return usage();
+  const std::string command = words[0];
+  const std::vector<std::string> args(words.begin() + 1, words.end());
 
   try {
     if (command == "generate") return cmd_generate(args);
