@@ -1,48 +1,60 @@
-// Experiment X7 (extension; §10) — flapping links.
+// Experiment X7 (extension; §10) — flapping links, through the detector.
 //
 // "Finally the study shows that link failures are sporadic and
 //  short-lived, supporting our belief that such failures should not cause
 //  global re-convergence."
 //
-// A single link flaps (fails and recovers) repeatedly.  Under LSP every
-// transition floods the tree and every switch burns an SPF; under ANP each
-// transition touches only the failure's neighborhood.  This bench totals
-// the control-plane cost and dark time of a flap storm for both protocols.
+// A single link flaps (period/duty square wave) and every protocol
+// reaction is driven by the BFD-style detector's post-damping reports
+// (src/fault/detector.h) instead of an oracle calling fail/recover
+// directly.  Without damping every confirmed transition floods (LSP) or
+// notifies (ANP); with damping the exponential penalty suppresses the
+// storm after a bounded number of reports and reconciles once the link
+// calms down.  Output is JSON (one document on stdout) comparing both
+// protocols at several flap rates, damped and undamped.
 #include <cstdio>
+#include <vector>
 
 #include "src/aspen/fixed_hosts.h"
 #include "src/aspen/generator.h"
+#include "src/fault/detector.h"
 #include "src/proto/experiment.h"
-#include "src/util/table.h"
 
 namespace {
 
 using namespace aspen;
 
-struct FlapCost {
-  std::uint64_t messages = 0;
-  double switch_cpu_ms = 0.0;  ///< modeled processing time burned fabric-wide
-  double dark_ms = 0.0;        ///< Σ convergence windows (§1's downtime unit)
-};
-
-FlapCost flap(ProtocolSimulation& proto, LinkId link, int cycles,
-              const DelayModel& delays, bool lsp) {
-  FlapCost cost;
-  for (int i = 0; i < cycles; ++i) {
-    for (const bool fail : {true, false}) {
-      const FailureReport report = fail
-                                       ? proto.simulate_link_failure(link)
-                                       : proto.simulate_link_recovery(link);
-      cost.messages += report.messages_sent;
-      cost.dark_ms += report.convergence_time_ms;
-      // CPU model: every informed switch pays one full processing interval
-      // (SPF for LSP, notification handling for ANP), duplicates ignored.
-      cost.switch_cpu_ms += static_cast<double>(report.switches_informed) *
-                            (lsp ? delays.lsa_processing
-                                 : delays.anp_processing);
-    }
-  }
-  return cost;
+void print_run(const char* fabric, ProtocolKind kind, const Topology& topo,
+               SimTime period_ms, int cycles, bool damped,
+               bool trailing_comma) {
+  fault::DetectorOptions options;
+  options.damping.enabled = damped;
+  const fault::FlapScenarioResult flap = fault::run_flap_scenario(
+      kind, topo, topo.links_at_level(2)[0], period_ms, /*duty=*/0.5, cycles,
+      options);
+  std::printf("    {\n");
+  std::printf("      \"fabric\": \"%s\",\n", fabric);
+  std::printf("      \"protocol\": \"%s\",\n", to_cstring(kind));
+  std::printf("      \"flap_period_ms\": %.0f,\n", period_ms);
+  std::printf("      \"cycles\": %d,\n", cycles);
+  std::printf("      \"damping\": %s,\n", damped ? "true" : "false");
+  std::printf("      \"confirmed_transitions\": %llu,\n",
+              static_cast<unsigned long long>(flap.confirmed_transitions));
+  std::printf("      \"notifications\": %llu,\n",
+              static_cast<unsigned long long>(flap.notifications));
+  std::printf("      \"suppressed_transitions\": %llu,\n",
+              static_cast<unsigned long long>(flap.suppressed_transitions));
+  std::printf("      \"notification_bound\": %d,\n", flap.notification_bound);
+  std::printf("      \"protocol_messages\": %llu,\n",
+              static_cast<unsigned long long>(flap.messages));
+  std::printf("      \"table_changes\": %llu,\n",
+              static_cast<unsigned long long>(flap.table_changes));
+  std::printf("      \"dark_time_ms\": %.3f,\n", flap.reaction_time_ms);
+  std::printf("      \"audit_violations\": %llu,\n",
+              static_cast<unsigned long long>(flap.audit.findings.size()));
+  std::printf("      \"tables_restored\": %s\n",
+              flap.tables_restored ? "true" : "false");
+  std::printf("    }%s\n", trailing_comma ? "," : "");
 }
 
 }  // namespace
@@ -52,42 +64,28 @@ int main() {
 
   const int k = 6;
   const int n = 3;
-  const int cycles = 20;
+  const int cycles = 10;
   const Topology fat = Topology::build(fat_tree(n, k));
-  const Topology aspen =
+  const Topology aspen_tree =
       Topology::build(design_fixed_host_tree(n, k, /*extra_levels=*/1));
-  const DelayModel delays;
 
-  std::printf(
-      "== A flapping L2 link, %d fail/recover cycles (k=%d pair) ==\n\n",
-      cycles, k);
-
-  LspSimulation lsp(fat, delays);
-  const FlapCost lsp_cost =
-      flap(lsp, fat.links_at_level(2)[0], cycles, delays, /*lsp=*/true);
-
-  AnpOptions extended;
-  extended.notify_children = true;
-  AnpSimulation anp(aspen, delays, extended);
-  const FlapCost anp_cost =
-      flap(anp, aspen.links_at_level(2)[0], cycles, delays, /*lsp=*/false);
-
-  TextTable table({"fabric", "control messages", "switch CPU burned (s)",
-                   "total dark time (s)"});
-  table.add_row({"fat tree + LSP", std::to_string(lsp_cost.messages),
-                 format_double(lsp_cost.switch_cpu_ms / 1000.0, 1),
-                 format_double(lsp_cost.dark_ms / 1000.0, 2)});
-  table.add_row({"aspen + ANP", std::to_string(anp_cost.messages),
-                 format_double(anp_cost.switch_cpu_ms / 1000.0, 1),
-                 format_double(anp_cost.dark_ms / 1000.0, 2)});
-  std::printf("%s\n", table.to_string().c_str());
-
-  std::printf(
-      "one sporadic, short-lived flapping link costs the OSPF-style fabric\n"
-      "%.0fx the control messages and %.0fx the dark time — §10's argument\n"
-      "that transient failures should never trigger global re-convergence.\n",
-      static_cast<double>(lsp_cost.messages) /
-          static_cast<double>(anp_cost.messages),
-      lsp_cost.dark_ms / anp_cost.dark_ms);
+  std::printf("{\n");
+  std::printf("  \"experiment\": \"flap_damping\",\n");
+  std::printf("  \"fabrics\": {\"fat\": \"fat(%d,%d)+LSP\", \"aspen\": "
+              "\"aspen(%d,%d,+1)+ANP\"},\n",
+              n, k, n, k);
+  std::printf("  \"runs\": [\n");
+  const std::vector<SimTime> periods{200.0, 400.0, 1000.0};
+  for (std::size_t p = 0; p < periods.size(); ++p) {
+    for (const bool damped : {false, true}) {
+      print_run("fat", ProtocolKind::kLsp, fat, periods[p], cycles, damped,
+                true);
+      print_run("aspen", ProtocolKind::kAnp, aspen_tree, periods[p], cycles,
+                damped,
+                p + 1 < periods.size() || !damped);
+    }
+  }
+  std::printf("  ]\n");
+  std::printf("}\n");
   return 0;
 }

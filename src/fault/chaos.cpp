@@ -22,6 +22,7 @@ void absorb(ChaosOutcome& outcome, const FailureReport& report) {
   outcome.acks += report.acks_sent;
   outcome.duplicates_dropped += report.duplicates_dropped;
   outcome.channel_dropped += report.channel_dropped;
+  outcome.health_dropped += report.health_dropped;
   outcome.channel_duplicated += report.channel_duplicated;
   outcome.gave_up += report.gave_up;
   outcome.stale_switches += report.stale_switches;
@@ -32,15 +33,30 @@ void absorb(ChaosOutcome& outcome, const FailureReport& report) {
 /// Invariant (a): walk sampled flows with the protocol's tables over the
 /// actual network, and with ground-truth tables computed *from* the actual
 /// network.  The protocol may fall short of physics, never beat it.
+///
+/// The invariant walks disable link health: gray loss is probabilistic
+/// noise that could otherwise "refute" a topologically sound route.  When
+/// degraded links exist, flows that both table sets deliver are re-walked
+/// with health applied to count degradation pain (degraded_drops).
 void check_consistency(const Topology& topo, const ProtocolSimulation& proto,
-                       DestGranularity granularity, std::uint64_t flows,
-                       Rng& rng, ChaosOutcome& outcome) {
+                       const ChaosOptions& options, Rng& rng,
+                       ChaosOutcome& outcome) {
+  const std::uint64_t flows = options.check_flows;
   if (flows == 0 || topo.num_hosts() < 2) return;
   const RoutingState truth =
-      compute_updown_routes(topo, proto.overlay(), granularity);
+      compute_updown_routes(topo, proto.overlay(), options.granularity);
   const TableRouter truth_router(truth);
   const TableRouter proto_router(proto.tables());
   ++outcome.checks;
+  WalkOptions pure;
+  pure.apply_health = false;
+  // Degraded re-walks: seed the per-flow gray hash off the campaign seed
+  // and give the flap phase a pseudo-instant that varies across checks.
+  WalkOptions degraded;
+  degraded.apply_health = true;
+  degraded.health_seed = options.seed ^ 0xD5A1C0DE5EEDull;
+  degraded.at_time_ms = static_cast<double>(outcome.checks) * 137.0;
+  const bool any_degraded = proto.overlay().num_degraded() > 0;
   for (std::uint64_t f = 0; f < flows; ++f) {
     const HostId src{static_cast<std::uint32_t>(rng.index(
         static_cast<std::size_t>(topo.num_hosts())))};
@@ -52,13 +68,18 @@ void check_consistency(const Topology& topo, const ProtocolSimulation& proto,
     }
     ++outcome.checked_flows;
     const WalkResult via_proto =
-        walk_packet(topo, proto_router, proto.overlay(), src, dst);
+        walk_packet(topo, proto_router, proto.overlay(), src, dst, pure);
     const WalkResult via_truth =
-        walk_packet(topo, truth_router, proto.overlay(), src, dst);
+        walk_packet(topo, truth_router, proto.overlay(), src, dst, pure);
     if (via_proto.delivered() && !via_truth.delivered()) {
       ++outcome.ground_truth_violations;
     } else if (!via_proto.delivered() && via_truth.delivered()) {
       ++outcome.protocol_shortfall;
+    } else if (any_degraded && via_proto.delivered()) {
+      degraded.flow_seed = f;
+      const WalkResult lossy =
+          walk_packet(topo, proto_router, proto.overlay(), src, dst, degraded);
+      if (!lossy.delivered()) ++outcome.degraded_drops;
     }
   }
 }
@@ -88,6 +109,7 @@ ChaosOutcome run_chaos_campaign(ProtocolKind kind, const Topology& topo,
   Rng rng(options.seed);
   Rng flow_rng(options.seed ^ 0x9E3779B97F4A7C15ull);
   ChaosOutcome outcome;
+  outcome.seed = options.seed;
 
   // Campaign-owned outstanding faults.  Links a crash takes down belong to
   // the protocol's crash bookkeeping, not to these lists; a campaign link
@@ -96,6 +118,17 @@ ChaosOutcome run_chaos_campaign(ProtocolKind kind, const Topology& topo,
   // `down_links` either way.
   std::vector<LinkId> down_links;
   std::vector<SwitchId> crashed;
+  // Links currently degraded (gray or flapping) by this campaign.  A
+  // degraded link can still be cut or lose an endpoint to a crash — the
+  // overlay erases its degradation on fail(), so the list is re-pruned
+  // against the overlay after every action.
+  std::vector<LinkId> degraded;
+  const auto prune_degraded = [&] {
+    std::erase_if(degraded, [&](LinkId l) {
+      const LinkHealth h = proto->overlay().health(l).health;
+      return h != LinkHealth::kGray && h != LinkHealth::kFlapping;
+    });
+  };
 
   const bool paranoid =
       contracts::effective_audit_level(options.delays.audit_level) >=
@@ -113,8 +146,11 @@ ChaosOutcome run_chaos_campaign(ProtocolKind kind, const Topology& topo,
   const auto run_audits = [&](bool unwound) {
     if (!paranoid) return;
     AuditReport report;
+    // Health-eaten notifications (gray links under an unreliable channel)
+    // can leave tables legitimately stale, so they also unsettle.
     const bool settled = crashed.empty() && outcome.gave_up == 0 &&
-                         outcome.stale_switches == 0 && outcome.all_quiesced;
+                         outcome.stale_switches == 0 && outcome.all_quiesced &&
+                         outcome.health_dropped == 0;
     std::vector<char> alive(topo.num_switches(), 1);
     for (std::uint32_t s = 0; s < topo.num_switches(); ++s) {
       alive[s] = proto->is_alive(SwitchId{s}) ? 1 : 0;
@@ -149,12 +185,15 @@ ChaosOutcome run_chaos_campaign(ProtocolKind kind, const Topology& topo,
   };
 
   for (int action = 0; action < options.num_events; ++action) {
-    const std::size_t outstanding = down_links.size() + crashed.size();
+    const std::size_t outstanding =
+        down_links.size() + crashed.size() + degraded.size();
     const bool want_recover =
         outstanding > 0 &&
         (rng.chance(options.p_recover) ||
          (down_links.size() >= options.max_concurrent_link_faults &&
-          crashed.size() >= options.max_concurrent_switch_crashes));
+          crashed.size() >= options.max_concurrent_switch_crashes &&
+          (options.p_degrade <= 0 ||
+           degraded.size() >= options.max_concurrent_degraded)));
 
     if (want_recover) {
       const std::size_t pick = rng.index(outstanding);
@@ -164,13 +203,62 @@ ChaosOutcome run_chaos_campaign(ProtocolKind kind, const Topology& topo,
                          static_cast<std::ptrdiff_t>(pick));
         absorb(outcome, proto->simulate_link_recovery(link));
         ++outcome.link_recoveries;
-      } else {
+      } else if (pick < down_links.size() + crashed.size()) {
         const std::size_t at = pick - down_links.size();
         const SwitchId victim = crashed[at];
         crashed.erase(crashed.begin() + static_cast<std::ptrdiff_t>(at));
         absorb(outcome, proto->simulate_switch_recovery(victim));
         ++outcome.switch_recoveries;
+      } else {
+        // Heal a degradation: routing never reacted to it (gray is
+        // invisible, flapping is a physics waveform), so no protocol run —
+        // the link simply stops misbehaving.
+        const std::size_t at = pick - down_links.size() - crashed.size();
+        const LinkId link = degraded[at];
+        degraded.erase(degraded.begin() + static_cast<std::ptrdiff_t>(at));
+        if (proto->overlay_mut().clear_degradation(link)) {
+          ++outcome.degradations_cleared;
+        }
       }
+    } else if (options.p_degrade > 0 &&
+               degraded.size() < options.max_concurrent_degraded &&
+               rng.chance(options.p_degrade)) {
+      std::vector<LinkId> up = up_candidates();
+      std::erase_if(up, [&](LinkId l) {
+        return proto->overlay().health(l).health != LinkHealth::kUp;
+      });
+      if (up.empty()) continue;
+      const LinkId link = up[rng.index(up.size())];
+      if (rng.chance(options.p_degrade_flap)) {
+        proto->overlay_mut().set_flapping(link, options.flap_period_ms,
+                                          options.flap_duty);
+        ++outcome.flaps_injected;
+      } else {
+        const double loss =
+            options.gray_loss_min +
+            rng.real() * (options.gray_loss_max - options.gray_loss_min);
+        proto->overlay_mut().set_gray(link, loss);
+        ++outcome.gray_injected;
+        if (options.measure_detection_latency) {
+          // Side-channel watch on a private overlay: how long would a
+          // detector take to confirm this gray link?  Seed varies per link
+          // so campaigns do not replay one probe schedule.
+          fault::DetectorOptions watch = options.detector;
+          watch.seed = options.detector.seed ^
+                       (0x9E3779B97F4A7C15ull * (link.value() + 1));
+          LinkHealthState fault_state;
+          fault_state.health = LinkHealth::kGray;
+          fault_state.loss_rate = loss;
+          const fault::DetectionOutcome det =
+              fault::measure_detection(topo, link, fault_state, watch);
+          if (det.confirmed()) {
+            outcome.detection_ms.add(det.confirm_latency_ms);
+          } else {
+            ++outcome.undetected_grays;
+          }
+        }
+      }
+      degraded.push_back(link);
     } else if (crashed.size() < options.max_concurrent_switch_crashes &&
                rng.chance(options.p_switch_crash)) {
       const std::vector<SwitchId> alive = alive_candidates();
@@ -214,21 +302,27 @@ ChaosOutcome run_chaos_campaign(ProtocolKind kind, const Topology& topo,
       ++outcome.link_failures;
     }
 
+    prune_degraded();
     if (options.check_every > 0 && (action + 1) % options.check_every == 0) {
-      check_consistency(topo, *proto, options.granularity,
-                        options.check_flows, flow_rng, outcome);
+      check_consistency(topo, *proto, options, flow_rng, outcome);
       run_audits(/*unwound=*/false);
     }
   }
 
   // One last degraded-state check before unwinding.
-  check_consistency(topo, *proto, options.granularity, options.check_flows,
-                    flow_rng, outcome);
+  check_consistency(topo, *proto, options, flow_rng, outcome);
   run_audits(/*unwound=*/false);
 
-  // ---- Unwind: revive every switch, then raise every campaign link.
-  // Order is deliberately arbitrary relative to the failure order —
-  // restoration must not depend on LIFO unwinding.
+  // ---- Unwind: clear degradations, revive every switch, then raise every
+  // campaign link.  Degradations go first so the restoration check runs on
+  // clean physics.  Order is otherwise deliberately arbitrary relative to
+  // the failure order — restoration must not depend on LIFO unwinding.
+  for (const LinkId link : degraded) {
+    if (proto->overlay_mut().clear_degradation(link)) {
+      ++outcome.degradations_cleared;
+    }
+  }
+  degraded.clear();
   for (const SwitchId victim : crashed) {
     absorb(outcome, proto->simulate_switch_recovery(victim));
     ++outcome.switch_recoveries;

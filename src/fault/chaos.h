@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "src/fault/detector.h"
 #include "src/proto/experiment.h"
 #include "src/proto/protocol.h"
 #include "src/routing/updown.h"
@@ -57,15 +58,42 @@ struct ChaosOptions {
   int check_every = 5;
   std::size_t max_concurrent_switch_crashes = 2;
   std::size_t max_concurrent_link_faults = 6;
+
+  // ---- Gray / flapping degradations -----------------------------------
+  /// P(next non-recovery action degrades a healthy link instead of cutting
+  /// it).  0 (the default) keeps the action schedule byte-identical to
+  /// campaigns that predate link health: the degrade branch then consumes
+  /// no RNG draws at all.
+  double p_degrade = 0.0;
+  /// P(a degradation flaps rather than going gray).
+  double p_degrade_flap = 0.35;
+  /// Gray loss rate is drawn uniformly from [min, max].
+  double gray_loss_min = 0.1;
+  double gray_loss_max = 0.5;
+  /// Flapping-link waveform.
+  SimTime flap_period_ms = 400.0;
+  double flap_duty = 0.5;
+  std::size_t max_concurrent_degraded = 4;
+  /// For each injected gray link, run a side-channel FailureDetector watch
+  /// (private overlay, same loss rate) and fold the confirm latency into
+  /// ChaosOutcome::detection_ms.
+  bool measure_detection_latency = true;
+  fault::DetectorOptions detector;
 };
 
 struct ChaosOutcome {
+  /// Echo of ChaosOptions::seed, so every report names its schedule.
+  std::uint64_t seed = 0;
+
   // ---- What the schedule did ------------------------------------------
   std::uint64_t link_failures = 0;
   std::uint64_t link_recoveries = 0;
   std::uint64_t switch_crashes = 0;
   std::uint64_t switch_recoveries = 0;
-  std::uint64_t compound_runs = 0;  ///< crash-mid-reaction composites
+  std::uint64_t compound_runs = 0;   ///< crash-mid-reaction composites
+  std::uint64_t gray_injected = 0;   ///< links degraded to Gray{loss}
+  std::uint64_t flaps_injected = 0;  ///< links degraded to Flapping
+  std::uint64_t degradations_cleared = 0;
 
   // ---- Aggregated protocol accounting ---------------------------------
   std::uint64_t messages = 0;
@@ -73,6 +101,8 @@ struct ChaosOutcome {
   std::uint64_t acks = 0;
   std::uint64_t duplicates_dropped = 0;
   std::uint64_t channel_dropped = 0;
+  /// Of channel_dropped, copies eaten by degraded link health.
+  std::uint64_t health_dropped = 0;
   std::uint64_t channel_duplicated = 0;
   std::uint64_t gave_up = 0;
   std::uint64_t stale_switches = 0;  ///< summed over runs (LSP only)
@@ -86,6 +116,15 @@ struct ChaosOutcome {
   std::uint64_t ground_truth_violations = 0;
   /// Flows physics could deliver but the protocol's tables did not.
   std::uint64_t protocol_shortfall = 0;
+  /// Flows both table sets deliver topologically but a gray/flapping link
+  /// eats in flight — degradation pain, not an invariant breach (invariant
+  /// (a) walks ignore health so gray noise cannot fake a violation).
+  std::uint64_t degraded_drops = 0;
+  /// Detector confirm latencies for injected gray links (side-channel
+  /// watches; see ChaosOptions::measure_detection_latency).
+  Summary detection_ms;
+  /// Gray injections the side-channel detector failed to confirm.
+  std::uint64_t undetected_grays = 0;
   /// Invariant (b): tables byte-identical to pre-campaign after unwind.
   bool tables_restored = false;
 

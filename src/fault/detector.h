@@ -1,0 +1,324 @@
+// BFD-style failure detection and flap damping — the front half of the
+// reaction pipeline (detection → damping → notification → repair).
+//
+// The paper's §9.2 evaluation assumes detection is local and instantaneous:
+// the measured window of vulnerability starts at the instant a link dies.
+// Deployed fabrics are not so lucky — most loss comes from *gray* links
+// that drop a fraction of packets while reporting up, and from *flapping*
+// links that thrash the control plane.  This module supplies the missing
+// stage:
+//
+//   * FailureDetector — one BFD-style session per (link, endpoint switch):
+//     periodic probes ride the link's instantaneous health
+//     (LinkStateOverlay::loss_now), an N-of-M loss threshold confirms a
+//     failure, and consecutive successes confirm recovery.  Sessions emit
+//     Suspected / ConfirmedDown / ConfirmedUp events with real latency.
+//   * Flap damping — per-link exponential penalty (BGP route-flap style):
+//     each confirmed transition adds a penalty that decays with a half
+//     life; above the suppress threshold the link's transitions stop being
+//     reported until the penalty decays below the reuse threshold, and a
+//     hold-down timer coalesces reports that arrive back to back.  A
+//     flapping link therefore triggers a *bounded* number of ANP/LSP
+//     reactions instead of oscillating the tables.
+//   * fault::audit_detector — invariant checks that the suppression state
+//     is coherent with its penalty and that notifications never exceed the
+//     damping bound.
+//
+// Drivers at the bottom connect the detector to the protocols: measure a
+// confirm latency, charge it as DelayModel::detection, and the existing
+// convergence / vulnerability-window machinery reports true loss-inducing
+// time instead of reaction time alone.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/proto/experiment.h"
+#include "src/proto/protocol.h"
+#include "src/sim/simulator.h"
+#include "src/topo/link_state.h"
+#include "src/topo/topology.h"
+#include "src/util/contracts.h"
+#include "src/util/rng.h"
+
+namespace aspen::fault {
+
+/// BGP-style flap damping knobs, applied per link after session
+/// aggregation.
+struct DampingOptions {
+  bool enabled = true;
+  /// Penalty added per confirmed up/down transition.
+  double penalty = 1000.0;
+  /// Suppress reporting once the decayed penalty reaches this.
+  double suppress_threshold = 3000.0;
+  /// Resume reporting once the decayed penalty falls back to this.
+  double reuse_threshold = 800.0;
+  /// Exponential-decay half life of the penalty.
+  double half_life_ms = 60'000.0;
+  /// Minimum spacing between two reports for the same link; transitions
+  /// inside the window are coalesced into one deferred report.
+  SimTime hold_down_ms = 20.0;
+
+  /// Max reports one suppression cycle can emit: the transitions it takes
+  /// to climb from zero penalty past the suppress threshold, plus the
+  /// reconciliation report when the link is reused.
+  [[nodiscard]] int max_notifications_per_cycle() const {
+    return static_cast<int>(suppress_threshold / penalty) + 1;
+  }
+};
+
+struct DetectorOptions {
+  SimTime probe_interval_ms = 10.0;  ///< BFD transmit interval
+  int window = 5;                    ///< M: probes remembered per session
+  int loss_threshold = 3;            ///< N: losses in window → confirmed
+  int suspect_threshold = 1;         ///< losses in window → suspected
+  int recovery_threshold = 3;        ///< consecutive successes → confirmed up
+  std::uint64_t seed = 0xBFDull;     ///< probe-loss sampling on gray links
+  DampingOptions damping;
+
+  /// Worst-case confirm latency for a hard-down link: N lost probes plus
+  /// up to one interval of phase offset before the first probe.
+  [[nodiscard]] SimTime confirm_bound_ms() const {
+    return static_cast<SimTime>(loss_threshold + 1) * probe_interval_ms;
+  }
+};
+
+enum class DetectionKind : std::uint8_t {
+  kSuspected,      ///< session crossed the suspect threshold
+  kConfirmedDown,  ///< link-level verdict flipped to down
+  kConfirmedUp,    ///< link-level verdict flipped back to up
+  kSuppressed,     ///< damping entered suppression for the link
+  kReused,         ///< penalty decayed below reuse; reporting resumed
+  kNotified,       ///< a transition was reported to the reaction sink
+};
+
+[[nodiscard]] const char* to_cstring(DetectionKind kind);
+
+struct DetectionEvent {
+  SimTime at_ms = 0.0;
+  LinkId link = LinkId::invalid();
+  /// Session-scoped events carry the probing switch; link-scoped events
+  /// (confirm / damping) carry SwitchId::invalid().
+  SwitchId observer = SwitchId::invalid();
+  DetectionKind kind = DetectionKind::kSuspected;
+};
+
+struct DetectorStats {
+  std::uint64_t probes_sent = 0;
+  std::uint64_t probes_lost = 0;
+  std::uint64_t suspects = 0;        ///< suspect episodes across sessions
+  std::uint64_t confirms_down = 0;   ///< link-level down verdicts
+  std::uint64_t confirms_up = 0;     ///< link-level up verdicts
+  std::uint64_t notifications = 0;   ///< transitions reported to the sink
+  std::uint64_t suppressed_transitions = 0;  ///< eaten by damping
+  /// Down verdicts issued while the link's health was clean kUp — a true
+  /// false positive (impossible unless probes share a lossy channel).
+  std::uint64_t false_confirms = 0;
+};
+
+/// Periodic-probe failure detector over one overlay's link health.
+///
+/// Schedule-driven: construct it against a Simulator, monitor() the links
+/// of interest, then run the simulator; probes, confirms and damped
+/// notifications all happen as events.  Deterministic given
+/// DetectorOptions::seed and the overlay's (possibly time-varying) health.
+class FailureDetector {
+ public:
+  /// Reaction sink: called for each *reported* transition (post-damping).
+  /// `down` strictly alternates per link, starting with true, so sinks can
+  /// drive ProtocolSimulation::simulate_link_failure/_recovery directly.
+  using ReactionFn = std::function<void(LinkId, bool down, SimTime at_ms)>;
+
+  FailureDetector(const Topology& topo, const LinkStateOverlay& overlay,
+                  Simulator& sim, DetectorOptions options = {});
+
+  /// Stops scheduling probes past this instant (damping timers still run
+  /// to quiescence).  Must be set before monitor().
+  void set_horizon(SimTime horizon_ms) { horizon_ms_ = horizon_ms; }
+
+  void set_reaction_sink(ReactionFn sink) { sink_ = std::move(sink); }
+
+  /// Starts one BFD session per switch endpoint of `link` (a host link
+  /// gets a single session at its edge switch).
+  void monitor(LinkId link);
+  /// Monitors every inter-switch link of the topology.
+  void monitor_all();
+
+  [[nodiscard]] const DetectorStats& stats() const { return stats_; }
+  [[nodiscard]] const std::vector<DetectionEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] const DetectorOptions& options() const { return options_; }
+
+  /// First ConfirmedDown instant for `link`, or -1 if never confirmed.
+  [[nodiscard]] SimTime first_confirm_down(LinkId link) const;
+  /// First Suspected instant for `link`, or -1 if never suspected.
+  [[nodiscard]] SimTime first_suspect(LinkId link) const;
+
+  /// Damping introspection for audits, benches and tests.
+  struct LinkDampingView {
+    double penalty = 0.0;       ///< decayed to the simulator's now()
+    bool suppressed = false;
+    bool confirmed_down = false;  ///< current link-level verdict
+    bool reported_down = false;   ///< last state told to the sink
+    int notifications = 0;
+    int suppression_cycles = 0;
+    bool notify_pending = false;  ///< a hold-down deferred report is queued
+    /// Smallest spacing between two consecutive reports (∞ until two
+    /// happen); damping guarantees it never undercuts hold_down_ms.
+    SimTime min_notify_gap_ms = 1e18;
+  };
+  [[nodiscard]] LinkDampingView damping_view(LinkId link) const;
+  [[nodiscard]] std::vector<LinkId> monitored_links() const;
+
+  /// Analytic cap on reports for this link given the suppression cycles
+  /// observed so far: (cycles + 1) · DampingOptions
+  /// ::max_notifications_per_cycle().  Exact in the fast-flap regime the
+  /// damping targets (flap period ≪ penalty half life, where decay between
+  /// burst transitions is negligible); a slow flapper that legitimately
+  /// never accumulates penalty is instead rate-bounded by hold_down_ms,
+  /// which audit_detector enforces unconditionally.
+  [[nodiscard]] int notification_bound(LinkId link) const;
+
+ private:
+  friend struct DetectorAuditPeer;
+
+  struct Session {
+    LinkId link = LinkId::invalid();
+    SwitchId observer = SwitchId::invalid();
+    std::vector<char> window;  ///< ring of recent probe outcomes (1 = lost)
+    int window_fill = 0;
+    int window_pos = 0;
+    int losses_in_window = 0;
+    int consecutive_ok = 0;
+    bool down = false;       ///< this session's verdict
+    bool suspected = false;  ///< inside a suspect episode
+  };
+
+  struct LinkWatch {
+    bool confirmed_down = false;
+    bool reported_down = false;
+    double penalty = 0.0;
+    SimTime penalty_at = 0.0;  ///< instant `penalty` was last decayed to
+    bool suppressed = false;
+    int notifications = 0;
+    int suppression_cycles = 0;
+    SimTime last_notify_ms = 0.0;
+    SimTime min_notify_gap_ms = 1e18;
+    bool ever_notified = false;
+    bool notify_pending = false;
+    bool reuse_check_pending = false;
+  };
+
+  void start_session(LinkId link, SwitchId observer);
+  void schedule_probe(std::size_t session_index, SimTime delay);
+  void probe(std::size_t session_index);
+  void session_transition(Session& session, bool down);
+  void on_confirm(LinkId link, bool down);
+  void maybe_notify(LinkId link, LinkWatch& watch);
+  void notify(LinkId link, LinkWatch& watch);
+  void decay(LinkWatch& watch) const;
+  void schedule_reuse_check(LinkId link);
+  void record(LinkId link, SwitchId observer, DetectionKind kind);
+
+  const Topology* topo_;
+  const LinkStateOverlay* overlay_;
+  Simulator* sim_;
+  DetectorOptions options_;
+  Rng rng_;
+  SimTime horizon_ms_ = 1e18;
+  ReactionFn sink_;
+  std::vector<Session> sessions_;
+  std::map<std::uint32_t, LinkWatch> watches_;
+  DetectorStats stats_;
+  std::vector<DetectionEvent> events_;
+};
+
+/// Invariant checks over a quiesced detector (run the simulator dry
+/// first):
+///   * kDetectorSuppression — suppression flag incoherent with the decayed
+///     penalty (suppressed below reuse, or unsuppressed far above
+///     suppress).
+///   * kDetectorOscillation — reports exceed the per-link damping bound.
+///   * kDetectorSession — reported state diverges from the confirmed
+///     verdict with no suppression or pending hold-down to explain it.
+[[nodiscard]] AuditReport audit_detector(const FailureDetector& detector);
+
+/// Test-only corruption hooks (mirrors proto::AnpAuditPeer): each plants an
+/// inconsistency audit_detector must flag.
+struct DetectorAuditPeer {
+  static void corrupt_suppression(FailureDetector& d, LinkId link);
+  static void corrupt_notification_count(FailureDetector& d, LinkId link);
+  static void corrupt_reported_state(FailureDetector& d, LinkId link);
+};
+
+// ---- Drivers: detector → protocol pipeline ----------------------------
+
+/// Outcome of watching one faulty link in isolation.
+struct DetectionOutcome {
+  SimTime confirm_latency_ms = -1.0;  ///< fault → ConfirmedDown; -1 = never
+  SimTime suspect_latency_ms = -1.0;  ///< fault → first Suspected
+  DetectorStats stats;
+  std::uint64_t events = 0;  ///< simulator events the watch consumed
+
+  [[nodiscard]] bool confirmed() const { return confirm_latency_ms >= 0.0; }
+};
+
+/// Injects `fault` health on `link` at t = 0 of a private overlay, probes
+/// until `horizon_ms`, and reports how long confirmation took.
+[[nodiscard]] DetectionOutcome measure_detection(const Topology& topo,
+                                                 LinkId link,
+                                                 const LinkHealthState& fault,
+                                                 const DetectorOptions& options,
+                                                 SimTime horizon_ms = 60'000.0);
+
+/// A failure reaction whose clock starts at the *fault*, not the
+/// detection: the measured confirm latency is charged as
+/// DelayModel::detection, so reaction.convergence_time_ms and every
+/// table-change instant include it.
+struct DetectedFailureResult {
+  DetectionOutcome detection;
+  FailureReport reaction;
+  /// Tables before the failure, for vulnerability-window walks.
+  RoutingState before;
+  /// The protocol, post-reaction (overlay still holds the failed link).
+  std::unique_ptr<ProtocolSimulation> proto;
+};
+
+/// Runs the full pipeline for one link: detect `fault` (anything with
+/// loss — Down, Gray, Flapping), then let `kind` react to the confirmed
+/// failure.  REQUIREs that the detector actually confirms within
+/// `horizon_ms`.
+[[nodiscard]] DetectedFailureResult run_detected_failure(
+    ProtocolKind kind, const Topology& topo, LinkId link,
+    const LinkHealthState& fault, const DetectorOptions& options,
+    DelayModel delays = {}, AnpOptions anp_options = {},
+    SimTime horizon_ms = 60'000.0);
+
+/// Outcome of driving a protocol from a flapping link's detector events.
+struct FlapScenarioResult {
+  std::uint64_t confirmed_transitions = 0;  ///< detector verdict flips
+  std::uint64_t notifications = 0;          ///< reports after damping
+  std::uint64_t suppressed_transitions = 0;
+  std::uint64_t table_changes = 0;   ///< switch-table updates across reports
+  std::uint64_t messages = 0;        ///< protocol messages across reports
+  SimTime reaction_time_ms = 0.0;    ///< summed convergence of all reports
+  int notification_bound = 0;        ///< damping bound for the flapped link
+  AuditReport audit;                 ///< audit_detector at quiescence
+  bool tables_restored = false;      ///< end state matches the start state
+};
+
+/// Flaps `link` (period/duty) for `cycles` full periods on a private
+/// overlay, feeding every post-damping report into a fresh `kind`
+/// protocol: reported-down → simulate_link_failure, reported-up →
+/// simulate_link_recovery.  After the flapping stops the link heals and
+/// the detector reconciles, so the protocol ends on restored tables.
+[[nodiscard]] FlapScenarioResult run_flap_scenario(
+    ProtocolKind kind, const Topology& topo, LinkId link, SimTime period_ms,
+    double duty, int cycles, const DetectorOptions& options,
+    DelayModel delays = {}, AnpOptions anp_options = {});
+
+}  // namespace aspen::fault

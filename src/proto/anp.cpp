@@ -84,19 +84,26 @@ void AnpSimulation::transmit_notification(RunContext& ctx, SwitchId from,
       handle_notification(ctx, peer, from, dests, lost, hops);
     });
   };
+  // Control traffic rides the same physical link as data, so a gray or
+  // flapping link eats notifications too (sampled at each copy's transmit
+  // time); healthy links return 0 and add no Rng draws.
   if (ctx.transport) {
     ctx.transport->send(
         delays_.propagation, std::move(deliver),
         [this, link = nb.link, from] {
           return overlay_.is_up(link) && alive_[from.value()];
         },
-        [this, peer] { return alive_[peer.value()]; });
+        [this, peer] { return alive_[peer.value()]; },
+        [this, &ctx, link = nb.link] {
+          return overlay_.loss_now(link, ctx.sim.now());
+        });
   } else {
     ctx.channel.transmit(ctx.sim, delays_.propagation,
                          [this, peer, deliver = std::move(deliver)] {
                            if (!alive_[peer.value()]) return;  // died in flight
                            deliver();
-                         });
+                         },
+                         overlay_.loss_now(nb.link, ctx.sim.now()));
   }
 }
 
@@ -468,6 +475,7 @@ FailureReport AnpSimulation::finish(RunContext& ctx) {
   const RunResult run = ctx.sim.run_bounded(delays_.max_run_events);
   ctx.report.events = run.events;
   ctx.report.quiesced = run.completed;
+  ctx.report.detection_ms = delays_.detection;
   ctx.report.table_change_completed.assign(topo_->num_switches(),
                                            FailureReport::kNoChange);
   for (std::uint32_t s = 0; s < topo_->num_switches(); ++s) {
@@ -486,6 +494,7 @@ FailureReport AnpSimulation::finish(RunContext& ctx) {
   }
   const ChannelStats& ch = ctx.channel.stats();
   ctx.report.channel_dropped = ch.dropped;
+  ctx.report.health_dropped = ch.health_dropped;
   ctx.report.channel_duplicated = ch.duplicated;
   if (ctx.transport) {
     const TransportStats& tr = ctx.transport->stats();

@@ -115,6 +115,7 @@ class AnpSimulation final : public ProtocolSimulation {
   [[nodiscard]] const LinkStateOverlay& overlay() const override {
     return overlay_;
   }
+  [[nodiscard]] LinkStateOverlay& overlay_mut() override { return overlay_; }
   [[nodiscard]] const Topology& topology() const override { return *topo_; }
   [[nodiscard]] bool is_alive(SwitchId s) const override {
     return alive_.at(s.value()) != 0;

@@ -19,6 +19,31 @@ std::uint64_t mix64(std::uint64_t x) {
 // Data-plane per-hop latency: propagation dominates (switching is ns).
 constexpr SimTime kHopLatency = 0.001;  // 1 µs in ms
 
+// Gray-drop verdict, identical keying to routing/packet_walk.cpp: per
+// (seed, link, src, dst), never per hop, so both walkers agree on a flow's
+// fate across the same gray link.
+bool gray_drops(const LinkStateOverlay& actual, LinkId link, HostId src,
+                HostId dst, const WalkOptions& options) {
+  if (!options.apply_health) return false;
+  const LinkHealthState h = actual.health(link);
+  if (h.health != LinkHealth::kGray) return false;
+  const std::uint64_t key =
+      mix64(options.health_seed ^
+            (static_cast<std::uint64_t>(src.value()) << 40) ^
+            (static_cast<std::uint64_t>(dst.value()) << 20) ^ link.value());
+  const double u = static_cast<double>(key >> 11) * 0x1.0p-53;
+  return u < h.loss_rate;
+}
+
+// Physically usable at the packet's *current* clock — the in-flight walker
+// tracks real per-hop time, so a flapping link's phase is evaluated when
+// the packet reaches it, not when it was injected.
+bool link_live(const LinkStateOverlay& actual, LinkId link,
+               const WalkOptions& options, SimTime now_ms) {
+  if (!actual.is_up(link)) return false;
+  return !options.apply_health || actual.phase_up(link, now_ms);
+}
+
 }  // namespace
 
 WalkResult walk_during_convergence(const Topology& topo,
@@ -39,9 +64,15 @@ WalkResult walk_during_convergence(const Topology& topo,
   SimTime now = inject_ms;
 
   const Topology::Neighbor ingress = topo.host_uplink(src);
-  if (!actual.is_up(ingress.link)) {
+  if (!link_live(actual, ingress.link, options, now)) {
     result.status = WalkStatus::kDropped;
     result.dropped_at = SwitchId::invalid();
+    return result;
+  }
+  if (gray_drops(actual, ingress.link, src, dst, options)) {
+    result.status = WalkStatus::kDropped;
+    result.dropped_at = SwitchId::invalid();
+    result.health_loss = true;
     return result;
   }
   SwitchId at = topo.switch_of(ingress.node);
@@ -52,9 +83,15 @@ WalkResult walk_during_convergence(const Topology& topo,
   while (result.hops < options.ttl) {
     if (at == dest_edge) {
       const Topology::Neighbor downlink = topo.host_uplink(dst);
-      if (!actual.is_up(downlink.link)) {
+      if (!link_live(actual, downlink.link, options, now)) {
         result.status = WalkStatus::kDropped;
         result.dropped_at = at;
+        return result;
+      }
+      if (gray_drops(actual, downlink.link, src, dst, options)) {
+        result.status = WalkStatus::kDropped;
+        result.dropped_at = at;
+        result.health_loss = true;
         return result;
       }
       result.path.push_back(topo.node_of(dst));
@@ -88,17 +125,23 @@ WalkResult walk_during_convergence(const Topology& topo,
       for (std::size_t off = 0; off < hops.size(); ++off) {
         const Topology::Neighbor& cand =
             hops[(first_choice + off) % hops.size()];
-        if (actual.is_up(cand.link)) {
+        if (link_live(actual, cand.link, options, now)) {
           chosen = &cand;
           break;
         }
       }
-    } else if (actual.is_up(hops[first_choice].link)) {
+    } else if (link_live(actual, hops[first_choice].link, options, now)) {
       chosen = &hops[first_choice];
     }
     if (chosen == nullptr) {
       result.status = WalkStatus::kDropped;
       result.dropped_at = at;
+      return result;
+    }
+    if (gray_drops(actual, chosen->link, src, dst, options)) {
+      result.status = WalkStatus::kDropped;
+      result.dropped_at = at;
+      result.health_loss = true;
       return result;
     }
 

@@ -222,10 +222,12 @@ FailureReport LspSimulation::simulate_timed_events(
       }
     }
   }
-  // In the paper's regime — perfect channel, no crashes — every changed
-  // switch must hear an LSA, and failing to is a model bug, not an outcome.
-  const bool strict =
-      delays_.channel.perfect() && !has_switch_event && was_fully_alive;
+  // In the paper's regime — perfect channel, healthy links, no crashes —
+  // every changed switch must hear an LSA, and failing to is a model bug,
+  // not an outcome.  Degraded link health makes copies lossy even over a
+  // perfect channel, so it demotes the check to a measured outcome too.
+  const bool strict = delays_.channel.perfect() && !has_switch_event &&
+                      was_fully_alive && overlay_.num_degraded() == 0;
 
   // ---- Flood simulation: per-switch highest sequence seen per origin
   // slot, serialized CPUs, hop counters on LSAs.  A changed switch flips to
@@ -300,15 +302,21 @@ FailureReport LspSimulation::simulate_timed_events(
               flood(dst, via, slot, rec, hops + 1);
             });
           };
+          // LSAs ride the same physical links as data, so gray/flapping
+          // health eats flood copies too (0 on healthy links, no Rng draw).
           if (transport) {
             transport->send(
                 delays_.propagation, std::move(deliver),
                 [&, link = nb.link, from] {
                   return overlay_.is_up(link) && alive_[from.value()];
                 },
-                [&, dst] { return alive_[dst.value()]; });
+                [&, dst] { return alive_[dst.value()]; },
+                [&, link = nb.link] {
+                  return overlay_.loss_now(link, sim.now());
+                });
           } else {
-            channel.transmit(sim, delays_.propagation, std::move(deliver));
+            channel.transmit(sim, delays_.propagation, std::move(deliver),
+                             overlay_.loss_now(nb.link, sim.now()));
           }
         };
         for (const Topology::Neighbor& nb : topo.up_neighbors(from)) {
@@ -355,6 +363,7 @@ FailureReport LspSimulation::simulate_timed_events(
   const RunResult run = sim.run_bounded(delays_.max_run_events);
   report.events = run.events;
   report.quiesced = run.completed;
+  report.detection_ms = delays_.detection;
   for (std::uint32_t s = 0; s < topo.num_switches(); ++s) {
     if (std::ranges::any_of(seen[s], [](char c) { return c != 0; })) {
       ++report.switches_informed;
@@ -385,6 +394,7 @@ FailureReport LspSimulation::simulate_timed_events(
   }
   const ChannelStats& ch = channel.stats();
   report.channel_dropped = ch.dropped;
+  report.health_dropped = ch.health_dropped;
   report.channel_duplicated = ch.duplicated;
   if (transport) {
     const TransportStats& tr = transport->stats();

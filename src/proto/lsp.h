@@ -78,6 +78,7 @@ class LspSimulation final : public ProtocolSimulation {
   [[nodiscard]] const LinkStateOverlay& overlay() const override {
     return overlay_;
   }
+  [[nodiscard]] LinkStateOverlay& overlay_mut() override { return overlay_; }
   [[nodiscard]] const Topology& topology() const override { return *topo_; }
   [[nodiscard]] bool is_alive(SwitchId s) const override {
     return alive_.at(s.value()) != 0;

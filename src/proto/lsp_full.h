@@ -42,6 +42,7 @@ class LspLsdbSimulation final : public ProtocolSimulation {
   [[nodiscard]] const LinkStateOverlay& overlay() const override {
     return overlay_;
   }
+  [[nodiscard]] LinkStateOverlay& overlay_mut() override { return overlay_; }
   [[nodiscard]] const Topology& topology() const override { return *topo_; }
 
  private:

@@ -94,6 +94,11 @@ class ProtocolSimulation {
 
   [[nodiscard]] virtual const RoutingState& tables() const = 0;
   [[nodiscard]] virtual const LinkStateOverlay& overlay() const = 0;
+  /// Mutable physical-state access for fault injectors: chaos campaigns set
+  /// per-link health (gray loss, flapping) directly on the overlay, without
+  /// protocol involvement — gray failures are exactly the faults the
+  /// routing layer does not get told about.
+  [[nodiscard]] virtual LinkStateOverlay& overlay_mut() = 0;
   [[nodiscard]] virtual const Topology& topology() const = 0;
 };
 

@@ -15,6 +15,31 @@ std::uint64_t mix64(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
+// Does a gray link drop this flow?  Keyed per (seed, link, src, dst) — not
+// per hop — so any walker crossing the same gray link with the same flow
+// reaches the same verdict, and repeated walks are deterministic.
+bool gray_drops(const LinkStateOverlay& actual, LinkId link, HostId src,
+                HostId dst, const WalkOptions& options) {
+  if (!options.apply_health) return false;
+  const LinkHealthState h = actual.health(link);
+  if (h.health != LinkHealth::kGray) return false;
+  const std::uint64_t key =
+      mix64(options.health_seed ^
+            (static_cast<std::uint64_t>(src.value()) << 40) ^
+            (static_cast<std::uint64_t>(dst.value()) << 20) ^ link.value());
+  // Top 53 bits → uniform double in [0, 1).
+  const double u = static_cast<double>(key >> 11) * 0x1.0p-53;
+  return u < h.loss_rate;
+}
+
+// Is the link physically usable at the walk instant?  Down links never are;
+// a flapping link is usable only in its up phase (when health applies).
+bool link_live(const LinkStateOverlay& actual, LinkId link,
+               const WalkOptions& options) {
+  if (!actual.is_up(link)) return false;
+  return !options.apply_health || actual.phase_up(link, options.at_time_ms);
+}
+
 }  // namespace
 
 std::vector<Topology::Neighbor> TableRouter::next_hops(SwitchId at,
@@ -86,9 +111,15 @@ WalkResult walk_packet(const Topology& topo, const Router& knowledge,
 
   // First hop: host to its edge switch.
   const Topology::Neighbor ingress = topo.host_uplink(src);
-  if (!actual.is_up(ingress.link)) {
+  if (!link_live(actual, ingress.link, options)) {
     result.status = WalkStatus::kDropped;
     result.dropped_at = SwitchId::invalid();  // died on the host link
+    return result;
+  }
+  if (gray_drops(actual, ingress.link, src, dst, options)) {
+    result.status = WalkStatus::kDropped;
+    result.dropped_at = SwitchId::invalid();
+    result.health_loss = true;
     return result;
   }
   SwitchId at = topo.switch_of(ingress.node);
@@ -99,9 +130,15 @@ WalkResult walk_packet(const Topology& topo, const Router& knowledge,
     if (at == dest_edge) {
       // Final hop: edge switch to host.
       const Topology::Neighbor downlink = topo.host_uplink(dst);
-      if (!actual.is_up(downlink.link)) {
+      if (!link_live(actual, downlink.link, options)) {
         result.status = WalkStatus::kDropped;
         result.dropped_at = at;
+        return result;
+      }
+      if (gray_drops(actual, downlink.link, src, dst, options)) {
+        result.status = WalkStatus::kDropped;
+        result.dropped_at = at;
+        result.health_loss = true;
         return result;
       }
       result.path.push_back(topo.node_of(dst));
@@ -129,11 +166,13 @@ WalkResult walk_packet(const Topology& topo, const Router& knowledge,
     const Topology::Neighbor* chosen = nullptr;
     if (options.local_link_awareness) {
       // The switch sees its own dead ports: rotate from the hashed choice
-      // to the first live one.
+      // to the first live one.  Gray links look live here — their loss is
+      // silent — but a flapping link's down phase is an observably dead
+      // port, so link_live() skips it.
       for (std::size_t off = 0; off < hops.size(); ++off) {
         const Topology::Neighbor& cand =
             hops[(first_choice + off) % hops.size()];
-        if (actual.is_up(cand.link)) {
+        if (link_live(actual, cand.link, options)) {
           chosen = &cand;
           break;
         }
@@ -145,11 +184,17 @@ WalkResult walk_packet(const Topology& topo, const Router& knowledge,
       }
     } else {
       chosen = &hops[first_choice];
-      if (!actual.is_up(chosen->link)) {
+      if (!link_live(actual, chosen->link, options)) {
         result.status = WalkStatus::kDropped;
         result.dropped_at = at;
         return result;
       }
+    }
+    if (gray_drops(actual, chosen->link, src, dst, options)) {
+      result.status = WalkStatus::kDropped;
+      result.dropped_at = at;
+      result.health_loss = true;
+      return result;
     }
 
     result.path.push_back(chosen->node);

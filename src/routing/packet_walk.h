@@ -77,6 +77,9 @@ struct WalkResult {
   std::vector<NodeId> path;  ///< nodes visited, starting at the source host
   SwitchId dropped_at = SwitchId::invalid();  ///< where the packet died
   int hops = 0;  ///< links traversed (including the final host link)
+  /// The packet died to degraded link health (a gray drop) rather than to a
+  /// dead link or a missing route.
+  bool health_loss = false;
 
   [[nodiscard]] bool delivered() const {
     return status == WalkStatus::kDelivered;
@@ -91,7 +94,18 @@ struct WalkOptions {
   /// Model local failure detection: skip offered next hops whose link is
   /// actually down, dropping only when all offered hops are dead (§6: "a
   /// switch … can simply select an alternate upward-facing output port").
+  /// A flapping link in its down phase counts as dead here — the port is
+  /// observably down; a gray link does not — gray loss is invisible.
   bool local_link_awareness = true;
+  /// Honor gray/flapping link health on the walked path.  Chaos-campaign
+  /// physics checks disable this to compare pure tables-vs-liveness.
+  bool apply_health = true;
+  /// Seed for the deterministic per-flow gray-drop decision.  The drop is a
+  /// pure hash of (health_seed, link, src, dst), so two walkers taking the
+  /// same flow across the same gray link agree on its fate.
+  std::uint64_t health_seed = 0;
+  /// Wall-clock instant of the walk, for flapping-link phase.
+  double at_time_ms = 0.0;
 };
 
 /// Walks one packet from src to dst. `knowledge` decides, `actual` kills.

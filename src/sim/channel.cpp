@@ -9,9 +9,9 @@
 namespace aspen {
 
 int ChannelModel::transmit(Simulator& sim, SimTime base_delay,
-                           std::function<void()> deliver) {
+                           std::function<void()> deliver, double link_loss) {
   ++stats_.attempted;
-  if (options_.perfect()) {
+  if (options_.perfect() && link_loss <= 0.0) {
     // Fast path: exactly one on-time copy, no Rng draws — lossless runs
     // stay bit-identical to the pre-channel implementation.
     ++stats_.delivered;
@@ -19,7 +19,14 @@ int ChannelModel::transmit(Simulator& sim, SimTime base_delay,
     return 1;
   }
   int copies = 1;
-  if (rng_.chance(options_.drop_rate)) {
+  if (link_loss > 0.0 && (link_loss >= 1.0 || rng_.chance(link_loss))) {
+    // Eaten by the physical link itself (gray loss or flap-down phase)
+    // before the channel's own impairments get a say.  No draw happens on
+    // healthy links, so existing seeded streams are unperturbed.
+    copies = 0;
+    ++stats_.dropped;
+    ++stats_.health_dropped;
+  } else if (rng_.chance(options_.drop_rate)) {
     copies = 0;
     ++stats_.dropped;
   } else if (rng_.chance(options_.duplicate_rate)) {
@@ -47,7 +54,8 @@ int ChannelModel::transmit(Simulator& sim, SimTime base_delay,
 void ReliableTransport::send(SimTime propagation,
                              std::function<void()> on_deliver,
                              std::function<bool()> can_transmit,
-                             std::function<bool()> can_receive) {
+                             std::function<bool()> can_receive,
+                             std::function<double()> link_loss) {
   ASPEN_REQUIRE(on_deliver && can_transmit && can_receive,
                 "reliable send needs a payload and viability predicates");
   const std::uint64_t id = next_id_++;
@@ -56,6 +64,7 @@ void ReliableTransport::send(SimTime propagation,
   p.on_deliver = std::move(on_deliver);
   p.can_transmit = std::move(can_transmit);
   p.can_receive = std::move(can_receive);
+  p.link_loss = std::move(link_loss);
   ++stats_.sends;
   transmit_copy(id);
   arm_timer(id);
@@ -64,22 +73,30 @@ void ReliableTransport::send(SimTime propagation,
 void ReliableTransport::transmit_copy(std::uint64_t id) {
   Pending& p = pending_.at(id);
   if (!p.can_transmit()) return;  // link down or sender dead: never wired
-  channel_->transmit(*sim_, p.propagation, [this, id] {
-    Pending& arrived = pending_.at(id);
-    if (!arrived.can_receive()) return;  // receiver crashed: copy vanishes
-    if (arrived.delivered) {
-      // Sequence-number comparison at the line card — no CPU charged.
-      ++stats_.duplicates_dropped;
-    } else {
-      arrived.delivered = true;
-      arrived.on_deliver();
-    }
-    // (Re-)ack every surviving copy: the original ack may have been lost.
-    ++stats_.acks_sent;
-    channel_->transmit(*sim_, arrived.propagation, [this, id] {
-      pending_.at(id).acked = true;
-    });
-  });
+  const double loss = p.link_loss ? p.link_loss() : 0.0;
+  channel_->transmit(
+      *sim_, p.propagation,
+      [this, id] {
+        Pending& arrived = pending_.at(id);
+        if (!arrived.can_receive()) return;  // receiver crashed: copy vanishes
+        if (arrived.delivered) {
+          // Sequence-number comparison at the line card — no CPU charged.
+          ++stats_.duplicates_dropped;
+        } else {
+          arrived.delivered = true;
+          arrived.on_deliver();
+        }
+        // (Re-)ack every surviving copy: the original ack may have been
+        // lost.  The ack rides the same physical link back, so it faces the
+        // link's instantaneous health too.
+        ++stats_.acks_sent;
+        const double ack_loss =
+            arrived.link_loss ? arrived.link_loss() : 0.0;
+        channel_->transmit(
+            *sim_, arrived.propagation,
+            [this, id] { pending_.at(id).acked = true; }, ack_loss);
+      },
+      loss);
 }
 
 void ReliableTransport::arm_timer(std::uint64_t id) {

@@ -5,40 +5,90 @@
 // Keeping liveness separate from structure lets one built topology serve
 // many failure experiments, and lets a router's *knowledge* of the network
 // (possibly stale) be a different overlay than the network's actual state.
+//
+// Beyond the paper's binary up/down, the overlay models two degraded health
+// states that dominate real data-center failure processes:
+//
+//   * Gray{loss_rate}        — the link reports up and carries traffic, but
+//     silently drops a fraction of packets.  Routing cannot see it; only a
+//     probing failure detector (src/fault/detector.h) can.
+//   * Flapping{period, duty} — the link oscillates between up (the first
+//     duty·period of each period) and down (the rest), thrashing any
+//     control plane that reacts to every transition.
+//
+// Degraded links still answer is_up() == true: gray failures are precisely
+// the faults the binary liveness layer does not see, and a flapping link's
+// instantaneous phase is a function of time (phase_up / loss_now), not of
+// the persistent overlay state.  fail()/recover() clear any degradation —
+// an administratively cut or repaired link starts from a clean slate.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "src/topo/topology.h"
 #include "src/util/ids.h"
+#include "src/util/status.h"
 
 namespace aspen {
 
+/// Per-link health. kUp/kDown mirror the binary overlay; kGray and
+/// kFlapping are degraded-but-up states visible only to probes and to the
+/// data plane's packet fate, never to is_up().
+enum class LinkHealth : std::uint8_t { kUp, kGray, kFlapping, kDown };
+
+[[nodiscard]] inline const char* to_cstring(LinkHealth h) {
+  switch (h) {
+    case LinkHealth::kUp: return "up";
+    case LinkHealth::kGray: return "gray";
+    case LinkHealth::kFlapping: return "flapping";
+    case LinkHealth::kDown: return "down";
+  }
+  return "?";
+}
+
+/// Full health description of one link. Times are milliseconds to match
+/// SimTime without depending on the sim layer.
+struct LinkHealthState {
+  LinkHealth health = LinkHealth::kUp;
+  double loss_rate = 0.0;  ///< kGray: P(drop) per packet crossing the link
+  double period_ms = 0.0;  ///< kFlapping: full up+down cycle length
+  double duty = 1.0;       ///< kFlapping: fraction of each period spent up
+};
+
 class LinkStateOverlay {
  public:
-  /// All links initially up.
+  /// All links initially up and healthy.
   explicit LinkStateOverlay(const Topology& topo)
       : up_(topo.num_links(), true) {}
 
   [[nodiscard]] bool is_up(LinkId id) const { return up_.at(id.value()); }
 
   /// Marks a link failed; idempotent. Returns true if state changed.
+  /// Clears any gray/flapping degradation — down dominates.
   bool fail(LinkId id) {
     const bool was_up = up_.at(id.value());
     up_[id.value()] = false;
+    degraded_.erase(id.value());
     return was_up;
   }
 
   /// Marks a link recovered; idempotent. Returns true if state changed.
+  /// A repaired link comes back clean (no residual degradation).
   bool recover(LinkId id) {
     const bool was_up = up_.at(id.value());
     up_[id.value()] = true;
+    degraded_.erase(id.value());
     return !was_up;
   }
 
-  /// Restores every link to up.
-  void recover_all() { up_.assign(up_.size(), true); }
+  /// Restores every link to up and healthy.
+  void recover_all() {
+    up_.assign(up_.size(), true);
+    degraded_.clear();
+  }
 
   [[nodiscard]] std::vector<LinkId> failed_links() const {
     std::vector<LinkId> failed;
@@ -54,8 +104,86 @@ class LinkStateOverlay {
     return count;
   }
 
+  // ---- degraded health (gray / flapping) --------------------------------
+
+  /// Marks an up link gray: it stays up but drops `loss_rate` of packets.
+  void set_gray(LinkId id, double loss_rate) {
+    ASPEN_REQUIRE(is_up(id), "cannot degrade a down link");
+    ASPEN_REQUIRE(loss_rate > 0.0 && loss_rate <= 1.0,
+                  "gray loss rate must be in (0, 1]");
+    LinkHealthState s;
+    s.health = LinkHealth::kGray;
+    s.loss_rate = loss_rate;
+    degraded_[id.value()] = s;
+  }
+
+  /// Marks an up link flapping: up for the first duty·period of every
+  /// period (phase anchored at t = 0), down for the rest.
+  void set_flapping(LinkId id, double period_ms, double duty) {
+    ASPEN_REQUIRE(is_up(id), "cannot degrade a down link");
+    ASPEN_REQUIRE(period_ms > 0.0, "flap period must be positive");
+    ASPEN_REQUIRE(duty > 0.0 && duty < 1.0, "flap duty must be in (0, 1)");
+    LinkHealthState s;
+    s.health = LinkHealth::kFlapping;
+    s.period_ms = period_ms;
+    s.duty = duty;
+    degraded_[id.value()] = s;
+  }
+
+  /// Restores a degraded link to clean health (liveness unchanged).
+  /// Returns true if the link was degraded.
+  bool clear_degradation(LinkId id) {
+    return degraded_.erase(id.value()) > 0;
+  }
+
+  /// Current health of a link; kDown wins over any stale degradation.
+  [[nodiscard]] LinkHealthState health(LinkId id) const {
+    if (!is_up(id)) {
+      LinkHealthState s;
+      s.health = LinkHealth::kDown;
+      s.loss_rate = 1.0;
+      return s;
+    }
+    const auto it = degraded_.find(id.value());
+    return it == degraded_.end() ? LinkHealthState{} : it->second;
+  }
+
+  /// Is a flapping link in its up phase at `now_ms`? Non-flapping links are
+  /// always "in phase" (their fate is decided by is_up / loss_rate).
+  [[nodiscard]] bool phase_up(LinkId id, double now_ms) const {
+    const auto it = degraded_.find(id.value());
+    if (it == degraded_.end() || it->second.health != LinkHealth::kFlapping) {
+      return true;
+    }
+    const LinkHealthState& s = it->second;
+    return std::fmod(now_ms, s.period_ms) < s.duty * s.period_ms;
+  }
+
+  /// Instantaneous packet-loss probability on a link at `now_ms`:
+  /// down → 1, gray → loss_rate, flapping → 0 or 1 by phase, clean → 0.
+  [[nodiscard]] double loss_now(LinkId id, double now_ms) const {
+    if (!is_up(id)) return 1.0;
+    const auto it = degraded_.find(id.value());
+    if (it == degraded_.end()) return 0.0;
+    const LinkHealthState& s = it->second;
+    if (s.health == LinkHealth::kGray) return s.loss_rate;
+    return phase_up(id, now_ms) ? 0.0 : 1.0;
+  }
+
+  [[nodiscard]] std::vector<LinkId> degraded_links() const {
+    std::vector<LinkId> out;
+    out.reserve(degraded_.size());
+    for (const auto& [id, s] : degraded_) out.push_back(LinkId{id});
+    return out;
+  }
+
+  [[nodiscard]] std::uint64_t num_degraded() const { return degraded_.size(); }
+
  private:
   std::vector<bool> up_;
+  // Sparse: only kGray/kFlapping entries live here, so the is_up() hot path
+  // and the all-links-clean case are untouched.
+  std::map<std::uint32_t, LinkHealthState> degraded_;
 };
 
 }  // namespace aspen

@@ -35,6 +35,9 @@ const char* to_cstring(AuditCode code) {
     case AuditCode::kChannelAccounting: return "channel-accounting";
     case AuditCode::kTimeMonotonicity: return "time-monotonicity";
     case AuditCode::kQueueAccounting: return "queue-accounting";
+    case AuditCode::kDetectorSuppression: return "detector-suppression";
+    case AuditCode::kDetectorOscillation: return "detector-oscillation";
+    case AuditCode::kDetectorSession: return "detector-session";
   }
   ASPEN_UNREACHABLE("unknown AuditCode ", static_cast<int>(code));
 }

@@ -88,6 +88,11 @@ enum class AuditCode {
   // ---- sim::audit_queue -----------------------------------------------
   kTimeMonotonicity,    ///< a queued event precedes the simulator's now()
   kQueueAccounting,     ///< event sequence numbers / counters incoherent
+
+  // ---- fault::audit_detector ------------------------------------------
+  kDetectorSuppression, ///< damping suppression disagrees with its penalty
+  kDetectorOscillation, ///< notifications exceed the damping bound
+  kDetectorSession,     ///< reported link state diverges from confirmed
 };
 
 [[nodiscard]] const char* to_cstring(AuditCode code);

@@ -233,6 +233,72 @@ TEST_P(ChaosCampaignTest, LossyReliableCampaignRestoresTables) {
   EXPECT_TRUE(outcome.tables_restored);
 }
 
+TEST_P(ChaosCampaignTest, DegradedCampaignKeepsInvariants) {
+  // Gray and flapping links join the schedule: they add probabilistic
+  // data-plane pain (degraded_drops) and can eat control messages, but
+  // the physics invariant — walked health-free — and the restoration
+  // invariant must survive.  The channel is reliable so health-eaten
+  // notifications are retransmitted.
+  const Topology topo = make_tree({0, 1, 0});
+  ChaosOptions options;
+  options.seed = 77;
+  options.num_events = 50;
+  options.p_degrade = 0.35;
+  options.delays.channel.reliable = true;
+  const ChaosOutcome outcome = run_chaos_campaign(GetParam(), topo, options);
+
+  EXPECT_EQ(outcome.seed, 77u);
+  EXPECT_GT(outcome.gray_injected + outcome.flaps_injected, 0u);
+  // Every degradation is eventually healed (in-campaign or at unwind) or
+  // subsumed by a real failure of the same link.
+  EXPECT_LE(outcome.degradations_cleared,
+            outcome.gray_injected + outcome.flaps_injected);
+  EXPECT_GT(outcome.degradations_cleared, 0u);
+  // Degraded links hurt the data plane without breaking the invariant.
+  EXPECT_EQ(outcome.ground_truth_violations, 0u);
+  EXPECT_TRUE(outcome.all_quiesced);
+  EXPECT_TRUE(outcome.tables_restored);
+  // Each injected gray got a side-channel detector watch.
+  EXPECT_EQ(outcome.detection_ms.count() + outcome.undetected_grays,
+            outcome.gray_injected);
+  if (outcome.detection_ms.count() > 0) {
+    EXPECT_GT(outcome.detection_ms.mean(), 0.0);
+  }
+}
+
+TEST(ChaosCampaign, DegradeScheduleDeterministicGivenSeed) {
+  const Topology topo = make_tree({0, 1, 0});
+  ChaosOptions options;
+  options.seed = 5;
+  options.num_events = 30;
+  options.p_degrade = 0.4;
+  options.delays.channel.reliable = true;
+  const ChaosOutcome a = run_chaos_campaign(ProtocolKind::kAnp, topo, options);
+  const ChaosOutcome b = run_chaos_campaign(ProtocolKind::kAnp, topo, options);
+  EXPECT_EQ(a.gray_injected, b.gray_injected);
+  EXPECT_EQ(a.flaps_injected, b.flaps_injected);
+  EXPECT_EQ(a.degradations_cleared, b.degradations_cleared);
+  EXPECT_EQ(a.degraded_drops, b.degraded_drops);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.health_dropped, b.health_dropped);
+}
+
+TEST(ChaosCampaign, ZeroDegradeProbabilityMatchesLegacySchedule) {
+  // p_degrade = 0 must leave the RNG stream untouched: the campaign
+  // replays exactly the schedule it produced before link health existed.
+  const Topology topo = make_tree({0, 1, 0});
+  ChaosOptions legacy;
+  legacy.seed = 13;
+  legacy.num_events = 40;
+  const ChaosOutcome outcome =
+      run_chaos_campaign(ProtocolKind::kAnp, topo, legacy);
+  EXPECT_EQ(outcome.gray_injected, 0u);
+  EXPECT_EQ(outcome.flaps_injected, 0u);
+  EXPECT_EQ(outcome.degraded_drops, 0u);
+  EXPECT_EQ(outcome.health_dropped, 0u);
+  EXPECT_TRUE(outcome.tables_restored);
+}
+
 INSTANTIATE_TEST_SUITE_P(Protocols, ChaosCampaignTest,
                          ::testing::Values(ProtocolKind::kLsp,
                                            ProtocolKind::kAnp),

@@ -1,0 +1,270 @@
+// Tests for the BFD-style failure detector, flap damping, and the
+// detection → damping → notification → repair pipeline (src/fault).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/aspen/generator.h"
+#include "src/fault/detector.h"
+#include "src/proto/experiment.h"
+#include "src/routing/updown.h"
+#include "src/util/status.h"
+
+namespace aspen {
+namespace {
+
+Topology make_tree(std::vector<int> ftv, int k = 4) {
+  const int n = static_cast<int>(ftv.size()) + 1;
+  return Topology::build(generate_tree(n, k, FaultToleranceVector(ftv)));
+}
+
+LinkHealthState gray(double loss) {
+  LinkHealthState h;
+  h.health = LinkHealth::kGray;
+  h.loss_rate = loss;
+  return h;
+}
+
+LinkHealthState hard_down() {
+  LinkHealthState h;
+  h.health = LinkHealth::kDown;
+  return h;
+}
+
+// ---- Confirm latency ---------------------------------------------------
+
+TEST(Detector, HardDownConfirmedWithinBound) {
+  const Topology topo = make_tree({1, 0});
+  const fault::DetectorOptions options;
+  const fault::DetectionOutcome det = fault::measure_detection(
+      topo, topo.links_at_level(2)[0], hard_down(), options);
+  ASSERT_TRUE(det.confirmed());
+  // Every probe on a dead link is lost, so the Nth probe confirms: at most
+  // one interval of start offset plus (N-1) further intervals.
+  EXPECT_LE(det.confirm_latency_ms, options.confirm_bound_ms());
+  EXPECT_GE(det.confirm_latency_ms,
+            static_cast<SimTime>(options.loss_threshold - 1) *
+                options.probe_interval_ms);
+  EXPECT_GE(det.stats.probes_lost, 3u);
+  EXPECT_EQ(det.stats.false_confirms, 0u);
+}
+
+TEST(Detector, CleanLinkNeverConfirms) {
+  const Topology topo = make_tree({1, 0});
+  LinkHealthState clean;  // kUp: a false-alarm horizon run
+  const fault::DetectionOutcome det = fault::measure_detection(
+      topo, topo.links_at_level(2)[0], clean, fault::DetectorOptions{},
+      /*horizon_ms=*/30'000.0);
+  EXPECT_FALSE(det.confirmed());
+  EXPECT_EQ(det.stats.confirms_down, 0u);
+  EXPECT_EQ(det.stats.suspects, 0u);
+  EXPECT_EQ(det.stats.probes_lost, 0u);
+  EXPECT_GT(det.stats.probes_sent, 0u);
+}
+
+TEST(Detector, GrayLinkConfirmedWithRealLatency) {
+  const Topology topo = make_tree({1, 0});
+  const fault::DetectorOptions options;  // pinned default seed
+  const fault::DetectionOutcome det = fault::measure_detection(
+      topo, topo.links_at_level(2)[0], gray(0.3), options);
+  ASSERT_TRUE(det.confirmed());
+  // Confirmation needs loss_threshold lost probes, so at least
+  // (loss_threshold - 1) intervals elapse; on a 30% gray link it takes
+  // longer than a hard cut but must land well inside the horizon.
+  EXPECT_GE(det.confirm_latency_ms,
+            static_cast<SimTime>(options.loss_threshold - 1) *
+                options.probe_interval_ms);
+  EXPECT_GT(det.confirm_latency_ms, 0.0);
+  EXPECT_LT(det.confirm_latency_ms, 10'000.0);
+  EXPECT_GE(det.suspect_latency_ms, 0.0);
+  EXPECT_LE(det.suspect_latency_ms, det.confirm_latency_ms);
+}
+
+TEST(Detector, SameSeedIsDeterministic) {
+  const Topology topo = make_tree({1, 0});
+  const fault::DetectorOptions options;
+  const fault::DetectionOutcome a = fault::measure_detection(
+      topo, topo.links_at_level(2)[1], gray(0.4), options);
+  const fault::DetectionOutcome b = fault::measure_detection(
+      topo, topo.links_at_level(2)[1], gray(0.4), options);
+  EXPECT_EQ(a.confirm_latency_ms, b.confirm_latency_ms);
+  EXPECT_EQ(a.suspect_latency_ms, b.suspect_latency_ms);
+  EXPECT_EQ(a.stats.probes_sent, b.stats.probes_sent);
+  EXPECT_EQ(a.stats.probes_lost, b.stats.probes_lost);
+}
+
+TEST(Detector, FasterProbesConfirmSooner) {
+  const Topology topo = make_tree({1, 0});
+  fault::DetectorOptions fast;
+  fast.probe_interval_ms = 2.0;
+  fault::DetectorOptions slow;
+  slow.probe_interval_ms = 50.0;
+  const fault::DetectionOutcome f = fault::measure_detection(
+      topo, topo.links_at_level(2)[0], hard_down(), fast);
+  const fault::DetectionOutcome s = fault::measure_detection(
+      topo, topo.links_at_level(2)[0], hard_down(), slow);
+  ASSERT_TRUE(f.confirmed());
+  ASSERT_TRUE(s.confirmed());
+  EXPECT_LT(f.confirm_latency_ms, s.confirm_latency_ms);
+}
+
+// ---- Detection latency in the reaction pipeline ------------------------
+
+TEST(Detector, DetectionLatencyEntersVulnerabilityWindow) {
+  const Topology topo = make_tree({1, 0});
+  const LinkId link = topo.links_at_level(2)[0];
+  const fault::DetectedFailureResult run = fault::run_detected_failure(
+      ProtocolKind::kAnp, topo, link, gray(0.3), fault::DetectorOptions{});
+  // The measured confirm latency is charged as DelayModel::detection …
+  EXPECT_GT(run.reaction.detection_ms, 0.0);
+  EXPECT_EQ(run.reaction.detection_ms, run.detection.confirm_latency_ms);
+  // … so convergence and every table change include it: the clock starts
+  // at the fault, not the verdict.
+  EXPECT_GE(run.reaction.convergence_time_ms, run.reaction.detection_ms);
+  for (const SimTime t : run.reaction.table_change_completed) {
+    if (t == FailureReport::kNoChange) continue;
+    EXPECT_GE(t, run.reaction.detection_ms);
+  }
+  // The reaction really happened: tables moved off the pre-failure state.
+  EXPECT_GT(switches_with_changed_tables(run.before, run.proto->tables()),
+            0u);
+}
+
+TEST(Detector, LspPipelineAlsoChargesDetection) {
+  const Topology topo = make_tree({1, 0});
+  const fault::DetectedFailureResult run = fault::run_detected_failure(
+      ProtocolKind::kLsp, topo, topo.links_at_level(2)[0], gray(0.5),
+      fault::DetectorOptions{});
+  EXPECT_GT(run.reaction.detection_ms, 0.0);
+  EXPECT_GE(run.reaction.convergence_time_ms, run.reaction.detection_ms);
+}
+
+// ---- Flap damping ------------------------------------------------------
+
+TEST(Detector, FlapDampingBoundsReactions) {
+  const Topology topo = make_tree({1, 0});
+  const LinkId link = topo.links_at_level(2)[0];
+  const int cycles = 10;
+
+  fault::DetectorOptions damped;
+  damped.damping.enabled = true;
+  const fault::FlapScenarioResult with_damping = fault::run_flap_scenario(
+      ProtocolKind::kAnp, topo, link, /*period_ms=*/400.0, /*duty=*/0.5,
+      cycles, damped);
+
+  fault::DetectorOptions undamped;
+  undamped.damping.enabled = false;
+  const fault::FlapScenarioResult without = fault::run_flap_scenario(
+      ProtocolKind::kAnp, topo, link, /*period_ms=*/400.0, /*duty=*/0.5,
+      cycles, undamped);
+
+  // Undamped, every confirmed transition is reported, so reports (and the
+  // table churn they cause) grow with the flap count.
+  EXPECT_EQ(without.notifications, without.confirmed_transitions);
+  EXPECT_GE(without.notifications, static_cast<std::uint64_t>(2 * cycles));
+  EXPECT_EQ(without.suppressed_transitions, 0u);
+
+  // Damped, the report count is capped by the analytic bound regardless of
+  // how long the flapping lasts, and the eaten transitions are accounted.
+  EXPECT_LE(with_damping.notifications,
+            static_cast<std::uint64_t>(with_damping.notification_bound));
+  EXPECT_LT(with_damping.notifications, without.notifications);
+  EXPECT_GT(with_damping.suppressed_transitions, 0u);
+  EXPECT_LT(with_damping.table_changes, without.table_changes);
+
+  // Both end reconciled and clean under audit.
+  EXPECT_TRUE(with_damping.tables_restored);
+  EXPECT_TRUE(without.tables_restored);
+  EXPECT_TRUE(with_damping.audit.findings.empty())
+      << with_damping.audit.to_string();
+  EXPECT_TRUE(without.audit.findings.empty()) << without.audit.to_string();
+}
+
+TEST(Detector, DampedLspFlapAlsoBounded) {
+  const Topology topo = make_tree({1, 0});
+  const fault::FlapScenarioResult flap = fault::run_flap_scenario(
+      ProtocolKind::kLsp, topo, topo.links_at_level(2)[0],
+      /*period_ms=*/400.0, /*duty=*/0.5, /*cycles=*/8,
+      fault::DetectorOptions{});
+  EXPECT_LE(flap.notifications,
+            static_cast<std::uint64_t>(flap.notification_bound));
+  EXPECT_TRUE(flap.tables_restored);
+  EXPECT_TRUE(flap.audit.findings.empty()) << flap.audit.to_string();
+}
+
+// ---- Auditor -----------------------------------------------------------
+
+class DetectorAuditTest : public ::testing::Test {
+ protected:
+  DetectorAuditTest()
+      : topo_(make_tree({1, 0})),
+        overlay_(topo_),
+        link_(topo_.links_at_level(2)[0]) {
+    overlay_.fail(link_);
+    detector_ = std::make_unique<fault::FailureDetector>(
+        topo_, overlay_, sim_, fault::DetectorOptions{});
+    detector_->set_horizon(500.0);
+    detector_->monitor(link_);
+    sim_.run();
+  }
+
+  [[nodiscard]] bool has_code(const AuditReport& report,
+                              AuditCode code) const {
+    return std::any_of(
+        report.findings.begin(), report.findings.end(),
+        [code](const AuditFinding& f) { return f.code == code; });
+  }
+
+  Topology topo_;
+  LinkStateOverlay overlay_;
+  Simulator sim_;
+  LinkId link_;
+  std::unique_ptr<fault::FailureDetector> detector_;
+};
+
+TEST_F(DetectorAuditTest, CleanDetectorPassesAudit) {
+  const AuditReport report = fault::audit_detector(*detector_);
+  EXPECT_TRUE(report.findings.empty()) << report.to_string();
+}
+
+TEST_F(DetectorAuditTest, CorruptSuppressionFlagged) {
+  fault::DetectorAuditPeer::corrupt_suppression(*detector_, link_);
+  const AuditReport report = fault::audit_detector(*detector_);
+  EXPECT_TRUE(has_code(report, AuditCode::kDetectorSuppression))
+      << report.to_string();
+}
+
+TEST_F(DetectorAuditTest, CorruptNotificationCountFlagged) {
+  fault::DetectorAuditPeer::corrupt_notification_count(*detector_, link_);
+  const AuditReport report = fault::audit_detector(*detector_);
+  EXPECT_TRUE(has_code(report, AuditCode::kDetectorOscillation))
+      << report.to_string();
+}
+
+TEST_F(DetectorAuditTest, CorruptReportedStateFlagged) {
+  fault::DetectorAuditPeer::corrupt_reported_state(*detector_, link_);
+  const AuditReport report = fault::audit_detector(*detector_);
+  EXPECT_TRUE(has_code(report, AuditCode::kDetectorSession))
+      << report.to_string();
+}
+
+// ---- Option validation -------------------------------------------------
+
+TEST(Detector, RejectsIncoherentOptions) {
+  const Topology topo = make_tree({1, 0});
+  LinkStateOverlay overlay(topo);
+  Simulator sim;
+  fault::DetectorOptions bad;
+  bad.loss_threshold = 10;  // cannot exceed the window
+  bad.window = 5;
+  EXPECT_THROW(fault::FailureDetector(topo, overlay, sim, bad),
+               PreconditionError);
+  fault::DetectorOptions bad_damping;
+  bad_damping.damping.reuse_threshold = 5000.0;  // reuse above suppress
+  bad_damping.damping.suppress_threshold = 3000.0;
+  EXPECT_THROW(fault::FailureDetector(topo, overlay, sim, bad_damping),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace aspen

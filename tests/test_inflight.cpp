@@ -5,6 +5,7 @@
 #include "src/aspen/generator.h"
 #include "src/proto/experiment.h"
 #include "src/proto/inflight.h"
+#include "src/routing/updown.h"
 #include "src/util/rng.h"
 #include "src/util/status.h"
 
@@ -124,6 +125,65 @@ TEST(Inflight, ReportWithoutChangeTimesRejected) {
                                              anp.tables(), bogus, intact,
                                              HostId{0}, HostId{8}, 0.0),
                PreconditionError);
+}
+
+TEST(Inflight, RecoveryTransitionNeverDropsPackets) {
+  // The recovery-side window: tables move from avoid-the-link back to
+  // use-the-link while the link is already up.  Both generations of
+  // routes are valid on the healed fabric, so packets injected at any
+  // instant of the transition must get through.
+  const Topology topo =
+      Topology::build(generate_tree(4, 4, FaultToleranceVector{1, 0, 0}));
+  const LinkId link = topo.links_at_level(2)[0];
+  AnpOptions extended;
+  extended.notify_children = true;
+  AnpSimulation anp(topo, DelayModel{}, extended);
+  (void)anp.simulate_link_failure(link);
+  const RoutingState during_failure = anp.tables();
+  const FailureReport recovery = anp.simulate_link_recovery(link);
+  const RoutingState healed = anp.tables();
+  ASSERT_GT(switches_with_changed_tables(during_failure, healed), 0u);
+
+  for (const SimTime inject :
+       {0.0, 1.0, 5.0, 10.0, 20.0, 50.0, recovery.convergence_time_ms,
+        recovery.convergence_time_ms + 100.0}) {
+    for (const Flow& flow : all_cross_flows(topo)) {
+      const WalkResult walk = walk_during_convergence(
+          topo, during_failure, healed, recovery, anp.overlay(), flow.src,
+          flow.dst, inject);
+      EXPECT_TRUE(walk.delivered())
+          << "flow " << flow.src.value() << "->" << flow.dst.value()
+          << " lost at t=" << inject;
+    }
+  }
+}
+
+TEST(Inflight, GrayWalkDeterministicAndConsistentWithPacketWalk) {
+  // The in-flight walker and the plain packet walker key their gray-drop
+  // hash identically, so the same pinned seed gives the same fate.
+  const Topology topo = Topology::build(fat_tree(3, 4));
+  AnpSimulation anp(topo);
+  LinkStateOverlay actual(topo);
+  actual.set_gray(topo.host_uplink(HostId{5}).link, 0.5);
+  FailureReport empty_report;
+  empty_report.table_change_completed.assign(topo.num_switches(),
+                                             FailureReport::kNoChange);
+  const TableRouter router(anp.tables());
+  WalkOptions options;
+  options.health_seed = 7;
+  for (std::uint32_t s = 0; s < topo.num_hosts(); ++s) {
+    if (s == 5) continue;
+    const WalkResult inflight = walk_during_convergence(
+        topo, anp.tables(), anp.tables(), empty_report, actual, HostId{s},
+        HostId{5}, 0.0, options);
+    const WalkResult again = walk_during_convergence(
+        topo, anp.tables(), anp.tables(), empty_report, actual, HostId{s},
+        HostId{5}, 0.0, options);
+    const WalkResult plain =
+        walk_packet(topo, router, actual, HostId{s}, HostId{5}, options);
+    EXPECT_EQ(inflight.delivered(), again.delivered());
+    EXPECT_EQ(inflight.delivered(), plain.delivered());
+  }
 }
 
 }  // namespace

@@ -212,5 +212,91 @@ TEST(PacketWalk, MeasureToEdgeRange) {
                PreconditionError);
 }
 
+// ---- Gray and flapping link health ------------------------------------
+
+TEST(PacketWalk, GrayDropIsDeterministicPerFlow) {
+  const Topology topo = Topology::build(fat_tree(3, 4));
+  const StructuralRouter router(topo);
+  LinkStateOverlay actual(topo);
+  actual.set_gray(topo.host_uplink(HostId{5}).link, 0.5);
+
+  WalkOptions options;
+  options.health_seed = 42;
+  std::uint64_t delivered = 0;
+  for (std::uint32_t s = 0; s < topo.num_hosts(); ++s) {
+    if (s == 5) continue;
+    const WalkResult first =
+        walk_packet(topo, router, actual, HostId{s}, HostId{5}, options);
+    const WalkResult again =
+        walk_packet(topo, router, actual, HostId{s}, HostId{5}, options);
+    // The gray-drop decision is a pure hash of (seed, link, src, dst):
+    // re-walking the same flow under the same pinned seed must agree.
+    EXPECT_EQ(first.status, again.status);
+    EXPECT_EQ(first.hops, again.hops);
+    if (first.delivered()) ++delivered;
+  }
+  // At 50% loss some flows die and some survive.
+  EXPECT_GT(delivered, 0u);
+  EXPECT_LT(delivered, static_cast<std::uint64_t>(topo.num_hosts() - 1));
+}
+
+TEST(PacketWalk, ApplyHealthFalseIgnoresGray) {
+  const Topology topo = Topology::build(fat_tree(3, 4));
+  const StructuralRouter router(topo);
+  LinkStateOverlay actual(topo);
+  actual.set_gray(topo.host_uplink(HostId{5}).link, 1.0);  // drops everything
+  WalkOptions pure;
+  pure.apply_health = false;
+  const WalkResult r =
+      walk_packet(topo, router, actual, HostId{0}, HostId{5}, pure);
+  EXPECT_TRUE(r.delivered());
+  // With health honored, the certain-loss gray link eats the packet.
+  const WalkResult lossy =
+      walk_packet(topo, router, actual, HostId{0}, HostId{5}, WalkOptions{});
+  EXPECT_FALSE(lossy.delivered());
+}
+
+TEST(PacketWalk, FlappingPhaseGatesTheWalk) {
+  const Topology topo = Topology::build(fat_tree(3, 4));
+  const StructuralRouter router(topo);
+  LinkStateOverlay actual(topo);
+  // The host uplink has no alternate port, so the flap phase decides.
+  actual.set_flapping(topo.host_uplink(HostId{5}).link,
+                      /*period_ms=*/100.0, /*duty=*/0.5);
+  WalkOptions up_phase;
+  up_phase.at_time_ms = 10.0;  // fmod(10, 100) = 10 < 50: port up
+  EXPECT_TRUE(walk_packet(topo, router, actual, HostId{0}, HostId{5},
+                          up_phase)
+                  .delivered());
+  WalkOptions down_phase;
+  down_phase.at_time_ms = 60.0;  // fmod(60, 100) = 60 >= 50: port down
+  EXPECT_FALSE(walk_packet(topo, router, actual, HostId{0}, HostId{5},
+                           down_phase)
+                   .delivered());
+  // A full period later the phase repeats.
+  WalkOptions next_period;
+  next_period.at_time_ms = 110.0;
+  EXPECT_TRUE(walk_packet(topo, router, actual, HostId{0}, HostId{5},
+                          next_period)
+                  .delivered());
+}
+
+TEST(PacketWalk, FailingALinkClearsItsDegradation) {
+  const Topology topo = Topology::build(fat_tree(3, 4));
+  LinkStateOverlay actual(topo);
+  const LinkId link = topo.links_at_level(2)[0];
+  actual.set_gray(link, 0.4);
+  EXPECT_EQ(actual.health(link).health, LinkHealth::kGray);
+  EXPECT_EQ(actual.num_degraded(), 1u);
+  actual.fail(link);
+  EXPECT_EQ(actual.health(link).health, LinkHealth::kDown);
+  EXPECT_EQ(actual.loss_now(link, 0.0), 1.0);
+  actual.recover(link);
+  // The gray spell does not survive a real down/up cycle.
+  EXPECT_EQ(actual.health(link).health, LinkHealth::kUp);
+  EXPECT_EQ(actual.num_degraded(), 0u);
+  EXPECT_EQ(actual.loss_now(link, 0.0), 0.0);
+}
+
 }  // namespace
 }  // namespace aspen

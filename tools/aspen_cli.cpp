@@ -9,8 +9,10 @@
 //   aspen simulate <n> <k> <ftv> <lsp|anp|anp+> [level]   failure sweep
 //   aspen availability <n> <k> <ftv> [rate]       §1 nines accounting
 //   aspen window <n> <k> <ftv> <lsp|anp|anp+>     §8.4 loss-vs-time curve
-//   aspen chaos <n> <k> <ftv> <lsp|anp|anp+> [events [drop [seed]]]
+//   aspen chaos <n> <k> <ftv> <lsp|anp|anp+> [events [drop [seed [degrade]]]]
 //                                                 randomized fault campaign
+//   aspen detect <n> <k> <ftv> [loss [interval [N [M]]]]
+//                                                 BFD-style detector drill
 //   aspen label <n> <k> <ftv> [host]              §5.3 hierarchical labels
 //   aspen audit <n> <k> <ftv> <links.csv>         validate external wiring
 //
@@ -19,6 +21,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -26,6 +29,7 @@
 #include "src/analysis/availability.h"
 #include "src/analysis/convergence.h"
 #include "src/fault/chaos.h"
+#include "src/fault/detector.h"
 #include "src/aspen/enumerate.h"
 #include "src/aspen/fixed_hosts.h"
 #include "src/aspen/generator.h"
@@ -44,6 +48,10 @@ namespace {
 
 using namespace aspen;
 
+/// Global --seed= override, stripped in main(); subcommands that take a
+/// seed (chaos, detect) prefer it over their positional.
+std::optional<std::uint64_t> g_seed;
+
 int usage() {
   std::fprintf(
       stderr,
@@ -59,7 +67,8 @@ int usage() {
       "  aspen availability <n> <k> <ftv> [failures_per_link_per_year]\n"
       "  aspen window <n> <k> <ftv> <lsp|anp|anp+>\n"
       "  aspen chaos <n> <k> <ftv> <lsp|anp|anp+> [events [drop_rate "
-      "[seed]]]\n"
+      "[seed [degrade]]]]\n"
+      "  aspen detect <n> <k> <ftv> [loss [interval_ms [N [M]]]]\n"
       "  aspen label <n> <k> <ftv> [host]\n"
       "  aspen audit <n> <k> <ftv> <links.csv>\n"
       "ftv syntax: \"<a,b,c>\" or \"a,b,c\" (top level first)\n"
@@ -67,7 +76,10 @@ int usage() {
       "  --audit=<off|basic|paranoid>   runtime invariant-audit level;\n"
       "                                 paranoid runs every layer auditor at\n"
       "                                 phase boundaries (also via the\n"
-      "                                 ASPEN_AUDIT_LEVEL env variable)\n");
+      "                                 ASPEN_AUDIT_LEVEL env variable)\n"
+      "  --seed=<u64>                   campaign / detector seed; overrides\n"
+      "                                 the positional seed and is echoed in\n"
+      "                                 every report\n");
   return 1;
 }
 
@@ -323,7 +335,7 @@ int cmd_window(const std::vector<std::string>& args) {
 }
 
 int cmd_chaos(const std::vector<std::string>& args) {
-  if (args.size() < 4 || args.size() > 7) return usage();
+  if (args.size() < 4 || args.size() > 8) return usage();
   const Topology topo = Topology::build(
       generate_tree(std::stoi(args[0]), std::stoi(args[1]),
                     FaultToleranceVector::parse(args[2])));
@@ -347,9 +359,13 @@ int cmd_chaos(const std::vector<std::string>& args) {
     options.delays.channel.jitter_ms = 0.5;
     options.delays.channel.reliable = options.delays.channel.drop_rate > 0.0;
   }
-  if (args.size() >= 7) {
-    options.seed = std::stoull(args[6]);
-    options.delays.channel.seed = options.seed ^ 0xC44A05;
+  if (args.size() >= 7) options.seed = std::stoull(args[6]);
+  if (g_seed) options.seed = *g_seed;
+  options.delays.channel.seed = options.seed ^ 0xC44A05;
+  if (args.size() >= 8) {
+    options.p_degrade = std::stod(args[7]);
+    // Gray links can eat notifications; retransmit so tables restore.
+    if (options.p_degrade > 0.0) options.delays.channel.reliable = true;
   }
 
   // Under paranoid auditing the protocols self-audit mid-run; tally those
@@ -383,6 +399,13 @@ int cmd_chaos(const std::vector<std::string>& args) {
                      std::to_string(outcome.switch_recoveries)});
   table.add_row({"crash-mid-reaction runs",
                  std::to_string(outcome.compound_runs)});
+  if (options.p_degrade > 0.0) {
+    table.add_row({"gray / flapping injected",
+                   std::to_string(outcome.gray_injected) + " / " +
+                       std::to_string(outcome.flaps_injected)});
+    table.add_row({"degradations cleared",
+                   std::to_string(outcome.degradations_cleared)});
+  }
   table.add_row({"protocol messages", std::to_string(outcome.messages)});
   table.add_row({"retransmits / acks",
                  std::to_string(outcome.retransmits) + " / " +
@@ -406,6 +429,19 @@ int cmd_chaos(const std::vector<std::string>& args) {
                  std::to_string(outcome.ground_truth_violations)});
   table.add_row({"protocol shortfall flows",
                  std::to_string(outcome.protocol_shortfall)});
+  if (options.p_degrade > 0.0) {
+    table.add_row({"degraded-flow drops",
+                   std::to_string(outcome.degraded_drops)});
+    table.add_row({"health-eaten copies",
+                   std::to_string(outcome.health_dropped)});
+    if (outcome.detection_ms.count() > 0) {
+      table.add_row({"gray confirm ms (avg/max)",
+                     format_double(outcome.detection_ms.mean(), 1) + " / " +
+                         format_double(outcome.detection_ms.max(), 1)});
+    }
+    table.add_row({"undetected grays",
+                   std::to_string(outcome.undetected_grays)});
+  }
   table.add_row({"tables restored", outcome.tables_restored ? "yes" : "NO"});
   if (paranoid) {
     table.add_row({"invariant audit passes",
@@ -429,6 +465,87 @@ int cmd_chaos(const std::vector<std::string>& args) {
                   outcome.ground_truth_violations == 0 &&
                   outcome.all_quiesced && outcome.audit_violations == 0 &&
                   contract_violations == 0;
+  return ok ? 0 : 2;
+}
+
+// Detection drill: how fast does the BFD-style detector confirm a hard
+// cut vs gray links of increasing loss, and what does the confirm latency
+// do to each protocol's loss-inducing time once it is charged as
+// DelayModel::detection?
+int cmd_detect(const std::vector<std::string>& args) {
+  if (args.size() < 3 || args.size() > 7) return usage();
+  const Topology topo = Topology::build(
+      generate_tree(std::stoi(args[0]), std::stoi(args[1]),
+                    FaultToleranceVector::parse(args[2])));
+  const double gray_loss = args.size() >= 4 ? std::stod(args[3]) : 0.3;
+  fault::DetectorOptions options;
+  if (args.size() >= 5) options.probe_interval_ms = std::stod(args[4]);
+  if (args.size() >= 6) options.loss_threshold = std::stoi(args[5]);
+  if (args.size() >= 7) options.window = std::stoi(args[6]);
+  if (g_seed) options.seed = *g_seed;
+  const LinkId link = topo.links_at_level(2)[0];
+  std::printf("%s: detector on %s — probe %.1f ms, %d-of-%d, "
+              "recover after %d, seed %lu\n",
+              topo.describe().c_str(), to_string(link).c_str(),
+              options.probe_interval_ms, options.loss_threshold,
+              options.window, options.recovery_threshold,
+              static_cast<unsigned long>(options.seed));
+
+  bool ok = true;
+
+  // Hard cut: the worst-case bound is deterministic.
+  {
+    LinkHealthState fault;
+    fault.health = LinkHealth::kDown;
+    const fault::DetectionOutcome down =
+        fault::measure_detection(topo, link, fault, options);
+    const bool within =
+        down.confirmed() && down.confirm_latency_ms <= options.confirm_bound_ms();
+    std::printf("  hard down : confirmed in %.1f ms (bound %.1f ms) — %s\n",
+                down.confirm_latency_ms, options.confirm_bound_ms(),
+                within ? "ok" : "VIOLATED");
+    ok = ok && within;
+  }
+
+  // Gray sweep: confirmation is probabilistic; latency grows as the loss
+  // rate falls toward the N-of-M threshold.
+  TextTable table({"gray loss", "suspect ms", "confirm ms", "probes",
+                   "lost"});
+  for (const double loss : {0.1, 0.2, gray_loss, 0.7, 0.9}) {
+    LinkHealthState fault;
+    fault.health = LinkHealth::kGray;
+    fault.loss_rate = loss;
+    const fault::DetectionOutcome det =
+        fault::measure_detection(topo, link, fault, options);
+    table.add_row({format_double(loss, 2),
+                   det.suspect_latency_ms < 0.0
+                       ? "never"
+                       : format_double(det.suspect_latency_ms, 1),
+                   det.confirmed() ? format_double(det.confirm_latency_ms, 1)
+                                   : "never",
+                   std::to_string(det.stats.probes_sent),
+                   std::to_string(det.stats.probes_lost)});
+    if (loss == gray_loss) ok = ok && det.confirmed();
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  // Pipeline: detection latency + protocol reaction = loss-inducing time.
+  for (const char* name : {"lsp", "anp"}) {
+    const ProtocolKind kind =
+        std::strcmp(name, "lsp") == 0 ? ProtocolKind::kLsp : ProtocolKind::kAnp;
+    LinkHealthState fault;
+    fault.health = LinkHealth::kGray;
+    fault.loss_rate = gray_loss;
+    const fault::DetectedFailureResult run =
+        fault::run_detected_failure(kind, topo, link, fault, options);
+    std::printf("  %-3s pipeline: detect %.1f ms + react %.1f ms = %.1f ms "
+                "loss-inducing\n",
+                name, run.detection.confirm_latency_ms,
+                run.reaction.convergence_time_ms -
+                    run.reaction.detection_ms,
+                run.reaction.convergence_time_ms);
+    ok = ok && run.reaction.detection_ms > 0.0;
+  }
   return ok ? 0 : 2;
 }
 
@@ -494,12 +611,22 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string word = argv[i];
     constexpr const char* kAuditFlag = "--audit=";
+    constexpr const char* kSeedFlag = "--seed=";
     if (word.rfind(kAuditFlag, 0) == 0) {
       try {
         aspen::contracts::set_audit_level(aspen::contracts::parse_audit_level(
             word.substr(std::strlen(kAuditFlag))));
       } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
+        return usage();
+      }
+      continue;
+    }
+    if (word.rfind(kSeedFlag, 0) == 0) {
+      try {
+        g_seed = std::stoull(word.substr(std::strlen(kSeedFlag)));
+      } catch (const std::exception&) {
+        std::fprintf(stderr, "error: bad --seed value: %s\n", word.c_str());
         return usage();
       }
       continue;
@@ -521,6 +648,7 @@ int main(int argc, char** argv) {
     if (command == "availability") return cmd_availability(args);
     if (command == "window") return cmd_window(args);
     if (command == "chaos") return cmd_chaos(args);
+    if (command == "detect") return cmd_detect(args);
     if (command == "label") return cmd_label(args);
     if (command == "audit") return cmd_audit(args);
     return usage();
