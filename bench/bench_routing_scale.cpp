@@ -1,0 +1,190 @@
+// Experiment X10 (extension) — routing-engine throughput at scale.
+//
+// The paper's evaluation needs up*/down* tables for every overlay the
+// fault schedule produces; at n=4, k=16 scale a from-scratch computation
+// per event dominates campaign wall time.  This bench measures the three
+// engine axes that attack that cost (see DESIGN.md "routing engine"):
+//
+//   1. parallel fan-out — full computation across 1/2/4/8 workers, with
+//      byte-identity to the serial result verified at every count;
+//   2. allocation discipline — tables/s throughput of the full engine
+//      (per-thread scratch arenas, flat level ranges) at several tree
+//      sizes;
+//   3. incrementality — single-link churn (fail, patch, heal, patch)
+//      against a from-scratch recompute of the same overlay, with the
+//      patched state verified identical.
+//
+// Output is JSON (one document on stdout), bench_detection.cpp idiom.
+// `--quick` shrinks the config list for CI smoke runs.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/aspen/generator.h"
+#include "src/routing/updown.h"
+#include "src/topo/link_state.h"
+#include "src/util/parallel.h"
+
+namespace {
+
+using namespace aspen;
+
+struct Config {
+  int n;
+  int k;
+  const char* ftv_text;
+  std::vector<int> ftv;
+};
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Best-of-`reps` wall time of `fn` in milliseconds.
+template <typename Fn>
+double time_best_ms(int reps, Fn&& fn) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const double t0 = now_ms();
+    fn();
+    const double elapsed = now_ms() - t0;
+    if (r == 0 || elapsed < best) best = elapsed;
+  }
+  return best;
+}
+
+bool identical(const RoutingState& a, const RoutingState& b) {
+  return a.tables == b.tables && a.digests == b.digests;
+}
+
+void run_config(const Config& cfg, int reps, bool trailing_comma) {
+  const Topology topo =
+      Topology::build(generate_tree(cfg.n, cfg.k, FaultToleranceVector(cfg.ftv)));
+  const LinkStateOverlay intact(topo);
+
+  std::printf("    {\n");
+  std::printf("      \"n\": %d, \"k\": %d, \"ftv\": \"%s\",\n", cfg.n, cfg.k,
+              cfg.ftv_text);
+  std::printf("      \"switches\": %llu, \"links\": %llu, \"dests\": %llu,\n",
+              static_cast<unsigned long long>(topo.num_switches()),
+              static_cast<unsigned long long>(topo.num_links()),
+              static_cast<unsigned long long>(topo.params().S));
+
+  // Axis 1+2: full computation across thread counts, serial as baseline.
+  const RoutingState serial =
+      compute_updown_routes(topo, intact, DestGranularity::kEdge, 1);
+  const double tables =
+      static_cast<double>(topo.num_switches());
+  std::printf("      \"full\": [\n");
+  const std::vector<int> thread_counts{1, 2, 4, 8};
+  double serial_ms = 0.0;
+  for (std::size_t t = 0; t < thread_counts.size(); ++t) {
+    const int threads = thread_counts[t];
+    RoutingState out;
+    const double wall_ms = time_best_ms(reps, [&] {
+      out = compute_updown_routes(topo, intact, DestGranularity::kEdge,
+                                  threads);
+    });
+    if (threads == 1) serial_ms = wall_ms;
+    std::printf("        {\"threads\": %d, \"wall_ms\": %.3f, "
+                "\"tables_per_s\": %.0f, \"speedup_vs_serial\": %.2f, "
+                "\"identical_to_serial\": %s}%s\n",
+                threads, wall_ms, tables / (wall_ms / 1000.0),
+                serial_ms / wall_ms, identical(out, serial) ? "true" : "false",
+                t + 1 < thread_counts.size() ? "," : "");
+  }
+  std::printf("      ],\n");
+
+  // Axis 3: single-link churn.  Fail one top-level link, patch the rows it
+  // dirties, heal it, patch back — versus a from-scratch recompute of each
+  // overlay.  Patched states are verified identical to fresh ones.
+  const std::vector<LinkId> top = topo.links_at_level(topo.levels());
+  const LinkId churn = top[top.size() / 2];
+  LinkStateOverlay failed(topo);
+  failed.fail(churn);
+  const LinkId changed[] = {churn};
+
+  const double full_fail_ms = time_best_ms(reps, [&] {
+    const RoutingState fresh =
+        compute_updown_routes(topo, failed, DestGranularity::kEdge, 1);
+    (void)fresh;
+  });
+  RoutingState patched = serial;
+  RecomputeStats stats{};
+  const double inc_fail_ms = time_best_ms(reps, [&] {
+    patched = serial;
+    stats = recompute_updown_routes(topo, failed, patched, changed, 1);
+  });
+  const RoutingState fresh_failed =
+      compute_updown_routes(topo, failed, DestGranularity::kEdge, 1);
+  const bool fail_identical = identical(patched, fresh_failed);
+
+  // Heal: patch the failed state back up and compare against the original.
+  RoutingState healed = fresh_failed;
+  const double inc_heal_ms = time_best_ms(reps, [&] {
+    healed = fresh_failed;
+    (void)recompute_updown_routes(topo, intact, healed, changed, 1);
+  });
+  const bool heal_identical = identical(healed, serial);
+
+  std::printf("      \"incremental\": {\n");
+  std::printf("        \"churn_link_level\": %d,\n", topo.levels());
+  std::printf("        \"full_recompute_ms\": %.3f,\n", full_fail_ms);
+  std::printf("        \"incremental_fail_ms\": %.3f,\n", inc_fail_ms);
+  std::printf("        \"incremental_heal_ms\": %.3f,\n", inc_heal_ms);
+  std::printf("        \"speedup_vs_full\": %.2f,\n",
+              full_fail_ms / inc_fail_ms);
+  std::printf("        \"rows\": {\"total\": %llu, \"full\": %llu, "
+              "\"escalated\": %llu, \"patched_switches\": %llu, "
+              "\"untouched\": %llu},\n",
+              static_cast<unsigned long long>(stats.total_dests),
+              static_cast<unsigned long long>(stats.full_rows),
+              static_cast<unsigned long long>(stats.escalated_rows),
+              static_cast<unsigned long long>(stats.patched_switches),
+              static_cast<unsigned long long>(stats.untouched_rows()));
+  std::printf("        \"fail_identical\": %s,\n",
+              fail_identical ? "true" : "false");
+  std::printf("        \"heal_identical\": %s\n",
+              heal_identical ? "true" : "false");
+  std::printf("      }\n");
+  std::printf("    }%s\n", trailing_comma ? "," : "");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+
+  std::vector<Config> configs;
+  if (quick) {
+    configs.push_back({3, 8, "<0,0>", {0, 0}});
+    configs.push_back({4, 8, "<0,0,0>", {0, 0, 0}});
+  } else {
+    configs.push_back({3, 8, "<0,0>", {0, 0}});
+    configs.push_back({4, 8, "<0,0,0>", {0, 0, 0}});
+    configs.push_back({4, 12, "<0,0,0>", {0, 0, 0}});
+    configs.push_back({4, 16, "<0,0,0>", {0, 0, 0}});
+  }
+  const int reps = quick ? 1 : 3;
+
+  std::printf("{\n");
+  std::printf("  \"experiment\": \"routing_scale\",\n");
+  std::printf("  \"quick\": %s,\n", quick ? "true" : "false");
+  std::printf("  \"hardware_threads\": %d,\n",
+              aspen::parallel::effective_num_threads(0));
+  std::printf("  \"reps\": %d,\n", reps);
+  std::printf("  \"configs\": [\n");
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    run_config(configs[i], reps, i + 1 < configs.size());
+  }
+  std::printf("  ]\n");
+  std::printf("}\n");
+  return 0;
+}

@@ -30,6 +30,46 @@ void absorb(ChaosOutcome& outcome, const FailureReport& report) {
   outcome.convergence_ms.add(report.convergence_time_ms);
 }
 
+/// Ground-truth routes for the current overlay, maintained incrementally
+/// across a campaign.  Each consistency check used to recompute the truth
+/// tables from scratch; instead the cache diffs the overlay's up/down bits
+/// against the snapshot its tables were computed for and patches only the
+/// rows those links dirty.  Health changes (gray, flapping) are deliberately
+/// invisible here: routing consults only is_up().
+struct TruthCache {
+  RoutingState truth;
+  std::vector<char> up;  ///< is_up() snapshot `truth` reflects
+  bool valid = false;
+};
+
+/// Brings `cache.truth` in sync with `overlay`, computing from scratch on
+/// first use and incrementally afterwards.
+void sync_truth(const Topology& topo, const LinkStateOverlay& overlay,
+                DestGranularity granularity, TruthCache& cache) {
+  const std::uint64_t links = topo.num_links();
+  if (!cache.valid) {
+    cache.truth = compute_updown_routes(topo, overlay, granularity);
+    cache.up.resize(links);
+    for (std::uint64_t l = 0; l < links; ++l) {
+      cache.up[l] =
+          overlay.is_up(LinkId{static_cast<std::uint32_t>(l)}) ? 1 : 0;
+    }
+    cache.valid = true;
+    return;
+  }
+  std::vector<LinkId> changed;
+  for (std::uint64_t l = 0; l < links; ++l) {
+    const LinkId link{static_cast<std::uint32_t>(l)};
+    const char now = overlay.is_up(link) ? 1 : 0;
+    if (cache.up[l] == now) continue;
+    cache.up[l] = now;
+    changed.push_back(link);
+  }
+  if (!changed.empty()) {
+    recompute_updown_routes(topo, overlay, cache.truth, changed);
+  }
+}
+
 /// Invariant (a): walk sampled flows with the protocol's tables over the
 /// actual network, and with ground-truth tables computed *from* the actual
 /// network.  The protocol may fall short of physics, never beat it.
@@ -40,12 +80,11 @@ void absorb(ChaosOutcome& outcome, const FailureReport& report) {
 /// with health applied to count degradation pain (degraded_drops).
 void check_consistency(const Topology& topo, const ProtocolSimulation& proto,
                        const ChaosOptions& options, Rng& rng,
-                       ChaosOutcome& outcome) {
+                       TruthCache& cache, ChaosOutcome& outcome) {
   const std::uint64_t flows = options.check_flows;
   if (flows == 0 || topo.num_hosts() < 2) return;
-  const RoutingState truth =
-      compute_updown_routes(topo, proto.overlay(), options.granularity);
-  const TableRouter truth_router(truth);
+  sync_truth(topo, proto.overlay(), options.granularity, cache);
+  const TableRouter truth_router(cache.truth);
   const TableRouter proto_router(proto.tables());
   ++outcome.checks;
   WalkOptions pure;
@@ -110,6 +149,7 @@ ChaosOutcome run_chaos_campaign(ProtocolKind kind, const Topology& topo,
   Rng flow_rng(options.seed ^ 0x9E3779B97F4A7C15ull);
   ChaosOutcome outcome;
   outcome.seed = options.seed;
+  TruthCache truth_cache;
 
   // Campaign-owned outstanding faults.  Links a crash takes down belong to
   // the protocol's crash bookkeeping, not to these lists; a campaign link
@@ -163,6 +203,11 @@ ChaosOutcome run_chaos_campaign(ProtocolKind kind, const Topology& topo,
     table_options.alive = &alive;
     report.merge(routing::audit_tables(topo, proto->tables(),
                                        proto->overlay(), table_options));
+    // The ground-truth cache is itself incrementally maintained state:
+    // prove it (tables and digests) against a from-scratch computation.
+    sync_truth(topo, proto->overlay(), options.granularity, truth_cache);
+    report.merge(routing::audit_incremental(topo, proto->overlay(),
+                                            truth_cache.truth));
     if (outcome.all_quiesced) report.merge(proto->audit());
     record_audit(outcome, report);
   };
@@ -304,13 +349,13 @@ ChaosOutcome run_chaos_campaign(ProtocolKind kind, const Topology& topo,
 
     prune_degraded();
     if (options.check_every > 0 && (action + 1) % options.check_every == 0) {
-      check_consistency(topo, *proto, options, flow_rng, outcome);
+      check_consistency(topo, *proto, options, flow_rng, truth_cache, outcome);
       run_audits(/*unwound=*/false);
     }
   }
 
   // One last degraded-state check before unwinding.
-  check_consistency(topo, *proto, options, flow_rng, outcome);
+  check_consistency(topo, *proto, options, flow_rng, truth_cache, outcome);
   run_audits(/*unwound=*/false);
 
   // ---- Unwind: clear degradations, revive every switch, then raise every
@@ -335,8 +380,29 @@ ChaosOutcome run_chaos_campaign(ProtocolKind kind, const Topology& topo,
   }
   down_links.clear();
 
-  outcome.tables_restored =
-      switches_with_changed_tables(initial, proto->tables()) == 0;
+  // Invariant (b) via digests: O(switches) word compares instead of deep
+  // table comparison.  A digest mismatch proves the tables differ; equality
+  // is probabilistic (2^-64 per table), so paranoid mode cross-checks the
+  // verdict byte-for-byte and flags any disagreement as drift — that would
+  // mean some mutation bypassed digest maintenance.
+  const RoutingState& final_tables = proto->tables();
+  if (initial.has_digests() && final_tables.has_digests()) {
+    outcome.tables_restored = tables_match_by_digest(initial, final_tables);
+    if (paranoid) {
+      const bool deep_match = initial.tables == final_tables.tables;
+      if (deep_match != outcome.tables_restored) {
+        AuditReport drift;
+        drift.add(AuditCode::kIncrementalDrift,
+                  "restoration digest verdict disagrees with byte-for-byte "
+                  "table comparison");
+        record_audit(outcome, drift);
+        outcome.tables_restored = deep_match;
+      }
+    }
+  } else {
+    outcome.tables_restored =
+        switches_with_changed_tables(initial, final_tables) == 0;
+  }
   run_audits(/*unwound=*/true);
   return outcome;
 }

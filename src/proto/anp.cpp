@@ -24,6 +24,21 @@ void insert_sorted(std::vector<Topology::Neighbor>& hops,
   hops.insert(pos, nb);
 }
 
+// Rewrites one forwarding entry while keeping the engine's per-switch
+// digest in sync (fwd_table.h): digest ^= old_row_hash ^ new_row_hash.
+// Every ANP table mutation goes through here so digest short-circuits
+// (switches_with_changed_tables, chaos restoration checks) stay exact.
+template <typename Fn>
+void mutate_entry(RoutingState& tables, SwitchId s, std::uint64_t e, Fn&& fn) {
+  ForwardingTable::Entry& entry = tables.table(s).entry(e);
+  const bool keep = tables.has_digests();
+  const std::uint64_t before = keep ? hash_fwd_entry(e, entry) : 0;
+  fn(entry);
+  if (keep) {
+    tables.digests[s.value()] ^= before ^ hash_fwd_entry(e, entry);
+  }
+}
+
 }  // namespace
 
 AnpSimulation::AnpSimulation(const Topology& topo, DelayModel delays,
@@ -166,18 +181,21 @@ void AnpSimulation::handle_notification(RunContext& ctx, SwitchId at,
     // of ours that goes *through it* is dead for them, regardless of which
     // of our links to it carries the traffic.
     for (const DestIndex e : dests) {
-      ForwardingTable::Entry& entry = tables_.table(at).entry(e);
       std::vector<Topology::Neighbor> removed;
-      std::erase_if(entry.next_hops, [&](const Topology::Neighbor& nb) {
-        if (nb.node != neighbor_node) return false;
-        removed.push_back(nb);
-        return true;
+      bool now_empty = false;
+      mutate_entry(tables_, at, e, [&](ForwardingTable::Entry& entry) {
+        std::erase_if(entry.next_hops, [&](const Topology::Neighbor& nb) {
+          if (nb.node != neighbor_node) return false;
+          removed.push_back(nb);
+          return true;
+        });
+        now_empty = entry.next_hops.empty();
       });
       if (removed.empty()) continue;
       changed = true;
       auto& log = st.removed_by_neighbor[neighbor.value()][e];
       log.insert(log.end(), removed.begin(), removed.end());
-      if (entry.next_hops.empty() && !st.announced_lost[e]) {
+      if (now_empty && !st.announced_lost[e]) {
         st.announced_lost[e] = 1;
         to_forward.push_back(e);
       }
@@ -189,13 +207,15 @@ void AnpSimulation::handle_notification(RunContext& ctx, SwitchId at,
       if (nb_it == st.removed_by_neighbor.end()) break;
       const auto log_it = nb_it->second.find(e);
       if (log_it == nb_it->second.end()) continue;
-      ForwardingTable::Entry& entry = tables_.table(at).entry(e);
-      const bool was_empty = entry.next_hops.empty();
-      for (const Topology::Neighbor& nb : log_it->second) {
-        insert_sorted(entry.next_hops, nb);
-      }
-      ASPEN_ASSERT(!entry.next_hops.empty(),
-                   "replaying a withdrawal log restores at least one hop");
+      bool was_empty = false;
+      mutate_entry(tables_, at, e, [&](ForwardingTable::Entry& entry) {
+        was_empty = entry.next_hops.empty();
+        for (const Topology::Neighbor& nb : log_it->second) {
+          insert_sorted(entry.next_hops, nb);
+        }
+        ASPEN_ASSERT(!entry.next_hops.empty(),
+                     "replaying a withdrawal log restores at least one hop");
+      });
       nb_it->second.erase(log_it);
       changed = true;
       if (was_empty && st.announced_lost[e]) {
@@ -219,15 +239,19 @@ void AnpSimulation::detect_failure(RunContext& ctx, SwitchId s, LinkId link) {
   bool changed = false;
   std::vector<DestIndex> lost;
   for (DestIndex e = 0; e < tables_.num_dests(); ++e) {
-    ForwardingTable::Entry& entry = tables_.table(s).entry(e);
+    ForwardingTable::Entry& probe = tables_.table(s).entry(e);
     const auto it = std::ranges::find_if(
-        entry.next_hops,
+        probe.next_hops,
         [&](const Topology::Neighbor& nb) { return nb.link == link; });
-    if (it == entry.next_hops.end()) continue;
+    if (it == probe.next_hops.end()) continue;
     st.removed_by_link[link.value()][e] = *it;
-    entry.next_hops.erase(it);
+    bool now_empty = false;
+    mutate_entry(tables_, s, e, [&](ForwardingTable::Entry& entry) {
+      entry.next_hops.erase(it);
+      now_empty = entry.next_hops.empty();
+    });
     changed = true;
-    if (entry.next_hops.empty() && !st.announced_lost[e]) {
+    if (now_empty && !st.announced_lost[e]) {
       st.announced_lost[e] = 1;
       lost.push_back(e);
     }
@@ -247,9 +271,11 @@ void AnpSimulation::detect_recovery(RunContext& ctx, SwitchId s, LinkId link) {
     bool changed = false;
     std::vector<DestIndex> restored;
     for (const auto& [e, nb] : link_it->second) {
-      ForwardingTable::Entry& entry = tables_.table(s).entry(e);
-      const bool was_empty = entry.next_hops.empty();
-      insert_sorted(entry.next_hops, nb);
+      bool was_empty = false;
+      mutate_entry(tables_, s, e, [&](ForwardingTable::Entry& entry) {
+        was_empty = entry.next_hops.empty();
+        insert_sorted(entry.next_hops, nb);
+      });
       changed = true;
       if (was_empty && st.announced_lost[e]) {
         st.announced_lost[e] = 0;

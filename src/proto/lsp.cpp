@@ -129,6 +129,8 @@ LspSimulation::LspSimulation(const Topology& topo, DelayModel delays,
       granularity_(granularity),
       overlay_(topo) {
   tables_ = compute_updown_routes(topo, overlay_, granularity_);
+  converged_ = tables_;
+  converged_synced_ = true;
   alive_.assign(topo.num_switches(), 1);
 }
 
@@ -177,6 +179,7 @@ FailureReport LspSimulation::simulate_timed_events(
       std::ranges::all_of(alive_, [](char a) { return a != 0; });
   RoutingState after;
   std::vector<char> changes(topo.num_switches(), 0);
+  std::vector<LinkId> changed_links;
   {
     LinkStateOverlay future = overlay_;
     std::vector<char> future_alive = alive_;
@@ -203,10 +206,12 @@ FailureReport LspSimulation::simulate_timed_events(
       for (const LinkId link : effect.failed) {
         add_origin(topo.link(link).upper);
         add_origin(topo.link(link).lower);
+        changed_links.push_back(link);
       }
       for (const LinkId link : effect.recovered) {
         add_origin(topo.link(link).upper);
         add_origin(topo.link(link).lower);
+        changed_links.push_back(link);
       }
       if (!effect.failed.empty() || !effect.recovered.empty()) {
         records.push_back(std::move(rec));
@@ -215,9 +220,25 @@ FailureReport LspSimulation::simulate_timed_events(
     // Exact set of switches whose converged tables differ across the run.
     // A switch dead at the end keeps its stale tables (it flips in a later
     // run, once revived — the diff is always against current tables_).
-    after = compute_updown_routes(topo, future, granularity_);
+    //
+    // The post-run routes derive incrementally from the maintained
+    // converged ground truth (only rows the flipped links can affect are
+    // recomputed); a previous incomplete bounded run invalidates that
+    // cache, forcing a fresh full compute here.
+    if (!converged_synced_) {
+      converged_ = compute_updown_routes(topo, overlay_, granularity_);
+      converged_synced_ = true;
+    }
+    after = converged_;
+    recompute_updown_routes(topo, future, after, changed_links);
+    const bool digest_cmp = tables_.has_digests() && after.has_digests();
     for (std::uint32_t s = 0; s < topo.num_switches(); ++s) {
-      if (future_alive[s] && !(tables_.tables[s] == after.tables[s])) {
+      if (!future_alive[s]) continue;
+      // Unequal digests prove the tables differ; equal digests are
+      // confirmed with the deep compare, keeping the diff exact.
+      if (digest_cmp && tables_.digests[s] != after.digests[s]) {
+        changes[s] = 1;
+      } else if (!(tables_.tables[s] == after.tables[s])) {
         changes[s] = 1;
       }
     }
@@ -377,6 +398,9 @@ FailureReport LspSimulation::simulate_timed_events(
       ASPEN_ASSERT(records_heard[s] == required,
                    "switch flipped tables before hearing every record");
       tables_.tables[s] = after.tables[s];
+      if (tables_.has_digests() && after.has_digests()) {
+        tables_.digests[s] = after.digests[s];
+      }
       report.table_change_completed[s] = table_change_time[s];
       ++report.switches_reacted;
       report.convergence_time_ms =
@@ -392,6 +416,12 @@ FailureReport LspSimulation::simulate_timed_events(
       ++report.stale_switches;
     }
   }
+  // The preview's post-run routes become the next run's incremental base.
+  // An incomplete bounded run can leave scheduled fault applications
+  // unexecuted (overlay_ then lags the previewed future), so only a
+  // completed run keeps the cache valid.
+  converged_ = std::move(after);
+  converged_synced_ = run.completed;
   const ChannelStats& ch = channel.stats();
   report.channel_dropped = ch.dropped;
   report.health_dropped = ch.health_dropped;

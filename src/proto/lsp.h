@@ -95,6 +95,14 @@ class LspSimulation final : public ProtocolSimulation {
   DestGranularity granularity_;
   LinkStateOverlay overlay_;
   RoutingState tables_;
+  /// Ground-truth converged routes for overlay_, maintained incrementally
+  /// across runs.  Distinct from tables_, which can hold stale rows
+  /// (missed LSAs, crashed switches) and so is not a valid incremental
+  /// base.  Valid only while converged_synced_; an incomplete bounded run
+  /// may leave scheduled fault applications unexecuted, in which case the
+  /// next run starts from a fresh full compute.
+  RoutingState converged_;
+  bool converged_synced_ = false;
   std::vector<char> alive_;  // per switch; 0 while crashed
   /// Links a crash took down, owed back on that switch's recovery.
   std::map<std::uint32_t, std::vector<LinkId>> crash_links_;

@@ -15,17 +15,27 @@ LspLsdbSimulation::LspLsdbSimulation(const Topology& topo, DelayModel delays,
       overlay_(topo) {
   tables_ = compute_updown_routes(topo, overlay_, granularity_);
   state_.assign(topo.num_switches(), SwitchState(topo));
+  for (SwitchState& st : state_) st.view = tables_;
   own_seq_.assign(topo.num_switches(), 0);
 }
 
-bool LspLsdbSimulation::recompute_row(SwitchId s) {
-  // SPF over this switch's believed overlay.  Computing the full state and
-  // keeping one row is wasteful but exact; this class exists for fidelity,
-  // not speed (the fast model carries the benchmarks).
-  const RoutingState view = compute_updown_routes(
-      *topo_, state_[s.value()].believed, granularity_);
-  if (tables_.tables[s.value()] == view.tables[s.value()]) return false;
-  tables_.tables[s.value()] = view.tables[s.value()];
+bool LspLsdbSimulation::recompute_row(SwitchId s, LinkId changed) {
+  // SPF over this switch's believed overlay.  The believed view differs
+  // from its cached SPF result by at most the one link this LSA reported,
+  // so the cached state is patched incrementally instead of recomputed
+  // (a duplicate-origin LSA that flipped nothing is a no-op for it).
+  SwitchState& st = state_[s.value()];
+  const LinkId one[] = {changed};
+  recompute_updown_routes(*topo_, st.believed, st.view, one);
+  // Unequal digests prove the tables differ and skip the deep compare;
+  // equal digests are confirmed byte-for-byte, keeping the diff exact.
+  const bool digests = tables_.has_digests() && st.view.has_digests();
+  const bool differ =
+      (digests && tables_.digests[s.value()] != st.view.digests[s.value()]) ||
+      !(tables_.tables[s.value()] == st.view.tables[s.value()]);
+  if (!differ) return false;
+  tables_.tables[s.value()] = st.view.tables[s.value()];
+  if (digests) tables_.digests[s.value()] = st.view.digests[s.value()];
   return true;
 }
 
@@ -82,7 +92,7 @@ void LspLsdbSimulation::install_and_flood(RunContext& ctx, SwitchId at,
   } else {
     st.believed.fail(link);
   }
-  if (recompute_row(at)) {
+  if (recompute_row(at, link)) {
     if (!ctx.reacted[at.value()]) {
       ctx.reacted[at.value()] = 1;
       ++ctx.report.switches_reacted;

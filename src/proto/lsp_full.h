@@ -58,6 +58,12 @@ class LspLsdbSimulation final : public ProtocolSimulation {
   struct SwitchState {
     std::map<std::uint32_t, std::uint64_t> highest_seq;  ///< per origin
     LinkStateOverlay believed;
+    /// SPF result for `believed`, updated incrementally per installed LSA
+    /// (each install flips at most one link).  Caching the whole state per
+    /// switch trades memory for dropping the full SPF this class used to
+    /// run on every install; it exists for fidelity on small trees, where
+    /// the footprint is trivial.
+    RoutingState view;
 
     explicit SwitchState(const Topology& topo) : believed(topo) {}
   };
@@ -73,9 +79,9 @@ class LspLsdbSimulation final : public ProtocolSimulation {
   };
 
   FailureReport simulate_link_event(LinkId link, bool up);
-  /// Recomputes `s`'s own forwarding row from its believed overlay;
-  /// returns true when the row changed.
-  bool recompute_row(SwitchId s);
+  /// Refreshes `s`'s own forwarding row after its believed overlay may
+  /// have flipped `changed`; returns true when the row changed.
+  bool recompute_row(SwitchId s, LinkId changed);
   void install_and_flood(RunContext& ctx, SwitchId at, const Lsa& lsa,
                          LinkId arrival_link);
   void transmit(RunContext& ctx, SwitchId from, const Lsa& lsa,

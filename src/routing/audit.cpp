@@ -3,6 +3,8 @@
 #include <cstddef>
 #include <sstream>
 
+#include "src/routing/updown.h"
+
 namespace aspen::routing {
 
 namespace {
@@ -95,15 +97,21 @@ enum class WalkMark : unsigned char { kUnvisited, kVisiting, kClean, kDirty };
 
 class DestWalker {
  public:
+  /// `marks` is caller-owned scratch (reset here, reused across walkers)
+  /// and `levels` a per-switch level cache, so the per-destination loop in
+  /// audit_tables allocates nothing and skips the level_of bounds checks.
   DestWalker(const Topology& topo, const RoutingState& state,
              const TableAuditOptions& options, std::uint64_t dest,
-             AuditReport& report)
+             AuditReport& report, std::vector<WalkMark>& marks,
+             const std::vector<Level>& levels)
       : topo_(topo),
         state_(state),
         options_(options),
         dest_(dest),
         report_(report),
-        marks_(topo.num_switches() * 2, WalkMark::kUnvisited) {
+        marks_(marks),
+        levels_(levels) {
+    marks_.assign(topo.num_switches() * 2, WalkMark::kUnvisited);
     if (state_.granularity == DestGranularity::kEdge) {
       target_ = topo.switch_at(1, dest);
       dest_node_ = NodeId::invalid();
@@ -146,7 +154,7 @@ class DestWalker {
     marks_[slot] = WalkMark::kVisiting;
 
     bool clean = true;
-    const Level here = topo_.level_of(s);
+    const Level here = levels_[s.value()];
     for (const Topology::Neighbor& nb : state_.table(s).entry(dest_).next_hops) {
       if (nb.node == dest_node_) continue;  // delivered to the host itself
       if (!topo_.is_switch_node(nb.node)) {
@@ -158,7 +166,7 @@ class DestWalker {
         continue;
       }
       const SwitchId next = topo_.switch_of(nb.node);
-      const bool hop_up = topo_.level_of(next) > here;
+      const bool hop_up = levels_[next.value()] > here;
       if (hop_up && descended) {
         std::ostringstream os;
         os << "dest " << dest_ << ": " << to_string(s) << " climbs to "
@@ -179,7 +187,8 @@ class DestWalker {
   const TableAuditOptions& options_;
   std::uint64_t dest_;
   AuditReport& report_;
-  std::vector<WalkMark> marks_;
+  std::vector<WalkMark>& marks_;
+  const std::vector<Level>& levels_;
   SwitchId target_ = SwitchId::invalid();
   NodeId dest_node_ = NodeId::invalid();
 };
@@ -221,10 +230,63 @@ AuditReport audit_tables(const Topology& topo, const RoutingState& state,
   }
   if (options.check_walks) {
     const std::uint64_t num_dests = state.num_dests();
+    std::vector<WalkMark> marks;
+    std::vector<Level> levels(topo.num_switches());
+    for (std::uint32_t v = 0; v < topo.num_switches(); ++v) {
+      levels[v] = topo.level_of(SwitchId{v});
+    }
     for (std::uint64_t d = 0; d < num_dests; ++d) {
-      DestWalker walker(topo, state, options, d, report);
+      DestWalker walker(topo, state, options, d, report, marks, levels);
       walker.run();
     }
+  }
+  return report;
+}
+
+AuditReport audit_incremental(const Topology& topo,
+                              const LinkStateOverlay& overlay,
+                              const RoutingState& state, int threads) {
+  AuditReport report;
+  const RoutingState fresh =
+      compute_updown_routes(topo, overlay, state.granularity, threads);
+  if (state.tables.size() != fresh.tables.size()) {
+    std::ostringstream os;
+    os << "maintained state holds " << state.tables.size()
+       << " tables, a fresh computation " << fresh.tables.size();
+    report.add(AuditCode::kIncrementalDrift, os.str());
+    return report;
+  }
+  constexpr std::uint64_t kMaxDetailed = 4;
+  std::uint64_t drifted = 0;
+  std::uint64_t stale_digests = 0;
+  for (std::uint32_t v = 0; v < topo.num_switches(); ++v) {
+    const bool rows_equal = state.tables[v] == fresh.tables[v];
+    if (!rows_equal) {
+      if (++drifted <= kMaxDetailed) {
+        std::ostringstream os;
+        os << to_string(SwitchId{v})
+           << " table diverges from a fresh route computation";
+        report.add(AuditCode::kIncrementalDrift, os.str());
+      }
+      continue;
+    }
+    // Equal tables must carry equal digests (same hash of same contents);
+    // a mismatch means some mutation bypassed digest maintenance, which
+    // would corrupt every digest short-circuit downstream.
+    if (state.has_digests() && state.digests[v] != fresh.digests[v]) {
+      if (++stale_digests <= kMaxDetailed) {
+        std::ostringstream os;
+        os << to_string(SwitchId{v})
+           << " digest is out of sync with the table it fingerprints";
+        report.add(AuditCode::kIncrementalDrift, os.str());
+      }
+    }
+  }
+  if (drifted > kMaxDetailed || stale_digests > kMaxDetailed) {
+    std::ostringstream os;
+    os << drifted << " drifted table(s), " << stale_digests
+       << " stale digest(s) in total";
+    report.add(AuditCode::kIncrementalDrift, os.str());
   }
   return report;
 }

@@ -54,4 +54,16 @@ struct TableAuditOptions {
                                        const LinkStateOverlay& overlay,
                                        const TableAuditOptions& options = {});
 
+/// Paranoid-mode oracle for the incremental routing engine: recomputes the
+/// routes for `overlay` from scratch and reports kIncrementalDrift when the
+/// maintained `state` differs anywhere — a table row diverging from the
+/// fresh computation, or a maintained digest out of sync with the very
+/// tables it fingerprints (which would silently break every digest
+/// short-circuit downstream).  Costs a full route computation; gate it
+/// behind AuditLevel::kParanoid.
+[[nodiscard]] AuditReport audit_incremental(const Topology& topo,
+                                            const LinkStateOverlay& overlay,
+                                            const RoutingState& state,
+                                            int threads = 0);
+
 }  // namespace aspen::routing

@@ -73,12 +73,45 @@ inline bool operator==(const ForwardingTable::Entry& a,
   return a.next_hops == b.next_hops && a.cost == b.cost;
 }
 
+/// Order-independent fingerprint of one forwarding entry, keyed by its
+/// destination index.  Per-table digests are the XOR of all row hashes, so
+/// an engine rewriting rows in any order (or in parallel) accumulates the
+/// same digest, and a point mutation updates it in O(1):
+///   digest ^= hash_fwd_entry(d, old) ^ hash_fwd_entry(d, new).
+[[nodiscard]] inline std::uint64_t hash_fwd_entry(
+    std::uint64_t dest_index, const ForwardingTable::Entry& e) {
+  // FNV-1a over the row contents, seeded by the destination key so that
+  // swapping two rows' contents never cancels out under XOR.
+  std::uint64_t h = 0xcbf29ce484222325ull ^ (dest_index * 0x9e3779b97f4a7c15ull);
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ull;
+    h ^= h >> 29;
+  };
+  mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(e.cost)));
+  mix(e.next_hops.size());
+  for (const Topology::Neighbor& nb : e.next_hops) {
+    mix(nb.node.value());
+    mix(nb.link.value());
+  }
+  return h;
+}
+
 /// Forwarding tables for every switch in a topology.
 struct RoutingState {
   DestGranularity granularity = DestGranularity::kEdge;
   /// k/2 — maps a HostId to its edge-switch prefix index under kEdge.
   std::uint32_t hosts_per_edge = 1;
   std::vector<ForwardingTable> tables;  ///< indexed by SwitchId
+  /// Per-switch XOR-of-row-hashes fingerprints (see hash_fwd_entry),
+  /// maintained by the routing engine.  Empty on states built by hand;
+  /// digest-aware code falls back to deep compares then.
+  std::vector<std::uint64_t> digests;  ///< indexed by SwitchId
+
+  /// True when the engine-maintained digests cover every table.
+  [[nodiscard]] bool has_digests() const {
+    return !tables.empty() && digests.size() == tables.size();
+  }
 
   /// Table index for packets destined to `dst`.
   [[nodiscard]] std::uint64_t dest_index(HostId dst) const {

@@ -1,8 +1,12 @@
 #include "src/routing/updown.h"
 
+#include <algorithm>
+#include <atomic>
 #include <limits>
+#include <vector>
 
 #include "src/util/contracts.h"
+#include "src/util/parallel.h"
 #include "src/util/status.h"
 
 namespace aspen {
@@ -10,16 +14,58 @@ namespace aspen {
 namespace {
 
 constexpr int kInf = std::numeric_limits<int>::max() / 2;
+constexpr int kUnreachable = ForwardingTable::Entry::kUnreachable;
 
-// Fills the tables of every switch for one destination.  For edge
-// granularity the destination is the edge switch itself (base cost 0 at the
-// edge); for host granularity it is one host, whose (possibly failed) host
-// link adds a final hop below the edge switch.
+inline SwitchId switch_id(std::uint64_t s) {
+  return SwitchId{static_cast<std::uint32_t>(s)};
+}
+
+// Contiguous switch-id range [begin, end) per level, precomputed once so
+// the per-destination loops iterate raw ids instead of calling
+// switch_at/switches_at_level (and their bounds checks) per switch.
+struct LevelRange {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+};
+
+std::vector<LevelRange> make_level_ranges(const Topology& topo) {
+  std::vector<LevelRange> ranges(static_cast<std::size_t>(topo.levels()) + 1);
+  for (Level i = 1; i <= topo.levels(); ++i) {
+    const std::uint64_t begin = topo.switch_at(i, 0).value();
+    ranges[static_cast<std::size_t>(i)] = {
+        begin, begin + topo.params().switches_at_level(i)};
+  }
+  return ranges;
+}
+
+// Per-worker scratch arena: both buffers are allocated once (per worker,
+// per topology size) and reused across every destination row, replacing
+// the two full-size vector allocations the old engine made per row.
+struct Scratch {
+  std::vector<char> down_reach;
+  std::vector<int> best;
+};
+
+// XOR-updates a per-switch digest.  Atomic because destination jobs on
+// different threads land deltas on the same switch concurrently; XOR
+// commutes, so the result is independent of interleaving and thread count.
+inline void apply_digest_delta(std::uint64_t& digest, std::uint64_t delta) {
+  std::atomic_ref<std::uint64_t>(digest).fetch_xor(delta,
+                                                   std::memory_order_relaxed);
+}
+
+// Fills (or rewrites, under incremental recompute) the row of every switch
+// for one destination, keeping the per-switch digests in sync via
+// old^new row-hash deltas.  For edge granularity the destination is the
+// edge switch itself (base cost 0 at the edge); for host granularity it is
+// one host, whose (possibly failed) host link adds a final hop below the
+// edge switch.
 void route_one_destination(const Topology& topo,
+                           std::span<const LevelRange> ranges,
                            const LinkStateOverlay& overlay,
                            SwitchId dest_edge, std::uint64_t dest_index,
                            const Topology::Neighbor* host_link,
-                           RoutingState& state) {
+                           RoutingState& state, Scratch& scratch) {
   const std::uint64_t num_switches = topo.num_switches();
   const bool host_reachable =
       host_link == nullptr || overlay.is_up(host_link->link);
@@ -27,17 +73,17 @@ void route_one_destination(const Topology& topo,
   // Phase 1 — downward reachability.  Any all-downward path from level i to
   // the destination edge (level 1) has exactly i−1 hops, so we only track
   // *whether* a switch reaches the destination going strictly down.
-  std::vector<char> down_reach(num_switches, 0);
+  std::vector<char>& down_reach = scratch.down_reach;
+  down_reach.assign(num_switches, 0);
   if (host_reachable) down_reach[dest_edge.value()] = 1;
   for (Level i = 2; i <= topo.levels(); ++i) {
-    for (std::uint64_t idx = 0; idx < topo.params().switches_at_level(i);
-         ++idx) {
-      const SwitchId s = topo.switch_at(i, idx);
-      for (const Topology::Neighbor& nb : topo.down_neighbors(s)) {
+    const LevelRange range = ranges[static_cast<std::size_t>(i)];
+    for (std::uint64_t s = range.begin; s < range.end; ++s) {
+      for (const Topology::Neighbor& nb : topo.down_neighbors(switch_id(s))) {
         if (!overlay.is_up(nb.link)) continue;
         if (!topo.is_switch_node(nb.node)) continue;
         if (down_reach[nb.node.value()]) {
-          down_reach[s.value()] = 1;
+          down_reach[s] = 1;
           break;
         }
       }
@@ -49,18 +95,19 @@ void route_one_destination(const Topology& topo,
 
   // Phase 2 — best valid up*/down* cost, processed top level first so each
   // switch can consult its parents' already-final costs.
-  std::vector<int> best(num_switches, kInf);
+  std::vector<int>& best = scratch.best;
+  best.assign(num_switches, kInf);
   for (Level i = topo.levels(); i >= 1; --i) {
-    for (std::uint64_t idx = 0; idx < topo.params().switches_at_level(i);
-         ++idx) {
-      const SwitchId s = topo.switch_at(i, idx);
-      ForwardingTable::Entry& entry = state.table(s).entry(dest_index);
+    const LevelRange range = ranges[static_cast<std::size_t>(i)];
+    for (std::uint64_t s = range.begin; s < range.end; ++s) {
+      ForwardingTable::Entry& entry = state.tables[s].entry(dest_index);
+      const std::uint64_t old_hash = hash_fwd_entry(dest_index, entry);
       entry.next_hops.clear();
-      entry.cost = ForwardingTable::Entry::kUnreachable;
+      entry.cost = kUnreachable;
 
-      if (down_reach[s.value()]) {
-        best[s.value()] = i - 1 + base;
-        if (s == dest_edge) {
+      if (down_reach[s]) {
+        best[s] = i - 1 + base;
+        if (s == dest_edge.value()) {
           if (host_link != nullptr) {
             // Host granularity: the final hop is the host link itself.
             entry.next_hops.push_back(*host_link);
@@ -69,44 +116,80 @@ void route_one_destination(const Topology& topo,
             // Edge granularity: local delivery, no switch next hop.
             entry.cost = 0;
           }
-          continue;
+        } else {
+          for (const Topology::Neighbor& nb :
+               topo.down_neighbors(switch_id(s))) {
+            if (!overlay.is_up(nb.link)) continue;
+            if (!topo.is_switch_node(nb.node)) continue;
+            if (down_reach[nb.node.value()]) entry.next_hops.push_back(nb);
+          }
+          // Down-reachability above L1 came from some live downward edge.
+          ASPEN_ASSERT(!entry.next_hops.empty(),
+                       "down-reachable switch has no live downward hop");
+          entry.cost = best[s];
         }
-        for (const Topology::Neighbor& nb : topo.down_neighbors(s)) {
+      } else {
+        // Must climb: ECMP over parents with the minimal best cost.
+        int min_parent = kInf;
+        for (const Topology::Neighbor& nb : topo.up_neighbors(switch_id(s))) {
           if (!overlay.is_up(nb.link)) continue;
-          if (!topo.is_switch_node(nb.node)) continue;
-          if (down_reach[nb.node.value()]) entry.next_hops.push_back(nb);
+          min_parent = std::min(min_parent, best[nb.node.value()]);
         }
-        // Down-reachability above L1 came from some live downward edge.
-        ASPEN_ASSERT(!entry.next_hops.empty(),
-                     "down-reachable switch has no live downward hop");
-        entry.cost = best[s.value()];
-        continue;
+        if (min_parent < kInf) {  // else: destination unreachable from s
+          best[s] = 1 + min_parent;
+          for (const Topology::Neighbor& nb :
+               topo.up_neighbors(switch_id(s))) {
+            if (!overlay.is_up(nb.link)) continue;
+            if (best[nb.node.value()] == min_parent) {
+              entry.next_hops.push_back(nb);
+            }
+          }
+          ASPEN_ASSERT(!entry.next_hops.empty(),
+                       "a finite parent cost implies at least one ECMP uplink");
+          entry.cost = best[s];
+        }
       }
 
-      // Must climb: ECMP over parents with the minimal best cost.
-      int min_parent = kInf;
-      for (const Topology::Neighbor& nb : topo.up_neighbors(s)) {
-        if (!overlay.is_up(nb.link)) continue;
-        min_parent = std::min(min_parent, best[nb.node.value()]);
+      const std::uint64_t new_hash = hash_fwd_entry(dest_index, entry);
+      if (old_hash != new_hash) {
+        apply_digest_delta(state.digests[s], old_hash ^ new_hash);
       }
-      if (min_parent >= kInf) continue;  // destination unreachable from s
-      best[s.value()] = 1 + min_parent;
-      for (const Topology::Neighbor& nb : topo.up_neighbors(s)) {
-        if (!overlay.is_up(nb.link)) continue;
-        if (best[nb.node.value()] == min_parent) entry.next_hops.push_back(nb);
-      }
-      ASPEN_ASSERT(!entry.next_hops.empty(),
-                   "a finite parent cost implies at least one ECMP uplink");
-      entry.cost = best[s.value()];
     }
   }
+}
+
+// Granularity dispatch for one destination row.
+void route_dest(const Topology& topo, std::span<const LevelRange> ranges,
+                const LinkStateOverlay& overlay, std::uint64_t dest,
+                RoutingState& state, Scratch& scratch) {
+  if (state.granularity == DestGranularity::kEdge) {
+    route_one_destination(topo, ranges, overlay,
+                          switch_id(ranges[1].begin + dest), dest, nullptr,
+                          state, scratch);
+  } else {
+    const HostId host{static_cast<std::uint32_t>(dest)};
+    const Topology::Neighbor uplink = topo.host_uplink(host);
+    ASPEN_ASSERT(uplink.link.valid(), "every host has a wired uplink");
+    // The host's entry is keyed on the *downlink* direction: the same
+    // physical link, seen from the edge switch.
+    const Topology::Neighbor downlink{topo.node_of(host), uplink.link};
+    route_one_destination(topo, ranges, overlay, topo.edge_switch_of(host),
+                          dest, &downlink, state, scratch);
+  }
+}
+
+// Parent costs feed the up-climb patch below.  A switch's entry cost is
+// exactly its phase-2 `best` value, with kUnreachable standing in for kInf
+// (the engine writes entry.cost = best whenever best is finite).
+inline int cost_as_best(const ForwardingTable::Entry& e) {
+  return e.cost == kUnreachable ? kInf : e.cost;
 }
 
 }  // namespace
 
 RoutingState compute_updown_routes(const Topology& topo,
                                    const LinkStateOverlay& overlay,
-                                   DestGranularity granularity) {
+                                   DestGranularity granularity, int threads) {
   RoutingState state;
   state.granularity = granularity;
   state.hosts_per_edge = static_cast<std::uint32_t>(topo.ports()) / 2;
@@ -114,22 +197,34 @@ RoutingState compute_updown_routes(const Topology& topo,
                                       ? topo.params().S
                                       : topo.num_hosts();
   state.tables.assign(topo.num_switches(), ForwardingTable(num_dests));
-  for (std::uint64_t dest = 0; dest < num_dests; ++dest) {
-    if (granularity == DestGranularity::kEdge) {
-      route_one_destination(topo, overlay, topo.switch_at(1, dest), dest,
-                            nullptr, state);
-    } else {
-      const HostId host{static_cast<std::uint32_t>(dest)};
-      const Topology::Neighbor uplink = topo.host_uplink(host);
-      ASPEN_ASSERT(uplink.link.valid(), "every host has a wired uplink");
-      // The host's entry is keyed on the *downlink* direction: the same
-      // physical link, seen from the edge switch.
-      const Topology::Neighbor downlink{topo.node_of(host), uplink.link};
-      route_one_destination(topo, overlay, topo.edge_switch_of(host), dest,
-                            &downlink, state);
-    }
+
+  // Seed every digest with the all-default-rows fingerprint, so the uniform
+  // old^new deltas in route_one_destination land on the true table digest.
+  std::uint64_t empty_digest = 0;
+  const ForwardingTable::Entry default_entry{};
+  for (std::uint64_t d = 0; d < num_dests; ++d) {
+    empty_digest ^= hash_fwd_entry(d, default_entry);
   }
+  state.digests.assign(topo.num_switches(), empty_digest);
+
+  const std::vector<LevelRange> ranges = make_level_ranges(topo);
+  const int workers = parallel::effective_num_threads(threads);
+  std::vector<Scratch> scratch(static_cast<std::size_t>(workers));
+  parallel::parallel_for_blocks(
+      num_dests, workers,
+      [&](std::uint64_t begin, std::uint64_t end, int worker) {
+        Scratch& sc = scratch[static_cast<std::size_t>(worker)];
+        for (std::uint64_t dest = begin; dest < end; ++dest) {
+          route_dest(topo, ranges, overlay, dest, state, sc);
+        }
+      });
   return state;
+}
+
+RoutingState compute_updown_routes(const Topology& topo,
+                                   const LinkStateOverlay& overlay,
+                                   DestGranularity granularity) {
+  return compute_updown_routes(topo, overlay, granularity, /*threads=*/0);
 }
 
 RoutingState compute_updown_routes(const Topology& topo,
@@ -142,15 +237,223 @@ RoutingState compute_updown_routes(const Topology& topo) {
                                DestGranularity::kEdge);
 }
 
+RecomputeStats recompute_updown_routes(const Topology& topo,
+                                       const LinkStateOverlay& overlay,
+                                       RoutingState& state,
+                                       std::span<const LinkId> changed_links,
+                                       int threads) {
+  const std::uint64_t num_switches = topo.num_switches();
+  ASPEN_REQUIRE(state.tables.size() == num_switches,
+                "incremental recompute needs a state built for this topology");
+  const std::uint64_t num_dests = state.num_dests();
+  const std::uint64_t expected_dests =
+      state.granularity == DestGranularity::kEdge ? topo.params().S
+                                                  : topo.num_hosts();
+  ASPEN_REQUIRE(num_dests == expected_dests,
+                "routing state granularity does not match the topology");
+
+  RecomputeStats stats;
+  stats.total_dests = num_dests;
+  if (changed_links.empty()) return stats;
+
+  if (!state.has_digests()) {
+    // Hand-built base state: derive the digests once so maintenance works.
+    state.digests.assign(num_switches, 0);
+    for (std::uint64_t s = 0; s < num_switches; ++s) {
+      std::uint64_t h = 0;
+      for (std::uint64_t d = 0; d < num_dests; ++d) {
+        h ^= hash_fwd_entry(d, state.tables[s].entry(d));
+      }
+      state.digests[s] = h;
+    }
+  }
+
+  const std::vector<LevelRange> ranges = make_level_ranges(topo);
+  const bool host_gran = state.granularity == DestGranularity::kHost;
+  const std::uint64_t hosts_per_edge = state.hosts_per_edge;
+
+  // ---- Dirty-set derivation (see DESIGN.md "routing engine") ----
+  //
+  // For a changed inter-switch link with lower endpoint v, only two kinds
+  // of rows can differ from a fresh full compute:
+  //  - destinations in v's *structural* subtree: anything about their rows
+  //    may change (down-reachability shifts) — recompute those rows fully;
+  //  - every other destination: a strictly-down path to it can never cross
+  //    the changed link, so the only affected row is v's own up-climb.  If
+  //    v's cost is preserved no other switch notices; if it changes, the
+  //    destination escalates to a full row recompute.
+  // A changed host link is invisible at edge granularity and dirties just
+  // the attached host's row at host granularity.
+  std::vector<char> dirty(num_dests, 0);
+  std::uint64_t num_dirty = 0;
+  const auto mark_dest = [&](std::uint64_t d) {
+    if (!dirty[d]) {
+      dirty[d] = 1;
+      ++num_dirty;
+    }
+  };
+
+  std::vector<char> visited(num_switches, 0);
+  std::vector<std::uint64_t> stack;
+  const auto mark_subtree = [&](SwitchId v) {
+    if (visited[v.value()]) return;
+    visited[v.value()] = 1;
+    stack.clear();
+    stack.push_back(v.value());
+    while (!stack.empty()) {
+      const std::uint64_t s = stack.back();
+      stack.pop_back();
+      if (s >= ranges[1].begin && s < ranges[1].end) {
+        const std::uint64_t edge_index = s - ranges[1].begin;
+        if (host_gran) {
+          for (std::uint64_t h = 0; h < hosts_per_edge; ++h) {
+            mark_dest(edge_index * hosts_per_edge + h);
+          }
+        } else {
+          mark_dest(edge_index);
+        }
+        continue;
+      }
+      for (const Topology::Neighbor& nb : topo.down_neighbors(switch_id(s))) {
+        if (!topo.is_switch_node(nb.node)) continue;
+        if (!visited[nb.node.value()]) {
+          visited[nb.node.value()] = 1;
+          stack.push_back(nb.node.value());
+        }
+      }
+    }
+  };
+
+  std::vector<char> in_patch(num_switches, 0);
+  std::vector<SwitchId> patch_vs;
+  for (const LinkId l : changed_links) {
+    const Topology::LinkRec& rec = topo.link(l);
+    if (rec.upper_level == 1) {
+      if (host_gran) mark_dest(topo.host_of(rec.lower).value());
+      continue;
+    }
+    const SwitchId v = topo.switch_of(rec.lower);
+    if (!in_patch[v.value()]) {
+      in_patch[v.value()] = 1;
+      patch_vs.push_back(v);
+    }
+    mark_subtree(v);
+  }
+  if (num_dirty == 0 && patch_vs.empty()) return stats;
+
+  // ---- Row recompute / patch fan-out ----
+  //
+  // Each destination is handled end-to-end by one worker, so every write
+  // for a row happens on the thread that owns it; digests are the only
+  // shared writes (atomic XOR).
+  const int workers = parallel::effective_num_threads(threads);
+  struct WorkerStats {
+    std::uint64_t full = 0;
+    std::uint64_t escalated = 0;
+    std::uint64_t patched = 0;
+  };
+  std::vector<WorkerStats> wstats(static_cast<std::size_t>(workers));
+  std::vector<Scratch> scratch(static_cast<std::size_t>(workers));
+
+  parallel::parallel_for_blocks(
+      num_dests, workers,
+      [&](std::uint64_t begin, std::uint64_t end, int worker) {
+        Scratch& sc = scratch[static_cast<std::size_t>(worker)];
+        WorkerStats& ws = wstats[static_cast<std::size_t>(worker)];
+        std::vector<Topology::Neighbor> hops;
+        for (std::uint64_t d = begin; d < end; ++d) {
+          if (dirty[d]) {
+            route_dest(topo, ranges, overlay, d, state, sc);
+            ++ws.full;
+            continue;
+          }
+          // Patch pass 1 (read-only): would any patched switch's cost
+          // change for this destination?  Its parents' rows are final —
+          // nothing for this destination has been written yet.
+          bool escalate = false;
+          for (const SwitchId v : patch_vs) {
+            const ForwardingTable::Entry& cur =
+                state.tables[v.value()].entry(d);
+            int min_parent = kInf;
+            for (const Topology::Neighbor& nb : topo.up_neighbors(v)) {
+              if (!overlay.is_up(nb.link)) continue;
+              min_parent = std::min(
+                  min_parent,
+                  cost_as_best(state.tables[nb.node.value()].entry(d)));
+            }
+            const int new_cost =
+                min_parent >= kInf ? kUnreachable : 1 + min_parent;
+            if (new_cost != cur.cost) {
+              escalate = true;
+              break;
+            }
+          }
+          if (escalate) {
+            route_dest(topo, ranges, overlay, d, state, sc);
+            ++ws.full;
+            ++ws.escalated;
+            continue;
+          }
+          // Patch pass 2: costs are all preserved, so only the patched
+          // switches' ECMP uplink sets can differ — rebuild them in place
+          // (same up_neighbors enumeration order as the full engine).
+          for (const SwitchId v : patch_vs) {
+            ForwardingTable::Entry& cur = state.tables[v.value()].entry(d);
+            hops.clear();
+            if (cur.cost != kUnreachable) {
+              const int want = cur.cost - 1;
+              for (const Topology::Neighbor& nb : topo.up_neighbors(v)) {
+                if (!overlay.is_up(nb.link)) continue;
+                if (cost_as_best(state.tables[nb.node.value()].entry(d)) ==
+                    want) {
+                  hops.push_back(nb);
+                }
+              }
+            }
+            if (hops != cur.next_hops) {
+              const std::uint64_t old_hash = hash_fwd_entry(d, cur);
+              cur.next_hops = hops;
+              apply_digest_delta(state.digests[v.value()],
+                                 old_hash ^ hash_fwd_entry(d, cur));
+              ++ws.patched;
+            }
+          }
+        }
+      });
+
+  for (const WorkerStats& ws : wstats) {
+    stats.full_rows += ws.full;
+    stats.escalated_rows += ws.escalated;
+    stats.patched_switches += ws.patched;
+  }
+  return stats;
+}
+
 std::uint64_t switches_with_changed_tables(const RoutingState& before,
                                            const RoutingState& after) {
   ASPEN_REQUIRE(before.tables.size() == after.tables.size(),
                 "routing states describe different topologies");
+  // Digest mismatch proves inequality (equal tables hash equal), so the
+  // per-switch deep compare only runs to confirm digest-equal tables.
+  const bool use_digests = before.has_digests() && after.has_digests();
   std::uint64_t changed = 0;
   for (std::size_t s = 0; s < before.tables.size(); ++s) {
+    if (use_digests && before.digests[s] != after.digests[s]) {
+      ++changed;
+      continue;
+    }
     if (!(before.tables[s] == after.tables[s])) ++changed;
   }
   return changed;
+}
+
+bool tables_match_by_digest(const RoutingState& before,
+                            const RoutingState& after) {
+  ASPEN_REQUIRE(before.has_digests() && after.has_digests(),
+                "digest matching needs engine-built states");
+  ASPEN_REQUIRE(before.tables.size() == after.tables.size(),
+                "routing states describe different topologies");
+  return before.digests == after.digests;
 }
 
 }  // namespace aspen

@@ -25,6 +25,7 @@ const char* to_cstring(AuditCode code) {
     case AuditCode::kUpAfterDown: return "up-after-down";
     case AuditCode::kRoutingLoop: return "routing-loop";
     case AuditCode::kDefaultRouteGap: return "default-route-gap";
+    case AuditCode::kIncrementalDrift: return "incremental-drift";
     case AuditCode::kWithdrawalLogStale: return "withdrawal-log-stale";
     case AuditCode::kAnnouncedLostMismatch: return "announced-lost-mismatch";
     case AuditCode::kCrashCustody: return "crash-custody";

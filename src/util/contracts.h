@@ -74,6 +74,8 @@ enum class AuditCode {
   kUpAfterDown,         ///< a table walk climbs after descending (§3, §6)
   kRoutingLoop,         ///< a table walk revisits a switch for one dest
   kDefaultRouteGap,     ///< unreachable destination in a fully-live fabric
+  kIncrementalDrift,    ///< maintained state or digest diverges from a
+                        ///< fresh full route computation
 
   // ---- proto::audit_anp / audit_lsp -----------------------------------
   kWithdrawalLogStale,    ///< removal logged against a link that is up

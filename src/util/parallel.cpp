@@ -1,0 +1,203 @@
+#include "src/util/parallel.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/util/contracts.h"
+
+namespace aspen::parallel {
+
+namespace {
+
+int g_thread_override = 0;  // set_num_threads(); 0 = auto
+
+// True while the current thread is executing a pool block; nested
+// parallel_for_blocks calls then degrade to serial instead of deadlocking
+// on the (single) pool.
+thread_local bool t_inside_pool = false;
+
+int hardware_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int env_threads() {
+  const char* raw = std::getenv("ASPEN_THREADS");
+  if (raw == nullptr || *raw == '\0') return 0;
+  const int parsed = std::atoi(raw);
+  return parsed > 0 ? parsed : 0;
+}
+
+// Fixed partition: worker w gets [w*n/W, (w+1)*n/W) — depends only on
+// (n, W), never on scheduling, so index-addressed output is deterministic.
+struct Block {
+  std::uint64_t begin;
+  std::uint64_t end;
+};
+
+Block block_of(std::uint64_t n, int workers, int w) {
+  const auto uw = static_cast<std::uint64_t>(w);
+  const auto uworkers = static_cast<std::uint64_t>(workers);
+  return Block{n * uw / uworkers, n * (uw + 1) / uworkers};
+}
+
+// Parked helper threads, reused across loops.  Helper i always executes
+// worker slot i+1 of the active job; the calling thread executes slot 0.
+class WorkPool {
+ public:
+  static WorkPool& instance() {
+    static WorkPool pool;
+    return pool;
+  }
+
+  void run(std::uint64_t n, int workers, const BlockBody& body) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ensure_helpers(workers - 1);
+      job_n_ = n;
+      job_workers_ = workers;
+      job_body_ = &body;
+      job_error_ = nullptr;
+      // Every parked helper acknowledges each generation exactly once
+      // (helpers beyond this job's worker count just skip the work), so
+      // completion counts helpers, not workers.
+      remaining_ = static_cast<int>(helpers_.size());
+      ++generation_;
+    }
+    work_cv_.notify_all();
+
+    // Run slot 0 here; on failure still drain the helpers first — they hold
+    // a pointer to the caller-owned body.
+    std::exception_ptr main_error;
+    try {
+      run_block(n, workers, 0, body);
+    } catch (...) {
+      main_error = std::current_exception();
+    }
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] { return remaining_ == 0; });
+    job_body_ = nullptr;
+    if (main_error != nullptr) std::rethrow_exception(main_error);
+    if (job_error_ != nullptr) std::rethrow_exception(job_error_);
+  }
+
+ private:
+  WorkPool() = default;
+
+  ~WorkPool() {
+    for (std::jthread& t : helpers_) t.request_stop();
+    work_cv_.notify_all();
+    // jthread joins on destruction.
+  }
+
+  void ensure_helpers(int count) {
+    while (static_cast<int>(helpers_.size()) < count) {
+      const int slot = static_cast<int>(helpers_.size()) + 1;
+      // A helper born mid-sequence must treat the *current* generation as
+      // already handled — it only answers for generations published after
+      // its creation (the caller bumps generation_ under this same lock).
+      helpers_.emplace_back(
+          [this, slot, seen = generation_](std::stop_token stop) {
+            helper_loop(stop, slot, seen);
+          });
+    }
+  }
+
+  void run_block(std::uint64_t n, int workers, int w, const BlockBody& body) {
+    const Block b = block_of(n, workers, w);
+    if (b.begin >= b.end) return;
+    t_inside_pool = true;
+    try {
+      body(b.begin, b.end, w);
+    } catch (...) {
+      t_inside_pool = false;
+      throw;
+    }
+    t_inside_pool = false;
+  }
+
+  void helper_loop(const std::stop_token& stop, int slot, std::uint64_t seen) {
+    while (true) {
+      std::uint64_t n = 0;
+      int workers = 0;
+      const BlockBody* body = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        work_cv_.wait(lock, [&] {
+          return stop.stop_requested() || generation_ != seen;
+        });
+        if (stop.stop_requested()) return;
+        seen = generation_;
+        n = job_n_;
+        workers = job_workers_;
+        body = job_body_;
+      }
+      std::exception_ptr error;
+      if (slot < workers) {
+        try {
+          run_block(n, workers, slot, *body);
+        } catch (...) {
+          error = std::current_exception();
+        }
+      }
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (error != nullptr && job_error_ == nullptr) job_error_ = error;
+        --remaining_;
+      }
+      done_cv_.notify_one();
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::jthread> helpers_;
+
+  // Active job, guarded by mutex_ (helpers copy it out before running).
+  std::uint64_t job_n_ = 0;
+  int job_workers_ = 0;
+  const BlockBody* job_body_ = nullptr;
+  std::exception_ptr job_error_;
+  int remaining_ = 0;
+  std::uint64_t generation_ = 0;
+};
+
+}  // namespace
+
+int effective_num_threads(int request) {
+  int n = request;
+  if (n <= 0) n = g_thread_override;
+  if (n <= 0) n = env_threads();
+  if (n <= 0) n = hardware_threads();
+  return std::clamp(n, 1, kMaxThreads);
+}
+
+void set_num_threads(int n) { g_thread_override = n > 0 ? n : 0; }
+
+void parallel_for_blocks(std::uint64_t n, int threads, const BlockBody& body) {
+  ASPEN_REQUIRE(body != nullptr, "parallel loop needs a body");
+  if (n == 0) return;
+  int workers = effective_num_threads(threads);
+  if (n < static_cast<std::uint64_t>(workers)) {
+    workers = static_cast<int>(n);
+  }
+  if (workers == 1 || t_inside_pool) {
+    // Serial / nested: run the same partition inline (worker slot 0 only —
+    // with one worker the partition is the whole range).
+    for (int w = 0; w < workers; ++w) {
+      const Block b = block_of(n, workers, w);
+      if (b.begin < b.end) body(b.begin, b.end, w);
+    }
+    return;
+  }
+  WorkPool::instance().run(n, workers, body);
+}
+
+}  // namespace aspen::parallel

@@ -1,0 +1,46 @@
+// Small deterministic work pool for data-parallel loops.
+//
+// The routing engine fans independent per-destination computations out
+// across threads.  Determinism is the contract that makes that safe to use
+// everywhere: `parallel_for_blocks` always hands worker w the same
+// contiguous index block for a given (n, threads) pair, so any computation
+// whose writes are addressed by index produces byte-identical output at
+// every thread count — including 1, which runs inline with no pool at all.
+//
+// Threads are parked `std::jthread`s reused across calls (spawning per call
+// would dominate the sub-millisecond incremental recomputes this serves).
+// The pool is lazily created and sized to the largest request seen.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace aspen::parallel {
+
+/// Body of a parallel loop: process indices [begin, end).  `worker` is the
+/// stable worker slot in [0, threads) executing the block — use it to index
+/// per-worker scratch arenas.
+using BlockBody =
+    std::function<void(std::uint64_t begin, std::uint64_t end, int worker)>;
+
+/// Threads a `threads = 0` (auto) request resolves to: the explicit
+/// set_num_threads() override if any, else the ASPEN_THREADS environment
+/// variable, else std::thread::hardware_concurrency().  Always >= 1.
+/// A positive `request` is returned unchanged (capped at kMaxThreads).
+[[nodiscard]] int effective_num_threads(int request = 0);
+
+/// Process-wide override for auto thread requests (CLI --threads= plumbing).
+/// 0 restores the env/hardware default.  Not thread-safe against concurrent
+/// parallel_for_blocks calls; set it during startup/flag parsing.
+void set_num_threads(int n);
+
+/// Upper bound on workers per loop; requests above it are clamped.
+inline constexpr int kMaxThreads = 256;
+
+/// Runs body(begin, end, worker) over a static partition of [0, n) on
+/// `threads` workers (0 = auto via effective_num_threads).  Blocks until
+/// every block has finished; the first exception thrown by any block is
+/// rethrown here.  Nested calls from inside a body run serially inline.
+void parallel_for_blocks(std::uint64_t n, int threads, const BlockBody& body);
+
+}  // namespace aspen::parallel

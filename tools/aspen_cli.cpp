@@ -42,6 +42,7 @@
 #include "src/topo/import.h"
 #include "src/topo/validate.h"
 #include "src/util/contracts.h"
+#include "src/util/parallel.h"
 #include "src/util/table.h"
 
 namespace {
@@ -79,7 +80,11 @@ int usage() {
       "                                 ASPEN_AUDIT_LEVEL env variable)\n"
       "  --seed=<u64>                   campaign / detector seed; overrides\n"
       "                                 the positional seed and is echoed in\n"
-      "                                 every report\n");
+      "                                 every report\n"
+      "  --threads=<n>                  route-computation worker threads\n"
+      "                                 (0 = auto; also via the\n"
+      "                                 ASPEN_THREADS env variable); output\n"
+      "                                 is identical at every thread count\n");
   return 1;
 }
 
@@ -627,6 +632,17 @@ int main(int argc, char** argv) {
         g_seed = std::stoull(word.substr(std::strlen(kSeedFlag)));
       } catch (const std::exception&) {
         std::fprintf(stderr, "error: bad --seed value: %s\n", word.c_str());
+        return usage();
+      }
+      continue;
+    }
+    constexpr const char* kThreadsFlag = "--threads=";
+    if (word.rfind(kThreadsFlag, 0) == 0) {
+      try {
+        aspen::parallel::set_num_threads(
+            std::stoi(word.substr(std::strlen(kThreadsFlag))));
+      } catch (const std::exception&) {
+        std::fprintf(stderr, "error: bad --threads value: %s\n", word.c_str());
         return usage();
       }
       continue;
