@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/obs.h"
 #include "src/aspen/generator.h"
 #include "src/fault/chaos.h"
 #include "src/proto/experiment.h"
@@ -137,6 +138,10 @@ void print_campaign(ProtocolKind kind, const ChaosOutcome& outcome,
 int main() {
   using namespace aspen;
 
+  obs::ObsConfig obs_config;
+  obs_config.metrics = true;
+  obs::configure(obs_config);
+
   const int n = 4;
   const int k = 4;
   const Topology topo =
@@ -179,7 +184,8 @@ int main() {
     options.delays.channel.reliable = true;
     print_campaign(kind, run_chaos_campaign(kind, topo, options), p + 1 < 2);
   }
-  std::printf("  ]\n");
+  std::printf("  ],\n");
+  std::printf("  \"metrics\":\n%s\n", obs::metrics().to_json(2).c_str());
   std::printf("}\n");
   return 0;
 }

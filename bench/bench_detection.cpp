@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "src/obs/obs.h"
 #include "src/aspen/generator.h"
 #include "src/fault/detector.h"
 #include "src/proto/experiment.h"
@@ -105,6 +106,10 @@ void print_flap(ProtocolKind kind, const Topology& topo, LinkId link,
 int main() {
   using namespace aspen;
 
+  obs::ObsConfig obs_config;
+  obs_config.metrics = true;
+  obs::configure(obs_config);
+
   const int n = 3;
   const int k = 4;
   const Topology topo =
@@ -144,7 +149,8 @@ int main() {
   print_flap(ProtocolKind::kAnp, topo, link, /*damped=*/false, true);
   print_flap(ProtocolKind::kLsp, topo, link, /*damped=*/true, true);
   print_flap(ProtocolKind::kLsp, topo, link, /*damped=*/false, false);
-  std::printf("  ]\n");
+  std::printf("  ],\n");
+  std::printf("  \"metrics\":\n%s\n", obs::metrics().to_json(2).c_str());
   std::printf("}\n");
   return 0;
 }

@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "src/obs/obs.h"
 #include "src/aspen/fixed_hosts.h"
 #include "src/aspen/generator.h"
 #include "src/fault/detector.h"
@@ -62,6 +63,10 @@ void print_run(const char* fabric, ProtocolKind kind, const Topology& topo,
 int main() {
   using namespace aspen;
 
+  obs::ObsConfig obs_config;
+  obs_config.metrics = true;
+  obs::configure(obs_config);
+
   const int k = 6;
   const int n = 3;
   const int cycles = 10;
@@ -85,7 +90,8 @@ int main() {
                 p + 1 < periods.size() || !damped);
     }
   }
-  std::printf("  ]\n");
+  std::printf("  ],\n");
+  std::printf("  \"metrics\":\n%s\n", obs::metrics().to_json(2).c_str());
   std::printf("}\n");
   return 0;
 }

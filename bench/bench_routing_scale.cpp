@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/obs.h"
 #include "src/aspen/generator.h"
 #include "src/routing/updown.h"
 #include "src/topo/link_state.h"
@@ -44,9 +45,13 @@ double now_ms() {
       .count();
 }
 
-/// Best-of-`reps` wall time of `fn` in milliseconds.
+/// Best-of-`reps` wall time of `fn` in milliseconds.  Timed regions run
+/// with observability disabled: the bench reports the obs-off cost of the
+/// engine, while the untimed verification passes (metrics enabled in
+/// main) still populate the registry for the trailing "metrics" block.
 template <typename Fn>
 double time_best_ms(int reps, Fn&& fn) {
+  const obs::PauseObs quiet;
   double best = 0.0;
   for (int r = 0; r < reps; ++r) {
     const double t0 = now_ms();
@@ -157,6 +162,10 @@ void run_config(const Config& cfg, int reps, bool trailing_comma) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  aspen::obs::ObsConfig obs_config;
+  obs_config.metrics = true;
+  aspen::obs::configure(obs_config);
+
   bool quick = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
@@ -184,7 +193,9 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < configs.size(); ++i) {
     run_config(configs[i], reps, i + 1 < configs.size());
   }
-  std::printf("  ]\n");
+  std::printf("  ],\n");
+  std::printf("  \"metrics\":\n%s\n",
+              aspen::obs::metrics().to_json(2).c_str());
   std::printf("}\n");
   return 0;
 }

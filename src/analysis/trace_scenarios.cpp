@@ -1,0 +1,74 @@
+#include "src/analysis/trace_scenarios.h"
+
+#include "src/fault/chaos.h"
+#include "src/obs/obs.h"
+#include "src/proto/experiment.h"
+#include "src/util/contracts.h"
+#include "src/util/status.h"
+
+namespace aspen {
+
+TraceScenario parse_trace_scenario(const std::string& name) {
+  if (name == "single" || name == "single_fault") {
+    return TraceScenario::kSingleFault;
+  }
+  if (name == "chaos" || name == "chaos_campaign") {
+    return TraceScenario::kChaosCampaign;
+  }
+  throw PreconditionError("unknown trace scenario: " + name);
+}
+
+TraceScenarioResult run_traced_scenario(ProtocolKind kind,
+                                        const Topology& topo,
+                                        const TraceScenarioOptions& options) {
+  obs::ObsConfig config;
+  config.metrics = true;
+  config.trace = true;
+  config.trace_capacity = options.trace_capacity;
+  const obs::ScopedObs scoped(config);
+
+  obs::trace_event(0.0, obs::TraceKind::kRun,
+                   static_cast<std::uint32_t>(kind), 0, options.seed,
+                   to_cstring(options.scenario));
+
+  switch (options.scenario) {
+    case TraceScenario::kSingleFault: {
+      const auto proto = make_protocol(kind, topo);
+      ExperimentOptions experiment;
+      experiment.seed = options.seed;
+      experiment.connectivity_flows = 64;
+      const LinkId link = topo.links_at_level(2)[0];
+      (void)run_single_failure(*proto, link, experiment);
+      break;
+    }
+    case TraceScenario::kChaosCampaign: {
+      ChaosOptions chaos;
+      chaos.seed = options.seed;
+      chaos.num_events = options.chaos_events;
+      chaos.check_flows = 64;
+      // A mildly lossy, reliable channel so the drop / duplicate /
+      // retransmit / ack record kinds all appear in the golden stream.
+      chaos.delays.channel.drop_rate = 0.05;
+      chaos.delays.channel.duplicate_rate = 0.0125;
+      chaos.delays.channel.reliable = true;
+      chaos.delays.channel.seed = options.seed ^ 0xC44A05;
+      (void)run_chaos_campaign(kind, topo, chaos);
+      break;
+    }
+  }
+
+  obs::trace_event(0.0, obs::TraceKind::kRun,
+                   static_cast<std::uint32_t>(kind), 0, options.seed,
+                   "finish");
+
+  TraceScenarioResult result;
+  const obs::Tracer& tracer = obs::tracer();
+  result.jsonl = tracer.to_jsonl();
+  result.binary = tracer.to_binary();
+  result.metrics_json = obs::metrics().to_json(2);
+  result.records = tracer.size();
+  result.dropped = tracer.dropped();
+  return result;
+}
+
+}  // namespace aspen

@@ -1,0 +1,61 @@
+// Canonical traced scenarios: the fixed (protocol × scenario) runs that the
+// CLI's `aspen trace` subcommand replays and tests/golden/ snapshots.
+//
+// Both consumers must produce byte-identical traces for the same
+// (topology, protocol, scenario, seed), so the scenario definitions live
+// here, once, instead of being duplicated between tools/ and tests/.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/proto/protocol.h"
+#include "src/topo/topology.h"
+
+namespace aspen {
+
+enum class TraceScenario {
+  kSingleFault,     ///< fail the first L2 link, react, recover it
+  kChaosCampaign,   ///< short seeded chaos campaign over a lossy channel
+};
+
+[[nodiscard]] constexpr const char* to_cstring(TraceScenario scenario) {
+  switch (scenario) {
+    case TraceScenario::kSingleFault:
+      return "single_fault";
+    case TraceScenario::kChaosCampaign:
+      return "chaos_campaign";
+  }
+  return "unknown";
+}
+
+/// Parses "single" / "single_fault" / "chaos" / "chaos_campaign"; throws
+/// PreconditionError otherwise.
+[[nodiscard]] TraceScenario parse_trace_scenario(const std::string& name);
+
+struct TraceScenarioOptions {
+  TraceScenario scenario = TraceScenario::kSingleFault;
+  std::uint64_t seed = 1;
+  std::size_t trace_capacity = 1u << 16;
+  /// Campaign length before the unwind (chaos scenario only).  Small by
+  /// default so golden files stay reviewable.
+  int chaos_events = 12;
+};
+
+struct TraceScenarioResult {
+  std::string jsonl;         ///< the full trace as JSON Lines
+  std::string binary;        ///< the same trace, compact-binary encoded
+  std::string metrics_json;  ///< metrics registry snapshot (2-space indent)
+  std::uint64_t records = 0;  ///< records retained in the ring
+  std::uint64_t dropped = 0;  ///< records evicted (0 unless capacity is tiny)
+};
+
+/// Runs the scenario with observability scoped on (previous ObsConfig is
+/// restored on return) and snapshots the trace in both export formats plus
+/// the metrics registry.  Deterministic per (topo, kind, options) at every
+/// thread count.
+[[nodiscard]] TraceScenarioResult run_traced_scenario(
+    ProtocolKind kind, const Topology& topo,
+    const TraceScenarioOptions& options = {});
+
+}  // namespace aspen

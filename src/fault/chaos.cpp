@@ -4,6 +4,7 @@
 #include <array>
 #include <vector>
 
+#include "src/obs/obs.h"
 #include "src/routing/audit.h"
 #include "src/routing/packet_walk.h"
 #include "src/routing/reachability.h"
@@ -87,6 +88,9 @@ void check_consistency(const Topology& topo, const ProtocolSimulation& proto,
   const TableRouter truth_router(cache.truth);
   const TableRouter proto_router(proto.tables());
   ++outcome.checks;
+  obs::count("chaos.checks");
+  const std::uint64_t violations_before =
+      outcome.ground_truth_violations + outcome.protocol_shortfall;
   WalkOptions pure;
   pure.apply_health = false;
   // Degraded re-walks: seed the per-flow gray hash off the campaign seed
@@ -121,6 +125,12 @@ void check_consistency(const Topology& topo, const ProtocolSimulation& proto,
       if (!lossy.delivered()) ++outcome.degraded_drops;
     }
   }
+  const bool clean = outcome.ground_truth_violations +
+                         outcome.protocol_shortfall ==
+                     violations_before;
+  obs::trace_event(0.0, obs::TraceKind::kChaosCheck,
+                   static_cast<std::uint32_t>(flows), 0, clean ? 1 : 0,
+                   "consistency");
 }
 
 /// Folds one auditor pass into the outcome, retaining the first few
@@ -150,6 +160,10 @@ ChaosOutcome run_chaos_campaign(ProtocolKind kind, const Topology& topo,
   ChaosOutcome outcome;
   outcome.seed = options.seed;
   TruthCache truth_cache;
+  obs::count("chaos.campaigns");
+  obs::trace_event(0.0, obs::TraceKind::kChaosPhase, 0, 0,
+                   static_cast<std::uint64_t>(options.num_events),
+                   "campaign_start");
 
   // Campaign-owned outstanding faults.  Links a crash takes down belong to
   // the protocol's crash bookkeeping, not to these lists; a campaign link
@@ -263,6 +277,9 @@ ChaosOutcome run_chaos_campaign(ProtocolKind kind, const Topology& topo,
         degraded.erase(degraded.begin() + static_cast<std::ptrdiff_t>(at));
         if (proto->overlay_mut().clear_degradation(link)) {
           ++outcome.degradations_cleared;
+          obs::count("chaos.degradations_cleared");
+          obs::trace_event(0.0, obs::TraceKind::kLinkRestore, link.value(), 0,
+                           static_cast<std::uint64_t>(action), "heal");
         }
       }
     } else if (options.p_degrade > 0 &&
@@ -278,12 +295,18 @@ ChaosOutcome run_chaos_campaign(ProtocolKind kind, const Topology& topo,
         proto->overlay_mut().set_flapping(link, options.flap_period_ms,
                                           options.flap_duty);
         ++outcome.flaps_injected;
+        obs::count("chaos.flaps_injected");
+        obs::trace_event(0.0, obs::TraceKind::kLinkDegrade, link.value(), 0,
+                         static_cast<std::uint64_t>(action), "flap");
       } else {
         const double loss =
             options.gray_loss_min +
             rng.real() * (options.gray_loss_max - options.gray_loss_min);
         proto->overlay_mut().set_gray(link, loss);
         ++outcome.gray_injected;
+        obs::count("chaos.gray_injected");
+        obs::trace_event(0.0, obs::TraceKind::kLinkDegrade, link.value(), 0,
+                         static_cast<std::uint64_t>(action), "gray");
         if (options.measure_detection_latency) {
           // Side-channel watch on a private overlay: how long would a
           // detector take to confirm this gray link?  Seed varies per link
@@ -362,9 +385,15 @@ ChaosOutcome run_chaos_campaign(ProtocolKind kind, const Topology& topo,
   // campaign link.  Degradations go first so the restoration check runs on
   // clean physics.  Order is otherwise deliberately arbitrary relative to
   // the failure order — restoration must not depend on LIFO unwinding.
+  obs::trace_event(0.0, obs::TraceKind::kChaosPhase, 0, 0,
+                   down_links.size() + crashed.size() + degraded.size(),
+                   "unwind");
   for (const LinkId link : degraded) {
     if (proto->overlay_mut().clear_degradation(link)) {
       ++outcome.degradations_cleared;
+      obs::count("chaos.degradations_cleared");
+      obs::trace_event(0.0, obs::TraceKind::kLinkRestore, link.value(), 0, 0,
+                       "unwind");
     }
   }
   degraded.clear();
@@ -404,6 +433,8 @@ ChaosOutcome run_chaos_campaign(ProtocolKind kind, const Topology& topo,
         switches_with_changed_tables(initial, final_tables) == 0;
   }
   run_audits(/*unwound=*/true);
+  obs::trace_event(0.0, obs::TraceKind::kChaosPhase, 0, 0,
+                   outcome.tables_restored ? 1u : 0u, "campaign_end");
   return outcome;
 }
 

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <utility>
 
+#include "src/obs/obs.h"
 #include "src/util/status.h"
 
 namespace aspen::fault {
@@ -99,9 +100,13 @@ void FailureDetector::schedule_probe(std::size_t session_index,
 void FailureDetector::probe(std::size_t session_index) {
   Session& s = sessions_[session_index];
   ++stats_.probes_sent;
+  obs::count("detector.probes_sent");
   const double loss = overlay_->loss_now(s.link, sim_->now());
   const bool lost = loss >= 1.0 || (loss > 0.0 && rng_.chance(loss));
-  if (lost) ++stats_.probes_lost;
+  if (lost) {
+    ++stats_.probes_lost;
+    obs::count("detector.probes_lost");
+  }
 
   // Slide the N-of-M window.
   const std::size_t pos = static_cast<std::size_t>(s.window_pos);
@@ -261,6 +266,10 @@ void FailureDetector::schedule_reuse_check(LinkId link) {
 
 void FailureDetector::record(LinkId link, SwitchId observer,
                              DetectionKind kind) {
+  obs::count("detector.events");
+  obs::trace_event(sim_->now(), obs::TraceKind::kDetect, link.value(),
+                   observer.valid() ? observer.value() : 0,
+                   static_cast<std::uint64_t>(kind), to_cstring(kind));
   events_.push_back(DetectionEvent{sim_->now(), link, observer, kind});
 }
 
@@ -412,6 +421,9 @@ DetectionOutcome measure_detection(const Topology& topo, LinkId link,
   outcome.confirm_latency_ms = detector.first_confirm_down(link);
   outcome.suspect_latency_ms = detector.first_suspect(link);
   outcome.stats = detector.stats();
+  if (outcome.confirmed()) {
+    obs::observe("detector.confirm_ms", outcome.confirm_latency_ms);
+  }
   return outcome;
 }
 

@@ -1,0 +1,83 @@
+// Process-wide metrics registry: counters, gauges, fixed-bucket histograms.
+//
+// The registry is deliberately simple — an ordered map per metric family —
+// because observability is off by default and every caller goes through the
+// enabled-flag fast path in obs.h.  Ordered storage buys deterministic
+// export order for free, which the golden-trace tests and bench JSON
+// summaries rely on.
+//
+// Thread model: all mutation happens on the orchestrating thread (the
+// simulator loop, protocol drivers and chaos campaigns are single-threaded;
+// the routing engine records aggregate stats only after its worker pool has
+// joined).  The registry therefore carries no locks.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace aspen::obs {
+
+/// A fixed-bucket histogram: `bounds` are ascending inclusive upper bounds
+/// with an implicit +inf bucket at the end, so `counts` always has
+/// `bounds.size() + 1` entries.
+struct HistogramData {
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
+/// Default latency-ish bounds (milliseconds) used when a histogram is first
+/// observed without an explicit registration.
+[[nodiscard]] const std::vector<double>& default_histogram_bounds();
+
+class MetricsRegistry {
+ public:
+  /// Adds `delta` to the named counter, creating it at zero first.
+  void add(const std::string& name, std::uint64_t delta = 1);
+
+  /// Sets the named gauge to `value` (last write wins).
+  void set_gauge(const std::string& name, double value);
+
+  /// Records `value` into the named histogram, registering it with
+  /// default_histogram_bounds() on first use.
+  void observe(const std::string& name, double value);
+
+  /// Pre-registers a histogram with explicit bucket bounds (ascending).
+  /// No-op if the histogram already exists.
+  void register_histogram(const std::string& name, std::vector<double> bounds);
+
+  [[nodiscard]] std::uint64_t counter(const std::string& name) const;
+  [[nodiscard]] double gauge(const std::string& name) const;
+  [[nodiscard]] const HistogramData* histogram(const std::string& name) const;
+  [[nodiscard]] bool empty() const;
+
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, double>& gauges() const {
+    return gauges_;
+  }
+  [[nodiscard]] const std::map<std::string, HistogramData>& histograms()
+      const {
+    return histograms_;
+  }
+
+  /// Drops every metric (names included).
+  void reset();
+
+  /// Serializes the registry as one JSON object with "counters", "gauges"
+  /// and "histograms" sections, keys sorted.  `indent` spaces prefix every
+  /// line so the block can be spliced into an enclosing document.
+  [[nodiscard]] std::string to_json(int indent = 0) const;
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, HistogramData> histograms_;
+};
+
+}  // namespace aspen::obs

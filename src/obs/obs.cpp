@@ -1,0 +1,59 @@
+#include "src/obs/obs.h"
+
+namespace aspen::obs {
+
+namespace detail {
+bool g_metrics_enabled = false;
+bool g_trace_enabled = false;
+}  // namespace detail
+
+namespace {
+
+ObsConfig& stored_config() {
+  static ObsConfig config;
+  return config;
+}
+
+Tracer& stored_tracer() {
+  static Tracer tracer(ObsConfig{}.trace_capacity);
+  return tracer;
+}
+
+MetricsRegistry& stored_metrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+/// Rebuilds the tracer ring when the requested capacity changes.  The
+/// tracer lives behind a pointer-to-static so the hot path never pays for
+/// an indirection — only configure() swaps it.
+void rebuild_tracer(std::size_t capacity) {
+  stored_tracer() = Tracer(capacity == 0 ? 1 : capacity);
+}
+
+}  // namespace
+
+void configure(const ObsConfig& config) {
+  const bool capacity_changed =
+      config.trace_capacity != stored_config().trace_capacity;
+  stored_config() = config;
+  detail::g_metrics_enabled = config.metrics;
+  detail::g_trace_enabled = config.trace;
+  if (capacity_changed) {
+    rebuild_tracer(config.trace_capacity);
+  }
+  reset_collected();
+}
+
+ObsConfig config() { return stored_config(); }
+
+void reset_collected() {
+  stored_metrics().reset();
+  stored_tracer().clear();
+}
+
+MetricsRegistry& metrics() { return stored_metrics(); }
+
+Tracer& tracer() { return stored_tracer(); }
+
+}  // namespace aspen::obs

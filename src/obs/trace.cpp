@@ -1,0 +1,233 @@
+#include "src/obs/trace.h"
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+
+#include "src/util/contracts.h"
+
+namespace aspen::obs {
+namespace {
+
+constexpr char kBinaryMagic[8] = {'A', 'S', 'P', 'N', 'T', 'R', 'C', '1'};
+
+void append_u32(std::string& out, std::uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, sizeof(v));
+  out.append(buf, sizeof(buf));
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, sizeof(v));
+  out.append(buf, sizeof(buf));
+}
+
+void append_f64(std::string& out, double v) {
+  char buf[8];
+  std::memcpy(buf, &v, sizeof(v));
+  out.append(buf, sizeof(buf));
+}
+
+/// Cursor over a binary blob; every read_* checks bounds and fails sticky.
+struct Reader {
+  const std::string& data;
+  std::size_t at = 0;
+  bool ok = true;
+
+  bool take(void* dst, std::size_t n) {
+    if (!ok || data.size() - at < n) {
+      ok = false;
+      return false;
+    }
+    std::memcpy(dst, data.data() + at, n);
+    at += n;
+    return true;
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    take(&v, sizeof(v));
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    take(&v, sizeof(v));
+    return v;
+  }
+  double f64() {
+    double v = 0.0;
+    take(&v, sizeof(v));
+    return v;
+  }
+};
+
+void append_jsonl_record(std::string& out, const TraceRecord& r) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "{\"seq\":%llu,\"t_ms\":%.6f,\"kind\":\"%s\",\"a\":%lu,"
+                "\"b\":%lu,\"value\":%llu,\"detail\":\"%s\"}\n",
+                static_cast<unsigned long long>(r.seq), r.t_ms,
+                trace_kind_name(r.kind), static_cast<unsigned long>(r.a),
+                static_cast<unsigned long>(r.b),
+                static_cast<unsigned long long>(r.value), r.detail);
+  out += buf;
+}
+
+}  // namespace
+
+const char* trace_kind_name(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kRun: return "run";
+    case TraceKind::kMsgSend: return "msg_send";
+    case TraceKind::kMsgRecv: return "msg_recv";
+    case TraceKind::kMsgDrop: return "msg_drop";
+    case TraceKind::kMsgDup: return "msg_dup";
+    case TraceKind::kMsgRetransmit: return "msg_retransmit";
+    case TraceKind::kMsgAck: return "msg_ack";
+    case TraceKind::kMsgGiveUp: return "msg_give_up";
+    case TraceKind::kLinkFail: return "link_fail";
+    case TraceKind::kLinkRecover: return "link_recover";
+    case TraceKind::kLinkDegrade: return "link_degrade";
+    case TraceKind::kLinkRestore: return "link_restore";
+    case TraceKind::kSwitchCrash: return "switch_crash";
+    case TraceKind::kSwitchRevive: return "switch_revive";
+    case TraceKind::kDetect: return "detect";
+    case TraceKind::kRouteFull: return "route_full";
+    case TraceKind::kRoutePatch: return "route_patch";
+    case TraceKind::kChaosPhase: return "chaos_phase";
+    case TraceKind::kChaosCheck: return "chaos_check";
+  }
+  ASPEN_UNREACHABLE("unknown TraceKind ",
+                    static_cast<int>(kind));
+}
+
+Tracer::Tracer(std::size_t capacity) : capacity_(capacity) {
+  ASPEN_ASSERT(capacity_ > 0, "tracer capacity must be positive");
+  ring_.reserve(capacity_);
+}
+
+void Tracer::emit(double t_ms, TraceKind kind, std::uint32_t a,
+                  std::uint32_t b, std::uint64_t value, const char* detail) {
+  TraceRecord r;
+  r.seq = next_seq_++;
+  r.t_ms = t_ms;
+  r.kind = kind;
+  r.a = a;
+  r.b = b;
+  r.value = value;
+  r.detail = detail == nullptr ? "" : detail;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(r);
+  } else {
+    ring_[head_] = r;
+    head_ = (head_ + 1) % capacity_;
+    ++dropped_;
+  }
+}
+
+std::vector<TraceRecord> Tracer::records() const {
+  std::vector<TraceRecord> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::size_t Tracer::size() const { return ring_.size(); }
+
+void Tracer::clear() {
+  ring_.clear();
+  head_ = 0;
+  next_seq_ = 0;
+  dropped_ = 0;
+}
+
+std::string Tracer::to_jsonl() const { return records_to_jsonl(records()); }
+
+std::string records_to_jsonl(const std::vector<TraceRecord>& records) {
+  std::string out;
+  out.reserve(records.size() * 96);
+  for (const TraceRecord& r : records) append_jsonl_record(out, r);
+  return out;
+}
+
+std::string Tracer::to_binary() const {
+  const std::vector<TraceRecord> recs = records();
+
+  // Intern detail strings: traces repeat a handful of literals thousands of
+  // times, so the table plus a u32 index per record beats inline strings by
+  // an order of magnitude.
+  std::map<std::string, std::uint32_t> intern;
+  std::vector<std::string> strings;
+  for (const TraceRecord& r : recs) {
+    const auto [it, inserted] =
+        intern.try_emplace(r.detail, static_cast<std::uint32_t>(strings.size()));
+    if (inserted) strings.push_back(r.detail);
+  }
+
+  std::string out;
+  out.append(kBinaryMagic, sizeof(kBinaryMagic));
+  append_u32(out, static_cast<std::uint32_t>(strings.size()));
+  for (const std::string& s : strings) {
+    append_u32(out, static_cast<std::uint32_t>(s.size()));
+    out += s;
+  }
+  append_u64(out, static_cast<std::uint64_t>(recs.size()));
+  for (const TraceRecord& r : recs) {
+    append_u64(out, r.seq);
+    append_f64(out, r.t_ms);
+    append_u32(out, static_cast<std::uint32_t>(r.kind));
+    append_u32(out, r.a);
+    append_u32(out, r.b);
+    append_u64(out, r.value);
+    append_u32(out, intern.at(r.detail));
+  }
+  return out;
+}
+
+bool read_binary(const std::string& data, std::vector<OwnedTraceRecord>& out) {
+  out.clear();
+  Reader in{data};
+  char magic[sizeof(kBinaryMagic)];
+  if (!in.take(magic, sizeof(magic)) ||
+      std::memcmp(magic, kBinaryMagic, sizeof(magic)) != 0) {
+    return false;
+  }
+
+  const std::uint32_t num_strings = in.u32();
+  std::vector<std::string> strings;
+  strings.reserve(num_strings);
+  for (std::uint32_t i = 0; i < num_strings && in.ok; ++i) {
+    const std::uint32_t len = in.u32();
+    if (!in.ok || in.data.size() - in.at < len) return false;
+    strings.emplace_back(in.data.data() + in.at, len);
+    in.at += len;
+  }
+
+  const std::uint64_t num_records = in.u64();
+  for (std::uint64_t i = 0; i < num_records && in.ok; ++i) {
+    OwnedTraceRecord r;
+    r.seq = in.u64();
+    r.t_ms = in.f64();
+    const std::uint32_t kind = in.u32();
+    r.a = in.u32();
+    r.b = in.u32();
+    r.value = in.u64();
+    const std::uint32_t detail_index = in.u32();
+    if (!in.ok || kind >= kNumTraceKinds || detail_index >= strings.size()) {
+      out.clear();
+      return false;
+    }
+    r.kind = static_cast<TraceKind>(kind);
+    r.detail = strings[detail_index];
+    out.push_back(std::move(r));
+  }
+  if (!in.ok || out.size() != num_records) {
+    out.clear();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace aspen::obs

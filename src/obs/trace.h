@@ -1,0 +1,120 @@
+// Structured event tracer: a per-run ring buffer of typed, timestamped
+// records with JSON Lines and compact-binary exporters.
+//
+// Determinism contract: a trace is a pure function of (topology, seed,
+// schedule) — timestamps are *simulated* milliseconds, sequence numbers are
+// assigned at emit time on the orchestrating thread, and no wall-clock or
+// thread identity ever enters a record.  Parallel code must aggregate and
+// emit from the orchestration level after its workers join (the routing
+// engine records one route_full/route_patch record per call, never one per
+// destination row).  That is what lets tests/golden/ snapshot traces and
+// diff them byte-for-byte across thread counts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace aspen::obs {
+
+/// Every event class the instrumented layers emit.  Values are part of the
+/// compact-binary format; append only, never reorder.
+enum class TraceKind : std::uint8_t {
+  kRun = 0,          ///< run marker (scenario start/finish); detail names it
+  kMsgSend,          ///< protocol message handed to the channel; a→b switches
+  kMsgRecv,          ///< protocol message dispatched at its destination
+  kMsgDrop,          ///< channel or health model dropped a copy
+  kMsgDup,           ///< channel duplicated a copy
+  kMsgRetransmit,    ///< reliable transport re-sent an unacked message
+  kMsgAck,           ///< reliable transport acknowledged a delivery
+  kMsgGiveUp,        ///< reliable transport exhausted its retry budget
+  kLinkFail,         ///< link hard-failed; a=link id
+  kLinkRecover,      ///< link recovered; a=link id
+  kLinkDegrade,      ///< link entered gray/flapping health; a=link id
+  kLinkRestore,      ///< link health cleared back to Up; a=link id
+  kSwitchCrash,      ///< switch crashed; a=switch id
+  kSwitchRevive,     ///< switch revived; a=switch id
+  kDetect,           ///< detector state machine event; value=DetectionKind
+  kRouteFull,        ///< full route computation; value=destinations computed
+  kRoutePatch,       ///< incremental recompute; value=rows fully recomputed
+  kChaosPhase,       ///< campaign phase boundary; detail names the phase
+  kChaosCheck,       ///< campaign consistency check; value=1 pass, 0 fail
+};
+
+/// Stable snake_case name for JSONL export ("msg_send", "route_patch", ...).
+[[nodiscard]] const char* trace_kind_name(TraceKind kind);
+
+/// Number of distinct TraceKind values (for iteration / validation).
+inline constexpr std::size_t kNumTraceKinds =
+    static_cast<std::size_t>(TraceKind::kChaosCheck) + 1;
+
+/// One fixed-size trace record.  `detail` must point at a string literal
+/// (or other storage outliving the tracer); the tracer never copies it.
+struct TraceRecord {
+  std::uint64_t seq = 0;     ///< emission order, 0-based, gap-free
+  double t_ms = 0.0;         ///< simulated time of the event
+  TraceKind kind = TraceKind::kRun;
+  std::uint32_t a = 0;       ///< primary subject id (switch/link/source)
+  std::uint32_t b = 0;       ///< secondary subject id (destination/observer)
+  std::uint64_t value = 0;   ///< kind-specific payload
+  const char* detail = "";   ///< static annotation, e.g. protocol name
+};
+
+/// A record read back from the compact-binary format; owns its detail.
+struct OwnedTraceRecord {
+  std::uint64_t seq = 0;
+  double t_ms = 0.0;
+  TraceKind kind = TraceKind::kRun;
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  std::uint64_t value = 0;
+  std::string detail;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(std::size_t capacity);
+
+  /// Appends one record, assigning the next sequence number.  When the ring
+  /// is full the oldest record is evicted and `dropped()` grows.
+  void emit(double t_ms, TraceKind kind, std::uint32_t a, std::uint32_t b,
+            std::uint64_t value, const char* detail);
+
+  /// Records currently retained, oldest first.
+  [[nodiscard]] std::vector<TraceRecord> records() const;
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint64_t total_emitted() const { return next_seq_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+  /// Drops every record and restarts sequence numbering.
+  void clear();
+
+  /// One JSON object per line, fields in fixed order, doubles at %.6f.
+  [[nodiscard]] std::string to_jsonl() const;
+
+  /// Compact binary: magic + interned detail-string table + packed records
+  /// (little-endian).  Round-trips through read_binary().
+  [[nodiscard]] std::string to_binary() const;
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceRecord> ring_;
+  std::size_t head_ = 0;  ///< index of the oldest retained record
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Serializes arbitrary records as JSON Lines (same format as
+/// Tracer::to_jsonl); exposed for the golden-trace harness.
+[[nodiscard]] std::string records_to_jsonl(
+    const std::vector<TraceRecord>& records);
+
+/// Parses a compact-binary trace produced by Tracer::to_binary().  Returns
+/// false (leaving `out` empty) on any framing error.
+[[nodiscard]] bool read_binary(const std::string& data,
+                               std::vector<OwnedTraceRecord>& out);
+
+}  // namespace aspen::obs

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <utility>
 
+#include "src/obs/obs.h"
 #include "src/proto/audit.h"
 #include "src/sim/audit.h"
 #include "src/util/contracts.h"
@@ -91,6 +92,9 @@ void AnpSimulation::transmit_notification(RunContext& ctx, SwitchId from,
   ASPEN_ASSERT(!dests.empty(), "notifications always carry destinations");
   const SwitchId peer = topo_->switch_of(nb.node);
   ++ctx.report.messages_sent;
+  obs::count("anp.msgs_sent");
+  obs::trace_event(ctx.sim.now(), obs::TraceKind::kMsgSend, from.value(),
+                   peer.value(), dests.size(), lost ? "anp_lost" : "anp_ok");
   auto deliver = [this, &ctx, peer, from, dests, lost, hops] {
     const SimTime done =
         ctx.cpus[peer.value()].occupy(ctx.sim.now(), delays_.anp_processing);
@@ -170,6 +174,10 @@ void AnpSimulation::handle_notification(RunContext& ctx, SwitchId at,
                                         SwitchId neighbor,
                                         const std::vector<DestIndex>& dests,
                                         bool lost, int hops) {
+  obs::count("anp.msgs_recv");
+  obs::trace_event(ctx.sim.now(), obs::TraceKind::kMsgRecv, at.value(),
+                   neighbor.value(), dests.size(),
+                   lost ? "anp_lost" : "anp_ok");
   mark_informed(ctx, at);
   SwitchState& st = state_[at.value()];
   const NodeId neighbor_node = topo_->node_of(neighbor);
@@ -332,6 +340,8 @@ void AnpSimulation::apply_fault(RunContext& ctx, const TimedFault& ev) {
     case TimedFault::Kind::kLinkFail: {
       if (!overlay_.is_up(ev.link)) return;  // idempotent
       overlay_.fail(ev.link);
+      obs::trace_event(ctx.sim.now(), obs::TraceKind::kLinkFail,
+                       ev.link.value(), 0, 0, "anp");
       schedule_detections(ctx, ev.link, /*failure=*/true);
       return;
     }
@@ -352,6 +362,8 @@ void AnpSimulation::apply_fault(RunContext& ctx, const TimedFault& ev) {
         return;
       }
       overlay_.recover(ev.link);
+      obs::trace_event(ctx.sim.now(), obs::TraceKind::kLinkRecover,
+                       ev.link.value(), 0, 0, "anp");
       schedule_detections(ctx, ev.link, /*failure=*/false);
       return;
     }
@@ -359,6 +371,8 @@ void AnpSimulation::apply_fault(RunContext& ctx, const TimedFault& ev) {
     case TimedFault::Kind::kSwitchFail: {
       if (!alive_[ev.sw.value()]) return;  // idempotent
       alive_[ev.sw.value()] = 0;
+      obs::trace_event(ctx.sim.now(), obs::TraceKind::kSwitchCrash,
+                       ev.sw.value(), 0, 0, "anp");
       // Every incident live link dies atomically.  The dead switch itself
       // detects nothing; any work already queued for it is discarded by
       // the alive guards on the scheduled closures.
@@ -387,6 +401,8 @@ void AnpSimulation::apply_fault(RunContext& ctx, const TimedFault& ev) {
     case TimedFault::Kind::kSwitchRecover: {
       if (alive_[ev.sw.value()]) return;  // idempotent
       alive_[ev.sw.value()] = 1;
+      obs::trace_event(ctx.sim.now(), obs::TraceKind::kSwitchRevive,
+                       ev.sw.value(), 0, 0, "anp");
       std::vector<LinkId> owed;
       if (const auto it = crash_links_.find(ev.sw.value());
           it != crash_links_.end()) {

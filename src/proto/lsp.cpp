@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/obs/obs.h"
 #include "src/proto/audit.h"
 #include "src/sim/audit.h"
 #include "src/sim/channel.h"
@@ -282,6 +283,9 @@ FailureReport LspSimulation::simulate_timed_events(
                            int hops) {
     ASPEN_ASSERT(slot < num_slots, "LSA slot out of range");
     ASPEN_ASSERT(alive_[at.value()], "a crashed switch cannot install LSAs");
+    obs::count("lsp.lsa_installs");
+    obs::trace_event(sim.now(), obs::TraceKind::kMsgRecv, at.value(), 0, slot,
+                     "lsp");
     seen[at.value()][slot] = 1;
     if (!record_heard[at.value()][rec]) {
       record_heard[at.value()][rec] = 1;
@@ -307,6 +311,9 @@ FailureReport LspSimulation::simulate_timed_events(
           if (!topo.is_switch_node(nb.node)) return;  // hosts do not flood
           const SwitchId dst = topo.switch_of(nb.node);
           ++report.messages_sent;
+          obs::count("lsp.msgs_sent");
+          obs::trace_event(sim.now(), obs::TraceKind::kMsgSend, from.value(),
+                           dst.value(), slot, "lsp");
           auto deliver = [&, dst, slot, rec, hops, via = nb.link] {
             if (!alive_[dst.value()]) return;  // crashed while in flight
             const bool is_new = !seen[dst.value()][slot];
@@ -352,13 +359,37 @@ FailureReport LspSimulation::simulate_timed_events(
   // immediately, keeping single-event runs identical to the pre-chaos code
   // path); each origin's LSA follows detection + generation-throttle later,
   // costing one LSA processing interval (SPF on its own new view).
+  // Live application, with fault traces for what actually flipped (the
+  // preview pass above runs on copies and stays silent).
+  const auto apply_live = [this, &topo](SimTime t_ms, const TimedFault& ev) {
+    const bool crashing = ev.kind == TimedFault::Kind::kSwitchFail &&
+                          alive_[ev.sw.value()] != 0;
+    const bool reviving = ev.kind == TimedFault::Kind::kSwitchRecover &&
+                          alive_[ev.sw.value()] == 0;
+    const FaultEffect effect =
+        apply_fault_state(topo, overlay_, alive_, crash_links_, ev);
+    if (crashing) {
+      obs::trace_event(t_ms, obs::TraceKind::kSwitchCrash, ev.sw.value(), 0,
+                       0, "lsp");
+    } else if (reviving) {
+      obs::trace_event(t_ms, obs::TraceKind::kSwitchRevive, ev.sw.value(), 0,
+                       0, "lsp");
+    }
+    for (const LinkId link : effect.failed) {
+      obs::trace_event(t_ms, obs::TraceKind::kLinkFail, link.value(), 0, 0,
+                       "lsp");
+    }
+    for (const LinkId link : effect.recovered) {
+      obs::trace_event(t_ms, obs::TraceKind::kLinkRecover, link.value(), 0, 0,
+                       "lsp");
+    }
+  };
   for (const TimedFault& ev : events) {
     if (ev.at <= 0.0) {
-      apply_fault_state(topo, overlay_, alive_, crash_links_, ev);
+      apply_live(0.0, ev);
     } else {
-      sim.schedule_at(ev.at, [this, &topo, ev] {
-        apply_fault_state(topo, overlay_, alive_, crash_links_, ev);
-      });
+      sim.schedule_at(ev.at,
+                      [&sim, apply_live, ev] { apply_live(sim.now(), ev); });
     }
   }
   for (std::size_t r = 0; r < records.size(); ++r) {
@@ -414,6 +445,7 @@ FailureReport LspSimulation::simulate_timed_events(
       // miss the news.  Its tables stay stale; the next run's diff will
       // mark it changed again, so a later flood heals it.
       ++report.stale_switches;
+      obs::count("lsp.stale_switches");
     }
   }
   // The preview's post-run routes become the next run's incremental base.

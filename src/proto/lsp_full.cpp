@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/obs/obs.h"
 #include "src/util/contracts.h"
 #include "src/util/status.h"
 
@@ -47,6 +48,9 @@ void LspLsdbSimulation::transmit(RunContext& ctx, SwitchId from,
     if (!topo_->is_switch_node(nb.node)) return;
     const SwitchId peer = topo_->switch_of(nb.node);
     ++ctx.report.messages_sent;
+    obs::count("lsp_full.msgs_sent");
+    obs::trace_event(ctx.sim.now(), obs::TraceKind::kMsgSend, from.value(),
+                     peer.value(), lsa.seq, "lsp_full");
     Lsa hopped = lsa;
     hopped.hops = lsa.hops + 1;
     ctx.sim.schedule(delays_.propagation, [this, &ctx, peer, hopped,
@@ -78,6 +82,9 @@ void LspLsdbSimulation::install_and_flood(RunContext& ctx, SwitchId at,
   const auto it = st.highest_seq.find(lsa.origin);
   if (it != st.highest_seq.end() && it->second >= lsa.seq) return;  // stale
   ASPEN_ASSERT(lsa.seq >= 1, "LSA sequence numbers start at 1");
+  obs::count("lsp_full.lsa_installs");
+  obs::trace_event(ctx.sim.now(), obs::TraceKind::kMsgRecv, at.value(),
+                   lsa.origin, lsa.seq, "lsp_full");
   st.highest_seq[lsa.origin] = lsa.seq;
   if (!ctx.informed[at.value()]) {
     ctx.informed[at.value()] = 1;
@@ -153,6 +160,8 @@ FailureReport LspLsdbSimulation::simulate_link_failure(LinkId link) {
   ASPEN_REQUIRE(overlay_.is_up(link), "link ", link.value(),
                 " is already down");
   overlay_.fail(link);
+  obs::trace_event(0.0, obs::TraceKind::kLinkFail, link.value(), 0, 0,
+                   "lsp_full");
   return simulate_link_event(link, /*up=*/false);
 }
 
@@ -160,6 +169,8 @@ FailureReport LspLsdbSimulation::simulate_link_recovery(LinkId link) {
   ASPEN_REQUIRE(!overlay_.is_up(link), "link ", link.value(),
                 " is already up");
   overlay_.recover(link);
+  obs::trace_event(0.0, obs::TraceKind::kLinkRecover, link.value(), 0, 0,
+                   "lsp_full");
   return simulate_link_event(link, /*up=*/true);
 }
 

@@ -5,6 +5,7 @@
 #include <limits>
 #include <vector>
 
+#include "src/obs/obs.h"
 #include "src/util/contracts.h"
 #include "src/util/parallel.h"
 #include "src/util/status.h"
@@ -218,6 +219,15 @@ RoutingState compute_updown_routes(const Topology& topo,
           route_dest(topo, ranges, overlay, dest, state, sc);
         }
       });
+  // Emitted once per computation, after the worker pool joins — never from
+  // inside the parallel loop — so traces stay byte-identical across thread
+  // counts (the golden-trace determinism contract).
+  obs::count("routing.full_recomputes");
+  obs::count("routing.rows_full_recompute", num_dests);
+  obs::trace_event(0.0, obs::TraceKind::kRouteFull,
+                   static_cast<std::uint32_t>(topo.num_switches()), 0,
+                   num_dests,
+                   granularity == DestGranularity::kEdge ? "edge" : "host");
   return state;
 }
 
@@ -254,7 +264,23 @@ RecomputeStats recompute_updown_routes(const Topology& topo,
 
   RecomputeStats stats;
   stats.total_dests = num_dests;
-  if (changed_links.empty()) return stats;
+  // Aggregate instrumentation only (after any worker pool joins): one
+  // metric bump and one trace record per recompute call, keeping the event
+  // stream independent of the thread count.
+  const auto note_patch = [&] {
+    obs::count("routing.incremental_patches");
+    obs::count("routing.rows_full_recompute", stats.full_rows);
+    obs::count("routing.rows_escalated", stats.escalated_rows);
+    obs::count("routing.rows_patched", stats.patched_switches);
+    obs::trace_event(0.0, obs::TraceKind::kRoutePatch,
+                     static_cast<std::uint32_t>(changed_links.size()),
+                     static_cast<std::uint32_t>(stats.patched_switches),
+                     stats.full_rows, "incremental");
+  };
+  if (changed_links.empty()) {
+    note_patch();
+    return stats;
+  }
 
   if (!state.has_digests()) {
     // Hand-built base state: derive the digests once so maintenance works.
@@ -339,7 +365,10 @@ RecomputeStats recompute_updown_routes(const Topology& topo,
     }
     mark_subtree(v);
   }
-  if (num_dirty == 0 && patch_vs.empty()) return stats;
+  if (num_dirty == 0 && patch_vs.empty()) {
+    note_patch();
+    return stats;
+  }
 
   // ---- Row recompute / patch fan-out ----
   //
@@ -426,6 +455,7 @@ RecomputeStats recompute_updown_routes(const Topology& topo,
     stats.escalated_rows += ws.escalated;
     stats.patched_switches += ws.patched;
   }
+  note_patch();
   return stats;
 }
 

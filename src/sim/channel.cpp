@@ -3,6 +3,7 @@
 #include <cmath>
 #include <utility>
 
+#include "src/obs/obs.h"
 #include "src/util/contracts.h"
 #include "src/util/status.h"
 
@@ -11,10 +12,13 @@ namespace aspen {
 int ChannelModel::transmit(Simulator& sim, SimTime base_delay,
                            std::function<void()> deliver, double link_loss) {
   ++stats_.attempted;
+  obs::count("channel.attempted");
   if (options_.perfect() && link_loss <= 0.0) {
     // Fast path: exactly one on-time copy, no Rng draws — lossless runs
     // stay bit-identical to the pre-channel implementation.
     ++stats_.delivered;
+    obs::count("channel.sent_total");
+    obs::count("channel.delivered");
     sim.schedule(base_delay, std::move(deliver));
     return 1;
   }
@@ -26,13 +30,28 @@ int ChannelModel::transmit(Simulator& sim, SimTime base_delay,
     copies = 0;
     ++stats_.dropped;
     ++stats_.health_dropped;
+    obs::count("channel.dropped");
+    obs::count("channel.health_dropped");
+    obs::trace_event(sim.now(), obs::TraceKind::kMsgDrop, 0, 0,
+                     stats_.attempted, "health");
   } else if (rng_.chance(options_.drop_rate)) {
     copies = 0;
     ++stats_.dropped;
+    obs::count("channel.dropped");
+    obs::trace_event(sim.now(), obs::TraceKind::kMsgDrop, 0, 0,
+                     stats_.attempted, "channel");
   } else if (rng_.chance(options_.duplicate_rate)) {
     copies = 2;
     ++stats_.duplicated;
+    obs::count("channel.duplicated_extra");
+    obs::trace_event(sim.now(), obs::TraceKind::kMsgDup, 0, 0,
+                     stats_.attempted, "channel");
   }
+  // Per-copy total: one physical copy per attempt, plus one per duplicate —
+  // a dropped message still counts as the one copy the wire ate.
+  obs::count("channel.sent_total",
+             copies == 0 ? 1 : static_cast<std::uint64_t>(copies));
+  obs::count("channel.delivered", static_cast<std::uint64_t>(copies));
   for (int c = 0; c < copies; ++c) {
     const SimTime jitter =
         options_.jitter_ms > 0.0 ? rng_.real() * options_.jitter_ms : 0.0;
@@ -66,6 +85,7 @@ void ReliableTransport::send(SimTime propagation,
   p.can_receive = std::move(can_receive);
   p.link_loss = std::move(link_loss);
   ++stats_.sends;
+  obs::count("transport.sends");
   transmit_copy(id);
   arm_timer(id);
 }
@@ -82,6 +102,7 @@ void ReliableTransport::transmit_copy(std::uint64_t id) {
         if (arrived.delivered) {
           // Sequence-number comparison at the line card — no CPU charged.
           ++stats_.duplicates_dropped;
+          obs::count("transport.duplicates_dropped");
         } else {
           arrived.delivered = true;
           arrived.on_deliver();
@@ -90,6 +111,9 @@ void ReliableTransport::transmit_copy(std::uint64_t id) {
         // lost.  The ack rides the same physical link back, so it faces the
         // link's instantaneous health too.
         ++stats_.acks_sent;
+        obs::count("transport.acks_sent");
+        obs::trace_event(sim_->now(), obs::TraceKind::kMsgAck, 0, 0, id,
+                         "transport");
         const double ack_loss =
             arrived.link_loss ? arrived.link_loss() : 0.0;
         channel_->transmit(
@@ -113,12 +137,18 @@ void ReliableTransport::arm_timer(std::uint64_t id) {
     if (p.attempts >= policy_.max_retries) {
       p.done = true;
       ++stats_.gave_up;
+      obs::count("transport.gave_up");
+      obs::trace_event(sim_->now(), obs::TraceKind::kMsgGiveUp, 0, 0, id,
+                       "transport");
       ASPEN_ASSERT(stats_.gave_up <= stats_.sends,
                    "more abandoned conversations than sends");
       return;
     }
     ++p.attempts;
     ++stats_.retransmits;
+    obs::count("transport.retransmits");
+    obs::trace_event(sim_->now(), obs::TraceKind::kMsgRetransmit, 0, 0, id,
+                     "transport");
     transmit_copy(id);
     arm_timer(id);
   });

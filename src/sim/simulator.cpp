@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "src/obs/obs.h"
+
 namespace aspen {
 
 void Simulator::schedule(SimTime delay, std::function<void()> action) {
@@ -26,6 +28,7 @@ bool Simulator::step() {
                " behind the clock at ", now_);
   now_ = event.time;
   ++events_processed_;
+  obs::count("sim.events_dispatched");
   event.action();
   // Sequence numbers are handed out once per push: the processed and the
   // still-queued events always partition them (audited by sim::audit_queue).

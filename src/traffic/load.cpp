@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "src/obs/obs.h"
 #include "src/util/contracts.h"
 #include "src/util/status.h"
 
@@ -29,6 +30,7 @@ LoadResult assign_load(const Topology& topo, const Router& knowledge,
                     walk_options);
     if (!walk.delivered()) {
       ++result.flows_unroutable;
+      obs::count("traffic.flows_unroutable");
       continue;
     }
     // Recover the directed channel sequence from the node path.
@@ -56,6 +58,7 @@ LoadResult assign_load(const Topology& topo, const Router& knowledge,
     flow_links.push_back(std::move(links));
     total_path_links += static_cast<double>(flow_links.back().size());
     ++result.flows_routed;
+    obs::count("traffic.flows_routed");
   }
 
   // 2. Progressive-filling max-min fair allocation, unit capacities.

@@ -6,6 +6,8 @@
 #include "src/routing/updown.h"
 #include "src/topo/export.h"
 #include "src/topo/topology.h"
+#include "src/util/contracts.h"
+#include "src/util/parallel.h"
 #include "src/util/status.h"
 
 namespace aspen {
@@ -88,6 +90,35 @@ TEST(MiscCoverage, FindLinkReturnsInvalidForStrangers) {
   EXPECT_TRUE(
       topo.links_between(topo.switch_at(2, 0), topo.switch_at(1, 7))
           .empty());
+}
+
+// Paranoid audits combined with a multi-threaded routing pool: every other
+// routing test here runs at the default (single orchestrator) thread count
+// or the default audit level, leaving the paranoid × threads>1 cell of the
+// matrix untested before this case existed.
+TEST(MiscCoverage, ParanoidThreadedRecomputeMatchesFresh) {
+  const contracts::ScopedPolicy paranoid(contracts::policy(),
+                                         contracts::AuditLevel::kParanoid);
+  const Topology topo =
+      Topology::build(generate_tree(4, 6, FaultToleranceVector{0, 2, 0}));
+  LinkStateOverlay overlay(topo);
+  for (const int threads : {2, 4}) {
+    parallel::set_num_threads(threads);
+    RoutingState state =
+        compute_updown_routes(topo, overlay, DestGranularity::kEdge);
+    const LinkId link = topo.links_at_level(2)[1];
+    overlay.fail(link);
+    const LinkId changed[] = {link};
+    (void)recompute_updown_routes(topo, overlay, state, changed);
+    const RoutingState fresh =
+        compute_updown_routes(topo, overlay, DestGranularity::kEdge);
+    for (std::size_t s = 0; s < fresh.tables.size(); ++s) {
+      ASSERT_TRUE(fresh.tables[s] == state.tables[s])
+          << "threads=" << threads << " sw " << s;
+    }
+    overlay.recover(link);
+  }
+  parallel::set_num_threads(0);
 }
 
 }  // namespace

@@ -13,7 +13,9 @@
 #include "src/routing/reachability.h"
 #include "src/routing/updown.h"
 #include "src/topo/validate.h"
+#include "src/util/contracts.h"
 #include "src/util/math.h"
+#include "src/util/parallel.h"
 
 namespace aspen {
 namespace {
@@ -213,6 +215,29 @@ TEST_P(TreeSweep, ProtocolsRecoverTheirTables) {
       EXPECT_EQ(sweep.recovery_mismatches, 0u) << to_cstring(kind);
     }
   }
+}
+
+// Paranoid audits × threads>1: the sweep grid above runs every protocol
+// property at the default audit level and thread count, so the combined
+// cell — layer auditors active while the routing pool fans out — was a
+// latent gap.  One failure/recovery cycle per tree keeps it cheap.
+TEST_P(TreeSweep, ProtocolsRecoverUnderParanoidThreadedMatrix) {
+  const contracts::ScopedPolicy paranoid(contracts::policy(),
+                                         contracts::AuditLevel::kParanoid);
+  parallel::set_num_threads(2);
+  for (const TreeParams& t : buildable_trees(GetParam())) {
+    const Topology topo = Topology::build(t);
+    SCOPED_TRACE(topo.describe());
+    for (const auto kind : {ProtocolKind::kLsp, ProtocolKind::kAnp}) {
+      SweepOptions options;
+      options.max_links_per_level = 1;
+      options.levels = {2};
+      options.verify_recovery_restores_tables = true;
+      const SweepResult sweep = sweep_link_failures(kind, topo, options);
+      EXPECT_EQ(sweep.recovery_mismatches, 0u) << to_cstring(kind);
+    }
+  }
+  parallel::set_num_threads(0);
 }
 
 TEST_P(TreeSweep, LspFloodingInformsEveryone) {

@@ -1,0 +1,147 @@
+// Golden-trace regression tests (ISSUE 5): the canonical traced scenarios
+// from src/analysis/trace_scenarios.h are snapshotted under tests/golden/
+// and any behavioral drift in protocols, detection, or incremental routing
+// shows up as a unified diff.  Also pins the determinism contract: traces
+// are byte-identical at every worker-thread count.
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/trace_scenarios.h"
+#include "src/aspen/generator.h"
+#include "src/obs/trace.h"
+#include "src/topo/topology.h"
+#include "src/util/parallel.h"
+#include "tests/trace_golden.h"
+
+namespace aspen {
+namespace {
+
+Topology fig3_topology(const char* ftv) {
+  return Topology::build(
+      generate_tree(4, 6, FaultToleranceVector::parse(ftv)));
+}
+
+TraceScenarioResult run_scenario(ProtocolKind kind, TraceScenario scenario,
+                                 const Topology& topo) {
+  TraceScenarioOptions options;
+  options.scenario = scenario;
+  options.seed = 1;
+  options.chaos_events = 6;
+  // Bound the ring so LSP's flood-heavy scenarios produce goldens of
+  // reviewable size; eviction keeps the newest records and stays
+  // deterministic.
+  options.trace_capacity = 2048;
+  return run_traced_scenario(kind, topo, options);
+}
+
+TEST(TraceGolden, AnpSingleFault) {
+  const Topology topo = fig3_topology("<0,2,0>");
+  const TraceScenarioResult result =
+      run_scenario(ProtocolKind::kAnp, TraceScenario::kSingleFault, topo);
+  EXPECT_TRUE(golden::matches_golden("anp_single.jsonl", result.jsonl));
+}
+
+TEST(TraceGolden, LspSingleFault) {
+  const Topology topo = fig3_topology("<0,2,0>");
+  const TraceScenarioResult result =
+      run_scenario(ProtocolKind::kLsp, TraceScenario::kSingleFault, topo);
+  EXPECT_TRUE(golden::matches_golden("lsp_single.jsonl", result.jsonl));
+}
+
+TEST(TraceGolden, AnpChaosCampaign) {
+  const Topology topo = fig3_topology("<0,2,0>");
+  const TraceScenarioResult result =
+      run_scenario(ProtocolKind::kAnp, TraceScenario::kChaosCampaign, topo);
+  EXPECT_TRUE(golden::matches_golden("anp_chaos.jsonl", result.jsonl));
+}
+
+TEST(TraceGolden, LspChaosCampaign) {
+  const Topology topo = fig3_topology("<0,2,0>");
+  const TraceScenarioResult result =
+      run_scenario(ProtocolKind::kLsp, TraceScenario::kChaosCampaign, topo);
+  EXPECT_TRUE(golden::matches_golden("lsp_chaos.jsonl", result.jsonl));
+}
+
+// The metrics registry snapshot is just as deterministic as the trace.
+TEST(TraceGolden, AnpSingleFaultMetrics) {
+  const Topology topo = fig3_topology("<0,2,0>");
+  const TraceScenarioResult result =
+      run_scenario(ProtocolKind::kAnp, TraceScenario::kSingleFault, topo);
+  EXPECT_TRUE(
+      golden::matches_golden("anp_single_metrics.json", result.metrics_json));
+}
+
+// The compact-binary export decodes back to the same records the JSONL
+// export printed — for every golden scenario.
+TEST(TraceGolden, BinaryRoundTripsToJsonl) {
+  const Topology topo = fig3_topology("<0,2,0>");
+  for (const ProtocolKind kind : {ProtocolKind::kAnp, ProtocolKind::kLsp}) {
+    for (const TraceScenario scenario :
+         {TraceScenario::kSingleFault, TraceScenario::kChaosCampaign}) {
+      const TraceScenarioResult result = run_scenario(kind, scenario, topo);
+      std::vector<obs::OwnedTraceRecord> decoded;
+      ASSERT_TRUE(obs::read_binary(result.binary, decoded));
+      std::vector<obs::TraceRecord> view;
+      view.reserve(decoded.size());
+      for (const obs::OwnedTraceRecord& r : decoded) {
+        view.push_back({r.seq, r.t_ms, r.kind, r.a, r.b, r.value,
+                        r.detail.c_str()});
+      }
+      EXPECT_EQ(obs::records_to_jsonl(view), result.jsonl)
+          << to_cstring(kind) << "/" << to_cstring(scenario);
+    }
+  }
+}
+
+// Satellite: extends test_routing_parallel's thread-identity guarantee to
+// the event stream — the trace (both export formats) is a pure function of
+// (topology, seed, scenario), not of the worker-thread count.
+TEST(TraceDeterminism, ByteIdenticalAcrossThreadCounts) {
+  for (const char* ftv : {"<0,2,0>", "<2,0,0>", "<0,2,2>"}) {
+    const Topology topo = fig3_topology(ftv);
+    for (const TraceScenario scenario :
+         {TraceScenario::kSingleFault, TraceScenario::kChaosCampaign}) {
+      parallel::set_num_threads(1);
+      const TraceScenarioResult base =
+          run_scenario(ProtocolKind::kAnp, scenario, topo);
+      for (const int threads : {2, 4}) {
+        parallel::set_num_threads(threads);
+        const TraceScenarioResult other =
+            run_scenario(ProtocolKind::kAnp, scenario, topo);
+        EXPECT_EQ(base.jsonl, other.jsonl)
+            << ftv << "/" << to_cstring(scenario) << " at " << threads
+            << " threads";
+        EXPECT_EQ(base.binary, other.binary)
+            << ftv << "/" << to_cstring(scenario) << " at " << threads
+            << " threads";
+        EXPECT_EQ(base.metrics_json, other.metrics_json)
+            << ftv << "/" << to_cstring(scenario) << " at " << threads
+            << " threads";
+      }
+      parallel::set_num_threads(0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aspen
+
+// Custom main: strip `--regen-goldens` before gtest parses the command
+// line, so `./test_trace_golden --regen-goldens` refreshes tests/golden/.
+int main(int argc, char** argv) {
+  std::vector<char*> kept;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--regen-goldens") == 0) {
+      aspen::golden::regen_flag() = true;
+      continue;
+    }
+    kept.push_back(argv[i]);
+  }
+  int kept_argc = static_cast<int>(kept.size());
+  kept.push_back(nullptr);
+  ::testing::InitGoogleTest(&kept_argc, kept.data());
+  return RUN_ALL_TESTS();
+}

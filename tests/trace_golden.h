@@ -1,0 +1,137 @@
+// Golden-trace harness: normalize a trace, diff it against a checked-in
+// golden file, and regenerate goldens on request.
+//
+// Usage from a test:
+//
+//   EXPECT_TRUE(golden::matches_golden("anp_single.jsonl", trace));
+//
+// Goldens live under ASPEN_GOLDEN_DIR (a compile definition pointing at
+// tests/golden/ in the source tree).  To refresh them after an intentional
+// behavior change, run the test binary with `--regen-goldens` or with
+// ASPEN_REGEN_GOLDENS=1 in the environment, then review the git diff of
+// tests/golden/ like any other code change.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace aspen::golden {
+
+/// Regeneration switch: flipped by `--regen-goldens` (see the custom main
+/// in test_trace_golden.cpp) or the ASPEN_REGEN_GOLDENS env variable.
+inline bool& regen_flag() {
+  static bool flag = []() {
+    const char* env = std::getenv("ASPEN_REGEN_GOLDENS");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+  }();
+  return flag;
+}
+
+inline std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string line;
+  std::istringstream in(text);
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+/// Canonicalizes a trace for comparison: CRLF → LF, `#` comment/header
+/// lines dropped, absolute paths and wall-clock timestamps masked.  Trace
+/// records are deterministic (simulated time only), so masking is a
+/// safety net for future fields, not something the current records need.
+inline std::string normalize_trace(const std::string& raw) {
+  static const std::regex abs_path(R"((/[A-Za-z0-9_.+\-]+){2,}/?)");
+  static const std::regex wall_time(
+      R"(\d{4}-\d{2}-\d{2}[T ]\d{2}:\d{2}:\d{2}(\.\d+)?)");
+  std::string out;
+  for (const std::string& line : split_lines(raw)) {
+    if (!line.empty() && line[0] == '#') continue;
+    std::string cleaned = std::regex_replace(line, wall_time, "<time>");
+    cleaned = std::regex_replace(cleaned, abs_path, "<path>");
+    out += cleaned;
+    out += '\n';
+  }
+  return out;
+}
+
+/// Minimal unified diff: common prefix/suffix elision with `context` lines
+/// kept on each side of the changed middle.  Good enough to read trace
+/// drift; not a general LCS diff.
+inline std::string unified_diff(const std::string& expected,
+                                const std::string& actual,
+                                std::size_t context = 3) {
+  const std::vector<std::string> a = split_lines(expected);
+  const std::vector<std::string> b = split_lines(actual);
+  std::size_t prefix = 0;
+  while (prefix < a.size() && prefix < b.size() && a[prefix] == b[prefix]) {
+    ++prefix;
+  }
+  std::size_t suffix = 0;
+  while (suffix < a.size() - prefix && suffix < b.size() - prefix &&
+         a[a.size() - 1 - suffix] == b[b.size() - 1 - suffix]) {
+    ++suffix;
+  }
+  const std::size_t from = prefix > context ? prefix - context : 0;
+  std::ostringstream out;
+  out << "@@ -" << (from + 1) << "," << (a.size() - suffix - from) << " +"
+      << (from + 1) << "," << (b.size() - suffix - from) << " @@\n";
+  for (std::size_t i = from; i < prefix; ++i) out << " " << a[i] << "\n";
+  for (std::size_t i = prefix; i < a.size() - suffix; ++i) {
+    out << "-" << a[i] << "\n";
+  }
+  for (std::size_t i = prefix; i < b.size() - suffix; ++i) {
+    out << "+" << b[i] << "\n";
+  }
+  const std::size_t tail =
+      std::min(a.size() - suffix + context, a.size());
+  for (std::size_t i = a.size() - suffix; i < tail; ++i) {
+    out << " " << a[i] << "\n";
+  }
+  return out.str();
+}
+
+inline std::string golden_path(const std::string& name) {
+  return std::string(ASPEN_GOLDEN_DIR) + "/" + name;
+}
+
+/// Compares `actual_raw` (normalized) against the named golden.  In regen
+/// mode the golden is (re)written instead and the assertion passes.
+inline ::testing::AssertionResult matches_golden(
+    const std::string& name, const std::string& actual_raw) {
+  const std::string actual = normalize_trace(actual_raw);
+  const std::string path = golden_path(name);
+  if (regen_flag()) {
+    std::ofstream out(path);
+    if (!out) {
+      return ::testing::AssertionFailure()
+             << "cannot write golden " << path;
+    }
+    out << actual;
+    return ::testing::AssertionSuccess() << "regenerated " << path;
+  }
+  std::ifstream in(path);
+  if (!in) {
+    return ::testing::AssertionFailure()
+           << "missing golden " << path
+           << " — run with --regen-goldens to create it";
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string expected = normalize_trace(buffer.str());
+  if (expected == actual) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << "trace drifted from golden " << name
+         << " (run with --regen-goldens after reviewing):\n"
+         << unified_diff(expected, actual);
+}
+
+}  // namespace aspen::golden

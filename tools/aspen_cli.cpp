@@ -15,6 +15,8 @@
 //                                                 BFD-style detector drill
 //   aspen label <n> <k> <ftv> [host]              §5.3 hierarchical labels
 //   aspen audit <n> <k> <ftv> <links.csv>         validate external wiring
+//   aspen trace <n> <k> <ftv> <lsp|anp> [single|chaos [events]]
+//                                                 canonical traced scenario
 //
 // Every subcommand is a thin veneer over the public library API; exit code
 // 0 on success, 1 on bad usage, 2 when a check fails.
@@ -28,6 +30,8 @@
 
 #include "src/analysis/availability.h"
 #include "src/analysis/convergence.h"
+#include "src/analysis/trace_scenarios.h"
+#include "src/obs/obs.h"
 #include "src/fault/chaos.h"
 #include "src/fault/detector.h"
 #include "src/aspen/enumerate.h"
@@ -53,6 +57,54 @@ using namespace aspen;
 /// seed (chaos, detect) prefer it over their positional.
 std::optional<std::uint64_t> g_seed;
 
+/// Global --metrics= / --trace= output paths ("-" = stdout), stripped in
+/// main().  Setting either enables the corresponding obs subsystem for the
+/// whole invocation; the collected data is written out after the subcommand
+/// returns.
+std::optional<std::string> g_metrics_path;
+std::optional<std::string> g_trace_path;
+
+/// Writes `data` to `path` ("-" = stdout).  Returns 0 on success.
+int write_output(const std::string& path, const std::string& data,
+                 bool binary) {
+  if (path == "-") {
+    std::fwrite(data.data(), 1, data.size(), stdout);
+    return 0;
+  }
+  std::ofstream out(path, binary ? std::ios::binary : std::ios::out);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  out << data;
+  return 0;
+}
+
+[[nodiscard]] bool wants_binary_trace(const std::string& path) {
+  constexpr const char* kSuffix = ".bin";
+  const std::size_t len = std::strlen(kSuffix);
+  return path.size() >= len &&
+         path.compare(path.size() - len, len, kSuffix) == 0;
+}
+
+/// Dumps the process-wide metrics/trace data to the --metrics=/--trace=
+/// destinations (no-op for whichever flag is unset).
+int flush_obs_outputs() {
+  int rc = 0;
+  if (g_metrics_path) {
+    rc |= write_output(*g_metrics_path, obs::metrics().to_json(2) + "\n",
+                       /*binary=*/false);
+  }
+  if (g_trace_path) {
+    const bool binary = wants_binary_trace(*g_trace_path);
+    rc |= write_output(*g_trace_path,
+                       binary ? obs::tracer().to_binary()
+                              : obs::tracer().to_jsonl(),
+                       binary);
+  }
+  return rc;
+}
+
 int usage() {
   std::fprintf(
       stderr,
@@ -72,6 +124,7 @@ int usage() {
       "  aspen detect <n> <k> <ftv> [loss [interval_ms [N [M]]]]\n"
       "  aspen label <n> <k> <ftv> [host]\n"
       "  aspen audit <n> <k> <ftv> <links.csv>\n"
+      "  aspen trace <n> <k> <ftv> <lsp|anp> [single|chaos [events]]\n"
       "ftv syntax: \"<a,b,c>\" or \"a,b,c\" (top level first)\n"
       "global flags (any position):\n"
       "  --audit=<off|basic|paranoid>   runtime invariant-audit level;\n"
@@ -84,7 +137,14 @@ int usage() {
       "  --threads=<n>                  route-computation worker threads\n"
       "                                 (0 = auto; also via the\n"
       "                                 ASPEN_THREADS env variable); output\n"
-      "                                 is identical at every thread count\n");
+      "                                 is identical at every thread count\n"
+      "  --metrics=<path|->             enable the metrics registry and\n"
+      "                                 write a JSON snapshot at exit\n"
+      "                                 (- = stdout)\n"
+      "  --trace=<path|->               enable event tracing and write the\n"
+      "                                 trace at exit (JSON Lines, or the\n"
+      "                                 compact binary format when the path\n"
+      "                                 ends in .bin)\n");
   return 1;
 }
 
@@ -608,6 +668,73 @@ int cmd_audit(const std::vector<std::string>& args) {
   return report.all_ok() ? 0 : 2;
 }
 
+// Replays one canonical traced scenario (src/analysis/trace_scenarios.h) —
+// the same runs the golden-trace tests snapshot — and dumps the trace.
+// The trace goes to --trace=<path> when given, otherwise to stdout as JSON
+// Lines; a metrics snapshot goes to --metrics=<path> when given.
+int cmd_trace(const std::vector<std::string>& args) {
+  if (args.size() < 4 || args.size() > 6) return usage();
+  const Topology topo = Topology::build(
+      generate_tree(std::stoi(args[0]), std::stoi(args[1]),
+                    FaultToleranceVector::parse(args[2])));
+  ProtocolKind kind;
+  if (args[3] == "lsp") {
+    kind = ProtocolKind::kLsp;
+  } else if (args[3] == "anp") {
+    kind = ProtocolKind::kAnp;
+  } else {
+    return usage();
+  }
+  TraceScenarioOptions options;
+  if (args.size() >= 5) options.scenario = parse_trace_scenario(args[4]);
+  if (args.size() >= 6) options.chaos_events = std::stoi(args[5]);
+  if (g_seed) options.seed = *g_seed;
+
+  const TraceScenarioResult result = run_traced_scenario(kind, topo, options);
+
+  int rc = 0;
+  if (g_metrics_path) {
+    rc |= write_output(*g_metrics_path, result.metrics_json + "\n",
+                       /*binary=*/false);
+    g_metrics_path.reset();
+  }
+  if (g_trace_path) {
+    const bool binary = wants_binary_trace(*g_trace_path);
+    rc |= write_output(*g_trace_path, binary ? result.binary : result.jsonl,
+                       binary);
+    g_trace_path.reset();
+  } else {
+    std::fwrite(result.jsonl.data(), 1, result.jsonl.size(), stdout);
+  }
+  std::fprintf(stderr,
+               "%s, %s, %s, seed %lu: %lu trace records (%lu evicted)\n",
+               topo.describe().c_str(), args[3].c_str(),
+               to_cstring(options.scenario),
+               static_cast<unsigned long>(options.seed),
+               static_cast<unsigned long>(result.records),
+               static_cast<unsigned long>(result.dropped));
+  return rc;
+}
+
+int run_command(const std::string& command,
+                const std::vector<std::string>& args) {
+  if (command == "generate") return cmd_generate(args);
+  if (command == "enumerate") return cmd_enumerate(args);
+  if (command == "validate") return cmd_validate(args);
+  if (command == "export") return cmd_export(args);
+  if (command == "design") return cmd_design(args);
+  if (command == "recommend") return cmd_recommend(args);
+  if (command == "simulate") return cmd_simulate(args);
+  if (command == "availability") return cmd_availability(args);
+  if (command == "window") return cmd_window(args);
+  if (command == "chaos") return cmd_chaos(args);
+  if (command == "detect") return cmd_detect(args);
+  if (command == "label") return cmd_label(args);
+  if (command == "audit") return cmd_audit(args);
+  if (command == "trace") return cmd_trace(args);
+  return usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -647,29 +774,37 @@ int main(int argc, char** argv) {
       }
       continue;
     }
+    constexpr const char* kMetricsFlag = "--metrics=";
+    if (word.rfind(kMetricsFlag, 0) == 0) {
+      std::string path = word.substr(std::strlen(kMetricsFlag));
+      g_metrics_path = path.empty() ? "-" : std::move(path);
+      aspen::obs::ObsConfig config = aspen::obs::config();
+      config.metrics = true;
+      aspen::obs::configure(config);
+      continue;
+    }
+    constexpr const char* kTraceFlag = "--trace=";
+    if (word.rfind(kTraceFlag, 0) == 0) {
+      std::string path = word.substr(std::strlen(kTraceFlag));
+      g_trace_path = path.empty() ? "-" : std::move(path);
+      aspen::obs::ObsConfig config = aspen::obs::config();
+      config.trace = true;
+      aspen::obs::configure(config);
+      continue;
+    }
     words.push_back(word);
   }
   if (words.empty()) return usage();
   const std::string command = words[0];
   const std::vector<std::string> args(words.begin() + 1, words.end());
 
+  int rc;
   try {
-    if (command == "generate") return cmd_generate(args);
-    if (command == "enumerate") return cmd_enumerate(args);
-    if (command == "validate") return cmd_validate(args);
-    if (command == "export") return cmd_export(args);
-    if (command == "design") return cmd_design(args);
-    if (command == "recommend") return cmd_recommend(args);
-    if (command == "simulate") return cmd_simulate(args);
-    if (command == "availability") return cmd_availability(args);
-    if (command == "window") return cmd_window(args);
-    if (command == "chaos") return cmd_chaos(args);
-    if (command == "detect") return cmd_detect(args);
-    if (command == "label") return cmd_label(args);
-    if (command == "audit") return cmd_audit(args);
-    return usage();
+    rc = run_command(command, args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
+  const int obs_rc = flush_obs_outputs();
+  return rc != 0 ? rc : obs_rc;
 }

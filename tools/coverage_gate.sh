@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Coverage lane: instrumented Debug build, full test suite, then the line
+# coverage gates in tools/coverage_report.py (src/obs/ >= 90%, repo-wide
+# within 2 points of tools/coverage_baseline.txt).
+#
+#   ./tools/coverage_gate.sh [build_dir] [--record-baseline]
+#
+# The per-file report lands at <build_dir>/coverage_report.txt.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="$ROOT/build-coverage"
+if [[ $# -gt 0 && "$1" != --* ]]; then
+  BUILD="$1"
+  shift
+fi
+EXTRA_ARGS=("$@")
+
+cmake -S "$ROOT" -B "$BUILD" \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="--coverage" \
+  -DASPEN_WERROR=OFF
+cmake --build "$BUILD" -j "$(nproc)"
+(cd "$BUILD" && ctest -j "$(nproc)" --output-on-failure)
+
+python3 "$ROOT/tools/coverage_report.py" "$ROOT" "$BUILD" "${EXTRA_ARGS[@]}"

@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Aggregate gcov line coverage and enforce the repo's coverage gates.
+
+Usage: coverage_report.py <repo_root> <coverage_build_dir> [--record-baseline]
+
+Walks the build tree for .gcda counters, asks gcov for JSON intermediate
+data, merges per-line hit counts across translation units (a line is
+covered if any TU executed it), and reports line coverage for every file
+under src/.  Two gates fail the run:
+
+  * src/obs/ line coverage below OBS_GATE (90%)
+  * repo-wide src/ coverage more than REGRESSION_SLACK (2 points) below
+    the recorded baseline in tools/coverage_baseline.txt
+
+--record-baseline rewrites the baseline file with the measured repo-wide
+coverage instead of gating against it; commit the result like any other
+source change.
+
+The full per-file table is written to <build>/coverage_report.txt so CI
+can upload it as an artifact.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+OBS_GATE = 90.0
+REGRESSION_SLACK = 2.0
+
+
+def gcov_json(gcda, build):
+    """Returns the parsed gcov JSON documents for one .gcda file."""
+    result = subprocess.run(
+        ["gcov", "--json-format", "--stdout", gcda],
+        capture_output=True,
+        text=True,
+        cwd=build,
+        check=False,
+    )
+    docs = []
+    for line in result.stdout.splitlines():
+        line = line.strip()
+        if not line.startswith("{"):
+            continue
+        try:
+            docs.append(json.loads(line))
+        except json.JSONDecodeError:
+            pass
+    return docs
+
+
+def main():
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    record_baseline = "--record-baseline" in sys.argv
+    if len(args) != 2:
+        sys.exit(__doc__)
+    root = os.path.abspath(args[0])
+    build = os.path.abspath(args[1])
+    baseline_path = os.path.join(root, "tools", "coverage_baseline.txt")
+
+    gcda_files = []
+    for dirpath, _, files in os.walk(build):
+        gcda_files.extend(
+            os.path.join(dirpath, f) for f in files if f.endswith(".gcda")
+        )
+    if not gcda_files:
+        sys.exit(f"no .gcda files under {build} — build with --coverage "
+                 "and run the tests first")
+
+    # file -> line -> hit (merged across TUs).
+    lines_by_file = {}
+    for gcda in sorted(gcda_files):
+        for doc in gcov_json(gcda, build):
+            for fobj in doc.get("files", []):
+                fname = fobj.get("file", "")
+                if not os.path.isabs(fname):
+                    fname = os.path.normpath(os.path.join(root, fname))
+                rel = os.path.relpath(fname, root)
+                if not rel.startswith("src" + os.sep):
+                    continue
+                per_line = lines_by_file.setdefault(rel, {})
+                for line in fobj.get("lines", []):
+                    num = line.get("line_number")
+                    hit = line.get("count", 0) > 0
+                    per_line[num] = per_line.get(num, False) or hit
+
+    if not lines_by_file:
+        sys.exit("gcov produced no coverage for files under src/")
+
+    def coverage(per_line):
+        total = len(per_line)
+        covered = sum(1 for hit in per_line.values() if hit)
+        return covered, total
+
+    report = ["file                                        covered   total      %"]
+    all_covered = all_total = 0
+    obs_covered = obs_total = 0
+    for rel in sorted(lines_by_file):
+        covered, total = coverage(lines_by_file[rel])
+        all_covered += covered
+        all_total += total
+        if rel.startswith(os.path.join("src", "obs") + os.sep):
+            obs_covered += covered
+            obs_total += total
+        pct = 100.0 * covered / total if total else 100.0
+        report.append(f"{rel:<44}{covered:>7}{total:>8}{pct:>7.1f}")
+
+    repo_pct = 100.0 * all_covered / all_total
+    obs_pct = 100.0 * obs_covered / obs_total if obs_total else 0.0
+    report.append("")
+    report.append(f"src/obs/ line coverage : {obs_pct:.1f}% "
+                  f"({obs_covered}/{obs_total})")
+    report.append(f"repo-wide src/ coverage: {repo_pct:.1f}% "
+                  f"({all_covered}/{all_total})")
+
+    failures = []
+    if obs_total == 0:
+        failures.append("no coverage data for src/obs/ — are the obs tests "
+                        "in the build?")
+    elif obs_pct < OBS_GATE:
+        failures.append(f"src/obs/ coverage {obs_pct:.1f}% is below the "
+                        f"{OBS_GATE:.0f}% gate")
+
+    if record_baseline:
+        with open(baseline_path, "w") as f:
+            f.write(f"{repo_pct:.1f}\n")
+        report.append(f"baseline recorded: {repo_pct:.1f}%")
+    else:
+        try:
+            with open(baseline_path) as f:
+                baseline = float(f.read().strip())
+        except (OSError, ValueError):
+            failures.append(f"missing/unreadable baseline {baseline_path} — "
+                            "run with --record-baseline once")
+            baseline = None
+        if baseline is not None:
+            report.append(f"recorded baseline      : {baseline:.1f}% "
+                          f"(allowed slack {REGRESSION_SLACK:.1f})")
+            if repo_pct < baseline - REGRESSION_SLACK:
+                failures.append(
+                    f"repo-wide coverage {repo_pct:.1f}% regressed more than "
+                    f"{REGRESSION_SLACK:.1f} points from the recorded "
+                    f"baseline {baseline:.1f}%")
+
+    for failure in failures:
+        report.append(f"GATE FAILED: {failure}")
+    if not failures:
+        report.append("coverage gates passed")
+
+    text = "\n".join(report) + "\n"
+    with open(os.path.join(build, "coverage_report.txt"), "w") as f:
+        f.write(text)
+    print(text)
+    sys.exit(1 if failures else 0)
+
+
+if __name__ == "__main__":
+    main()
