@@ -5,15 +5,27 @@
 // pairs: more links means more failures per year, but windows measured in
 // tens of milliseconds instead of seconds buy the fabric several nines.
 #include <cstdio>
+#include <cstring>
+
+#include <span>
 
 #include "src/analysis/availability.h"
 #include "src/analysis/convergence.h"
+#include "src/analysis/survivability.h"
 #include "src/aspen/fixed_hosts.h"
 #include "src/aspen/generator.h"
+#include "src/routing/delta.h"
+#include "src/routing/updown.h"
+#include "src/topo/topology.h"
 #include "src/util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace aspen;
+
+  bool self_check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--self-check") == 0) self_check = true;
+  }
 
   std::printf("== §1 budget arithmetic ==\n");
   std::printf("5-nines downtime budget : %.1f s/year (%.2f minutes)\n",
@@ -98,5 +110,65 @@ int main() {
                        format_double(e.nines, 2)});
   }
   std::printf("%s\n", placement.to_string().c_str());
-  return 0;
+
+  // ---- Measured availability via the incremental survivability engine ---
+  // The tables above are closed-form arithmetic over expected failure
+  // counts and windows.  The Monte Carlo engine measures the same quantity
+  // structurally: progressive random link failures applied as warm
+  // DeltaSession patches (never a from-scratch recompute on the happy
+  // path), disconnection observed from the actual up*/down* tables.
+  // `--self-check` additionally asserts, per tree, that an incrementally
+  // patched state is digest-equal to a full recompute of the same overlay.
+  std::printf(
+      "== Measured availability (Monte Carlo, incremental engine; n=4, "
+      "k=6) ==\n(1,000 samples/tree, independent link failures, MTBF "
+      "2190 h, MTTR 4 h)\n\n");
+  bool checks_ok = true;
+  TextTable measured({"FTV", "links", "P(disc <= 12 links)",
+                      "mean links to disc", "availability"});
+  for (const auto& entries : std::vector<std::vector<int>>{
+           {0, 0, 0}, {0, 0, 2}, {0, 2, 0}, {2, 0, 0}, {2, 2, 2}}) {
+    const TreeParams tree = generate_tree(4, 6, FaultToleranceVector(entries));
+    const Topology topo = Topology::build(tree);
+    SurvivabilityOptions options;
+    options.seed = 2026;
+    options.samples = 1'000;
+    options.max_steps = 12;
+    const SurvivabilityResult result = run_survivability(topo, options);
+    measured.add_row(
+        {tree.ftv().to_string(), std::to_string(topo.num_links()),
+         format_double(result.p_disconnect(), 3),
+         format_double(result.mean_links_to_disconnect(), 1),
+         format_double(availability_from_survivability(result, 2190.0, 4.0),
+                       6)});
+    if (self_check) {
+      // Fail the first uplink of every third edge switch, then compare the
+      // patched state against a from-scratch recompute of the overlay.
+      routing::DeltaSession session(topo, DestGranularity::kEdge);
+      std::vector<LinkId> faults;
+      for (std::uint64_t e = 0; e < topo.num_switches(); e += 3) {
+        const SwitchId s{static_cast<std::uint32_t>(e)};
+        if (topo.level_of(s) != 1) break;
+        faults.push_back(topo.up_neighbors(s)[0].link);
+      }
+      session.apply(faults);
+      const RoutingState fresh = compute_updown_routes(
+          topo, session.overlay(), DestGranularity::kEdge, 1);
+      const bool digests_equal =
+          tables_match_by_digest(session.state(), fresh);
+      const bool restored = session.rollback();
+      std::printf("self-check %s: incremental vs full recompute %s, "
+                  "rollback %s\n",
+                  tree.ftv().to_string().c_str(),
+                  digests_equal ? "digest-equal" : "MISMATCH",
+                  restored ? "restored" : "MISMATCH (rebuilt)");
+      checks_ok = checks_ok && digests_equal && restored;
+    }
+  }
+  std::printf("%s\n", measured.to_string().c_str());
+  std::printf(
+      "the measured column agrees with the closed-form story: every FTV\n"
+      "survives the single-failure regime; the engine's contribution is\n"
+      "the tail — how many simultaneous failures each design absorbs.\n");
+  return checks_ok ? 0 : 3;
 }

@@ -1,0 +1,269 @@
+// Experiment X12 (extension) — Monte Carlo survivability engine throughput
+// and robustness.
+//
+// Headline: samples/second for a progressive correlated-failure campaign on
+// a Fig. 3 tree (4-level, 6-port), across --threads=1/2/4, with the
+// accumulator fingerprints proving byte-identity at every thread count.
+// Three robustness checks ride along, each reported (and exit-affecting):
+//
+//   * resume  — a campaign checkpointed mid-run, serialized to text,
+//     parsed back and resumed must reproduce the uninterrupted campaign's
+//     accumulators byte-for-byte (kill-and-resume at a sample boundary);
+//   * quarantine — a deliberately corrupted sample must be caught by the
+//     paranoid audit, quarantined (counted, its index reported) and the
+//     campaign must still complete every other sample;
+//   * curve   — an independent-failure campaign's availability curve, the
+//     science the throughput pays for (Wilson intervals included).
+//
+// Output is JSON (one document on stdout), bench_routing_scale idiom.
+// `--quick` shrinks sample counts for CI smoke runs but keeps the headline
+// campaign at >= 1e5 samples.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "src/analysis/survivability.h"
+#include "src/aspen/generator.h"
+#include "src/fault/failure_domains.h"
+#include "src/obs/obs.h"
+#include "src/topo/topology.h"
+#include "src/util/parallel.h"
+
+namespace {
+
+using namespace aspen;
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool g_all_ok = true;
+
+const char* check(bool ok) {
+  g_all_ok = g_all_ok && ok;
+  return ok ? "true" : "false";
+}
+
+// ---- Headline: samples/sec across thread counts ------------------------
+
+void run_throughput(const Topology& topo, const fault::FailureDomainModel& domains,
+                    std::uint64_t samples) {
+  std::printf("  \"throughput\": {\n");
+  std::printf("    \"domains\": \"rack\", \"domain_count\": %llu, "
+              "\"samples\": %llu,\n",
+              static_cast<unsigned long long>(domains.size()),
+              static_cast<unsigned long long>(samples));
+
+  const std::vector<int> thread_counts{1, 2, 4};
+  std::uint64_t serial_fingerprint = 0;
+  double serial_ms = 0.0;
+  SurvivabilityResult last;
+  std::printf("    \"threads\": [\n");
+  for (std::size_t t = 0; t < thread_counts.size(); ++t) {
+    SurvivabilityOptions options;
+    options.seed = 42;
+    options.samples = samples;
+    options.threads = thread_counts[t];
+    options.audit_subsample = 8192;
+    double wall_ms = 0.0;
+    {
+      const obs::PauseObs quiet;
+      const double t0 = now_ms();
+      last = run_survivability(topo, domains, options);
+      wall_ms = now_ms() - t0;
+    }
+    const std::uint64_t fingerprint = last.acc.fingerprint();
+    if (thread_counts[t] == 1) {
+      serial_fingerprint = fingerprint;
+      serial_ms = wall_ms;
+    }
+    std::printf("      {\"threads\": %d, \"wall_ms\": %.1f, "
+                "\"samples_per_s\": %.0f, \"speedup_vs_serial\": %.2f, "
+                "\"fingerprint\": \"%016llx\", \"identical_to_serial\": %s}%s\n",
+                thread_counts[t], wall_ms,
+                static_cast<double>(samples) / (wall_ms / 1000.0),
+                serial_ms / wall_ms,
+                static_cast<unsigned long long>(fingerprint),
+                check(fingerprint == serial_fingerprint),
+                t + 1 < thread_counts.size() ? "," : "");
+  }
+  std::printf("    ],\n");
+  std::printf("    \"p_disconnect\": %.4f, \"mean_links_to_disconnect\": "
+              "%.2f,\n",
+              last.p_disconnect(), last.mean_links_to_disconnect());
+  std::printf("    \"quarantined\": %llu, \"rollback_rebuilds\": %llu\n",
+              static_cast<unsigned long long>(last.acc.quarantined),
+              static_cast<unsigned long long>(last.acc.rollback_rebuilds));
+  std::printf("  },\n");
+}
+
+// ---- Kill-and-resume byte identity -------------------------------------
+
+void run_resume(const Topology& topo, const fault::FailureDomainModel& domains,
+                std::uint64_t samples) {
+  SurvivabilityOptions options;
+  options.seed = 7;
+  options.samples = samples;
+  options.threads = 2;
+  options.checkpoint_every = samples / 5;
+  std::vector<SurvivabilityCheckpoint> checkpoints;
+  options.on_checkpoint = [&](const SurvivabilityCheckpoint& cp) {
+    checkpoints.push_back(cp);
+  };
+  const obs::PauseObs quiet;
+  const SurvivabilityResult full = run_survivability(topo, domains, options);
+
+  // "Kill" after the second checkpoint: round-trip it through the text
+  // format, then resume a fresh campaign from the parsed token.
+  const SurvivabilityCheckpoint parsed =
+      SurvivabilityCheckpoint::parse(checkpoints.at(1).serialize());
+  options.on_checkpoint = nullptr;
+  const SurvivabilityResult resumed =
+      run_survivability(topo, domains, options, &parsed);
+
+  std::printf("  \"resume\": {\n");
+  std::printf("    \"samples\": %llu, \"killed_at_sample\": %llu, "
+              "\"checkpoints\": %llu,\n",
+              static_cast<unsigned long long>(samples),
+              static_cast<unsigned long long>(parsed.next_sample),
+              static_cast<unsigned long long>(checkpoints.size()));
+  std::printf("    \"fingerprint_full\": \"%016llx\", "
+              "\"fingerprint_resumed\": \"%016llx\",\n",
+              static_cast<unsigned long long>(full.acc.fingerprint()),
+              static_cast<unsigned long long>(resumed.acc.fingerprint()));
+  std::printf("    \"byte_identical\": %s\n",
+              check(full.acc == resumed.acc));
+  std::printf("  },\n");
+}
+
+// ---- Quarantine under deliberate corruption ----------------------------
+
+void run_quarantine(const Topology& topo,
+                    const fault::FailureDomainModel& domains,
+                    std::uint64_t samples) {
+  SurvivabilityOptions options;
+  options.seed = 13;
+  options.samples = samples;
+  options.threads = 2;
+  options.audit_subsample = 0;  // only the forced audit on the bad sample
+  options.corrupt_sample = samples / 3;
+  const obs::PauseObs quiet;
+  const SurvivabilityResult result =
+      run_survivability(topo, domains, options);
+
+  const bool caught =
+      result.acc.quarantined == 1 &&
+      result.acc.quarantined_indices.size() == 1 &&
+      result.acc.quarantined_indices.front() == options.corrupt_sample;
+  std::printf("  \"quarantine\": {\n");
+  std::printf("    \"samples\": %llu, \"corrupt_sample\": %llu,\n",
+              static_cast<unsigned long long>(samples),
+              static_cast<unsigned long long>(options.corrupt_sample));
+  std::printf("    \"quarantined\": %llu, \"committed\": %llu,\n",
+              static_cast<unsigned long long>(result.acc.quarantined),
+              static_cast<unsigned long long>(result.acc.committed_samples));
+  std::printf("    \"corrupt_sample_caught\": %s, "
+              "\"campaign_completed\": %s\n",
+              check(caught),
+              check(result.samples == samples));
+  std::printf("  },\n");
+}
+
+// ---- Availability curve (independent failures) -------------------------
+
+void run_curve(const Topology& topo, const char* ftv_text,
+               std::uint64_t samples, std::uint32_t max_steps,
+               bool trailing_comma) {
+  SurvivabilityOptions options;
+  options.seed = 3;
+  options.samples = samples;
+  options.max_steps = max_steps;
+  options.threads = 0;
+  const obs::PauseObs quiet;
+  const SurvivabilityResult result = run_survivability(topo, options);
+
+  std::printf("    {\n");
+  std::printf("      \"ftv\": \"%s\", \"samples\": %llu, \"max_steps\": %u, "
+              "\"links\": %llu,\n",
+              ftv_text, static_cast<unsigned long long>(samples), max_steps,
+              static_cast<unsigned long long>(result.domain_count));
+  std::printf("      \"p_disconnect\": %.4f, "
+              "\"mean_links_to_disconnect\": %.2f,\n",
+              result.p_disconnect(), result.mean_links_to_disconnect());
+  std::printf("      \"availability_mtbf2190h_mttr4h\": %.6f,\n",
+              availability_from_survivability(result, 2190.0, 4.0));
+  std::printf("      \"curve\": [\n");
+  const std::vector<SurvivabilityCurvePoint> curve = result.curve();
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    std::printf("        {\"step\": %u, \"links\": %.1f, \"p_connected\": "
+                "%.4f, \"ci\": [%.4f, %.4f], \"reachable\": %.4f}%s\n",
+                curve[i].step, curve[i].mean_failed_links,
+                curve[i].p_connected, curve[i].ci.lo, curve[i].ci.hi,
+                curve[i].mean_reachable_fraction,
+                i + 1 < curve.size() ? "," : "");
+  }
+  std::printf("      ]\n");
+  std::printf("    }%s\n", trailing_comma ? "," : "");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  aspen::obs::ObsConfig obs_config;
+  obs_config.metrics = true;
+  aspen::obs::configure(obs_config);
+
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+
+  // All campaigns run on Fig. 3 trees: 4-level, 6-port Aspen trees.  The
+  // headline tree is <0,0,2> — fault tolerance at the top level, 63
+  // switches, 216 links, 18 racks — a representative mid-cost point of the
+  // Fig. 3 design space.
+  const Topology fig3 =
+      Topology::build(generate_tree(4, 6, FaultToleranceVector({0, 0, 2})));
+  const fault::FailureDomainModel racks =
+      fault::FailureDomainModel::racks(fig3);
+
+  std::printf("{\n");
+  std::printf("  \"experiment\": \"survivability\",\n");
+  std::printf("  \"quick\": %s,\n", quick ? "true" : "false");
+  std::printf("  \"hardware_threads\": %d,\n",
+              aspen::parallel::effective_num_threads(0));
+  std::printf("  \"tree\": {\"n\": 4, \"k\": 6, \"ftv\": \"<0,0,2>\", "
+              "\"switches\": %llu, \"edge_switches\": %llu},\n",
+              static_cast<unsigned long long>(fig3.num_switches()),
+              static_cast<unsigned long long>(
+                  fig3.num_hosts() /
+                  static_cast<std::uint64_t>(fig3.params().k / 2)));
+
+  run_throughput(fig3, racks, quick ? 100'000 : 200'000);
+  run_resume(fig3, racks, quick ? 20'000 : 50'000);
+  run_quarantine(fig3, racks, quick ? 4'096 : 16'384);
+
+  std::printf("  \"curves\": [\n");
+  const std::uint64_t curve_samples = quick ? 1'000 : 5'000;
+  if (quick) {
+    run_curve(fig3, "<0,0,2>", curve_samples, 16, false);
+  } else {
+    const Topology fat =
+        Topology::build(generate_tree(4, 6, FaultToleranceVector({0, 0, 0})));
+    const Topology mid =
+        Topology::build(generate_tree(4, 6, FaultToleranceVector({2, 0, 0})));
+    run_curve(fat, "<0,0,0>", curve_samples, 16, true);
+    run_curve(mid, "<2,0,0>", curve_samples, 16, true);
+    run_curve(fig3, "<0,0,2>", curve_samples, 16, false);
+  }
+  std::printf("  ],\n");
+
+  std::printf("  \"all_checks_passed\": %s,\n", g_all_ok ? "true" : "false");
+  std::printf("  \"metrics\":\n%s\n",
+              aspen::obs::metrics().to_json(2).c_str());
+  std::printf("}\n");
+  return g_all_ok ? 0 : 2;
+}

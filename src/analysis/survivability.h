@@ -1,0 +1,215 @@
+// Monte Carlo survivability engine: availability curves over the FTV
+// design space under progressive (possibly correlated) random failure.
+//
+// The paper trades fault tolerance against scale and cost analytically per
+// FTV; Couto et al. (PAPERS.md) argue the operational question is different
+// — how much of the fabric still talks after *many* concurrent failures —
+// and answer it with progressive-random-failure campaigns.  This engine
+// runs those campaigns at production speed:
+//
+//   * A campaign draws `samples` independent trials.  Each trial walks a
+//     seeded uniform permutation of a FailureDomainModel's blast radii
+//     (src/fault/failure_domains.h) — single links for the independence
+//     baseline, racks / power feeds / linecards for correlated failures —
+//     failing one domain per step until the fabric logically disconnects
+//     (some ordered edge-switch pair loses every up*/down* path) or the
+//     step cap is hit.
+//   * Per-step routing is *incremental*: each worker owns a warm
+//     routing::DeltaSession; a step patches only the rows its links dirty,
+//     and the trial's unwind is digest-verified against the baseline —
+//     never a full rebuild on the happy path.
+//   * Robustness is built in rather than asserted: on a configurable
+//     subsample (and always under AuditLevel::kParanoid on that subsample)
+//     the faulted state is audited against a from-scratch computation; a
+//     trial that trips an invariant is quarantined — excluded from the
+//     accumulators, counted, reported — and the worker rebuilds its warm
+//     state, so a campaign degrades gracefully instead of aborting.
+//   * Campaigns checkpoint (seed, next sample, accumulators) every
+//     `checkpoint_every` samples and resume byte-identically: every trial's
+//     RNG stream is derived from (seed, sample index) alone, and all
+//     accumulators are integer sums, so results are also byte-identical
+//     across thread counts.
+//
+// Estimates come with Wilson-score confidence intervals, and the curve
+// converts to an availability figure under a steady-state failure model
+// (see docs/SURVIVABILITY.md for the math and its assumptions).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/fault/failure_domains.h"
+#include "src/topo/topology.h"
+
+namespace aspen {
+
+struct SurvivabilityOptions {
+  std::uint64_t seed = 1;
+  /// Trials to draw (10^4–10^6 are the intended campaign sizes).
+  std::uint64_t samples = 10'000;
+  /// Cap on progressive failure steps per trial; trials still connected
+  /// after this many domain failures are censored (counted as surviving).
+  std::uint32_t max_steps = 32;
+  /// Worker threads for campaign sharding (0 = auto); results are
+  /// byte-identical at every thread count.
+  int threads = 1;
+  /// Audit the faulted state against a from-scratch computation every
+  /// `audit_subsample`-th trial (0 disables).  Under
+  /// contracts::AuditLevel::kParanoid the audit also cross-checks digests.
+  std::uint64_t audit_subsample = 1024;
+  /// Emit a checkpoint after every this-many samples (0 = only at the
+  /// end).  Checkpoints are also the parallel chunk size.
+  std::uint64_t checkpoint_every = 0;
+  /// Called with each checkpoint as it is cut (orchestrator thread).
+  std::function<void(const struct SurvivabilityCheckpoint&)> on_checkpoint;
+  /// Test hook: deliberately corrupt the warm state inside this trial so
+  /// the quarantine path has something to catch (kNoSample = never).
+  static constexpr std::uint64_t kNoSample = ~std::uint64_t{0};
+  std::uint64_t corrupt_sample = kNoSample;
+};
+
+/// Per-failure-step integer accumulators.  Step j (1-based) aggregates
+/// trials that entered the step, i.e. were still fully connected after
+/// j−1 domain failures.
+struct SurvivabilityStep {
+  std::uint64_t samples = 0;          ///< trials that executed step j
+  std::uint64_t disconnects = 0;      ///< trials first disconnected here
+  std::uint64_t reachable_pairs = 0;  ///< Σ ordered edge pairs still routed
+  std::uint64_t failed_links = 0;     ///< Σ cumulative links down at step j
+
+  friend bool operator==(const SurvivabilityStep&,
+                         const SurvivabilityStep&) = default;
+};
+
+/// The campaign's complete integer state — everything a checkpoint needs.
+struct SurvivabilityAccumulators {
+  std::vector<SurvivabilityStep> steps;    ///< index 0 ⇒ step 1
+  std::uint64_t committed_samples = 0;     ///< trials in the estimates
+  std::uint64_t quarantined = 0;           ///< trials excluded by audit
+  std::vector<std::uint64_t> quarantined_indices;  ///< first few, ascending
+  std::uint64_t audits_run = 0;
+  std::uint64_t rollback_rebuilds = 0;  ///< digest drift caught at unwind
+  std::uint64_t disconnected_samples = 0;
+  std::uint64_t censored_samples = 0;   ///< survived max_steps
+  std::uint64_t sum_steps = 0;          ///< total failure steps executed
+  std::uint64_t sum_links_to_disconnect = 0;  ///< over disconnected trials
+  std::uint64_t sum_domains_to_disconnect = 0;
+  std::uint64_t incremental_full_rows = 0;    ///< engine row accounting
+  std::uint64_t incremental_patched_switches = 0;
+
+  /// Order-independent 64-bit digest of every counter — the byte-identity
+  /// currency of the resume / thread-count / kill-and-restart checks.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
+  /// Element-wise addition (merging a shard or a resumed segment).
+  void merge(const SurvivabilityAccumulators& other);
+
+  friend bool operator==(const SurvivabilityAccumulators&,
+                         const SurvivabilityAccumulators&) = default;
+};
+
+/// Resume token: a campaign interrupted after cutting this checkpoint
+/// continues at `next_sample` and reproduces the uninterrupted campaign's
+/// accumulators byte-for-byte.
+struct SurvivabilityCheckpoint {
+  std::uint64_t seed = 0;
+  std::uint64_t total_samples = 0;  ///< the campaign's planned size
+  std::uint64_t next_sample = 0;    ///< first index not yet accumulated
+  SurvivabilityAccumulators acc;
+
+  /// Line-oriented text format ("ASPNSURV1"), fingerprint-sealed.
+  [[nodiscard]] std::string serialize() const;
+  /// Parses serialize() output; throws PreconditionError on malformed
+  /// input or a fingerprint mismatch.
+  [[nodiscard]] static SurvivabilityCheckpoint parse(const std::string& text);
+};
+
+/// Wilson score interval for a binomial proportion.
+struct WilsonInterval {
+  double center = 0.0;  ///< point estimate successes/trials
+  double lo = 0.0;
+  double hi = 1.0;
+
+  [[nodiscard]] bool contains(double p) const { return p >= lo && p <= hi; }
+};
+
+[[nodiscard]] WilsonInterval wilson_interval(std::uint64_t successes,
+                                             std::uint64_t trials,
+                                             double z = 1.959964);
+
+/// One point of the survivability curve, after j domain failures.
+struct SurvivabilityCurvePoint {
+  std::uint32_t step = 0;              ///< j
+  double mean_failed_links = 0.0;      ///< links down when step j completed
+  double p_connected = 0.0;            ///< P(fully connected after j)
+  WilsonInterval ci;                   ///< Wilson interval around it
+  double mean_reachable_fraction = 0.0;  ///< over trials that executed j
+};
+
+struct SurvivabilityResult {
+  std::uint64_t seed = 0;
+  std::uint64_t samples = 0;  ///< trials processed (committed + quarantined)
+  std::uint64_t edge_switches = 0;
+  std::uint64_t ordered_pairs = 0;  ///< edge_switches · (edge_switches − 1)
+  std::uint64_t domain_count = 0;
+  SurvivabilityAccumulators acc;
+
+  /// P(connected after j failures) for j = 1..max walked step, with CIs.
+  [[nodiscard]] std::vector<SurvivabilityCurvePoint> curve() const;
+  /// Mean links failed at first disconnection (trials that disconnected).
+  [[nodiscard]] double mean_links_to_disconnect() const;
+  [[nodiscard]] double mean_domains_to_disconnect() const;
+  /// Fraction of committed trials that disconnected within max_steps.
+  [[nodiscard]] double p_disconnect() const;
+};
+
+/// Runs (or, given `resume`, continues) one seeded campaign.  `resume`
+/// must carry the same seed and planned sample count as `options`.
+[[nodiscard]] SurvivabilityResult run_survivability(
+    const Topology& topo, const fault::FailureDomainModel& domains,
+    const SurvivabilityOptions& options,
+    const SurvivabilityCheckpoint* resume = nullptr);
+
+/// Independence-baseline convenience overload.
+[[nodiscard]] SurvivabilityResult run_survivability(
+    const Topology& topo, const SurvivabilityOptions& options);
+
+// ---- Exact small-tree oracle -------------------------------------------
+
+/// Exhaustive ground truth for estimator-convergence tests: enumerates
+/// every `num_failures`-subset of inter-switch links and reports the exact
+/// probability that the fabric stays fully edge-connected.  Cost is
+/// C(links, num_failures) incremental recomputes — Fig. 3-scale trees and
+/// num_failures ≤ 2 only.
+struct ExactSurvivability {
+  std::uint64_t fault_sets = 0;
+  std::uint64_t connected_sets = 0;
+
+  [[nodiscard]] double p_connected() const {
+    return fault_sets == 0
+               ? 1.0
+               : static_cast<double>(connected_sets) /
+                     static_cast<double>(fault_sets);
+  }
+};
+
+[[nodiscard]] ExactSurvivability exact_connected_probability(
+    const Topology& topo, int num_failures);
+
+// ---- Steady-state availability ----------------------------------------
+
+/// Folds the survivability curve into an expected availability under a
+/// steady-state failure model: domains fail independently with MTBF
+/// `domain_mtbf_hours` and repair in `mttr_hours`, so the number of
+/// concurrently failed domains is ≈ Poisson(D·ρ) with per-domain
+/// unavailability ρ = mttr/(mtbf+mttr); availability is Σ_j P(j failed) ·
+/// P(connected | j failed), taking the curve's Monte Carlo estimates for
+/// the conditional and 0 beyond the measured depth (pessimistic tail).
+[[nodiscard]] double availability_from_survivability(
+    const SurvivabilityResult& result, double domain_mtbf_hours,
+    double mttr_hours);
+
+}  // namespace aspen

@@ -1,6 +1,7 @@
 #include "src/analysis/trace_scenarios.h"
 
 #include "src/fault/chaos.h"
+#include "src/fault/seed.h"
 #include "src/obs/obs.h"
 #include "src/proto/experiment.h"
 #include "src/util/contracts.h"
@@ -51,7 +52,8 @@ TraceScenarioResult run_traced_scenario(ProtocolKind kind,
       chaos.delays.channel.drop_rate = 0.05;
       chaos.delays.channel.duplicate_rate = 0.0125;
       chaos.delays.channel.reliable = true;
-      chaos.delays.channel.seed = options.seed ^ 0xC44A05;
+      chaos.delays.channel.seed =
+          fault::derive_stream_seed(options.seed, fault::kStreamChannel);
       (void)run_chaos_campaign(kind, topo, chaos);
       break;
     }

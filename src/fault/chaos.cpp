@@ -4,6 +4,7 @@
 #include <array>
 #include <vector>
 
+#include "src/fault/seed.h"
 #include "src/obs/obs.h"
 #include "src/routing/audit.h"
 #include "src/routing/packet_walk.h"
@@ -97,7 +98,8 @@ void check_consistency(const Topology& topo, const ProtocolSimulation& proto,
   // and give the flap phase a pseudo-instant that varies across checks.
   WalkOptions degraded;
   degraded.apply_health = true;
-  degraded.health_seed = options.seed ^ 0xD5A1C0DE5EEDull;
+  degraded.health_seed =
+      fault::derive_stream_seed(options.seed, fault::kStreamChaosHealth);
   degraded.at_time_ms = static_cast<double>(outcome.checks) * 137.0;
   const bool any_degraded = proto.overlay().num_degraded() > 0;
   for (std::uint64_t f = 0; f < flows; ++f) {
@@ -156,7 +158,8 @@ ChaosOutcome run_chaos_campaign(ProtocolKind kind, const Topology& topo,
   const RoutingState initial = proto->tables();
 
   Rng rng(options.seed);
-  Rng flow_rng(options.seed ^ 0x9E3779B97F4A7C15ull);
+  Rng flow_rng(
+      fault::derive_stream_seed(options.seed, fault::kStreamChaosFlows));
   ChaosOutcome outcome;
   outcome.seed = options.seed;
   TruthCache truth_cache;
@@ -312,8 +315,10 @@ ChaosOutcome run_chaos_campaign(ProtocolKind kind, const Topology& topo,
           // detector take to confirm this gray link?  Seed varies per link
           // so campaigns do not replay one probe schedule.
           fault::DetectorOptions watch = options.detector;
-          watch.seed = options.detector.seed ^
-                       (0x9E3779B97F4A7C15ull * (link.value() + 1));
+          watch.seed = fault::derive_stream_seed(
+              fault::derive_stream_seed(options.detector.seed,
+                                        fault::kStreamDetectorWatch),
+              link.value());
           LinkHealthState fault_state;
           fault_state.health = LinkHealth::kGray;
           fault_state.loss_rate = loss;
@@ -362,12 +367,38 @@ ChaosOutcome run_chaos_campaign(ProtocolKind kind, const Topology& topo,
       crashed.push_back(victim);
       ++outcome.switch_crashes;
     } else if (down_links.size() < options.max_concurrent_link_faults) {
-      const std::vector<LinkId> up = up_candidates();
-      if (up.empty()) continue;
-      const LinkId link = up[rng.index(up.size())];
-      absorb(outcome, proto->simulate_link_failure(link));
-      down_links.push_back(link);
-      ++outcome.link_failures;
+      if (options.domains != nullptr && rng.chance(options.p_domain_cut)) {
+        // Correlated cut: one blast radius, every still-up link in it
+        // failed as a single timed event so the protocol reacts to the
+        // correlated loss at once.  The concurrency cap admits the whole
+        // domain — blast radii are atomic — so it may overshoot by the
+        // domain size; recovery later is per-link like any other fault.
+        const fault::FailureDomain& domain =
+            options.domains->domain(options.domains->draw(rng));
+        std::vector<TimedFault> schedule;
+        for (const LinkId link : domain.links) {
+          if (proto->overlay().is_up(link)) {
+            schedule.push_back(TimedFault::link_fail(link));
+          }
+        }
+        if (schedule.empty()) continue;
+        absorb(outcome, proto->simulate_timed_events(schedule));
+        for (const TimedFault& fault : schedule) {
+          down_links.push_back(fault.link);
+        }
+        outcome.link_failures += schedule.size();
+        outcome.domain_links_cut += schedule.size();
+        ++outcome.domain_cuts;
+        obs::count("chaos.domain_cuts");
+        obs::count("chaos.domain_links_cut", schedule.size());
+      } else {
+        const std::vector<LinkId> up = up_candidates();
+        if (up.empty()) continue;
+        const LinkId link = up[rng.index(up.size())];
+        absorb(outcome, proto->simulate_link_failure(link));
+        down_links.push_back(link);
+        ++outcome.link_failures;
+      }
     }
 
     prune_degraded();

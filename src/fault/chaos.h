@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "src/fault/detector.h"
+#include "src/fault/failure_domains.h"
 #include "src/proto/experiment.h"
 #include "src/proto/protocol.h"
 #include "src/routing/updown.h"
@@ -79,6 +80,18 @@ struct ChaosOptions {
   /// ChaosOutcome::detection_ms.
   bool measure_detection_latency = true;
   fault::DetectorOptions detector;
+
+  // ---- Correlated-failure domains --------------------------------------
+  /// Optional shared-risk model (not owned; must outlive the campaign).
+  /// When set, each link-cut action may instead cut a whole blast radius:
+  /// one domain drawn uniformly, every still-up link in it failed in a
+  /// single timed schedule (the protocol reacts to the links as one
+  /// correlated event).  Recovery stays per-link — repairs are not
+  /// correlated.  nullptr (the default) adds no RNG draws, keeping legacy
+  /// campaign schedules byte-identical.
+  const fault::FailureDomainModel* domains = nullptr;
+  /// P(a link-cut action becomes a domain cut), given `domains` is set.
+  double p_domain_cut = 0.5;
 };
 
 struct ChaosOutcome {
@@ -94,6 +107,9 @@ struct ChaosOutcome {
   std::uint64_t gray_injected = 0;   ///< links degraded to Gray{loss}
   std::uint64_t flaps_injected = 0;  ///< links degraded to Flapping
   std::uint64_t degradations_cleared = 0;
+  std::uint64_t domain_cuts = 0;        ///< correlated blast-radius cuts
+  std::uint64_t domain_links_cut = 0;   ///< links those cuts took down
+                                        ///< (also counted in link_failures)
 
   // ---- Aggregated protocol accounting ---------------------------------
   std::uint64_t messages = 0;

@@ -1,0 +1,204 @@
+#include "src/fault/failure_domains.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/util/status.h"
+
+namespace aspen::fault {
+
+const char* to_cstring(DomainKind kind) {
+  switch (kind) {
+    case DomainKind::kLink: return "link";
+    case DomainKind::kRack: return "rack";
+    case DomainKind::kPowerFeed: return "power_feed";
+    case DomainKind::kLinecard: return "linecard";
+  }
+  return "?";
+}
+
+namespace {
+
+/// All inter-switch links incident on `s`, ascending by id.  `upward`
+/// selects the up-facing or down-facing ports.
+std::vector<LinkId> switch_links(const Topology& topo, SwitchId s,
+                                 bool upward) {
+  std::vector<LinkId> links;
+  for (const Topology::Neighbor& nb :
+       upward ? topo.up_neighbors(s) : topo.down_neighbors(s)) {
+    if (!topo.is_switch_node(nb.node)) continue;  // skip host links
+    links.push_back(nb.link);
+  }
+  std::sort(links.begin(), links.end(),
+            [](LinkId a, LinkId b) { return a.value() < b.value(); });
+  return links;
+}
+
+void finish_domain(FailureDomain domain, std::vector<FailureDomain>& out) {
+  if (domain.links.empty()) return;
+  std::sort(domain.links.begin(), domain.links.end(),
+            [](LinkId a, LinkId b) { return a.value() < b.value(); });
+  domain.links.erase(std::unique(domain.links.begin(), domain.links.end()),
+                     domain.links.end());
+  out.push_back(std::move(domain));
+}
+
+}  // namespace
+
+FailureDomainModel FailureDomainModel::independent(const Topology& topo) {
+  FailureDomainModel model;
+  for (Level level = 2; level <= topo.levels(); ++level) {
+    for (const LinkId link : topo.links_at_level(level)) {
+      FailureDomain domain;
+      domain.kind = DomainKind::kLink;
+      domain.links = {link};
+      domain.name = "link:" + std::to_string(link.value());
+      model.domains_.push_back(std::move(domain));
+    }
+  }
+  ASPEN_REQUIRE(!model.domains_.empty(),
+                "topology has no inter-switch links");
+  return model;
+}
+
+FailureDomainModel FailureDomainModel::racks(const Topology& topo) {
+  FailureDomainModel model;
+  for (std::uint64_t e = 0; e < topo.num_switches(); ++e) {
+    const SwitchId s{static_cast<std::uint32_t>(e)};
+    if (topo.level_of(s) != 1) continue;
+    FailureDomain domain;
+    domain.kind = DomainKind::kRack;
+    domain.links = switch_links(topo, s, /*upward=*/true);
+    domain.name = "rack:" + to_string(s);
+    finish_domain(std::move(domain), model.domains_);
+  }
+  ASPEN_REQUIRE(!model.domains_.empty(), "topology has no racks");
+  return model;
+}
+
+FailureDomainModel FailureDomainModel::power_feeds(const Topology& topo) {
+  FailureDomainModel model;
+  ASPEN_REQUIRE(topo.levels() >= 2, "power feeds need an L2");
+  const std::uint64_t feeds = topo.pods_at_level(2);
+  for (std::uint64_t feed = 0; feed < feeds; ++feed) {
+    FailureDomain domain;
+    domain.kind = DomainKind::kPowerFeed;
+    domain.name = "feed:L2p" + std::to_string(feed);
+    for (const SwitchId s :
+         topo.pod_members(2, PodId{static_cast<std::uint32_t>(feed)})) {
+      for (const LinkId link : switch_links(topo, s, /*upward=*/true)) {
+        domain.links.push_back(link);
+      }
+    }
+    finish_domain(std::move(domain), model.domains_);
+  }
+  ASPEN_REQUIRE(!model.domains_.empty(), "topology has no L2 pods");
+  return model;
+}
+
+FailureDomainModel FailureDomainModel::linecards(const Topology& topo,
+                                                 std::uint32_t ports_per_card) {
+  ASPEN_REQUIRE(ports_per_card > 0, "ports_per_card must be positive");
+  FailureDomainModel model;
+  for (std::uint32_t sw = 0; sw < topo.num_switches(); ++sw) {
+    const SwitchId s{sw};
+    for (const bool upward : {false, true}) {
+      const std::vector<LinkId> ports = switch_links(topo, s, upward);
+      for (std::size_t first = 0; first < ports.size();
+           first += ports_per_card) {
+        FailureDomain domain;
+        domain.kind = DomainKind::kLinecard;
+        const std::size_t last = std::min<std::size_t>(
+            first + ports_per_card, ports.size());
+        domain.links.assign(ports.begin() + static_cast<std::ptrdiff_t>(first),
+                            ports.begin() + static_cast<std::ptrdiff_t>(last));
+        domain.name = "card:" + to_string(s) + (upward ? ":up" : ":down") +
+                      std::to_string(first / ports_per_card);
+        finish_domain(std::move(domain), model.domains_);
+      }
+    }
+  }
+  ASPEN_REQUIRE(!model.domains_.empty(), "topology has no linecards");
+  return model;
+}
+
+FailureDomainModel FailureDomainModel::parse(const Topology& topo,
+                                             const std::string& spec) {
+  if (spec == "independent" || spec == "link") return independent(topo);
+  if (spec == "rack" || spec == "racks") return racks(topo);
+  if (spec == "feed" || spec == "power" || spec == "power_feed") {
+    return power_feeds(topo);
+  }
+  constexpr const char* kCard = "linecard";
+  if (spec.rfind(kCard, 0) == 0) {
+    std::uint32_t ports = 2;
+    const std::size_t colon = spec.find(':');
+    if (colon != std::string::npos) {
+      ports = static_cast<std::uint32_t>(std::stoul(spec.substr(colon + 1)));
+    }
+    return linecards(topo, ports);
+  }
+  throw PreconditionError("unknown failure-domain spec: " + spec);
+}
+
+FailureDomainModel FailureDomainModel::from_domains(
+    std::vector<FailureDomain> domains) {
+  FailureDomainModel model;
+  model.domains_ = std::move(domains);
+  return model;
+}
+
+std::uint64_t FailureDomainModel::total_links() const {
+  return std::accumulate(domains_.begin(), domains_.end(), std::uint64_t{0},
+                         [](std::uint64_t sum, const FailureDomain& d) {
+                           return sum + d.links.size();
+                         });
+}
+
+std::size_t FailureDomainModel::max_domain_links() const {
+  std::size_t most = 0;
+  for (const FailureDomain& d : domains_) most = std::max(most, d.links.size());
+  return most;
+}
+
+std::vector<std::uint32_t> FailureDomainModel::draw_order(Rng& rng) const {
+  std::vector<std::uint32_t> order(domains_.size());
+  std::iota(order.begin(), order.end(), 0u);
+  rng.shuffle(order);
+  return order;
+}
+
+void FailureDomainModel::merge(const FailureDomainModel& other) {
+  domains_.insert(domains_.end(), other.domains_.begin(),
+                  other.domains_.end());
+}
+
+std::vector<std::string> FailureDomainModel::check(
+    const Topology& topo) const {
+  std::vector<std::string> problems;
+  for (const FailureDomain& domain : domains_) {
+    if (domain.links.empty()) {
+      problems.push_back(domain.name + ": empty domain");
+      continue;
+    }
+    LinkId prev = LinkId::invalid();
+    for (const LinkId link : domain.links) {
+      if (link.value() >= topo.num_links()) {
+        problems.push_back(domain.name + ": link out of range");
+        continue;
+      }
+      const Topology::LinkRec& rec = topo.link(link);
+      if (!topo.is_switch_node(rec.lower)) {
+        problems.push_back(domain.name + ": host link " +
+                           std::to_string(link.value()));
+      }
+      if (prev != LinkId::invalid() && prev.value() >= link.value()) {
+        problems.push_back(domain.name + ": links unsorted or duplicated");
+      }
+      prev = link;
+    }
+  }
+  return problems;
+}
+
+}  // namespace aspen::fault

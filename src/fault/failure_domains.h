@@ -1,0 +1,119 @@
+// Correlated-failure domains: shared-risk link groups (SRLGs).
+//
+// The paper (and our analytic FTV machinery) treats link failures as
+// independent events, but measured data-center failure processes are
+// dominated by *correlated* faults: a rack losing power takes every link on
+// its top-of-rack switch, a blown power feed takes a whole group of pods,
+// and a linecard failure takes a contiguous block of one switch's ports
+// (Gill et al.; Couto et al., PAPERS.md).  A FailureDomainModel partitions
+// — or, for composite models, covers — the inter-switch links of one
+// topology with named blast radii; drawing a fault then means drawing a
+// *domain* and failing every link in it at once.
+//
+// The model is the one correlated-injection currency shared by every fault
+// consumer: the Monte Carlo survivability engine samples domains per trial
+// (src/analysis/survivability.h), and ChaosCampaign accepts a model so its
+// link-cut actions become domain cuts (ChaosOptions::domains).
+//
+// Determinism: domains are stored in a canonical order (construction order;
+// builders iterate the topology in id order), every domain's link list is
+// sorted, and all sampling goes through the caller's Rng — the model itself
+// holds no random state.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/topo/topology.h"
+#include "src/util/ids.h"
+#include "src/util/rng.h"
+
+namespace aspen::fault {
+
+/// What physical failure a domain models.
+enum class DomainKind : std::uint8_t {
+  kLink,       ///< a single link — the independent-failure baseline
+  kRack,       ///< an edge (L_1) switch's uplinks: top-of-rack power loss
+  kPowerFeed,  ///< every uplink of one L_2 pod: a shared power feed
+  kLinecard,   ///< a contiguous block of one switch's same-direction ports
+};
+
+[[nodiscard]] const char* to_cstring(DomainKind kind);
+
+/// One shared-risk link group.
+struct FailureDomain {
+  DomainKind kind = DomainKind::kLink;
+  std::vector<LinkId> links;  ///< sorted by id, unique, non-empty
+  std::string name;           ///< stable diagnostic label, e.g. "rack:L1.3"
+};
+
+/// An immutable catalog of failure domains over one topology.
+class FailureDomainModel {
+ public:
+  /// The independence baseline: one kLink domain per inter-switch link.
+  /// Sampling this model reproduces uncorrelated link failures exactly.
+  [[nodiscard]] static FailureDomainModel independent(const Topology& topo);
+
+  /// Rack blast radii: for every L_1 switch, one domain holding all of its
+  /// uplinks (host links stay out — routing-invisible under kEdge tables).
+  [[nodiscard]] static FailureDomainModel racks(const Topology& topo);
+
+  /// Power-feed blast radii: for every L_2 pod, one domain holding every
+  /// uplink of the pod's switches — the links a shared feed failure kills.
+  [[nodiscard]] static FailureDomainModel power_feeds(const Topology& topo);
+
+  /// Linecard blast radii: each switch's up-facing and down-facing
+  /// inter-switch ports are split into contiguous cards of
+  /// `ports_per_card` links; each card is one domain.
+  [[nodiscard]] static FailureDomainModel linecards(const Topology& topo,
+                                                    std::uint32_t ports_per_card);
+
+  /// Parses "independent" / "rack" / "feed" / "linecard[:ports]" (CLI and
+  /// bench front ends).  Throws PreconditionError on anything else.
+  [[nodiscard]] static FailureDomainModel parse(const Topology& topo,
+                                                const std::string& spec);
+
+  /// Wraps an explicit domain catalog — SRLGs imported from outside the
+  /// builders above (e.g. measured blast radii).  The caller owns
+  /// coherence; run `check()` against the target topology before sampling.
+  [[nodiscard]] static FailureDomainModel from_domains(
+      std::vector<FailureDomain> domains);
+
+  [[nodiscard]] const std::vector<FailureDomain>& domains() const {
+    return domains_;
+  }
+  [[nodiscard]] std::size_t size() const { return domains_.size(); }
+  [[nodiscard]] const FailureDomain& domain(std::size_t i) const {
+    return domains_.at(i);
+  }
+
+  /// Total links across all domains (with multiplicity, for composites).
+  [[nodiscard]] std::uint64_t total_links() const;
+
+  /// Largest single blast radius, in links.
+  [[nodiscard]] std::size_t max_domain_links() const;
+
+  /// Draws a uniformly random domain index.
+  [[nodiscard]] std::size_t draw(Rng& rng) const {
+    return rng.index(domains_.size());
+  }
+
+  /// A seeded uniform permutation of all domain indices — the progressive
+  /// failure order one survivability sample walks (Couto et al.'s
+  /// progressive-random-failure campaign, generalized to SRLGs).
+  [[nodiscard]] std::vector<std::uint32_t> draw_order(Rng& rng) const;
+
+  /// Appends another model's domains (e.g. racks + linecards composite).
+  void merge(const FailureDomainModel& other);
+
+  /// Structural sanity: every domain non-empty, links sorted and unique,
+  /// every link a valid inter-switch link of `topo`.  Returns a list of
+  /// problems, empty when coherent.
+  [[nodiscard]] std::vector<std::string> check(const Topology& topo) const;
+
+ private:
+  std::vector<FailureDomain> domains_;
+};
+
+}  // namespace aspen::fault

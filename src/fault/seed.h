@@ -1,0 +1,41 @@
+// Deterministic derivation of independent RNG stream seeds.
+//
+// Every stochastic subsystem (chaos schedules, consistency-check flow
+// sampling, detector probe watches, survivability samples) must draw from
+// its own stream so that adding draws to one never perturbs another — the
+// property all the byte-identity guarantees (legacy chaos schedules,
+// resume-from-checkpoint, thread-count independence) rest on.  Before this
+// header each call site XORed its own magic constant onto the base seed;
+// derive_stream_seed is the one place that mixing now lives, so stream
+// independence is an invariant of the helper instead of a convention.
+#pragma once
+
+#include <cstdint>
+
+namespace aspen::fault {
+
+/// Well-known stream tags.  Any 64-bit value works as a tag (per-link
+/// streams pass the link id); these names exist so two subsystems never
+/// collide on an ad-hoc constant.
+enum : std::uint64_t {
+  kStreamChaosFlows = 0x101,     ///< consistency-check flow sampling
+  kStreamChaosHealth = 0x102,    ///< degraded re-walk gray-drop hashing
+  kStreamChannel = 0x103,        ///< lossy control-channel fate draws
+  kStreamDetectorWatch = 0x104,  ///< side-channel detector watches (+ link)
+  kStreamSurvivability = 0x105,  ///< survivability sample streams (+ index)
+};
+
+/// Derives the seed for stream `tag` of a campaign keyed by `base`.
+/// SplitMix64 finalization over the (base, tag) pair: distinct tags yield
+/// statistically independent streams even for adjacent base seeds, and the
+/// map is bijective in `base` for a fixed tag so no two campaigns share a
+/// stream.  Pure function — safe to call from worker threads.
+[[nodiscard]] constexpr std::uint64_t derive_stream_seed(std::uint64_t base,
+                                                         std::uint64_t tag) {
+  std::uint64_t z = base + 0x9E3779B97F4A7C15ull * (tag + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace aspen::fault

@@ -96,6 +96,8 @@ const char* trace_kind_name(TraceKind kind) {
     case TraceKind::kRoutePatch: return "route_patch";
     case TraceKind::kChaosPhase: return "chaos_phase";
     case TraceKind::kChaosCheck: return "chaos_check";
+    case TraceKind::kSurviveChunk: return "survive_chunk";
+    case TraceKind::kSurviveCheckpoint: return "survive_checkpoint";
   }
   ASPEN_UNREACHABLE("unknown TraceKind ",
                     static_cast<int>(kind));

@@ -40,6 +40,8 @@ enum class TraceKind : std::uint8_t {
   kRoutePatch,       ///< incremental recompute; value=rows fully recomputed
   kChaosPhase,       ///< campaign phase boundary; detail names the phase
   kChaosCheck,       ///< campaign consistency check; value=1 pass, 0 fail
+  kSurviveChunk,     ///< survivability chunk done; a:b=next sample, value=n
+  kSurviveCheckpoint,  ///< survivability checkpoint cut; value=next sample
 };
 
 /// Stable snake_case name for JSONL export ("msg_send", "route_patch", ...).
@@ -47,7 +49,7 @@ enum class TraceKind : std::uint8_t {
 
 /// Number of distinct TraceKind values (for iteration / validation).
 inline constexpr std::size_t kNumTraceKinds =
-    static_cast<std::size_t>(TraceKind::kChaosCheck) + 1;
+    static_cast<std::size_t>(TraceKind::kSurviveCheckpoint) + 1;
 
 /// One fixed-size trace record.  `detail` must point at a string literal
 /// (or other storage outliving the tracer); the tracer never copies it.

@@ -1,0 +1,73 @@
+#include "src/routing/delta.h"
+
+#include <utility>
+
+#include "src/util/contracts.h"
+
+namespace aspen::routing {
+
+DeltaSession::DeltaSession(const Topology& topo, DestGranularity granularity,
+                           int threads)
+    : topo_(&topo),
+      granularity_(granularity),
+      threads_(threads),
+      overlay_(topo),
+      state_(compute_updown_routes(topo, overlay_, granularity, threads)),
+      baseline_(state_) {
+  ASPEN_ASSERT(baseline_.has_digests(),
+               "engine states must carry digests for rollback checks");
+}
+
+void DeltaSession::absorb(const RecomputeStats& stats) {
+  cumulative_.total_dests = stats.total_dests;
+  cumulative_.full_rows += stats.full_rows;
+  cumulative_.escalated_rows += stats.escalated_rows;
+  cumulative_.patched_switches += stats.patched_switches;
+}
+
+RecomputeStats DeltaSession::apply(std::span<const LinkId> links) {
+  std::vector<LinkId> changed;
+  changed.reserve(links.size());
+  for (const LinkId link : links) {
+    if (overlay_.fail(link)) {
+      changed.push_back(link);
+      failed_.push_back(link);
+    }
+  }
+  RecomputeStats stats{};
+  if (!changed.empty()) {
+    stats = recompute_updown_routes(*topo_, overlay_, state_, changed,
+                                    threads_);
+  }
+  absorb(stats);
+  return stats;
+}
+
+bool DeltaSession::rollback() {
+  if (!failed_.empty()) {
+    for (const LinkId link : failed_) overlay_.recover(link);
+    absorb(
+        recompute_updown_routes(*topo_, overlay_, state_, failed_, threads_));
+    failed_.clear();
+  }
+  if (tables_match_by_digest(baseline_, state_)) return true;
+  ++rebuilds_;
+  rebuild();
+  return false;
+}
+
+void DeltaSession::rebuild() {
+  overlay_.recover_all();
+  failed_.clear();
+  state_ = compute_updown_routes(*topo_, overlay_, granularity_, threads_);
+}
+
+void DeltaSession::corrupt_for_test() {
+  ASPEN_REQUIRE(!state_.tables.empty() && state_.num_dests() > 0,
+                "nothing to corrupt");
+  ForwardingTable::Entry& entry = state_.tables.front().entry(0);
+  entry.cost = entry.cost == 7 ? 8 : 7;
+  entry.next_hops.clear();
+}
+
+}  // namespace aspen::routing

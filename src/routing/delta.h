@@ -1,0 +1,86 @@
+// Warm-state fault deltas: apply / rollback on a long-lived RoutingState.
+//
+// Monte Carlo campaigns (src/analysis/survivability.h) and fault-sweep
+// benches apply thousands to millions of fault sets against one topology.
+// Recomputing routes from scratch per sample throws away the dominant
+// optimization the engine already has — recompute_updown_routes patches
+// only the rows a changed link dirties.  A DeltaSession owns the pieces
+// that make the warm pattern safe:
+//
+//   * a private LinkStateOverlay and RoutingState, initialized from the
+//     intact topology once;
+//   * apply(links) — fail a set of links and patch the state incrementally;
+//   * rollback() — recover every applied link, patch back, and *prove* the
+//     state returned to baseline via the per-switch digests (O(switches)
+//     word compares).  A digest mismatch means incremental maintenance
+//     drifted; the session then rebuilds from scratch and reports it, so a
+//     campaign degrades to a slower-but-correct mode instead of silently
+//     accumulating error.
+//
+// The baseline digests are captured at construction; rollback never deep-
+// compares tables on the happy path.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/routing/fwd_table.h"
+#include "src/routing/updown.h"
+#include "src/topo/link_state.h"
+#include "src/topo/topology.h"
+
+namespace aspen::routing {
+
+class DeltaSession {
+ public:
+  DeltaSession(const Topology& topo, DestGranularity granularity,
+               int threads = 1);
+
+  /// Fails every link in `links` (ignoring ones already down) and patches
+  /// the routing state incrementally.  Returns the engine's row accounting.
+  RecomputeStats apply(std::span<const LinkId> links);
+
+  /// Recovers every currently failed link, patches the state back, and
+  /// checks the per-switch digests against the baseline.  On a digest
+  /// mismatch the state is rebuilt from scratch (and the rebuild counter
+  /// bumps); returns true when the digests matched, i.e. the incremental
+  /// path round-tripped exactly.
+  bool rollback();
+
+  /// Discards the warm state and recomputes everything from the intact
+  /// topology — the quarantine path after an audit finding.
+  void rebuild();
+
+  [[nodiscard]] const RoutingState& state() const { return state_; }
+  [[nodiscard]] const LinkStateOverlay& overlay() const { return overlay_; }
+  [[nodiscard]] const RoutingState& baseline() const { return baseline_; }
+  [[nodiscard]] std::span<const LinkId> failed() const { return failed_; }
+
+  /// Times rollback() found drifted digests and had to rebuild.
+  [[nodiscard]] std::uint64_t rebuilds() const { return rebuilds_; }
+
+  /// Cumulative incremental-engine row accounting across apply/rollback.
+  [[nodiscard]] const RecomputeStats& cumulative_stats() const {
+    return cumulative_;
+  }
+
+  /// Test hook: corrupts one forwarding entry (and deliberately not its
+  /// digest) so audits and rollback digest checks have something to catch.
+  void corrupt_for_test();
+
+ private:
+  void absorb(const RecomputeStats& stats);
+
+  const Topology* topo_;
+  DestGranularity granularity_;
+  int threads_;
+  LinkStateOverlay overlay_;
+  RoutingState state_;
+  RoutingState baseline_;  ///< intact-topology tables + digests
+  std::vector<LinkId> failed_;
+  std::uint64_t rebuilds_ = 0;
+  RecomputeStats cumulative_{};
+};
+
+}  // namespace aspen::routing

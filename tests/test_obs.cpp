@@ -10,6 +10,7 @@
 
 #include "src/aspen/generator.h"
 #include "src/fault/chaos.h"
+#include "src/fault/seed.h"
 #include "src/obs/obs.h"
 #include "src/routing/updown.h"
 #include "src/topo/link_state.h"
@@ -230,7 +231,8 @@ TEST(ObsProperty, ChannelConservationOverRandomCampaigns) {
         options.delays.channel.drop_rate = 0.1;
         options.delays.channel.duplicate_rate = 0.025;
         options.delays.channel.reliable = true;
-        options.delays.channel.seed = options.seed ^ 0xC44A05;
+        options.delays.channel.seed =
+            fault::derive_stream_seed(options.seed, fault::kStreamChannel);
       }
       obs::ObsConfig config;
       config.metrics = true;

@@ -1,0 +1,517 @@
+// Tests for the Monte Carlo survivability engine and its supporting cast:
+// seed-stream derivation, correlated-failure domains, warm routing deltas,
+// Wilson intervals, the exact small-tree oracle, quarantine, and the
+// byte-identity contracts (thread counts, kill-and-resume).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/analysis/survivability.h"
+#include "src/aspen/generator.h"
+#include "src/fault/chaos.h"
+#include "src/fault/failure_domains.h"
+#include "src/fault/seed.h"
+#include "src/routing/audit.h"
+#include "src/routing/delta.h"
+#include "src/routing/updown.h"
+#include "src/topo/topology.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace aspen {
+namespace {
+
+Topology small_fat_tree() {
+  // 3-level, 4-port fat tree: 20 switches, 8 edge switches, 32 inter-switch
+  // links.  Small enough for exhaustive 2-link enumeration.
+  return Topology::build(generate_tree(3, 4, FaultToleranceVector({0, 0})));
+}
+
+Topology fig3_tree() {
+  // A Fig. 3 tree (4-level, 6-port) with top-level fault tolerance.
+  return Topology::build(generate_tree(4, 6, FaultToleranceVector({0, 0, 2})));
+}
+
+std::uint64_t inter_switch_links(const Topology& topo) {
+  return fault::FailureDomainModel::independent(topo).size();
+}
+
+// ---- Seed-stream derivation ---------------------------------------------
+
+TEST(DeriveStreamSeed, IsDeterministicAndTagSeparated) {
+  const std::uint64_t a = fault::derive_stream_seed(1, fault::kStreamChaosFlows);
+  EXPECT_EQ(a, fault::derive_stream_seed(1, fault::kStreamChaosFlows));
+  EXPECT_NE(a, fault::derive_stream_seed(1, fault::kStreamChaosHealth));
+  EXPECT_NE(a, fault::derive_stream_seed(2, fault::kStreamChaosFlows));
+}
+
+TEST(DeriveStreamSeed, IsConstexprAndNonTrivial) {
+  static_assert(fault::derive_stream_seed(0, 0) != 0);
+  static_assert(fault::derive_stream_seed(0, 0) !=
+                fault::derive_stream_seed(0, 1));
+  // Zero base must not collapse to a weak stream.
+  EXPECT_NE(fault::derive_stream_seed(0, fault::kStreamSurvivability), 0u);
+}
+
+// ---- Failure domains ----------------------------------------------------
+
+TEST(FailureDomains, IndependentIsOneDomainPerInterSwitchLink) {
+  const Topology topo = small_fat_tree();
+  const auto model = fault::FailureDomainModel::independent(topo);
+  EXPECT_GT(model.size(), 0u);
+  EXPECT_EQ(model.total_links(), model.size());
+  EXPECT_EQ(model.max_domain_links(), 1u);
+  std::set<std::uint32_t> seen;
+  for (const auto& d : model.domains()) {
+    EXPECT_EQ(d.kind, fault::DomainKind::kLink);
+    ASSERT_EQ(d.links.size(), 1u);
+    EXPECT_TRUE(seen.insert(d.links[0].value()).second);
+  }
+  EXPECT_TRUE(model.check(topo).empty());
+}
+
+TEST(FailureDomains, RackDomainsHoldEveryEdgeUplink) {
+  const Topology topo = small_fat_tree();
+  const auto model = fault::FailureDomainModel::racks(topo);
+  // One domain per edge (L1) switch, each holding its k/2 = 2 uplinks.
+  EXPECT_EQ(model.size(), 8u);
+  for (const auto& d : model.domains()) {
+    EXPECT_EQ(d.kind, fault::DomainKind::kRack);
+    EXPECT_EQ(d.links.size(), 2u);
+    EXPECT_FALSE(d.name.empty());
+  }
+  EXPECT_TRUE(model.check(topo).empty());
+}
+
+TEST(FailureDomains, PowerFeedAndLinecardModelsAreCoherent) {
+  const Topology topo = fig3_tree();
+  const auto feeds = fault::FailureDomainModel::power_feeds(topo);
+  EXPECT_GT(feeds.size(), 0u);
+  EXPECT_TRUE(feeds.check(topo).empty());
+  for (const auto& d : feeds.domains()) {
+    EXPECT_EQ(d.kind, fault::DomainKind::kPowerFeed);
+  }
+  const auto cards = fault::FailureDomainModel::linecards(topo, 2);
+  EXPECT_GT(cards.size(), 0u);
+  EXPECT_TRUE(cards.check(topo).empty());
+  for (const auto& d : cards.domains()) {
+    EXPECT_EQ(d.kind, fault::DomainKind::kLinecard);
+    EXPECT_LE(d.links.size(), 2u);
+  }
+  // Every inter-switch link is on some linecard.
+  std::uint64_t covered = 0;
+  for (const auto& d : cards.domains()) covered += d.links.size();
+  EXPECT_GE(covered, inter_switch_links(topo));
+}
+
+TEST(FailureDomains, ParseAcceptsSpecsAndRejectsGarbage) {
+  const Topology topo = small_fat_tree();
+  EXPECT_EQ(fault::FailureDomainModel::parse(topo, "independent").size(),
+            inter_switch_links(topo));
+  EXPECT_EQ(fault::FailureDomainModel::parse(topo, "rack").size(), 8u);
+  EXPECT_GT(fault::FailureDomainModel::parse(topo, "feed").size(), 0u);
+  EXPECT_GT(fault::FailureDomainModel::parse(topo, "linecard:2").size(), 0u);
+  EXPECT_THROW((void)fault::FailureDomainModel::parse(topo, "bogus"),
+               PreconditionError);
+}
+
+TEST(FailureDomains, DrawOrderIsASeededPermutation) {
+  const Topology topo = small_fat_tree();
+  const auto model = fault::FailureDomainModel::independent(topo);
+  Rng rng(99);
+  const std::vector<std::uint32_t> order = model.draw_order(rng);
+  EXPECT_EQ(order.size(), model.size());
+  std::vector<std::uint32_t> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::uint32_t i = 0; i < sorted.size(); ++i) EXPECT_EQ(sorted[i], i);
+  Rng same(99);
+  EXPECT_EQ(model.draw_order(same), order);
+}
+
+TEST(FailureDomains, MergeBuildsComposites) {
+  const Topology topo = small_fat_tree();
+  auto composite = fault::FailureDomainModel::racks(topo);
+  const auto cards = fault::FailureDomainModel::linecards(topo, 2);
+  composite.merge(cards);
+  EXPECT_EQ(composite.size(), 8u + cards.size());
+  EXPECT_TRUE(composite.check(topo).empty());
+}
+
+TEST(FailureDomains, KindNamesAreStable) {
+  EXPECT_STREQ(fault::to_cstring(fault::DomainKind::kLink), "link");
+  EXPECT_STREQ(fault::to_cstring(fault::DomainKind::kRack), "rack");
+  EXPECT_STREQ(fault::to_cstring(fault::DomainKind::kPowerFeed), "power_feed");
+  EXPECT_STREQ(fault::to_cstring(fault::DomainKind::kLinecard), "linecard");
+}
+
+TEST(FailureDomains, CheckReportsEveryIncoherence) {
+  const Topology topo = small_fat_tree();
+  // A host link (lower endpoint is a host) — routing-invisible, so any
+  // domain naming one is incoherent.
+  LinkId host_link = LinkId::invalid();
+  LinkId switch_link = LinkId::invalid();
+  for (std::uint32_t l = 0; l < topo.num_links(); ++l) {
+    const LinkId link{l};
+    if (topo.is_switch_node(topo.link(link).lower)) {
+      if (switch_link == LinkId::invalid()) switch_link = link;
+    } else if (host_link == LinkId::invalid()) {
+      host_link = link;
+    }
+  }
+  ASSERT_NE(host_link, LinkId::invalid());
+  ASSERT_NE(switch_link, LinkId::invalid());
+
+  std::vector<fault::FailureDomain> bad;
+  bad.push_back({fault::DomainKind::kRack, {}, "empty"});
+  bad.push_back({fault::DomainKind::kLink,
+                 {LinkId{static_cast<std::uint32_t>(topo.num_links()) + 5}},
+                 "range"});
+  bad.push_back({fault::DomainKind::kLinecard, {host_link}, "host"});
+  bad.push_back({fault::DomainKind::kPowerFeed,
+                 {switch_link, switch_link},
+                 "dup"});
+  const auto model = fault::FailureDomainModel::from_domains(std::move(bad));
+  const std::vector<std::string> problems = model.check(topo);
+  ASSERT_EQ(problems.size(), 4u);
+  EXPECT_NE(problems[0].find("empty domain"), std::string::npos);
+  EXPECT_NE(problems[1].find("out of range"), std::string::npos);
+  EXPECT_NE(problems[2].find("host link"), std::string::npos);
+  EXPECT_NE(problems[3].find("unsorted or duplicated"), std::string::npos);
+}
+
+TEST(FailureDomains, FromDomainsPreservesCatalogOrder) {
+  const Topology topo = small_fat_tree();
+  const auto racks = fault::FailureDomainModel::racks(topo);
+  auto copy = fault::FailureDomainModel::from_domains(
+      {racks.domains().begin(), racks.domains().end()});
+  EXPECT_EQ(copy.size(), racks.size());
+  EXPECT_EQ(copy.total_links(), racks.total_links());
+  EXPECT_TRUE(copy.check(topo).empty());
+  EXPECT_EQ(copy.domain(0).name, racks.domain(0).name);
+}
+
+// ---- Warm routing deltas ------------------------------------------------
+
+TEST(DeltaSession, ApplyMatchesFullRecompute) {
+  const Topology topo = small_fat_tree();
+  routing::DeltaSession session(topo, DestGranularity::kEdge);
+  const auto model = fault::FailureDomainModel::racks(topo);
+  session.apply(std::span<const LinkId>(model.domain(0).links));
+  const RoutingState fresh = compute_updown_routes(
+      topo, session.overlay(), DestGranularity::kEdge, 1);
+  EXPECT_TRUE(tables_match_by_digest(session.state(), fresh));
+  EXPECT_EQ(session.failed().size(), model.domain(0).links.size());
+}
+
+TEST(DeltaSession, RollbackRestoresBaselineByteForByte) {
+  const Topology topo = small_fat_tree();
+  routing::DeltaSession session(topo, DestGranularity::kEdge);
+  const auto model = fault::FailureDomainModel::independent(topo);
+  Rng rng(5);
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto& d = model.domain(model.draw(rng));
+    session.apply(std::span<const LinkId>(d.links));
+    EXPECT_TRUE(session.rollback());
+    EXPECT_TRUE(session.state().tables == session.baseline().tables);
+    EXPECT_TRUE(session.state().digests == session.baseline().digests);
+  }
+  EXPECT_EQ(session.rebuilds(), 0u);
+}
+
+TEST(DeltaSession, CorruptionIsInvisibleToDigestsButCaughtByAudit) {
+  const Topology topo = small_fat_tree();
+  routing::DeltaSession session(topo, DestGranularity::kEdge);
+  session.corrupt_for_test();
+  // The digest was deliberately left stale, so the cheap digest compare
+  // cannot see the corruption...
+  EXPECT_TRUE(tables_match_by_digest(session.state(), session.baseline()));
+  // ...but the from-scratch audit does.
+  const AuditReport report = routing::audit_incremental(
+      topo, session.overlay(), session.state(), 1);
+  EXPECT_FALSE(report.ok());
+  // rebuild() is the quarantine path back to a trustworthy state.
+  session.rebuild();
+  EXPECT_TRUE(routing::audit_incremental(topo, session.overlay(),
+                                         session.state(), 1)
+                  .ok());
+}
+
+// ---- Wilson intervals ---------------------------------------------------
+
+TEST(Wilson, DegenerateAndBoundaryCases) {
+  const WilsonInterval empty = wilson_interval(0, 0);
+  EXPECT_DOUBLE_EQ(empty.lo, 0.0);
+  EXPECT_DOUBLE_EQ(empty.hi, 1.0);
+  const WilsonInterval all = wilson_interval(100, 100);
+  EXPECT_DOUBLE_EQ(all.center, 1.0);
+  EXPECT_GT(all.lo, 0.9);
+  EXPECT_DOUBLE_EQ(all.hi, 1.0);
+  const WilsonInterval none = wilson_interval(0, 100);
+  EXPECT_DOUBLE_EQ(none.center, 0.0);
+  EXPECT_LT(none.hi, 0.1);
+  EXPECT_DOUBLE_EQ(none.lo, 0.0);
+}
+
+TEST(Wilson, IntervalNarrowsWithTrials) {
+  const WilsonInterval small = wilson_interval(50, 100);
+  const WilsonInterval large = wilson_interval(5'000, 10'000);
+  EXPECT_LT(large.hi - large.lo, small.hi - small.lo);
+  EXPECT_TRUE(small.contains(0.5));
+  EXPECT_TRUE(large.contains(0.5));
+}
+
+// ---- Exact oracle vs Monte Carlo ---------------------------------------
+
+TEST(Survivability, ExactOracleEnumeratesAllFaultSets) {
+  const Topology topo = small_fat_tree();
+  const std::uint64_t links = inter_switch_links(topo);
+  const ExactSurvivability one = exact_connected_probability(topo, 1);
+  EXPECT_EQ(one.fault_sets, links);
+  // A fat tree loses no edge pair to any single inter-switch link failure.
+  EXPECT_DOUBLE_EQ(one.p_connected(), 1.0);
+  const ExactSurvivability two = exact_connected_probability(topo, 2);
+  EXPECT_EQ(two.fault_sets, links * (links - 1) / 2);
+  // Both uplinks of one edge switch disconnect it: strictly below 1.
+  EXPECT_LT(two.p_connected(), 1.0);
+  EXPECT_GT(two.p_connected(), 0.5);
+}
+
+TEST(Survivability, MonteCarloConvergesIntoWilsonIntervalOfExact) {
+  const Topology topo = small_fat_tree();
+  const ExactSurvivability exact1 = exact_connected_probability(topo, 1);
+  const ExactSurvivability exact2 = exact_connected_probability(topo, 2);
+
+  SurvivabilityOptions options;
+  options.seed = 17;
+  options.samples = 20'000;
+  options.max_steps = 2;
+  const SurvivabilityResult result = run_survivability(topo, options);
+  const std::vector<SurvivabilityCurvePoint> curve = result.curve();
+  ASSERT_GE(curve.size(), 2u);
+  // The MC estimate's Wilson interval must cover the exhaustive truth.
+  EXPECT_TRUE(curve[0].ci.contains(exact1.p_connected()))
+      << curve[0].ci.lo << ".." << curve[0].ci.hi << " vs "
+      << exact1.p_connected();
+  EXPECT_TRUE(curve[1].ci.contains(exact2.p_connected()))
+      << curve[1].ci.lo << ".." << curve[1].ci.hi << " vs "
+      << exact2.p_connected();
+  // And with 20k samples it should also be close in absolute terms.
+  EXPECT_NEAR(curve[1].p_connected, exact2.p_connected(), 0.01);
+}
+
+// ---- Campaign mechanics -------------------------------------------------
+
+TEST(Survivability, RackCutsDisconnectAtStepOne) {
+  // A rack domain removes every uplink of one edge switch — no FTV can
+  // route around that, so every trial disconnects at the first step.
+  const Topology topo = fig3_tree();
+  const auto racks = fault::FailureDomainModel::racks(topo);
+  SurvivabilityOptions options;
+  options.samples = 200;
+  const SurvivabilityResult result = run_survivability(topo, racks, options);
+  EXPECT_DOUBLE_EQ(result.p_disconnect(), 1.0);
+  EXPECT_DOUBLE_EQ(result.mean_domains_to_disconnect(), 1.0);
+  EXPECT_DOUBLE_EQ(result.mean_links_to_disconnect(), 3.0);
+  EXPECT_EQ(result.acc.rollback_rebuilds, 0u);
+}
+
+TEST(Survivability, QuarantineExcludesTheCorruptSampleAndFinishes) {
+  const Topology topo = small_fat_tree();
+  SurvivabilityOptions options;
+  options.seed = 23;
+  options.samples = 64;
+  options.audit_subsample = 0;  // only the forced audit on the bad sample
+  options.corrupt_sample = 17;
+  const SurvivabilityResult result = run_survivability(topo, options);
+  EXPECT_EQ(result.acc.quarantined, 1u);
+  ASSERT_EQ(result.acc.quarantined_indices.size(), 1u);
+  EXPECT_EQ(result.acc.quarantined_indices[0], 17u);
+  EXPECT_EQ(result.acc.committed_samples, 63u);
+  EXPECT_EQ(result.samples, 64u);
+  EXPECT_GE(result.acc.audits_run, 1u);
+}
+
+TEST(Survivability, QuarantineDoesNotChangeOtherSamples) {
+  const Topology topo = small_fat_tree();
+  SurvivabilityOptions options;
+  options.seed = 29;
+  options.samples = 64;
+  options.audit_subsample = 0;
+  const SurvivabilityResult clean = run_survivability(topo, options);
+  options.corrupt_sample = 10;
+  const SurvivabilityResult poisoned = run_survivability(topo, options);
+  // Per-trial RNG streams depend only on (seed, index), so removing one
+  // sample shifts nothing else: committed counters differ by exactly the
+  // quarantined trial's contribution.
+  EXPECT_EQ(poisoned.acc.committed_samples + 1, clean.acc.committed_samples);
+  EXPECT_LE(poisoned.acc.sum_steps, clean.acc.sum_steps);
+}
+
+TEST(Survivability, ByteIdenticalAcrossThreadCounts) {
+  const Topology topo = fig3_tree();
+  const auto racks = fault::FailureDomainModel::racks(topo);
+  SurvivabilityOptions options;
+  options.seed = 31;
+  options.samples = 300;
+  options.threads = 1;
+  const SurvivabilityResult serial = run_survivability(topo, racks, options);
+  options.threads = 3;
+  const SurvivabilityResult threaded = run_survivability(topo, racks, options);
+  EXPECT_TRUE(serial.acc == threaded.acc);
+  EXPECT_EQ(serial.acc.fingerprint(), threaded.acc.fingerprint());
+}
+
+TEST(Survivability, ResumeReproducesAccumulatorsByteForByte) {
+  const Topology topo = small_fat_tree();
+  const auto links = fault::FailureDomainModel::independent(topo);
+  SurvivabilityOptions options;
+  options.seed = 37;
+  options.samples = 400;
+  options.checkpoint_every = 100;
+  options.threads = 2;
+  std::vector<SurvivabilityCheckpoint> checkpoints;
+  options.on_checkpoint = [&](const SurvivabilityCheckpoint& cp) {
+    checkpoints.push_back(cp);
+  };
+  const SurvivabilityResult full = run_survivability(topo, links, options);
+  ASSERT_GE(checkpoints.size(), 4u);
+
+  options.on_checkpoint = nullptr;
+  // Kill-and-resume must hold at *every* checkpoint boundary.
+  for (const SurvivabilityCheckpoint& cp : checkpoints) {
+    if (cp.next_sample == options.samples) continue;
+    const SurvivabilityResult resumed =
+        run_survivability(topo, links, options, &cp);
+    EXPECT_TRUE(full.acc == resumed.acc) << "resumed from " << cp.next_sample;
+    EXPECT_EQ(full.acc.fingerprint(), resumed.acc.fingerprint());
+  }
+}
+
+TEST(Survivability, CheckpointSerializationRoundTripsAndSeals) {
+  const Topology topo = small_fat_tree();
+  SurvivabilityOptions options;
+  options.seed = 41;
+  options.samples = 120;
+  options.checkpoint_every = 60;
+  std::vector<SurvivabilityCheckpoint> checkpoints;
+  options.on_checkpoint = [&](const SurvivabilityCheckpoint& cp) {
+    checkpoints.push_back(cp);
+  };
+  (void)run_survivability(topo, options);
+  ASSERT_FALSE(checkpoints.empty());
+  const SurvivabilityCheckpoint& cp = checkpoints.front();
+
+  const std::string text = cp.serialize();
+  const SurvivabilityCheckpoint parsed = SurvivabilityCheckpoint::parse(text);
+  EXPECT_EQ(parsed.seed, cp.seed);
+  EXPECT_EQ(parsed.next_sample, cp.next_sample);
+  EXPECT_TRUE(parsed.acc == cp.acc);
+
+  // Tampering with a counter breaks the fingerprint seal.
+  std::string tampered = text;
+  const std::string::size_type pos = tampered.find("committed ");
+  ASSERT_NE(pos, std::string::npos);
+  tampered[pos + 10] = tampered[pos + 10] == '9' ? '8' : '9';
+  EXPECT_THROW((void)SurvivabilityCheckpoint::parse(tampered),
+               PreconditionError);
+  EXPECT_THROW((void)SurvivabilityCheckpoint::parse("not a checkpoint"),
+               PreconditionError);
+}
+
+TEST(Survivability, ResumeValidatesSeedAndCampaignSize) {
+  const Topology topo = small_fat_tree();
+  const auto links = fault::FailureDomainModel::independent(topo);
+  SurvivabilityOptions options;
+  options.seed = 43;
+  options.samples = 50;
+  options.checkpoint_every = 25;
+  std::vector<SurvivabilityCheckpoint> checkpoints;
+  options.on_checkpoint = [&](const SurvivabilityCheckpoint& cp) {
+    checkpoints.push_back(cp);
+  };
+  (void)run_survivability(topo, options);
+  ASSERT_FALSE(checkpoints.empty());
+  SurvivabilityCheckpoint cp = checkpoints.front();
+  options.on_checkpoint = nullptr;
+
+  SurvivabilityOptions wrong_seed = options;
+  wrong_seed.seed = 44;
+  EXPECT_THROW((void)run_survivability(topo, links, wrong_seed, &cp),
+               PreconditionError);
+  SurvivabilityOptions wrong_size = options;
+  wrong_size.samples = 60;
+  EXPECT_THROW((void)run_survivability(topo, links, wrong_size, &cp),
+               PreconditionError);
+}
+
+TEST(Survivability, RejectsDegenerateCampaigns) {
+  const Topology topo = small_fat_tree();
+  SurvivabilityOptions options;
+  options.samples = 0;
+  EXPECT_THROW((void)run_survivability(topo, options), PreconditionError);
+  options.samples = 10;
+  options.max_steps = 0;
+  EXPECT_THROW((void)run_survivability(topo, options), PreconditionError);
+}
+
+// ---- Availability -------------------------------------------------------
+
+TEST(Survivability, AvailabilityIsBoundedAndMonotoneInRepairTime) {
+  const Topology topo = fig3_tree();
+  SurvivabilityOptions options;
+  options.seed = 47;
+  options.samples = 500;
+  options.max_steps = 12;
+  const SurvivabilityResult result = run_survivability(topo, options);
+  const double fast_repair = availability_from_survivability(result, 2190.0, 4.0);
+  const double slow_repair = availability_from_survivability(result, 2190.0, 400.0);
+  EXPECT_GT(fast_repair, 0.0);
+  EXPECT_LE(fast_repair, 1.0);
+  EXPECT_LT(slow_repair, fast_repair);
+  EXPECT_THROW(
+      (void)availability_from_survivability(result, 0.0, 4.0),
+      PreconditionError);
+}
+
+// ---- Chaos campaigns over failure domains -------------------------------
+
+TEST(ChaosDomains, DomainCutsKeepCampaignInvariants) {
+  const Topology topo = small_fat_tree();
+  const auto racks = fault::FailureDomainModel::racks(topo);
+  ChaosOptions options;
+  options.seed = 53;
+  options.num_events = 40;
+  options.domains = &racks;
+  options.p_domain_cut = 1.0;
+  const ChaosOutcome outcome =
+      run_chaos_campaign(ProtocolKind::kAnp, topo, options);
+  EXPECT_GT(outcome.domain_cuts, 0u);
+  EXPECT_GE(outcome.domain_links_cut, outcome.domain_cuts);
+  EXPECT_LE(outcome.domain_links_cut, outcome.link_failures);
+  EXPECT_EQ(outcome.ground_truth_violations, 0u);
+  EXPECT_TRUE(outcome.tables_restored);
+}
+
+TEST(ChaosDomains, CampaignsAreDeterministicWithAndWithoutDomains) {
+  const Topology topo = small_fat_tree();
+  const auto racks = fault::FailureDomainModel::racks(topo);
+  for (const bool with_domains : {false, true}) {
+    ChaosOptions options;
+    options.seed = 59;
+    options.num_events = 30;
+    if (with_domains) options.domains = &racks;
+    const ChaosOutcome a = run_chaos_campaign(ProtocolKind::kAnp, topo, options);
+    const ChaosOutcome b = run_chaos_campaign(ProtocolKind::kAnp, topo, options);
+    EXPECT_EQ(a.link_failures, b.link_failures);
+    EXPECT_EQ(a.domain_cuts, b.domain_cuts);
+    EXPECT_EQ(a.messages, b.messages);
+    EXPECT_EQ(a.checks, b.checks);
+  }
+}
+
+}  // namespace
+}  // namespace aspen

@@ -30,10 +30,13 @@
 
 #include "src/analysis/availability.h"
 #include "src/analysis/convergence.h"
+#include "src/analysis/survivability.h"
 #include "src/analysis/trace_scenarios.h"
 #include "src/obs/obs.h"
 #include "src/fault/chaos.h"
 #include "src/fault/detector.h"
+#include "src/fault/failure_domains.h"
+#include "src/fault/seed.h"
 #include "src/aspen/enumerate.h"
 #include "src/aspen/fixed_hosts.h"
 #include "src/aspen/generator.h"
@@ -121,6 +124,8 @@ int usage() {
       "  aspen window <n> <k> <ftv> <lsp|anp|anp+>\n"
       "  aspen chaos <n> <k> <ftv> <lsp|anp|anp+> [events [drop_rate "
       "[seed [degrade]]]]\n"
+      "  aspen survive <n> <k> <ftv> [samples [independent|rack|feed|"
+      "linecard[:p] [max_steps [mtbf_h [mttr_h]]]]]\n"
       "  aspen detect <n> <k> <ftv> [loss [interval_ms [N [M]]]]\n"
       "  aspen label <n> <k> <ftv> [host]\n"
       "  aspen audit <n> <k> <ftv> <links.csv>\n"
@@ -426,7 +431,8 @@ int cmd_chaos(const std::vector<std::string>& args) {
   }
   if (args.size() >= 7) options.seed = std::stoull(args[6]);
   if (g_seed) options.seed = *g_seed;
-  options.delays.channel.seed = options.seed ^ 0xC44A05;
+  options.delays.channel.seed =
+      fault::derive_stream_seed(options.seed, fault::kStreamChannel);
   if (args.size() >= 8) {
     options.p_degrade = std::stod(args[7]);
     // Gray links can eat notifications; retransmit so tables restore.
@@ -531,6 +537,78 @@ int cmd_chaos(const std::vector<std::string>& args) {
                   outcome.all_quiesced && outcome.audit_violations == 0 &&
                   contract_violations == 0;
   return ok ? 0 : 2;
+}
+
+// Monte Carlo survivability campaign: progressive correlated failures on a
+// warm incremental routing state, reported as a P(connected | j failed
+// domains) curve with Wilson intervals plus a steady-state availability
+// figure.  Exit 0 as long as the campaign committed samples — quarantined
+// samples are reported, not fatal (the engine degrades gracefully).
+int cmd_survive(const std::vector<std::string>& args) {
+  if (args.size() < 3 || args.size() > 8) return usage();
+  const Topology topo = Topology::build(
+      generate_tree(std::stoi(args[0]), std::stoi(args[1]),
+                    FaultToleranceVector::parse(args[2])));
+  SurvivabilityOptions options;
+  options.threads = 0;  // --threads= / ASPEN_THREADS via the parallel pool
+  if (args.size() >= 4) options.samples = std::stoull(args[3]);
+  const std::string domain_spec = args.size() >= 5 ? args[4] : "independent";
+  if (args.size() >= 6) {
+    options.max_steps = static_cast<std::uint32_t>(std::stoul(args[5]));
+  }
+  const double mtbf_hours = args.size() >= 7 ? std::stod(args[6]) : 2190.0;
+  const double mttr_hours = args.size() >= 8 ? std::stod(args[7]) : 4.0;
+  if (g_seed) options.seed = *g_seed;
+
+  const fault::FailureDomainModel domains =
+      fault::FailureDomainModel::parse(topo, domain_spec);
+  const SurvivabilityResult result =
+      run_survivability(topo, domains, options);
+
+  std::printf("%s: survivability campaign, %lu samples, domains %s (%lu), "
+              "seed %lu\n",
+              topo.describe().c_str(),
+              static_cast<unsigned long>(result.samples), domain_spec.c_str(),
+              static_cast<unsigned long>(result.domain_count),
+              static_cast<unsigned long>(options.seed));
+
+  TextTable table({"metric", "value"});
+  table.add_row({"committed samples",
+                 std::to_string(result.acc.committed_samples)});
+  table.add_row({"quarantined samples",
+                 std::to_string(result.acc.quarantined)});
+  table.add_row({"audits run", std::to_string(result.acc.audits_run)});
+  table.add_row({"rollback rebuilds",
+                 std::to_string(result.acc.rollback_rebuilds)});
+  table.add_row({"P(disconnect <= max_steps)",
+                 format_double(result.p_disconnect(), 4)});
+  table.add_row({"mean domains to disconnect",
+                 format_double(result.mean_domains_to_disconnect(), 2)});
+  table.add_row({"mean links to disconnect",
+                 format_double(result.mean_links_to_disconnect(), 2)});
+  table.add_row({"availability (MTBF " + format_double(mtbf_hours, 0) +
+                     "h, MTTR " + format_double(mttr_hours, 0) + "h)",
+                 format_double(availability_from_survivability(
+                                   result, mtbf_hours, mttr_hours),
+                               6)});
+  std::printf("%s", table.to_string().c_str());
+
+  TextTable curve({"failed domains", "mean links down", "P(connected)",
+                   "wilson 95% CI", "reachable pairs"});
+  for (const SurvivabilityCurvePoint& point : result.curve()) {
+    curve.add_row({std::to_string(point.step),
+                   format_double(point.mean_failed_links, 1),
+                   format_double(point.p_connected, 4),
+                   "[" + format_double(point.ci.lo, 4) + ", " +
+                       format_double(point.ci.hi, 4) + "]",
+                   format_double(point.mean_reachable_fraction, 4)});
+  }
+  std::printf("%s", curve.to_string().c_str());
+  for (const std::uint64_t index : result.acc.quarantined_indices) {
+    std::printf("  quarantined sample %lu\n",
+                static_cast<unsigned long>(index));
+  }
+  return result.acc.committed_samples > 0 ? 0 : 2;
 }
 
 // Detection drill: how fast does the BFD-style detector confirm a hard
@@ -728,6 +806,7 @@ int run_command(const std::string& command,
   if (command == "availability") return cmd_availability(args);
   if (command == "window") return cmd_window(args);
   if (command == "chaos") return cmd_chaos(args);
+  if (command == "survive") return cmd_survive(args);
   if (command == "detect") return cmd_detect(args);
   if (command == "label") return cmd_label(args);
   if (command == "audit") return cmd_audit(args);

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Coverage lane: instrumented Debug build, full test suite, then the line
-# coverage gates in tools/coverage_report.py (src/obs/ >= 90%, repo-wide
-# within 2 points of tools/coverage_baseline.txt).
+# coverage gates in tools/coverage_report.py (src/obs/ and the
+# survivability engine sources >= 90%, repo-wide within 2 points of
+# tools/coverage_baseline.txt).
 #
 #   ./tools/coverage_gate.sh [build_dir] [--record-baseline]
 #

@@ -6,9 +6,11 @@ Usage: coverage_report.py <repo_root> <coverage_build_dir> [--record-baseline]
 Walks the build tree for .gcda counters, asks gcov for JSON intermediate
 data, merges per-line hit counts across translation units (a line is
 covered if any TU executed it), and reports line coverage for every file
-under src/.  Two gates fail the run:
+under src/.  The gates that fail the run:
 
-  * src/obs/ line coverage below OBS_GATE (90%)
+  * each entry in GATED (a directory prefix or a single file) below its
+    gate percentage — currently src/obs/ and the survivability engine's
+    new sources at 90%
   * repo-wide src/ coverage more than REGRESSION_SLACK (2 points) below
     the recorded baseline in tools/coverage_baseline.txt
 
@@ -25,7 +27,13 @@ import os
 import subprocess
 import sys
 
-OBS_GATE = 90.0
+# Path prefix (directory) or exact file -> minimum line coverage %.
+GATED = {
+    os.path.join("src", "obs") + os.sep: 90.0,
+    os.path.join("src", "analysis", "survivability.cpp"): 90.0,
+    os.path.join("src", "fault", "failure_domains.cpp"): 90.0,
+    os.path.join("src", "routing", "delta.cpp"): 90.0,
+}
 REGRESSION_SLACK = 2.0
 
 
@@ -95,32 +103,36 @@ def main():
 
     report = ["file                                        covered   total      %"]
     all_covered = all_total = 0
-    obs_covered = obs_total = 0
+    gated_counts = {gate: [0, 0] for gate in GATED}
     for rel in sorted(lines_by_file):
         covered, total = coverage(lines_by_file[rel])
         all_covered += covered
         all_total += total
-        if rel.startswith(os.path.join("src", "obs") + os.sep):
-            obs_covered += covered
-            obs_total += total
+        for gate in GATED:
+            if rel == gate or (gate.endswith(os.sep) and
+                               rel.startswith(gate)):
+                gated_counts[gate][0] += covered
+                gated_counts[gate][1] += total
         pct = 100.0 * covered / total if total else 100.0
         report.append(f"{rel:<44}{covered:>7}{total:>8}{pct:>7.1f}")
 
     repo_pct = 100.0 * all_covered / all_total
-    obs_pct = 100.0 * obs_covered / obs_total if obs_total else 0.0
     report.append("")
-    report.append(f"src/obs/ line coverage : {obs_pct:.1f}% "
-                  f"({obs_covered}/{obs_total})")
+    failures = []
+    for gate, minimum in GATED.items():
+        covered, total = gated_counts[gate]
+        if total == 0:
+            failures.append(f"no coverage data for {gate} — are its tests "
+                            "in the build?")
+            continue
+        pct = 100.0 * covered / total
+        report.append(f"{gate:<23}: {pct:.1f}% ({covered}/{total}), "
+                      f"gate {minimum:.0f}%")
+        if pct < minimum:
+            failures.append(f"{gate} coverage {pct:.1f}% is below the "
+                            f"{minimum:.0f}% gate")
     report.append(f"repo-wide src/ coverage: {repo_pct:.1f}% "
                   f"({all_covered}/{all_total})")
-
-    failures = []
-    if obs_total == 0:
-        failures.append("no coverage data for src/obs/ — are the obs tests "
-                        "in the build?")
-    elif obs_pct < OBS_GATE:
-        failures.append(f"src/obs/ coverage {obs_pct:.1f}% is below the "
-                        f"{OBS_GATE:.0f}% gate")
 
     if record_baseline:
         with open(baseline_path, "w") as f:
