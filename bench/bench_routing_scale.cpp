@@ -41,6 +41,7 @@ struct Config {
 
 double now_ms() {
   return std::chrono::duration<double, std::milli>(
+             // aspen-lint: allow(wall-clock) -- benchmark harness timing; measures host speed and never feeds a simulated result
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }

@@ -550,6 +550,7 @@ double availability_from_survivability(const SurvivabilityResult& result,
   double p_j = std::exp(-lambda);  // P(J = j), updated iteratively
   for (std::size_t j = 1; j <= curve.size(); ++j) {
     p_j *= lambda / static_cast<double>(j);
+    // aspen-lint: allow(float-accum) -- report-time Poisson series over the finished curve, evaluated single-threaded in fixed j order; not a cross-chunk accumulator
     availability += p_j * curve[j - 1].p_connected;
   }
   return availability;

@@ -1,0 +1,289 @@
+#include "src/lint/lint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace aspen::lint {
+
+namespace {
+
+constexpr const char* kMarker = "aspen-lint:";
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t");
+  std::size_t e = s.find_last_not_of(" \t");
+  if (b == std::string::npos) return "";
+  return s.substr(b, e - b + 1);
+}
+
+/// One parsed `allow(...)` annotation, anchored to the line it governs.
+struct Suppression {
+  int target_line = 0;
+  int comment_line = 0;
+  std::vector<std::string> rules;
+  std::string reason;
+  bool used = false;
+};
+
+void add_meta(std::vector<Finding>& out, const char* rule,
+              const std::string& file, int line, std::string message) {
+  Finding f;
+  f.rule = rule;
+  f.severity = Severity::kError;
+  f.file = file;
+  f.line = line;
+  f.message = std::move(message);
+  out.push_back(std::move(f));
+}
+
+/// Parses annotations out of comment tokens.  Malformed annotations (no
+/// allow(...), empty rule list, unknown rule, missing `-- reason`) become
+/// bad-suppression findings — the gate proves every exception is both
+/// well-formed and justified in writing.
+std::vector<Suppression> collect_suppressions(
+    const std::string& path, const std::vector<Token>& tokens,
+    std::vector<Finding>& findings) {
+  std::vector<Suppression> result;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (t.kind != TokKind::kComment) continue;
+    const std::size_t at = t.text.find(kMarker);
+    if (at == std::string::npos) continue;
+
+    const std::string body = t.text.substr(at + std::string(kMarker).size());
+    const std::size_t open = body.find("allow(");
+    const std::size_t close =
+        open == std::string::npos ? std::string::npos : body.find(')', open);
+    if (open == std::string::npos || close == std::string::npos ||
+        trim(body.substr(0, open)) != "") {
+      add_meta(findings, "bad-suppression", path, t.line,
+               "malformed annotation; expected 'aspen-lint: allow(rule) -- "
+               "reason'");
+      continue;
+    }
+
+    Suppression sup;
+    sup.comment_line = t.line;
+    std::stringstream rules(body.substr(open + 6, close - open - 6));
+    std::string id;
+    bool ok = true;
+    while (std::getline(rules, id, ',')) {
+      id = trim(id);
+      if (id.empty() || !is_known_rule(id)) {
+        add_meta(findings, "bad-suppression", path, t.line,
+                 "allow() names unknown rule '" + id + "'");
+        ok = false;
+        continue;
+      }
+      if (id == "bad-suppression") {
+        add_meta(findings, "bad-suppression", path, t.line,
+                 "bad-suppression cannot be suppressed");
+        ok = false;
+        continue;
+      }
+      sup.rules.push_back(id);
+    }
+    const std::size_t dash = body.find("--", close);
+    sup.reason =
+        dash == std::string::npos ? "" : trim(body.substr(dash + 2));
+    if (sup.reason.empty()) {
+      add_meta(findings, "bad-suppression", path, t.line,
+               "allow() without a written rationale; append '-- reason'");
+      ok = false;
+    }
+    if (!ok || sup.rules.empty()) continue;
+
+    // Trailing comment governs its own line; a standalone comment governs
+    // the next line.  "Standalone" = no code token shares the line.
+    const bool standalone = std::none_of(
+        tokens.begin(), tokens.end(), [&](const Token& other) {
+          return other.kind != TokKind::kComment && other.line == t.line;
+        });
+    sup.target_line = standalone ? t.line + 1 : t.line;
+    result.push_back(std::move(sup));
+  }
+  return result;
+}
+
+void apply_suppressions(std::vector<Suppression>& sups,
+                        std::vector<Finding>& findings) {
+  for (Finding& f : findings) {
+    if (f.rule == "bad-suppression") continue;  // never suppressible
+    for (Suppression& s : sups) {
+      if (s.target_line != f.line) continue;
+      if (std::find(s.rules.begin(), s.rules.end(), f.rule) ==
+          s.rules.end()) {
+        continue;
+      }
+      f.suppressed = true;
+      f.suppress_reason = s.reason;
+      s.used = true;
+      break;
+    }
+  }
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t LintReport::unsuppressed_count() const {
+  return static_cast<std::uint64_t>(
+      std::count_if(findings.begin(), findings.end(),
+                    [](const Finding& f) { return !f.suppressed; }));
+}
+
+std::uint64_t LintReport::suppressed_count() const {
+  return static_cast<std::uint64_t>(findings.size()) - unsuppressed_count();
+}
+
+LintReport lint_source(const std::string& path, const std::string& source) {
+  LintReport report;
+  report.files_scanned = 1;
+  const std::vector<Token> tokens = tokenize(source);
+  run_rules(path, tokens, report.findings);
+  std::vector<Suppression> sups =
+      collect_suppressions(path, tokens, report.findings);
+  apply_suppressions(sups, report.findings);
+  for (const Suppression& s : sups) {
+    if (s.used) continue;
+    std::string ids;
+    for (const std::string& id : s.rules) {
+      if (!ids.empty()) ids += ",";
+      ids += id;
+    }
+    report.unused_suppressions.push_back(
+        UnusedSuppression{path, s.comment_line, ids});
+  }
+  // Deterministic presentation order regardless of rule execution order.
+  std::sort(report.findings.begin(), report.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.line != b.line) return a.line < b.line;
+              if (a.rule != b.rule) return a.rule < b.rule;
+              return a.message < b.message;
+            });
+  return report;
+}
+
+LintReport lint_files(const std::string& root,
+                      const std::vector<std::string>& paths) {
+  LintReport merged;
+  for (const std::string& path : paths) {
+    const bool absolute = !path.empty() && path.front() == '/';
+    const std::string full = absolute || root.empty() ? path
+                                                      : root + "/" + path;
+    std::ifstream in(full, std::ios::binary);
+    if (!in) {
+      add_meta(merged.findings, "io-error", path, 0, "cannot read file");
+      ++merged.files_scanned;
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    LintReport one = lint_source(path, buffer.str());
+    merged.files_scanned += one.files_scanned;
+    for (Finding& f : one.findings) merged.findings.push_back(std::move(f));
+    for (UnusedSuppression& u : one.unused_suppressions) {
+      merged.unused_suppressions.push_back(std::move(u));
+    }
+  }
+  return merged;
+}
+
+std::string report_to_json(const LintReport& report) {
+  std::map<std::string, std::uint64_t> per_rule;
+  std::uint64_t errors = 0;
+  std::uint64_t warnings = 0;
+  for (const Finding& f : report.findings) {
+    if (f.suppressed) continue;
+    ++per_rule[f.rule];
+    (f.severity == Severity::kError ? errors : warnings) += 1;
+  }
+
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"tool\": \"aspen-lint\",\n";
+  os << "  \"format_version\": 1,\n";
+  os << "  \"files_scanned\": " << report.files_scanned << ",\n";
+  os << "  \"unsuppressed\": " << report.unsuppressed_count() << ",\n";
+  os << "  \"suppressed\": " << report.suppressed_count() << ",\n";
+  os << "  \"errors\": " << errors << ",\n";
+  os << "  \"warnings\": " << warnings << ",\n";
+
+  os << "  \"rules\": {";
+  bool first = true;
+  for (const RuleInfo& r : rule_catalogue()) {
+    os << (first ? "" : ",") << "\n    \"" << r.id << "\": "
+       << (per_rule.count(r.id) != 0 ? per_rule.at(r.id) : 0);
+    first = false;
+  }
+  os << "\n  },\n";
+
+  os << "  \"findings\": [";
+  first = true;
+  for (const Finding& f : report.findings) {
+    os << (first ? "" : ",") << "\n    {\"rule\": \"" << f.rule
+       << "\", \"severity\": \"" << to_cstring(f.severity)
+       << "\", \"file\": \"" << json_escape(f.file)
+       << "\", \"line\": " << f.line << ", \"message\": \""
+       << json_escape(f.message) << "\", \"suppressed\": "
+       << (f.suppressed ? "true" : "false");
+    if (f.suppressed) {
+      os << ", \"reason\": \"" << json_escape(f.suppress_reason) << "\"";
+    }
+    os << "}";
+    first = false;
+  }
+  os << "\n  ],\n";
+
+  os << "  \"unused_suppressions\": [";
+  first = true;
+  for (const UnusedSuppression& u : report.unused_suppressions) {
+    os << (first ? "" : ",") << "\n    {\"file\": \"" << json_escape(u.file)
+       << "\", \"line\": " << u.line << ", \"rules\": \""
+       << json_escape(u.rules) << "\"}";
+    first = false;
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
+std::string report_to_text(const LintReport& report) {
+  std::ostringstream os;
+  for (const Finding& f : report.findings) {
+    if (f.suppressed) continue;
+    os << f.file << ":" << f.line << ": " << to_cstring(f.severity) << " ["
+       << f.rule << "] " << f.message << "\n";
+  }
+  for (const UnusedSuppression& u : report.unused_suppressions) {
+    os << u.file << ":" << u.line << ": note [unused-suppression] allow("
+       << u.rules << ") matched no finding; delete the stale annotation\n";
+  }
+  return os.str();
+}
+
+}  // namespace aspen::lint

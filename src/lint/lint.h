@@ -1,0 +1,74 @@
+// aspen-lint: determinism & contracts static analyzer (front door).
+//
+// The repo's headline guarantee — routing tables, traces, and
+// survivability results that are byte-identical across thread counts and
+// kill/resume — is a *determinism* property: every output is a pure
+// function of (topology, seed, fault schedule).  The dynamic layers
+// (golden traces, digest diffs, TSan) can only catch a violation on a
+// schedule that happens to trigger it.  This analyzer makes the property
+// checkable on every commit by banning the ways nondeterminism enters a
+// codebase at the source level: wall clocks, unseeded RNGs, hash-order
+// iteration, ad-hoc seed arithmetic, and contracts that stop being
+// side-effect-free when the build elides them.
+//
+// Pipeline: tokenize (token.h) -> run rules (rules.h) -> apply suppression
+// annotations -> report.  Suppressions are explicit and audited:
+//
+//   // aspen-lint: allow(rule-id) -- reason the violation is intentional
+//
+// on the finding's line (trailing) or alone on the line above.  An
+// annotation without a reason, or naming an unknown rule, is itself a
+// finding (bad-suppression) — the zero-findings CI gate therefore proves
+// both "no violations" and "every exception has a written rationale".
+// Annotations that suppress nothing are reported (unused_suppressions) so
+// stale exceptions surface when the code they excused is fixed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/lint/rules.h"
+
+namespace aspen::lint {
+
+/// One `aspen-lint: allow(...)` annotation that matched no finding.
+struct UnusedSuppression {
+  std::string file;
+  int line = 0;
+  std::string rules;  ///< comma-joined rule ids the annotation named
+};
+
+/// Aggregated result of linting one or more sources.
+struct LintReport {
+  std::vector<Finding> findings;  ///< every finding, suppressed or not
+  std::vector<UnusedSuppression> unused_suppressions;
+  std::uint64_t files_scanned = 0;
+
+  [[nodiscard]] std::uint64_t unsuppressed_count() const;
+  [[nodiscard]] std::uint64_t suppressed_count() const;
+  /// The CI gate: true iff no unsuppressed finding exists.
+  [[nodiscard]] bool clean() const { return unsuppressed_count() == 0; }
+};
+
+/// Lints one in-memory source.  `path` is the repo-relative path used for
+/// per-path rule scoping (rules.h) and reporting.
+[[nodiscard]] LintReport lint_source(const std::string& path,
+                                     const std::string& source);
+
+/// Lints files on disk (paths resolved against `root` when relative),
+/// merging per-file reports.  A missing/unreadable file produces an
+/// `io-error` finding rather than aborting the run.
+[[nodiscard]] LintReport lint_files(const std::string& root,
+                                    const std::vector<std::string>& paths);
+
+/// Machine-readable report: findings (with suppression state and reasons),
+/// per-rule counts, and unused suppressions.  Key order is fixed and
+/// containers are emitted in deterministic (input/id) order — the linter
+/// holds itself to the rules it enforces.
+[[nodiscard]] std::string report_to_json(const LintReport& report);
+
+/// Human-readable findings, one per line: file:line: severity [rule] msg.
+[[nodiscard]] std::string report_to_text(const LintReport& report);
+
+}  // namespace aspen::lint

@@ -1,0 +1,530 @@
+#include "src/lint/rules.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <set>
+#include <string>
+
+namespace aspen::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Catalogue.  Order is the stable presentation order for --list-rules,
+// the JSON rule table, and docs/LINT.md.
+// ---------------------------------------------------------------------
+const std::vector<RuleInfo>& catalogue() {
+  static const std::vector<RuleInfo> kRules = {
+      {"wall-clock", Severity::kError,
+       "wall-clock reads (system_clock/steady_clock/time/...) outside the "
+       "src/sim virtual-time layer"},
+      {"random-device", Severity::kError,
+       "std::random_device — entropy that cannot be replayed from a seed"},
+      {"unseeded-rand", Severity::kError,
+       "C rand/srand/random/drand48 — global-state RNGs outside the seeded "
+       "Rng discipline"},
+      {"unseeded-engine", Severity::kError,
+       "default-constructed std <random> engine or default_random_engine — "
+       "stream is not a function of an explicit seed"},
+      {"thread-id", Severity::kError,
+       "thread identity (this_thread::get_id/pthread_self) — varies run to "
+       "run and must never reach an output path"},
+      {"sleep", Severity::kError,
+       "wall-clock sleeps — simulated time must advance via the event "
+       "queue, never the host scheduler"},
+      {"getenv", Severity::kWarning,
+       "environment reads make outputs depend on ambient process state; "
+       "each sanctioned read carries an allow() rationale"},
+      {"unordered-iteration", Severity::kError,
+       "iteration over an unordered container — hash order is not part of "
+       "any determinism contract and must not feed digests or exporters"},
+      {"pointer-key", Severity::kError,
+       "associative container keyed by pointer — both hash order and "
+       "comparison order follow allocation addresses"},
+      {"seed-arith", Severity::kError,
+       "raw seed arithmetic (^, *) outside fault::derive_stream_seed — "
+       "ad-hoc mixing breaks stream independence"},
+      {"assert-side-effect", Severity::kError,
+       "mutation inside ASPEN_ASSERT/ASPEN_INVARIANT — the expression "
+       "vanishes when the audit level elides the macro"},
+      {"emit-outside-orchestrator", Severity::kError,
+       "obs emission inside a parallel_for_blocks body — emission is "
+       "orchestrator-thread-only (src/obs/obs.h thread model)"},
+      {"float-accum", Severity::kError,
+       "floating-point accumulation in an integer-accumulator file — "
+       "merge order would change the result"},
+      // Meta findings (emitted by lint.cpp, not the token rules):
+      {"bad-suppression", Severity::kError,
+       "aspen-lint: allow(...) annotation without a '-- reason' rationale "
+       "or naming an unknown rule"},
+      {"io-error", Severity::kError,
+       "a file passed to the linter could not be read"},
+  };
+  return kRules;
+}
+
+Severity severity_of(const std::string& id) {
+  for (const RuleInfo& r : catalogue()) {
+    if (id == r.id) return r.severity;
+  }
+  return Severity::kError;
+}
+
+// ---------------------------------------------------------------------
+// Shared scanning helpers.  `code` is the token stream with comments
+// removed; indices below are into that vector.
+// ---------------------------------------------------------------------
+struct Ctx {
+  const std::string& path;
+  const std::vector<Token>& code;
+  std::vector<Finding>* out;
+
+  void add(const char* rule, int line, std::string message) const {
+    Finding f;
+    f.rule = rule;
+    f.severity = severity_of(rule);
+    f.file = path;
+    f.line = line;
+    f.message = std::move(message);
+    out->push_back(std::move(f));
+  }
+
+  [[nodiscard]] bool is(std::size_t i, const char* text) const {
+    return i < code.size() && code[i].text == text;
+  }
+  [[nodiscard]] bool ident(std::size_t i, const char* text) const {
+    return i < code.size() && code[i].kind == TokKind::kIdentifier &&
+           code[i].text == text;
+  }
+  /// Token i is reached through member access: `x.f` or `p->f`.
+  [[nodiscard]] bool member_access(std::size_t i) const {
+    if (i >= 1 && is(i - 1, ".")) return true;
+    return i >= 2 && is(i - 1, ">") && is(i - 2, "-");
+  }
+  [[nodiscard]] bool call_like(std::size_t i) const {
+    return is(i + 1, "(");
+  }
+  /// Index just past the bracket-balanced range opened at `open` (which
+  /// must hold the opening bracket), or code.size() if unbalanced.
+  [[nodiscard]] std::size_t match(std::size_t open, const char* lhs,
+                                  const char* rhs) const {
+    int depth = 0;
+    for (std::size_t i = open; i < code.size(); ++i) {
+      if (code[i].kind != TokKind::kPunct) continue;
+      if (code[i].text == lhs) ++depth;
+      if (code[i].text == rhs && --depth == 0) return i + 1;
+    }
+    return code.size();
+  }
+};
+
+bool path_has_prefix(const std::string& path, const char* prefix) {
+  return path.rfind(prefix, 0) == 0;
+}
+
+bool contains_ci(const std::string& text, const char* needle) {
+  std::string lower(text);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return lower.find(needle) != std::string::npos;
+}
+
+template <std::size_t N>
+bool any_of_idents(const Token& t, const std::array<const char*, N>& names) {
+  if (t.kind != TokKind::kIdentifier) return false;
+  return std::any_of(names.begin(), names.end(),
+                     [&](const char* n) { return t.text == n; });
+}
+
+// ---------------------------------------------------------------------
+// wall-clock / random-device / unseeded-rand / thread-id / sleep / getenv
+// — identifier bans with small call-shape refinements.
+// ---------------------------------------------------------------------
+void rule_banned_identifiers(const Ctx& ctx) {
+  static constexpr std::array<const char*, 10> kClockIdents = {
+      "system_clock",  "steady_clock", "high_resolution_clock",
+      "gettimeofday",  "timespec_get", "localtime",
+      "gmtime",        "strftime",     "asctime",
+      "ctime"};
+  static constexpr std::array<const char*, 2> kClockCalls = {"time", "clock"};
+  static constexpr std::array<const char*, 7> kRandCalls = {
+      "rand", "srand", "random", "srandom", "drand48", "srand48", "lrand48"};
+  static constexpr std::array<const char*, 3> kThreadIdents = {
+      "get_id", "pthread_self", "gettid"};
+  static constexpr std::array<const char*, 4> kSleepIdents = {
+      "sleep_for", "sleep_until", "usleep", "nanosleep"};
+
+  const bool in_sim = path_has_prefix(ctx.path, "src/sim/");
+  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+    const Token& t = ctx.code[i];
+    if (t.kind != TokKind::kIdentifier) continue;
+    // `#include <ctime>` is not a clock read; bans apply to code tokens.
+    if (t.preprocessor) continue;
+
+    if (!in_sim) {
+      if (any_of_idents(t, kClockIdents)) {
+        ctx.add("wall-clock", t.line,
+                "'" + t.text + "' reads the host clock; outputs must be a "
+                "pure function of (topology, seed, schedule)");
+        continue;
+      }
+      if (any_of_idents(t, kClockCalls) && ctx.call_like(i) &&
+          !ctx.member_access(i)) {
+        ctx.add("wall-clock", t.line,
+                "call to '" + t.text + "()' reads the host clock");
+        continue;
+      }
+    }
+    if (t.text == "random_device") {
+      ctx.add("random-device", t.line,
+              "std::random_device draws real entropy; derive seeds via "
+              "fault::derive_stream_seed instead");
+      continue;
+    }
+    if (any_of_idents(t, kRandCalls) && ctx.call_like(i) &&
+        !ctx.member_access(i)) {
+      ctx.add("unseeded-rand", t.line,
+              "'" + t.text + "()' uses hidden global RNG state; use the "
+              "explicitly seeded aspen::Rng");
+      continue;
+    }
+    if (any_of_idents(t, kThreadIdents)) {
+      ctx.add("thread-id", t.line,
+              "'" + t.text + "' exposes scheduler-dependent thread "
+              "identity");
+      continue;
+    }
+    if (any_of_idents(t, kSleepIdents) ||
+        (t.text == "sleep" && ctx.call_like(i) && !ctx.member_access(i))) {
+      ctx.add("sleep", t.line,
+              "'" + t.text + "' blocks on the host scheduler; advance "
+              "simulated time through the event queue");
+      continue;
+    }
+    if (t.text == "getenv" || t.text == "secure_getenv") {
+      ctx.add("getenv", t.line,
+              "'" + t.text + "' makes behavior depend on ambient process "
+              "environment");
+      continue;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// unseeded-engine: a std <random> engine declared without constructor
+// arguments, or any use of default_random_engine (implementation-defined
+// stream even when seeded).  Members named with the repo's trailing-'_'
+// convention are skipped: they are seeded in a constructor init list,
+// which is a different declaration site.
+// ---------------------------------------------------------------------
+void rule_unseeded_engine(const Ctx& ctx) {
+  static constexpr std::array<const char*, 8> kEngines = {
+      "mt19937",      "mt19937_64", "minstd_rand", "minstd_rand0",
+      "ranlux24",     "ranlux48",   "knuth_b",     "subtract_with_carry_engine"};
+  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+    const Token& t = ctx.code[i];
+    if (t.kind != TokKind::kIdentifier) continue;
+    if (t.text == "default_random_engine") {
+      ctx.add("unseeded-engine", t.line,
+              "default_random_engine's stream is implementation-defined; "
+              "name a concrete engine (aspen::Rng wraps mt19937_64)");
+      continue;
+    }
+    if (!any_of_idents(t, kEngines)) continue;
+    // Engine type followed by a declarator: flag `engine name;` and
+    // `engine name{}` (default seed 5489u — looks deterministic, but is a
+    // constant shared by every accidental user, and not derived from the
+    // campaign seed).  `engine name(args)` / `engine& name` are fine.
+    std::size_t j = i + 1;
+    if (ctx.is(j, "&") || ctx.is(j, "*")) continue;  // alias of an existing
+    if (j < ctx.code.size() && ctx.code[j].kind == TokKind::kIdentifier) {
+      const Token& name = ctx.code[j];
+      if (!name.text.empty() && name.text.back() == '_') continue;
+      if (ctx.is(j + 1, ";") ||
+          (ctx.is(j + 1, "{") && ctx.is(j + 2, "}"))) {
+        ctx.add("unseeded-engine", t.line,
+                "'" + name.text + "' is a default-constructed " + t.text +
+                "; seed it explicitly from the campaign seed");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// unordered-iteration + pointer-key.  First pass records the names of
+// variables declared with an unordered container type in this TU; second
+// pass flags range-for loops whose sequence mentions one of them and
+// explicit .begin()/.cbegin() calls on them.
+// ---------------------------------------------------------------------
+void rule_unordered_containers(const Ctx& ctx) {
+  static constexpr std::array<const char*, 4> kUnordered = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+  static constexpr std::array<const char*, 6> kAssociative = {
+      "map", "set", "multimap", "multiset", "unordered_map",
+      "unordered_set"};
+
+  std::set<std::string> unordered_names;
+
+  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+    const Token& t = ctx.code[i];
+    const bool is_unordered = any_of_idents(t, kUnordered);
+    if (!is_unordered && !any_of_idents(t, kAssociative)) continue;
+    if (ctx.member_access(i)) continue;  // e.g. x.map(...)
+    if (!ctx.is(i + 1, "<")) continue;
+
+    // Walk the template argument list; remember where the first argument
+    // (the key type) ends, and where the whole list closes.
+    int depth = 0;
+    std::size_t first_arg_end = 0;  // token index just past the key type
+    std::size_t close = ctx.code.size();
+    for (std::size_t j = i + 1; j < ctx.code.size(); ++j) {
+      const std::string& s = ctx.code[j].text;
+      if (ctx.code[j].kind == TokKind::kPunct) {
+        if (s == "<") ++depth;
+        if (s == "(" || s == "[") {  // skip nested brackets wholesale
+          j = ctx.match(j, s == "(" ? "(" : "[", s == "(" ? ")" : "]") - 1;
+          continue;
+        }
+        if (s == "," && depth == 1 && first_arg_end == 0) first_arg_end = j;
+        if (s == ">" && --depth == 0) {
+          close = j;
+          break;
+        }
+      }
+    }
+    if (close == ctx.code.size()) continue;  // unbalanced; not a decl
+    if (first_arg_end == 0) first_arg_end = close;
+
+    // pointer-key: key type's last token is '*'.
+    if (first_arg_end > 0 && ctx.is(first_arg_end - 1, "*")) {
+      ctx.add("pointer-key", t.line,
+              "'" + t.text + "' keyed by a pointer orders entries by "
+              "allocation address; key by a stable id instead");
+    }
+
+    if (!is_unordered) continue;
+    // Declarator after the closing '>': record the variable name.
+    std::size_t j = close + 1;
+    while (ctx.is(j, "&") || ctx.is(j, "*") || ctx.ident(j, "const")) ++j;
+    if (j < ctx.code.size() && ctx.code[j].kind == TokKind::kIdentifier) {
+      unordered_names.insert(ctx.code[j].text);
+    }
+  }
+
+  if (unordered_names.empty()) return;
+
+  const auto flag_iteration = [&](const Token& at, const std::string& name) {
+    ctx.add("unordered-iteration", at.line,
+            "iterating '" + name + "' (declared as an unordered container "
+            "in this TU) visits elements in hash order");
+  };
+
+  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+    // Range-for: for ( decl : sequence )
+    if (ctx.ident(i, "for") && ctx.is(i + 1, "(")) {
+      const std::size_t end = ctx.match(i + 1, "(", ")");
+      for (std::size_t j = i + 2; j + 1 < end; ++j) {
+        if (!ctx.is(j, ":") || ctx.is(j + 1, ":") || ctx.is(j - 1, ":")) {
+          continue;  // skip '::'
+        }
+        for (std::size_t k = j + 1; k + 1 < end; ++k) {
+          if (ctx.code[k].kind == TokKind::kIdentifier &&
+              unordered_names.count(ctx.code[k].text) != 0) {
+            flag_iteration(ctx.code[k], ctx.code[k].text);
+            break;
+          }
+        }
+        break;  // only the first top-level ':' splits decl from sequence
+      }
+    }
+    // Explicit iterator walk: name.begin() / name.cbegin() / name.rbegin()
+    if (ctx.code[i].kind == TokKind::kIdentifier &&
+        unordered_names.count(ctx.code[i].text) != 0 && ctx.is(i + 1, ".")) {
+      static constexpr std::array<const char*, 4> kBegins = {
+          "begin", "cbegin", "rbegin", "crbegin"};
+      if (i + 2 < ctx.code.size() &&
+          any_of_idents(ctx.code[i + 2], kBegins) &&
+          ctx.is(i + 3, "(")) {
+        flag_iteration(ctx.code[i], ctx.code[i].text);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// seed-arith: an identifier containing "seed" directly combined with ^ or
+// * is ad-hoc stream mixing; fault::derive_stream_seed (src/fault/seed.h)
+// is the one sanctioned home for that arithmetic.
+// ---------------------------------------------------------------------
+void rule_seed_arith(const Ctx& ctx) {
+  if (ctx.path == "src/fault/seed.h") return;
+  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+    const Token& t = ctx.code[i];
+    if (t.kind != TokKind::kIdentifier || !contains_ci(t.text, "seed")) {
+      continue;
+    }
+    const bool mixed_right =
+        ctx.is(i + 1, "^") || (ctx.is(i + 1, "*") &&
+                               i + 2 < ctx.code.size() &&
+                               ctx.code[i + 2].kind != TokKind::kPunct);
+    // `* seed`: require an operand on the left so unary deref doesn't trip
+    // it, and no '=' on the right so pointer declarators with initializers
+    // (`const char* kSeedFlag = ...`) don't parse as multiplication.
+    const bool mixed_left =
+        (i >= 1 && ctx.is(i - 1, "^")) ||
+        (i >= 2 && ctx.is(i - 1, "*") && !ctx.is(i + 1, "=") &&
+         (ctx.code[i - 2].kind == TokKind::kIdentifier ||
+          ctx.code[i - 2].kind == TokKind::kNumber ||
+          ctx.is(i - 2, ")")));
+    if (mixed_right || mixed_left) {
+      ctx.add("seed-arith", t.line,
+              "raw arithmetic on '" + t.text + "'; derive per-stream seeds "
+              "via fault::derive_stream_seed(base, tag)");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// assert-side-effect: mutation inside ASPEN_ASSERT / ASPEN_INVARIANT.
+// At ASPEN_AUDIT_LEVEL=0 the argument expression is parsed but never
+// evaluated, so any side effect silently disappears from release builds.
+// ---------------------------------------------------------------------
+void rule_assert_side_effect(const Ctx& ctx) {
+  static constexpr std::array<const char*, 10> kCompound = {
+      "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="};
+  static constexpr std::array<const char*, 16> kMutators = {
+      "insert",  "erase",        "push_back",  "pop_back",
+      "emplace", "emplace_back", "emplace_front", "push_front",
+      "pop_front", "clear",      "resize",     "reserve",
+      "assign",  "swap",         "reset",      "release"};
+
+  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+    if (!(ctx.ident(i, "ASPEN_ASSERT") || ctx.ident(i, "ASPEN_INVARIANT")) ||
+        !ctx.is(i + 1, "(")) {
+      continue;
+    }
+    const char* macro = ctx.code[i].text.c_str();
+    const std::size_t end = ctx.match(i + 1, "(", ")");
+    for (std::size_t j = i + 2; j + 1 < end; ++j) {
+      const Token& t = ctx.code[j];
+      if (t.kind == TokKind::kPunct) {
+        const bool compound = std::any_of(
+            kCompound.begin(), kCompound.end(),
+            [&](const char* op) { return t.text == op; });
+        // Plain '=' is assignment (== / <= / ... are single tokens); the
+        // one non-mutating shape is a lambda init-capture `[x = y]`.
+        const bool assign =
+            t.text == "=" &&
+            !(j >= 1 && ctx.is(j - 1, "[")) &&
+            !(j >= 2 && ctx.is(j - 2, "[") &&
+              ctx.code[j - 1].kind == TokKind::kIdentifier);
+        if (t.text == "++" || t.text == "--" || compound || assign) {
+          ctx.add("assert-side-effect", t.line,
+                  std::string("'") + t.text + "' inside " + macro +
+                  " mutates state the elided build never sees");
+        }
+        continue;
+      }
+      if (t.kind == TokKind::kIdentifier && ctx.member_access(j) &&
+          ctx.call_like(j) && any_of_idents(t, kMutators)) {
+        ctx.add("assert-side-effect", t.line,
+                "call to '." + t.text + "(...)' inside " + macro +
+                " mutates its receiver; hoist it out of the contract");
+      }
+    }
+    i = end > i ? end - 1 : i;
+  }
+}
+
+// ---------------------------------------------------------------------
+// emit-outside-orchestrator: obs::count / gauge_set / observe /
+// trace_event lexically inside a parallel_for_blocks(...) call — i.e.
+// inside the worker lambda.  The obs singletons are lock-free because
+// emission is orchestrator-thread-only (src/obs/obs.h).
+// ---------------------------------------------------------------------
+void rule_emit_in_parallel(const Ctx& ctx) {
+  static constexpr std::array<const char*, 4> kEmits = {
+      "count", "gauge_set", "observe", "trace_event"};
+  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+    if (!ctx.ident(i, "parallel_for_blocks") || !ctx.is(i + 1, "(")) {
+      continue;
+    }
+    const std::size_t end = ctx.match(i + 1, "(", ")");
+    for (std::size_t j = i + 2; j + 2 < end; ++j) {
+      if (ctx.ident(j, "obs") && ctx.is(j + 1, "::") &&
+          any_of_idents(ctx.code[j + 2], kEmits)) {
+        ctx.add("emit-outside-orchestrator", ctx.code[j].line,
+                "obs::" + ctx.code[j + 2].text + " inside a "
+                "parallel_for_blocks body; aggregate into per-worker "
+                "stats and emit after the join");
+      }
+    }
+    i = end > i ? end - 1 : i;
+  }
+}
+
+// ---------------------------------------------------------------------
+// float-accum: files whose results merge across chunk/worker boundaries
+// keep integer accumulators (survivability's Wilson intervals are computed
+// from integer tallies at the end).  A `double x; ... x += ...` in such a
+// file reintroduces merge-order sensitivity.
+// ---------------------------------------------------------------------
+void rule_float_accum(const Ctx& ctx) {
+  if (!contains_ci(ctx.path, "survivability")) return;
+  std::set<std::string> float_names;
+  for (std::size_t i = 0; i + 1 < ctx.code.size(); ++i) {
+    if (!(ctx.ident(i, "double") || ctx.ident(i, "float"))) continue;
+    std::size_t j = i + 1;
+    while (ctx.ident(j, "const") || ctx.is(j, "&") || ctx.is(j, "*")) ++j;
+    if (j < ctx.code.size() && ctx.code[j].kind == TokKind::kIdentifier) {
+      float_names.insert(ctx.code[j].text);
+    }
+  }
+  if (float_names.empty()) return;
+  for (std::size_t i = 0; i + 1 < ctx.code.size(); ++i) {
+    const Token& t = ctx.code[i];
+    if (t.kind != TokKind::kIdentifier || float_names.count(t.text) == 0) {
+      continue;
+    }
+    if (ctx.is(i + 1, "+=") || ctx.is(i + 1, "-=")) {
+      ctx.add("float-accum", t.line,
+              "'" + t.text + " " + ctx.code[i + 1].text + "' accumulates "
+              "in floating point; keep integer tallies and divide once at "
+              "report time");
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& rule_catalogue() { return catalogue(); }
+
+bool is_known_rule(const std::string& id) {
+  return std::any_of(catalogue().begin(), catalogue().end(),
+                     [&](const RuleInfo& r) { return id == r.id; });
+}
+
+const char* to_cstring(Severity severity) {
+  return severity == Severity::kError ? "error" : "warning";
+}
+
+void run_rules(const std::string& path, const std::vector<Token>& tokens,
+               std::vector<Finding>& out) {
+  std::vector<Token> code;
+  code.reserve(tokens.size());
+  for (const Token& t : tokens) {
+    if (t.kind != TokKind::kComment) code.push_back(t);
+  }
+  Ctx ctx{path, code, &out};
+  rule_banned_identifiers(ctx);
+  rule_unseeded_engine(ctx);
+  rule_unordered_containers(ctx);
+  rule_seed_arith(ctx);
+  rule_assert_side_effect(ctx);
+  rule_emit_in_parallel(ctx);
+  rule_float_accum(ctx);
+}
+
+}  // namespace aspen::lint

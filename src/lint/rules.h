@@ -1,0 +1,58 @@
+// aspen-lint rule engine: the catalogue of repo-specific contracts and the
+// token-stream checks that enforce them (docs/LINT.md is the prose
+// catalogue; this header is the machine one).
+//
+// These are deliberately rules clang-tidy cannot express — they encode
+// *this repo's* determinism architecture: virtual time lives in src/sim,
+// seed mixing lives in fault::derive_stream_seed, obs emission is
+// orchestrator-thread-only, contracts must survive elision.  Each rule is
+// a pure function over one translation unit's token stream; path-scoped
+// rules (wall-clock, seed-arith, float-accum) take the repo-relative path.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/lint/token.h"
+
+namespace aspen::lint {
+
+enum class Severity { kError, kWarning };
+
+[[nodiscard]] const char* to_cstring(Severity severity);
+
+/// One rule violation at a source location.  `suppressed` flips to true
+/// when an `aspen-lint: allow(rule)` annotation with a written rationale
+/// covers the line (lint.h applies annotations after the rules run).
+struct Finding {
+  std::string rule;
+  Severity severity = Severity::kError;
+  std::string file;
+  int line = 0;
+  std::string message;
+  bool suppressed = false;
+  std::string suppress_reason;
+};
+
+/// Catalogue entry for one rule (docs/LINT.md mirrors this table).
+struct RuleInfo {
+  const char* id;
+  Severity severity;
+  const char* summary;
+};
+
+/// Every rule the engine runs, in stable id order.  The meta finding
+/// `bad-suppression` (emitted by the suppression parser, lint.cpp) is
+/// listed here too so `--list-rules` and the JSON rule table are complete.
+[[nodiscard]] const std::vector<RuleInfo>& rule_catalogue();
+
+/// True iff `id` names a rule in the catalogue.
+[[nodiscard]] bool is_known_rule(const std::string& id);
+
+/// Runs every token-stream rule over one translation unit, appending
+/// findings (suppression not yet applied).  `path` must be repo-relative
+/// with forward slashes — rule scoping matches on path prefixes.
+void run_rules(const std::string& path, const std::vector<Token>& tokens,
+               std::vector<Finding>& out);
+
+}  // namespace aspen::lint

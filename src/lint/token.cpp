@@ -1,0 +1,344 @@
+#include "src/lint/token.h"
+
+#include <array>
+#include <cstddef>
+
+namespace aspen::lint {
+
+namespace {
+
+[[nodiscard]] bool is_ident_start(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+
+[[nodiscard]] bool is_ident_char(char c) {
+  return is_ident_start(c) || (c >= '0' && c <= '9');
+}
+
+[[nodiscard]] bool is_digit(char c) { return c >= '0' && c <= '9'; }
+
+// Multi-character operators, longest first within each leading character
+// (the scanner tries them in order and takes the first prefix match).
+constexpr std::array<const char*, 21> kMultiPunct = {
+    "<<=", ">>=", "...", "->*", "::", "++", "--", "+=", "-=", "*=", "/=",
+    "%=",  "&=",  "|=",  "^=",  "==", "!=", "<=", ">=", "&&", "||",
+};
+// "<<", ">>", and "->" are deliberately absent: the rule engine matches
+// template argument lists by bracket depth, and a ">>" token would hide
+// the two closing angles it contains.  "->" still arrives as '-' '>' and
+// rules that care test the pair.
+
+/// Cursor over raw source text with physical line/column tracking.  Line
+/// continuations (backslash-newline) are spliced *by the consumers that
+/// the standard splices them for* — identifiers and operators never contain
+/// them in practice, and raw string literals must see them verbatim.
+class Scanner {
+ public:
+  explicit Scanner(const std::string& src) : src_(src) {}
+
+  [[nodiscard]] bool done() const { return pos_ >= src_.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  [[nodiscard]] int line() const { return line_; }
+  [[nodiscard]] int column() const { return column_; }
+
+  char take() {
+    const char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+      at_line_start_ = true;
+    } else {
+      ++column_;
+      if (c != ' ' && c != '\t' && c != '\r') at_line_start_ = false;
+    }
+    return c;
+  }
+
+  /// True while only whitespace has been consumed on the current physical
+  /// line — the condition under which '#' opens a directive.
+  [[nodiscard]] bool at_line_start() const { return at_line_start_; }
+
+  /// Consumes a backslash-newline splice if one starts here.
+  bool splice() {
+    if (peek() == '\\' && (peek(1) == '\n' ||
+                           (peek(1) == '\r' && peek(2) == '\n'))) {
+      take();                    // backslash
+      if (peek() == '\r') take();
+      take();                    // newline
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  const std::string& src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+  bool at_line_start_ = true;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : s_(src) {}
+
+  std::vector<Token> run() {
+    while (!s_.done()) {
+      if (s_.splice()) continue;  // splice outside any token: invisible
+      const char c = s_.peek();
+      if (c == ' ' || c == '\t' || c == '\r') {
+        s_.take();
+        continue;
+      }
+      if (c == '\n') {
+        s_.take();
+        in_directive_ = false;
+        continue;
+      }
+      if (c == '#' && s_.at_line_start()) {
+        in_directive_ = true;
+        begin();
+        text_ += s_.take();
+        emit(TokKind::kPunct);
+        continue;
+      }
+      if (c == '/' && s_.peek(1) == '/') {
+        line_comment();
+        continue;
+      }
+      if (c == '/' && s_.peek(1) == '*') {
+        block_comment();
+        continue;
+      }
+      if (is_ident_start(c)) {
+        identifier_or_literal_prefix();
+        continue;
+      }
+      if (is_digit(c) || (c == '.' && is_digit(s_.peek(1)))) {
+        number();
+        continue;
+      }
+      if (c == '"') {
+        string_literal();
+        continue;
+      }
+      if (c == '\'') {
+        char_literal();
+        continue;
+      }
+      punct();
+    }
+    return out_;
+  }
+
+ private:
+  void begin() {
+    text_.clear();
+    tok_line_ = s_.line();
+    tok_column_ = s_.column();
+  }
+
+  void emit(TokKind kind) {
+    Token t;
+    t.kind = kind;
+    t.text = text_;
+    t.line = tok_line_;
+    t.column = tok_column_;
+    t.preprocessor = in_directive_;
+    out_.push_back(std::move(t));
+  }
+
+  void line_comment() {
+    begin();
+    text_ += s_.take();  // '/'
+    text_ += s_.take();  // '/'
+    // A // comment extends across line continuations (the splice happens
+    // before comment recognition in real translation).
+    while (!s_.done()) {
+      if (s_.splice()) {
+        text_ += '\n';
+        continue;
+      }
+      if (s_.peek() == '\n') break;
+      text_ += s_.take();
+    }
+    emit(TokKind::kComment);
+  }
+
+  void block_comment() {
+    begin();
+    text_ += s_.take();  // '/'
+    text_ += s_.take();  // '*'
+    while (!s_.done()) {
+      if (s_.peek() == '*' && s_.peek(1) == '/') {
+        text_ += s_.take();
+        text_ += s_.take();
+        break;
+      }
+      text_ += s_.take();
+    }
+    emit(TokKind::kComment);
+  }
+
+  void identifier_or_literal_prefix() {
+    begin();
+    while (!s_.done() && is_ident_char(s_.peek())) text_ += s_.take();
+    // An encoding prefix glued to a quote is part of the literal:
+    // u8R"(..)", LR"(..)", u"..", L'x', ...
+    const bool raw = !text_.empty() && text_.back() == 'R';
+    const std::string prefix = raw ? text_.substr(0, text_.size() - 1) : text_;
+    const bool enc = prefix.empty() || prefix == "u8" || prefix == "u" ||
+                     prefix == "U" || prefix == "L";
+    if (enc && s_.peek() == '"') {
+      if (raw) {
+        raw_string_tail();
+      } else {
+        string_tail();
+      }
+      emit(TokKind::kString);
+      return;
+    }
+    if (enc && !raw && !prefix.empty() && s_.peek() == '\'') {
+      char_tail();
+      emit(TokKind::kChar);
+      return;
+    }
+    emit(TokKind::kIdentifier);
+  }
+
+  /// Consumes "..." with escapes; the opening quote is next.
+  void string_tail() {
+    text_ += s_.take();  // '"'
+    while (!s_.done()) {
+      if (s_.splice()) continue;
+      const char c = s_.take();
+      text_ += c;
+      if (c == '\\' && !s_.done()) {
+        text_ += s_.take();  // escaped char (quote, backslash, ...)
+        continue;
+      }
+      if (c == '"' || c == '\n') break;  // newline: unterminated, recover
+    }
+  }
+
+  /// Consumes R"delim( ... )delim"; the opening quote is next.  No splicing
+  /// and no escapes: raw strings see source text verbatim.
+  void raw_string_tail() {
+    text_ += s_.take();  // '"'
+    std::string delim;
+    while (!s_.done() && s_.peek() != '(' && s_.peek() != '\n' &&
+           delim.size() < 16) {
+      delim += s_.take();
+    }
+    text_ += delim;
+    if (s_.done() || s_.peek() != '(') return;  // malformed; give up quietly
+    text_ += s_.take();                         // '('
+    const std::string closer = ")" + delim + "\"";
+    std::string window;
+    while (!s_.done()) {
+      const char c = s_.take();
+      text_ += c;
+      window += c;
+      if (window.size() > closer.size()) window.erase(window.begin());
+      if (window == closer) return;
+    }
+  }
+
+  void char_tail() {
+    text_ += s_.take();  // '\''
+    while (!s_.done()) {
+      if (s_.splice()) continue;
+      const char c = s_.take();
+      text_ += c;
+      if (c == '\\' && !s_.done()) {
+        text_ += s_.take();
+        continue;
+      }
+      if (c == '\'' || c == '\n') break;
+    }
+  }
+
+  void string_literal() {
+    begin();
+    string_tail();
+    emit(TokKind::kString);
+  }
+
+  void char_literal() {
+    begin();
+    char_tail();
+    emit(TokKind::kChar);
+  }
+
+  void number() {
+    begin();
+    // pp-number: digits, identifier chars, digit separators, '.'; a sign
+    // directly after an exponent marker stays inside the token.
+    text_ += s_.take();
+    while (!s_.done()) {
+      const char c = s_.peek();
+      if (is_ident_char(c) || c == '.') {
+        text_ += s_.take();
+        continue;
+      }
+      if (c == '\'' && is_ident_char(s_.peek(1))) {  // digit separator
+        text_ += s_.take();
+        text_ += s_.take();
+        continue;
+      }
+      if ((c == '+' || c == '-') && !text_.empty()) {
+        const char e = text_.back();
+        if (e == 'e' || e == 'E' || e == 'p' || e == 'P') {
+          text_ += s_.take();
+          continue;
+        }
+      }
+      break;
+    }
+    emit(TokKind::kNumber);
+  }
+
+  void punct() {
+    begin();
+    for (const char* op : kMultiPunct) {
+      std::size_t n = 0;
+      while (op[n] != '\0' && s_.peek(n) == op[n]) ++n;
+      if (op[n] == '\0') {
+        for (std::size_t i = 0; i < n; ++i) text_ += s_.take();
+        emit(TokKind::kPunct);
+        return;
+      }
+    }
+    text_ += s_.take();
+    emit(TokKind::kPunct);
+  }
+
+  Scanner s_;
+  std::vector<Token> out_;
+  std::string text_;
+  int tok_line_ = 1;
+  int tok_column_ = 1;
+  bool in_directive_ = false;
+};
+
+}  // namespace
+
+std::vector<Token> tokenize(const std::string& source) {
+  return Lexer(source).run();
+}
+
+const char* to_cstring(TokKind kind) {
+  switch (kind) {
+    case TokKind::kIdentifier: return "identifier";
+    case TokKind::kNumber: return "number";
+    case TokKind::kString: return "string";
+    case TokKind::kChar: return "char";
+    case TokKind::kPunct: return "punct";
+    case TokKind::kComment: return "comment";
+  }
+  return "unknown";
+}
+
+}  // namespace aspen::lint

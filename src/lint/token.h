@@ -1,0 +1,46 @@
+// C++ tokenizer for aspen-lint (src/lint/).
+//
+// A real lexer, not a grep: it understands // and /* */ comments, string
+// and character literals (including u8/u/U/L prefixes and raw strings with
+// arbitrary delimiters), digit separators, line continuations, and
+// preprocessor directives.  That is the minimum needed for the rule engine
+// (rules.h) to reason about *code* — an identifier inside a string literal
+// or a comment is never a finding, and a suppression annotation is parsed
+// from comment tokens, never from code.
+//
+// The token stream is lossy in ways a compiler's cannot be (no keyword
+// classification, no literal decoding) and lossless in the one way a linter
+// needs: every token carries the 1-based physical line it starts on, with
+// line continuations counted so findings land on the line an editor shows.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace aspen::lint {
+
+enum class TokKind {
+  kIdentifier,  ///< [A-Za-z_][A-Za-z0-9_]* (keywords included)
+  kNumber,      ///< pp-number: digits, digit separators, exponents, suffixes
+  kString,      ///< "..." (any prefix) or raw string R"delim(...)delim"
+  kChar,        ///< '...' with escapes
+  kPunct,       ///< operators and punctuation, longest-match
+  kComment,     ///< // to end of logical line, or /* ... */
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;          ///< exact source lexeme (comments keep markers)
+  int line = 0;              ///< 1-based physical line of the first char
+  int column = 0;            ///< 1-based column of the first char
+  bool preprocessor = false; ///< token sits on a #-directive logical line
+};
+
+/// Tokenizes one translation unit's source text.  Never throws on malformed
+/// input (an unterminated literal or comment is consumed to end of file) —
+/// a linter must degrade, not die, on the code it inspects.
+[[nodiscard]] std::vector<Token> tokenize(const std::string& source);
+
+[[nodiscard]] const char* to_cstring(TokKind kind);
+
+}  // namespace aspen::lint

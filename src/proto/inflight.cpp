@@ -28,6 +28,7 @@ bool gray_drops(const LinkStateOverlay& actual, LinkId link, HostId src,
   const LinkHealthState h = actual.health(link);
   if (h.health != LinkHealth::kGray) return false;
   const std::uint64_t key =
+      // aspen-lint: allow(seed-arith) -- per-(flow,link) gray-drop hash predating derive_stream_seed; the mixing is pinned by recorded goldens and EXPERIMENTS baselines
       mix64(options.health_seed ^
             (static_cast<std::uint64_t>(src.value()) << 40) ^
             (static_cast<std::uint64_t>(dst.value()) << 20) ^ link.value());
@@ -115,6 +116,7 @@ WalkResult walk_during_convergence(const Topology& topo,
     }
 
     const std::uint64_t key =
+        // aspen-lint: allow(seed-arith) -- per-flow ECMP hash predating derive_stream_seed; the mixing is pinned by recorded goldens and EXPERIMENTS baselines
         mix64(options.flow_seed ^
               (static_cast<std::uint64_t>(src.value()) << 32) ^ dst.value() ^
               (static_cast<std::uint64_t>(at.value()) << 16));

@@ -1,7 +1,9 @@
 #include "src/routing/paths.h"
 
+#include <cstdint>
 #include <functional>
-#include <unordered_map>
+#include <limits>
+#include <vector>
 
 #include "src/util/contracts.h"
 #include "src/util/status.h"
@@ -10,14 +12,19 @@ namespace aspen {
 
 namespace {
 
-std::uint64_t count_down_paths_memo(
-    const Topology& topo, const LinkStateOverlay& overlay, SwitchId from,
-    SwitchId to_edge, std::unordered_map<std::uint32_t, std::uint64_t>& memo) {
+// Switch ids are dense, so path-count memo tables are flat vectors indexed
+// by switch id with a sentinel for "not yet computed" — deterministic by
+// construction (no hash container in any counting path) and faster than a
+// node-allocating map for the dense DAG walks below.
+constexpr std::uint64_t kUncounted = std::numeric_limits<std::uint64_t>::max();
+
+std::uint64_t count_down_paths_memo(const Topology& topo,
+                                    const LinkStateOverlay& overlay,
+                                    SwitchId from, SwitchId to_edge,
+                                    std::vector<std::uint64_t>& memo) {
   if (from == to_edge) return 1;
   if (topo.level_of(from) == 1) return 0;
-  if (const auto it = memo.find(from.value()); it != memo.end()) {
-    return it->second;
-  }
+  if (memo[from.value()] != kUncounted) return memo[from.value()];
   std::uint64_t total = 0;
   for (const Topology::Neighbor& nb : topo.down_neighbors(from)) {
     if (!overlay.is_up(nb.link)) continue;
@@ -36,7 +43,7 @@ std::uint64_t count_down_paths(const Topology& topo,
                                SwitchId to_edge) {
   ASPEN_REQUIRE(topo.level_of(to_edge) == 1,
                 "to_edge must be an L1 switch");
-  std::unordered_map<std::uint32_t, std::uint64_t> memo;
+  std::vector<std::uint64_t> memo(topo.num_switches(), kUncounted);
   return count_down_paths_memo(topo, overlay, from, to_edge, memo);
 }
 
@@ -84,13 +91,11 @@ std::uint64_t count_shortest_paths(const Topology& topo,
   const SwitchId dest_edge = topo.edge_switch_of(dst);
   const std::uint64_t dest_index = topo.index_in_level(dest_edge);
 
-  std::unordered_map<std::uint32_t, std::uint64_t> memo;
+  std::vector<std::uint64_t> memo(topo.num_switches(), kUncounted);
   const std::function<std::uint64_t(SwitchId)> count =
       [&](SwitchId at) -> std::uint64_t {
     if (at == dest_edge) return 1;
-    if (const auto it = memo.find(at.value()); it != memo.end()) {
-      return it->second;
-    }
+    if (memo[at.value()] != kUncounted) return memo[at.value()];
     std::uint64_t total = 0;
     for (const Topology::Neighbor& nb :
          routes.table(at).entry(dest_index).next_hops) {

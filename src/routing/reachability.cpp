@@ -1,6 +1,7 @@
 #include "src/routing/reachability.h"
 
-#include <unordered_set>
+#include <cstdint>
+#include <vector>
 
 #include "src/util/contracts.h"
 #include "src/util/status.h"
@@ -9,8 +10,15 @@ namespace aspen {
 
 namespace {
 
+// Accumulates walk outcomes into ReachabilityStats.  Destinations are dense
+// host indices, so "distinct affected destinations" is a flat bitmap plus a
+// counter — no hash container, no iteration-order dependence anywhere near
+// an exported statistic, and O(1) per record with no rehashing.
 class StatsAccumulator {
  public:
+  explicit StatsAccumulator(std::uint64_t num_hosts)
+      : affected_(num_hosts, 0) {}
+
   void record(HostId dst, const WalkResult& walk) {
     ++stats_.flows;
     switch (walk.status) {
@@ -28,7 +36,10 @@ class StatsAccumulator {
         ++stats_.looped;
         break;
     }
-    affected_.insert(dst.value());
+    if (affected_[dst.value()] == 0) {
+      affected_[dst.value()] = 1;
+      ++distinct_affected_;
+    }
   }
 
   [[nodiscard]] ReachabilityStats finish() {
@@ -36,7 +47,7 @@ class StatsAccumulator {
                          stats_.looped ==
                      stats_.flows,
                  "per-status counts must partition the walked flows");
-    stats_.affected_destinations = affected_.size();
+    stats_.affected_destinations = distinct_affected_;
     stats_.average_hops =
         stats_.delivered == 0
             ? 0.0
@@ -48,7 +59,8 @@ class StatsAccumulator {
  private:
   ReachabilityStats stats_;
   std::uint64_t total_hops_ = 0;
-  std::unordered_set<std::uint32_t> affected_;
+  std::vector<std::uint8_t> affected_;  ///< indexed by host id
+  std::uint64_t distinct_affected_ = 0;
 };
 
 }  // namespace
@@ -57,7 +69,7 @@ ReachabilityStats measure_all_pairs(const Topology& topo,
                                     const Router& knowledge,
                                     const LinkStateOverlay& actual,
                                     const WalkOptions& options) {
-  StatsAccumulator acc;
+  StatsAccumulator acc(topo.num_hosts());
   const auto hosts = static_cast<std::uint32_t>(topo.num_hosts());
   for (std::uint32_t s = 0; s < hosts; ++s) {
     for (std::uint32_t d = 0; d < hosts; ++d) {
@@ -76,7 +88,7 @@ ReachabilityStats measure_sampled(const Topology& topo,
                                   std::uint64_t num_flows, Rng& rng,
                                   const WalkOptions& options) {
   ASPEN_REQUIRE(topo.num_hosts() >= 2, "sampling needs at least two hosts");
-  StatsAccumulator acc;
+  StatsAccumulator acc(topo.num_hosts());
   for (std::uint64_t i = 0; i < num_flows; ++i) {
     const auto s = static_cast<std::uint32_t>(rng.index(topo.num_hosts()));
     auto d = static_cast<std::uint32_t>(rng.index(topo.num_hosts() - 1));
@@ -96,7 +108,7 @@ ReachabilityStats measure_to_edge_range(const Topology& topo,
                                         const WalkOptions& options) {
   ASPEN_REQUIRE(first_edge <= last_edge && last_edge < topo.params().S,
                 "edge range out of bounds");
-  StatsAccumulator acc;
+  StatsAccumulator acc(topo.num_hosts());
   const auto hosts = static_cast<std::uint32_t>(topo.num_hosts());
   for (std::uint64_t e = first_edge; e <= last_edge; ++e) {
     for (HostId dst : topo.hosts_of_edge(topo.switch_at(1, e))) {

@@ -74,6 +74,7 @@ std::uint64_t Striper::random_member(Level i, std::uint64_t parent_pod,
   const std::uint64_t pair_key =
       (static_cast<std::uint64_t>(i) << 48) ^ (parent_pod << 24) ^
       child_ordinal;
+  // aspen-lint: allow(seed-arith) -- per-(parent,child-pod) wiring stream predating derive_stream_seed; changing the mixing would re-wire every random striping for a given seed
   Rng rng(config_.seed * 0x9E3779B97F4A7C15ULL + pair_key);
   std::vector<std::uint64_t> deck;
   deck.reserve(mi * ci);

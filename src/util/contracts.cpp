@@ -92,6 +92,7 @@ State& state() {
 
 AuditLevel env_audit_level() {
   static const AuditLevel level = [] {
+    // aspen-lint: allow(getenv) -- sanctioned knob: promotes audit strictness only; never changes computed results
     const char* env = std::getenv("ASPEN_AUDIT_LEVEL");
     if (env == nullptr || *env == '\0') return AuditLevel::kOff;
     try {

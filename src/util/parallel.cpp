@@ -27,10 +27,15 @@ int hardware_threads() {
 }
 
 int env_threads() {
+  // aspen-lint: allow(getenv) -- sanctioned knob: thread count changes wall time only; outputs are byte-identical at any value
   const char* raw = std::getenv("ASPEN_THREADS");
   if (raw == nullptr || *raw == '\0') return 0;
-  const int parsed = std::atoi(raw);
-  return parsed > 0 ? parsed : 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(raw, &end, 10);
+  // Reject trailing garbage and out-of-range values instead of silently
+  // truncating (and keep cert-err34-c happy: strtol reports its errors).
+  if (end == raw || *end != '\0' || parsed <= 0 || parsed > 4096) return 0;
+  return static_cast<int>(parsed);
 }
 
 // Fixed partition: worker w gets [w*n/W, (w+1)*n/W) — depends only on

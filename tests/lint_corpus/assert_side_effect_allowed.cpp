@@ -1,0 +1,6 @@
+// Corpus fixture: suppressed assert-side-effect.  Never compiled.
+#include "src/util/contracts.h"
+void drain_one(int& pending) {
+  // aspen-lint: allow(assert-side-effect) -- fixture: regression test proving the elided build skips this mutation
+  ASPEN_ASSERT(--pending >= 0, "queue underflow");
+}

@@ -1,0 +1,5 @@
+// Corpus fixture: true positive for assert-side-effect.  Never compiled.
+#include "src/util/contracts.h"
+void drain_one(int& pending) {
+  ASPEN_ASSERT(--pending >= 0, "queue underflow");
+}

@@ -1,0 +1,6 @@
+// Corpus fixture: the well-formed counterpart of bad_suppression_bad —
+// a complete annotation produces no bad-suppression finding.  Never compiled.
+#include <cstdlib>
+const char* with_reason() {
+  return std::getenv("HOME");  // aspen-lint: allow(getenv) -- fixture: well-formed annotation with a written rationale
+}

@@ -1,0 +1,8 @@
+// Corpus fixture: true positive for bad-suppression.  Never compiled.
+#include <cstdlib>
+const char* no_reason() {
+  return std::getenv("HOME");  // aspen-lint: allow(getenv)
+}
+const char* unknown_rule() {
+  return std::getenv("PATH");  // aspen-lint: allow(no-such-rule) -- the rule id is misspelled
+}

@@ -1,0 +1,13 @@
+// Corpus fixture: suppressed emit-outside-orchestrator.  Never compiled.
+#include <cstdint>
+#include "src/obs/obs.h"
+#include "src/util/parallel.h"
+void route_all(std::uint64_t rows) {
+  aspen::parallel::parallel_for_blocks(
+      rows, 1, [](std::uint64_t begin, std::uint64_t end, int) {
+        for (std::uint64_t i = begin; i < end; ++i) {
+          // aspen-lint: allow(emit-outside-orchestrator) -- fixture: single-threaded pool runs the body inline on the orchestrator
+          aspen::obs::count("routing.rows_computed");
+        }
+      });
+}

@@ -1,0 +1,12 @@
+// Corpus fixture: true positive for emit-outside-orchestrator.  Never compiled.
+#include <cstdint>
+#include "src/obs/obs.h"
+#include "src/util/parallel.h"
+void route_all(std::uint64_t rows) {
+  aspen::parallel::parallel_for_blocks(
+      rows, 0, [](std::uint64_t begin, std::uint64_t end, int) {
+        for (std::uint64_t i = begin; i < end; ++i) {
+          aspen::obs::count("routing.rows_computed");
+        }
+      });
+}

@@ -1,0 +1,5 @@
+// Corpus fixture: suppressed getenv.  Never compiled.
+#include <cstdlib>
+const char* home_dir() {
+  return std::getenv("HOME");  // aspen-lint: allow(getenv) -- fixture: sanctioned knob that never changes computed results
+}

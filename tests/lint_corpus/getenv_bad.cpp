@@ -1,0 +1,5 @@
+// Corpus fixture: true positive for getenv.  Never compiled.
+#include <cstdlib>
+const char* home_dir() {
+  return std::getenv("HOME");
+}

@@ -1,0 +1,10 @@
+// Corpus fixture: suppressed pointer-key.  Never compiled.
+#include <map>
+struct Node {
+  int id;
+};
+// aspen-lint: allow(pointer-key) -- fixture: identity cache, never iterated or exported
+int rank_of(const std::map<const Node*, int>& ranks, const Node* n) {
+  const auto it = ranks.find(n);
+  return it == ranks.end() ? -1 : it->second;
+}

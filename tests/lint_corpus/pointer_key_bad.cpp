@@ -1,0 +1,8 @@
+// Corpus fixture: true positive for pointer-key.  Never compiled.
+#include <map>
+struct Node {
+  int id;
+};
+int first_id(const std::map<const Node*, int>& ranks) {
+  return ranks.empty() ? -1 : ranks.begin()->second;
+}

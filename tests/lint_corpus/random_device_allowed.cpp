@@ -1,0 +1,6 @@
+// Corpus fixture: suppressed random-device.  Never compiled.
+#include <random>
+unsigned fresh_entropy() {
+  std::random_device rd;  // aspen-lint: allow(random-device) -- fixture: demo tool that is explicitly not replayable
+  return rd();
+}

@@ -1,0 +1,6 @@
+// Corpus fixture: true positive for random-device.  Never compiled.
+#include <random>
+unsigned fresh_entropy() {
+  std::random_device rd;
+  return rd();
+}

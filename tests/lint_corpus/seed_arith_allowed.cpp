@@ -1,0 +1,6 @@
+// Corpus fixture: suppressed seed-arith.  Never compiled.
+#include <cstdint>
+std::uint64_t stream_for_link(std::uint64_t seed, std::uint64_t link) {
+  // aspen-lint: allow(seed-arith) -- fixture: mixing pinned by recorded baselines
+  return seed ^ (0x9E3779B97F4A7C15ULL + link);
+}

@@ -1,0 +1,5 @@
+// Corpus fixture: true positive for seed-arith.  Never compiled.
+#include <cstdint>
+std::uint64_t stream_for_link(std::uint64_t seed, std::uint64_t link) {
+  return seed ^ (0x9E3779B97F4A7C15ULL + link);
+}

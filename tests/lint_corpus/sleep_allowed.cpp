@@ -1,0 +1,6 @@
+// Corpus fixture: suppressed sleep.  Never compiled.
+#include <chrono>
+#include <thread>
+void settle() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));  // aspen-lint: allow(sleep) -- fixture: integration-test backoff outside the simulator
+}

@@ -1,0 +1,6 @@
+// Corpus fixture: true positive for sleep.  Never compiled.
+#include <chrono>
+#include <thread>
+void settle() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+}

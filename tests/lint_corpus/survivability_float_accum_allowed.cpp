@@ -1,0 +1,9 @@
+// Corpus fixture: suppressed float-accum.  Never compiled.
+double mean_of_chunk(const double* values, int n) {
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    // aspen-lint: allow(float-accum) -- fixture: report-time series in fixed index order, not a cross-chunk accumulator
+    total += values[i];
+  }
+  return total / n;
+}

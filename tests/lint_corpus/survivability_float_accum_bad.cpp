@@ -1,0 +1,9 @@
+// Corpus fixture: true positive for float-accum (path-scoped: the linter
+// only applies this rule to survivability sources).  Never compiled.
+double mean_of_chunk(const double* values, int n) {
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    total += values[i];
+  }
+  return total / n;
+}

@@ -1,0 +1,8 @@
+// Corpus fixture: suppressed thread-id.  Never compiled.
+#include <sstream>
+#include <thread>
+std::string worker_tag() {
+  std::ostringstream os;
+  os << std::this_thread::get_id();  // aspen-lint: allow(thread-id) -- fixture: debug log line stripped before any exported artifact
+  return os.str();
+}

@@ -1,0 +1,8 @@
+// Corpus fixture: true positive for thread-id.  Never compiled.
+#include <sstream>
+#include <thread>
+std::string worker_tag() {
+  std::ostringstream os;
+  os << std::this_thread::get_id();
+  return os.str();
+}

@@ -1,0 +1,12 @@
+// Corpus fixture: suppressed unordered-iteration.  Never compiled.
+#include <cstdint>
+#include <unordered_map>
+std::uint64_t table_sum(
+    const std::unordered_map<std::uint32_t, std::uint64_t>& table) {
+  std::uint64_t h = 0;
+  // aspen-lint: allow(unordered-iteration) -- fixture: commutative sum, order provably irrelevant
+  for (const auto& kv : table) {
+    h += kv.second;
+  }
+  return h;
+}

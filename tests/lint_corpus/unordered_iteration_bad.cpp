@@ -1,0 +1,11 @@
+// Corpus fixture: true positive for unordered-iteration.  Never compiled.
+#include <cstdint>
+#include <unordered_map>
+std::uint64_t table_digest(
+    const std::unordered_map<std::uint32_t, std::uint64_t>& table) {
+  std::uint64_t h = 0;
+  for (const auto& kv : table) {
+    h = h * 1099511628211ULL + kv.second;
+  }
+  return h;
+}

@@ -1,0 +1,6 @@
+// Corpus fixture: suppressed unseeded-engine.  Never compiled.
+#include <random>
+unsigned draw() {
+  std::mt19937_64 gen;  // aspen-lint: allow(unseeded-engine) -- fixture: self-test exercising the engine's documented default stream
+  return static_cast<unsigned>(gen());
+}

@@ -1,0 +1,6 @@
+// Corpus fixture: true positive for unseeded-engine.  Never compiled.
+#include <random>
+unsigned draw() {
+  std::mt19937_64 gen;
+  return static_cast<unsigned>(gen());
+}

@@ -1,0 +1,5 @@
+// Corpus fixture: suppressed unseeded-rand.  Never compiled.
+#include <cstdlib>
+int roll_d6() {
+  return std::rand() % 6 + 1;  // aspen-lint: allow(unseeded-rand) -- fixture: legacy shim scheduled for deletion
+}

@@ -1,0 +1,5 @@
+// Corpus fixture: true positive for unseeded-rand.  Never compiled.
+#include <cstdlib>
+int roll_d6() {
+  return std::rand() % 6 + 1;
+}

@@ -1,0 +1,8 @@
+// Corpus fixture: suppressed wall-clock.  Never compiled.
+#include <chrono>
+double stamp_ms() {
+  return std::chrono::duration<double, std::milli>(
+             // aspen-lint: allow(wall-clock) -- fixture: harness timing that never feeds a simulated result
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}

@@ -1,0 +1,7 @@
+// Corpus fixture: true positive for wall-clock.  Never compiled.
+#include <chrono>
+double stamp_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}

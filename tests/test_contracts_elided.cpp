@@ -1,0 +1,68 @@
+// Regression test for the contract-elision bug class aspen-lint's
+// assert-side-effect rule guards against: this translation unit is compiled
+// with ASPEN_AUDIT_LEVEL=0 (see tests/CMakeLists.txt), the Release
+// configuration, so ASPEN_ASSERT and ASPEN_INVARIANT must parse their
+// condition but never evaluate it.  A side effect smuggled into a contract
+// would make Release behave differently from every audited build — the
+// exact silent-corruption mode the static rule bans.  The library itself
+// keeps its own audit level; elision is per-TU, which is what makes the
+// macro discipline (and this test) meaningful.
+#if defined(ASPEN_AUDIT_LEVEL) && ASPEN_AUDIT_LEVEL != 0
+#error "this test must build with ASPEN_AUDIT_LEVEL=0 (audit-level off)"
+#endif
+
+#include <gtest/gtest.h>
+
+#include "src/util/contracts.h"
+
+namespace aspen {
+namespace {
+
+TEST(ContractsElided, AssertConditionIsNeverEvaluated) {
+  int evaluations = 0;
+  // aspen-lint: allow(assert-side-effect) -- this test exists to prove the mutation is skipped at audit-level off
+  ASPEN_ASSERT(++evaluations > 0, "would fire only if evaluated");
+  EXPECT_EQ(evaluations, 0)
+      << "ASPEN_ASSERT evaluated its condition at ASPEN_AUDIT_LEVEL=0";
+}
+
+TEST(ContractsElided, InvariantConditionIsNeverEvaluated) {
+  int evaluations = 0;
+  // aspen-lint: allow(assert-side-effect) -- this test exists to prove the mutation is skipped at audit-level off
+  ASPEN_INVARIANT(++evaluations > 0, "would fire only if evaluated");
+  EXPECT_EQ(evaluations, 0)
+      << "ASPEN_INVARIANT evaluated its condition at ASPEN_AUDIT_LEVEL=0";
+}
+
+TEST(ContractsElided, FalseConditionsDoNotReport) {
+  // With the macros elided, even an outright violation must not reach the
+  // violation handler: Release ships the seed's exact instruction stream.
+  contracts::ScopedPolicy policy(contracts::ViolationPolicy::kCountAndLog);
+  contracts::reset_violations();
+  ASPEN_ASSERT(false, "elided");
+  ASPEN_INVARIANT(false, "elided");
+  EXPECT_EQ(contracts::violation_count(), 0u);
+}
+
+TEST(ContractsElided, UnreachableSurvivesElision) {
+  // ASPEN_UNREACHABLE is never gated: it guards control flow, not state,
+  // and stays active at every audit level.
+  EXPECT_THROW(
+      {
+        contracts::ScopedPolicy policy(contracts::ViolationPolicy::kThrow);
+        ASPEN_UNREACHABLE("must fire even at audit-level off");
+      },
+      AspenError);
+}
+
+TEST(ContractsElided, ConditionNamesDoNotWarnAsUnused) {
+  // ASPEN_CONTRACT_NOOP parses the condition, so variables mentioned only
+  // in a contract stay referenced; this TU builds under the repo's
+  // -Wall -Wextra (without them, `guard` would be flagged unused).
+  const bool guard = true;
+  ASPEN_ASSERT(guard, "guard only appears in this contract");
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace aspen

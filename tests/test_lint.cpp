@@ -1,0 +1,402 @@
+// aspen-lint test suite: tokenizer edge cases, suppression mechanics, and
+// one true-positive + one suppressed fixture per rule from
+// tests/lint_corpus/ (the fixtures are lint inputs, never compiled).
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/lint/lint.h"
+#include "src/lint/rules.h"
+#include "src/lint/token.h"
+
+namespace aspen::lint {
+namespace {
+
+std::string read_corpus(const std::string& name) {
+  const std::string path = std::string(ASPEN_LINT_CORPUS_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing corpus fixture " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::uint64_t count_rule(const LintReport& report, const std::string& rule,
+                         bool suppressed) {
+  std::uint64_t n = 0;
+  for (const Finding& f : report.findings) {
+    if (f.rule == rule && f.suppressed == suppressed) ++n;
+  }
+  return n;
+}
+
+// ---- tokenizer ---------------------------------------------------------
+
+TEST(LintTokenizer, IdentifiersNumbersPunct) {
+  const auto toks = tokenize("int x = 42 + y_2;");
+  ASSERT_EQ(toks.size(), 7u);
+  EXPECT_EQ(toks[0].kind, TokKind::kIdentifier);
+  EXPECT_EQ(toks[3].kind, TokKind::kNumber);
+  EXPECT_EQ(toks[5].text, "y_2");
+  EXPECT_EQ(toks[6].text, ";");
+}
+
+TEST(LintTokenizer, CommentMarkersInsideStringAreNotComments) {
+  const auto toks = tokenize("const char* s = \"// not a comment\";");
+  for (const Token& t : toks) EXPECT_NE(t.kind, TokKind::kComment);
+  // const(0) char(1) *(2) s(3) =(4) string(5) ;(6)
+  ASSERT_GE(toks.size(), 6u);
+  ASSERT_EQ(toks[5].kind, TokKind::kString);
+  EXPECT_EQ(toks[5].text, "\"// not a comment\"");
+}
+
+TEST(LintTokenizer, StringEscapesDoNotEndLiteral) {
+  const auto toks = tokenize(R"(auto s = "quote \" slash \\ done";)");
+  ASSERT_EQ(toks.size(), 5u);
+  EXPECT_EQ(toks[3].kind, TokKind::kString);
+}
+
+TEST(LintTokenizer, RawStringSwallowsQuotesAndComments) {
+  const auto toks =
+      tokenize("auto s = R\"x(line1 \" // /* )\" still)x\"; int after;");
+  ASSERT_GE(toks.size(), 5u);
+  EXPECT_EQ(toks[3].kind, TokKind::kString);
+  EXPECT_NE(toks[3].text.find("still"), std::string::npos);
+  // Identifiers inside the raw string never surface as tokens.
+  for (const Token& t : toks) {
+    if (t.kind == TokKind::kIdentifier) {
+      EXPECT_NE(t.text, "line1");
+    }
+  }
+}
+
+TEST(LintTokenizer, RawStringSpanningLinesCountsThem) {
+  const auto toks = tokenize("auto s = R\"(a\nb\nc)\";\nint z;");
+  ASSERT_GE(toks.size(), 7u);
+  const Token& z_decl = toks[toks.size() - 3];
+  EXPECT_EQ(z_decl.text, "int");
+  EXPECT_EQ(z_decl.line, 4);
+}
+
+TEST(LintTokenizer, LineContinuationExtendsLineComment) {
+  // The backslash-newline splices the comment across two physical lines,
+  // so `hidden` is commented out; `visible` is real code.
+  const auto toks = tokenize("// comment \\\nint hidden = 1;\nint visible;");
+  bool saw_hidden = false;
+  bool saw_visible = false;
+  for (const Token& t : toks) {
+    if (t.kind != TokKind::kIdentifier) continue;
+    saw_hidden |= t.text == "hidden";
+    saw_visible |= t.text == "visible";
+  }
+  EXPECT_FALSE(saw_hidden);
+  EXPECT_TRUE(saw_visible);
+  // Physical line numbers keep counting across the splice.
+  EXPECT_EQ(toks.back().line, 3);
+}
+
+TEST(LintTokenizer, DigitSeparatorsStayOneNumber) {
+  const auto toks = tokenize("auto n = 1'000'000;");
+  ASSERT_EQ(toks.size(), 5u);
+  EXPECT_EQ(toks[3].kind, TokKind::kNumber);
+  EXPECT_EQ(toks[3].text, "1'000'000");
+}
+
+TEST(LintTokenizer, CharLiteralWithEscape) {
+  const auto toks = tokenize(R"(char c = '\''; char d = 'x';)");
+  ASSERT_GE(toks.size(), 10u);
+  EXPECT_EQ(toks[3].kind, TokKind::kChar);
+  EXPECT_EQ(toks[3].text, "'\\''");
+}
+
+TEST(LintTokenizer, PreprocessorTokensAreFlagged) {
+  const auto toks = tokenize("#include <random>\nint x;");
+  ASSERT_GE(toks.size(), 6u);
+  EXPECT_TRUE(toks[0].preprocessor);   // '#'
+  EXPECT_TRUE(toks[1].preprocessor);   // include
+  EXPECT_FALSE(toks.back().preprocessor);
+}
+
+TEST(LintTokenizer, BlockCommentSpansLines) {
+  const auto toks = tokenize("/* a\nb */ int x;");
+  ASSERT_GE(toks.size(), 4u);
+  EXPECT_EQ(toks[0].kind, TokKind::kComment);
+  EXPECT_EQ(toks[1].text, "int");
+  EXPECT_EQ(toks[1].line, 2);
+}
+
+// ---- rule fixtures: one true positive + one suppressed per rule --------
+
+struct RuleFixture {
+  const char* rule;
+  const char* bad_file;
+  const char* allowed_file;
+};
+
+class LintRuleCorpus : public ::testing::TestWithParam<RuleFixture> {};
+
+TEST_P(LintRuleCorpus, TruePositiveFires) {
+  const RuleFixture& fx = GetParam();
+  const LintReport report =
+      lint_source(std::string("tests/lint_corpus/") + fx.bad_file,
+                  read_corpus(fx.bad_file));
+  EXPECT_GE(count_rule(report, fx.rule, /*suppressed=*/false), 1u)
+      << fx.bad_file << " must produce an unsuppressed " << fx.rule;
+  EXPECT_FALSE(report.clean());
+}
+
+TEST_P(LintRuleCorpus, AnnotationSuppresses) {
+  const RuleFixture& fx = GetParam();
+  const LintReport report =
+      lint_source(std::string("tests/lint_corpus/") + fx.allowed_file,
+                  read_corpus(fx.allowed_file));
+  EXPECT_GE(count_rule(report, fx.rule, /*suppressed=*/true), 1u)
+      << fx.allowed_file << " must produce a suppressed " << fx.rule;
+  EXPECT_TRUE(report.clean())
+      << fx.allowed_file << " must gate clean; got:\n"
+      << report_to_text(report);
+  EXPECT_TRUE(report.unused_suppressions.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRules, LintRuleCorpus,
+    ::testing::Values(
+        RuleFixture{"wall-clock", "wall_clock_bad.cpp",
+                    "wall_clock_allowed.cpp"},
+        RuleFixture{"random-device", "random_device_bad.cpp",
+                    "random_device_allowed.cpp"},
+        RuleFixture{"unseeded-rand", "unseeded_rand_bad.cpp",
+                    "unseeded_rand_allowed.cpp"},
+        RuleFixture{"unseeded-engine", "unseeded_engine_bad.cpp",
+                    "unseeded_engine_allowed.cpp"},
+        RuleFixture{"thread-id", "thread_id_bad.cpp",
+                    "thread_id_allowed.cpp"},
+        RuleFixture{"sleep", "sleep_bad.cpp", "sleep_allowed.cpp"},
+        RuleFixture{"getenv", "getenv_bad.cpp", "getenv_allowed.cpp"},
+        RuleFixture{"unordered-iteration", "unordered_iteration_bad.cpp",
+                    "unordered_iteration_allowed.cpp"},
+        RuleFixture{"pointer-key", "pointer_key_bad.cpp",
+                    "pointer_key_allowed.cpp"},
+        RuleFixture{"seed-arith", "seed_arith_bad.cpp",
+                    "seed_arith_allowed.cpp"},
+        RuleFixture{"assert-side-effect", "assert_side_effect_bad.cpp",
+                    "assert_side_effect_allowed.cpp"},
+        RuleFixture{"emit-outside-orchestrator",
+                    "emit_outside_orchestrator_bad.cpp",
+                    "emit_outside_orchestrator_allowed.cpp"},
+        RuleFixture{"float-accum", "survivability_float_accum_bad.cpp",
+                    "survivability_float_accum_allowed.cpp"}),
+    [](const ::testing::TestParamInfo<RuleFixture>& param_info) {
+      std::string name = param_info.param.rule;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// bad-suppression is meta (emitted by the annotation parser), so its pair
+// is asymmetric: the bad fixture produces the finding, the allowed fixture
+// shows a well-formed annotation producing none.
+TEST(LintSuppression, MalformedAnnotationsAreFindings) {
+  const LintReport report = lint_source(
+      "tests/lint_corpus/bad_suppression_bad.cpp",
+      read_corpus("bad_suppression_bad.cpp"));
+  EXPECT_GE(count_rule(report, "bad-suppression", false), 2u)
+      << "missing reason and unknown rule are both findings";
+  // The malformed annotations do not suppress the getenv findings.
+  EXPECT_GE(count_rule(report, "getenv", false), 2u);
+}
+
+TEST(LintSuppression, WellFormedAnnotationIsNotAFinding) {
+  const LintReport report = lint_source(
+      "tests/lint_corpus/bad_suppression_allowed.cpp",
+      read_corpus("bad_suppression_allowed.cpp"));
+  EXPECT_EQ(count_rule(report, "bad-suppression", false), 0u);
+  EXPECT_TRUE(report.clean());
+}
+
+// ---- suppression mechanics ---------------------------------------------
+
+TEST(LintSuppression, TrailingCommentGovernsItsOwnLine) {
+  const LintReport report = lint_source(
+      "x.cpp",
+      "#include <cstdlib>\n"
+      "const char* p = std::getenv(\"A\");  "
+      "// aspen-lint: allow(getenv) -- reason here\n");
+  EXPECT_EQ(report.unsuppressed_count(), 0u);
+  EXPECT_EQ(report.suppressed_count(), 1u);
+}
+
+TEST(LintSuppression, StandaloneCommentGovernsNextLine) {
+  const LintReport report = lint_source(
+      "x.cpp",
+      "// aspen-lint: allow(getenv) -- reason here\n"
+      "const char* p = std::getenv(\"A\");\n");
+  EXPECT_EQ(report.unsuppressed_count(), 0u);
+  EXPECT_EQ(report.suppressed_count(), 1u);
+  EXPECT_EQ(report.findings.at(0).suppress_reason, "reason here");
+}
+
+TEST(LintSuppression, AnnotationDoesNotReachPastItsLine) {
+  const LintReport report = lint_source(
+      "x.cpp",
+      "// aspen-lint: allow(getenv) -- reason here\n"
+      "int unrelated = 0;\n"
+      "const char* p = std::getenv(\"A\");\n");
+  EXPECT_EQ(report.unsuppressed_count(), 1u);
+  ASSERT_EQ(report.unused_suppressions.size(), 1u);
+  EXPECT_EQ(report.unused_suppressions.at(0).line, 1);
+}
+
+TEST(LintSuppression, OneAnnotationCanNameSeveralRules) {
+  const LintReport report = lint_source(
+      "x.cpp",
+      "// aspen-lint: allow(getenv, wall-clock) -- both intentional\n"
+      "const char* p = std::getenv(ctime(0) ? \"A\" : \"B\");\n");
+  EXPECT_EQ(report.unsuppressed_count(), 0u);
+  EXPECT_EQ(report.suppressed_count(), 2u);
+}
+
+TEST(LintSuppression, BadSuppressionCannotBeSuppressed) {
+  const LintReport report = lint_source(
+      "x.cpp",
+      "// aspen-lint: allow(bad-suppression) -- nice try\n"
+      "int x = 0;\n");
+  EXPECT_EQ(count_rule(report, "bad-suppression", false), 1u);
+}
+
+// ---- path scoping ------------------------------------------------------
+
+TEST(LintScoping, SimVirtualTimeLayerMayTouchClocks) {
+  const std::string source = read_corpus("wall_clock_bad.cpp");
+  EXPECT_FALSE(lint_source("src/topo/x.cpp", source).clean());
+  EXPECT_TRUE(lint_source("src/sim/simulator.cpp", source).clean());
+}
+
+TEST(LintScoping, SeedHelperIsTheOneHomeForSeedArithmetic) {
+  const std::string source = read_corpus("seed_arith_bad.cpp");
+  EXPECT_FALSE(lint_source("src/fault/chaos.cpp", source).clean());
+  EXPECT_TRUE(lint_source("src/fault/seed.h", source).clean());
+}
+
+TEST(LintScoping, FloatAccumOnlyGuardsIntegerAccumulatorFiles) {
+  const std::string source = read_corpus("survivability_float_accum_bad.cpp");
+  EXPECT_FALSE(lint_source("src/analysis/survivability.cpp", source).clean());
+  EXPECT_TRUE(lint_source("src/analysis/availability.cpp", source).clean());
+}
+
+// ---- engine odds and ends ----------------------------------------------
+
+TEST(LintRules, CatalogueHasAtLeastTenRulesWithUniqueIds) {
+  const auto& rules = rule_catalogue();
+  EXPECT_GE(rules.size(), 10u);
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    for (std::size_t j = i + 1; j < rules.size(); ++j) {
+      EXPECT_STRNE(rules[i].id, rules[j].id);
+    }
+  }
+  EXPECT_TRUE(is_known_rule("wall-clock"));
+  EXPECT_FALSE(is_known_rule("no-such-rule"));
+}
+
+TEST(LintRules, SeededEngineAndMemberDeclarationsPass) {
+  const LintReport report = lint_source(
+      "x.cpp",
+      "#include <random>\n"
+      "struct Rng {\n"
+      "  explicit Rng(unsigned long long seed) : engine_(seed) {}\n"
+      "  std::mt19937_64& engine() { return engine_; }\n"
+      "  std::mt19937_64 engine_;\n"
+      "};\n");
+  EXPECT_TRUE(report.clean()) << report_to_text(report);
+}
+
+TEST(LintRules, BannedWordsInsideStringsAndCommentsAreIgnored) {
+  const LintReport report = lint_source(
+      "x.cpp",
+      "// mentions steady_clock and rand() freely\n"
+      "const char* kDoc = \"std::random_device, getenv, sleep_for\";\n");
+  EXPECT_TRUE(report.clean()) << report_to_text(report);
+}
+
+TEST(LintRules, OrderedContainerIterationPasses) {
+  const LintReport report = lint_source(
+      "x.cpp",
+      "#include <map>\n"
+      "int total(const std::map<int, int>& m) {\n"
+      "  int t = 0;\n"
+      "  for (const auto& kv : m) t += kv.second;\n"
+      "  return t;\n"
+      "}\n");
+  EXPECT_TRUE(report.clean()) << report_to_text(report);
+}
+
+TEST(LintRules, UnorderedLookupWithoutIterationPasses) {
+  const LintReport report = lint_source(
+      "x.cpp",
+      "#include <unordered_map>\n"
+      "int lookup(const std::unordered_map<int, int>& m, int k) {\n"
+      "  const auto it = m.find(k);\n"
+      "  return it == m.end() ? -1 : it->second;\n"
+      "}\n");
+  EXPECT_TRUE(report.clean()) << report_to_text(report);
+}
+
+TEST(LintRules, ExplicitBeginOnUnorderedContainerIsFlagged) {
+  const LintReport report = lint_source(
+      "x.cpp",
+      "#include <unordered_set>\n"
+      "int first(const std::unordered_set<int>& s) {\n"
+      "  return s.empty() ? -1 : *s.begin();\n"
+      "}\n");
+  EXPECT_EQ(count_rule(report, "unordered-iteration", false), 1u);
+}
+
+// ---- report formats ----------------------------------------------------
+
+TEST(LintReportFormat, JsonCarriesCountsFindingsAndReasons) {
+  const LintReport report = lint_source(
+      "a.cpp",
+      "#include <cstdlib>\n"
+      "const char* p = std::getenv(\"A\");\n"
+      "const char* q = std::getenv(\"B\");  "
+      "// aspen-lint: allow(getenv) -- documented knob\n");
+  const std::string json = report_to_json(report);
+  EXPECT_NE(json.find("\"tool\": \"aspen-lint\""), std::string::npos);
+  EXPECT_NE(json.find("\"unsuppressed\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"suppressed\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"getenv\": 1"), std::string::npos);
+  EXPECT_NE(json.find("documented knob"), std::string::npos);
+  EXPECT_NE(json.find("\"warnings\": 1"), std::string::npos);
+}
+
+TEST(LintReportFormat, TextListsOnlyUnsuppressedPlusUnusedNotes) {
+  const LintReport report = lint_source(
+      "a.cpp",
+      "// aspen-lint: allow(sleep) -- stale\n"
+      "int x = 0;\n"
+      "const char* p = std::getenv(\"A\");\n");
+  const std::string text = report_to_text(report);
+  EXPECT_NE(text.find("a.cpp:3: warning [getenv]"), std::string::npos);
+  EXPECT_NE(text.find("unused-suppression"), std::string::npos);
+}
+
+TEST(LintReportFormat, MissingFileIsAnIoErrorFinding) {
+  const LintReport report = lint_files("", {"/nonexistent/nope.cpp"});
+  EXPECT_EQ(count_rule(report, "io-error", false), 1u);
+  EXPECT_FALSE(report.clean());
+}
+
+TEST(LintReportFormat, LintFilesMergesAcrossFiles) {
+  const std::string dir = ASPEN_LINT_CORPUS_DIR;
+  const LintReport report = lint_files(
+      dir, {"getenv_bad.cpp", "getenv_allowed.cpp"});
+  EXPECT_EQ(report.files_scanned, 2u);
+  EXPECT_EQ(report.unsuppressed_count(), 1u);
+  EXPECT_EQ(report.suppressed_count(), 1u);
+}
+
+}  // namespace
+}  // namespace aspen::lint

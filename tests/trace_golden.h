@@ -27,6 +27,7 @@ namespace aspen::golden {
 /// in test_trace_golden.cpp) or the ASPEN_REGEN_GOLDENS env variable.
 inline bool& regen_flag() {
   static bool flag = []() {
+    // aspen-lint: allow(getenv) -- test harness opt-in to rewrite golden files; never read by library code
     const char* env = std::getenv("ASPEN_REGEN_GOLDENS");
     return env != nullptr && env[0] != '\0' && env[0] != '0';
   }();

@@ -1,15 +1,37 @@
 #!/usr/bin/env bash
-# Static-analysis driver: clang-tidy (profile in .clang-tidy) over the
-# compilation database, plus a clang-format drift check when a .clang-format
-# file exists.  Degrades gracefully: missing tools are reported and skipped
-# with exit 0, so the script is safe to call from environments that only
-# ship the compiler (CI installs the tools and gets the full run).
+# Static-analysis driver, three stages:
 #
-# Usage: tools/lint.sh [build-dir]   (default: build)
+#   1. aspen-lint (tools/linter) — the repo's own determinism & contracts
+#      analyzer; built from this tree, so it always runs.  Writes the
+#      machine-readable report to <build-dir>/aspen_lint_report.json and
+#      gates on zero unsuppressed findings.
+#   2. clang-tidy over the compilation database (profile in .clang-tidy).
+#   3. clang-format drift check when a .clang-format file exists.
+#
+# By default missing *external* tools (clang-tidy, clang-format) are
+# reported and skipped so the script is safe to call from environments that
+# only ship the compiler.  With --strict a missing tool is a FAILURE, not a
+# skip — CI uses this so a silently absent linter can never turn the lint
+# job green.
+#
+# Usage: tools/lint.sh [--strict] [build-dir]   (default build dir: build)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-build_dir="${1:-build}"
+
+strict=0
+build_dir="build"
+for arg in "$@"; do
+  case "${arg}" in
+    --strict) strict=1 ;;
+    --*)
+      echo "lint: unknown flag '${arg}'" >&2
+      echo "usage: tools/lint.sh [--strict] [build-dir]" >&2
+      exit 64
+      ;;
+    *) build_dir="${arg}" ;;
+  esac
+done
 
 if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
   echo "lint: ${build_dir}/compile_commands.json not found; configuring..."
@@ -18,11 +40,30 @@ fi
 
 # Every first-party translation unit; generated/third-party code (anything
 # outside these roots) never enters the database with these prefixes.
+# tests/lint_corpus/ holds deliberately-broken lint fixtures that are never
+# compiled — keep them out of every stage.
 mapfile -t sources < <(git ls-files \
-  'src/**/*.cpp' 'tools/*.cpp' 'tests/*.cpp' 'examples/*.cpp' 'bench/*.cpp')
+  'src/**/*.cpp' 'tools/*.cpp' 'tests/*.cpp' 'examples/*.cpp' 'bench/*.cpp' \
+  | grep -v '^tests/lint_corpus/')
+mapfile -t headers < <(git ls-files 'src/**/*.h' 'tools/*.h' 'tests/*.h' \
+  | grep -v '^tests/lint_corpus/')
 
 status=0
 
+# ---- stage 1: aspen-lint (first-party, so "missing" means "not built") ----
+aspen_lint="${build_dir}/tools/linter/aspen-lint"
+if [[ ! -x "${aspen_lint}" ]]; then
+  echo "lint: ${aspen_lint} not built; building..."
+  if ! cmake --build "${build_dir}" --target aspen_lint_cli >/dev/null; then
+    echo "lint: FAILED to build aspen-lint" >&2
+    exit 1
+  fi
+fi
+echo "lint: aspen-lint over $((${#sources[@]} + ${#headers[@]})) files"
+"${aspen_lint}" --json="${build_dir}/aspen_lint_report.json" \
+  "${sources[@]}" "${headers[@]}" || status=1
+
+# ---- stage 2: clang-tidy ---------------------------------------------------
 if command -v clang-tidy >/dev/null 2>&1; then
   echo "lint: clang-tidy over ${#sources[@]} translation units"
   if command -v run-clang-tidy >/dev/null 2>&1; then
@@ -32,14 +73,20 @@ if command -v clang-tidy >/dev/null 2>&1; then
       clang-tidy -p "${build_dir}" --quiet "${source}" || status=1
     done
   fi
+elif [[ "${strict}" -eq 1 ]]; then
+  echo "lint: FAILED — clang-tidy not installed and --strict requested" >&2
+  status=1
 else
   echo "lint: clang-tidy not installed; skipping static analysis"
 fi
 
+# ---- stage 3: clang-format -------------------------------------------------
 if [[ -f .clang-format ]] && command -v clang-format >/dev/null 2>&1; then
   echo "lint: clang-format drift check"
-  clang-format --dry-run --Werror "${sources[@]}" \
-    $(git ls-files 'src/**/*.h' 'tools/*.h') || status=1
+  clang-format --dry-run --Werror "${sources[@]}" "${headers[@]}" || status=1
+elif [[ "${strict}" -eq 1 && -f .clang-format ]]; then
+  echo "lint: FAILED — clang-format not installed and --strict requested" >&2
+  status=1
 else
   echo "lint: no .clang-format profile or tool; skipping format check"
 fi

@@ -1,0 +1,86 @@
+// aspen-lint command-line driver.
+//
+//   aspen-lint [--root=DIR] [--json=FILE] [--list-rules] <files...>
+//
+// Lints the given source files (paths are reported as passed, resolved
+// against --root when relative) and prints unsuppressed findings one per
+// line.  --json writes the machine-readable report CI uploads as an
+// artifact.  Exit status: 0 when the gate passes (zero unsuppressed
+// findings), 1 when findings remain, 64 on usage errors.
+//
+// tools/lint.sh assembles the file list from git ls-files and calls this
+// binary; tests/test_lint.cpp drives the library directly over the fixture
+// corpus in tests/lint_corpus/.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/lint/lint.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: aspen-lint [--root=DIR] [--json=FILE] [--list-rules] "
+               "<files...>\n");
+  return 64;
+}
+
+int list_rules() {
+  std::printf("%-26s %-8s %s\n", "rule", "severity", "summary");
+  for (const aspen::lint::RuleInfo& r : aspen::lint::rule_catalogue()) {
+    std::printf("%-26s %-8s %s\n", r.id, aspen::lint::to_cstring(r.severity),
+                r.summary);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root;
+  std::string json_path;
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") return list_rules();
+    if (arg.rfind("--root=", 0) == 0) {
+      root = arg.substr(7);
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "aspen-lint: unknown flag '%s'\n", arg.c_str());
+      return usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) return usage();
+
+  const aspen::lint::LintReport report = aspen::lint::lint_files(root, files);
+
+  const std::string text = aspen::lint::report_to_text(report);
+  if (!text.empty()) std::fputs(text.c_str(), stdout);
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "aspen-lint: cannot write '%s'\n",
+                   json_path.c_str());
+      return 64;
+    }
+    out << aspen::lint::report_to_json(report);
+  }
+
+  std::printf(
+      "aspen-lint: %llu files, %llu unsuppressed finding(s), %llu "
+      "suppressed, %zu unused suppression(s)\n",
+      static_cast<unsigned long long>(report.files_scanned),
+      static_cast<unsigned long long>(report.unsuppressed_count()),
+      static_cast<unsigned long long>(report.suppressed_count()),
+      report.unused_suppressions.size());
+  return report.clean() ? 0 : 1;
+}
