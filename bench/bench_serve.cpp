@@ -1,0 +1,314 @@
+// Experiment X13 — the what-if query service under live chaos.
+//
+// Headline: queries/second for a serve-under-chaos campaign on a Fig. 3
+// tree (4-level, 6-port, <0,0,2>), across --threads=1/2/4, with report
+// fingerprints proving byte-identity at every thread count.  The audited
+// campaign is the acceptance bar made executable: >= 10k queries through
+// lossy client channels while a chaos campaign mutates the fabric, and the
+// post-hoc auditor must find zero incorrect answers — every response's
+// snapshot digest, staleness label, and result re-checked against the
+// ground-truth timeline.  Three more self-checks ride along, all
+// exit-affecting:
+//
+//   * resume     — the server restored from every checkpoint the campaign
+//     cut must re-checkpoint byte-identically (kill-and-resume);
+//   * latency    — per-class p50/p99 from the raw arrival-to-answer
+//     distributions (Summary keeps no order statistics on purpose);
+//   * shedding   — an overload configuration (watermark 2, one slow query
+//     class) must shed rather than queue without bound, and the clients
+//     must still converge answers through retry backpressure.
+//
+// Output is JSON (one document on stdout), bench_routing_scale idiom; the
+// metrics block at the end carries the serve.* counters — including
+// serve.cache.hit / serve.cache.miss / serve.cache.evict.  `--quick`
+// shrinks the side checks for CI smoke runs but keeps the audited headline
+// campaign at >= 10k queries.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "src/aspen/generator.h"
+#include "src/obs/obs.h"
+#include "src/serve/driver.h"
+#include "src/topo/topology.h"
+#include "src/util/parallel.h"
+
+namespace {
+
+using namespace aspen;
+using namespace aspen::serve;
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             // aspen-lint: allow(wall-clock) -- benchmark harness timing; measures host speed and never feeds a simulated result
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool g_all_ok = true;
+
+const char* check(bool ok) {
+  g_all_ok = g_all_ok && ok;
+  return ok ? "true" : "false";
+}
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank = p * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + (values[hi] - values[lo]) * frac;
+}
+
+ServeChaosOptions campaign_options(int num_queries) {
+  ServeChaosOptions options;
+  options.chaos.seed = 17;
+  options.chaos.num_events = 40;
+  options.chaos.check_flows = 64;
+  options.chaos.check_every = 10;
+  options.num_queries = num_queries;
+  options.num_clients = 8;
+  options.query_interarrival_ms = 0.5;
+  // Spread the chaos schedule across the query window.
+  options.action_every_ms =
+      static_cast<double>(num_queries) * options.query_interarrival_ms /
+      static_cast<double>(options.chaos.num_events + 1);
+  options.seal_every_actions = 2;
+  options.checkpoint_every = num_queries / 6;
+  options.client.channel.drop_rate = 0.15;
+  options.client.channel.duplicate_rate = 0.05;
+  options.client.channel.jitter_ms = 0.3;
+  return options;
+}
+
+void print_class(const char* name, const std::vector<double>& latencies,
+                 const char* trailer) {
+  std::printf("      \"%s\": {\"answered\": %llu, \"p50_ms\": %.4f, "
+              "\"p99_ms\": %.4f}%s\n",
+              name, static_cast<unsigned long long>(latencies.size()),
+              percentile(latencies, 0.50), percentile(latencies, 0.99),
+              trailer);
+}
+
+// ---- Headline: the audited campaign, across thread counts ---------------
+
+ServeChaosReport run_headline(const Topology& topo, int num_queries) {
+  const ServeChaosOptions base = campaign_options(num_queries);
+  const std::vector<int> thread_counts{1, 2, 4};
+
+  std::printf("  \"campaign\": {\n");
+  std::printf("    \"queries\": %d, \"clients\": %d, \"chaos_events\": %d, "
+              "\"drop_rate\": %.2f,\n",
+              base.num_queries, base.num_clients, base.chaos.num_events,
+              base.client.channel.drop_rate);
+
+  ServeChaosReport report;
+  std::uint64_t serial_fingerprint = 0;
+  double serial_ms = 0.0;
+  std::printf("    \"threads\": [\n");
+  for (std::size_t t = 0; t < thread_counts.size(); ++t) {
+    ServeChaosOptions options = base;
+    options.threads = thread_counts[t];
+    parallel::set_num_threads(thread_counts[t]);
+    double wall_ms = 0.0;
+    {
+      const obs::PauseObs quiet;
+      const double t0 = now_ms();
+      report = run_serve_under_chaos(ProtocolKind::kAnp, topo, options);
+      wall_ms = now_ms() - t0;
+    }
+    const std::uint64_t fingerprint = report.fingerprint();
+    if (thread_counts[t] == 1) {
+      serial_fingerprint = fingerprint;
+      serial_ms = wall_ms;
+    }
+    std::printf("      {\"threads\": %d, \"wall_ms\": %.1f, "
+                "\"queries_per_s\": %.0f, \"speedup_vs_serial\": %.2f, "
+                "\"fingerprint\": \"%016llx\", \"identical_to_serial\": %s}%s\n",
+                thread_counts[t], wall_ms,
+                static_cast<double>(base.num_queries) / (wall_ms / 1000.0),
+                serial_ms / wall_ms,
+                static_cast<unsigned long long>(fingerprint),
+                check(fingerprint == serial_fingerprint),
+                t + 1 < thread_counts.size() ? "," : "");
+  }
+  parallel::set_num_threads(1);
+  std::printf("    ],\n");
+
+  // The acceptance bar: every answer audited, zero mismatches.
+  std::printf("    \"answered\": %llu, \"gave_up\": %llu, "
+              "\"retransmits\": %llu, \"seals\": %llu,\n",
+              static_cast<unsigned long long>(report.answered),
+              static_cast<unsigned long long>(report.gave_up),
+              static_cast<unsigned long long>(report.clients.retransmits),
+              static_cast<unsigned long long>(report.seals));
+  std::printf("    \"audited\": %llu, \"audit_mismatches\": %llu, "
+              "\"audit_clean\": %s, \"campaign_passed\": %s,\n",
+              static_cast<unsigned long long>(report.audited),
+              static_cast<unsigned long long>(report.audit_mismatches),
+              check(report.audit_mismatches == 0), check(report.passed()));
+  std::printf("    \"latency\": {\n");
+  print_class("route", report.route_latency_ms, ",");
+  print_class("what_if", report.what_if_latency_ms, ",");
+  print_class("loss", report.loss_latency_ms, "");
+  std::printf("    },\n");
+
+  // Staleness distribution across answered queries: how far behind the
+  // live fabric degraded-mode answers ran.
+  std::vector<double> staleness(report.staleness_event_samples.size());
+  double staleness_sum = 0.0;
+  for (std::size_t i = 0; i < staleness.size(); ++i) {
+    staleness[i] = static_cast<double>(report.staleness_event_samples[i]);
+    staleness_sum += staleness[i];
+  }
+  std::printf("    \"staleness\": {\"mean_events\": %.3f, "
+              "\"p99_events\": %.1f, \"max_events\": %.0f, "
+              "\"mean_ms\": %.3f},\n",
+              staleness.empty()
+                  ? 0.0
+                  : staleness_sum / static_cast<double>(staleness.size()),
+              percentile(staleness, 0.99),
+              staleness.empty()
+                  ? 0.0
+                  : *std::max_element(staleness.begin(), staleness.end()),
+              report.staleness_ms.count() > 0 ? report.staleness_ms.mean()
+                                              : 0.0);
+  std::printf("    \"shed_rate\": %.4f, \"cache\": {\"hits\": %llu, "
+              "\"misses\": %llu, \"evictions\": %llu, \"hit_rate\": %.3f}\n",
+              report.server.received > 0
+                  ? static_cast<double>(report.server.shed) /
+                        static_cast<double>(report.server.received)
+                  : 0.0,
+              static_cast<unsigned long long>(report.cache_hits),
+              static_cast<unsigned long long>(report.cache_misses),
+              static_cast<unsigned long long>(report.cache_evictions),
+              report.cache_hits + report.cache_misses > 0
+                  ? static_cast<double>(report.cache_hits) /
+                        static_cast<double>(report.cache_hits +
+                                            report.cache_misses)
+                  : 0.0);
+  std::printf("  },\n");
+  return report;
+}
+
+// ---- Kill-and-resume byte identity --------------------------------------
+
+void run_resume(const Topology& topo, const ServeChaosReport& report) {
+  std::uint64_t restored = 0;
+  bool identical = true;
+  {
+    const obs::PauseObs quiet;
+    for (const std::string& cp : report.checkpoints) {
+      Simulator sim;
+      SnapshotRegistry registry(topo, DestGranularity::kEdge);
+      Server server(sim, topo, registry);
+      server.restore(cp);
+      identical = identical && server.checkpoint() == cp;
+      ++restored;
+    }
+  }
+  std::printf("  \"resume\": {\n");
+  std::printf("    \"checkpoints\": %llu, \"restored\": %llu, "
+              "\"byte_identical\": %s\n",
+              static_cast<unsigned long long>(report.checkpoints.size()),
+              static_cast<unsigned long long>(restored),
+              check(identical && restored > 0));
+  std::printf("  },\n");
+}
+
+// ---- Overload: shedding as backpressure ---------------------------------
+
+void run_overload(const Topology& topo, int num_queries) {
+  ServeChaosOptions options = campaign_options(num_queries);
+  options.server.inflight_watermark = 2;
+  options.server.what_if_service_ms = 2.0;  // slow class, tiny watermark
+  options.query_interarrival_ms = 0.2;      // arrivals outpace service
+  options.action_every_ms =
+      static_cast<double>(num_queries) * options.query_interarrival_ms /
+      static_cast<double>(options.chaos.num_events + 1);
+  ServeChaosReport report;
+  {
+    const obs::PauseObs quiet;
+    report = run_serve_under_chaos(ProtocolKind::kAnp, topo, options);
+  }
+  const double shed_rate =
+      report.server.received > 0
+          ? static_cast<double>(report.server.shed) /
+                static_cast<double>(report.server.received)
+          : 0.0;
+  std::printf("  \"overload\": {\n");
+  std::printf("    \"queries\": %d, \"watermark\": %llu, \"shed\": %llu, "
+              "\"shed_rate\": %.3f,\n",
+              options.num_queries,
+              static_cast<unsigned long long>(
+                  options.server.inflight_watermark),
+              static_cast<unsigned long long>(report.server.shed),
+              shed_rate);
+  std::printf("    \"answered\": %llu, \"gave_up\": %llu, "
+              "\"shed_seen_by_clients\": %llu,\n",
+              static_cast<unsigned long long>(report.answered),
+              static_cast<unsigned long long>(report.gave_up),
+              static_cast<unsigned long long>(report.clients.shed_seen));
+  // Overload must shed explicitly, still answer a useful fraction through
+  // retry backpressure, and keep every answer audit-clean.
+  std::printf("    \"shedding_engaged\": %s, \"still_answering\": %s, "
+              "\"audit_clean\": %s\n",
+              check(report.server.shed > 0),
+              check(report.answered > 0),
+              check(report.audit_mismatches == 0));
+  std::printf("  },\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  aspen::obs::ObsConfig obs_config;
+  obs_config.metrics = true;
+  aspen::obs::configure(obs_config);
+
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+
+  // The headline tree matches bench_survivability: Fig. 3, 4-level 6-port,
+  // <0,0,2> — 63 switches, 216 links.
+  const Topology fig3 =
+      Topology::build(generate_tree(4, 6, FaultToleranceVector({0, 0, 2})));
+
+  std::printf("{\n");
+  std::printf("  \"experiment\": \"serve\",\n");
+  std::printf("  \"quick\": %s,\n", quick ? "true" : "false");
+  std::printf("  \"hardware_threads\": %d,\n",
+              aspen::parallel::effective_num_threads(0));
+  std::printf("  \"tree\": {\"n\": 4, \"k\": 6, \"ftv\": \"<0,0,2>\", "
+              "\"switches\": %llu, \"links\": %llu},\n",
+              static_cast<unsigned long long>(fig3.num_switches()),
+              static_cast<unsigned long long>(fig3.num_links()));
+
+  // The audited campaign stays at >= 10k queries even in quick mode — it
+  // is the acceptance criterion, not a tunable.
+  const ServeChaosReport report = run_headline(fig3, quick ? 10'000 : 20'000);
+  run_resume(fig3, report);
+  run_overload(fig3, quick ? 1'000 : 4'000);
+
+  // Populate the metrics registry with one instrumented campaign (the
+  // timed regions above run obs-paused so they measure undisturbed cost).
+  {
+    aspen::obs::reset_collected();
+    ServeChaosOptions options = campaign_options(quick ? 1'000 : 4'000);
+    const ServeChaosReport instrumented =
+        run_serve_under_chaos(ProtocolKind::kAnp, fig3, options);
+    check(instrumented.passed());
+  }
+
+  std::printf("  \"all_checks_passed\": %s,\n", g_all_ok ? "true" : "false");
+  std::printf("  \"metrics\":\n%s\n",
+              aspen::obs::metrics().to_json(2).c_str());
+  std::printf("}\n");
+  return g_all_ok ? 0 : 2;
+}

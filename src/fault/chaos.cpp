@@ -150,23 +150,20 @@ void record_audit(ChaosOutcome& outcome, const AuditReport& report) {
 
 }  // namespace
 
-ChaosOutcome run_chaos_campaign(ProtocolKind kind, const Topology& topo,
-                                const ChaosOptions& options) {
-  ASPEN_REQUIRE(options.num_events >= 0, "negative event count");
-  auto proto = make_protocol(kind, topo, options.delays, options.anp,
-                             options.granularity);
-  const RoutingState initial = proto->tables();
+namespace fault {
 
-  Rng rng(options.seed);
-  Rng flow_rng(
-      fault::derive_stream_seed(options.seed, fault::kStreamChaosFlows));
+/// All campaign state.  Members carry the exact names the single-call loop
+/// used as locals so the action logic below is a verbatim transplant — the
+/// byte-identity of RNG draws and trace records rests on not touching it.
+struct ChaosCampaign::Impl {
+  const Topology* topo_;
+  ChaosOptions options;
+  std::unique_ptr<ProtocolSimulation> proto;
+  RoutingState initial;
+  Rng rng;
+  Rng flow_rng;
   ChaosOutcome outcome;
-  outcome.seed = options.seed;
   TruthCache truth_cache;
-  obs::count("chaos.campaigns");
-  obs::trace_event(0.0, obs::TraceKind::kChaosPhase, 0, 0,
-                   static_cast<std::uint64_t>(options.num_events),
-                   "campaign_start");
 
   // Campaign-owned outstanding faults.  Links a crash takes down belong to
   // the protocol's crash bookkeeping, not to these lists; a campaign link
@@ -180,19 +177,37 @@ ChaosOutcome run_chaos_campaign(ProtocolKind kind, const Topology& topo,
   // overlay erases its degradation on fail(), so the list is re-pruned
   // against the overlay after every action.
   std::vector<LinkId> degraded;
-  const auto prune_degraded = [&] {
+
+  bool paranoid = false;
+  int action = 0;
+  bool done = false;
+
+  Impl(ProtocolKind kind, const Topology& t, const ChaosOptions& opts)
+      : topo_(&t),
+        options(opts),
+        proto(make_protocol(kind, t, opts.delays, opts.anp, opts.granularity)),
+        initial(proto->tables()),
+        rng(opts.seed),
+        flow_rng(derive_stream_seed(opts.seed, kStreamChaosFlows)) {
+    outcome.seed = options.seed;
+    obs::count("chaos.campaigns");
+    obs::trace_event(0.0, obs::TraceKind::kChaosPhase, 0, 0,
+                     static_cast<std::uint64_t>(options.num_events),
+                     "campaign_start");
+    paranoid = contracts::effective_audit_level(options.delays.audit_level) >=
+               contracts::AuditLevel::kParanoid;
+    if (paranoid) {
+      record_audit(outcome, topo::audit_tree(*topo_));
+    }
+  }
+
+  void prune_degraded() {
     std::erase_if(degraded, [&](LinkId l) {
       const LinkHealth h = proto->overlay().health(l).health;
       return h != LinkHealth::kGray && h != LinkHealth::kFlapping;
     });
-  };
-
-  const bool paranoid =
-      contracts::effective_audit_level(options.delays.audit_level) >=
-      contracts::AuditLevel::kParanoid;
-  if (paranoid) {
-    record_audit(outcome, topo::audit_tree(topo));
   }
+
   // One auditor pass over the forwarding state and protocol bookkeeping.
   // Checks that only hold in settled states — table walks, dead-next-hop
   // scans, the protocols' withdrawal/custody self-audits — are gated: a
@@ -200,8 +215,9 @@ ChaosOutcome run_chaos_campaign(ProtocolKind kind, const Topology& topo,
   // still points at, abandoned conversations (gave_up) and stale LSP
   // switches legitimately leave tables behind the physical truth, and an
   // unquiesced run still has detections queued.
-  const auto run_audits = [&](bool unwound) {
+  void run_audits(bool unwound) {
     if (!paranoid) return;
+    const Topology& topo = *topo_;
     AuditReport report;
     // Health-eaten notifications (gray links under an unreliable channel)
     // can leave tables legitimately stale, so they also unsettle.
@@ -227,9 +243,10 @@ ChaosOutcome run_chaos_campaign(ProtocolKind kind, const Topology& topo,
                                             truth_cache.truth));
     if (outcome.all_quiesced) report.merge(proto->audit());
     record_audit(outcome, report);
-  };
+  }
 
-  const auto up_candidates = [&] {
+  [[nodiscard]] std::vector<LinkId> up_candidates() const {
+    const Topology& topo = *topo_;
     std::vector<LinkId> up;
     for (Level level = 2; level <= topo.levels(); ++level) {
       for (const LinkId link : topo.links_at_level(level)) {
@@ -237,16 +254,21 @@ ChaosOutcome run_chaos_campaign(ProtocolKind kind, const Topology& topo,
       }
     }
     return up;
-  };
-  const auto alive_candidates = [&] {
+  }
+
+  [[nodiscard]] std::vector<SwitchId> alive_candidates() const {
+    const Topology& topo = *topo_;
     std::vector<SwitchId> alive;
     for (std::uint32_t s = 0; s < topo.num_switches(); ++s) {
       if (proto->is_alive(SwitchId{s})) alive.push_back(SwitchId{s});
     }
     return alive;
-  };
+  }
 
-  for (int action = 0; action < options.num_events; ++action) {
+  /// One action-loop iteration.  Early returns mirror the loop's `continue`
+  /// statements exactly: they skip the prune + periodic check epilogue.
+  void step() {
+    const Topology& topo = *topo_;
     const std::size_t outstanding =
         down_links.size() + crashed.size() + degraded.size();
     const bool want_recover =
@@ -292,7 +314,7 @@ ChaosOutcome run_chaos_campaign(ProtocolKind kind, const Topology& topo,
       std::erase_if(up, [&](LinkId l) {
         return proto->overlay().health(l).health != LinkHealth::kUp;
       });
-      if (up.empty()) continue;
+      if (up.empty()) return;
       const LinkId link = up[rng.index(up.size())];
       if (rng.chance(options.p_degrade_flap)) {
         proto->overlay_mut().set_flapping(link, options.flap_period_ms,
@@ -335,7 +357,7 @@ ChaosOutcome run_chaos_campaign(ProtocolKind kind, const Topology& topo,
     } else if (crashed.size() < options.max_concurrent_switch_crashes &&
                rng.chance(options.p_switch_crash)) {
       const std::vector<SwitchId> alive = alive_candidates();
-      if (alive.empty()) continue;
+      if (alive.empty()) return;
       const SwitchId victim = alive[rng.index(alive.size())];
       if (rng.chance(options.p_crash_mid_reaction) &&
           down_links.size() < options.max_concurrent_link_faults) {
@@ -381,7 +403,7 @@ ChaosOutcome run_chaos_campaign(ProtocolKind kind, const Topology& topo,
             schedule.push_back(TimedFault::link_fail(link));
           }
         }
-        if (schedule.empty()) continue;
+        if (schedule.empty()) return;
         absorb(outcome, proto->simulate_timed_events(schedule));
         for (const TimedFault& fault : schedule) {
           down_links.push_back(fault.link);
@@ -393,7 +415,7 @@ ChaosOutcome run_chaos_campaign(ProtocolKind kind, const Topology& topo,
         obs::count("chaos.domain_links_cut", schedule.size());
       } else {
         const std::vector<LinkId> up = up_candidates();
-        if (up.empty()) continue;
+        if (up.empty()) return;
         const LinkId link = up[rng.index(up.size())];
         absorb(outcome, proto->simulate_link_failure(link));
         down_links.push_back(link);
@@ -408,65 +430,114 @@ ChaosOutcome run_chaos_campaign(ProtocolKind kind, const Topology& topo,
     }
   }
 
-  // One last degraded-state check before unwinding.
-  check_consistency(topo, *proto, options, flow_rng, truth_cache, outcome);
-  run_audits(/*unwound=*/false);
+  void finish_impl() {
+    if (done) return;
+    done = true;
+    const Topology& topo = *topo_;
 
-  // ---- Unwind: clear degradations, revive every switch, then raise every
-  // campaign link.  Degradations go first so the restoration check runs on
-  // clean physics.  Order is otherwise deliberately arbitrary relative to
-  // the failure order — restoration must not depend on LIFO unwinding.
-  obs::trace_event(0.0, obs::TraceKind::kChaosPhase, 0, 0,
-                   down_links.size() + crashed.size() + degraded.size(),
-                   "unwind");
-  for (const LinkId link : degraded) {
-    if (proto->overlay_mut().clear_degradation(link)) {
-      ++outcome.degradations_cleared;
-      obs::count("chaos.degradations_cleared");
-      obs::trace_event(0.0, obs::TraceKind::kLinkRestore, link.value(), 0, 0,
-                       "unwind");
-    }
-  }
-  degraded.clear();
-  for (const SwitchId victim : crashed) {
-    absorb(outcome, proto->simulate_switch_recovery(victim));
-    ++outcome.switch_recoveries;
-  }
-  crashed.clear();
-  for (const LinkId link : down_links) {
-    if (proto->overlay().is_up(link)) continue;  // came back with a crash
-    absorb(outcome, proto->simulate_link_recovery(link));
-    ++outcome.link_recoveries;
-  }
-  down_links.clear();
+    // One last degraded-state check before unwinding.
+    check_consistency(topo, *proto, options, flow_rng, truth_cache, outcome);
+    run_audits(/*unwound=*/false);
 
-  // Invariant (b) via digests: O(switches) word compares instead of deep
-  // table comparison.  A digest mismatch proves the tables differ; equality
-  // is probabilistic (2^-64 per table), so paranoid mode cross-checks the
-  // verdict byte-for-byte and flags any disagreement as drift — that would
-  // mean some mutation bypassed digest maintenance.
-  const RoutingState& final_tables = proto->tables();
-  if (initial.has_digests() && final_tables.has_digests()) {
-    outcome.tables_restored = tables_match_by_digest(initial, final_tables);
-    if (paranoid) {
-      const bool deep_match = initial.tables == final_tables.tables;
-      if (deep_match != outcome.tables_restored) {
-        AuditReport drift;
-        drift.add(AuditCode::kIncrementalDrift,
-                  "restoration digest verdict disagrees with byte-for-byte "
-                  "table comparison");
-        record_audit(outcome, drift);
-        outcome.tables_restored = deep_match;
+    // ---- Unwind: clear degradations, revive every switch, then raise every
+    // campaign link.  Degradations go first so the restoration check runs on
+    // clean physics.  Order is otherwise deliberately arbitrary relative to
+    // the failure order — restoration must not depend on LIFO unwinding.
+    obs::trace_event(0.0, obs::TraceKind::kChaosPhase, 0, 0,
+                     down_links.size() + crashed.size() + degraded.size(),
+                     "unwind");
+    for (const LinkId link : degraded) {
+      if (proto->overlay_mut().clear_degradation(link)) {
+        ++outcome.degradations_cleared;
+        obs::count("chaos.degradations_cleared");
+        obs::trace_event(0.0, obs::TraceKind::kLinkRestore, link.value(), 0, 0,
+                         "unwind");
       }
     }
-  } else {
-    outcome.tables_restored =
-        switches_with_changed_tables(initial, final_tables) == 0;
+    degraded.clear();
+    for (const SwitchId victim : crashed) {
+      absorb(outcome, proto->simulate_switch_recovery(victim));
+      ++outcome.switch_recoveries;
+    }
+    crashed.clear();
+    for (const LinkId link : down_links) {
+      if (proto->overlay().is_up(link)) continue;  // came back with a crash
+      absorb(outcome, proto->simulate_link_recovery(link));
+      ++outcome.link_recoveries;
+    }
+    down_links.clear();
+
+    // Invariant (b) via digests: O(switches) word compares instead of deep
+    // table comparison.  A digest mismatch proves the tables differ;
+    // equality is probabilistic (2^-64 per table), so paranoid mode cross-
+    // checks the verdict byte-for-byte and flags any disagreement as drift —
+    // that would mean some mutation bypassed digest maintenance.
+    const RoutingState& final_tables = proto->tables();
+    if (initial.has_digests() && final_tables.has_digests()) {
+      outcome.tables_restored = tables_match_by_digest(initial, final_tables);
+      if (paranoid) {
+        const bool deep_match = initial.tables == final_tables.tables;
+        if (deep_match != outcome.tables_restored) {
+          AuditReport drift;
+          drift.add(AuditCode::kIncrementalDrift,
+                    "restoration digest verdict disagrees with byte-for-byte "
+                    "table comparison");
+          record_audit(outcome, drift);
+          outcome.tables_restored = deep_match;
+        }
+      }
+    } else {
+      outcome.tables_restored =
+          switches_with_changed_tables(initial, final_tables) == 0;
+    }
+    run_audits(/*unwound=*/true);
+    obs::trace_event(0.0, obs::TraceKind::kChaosPhase, 0, 0,
+                     outcome.tables_restored ? 1u : 0u, "campaign_end");
   }
-  run_audits(/*unwound=*/true);
-  obs::trace_event(0.0, obs::TraceKind::kChaosPhase, 0, 0,
-                   outcome.tables_restored ? 1u : 0u, "campaign_end");
-  return outcome;
+};
+
+ChaosCampaign::ChaosCampaign(ProtocolKind kind, const Topology& topo,
+                             const ChaosOptions& options) {
+  ASPEN_REQUIRE(options.num_events >= 0, "negative event count");
+  impl_ = std::make_unique<Impl>(kind, topo, options);
+}
+
+ChaosCampaign::~ChaosCampaign() = default;
+ChaosCampaign::ChaosCampaign(ChaosCampaign&&) noexcept = default;
+ChaosCampaign& ChaosCampaign::operator=(ChaosCampaign&&) noexcept = default;
+
+bool ChaosCampaign::advance() {
+  if (impl_->done || impl_->action >= impl_->options.num_events) return false;
+  impl_->step();
+  ++impl_->action;
+  return true;
+}
+
+void ChaosCampaign::finish() { impl_->finish_impl(); }
+
+const ChaosOutcome& ChaosCampaign::outcome() const { return impl_->outcome; }
+
+const ProtocolSimulation& ChaosCampaign::protocol() const {
+  return *impl_->proto;
+}
+
+const LinkStateOverlay& ChaosCampaign::overlay() const {
+  return impl_->proto->overlay();
+}
+
+int ChaosCampaign::actions_taken() const { return impl_->action; }
+
+bool ChaosCampaign::finished() const { return impl_->done; }
+
+}  // namespace fault
+
+ChaosOutcome run_chaos_campaign(ProtocolKind kind, const Topology& topo,
+                                const ChaosOptions& options) {
+  fault::ChaosCampaign campaign(kind, topo, options);
+  while (campaign.advance()) {
+  }
+  campaign.finish();
+  return campaign.outcome();
 }
 
 }  // namespace aspen

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -156,6 +157,56 @@ struct ChaosOutcome {
   /// First few violations, as "<code>: <message>" lines.
   std::vector<std::string> audit_messages;
 };
+
+namespace fault {
+
+/// A chaos campaign exposed one action at a time, so an external driver
+/// (the serve loop, a debugger, a replay harness) can interleave its own
+/// events between fault-plane actions without forking the campaign logic.
+///
+/// Construction performs everything run_chaos_campaign did before its
+/// action loop (fresh converged protocol, RNG streams, campaign_start
+/// trace, the paranoid up-front topology audit); each advance() performs
+/// exactly one loop iteration (one action plus the periodic consistency
+/// check); finish() performs the final check, the unwind, and the
+/// restoration verdict.  The RNG draw sequence, trace records, and outcome
+/// are byte-identical to the legacy single-call loop — run_chaos_campaign
+/// is now construct + drain + finish.
+class ChaosCampaign {
+ public:
+  ChaosCampaign(ProtocolKind kind, const Topology& topo,
+                const ChaosOptions& options = {});
+  ~ChaosCampaign();
+  ChaosCampaign(ChaosCampaign&&) noexcept;
+  ChaosCampaign& operator=(ChaosCampaign&&) noexcept;
+
+  /// Executes the next fault-plane action (and, on the configured cadence,
+  /// the consistency check + audits that follow it).  Returns false — doing
+  /// nothing — once every scheduled action has run or finish() was called.
+  bool advance();
+
+  /// Final degraded-state check, unwind of every outstanding fault, and
+  /// the restoration verdict.  Idempotent; outcome() is final after this.
+  void finish();
+
+  /// Campaign accounting so far; final once finish() has run.
+  [[nodiscard]] const ChaosOutcome& outcome() const;
+
+  /// The live protocol under test — external drivers read its overlay and
+  /// tables to track what the campaign has done to the fabric.
+  [[nodiscard]] const ProtocolSimulation& protocol() const;
+  [[nodiscard]] const LinkStateOverlay& overlay() const;
+
+  /// Actions executed so far (0 ≤ n ≤ options.num_events).
+  [[nodiscard]] int actions_taken() const;
+  [[nodiscard]] bool finished() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace fault
 
 /// Runs one seeded campaign of `options.num_events` actions plus a full
 /// unwind against a fresh protocol instance on `topo`.

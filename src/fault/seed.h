@@ -23,6 +23,10 @@ enum : std::uint64_t {
   kStreamChannel = 0x103,        ///< lossy control-channel fate draws
   kStreamDetectorWatch = 0x104,  ///< side-channel detector watches (+ link)
   kStreamSurvivability = 0x105,  ///< survivability sample streams (+ index)
+  kStreamServeChaos = 0x106,     ///< serve driver's live chaos schedule
+  kStreamServeQueries = 0x107,   ///< serve driver's query generator
+  kStreamServeClient = 0x108,    ///< per-client retry jitter (+ client id)
+  kStreamServeChannel = 0x109,   ///< per-client lossy channel (+ client id)
 };
 
 /// Derives the seed for stream `tag` of a campaign keyed by `base`.

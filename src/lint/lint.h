@@ -1,4 +1,4 @@
-// aspen-lint: determinism & contracts static analyzer (front door).
+// aspen-lint — determinism & contracts static analyzer (front door).
 //
 // The repo's headline guarantee — routing tables, traces, and
 // survivability results that are byte-identical across thread counts and
@@ -12,11 +12,15 @@
 // side-effect-free when the build elides them.
 //
 // Pipeline: tokenize (token.h) -> run rules (rules.h) -> apply suppression
-// annotations -> report.  Suppressions are explicit and audited:
+// annotations -> report.  Suppressions are explicit and audited — a comment
+// of the form
 //
-//   // aspen-lint: allow(rule-id) -- reason the violation is intentional
+//   <tool marker> allow(rule-id) -- reason the violation is intentional
 //
-// on the finding's line (trailing) or alone on the line above.  An
+// where the marker is the tool's name followed by a colon (spelled out in
+// docs/LINT.md; writing it literally here would register this header's own
+// documentation as an annotation), on the finding's line (trailing) or
+// alone on the line above.  An
 // annotation without a reason, or naming an unknown rule, is itself a
 // finding (bad-suppression) — the zero-findings CI gate therefore proves
 // both "no violations" and "every exception has a written rationale".
@@ -32,7 +36,7 @@
 
 namespace aspen::lint {
 
-/// One `aspen-lint: allow(...)` annotation that matched no finding.
+/// One `allow(...)` annotation that matched no finding.
 struct UnusedSuppression {
   std::string file;
   int line = 0;

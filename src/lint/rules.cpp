@@ -54,6 +54,10 @@ const std::vector<RuleInfo>& catalogue() {
       {"float-accum", Severity::kError,
        "floating-point accumulation in an integer-accumulator file — "
        "merge order would change the result"},
+      {"serve-bounded-retry", Severity::kError,
+       "a serve-layer backoff without same-file retry-cap and deadline "
+       "evidence — an unbounded retry loop against a shedding server is a "
+       "retry-storm generator"},
       // Meta findings (emitted by lint.cpp, not the token rules):
       {"bad-suppression", Severity::kError,
        "aspen-lint: allow(...) annotation without a '-- reason' rationale "
@@ -497,6 +501,46 @@ void rule_float_accum(const Ctx& ctx) {
   }
 }
 
+// ---------------------------------------------------------------------
+// serve-bounded-retry: in the query-service layer, any file that grows a
+// retry wait (an identifier containing "backoff") must show, in the same
+// file, both halves of the bound that keeps retries finite: a retry cap
+// (an identifier naming "max" and "retr" — kMaxClientRetries,
+// max_retries, ...) and a deadline check (an identifier containing
+// "deadline").  One finding per file, anchored at the first backoff
+// token: the file-level evidence either exists or it does not.
+// ---------------------------------------------------------------------
+void rule_serve_bounded_retry(const Ctx& ctx) {
+  if (!path_has_prefix(ctx.path, "src/serve/") &&
+      !contains_ci(ctx.path, "serve_bounded_retry")) {
+    return;
+  }
+  const Token* first_backoff = nullptr;
+  bool has_cap = false;
+  bool has_deadline = false;
+  for (const Token& t : ctx.code) {
+    if (t.kind != TokKind::kIdentifier) continue;
+    if (first_backoff == nullptr && contains_ci(t.text, "backoff")) {
+      first_backoff = &t;
+    }
+    if (contains_ci(t.text, "max") && contains_ci(t.text, "retr")) {
+      has_cap = true;
+    }
+    if (contains_ci(t.text, "deadline")) has_deadline = true;
+  }
+  if (first_backoff == nullptr || (has_cap && has_deadline)) return;
+  std::string missing;
+  if (!has_cap) missing += "a retry cap (an identifier naming max+retr)";
+  if (!has_deadline) {
+    if (!missing.empty()) missing += " or ";
+    missing += "a deadline check";
+  }
+  ctx.add("serve-bounded-retry", first_backoff->line,
+          "'" + first_backoff->text + "' grows a retry wait but this file "
+          "shows no " + missing + "; bound every backoff loop by "
+          "kMaxClientRetries and the query's deadline");
+}
+
 }  // namespace
 
 const std::vector<RuleInfo>& rule_catalogue() { return catalogue(); }
@@ -525,6 +569,7 @@ void run_rules(const std::string& path, const std::vector<Token>& tokens,
   rule_assert_side_effect(ctx);
   rule_emit_in_parallel(ctx);
   rule_float_accum(ctx);
+  rule_serve_bounded_retry(ctx);
 }
 
 }  // namespace aspen::lint

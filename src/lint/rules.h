@@ -22,7 +22,7 @@ enum class Severity { kError, kWarning };
 [[nodiscard]] const char* to_cstring(Severity severity);
 
 /// One rule violation at a source location.  `suppressed` flips to true
-/// when an `aspen-lint: allow(rule)` annotation with a written rationale
+/// when an `allow(rule)` annotation with a written rationale
 /// covers the line (lint.h applies annotations after the rules run).
 struct Finding {
   std::string rule;

@@ -98,6 +98,10 @@ const char* trace_kind_name(TraceKind kind) {
     case TraceKind::kChaosCheck: return "chaos_check";
     case TraceKind::kSurviveChunk: return "survive_chunk";
     case TraceKind::kSurviveCheckpoint: return "survive_checkpoint";
+    case TraceKind::kServeRequest: return "serve_request";
+    case TraceKind::kServeResponse: return "serve_response";
+    case TraceKind::kServeSeal: return "serve_seal";
+    case TraceKind::kServeCheckpoint: return "serve_checkpoint";
   }
   ASPEN_UNREACHABLE("unknown TraceKind ",
                     static_cast<int>(kind));

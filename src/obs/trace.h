@@ -42,6 +42,11 @@ enum class TraceKind : std::uint8_t {
   kChaosCheck,       ///< campaign consistency check; value=1 pass, 0 fail
   kSurviveChunk,     ///< survivability chunk done; a:b=next sample, value=n
   kSurviveCheckpoint,  ///< survivability checkpoint cut; value=next sample
+  kServeRequest,     ///< query frame admitted/rejected; a=id lo32, b=kind,
+                     ///< detail names the admission verdict
+  kServeResponse,    ///< response completed; a=id lo32, value=snapshot digest
+  kServeSeal,        ///< serving snapshot sealed; value=digest, a=staleness
+  kServeCheckpoint,  ///< server checkpoint cut; value=completed responses
 };
 
 /// Stable snake_case name for JSONL export ("msg_send", "route_patch", ...).
@@ -49,7 +54,7 @@ enum class TraceKind : std::uint8_t {
 
 /// Number of distinct TraceKind values (for iteration / validation).
 inline constexpr std::size_t kNumTraceKinds =
-    static_cast<std::size_t>(TraceKind::kSurviveCheckpoint) + 1;
+    static_cast<std::size_t>(TraceKind::kServeCheckpoint) + 1;
 
 /// One fixed-size trace record.  `detail` must point at a string literal
 /// (or other storage outliving the tracer); the tracer never copies it.

@@ -62,6 +62,44 @@ void DeltaSession::rebuild() {
   state_ = compute_updown_routes(*topo_, overlay_, granularity_, threads_);
 }
 
+RecomputeStats DeltaSession::sync_to(const LinkStateOverlay& live) {
+  std::vector<LinkId> changed;
+  for (std::uint32_t id = 0; id < topo_->num_links(); ++id) {
+    const LinkId link{id};
+    const bool want_up = live.is_up(link);
+    if (overlay_.is_up(link) == want_up) continue;
+    if (want_up) {
+      overlay_.recover(link);
+    } else {
+      overlay_.fail(link);
+    }
+    changed.push_back(link);
+  }
+  RecomputeStats stats{};
+  if (!changed.empty()) {
+    stats = recompute_updown_routes(*topo_, overlay_, state_, changed,
+                                    threads_);
+    // failed_links() enumerates in link-id order — deterministic, and the
+    // order rollback()/restore paths replay the set in.
+    failed_ = overlay_.failed_links();
+  }
+  absorb(stats);
+  return stats;
+}
+
+std::shared_ptr<const PinnedState> DeltaSession::pin() {
+  ASPEN_ASSERT(state_.has_digests(),
+               "pin() needs engine digests for the fingerprint");
+  const std::uint64_t fp = state_fingerprint(state_);
+  if (pinned_ && pinned_->fingerprint == fp) return pinned_;
+  auto snap = std::make_shared<PinnedState>();
+  snap->state = state_;
+  snap->failed = failed_;
+  snap->fingerprint = fp;
+  pinned_ = std::move(snap);
+  return pinned_;
+}
+
 void DeltaSession::corrupt_for_test() {
   ASPEN_REQUIRE(!state_.tables.empty() && state_.num_dests() > 0,
                 "nothing to corrupt");

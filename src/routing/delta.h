@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -31,6 +32,17 @@
 #include "src/topo/topology.h"
 
 namespace aspen::routing {
+
+/// An immutable snapshot of a session's routing state at a seal point.
+/// The serving layer hands shared_ptrs to these out to query executors and
+/// result caches; the fingerprint (state_fingerprint) is the identity every
+/// response is labeled with, and `failed` is what a restarted server needs
+/// to re-derive the same state from the intact topology.
+struct PinnedState {
+  RoutingState state;
+  std::vector<LinkId> failed;     ///< links down when the state was sealed
+  std::uint64_t fingerprint = 0;  ///< state_fingerprint(state)
+};
 
 class DeltaSession {
  public:
@@ -51,6 +63,19 @@ class DeltaSession {
   /// Discards the warm state and recomputes everything from the intact
   /// topology — the quarantine path after an audit finding.
   void rebuild();
+
+  /// Makes this session's up/down view match `live` exactly — fails links
+  /// `live` has down, recovers links it has up — and patches the routing
+  /// state incrementally over the combined change set.  Degraded health
+  /// (gray/flapping) is ignored: routing never sees it.  Returns the
+  /// engine's row accounting for the patch (all-zero when already in sync).
+  RecomputeStats sync_to(const LinkStateOverlay& live);
+
+  /// Seals the current state into an immutable PinnedState and returns a
+  /// shared handle.  Consecutive calls with unchanged state return the
+  /// *same* object (copy-on-write: the deep copy happens only when the
+  /// fingerprint moved), so holding many pins of a stable state is cheap.
+  [[nodiscard]] std::shared_ptr<const PinnedState> pin();
 
   [[nodiscard]] const RoutingState& state() const { return state_; }
   [[nodiscard]] const LinkStateOverlay& overlay() const { return overlay_; }
@@ -81,6 +106,7 @@ class DeltaSession {
   std::vector<LinkId> failed_;
   std::uint64_t rebuilds_ = 0;
   RecomputeStats cumulative_{};
+  std::shared_ptr<const PinnedState> pinned_;  ///< last pin() result
 };
 
 }  // namespace aspen::routing

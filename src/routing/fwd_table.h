@@ -133,4 +133,26 @@ struct RoutingState {
   }
 };
 
+/// Whole-state fingerprint: a position-aware fold of the per-switch digests
+/// (plus the granularity parameters), so two states differ in the
+/// fingerprint iff any switch's table content differs.  Requires
+/// has_digests(); the position multiplier keeps a swap of two switches'
+/// tables from cancelling the way a plain XOR would.
+[[nodiscard]] inline std::uint64_t state_fingerprint(const RoutingState& s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ull;
+    h ^= h >> 29;
+  };
+  mix(s.granularity == DestGranularity::kEdge ? 1u : 2u);
+  mix(s.hosts_per_edge);
+  mix(s.digests.size());
+  for (std::size_t i = 0; i < s.digests.size(); ++i) {
+    mix((i + 1) * 0x9e3779b97f4a7c15ull);
+    mix(s.digests[i]);
+  }
+  return h;
+}
+
 }  // namespace aspen

@@ -1,0 +1,69 @@
+// Digest-keyed result cache for the query service.
+//
+// Keys are (snapshot fingerprint, query content fingerprint): a QueryResult
+// is a pure function of those two, so a hit can be served without touching
+// the routing state at all, and sealing a new snapshot naturally invalidates
+// nothing — stale entries just stop being asked for and age out of the FIFO.
+// Eviction is strict insertion-order FIFO (not LRU) so the cache's contents
+// are a deterministic function of the insert sequence alone; that is what
+// lets checkpoints serialize the cache and restore it byte-identically.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "src/serve/wire.h"
+
+namespace aspen::serve {
+
+class ResultCache {
+ public:
+  explicit ResultCache(std::size_t capacity);
+
+  /// Looks up a (snapshot digest, query fingerprint) key, bumping the
+  /// hit/miss counters.  The pointer is invalidated by the next insert.
+  [[nodiscard]] const QueryResult* find(std::uint64_t digest,
+                                        std::uint64_t query_fp);
+
+  /// Inserts (or overwrites) an entry, evicting the oldest insertion when
+  /// the cache is full.  Re-inserting an existing key does not re-age it.
+  void insert(std::uint64_t digest, std::uint64_t query_fp,
+              const QueryResult& result);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
+
+  /// Chain fingerprint over entries (in insertion order) and counters, for
+  /// checkpoint sealing and kill-and-resume identity checks.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
+  /// Checkpoint body: counters plus every entry in insertion order, as
+  /// line-oriented `key value...` text (see docs/SERVE.md).
+  void serialize(std::ostream& os) const;
+
+  /// Rebuilds the cache from serialize() output already tokenized by the
+  /// server's checkpoint parser: resets contents, then entries must be
+  /// re-inserted via restore_entry in serialized order.
+  void restore_reset(std::uint64_t hits, std::uint64_t misses,
+                     std::uint64_t evictions);
+  void restore_entry(std::uint64_t digest, std::uint64_t query_fp,
+                     const QueryResult& result);
+
+ private:
+  using Key = std::pair<std::uint64_t, std::uint64_t>;
+
+  std::size_t capacity_;
+  std::map<Key, QueryResult> entries_;
+  std::vector<Key> order_;  ///< insertion order, oldest first
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace aspen::serve

@@ -1,0 +1,116 @@
+// The retrying client: the other half of the at-most-once contract.
+//
+// Each client owns a private lossy ChannelModel (requests and responses
+// both ride it) and a retry loop with capped exponential backoff plus
+// deterministic jitter.  Retries resend the *same* request id, so the
+// server's dedup table — not client restraint — is what guarantees a query
+// never executes twice; the client's job is merely to keep asking until an
+// answer survives the channel, the retry cap trips, or the query's own
+// deadline makes further attempts pointless.  A SHED response is not an
+// answer: the client records it and keeps retrying, which is what turns
+// load shedding into backpressure instead of data loss.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/serve/server.h"
+#include "src/serve/wire.h"
+#include "src/sim/channel.h"
+#include "src/sim/simulator.h"
+#include "src/util/rng.h"
+
+namespace aspen::serve {
+
+/// Hard cap on retransmissions per query; every backoff loop in this
+/// module bounds itself against it (the serve-bounded-retry lint rule
+/// checks exactly this pairing).
+inline constexpr int kMaxClientRetries = 5;
+
+struct ClientOptions {
+  std::uint32_t client_id = 0;
+  /// Campaign base seed; the channel and retry-jitter streams are derived
+  /// from it per client via the sanctioned stream tags, so adding a client
+  /// never perturbs another client's randomness.
+  std::uint64_t campaign_seed = 0xA59E;
+  /// Loss model for this client's link to the server; `seed` is
+  /// overwritten with the derived per-client stream.
+  ChannelOptions channel;
+  double net_delay_ms = 0.2;  ///< one-way client↔server propagation
+  double rto_ms = 4.0;        ///< initial retry timeout
+  double backoff = 2.0;       ///< timeout multiplier per retry
+  int max_retries = kMaxClientRetries;
+  double retry_jitter_ms = 0.5;  ///< uniform extra wait per armed timer
+};
+
+struct ClientStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t frames_sent = 0;        ///< attempts offered to the channel
+  std::uint64_t responses = 0;          ///< decodable responses received
+  std::uint64_t duplicates_ignored = 0; ///< responses for finished queries
+  std::uint64_t undecodable = 0;        ///< response frames that failed decode
+  std::uint64_t retransmits = 0;        ///< timer-driven re-sends
+  std::uint64_t gave_up = 0;            ///< cap or deadline ended the query
+  std::uint64_t shed_seen = 0;          ///< SHED responses absorbed
+};
+
+/// Final fate of one submitted query, for the driver's post-hoc auditor.
+struct Outcome {
+  Request request;
+  Response response;          ///< meaningful iff got_response
+  bool got_response = false;  ///< false: retry cap / deadline gave up
+};
+
+class Client {
+ public:
+  using Callback = std::function<void(const Outcome&)>;
+
+  Client(Simulator& sim, Server& server, const ClientOptions& options = {});
+
+  /// Submits one query at sim.now().  The request's `id` is assigned here
+  /// ((client_id << 32) | sequence) — retries reuse it verbatim.  Returns
+  /// the assigned id.  `callback`, if set, fires once when the query
+  /// finishes (answer or give-up).
+  std::uint64_t submit(Request request, Callback callback = {});
+
+  [[nodiscard]] const ClientStats& stats() const { return stats_; }
+  [[nodiscard]] const std::vector<Outcome>& outcomes() const {
+    return outcomes_;
+  }
+  [[nodiscard]] const ChannelModel& channel() const { return channel_; }
+  [[nodiscard]] std::uint32_t client_id() const {
+    return options_.client_id;
+  }
+
+ private:
+  struct PendingQuery {
+    Request request;
+    Callback callback;
+    int attempts = 0;  ///< retransmissions so far (0 = first send only)
+    bool done = false;
+  };
+
+  void send_attempt(std::uint64_t id);
+  void arm_retry(std::uint64_t id);
+  void maybe_retry(std::uint64_t id, int armed_attempts);
+  /// True once the query's own deadline makes further retries pointless —
+  /// the second half (with max_retries) of the bounded-retry contract.
+  [[nodiscard]] bool deadline_passed(const Request& request) const;
+  void on_response_frame(const std::string& frame);
+  void finish(std::uint64_t id, const Response* response);
+
+  Simulator* sim_;
+  Server* server_;
+  ClientOptions options_;
+  ChannelModel channel_;
+  Rng retry_rng_;
+  ClientStats stats_;
+  std::uint32_t next_sequence_ = 0;
+  std::map<std::uint64_t, PendingQuery> pending_;
+  std::vector<Outcome> outcomes_;
+};
+
+}  // namespace aspen::serve

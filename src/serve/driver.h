@@ -1,0 +1,104 @@
+// The serve-under-chaos harness plus its post-hoc auditor.
+//
+// run_serve_under_chaos interleaves three deterministic schedules on one
+// virtual-time Simulator: a ChaosCampaign advanced one fault-plane action
+// at a time, a SnapshotRegistry that seals the live fabric every few
+// actions, and a fleet of retrying clients firing route / what-if / loss
+// queries through their lossy channels.  Every answer the server gives is
+// labeled with the snapshot digest it was computed from and how stale that
+// snapshot was — and after the run, an auditor replays each answered query
+// against the *exact* pinned snapshot its digest names and checks the
+// result, the digest, and the staleness bound against the recorded ground
+// truth timeline.  Zero mismatches is the acceptance bar: degraded-mode
+// answers may be stale, but they are never silently wrong.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/fault/chaos.h"
+#include "src/serve/client.h"
+#include "src/serve/server.h"
+#include "src/sim/stats.h"
+#include "src/topo/topology.h"
+
+namespace aspen::serve {
+
+struct ServeChaosOptions {
+  /// Fault schedule; `chaos.seed` also seeds the query and client streams
+  /// (each through its own derived stream tag).
+  ChaosOptions chaos;
+  int num_queries = 200;
+  int num_clients = 4;
+  double query_interarrival_ms = 2.0;   ///< arrival spacing across clients
+  double action_every_ms = 50.0;        ///< chaos action spacing
+  int seal_every_actions = 2;           ///< seal cadence (snapshots lag chaos)
+  /// Cut a server checkpoint after every N answered queries (0 = never).
+  int checkpoint_every = 0;
+  ServerOptions server;
+  /// Template for every client; client_id / campaign_seed are overwritten.
+  ClientOptions client;
+  int threads = 1;  ///< routing recompute threads (result-identical)
+  /// Query-class mix, per mille; the remainder is kRoute.
+  int whatif_permille = 300;
+  int loss_permille = 200;
+  std::uint32_t loss_flows = 16;
+  /// Per-query budget from arrival (0 = no deadline).
+  double deadline_ms = 0.0;
+};
+
+struct ServeChaosReport {
+  ChaosOutcome chaos;
+  ServerStats server;
+  ClientStats clients;  ///< summed across the fleet
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+
+  /// Arrival-to-answer latency per class, raw (percentiles are the
+  /// caller's job — Summary keeps no order statistics).
+  std::vector<double> route_latency_ms;
+  std::vector<double> what_if_latency_ms;
+  std::vector<double> loss_latency_ms;
+  /// Staleness labels across answered (kOk) queries, raw + aggregated.
+  std::vector<std::uint64_t> staleness_event_samples;
+  Summary staleness_ms;
+
+  std::uint64_t answered = 0;           ///< kOk outcomes
+  std::uint64_t rejected_deadline = 0;  ///< kDeadlineExceeded outcomes
+  std::uint64_t rejected_malformed = 0; ///< kMalformed outcomes
+  std::uint64_t gave_up = 0;            ///< retry cap / deadline give-ups
+
+  std::uint64_t seals = 0;
+  std::uint64_t checkpoints_cut = 0;
+  /// Every checkpoint cut during the run, in cut order (kill-and-resume
+  /// tests restore from each of these).
+  std::vector<std::string> checkpoints;
+
+  // ---- Post-hoc audit --------------------------------------------------
+  std::uint64_t audited = 0;
+  std::uint64_t audit_mismatches = 0;
+  std::vector<std::string> audit_messages;  ///< first few, for diagnosis
+
+  /// Fold over every response the clients accepted, in completion order.
+  std::uint64_t response_stream_hash = 0;
+  /// The server's fold over every reply frame it issued.
+  std::uint64_t reply_stream_hash = 0;
+
+  /// Identity fold over the integer/bit content of the report; equal
+  /// fingerprints at --threads=1/2/4 is the determinism acceptance check.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
+  /// The acceptance verdict: every label audited clean, chaos invariants
+  /// held, and the fabric was restored after the unwind.
+  [[nodiscard]] bool passed() const;
+};
+
+/// Runs one serve-under-chaos campaign.  Deterministic: the report
+/// fingerprint depends only on (kind, topo, options).
+[[nodiscard]] ServeChaosReport run_serve_under_chaos(
+    ProtocolKind kind, const Topology& topo,
+    const ServeChaosOptions& options = {});
+
+}  // namespace aspen::serve

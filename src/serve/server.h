@@ -1,0 +1,136 @@
+// The query server: admission control, deadlines, idempotent execution
+// against sealed snapshots, and fingerprint-sealed crash checkpoints.
+//
+// The server is a virtual-time actor on a Simulator: frames arrive via
+// handle_frame (at sim.now()), queries occupy a serializing CpuQueue, and
+// replies are issued through a caller-supplied callback — possibly many
+// callbacks for one id, because a retried request that finds its original
+// still in flight coalesces onto it instead of executing twice.  The
+// robustness ladder on the admission path, in order:
+//
+//   malformed  → immediate error reply (never touches the CPU)
+//   duplicate  → completed: replay the stored response bytes, byte-exact;
+//                in flight: coalesce this reply onto the pending execution
+//   shed       → in-flight depth at the watermark: explicit SHED reply
+//   deadline   → projected completion (CPU wait + service) past the
+//                request's absolute deadline: reject up front; admitted
+//                queries re-assert the budget monotonically at completion
+//   admit      → execute at completion time against the *then-current*
+//                snapshot, through the digest-keyed result cache
+//
+// Every reply — rejections included — carries the serving snapshot digest
+// and staleness bound, so degraded-mode answers are labeled, never wrong.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/serve/cache.h"
+#include "src/serve/snapshot.h"
+#include "src/serve/wire.h"
+#include "src/sim/simulator.h"
+#include "src/topo/topology.h"
+
+namespace aspen::serve {
+
+struct ServerOptions {
+  /// Admission watermark: a new (non-duplicate) query arriving with this
+  /// many already in flight is shed.
+  std::size_t inflight_watermark = 64;
+  std::size_t cache_capacity = 1024;
+  /// Virtual CPU cost per query class (ms); what-if pays for the
+  /// incremental recompute it performs.
+  double route_service_ms = 0.05;
+  double what_if_service_ms = 0.4;
+  double loss_service_ms = 0.2;
+};
+
+struct ServerStats {
+  std::uint64_t received = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t deadline_rejected = 0;
+  std::uint64_t malformed = 0;
+  std::uint64_t duplicate_replays = 0;  ///< completed-id retries replayed
+  std::uint64_t coalesced = 0;          ///< in-flight-id retries coalesced
+  std::uint64_t resumes = 0;            ///< checkpoints restored into this
+
+  /// Identity fold over everything except `resumes` (a restored server is
+  /// byte-identical to the one that checkpointed; the resume count is the
+  /// one field that legitimately differs).
+  [[nodiscard]] std::uint64_t fingerprint() const;
+};
+
+/// Executes one query against a pinned snapshot.  Pure: the result depends
+/// only on (topology, snapshot, query content) — the property the result
+/// cache and the post-hoc auditor both rest on.
+[[nodiscard]] QueryResult execute_query(const Topology& topo,
+                                        const routing::PinnedState& snapshot,
+                                        const Request& request);
+
+class Server {
+ public:
+  using Reply = std::function<void(const std::string& frame)>;
+
+  Server(Simulator& sim, const Topology& topo, SnapshotRegistry& registry,
+         const ServerOptions& options = {});
+
+  /// Processes one arriving frame at sim.now().  `reply` is invoked (now or
+  /// at query completion in virtual time) with the encoded response frame.
+  void handle_frame(const std::string& frame, Reply reply);
+
+  [[nodiscard]] const ServerStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t in_flight() const { return in_flight_; }
+  [[nodiscard]] ResultCache& cache() { return cache_; }
+  [[nodiscard]] const ResultCache& cache() const { return cache_; }
+
+  /// Fold over every reply frame issued, in issue order.  History, not
+  /// state: excluded from checkpoints, used by the driver's thread-count
+  /// identity checks.
+  [[nodiscard]] std::uint64_t reply_stream_hash() const {
+    return reply_stream_hash_;
+  }
+
+  /// Fingerprint-sealed ASPNSRVE1 checkpoint: stats, snapshot-registry
+  /// anchors, the result cache, and the completed-request dedup table.
+  /// In-flight queries are deliberately excluded — a crash loses them and
+  /// the clients' idempotent retries re-execute them safely.
+  [[nodiscard]] std::string checkpoint() const;
+
+  /// Restores a checkpoint into this server: re-derives the sealed snapshot
+  /// (registry.restore verifies its fingerprint), repopulates cache and
+  /// dedup state, and bumps stats().resumes.  Throws PreconditionError on
+  /// magic/fingerprint/shape mismatch.  In-flight state resets.
+  void restore(const std::string& checkpoint_text);
+
+ private:
+  struct DedupEntry {
+    bool completed = false;
+    Request request;           ///< retained while in flight
+    Response response;         ///< stored once completed
+    std::string frame;         ///< encoded `response`, replayed on retries
+    std::vector<Reply> waiters;
+  };
+
+  void label(Response& response) const;
+  void reply_with(const Response& response, const Reply& reply);
+  void complete(std::uint64_t id);
+  [[nodiscard]] double service_ms(QueryKind kind) const;
+
+  Simulator* sim_;
+  const Topology* topo_;
+  SnapshotRegistry* registry_;
+  ServerOptions options_;
+  ResultCache cache_;
+  CpuQueue cpu_;
+  ServerStats stats_;
+  std::size_t in_flight_ = 0;
+  std::uint64_t reply_stream_hash_ = 0x5E12E5u;
+  std::map<std::uint64_t, DedupEntry> dedup_;
+};
+
+}  // namespace aspen::serve

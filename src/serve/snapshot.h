@@ -1,0 +1,69 @@
+// Warm snapshot registry: the bridge between the live, chaos-mutated fabric
+// and the immutable states queries execute against.
+//
+// The registry owns a routing::DeltaSession kept warm against the live
+// overlay.  seal() syncs the session to the live up/down bits (incremental
+// patch, not a recompute) and pins the result as a copy-on-write
+// PinnedState; between seals, note_live_event() just bumps an epoch
+// counter, which is what makes degraded-mode serving cheap — the server
+// keeps answering from the last sealed snapshot and labels every response
+// with the pin's fingerprint plus how many live events it is behind.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/routing/delta.h"
+#include "src/topo/link_state.h"
+#include "src/topo/topology.h"
+
+namespace aspen::serve {
+
+/// One sealed serving state plus the labeling anchors every response
+/// derived from it carries.
+struct Snapshot {
+  std::shared_ptr<const routing::PinnedState> pinned;
+  std::uint64_t seal_epoch = 0;  ///< live epoch when sealed
+  double seal_time_ms = 0.0;     ///< virtual time when sealed
+};
+
+class SnapshotRegistry {
+ public:
+  SnapshotRegistry(const Topology& topo, DestGranularity granularity,
+                   int threads = 1);
+
+  /// The live fabric changed (one chaos action landed).  Cheap: bumps the
+  /// epoch the staleness bound is computed from; no routing work.
+  void note_live_event();
+
+  /// Syncs the warm session to `live` and seals the result as the current
+  /// snapshot at `now_ms`.  When nothing changed since the last seal the
+  /// pin is shared, not copied.
+  const Snapshot& seal(const LinkStateOverlay& live, double now_ms);
+
+  [[nodiscard]] const Snapshot& current() const;
+  [[nodiscard]] std::uint64_t live_epoch() const { return live_epoch_; }
+  [[nodiscard]] std::uint64_t seals() const { return seals_; }
+
+  /// How many live events the current snapshot is behind.
+  [[nodiscard]] std::uint64_t staleness_events() const;
+
+  /// Kill-and-resume path: re-derives the sealed state from its failed-link
+  /// list against the intact topology, verifies the recomputed fingerprint
+  /// matches the checkpointed one (throws PreconditionError otherwise), and
+  /// reinstates the epoch bookkeeping.
+  void restore(const std::vector<LinkId>& failed,
+               std::uint64_t expected_fingerprint, std::uint64_t seal_epoch,
+               double seal_time_ms, std::uint64_t live_epoch,
+               std::uint64_t seals);
+
+ private:
+  const Topology* topo_;
+  routing::DeltaSession session_;
+  Snapshot current_;
+  std::uint64_t live_epoch_ = 0;
+  std::uint64_t seals_ = 0;
+};
+
+}  // namespace aspen::serve

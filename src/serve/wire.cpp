@@ -1,0 +1,214 @@
+#include "src/serve/wire.h"
+
+#include <bit>
+#include <cstddef>
+
+#include "src/fault/seed.h"
+
+namespace aspen::serve {
+
+namespace {
+
+constexpr std::uint8_t kDirRequest = 'Q';
+constexpr std::uint8_t kDirResponse = 'R';
+
+void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    put_u8(out, static_cast<std::uint8_t>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    put_u8(out, static_cast<std::uint8_t>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void put_f64(std::string& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+/// Bounds-checked little-endian reader over one frame's payload.
+struct Reader {
+  const std::string& data;
+  std::size_t at;
+  bool ok = true;
+
+  std::uint8_t u8() {
+    if (at + 1 > data.size()) {
+      ok = false;
+      return 0;
+    }
+    return static_cast<std::uint8_t>(data[at++]);
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(u8()) << (8 * i);
+    }
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(u8()) << (8 * i);
+    }
+    return v;
+  }
+  double f64() { return std::bit_cast<double>(u64()); }
+};
+
+/// Validates the frame envelope (length prefix, magic, version, direction)
+/// and positions a reader at the first body byte.
+bool open_frame(const std::string& frame, std::uint8_t direction,
+                Reader& reader) {
+  if (frame.size() < 4) return false;
+  Reader prefix{frame, 0};
+  const std::uint32_t length = prefix.u32();
+  if (static_cast<std::size_t>(length) + 4 != frame.size()) return false;
+  reader.at = 4;
+  if (reader.u32() != kWireMagic) return false;
+  if (reader.u8() != kWireVersion) return false;
+  if (reader.u8() != direction) return false;
+  return reader.ok;
+}
+
+/// Stamps the length prefix once the payload is complete.
+void seal_frame(std::string& frame) {
+  const std::uint32_t length = static_cast<std::uint32_t>(frame.size() - 4);
+  for (int i = 0; i < 4; ++i) {
+    frame[static_cast<std::size_t>(i)] =
+        static_cast<char>((length >> (8 * i)) & 0xFFu);
+  }
+}
+
+}  // namespace
+
+const char* to_cstring(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kRoute: return "route";
+    case QueryKind::kWhatIf: return "what_if";
+    case QueryKind::kLoss: return "loss";
+  }
+  return "?";
+}
+
+const char* to_cstring(ResponseStatus status) {
+  switch (status) {
+    case ResponseStatus::kOk: return "ok";
+    case ResponseStatus::kShed: return "shed";
+    case ResponseStatus::kDeadlineExceeded: return "deadline_exceeded";
+    case ResponseStatus::kMalformed: return "malformed";
+  }
+  return "?";
+}
+
+std::string encode_request(const Request& request) {
+  std::string frame(4, '\0');  // length prefix placeholder
+  put_u32(frame, kWireMagic);
+  put_u8(frame, kWireVersion);
+  put_u8(frame, kDirRequest);
+  put_u8(frame, static_cast<std::uint8_t>(request.kind));
+  put_u64(frame, request.id);
+  put_f64(frame, request.deadline_ms);
+  put_u32(frame, request.src);
+  put_u32(frame, request.dst);
+  put_u32(frame, request.flows);
+  put_u64(frame, request.flow_seed);
+  put_u32(frame, static_cast<std::uint32_t>(request.fail_links.size()));
+  for (const std::uint32_t link : request.fail_links) put_u32(frame, link);
+  seal_frame(frame);
+  return frame;
+}
+
+std::string encode_response(const Response& response) {
+  std::string frame(4, '\0');
+  put_u32(frame, kWireMagic);
+  put_u8(frame, kWireVersion);
+  put_u8(frame, kDirResponse);
+  put_u8(frame, static_cast<std::uint8_t>(response.status));
+  put_u64(frame, response.id);
+  put_u64(frame, response.snapshot_digest);
+  put_u32(frame, response.staleness_events);
+  put_f64(frame, response.staleness_ms);
+  put_u8(frame, response.from_cache ? 1 : 0);
+  put_u32(frame, response.result.delivered);
+  put_u32(frame, response.result.hops);
+  put_u32(frame, response.result.switches_changed);
+  put_u32(frame, response.result.dests_lost);
+  put_u32(frame, response.result.flows_delivered);
+  put_u32(frame, response.result.flows_lost);
+  seal_frame(frame);
+  return frame;
+}
+
+bool decode_request(const std::string& frame, Request& out) {
+  Reader r{frame, 0};
+  if (!open_frame(frame, kDirRequest, r)) return false;
+  const std::uint8_t kind = r.u8();
+  if (kind > static_cast<std::uint8_t>(QueryKind::kLoss)) return false;
+  out.kind = static_cast<QueryKind>(kind);
+  out.id = r.u64();
+  out.deadline_ms = r.f64();
+  out.src = r.u32();
+  out.dst = r.u32();
+  out.flows = r.u32();
+  out.flow_seed = r.u64();
+  const std::uint32_t num_links = r.u32();
+  if (!r.ok) return false;
+  // 4 bytes per link id must fit in the remaining payload (guards against
+  // a corrupt count requesting a huge allocation).
+  if (frame.size() - r.at < static_cast<std::size_t>(num_links) * 4) {
+    return false;
+  }
+  out.fail_links.clear();
+  out.fail_links.reserve(num_links);
+  for (std::uint32_t i = 0; i < num_links; ++i) {
+    out.fail_links.push_back(r.u32());
+  }
+  return r.ok && r.at == frame.size();
+}
+
+bool decode_response(const std::string& frame, Response& out) {
+  Reader r{frame, 0};
+  if (!open_frame(frame, kDirResponse, r)) return false;
+  const std::uint8_t status = r.u8();
+  if (status > static_cast<std::uint8_t>(ResponseStatus::kMalformed)) {
+    return false;
+  }
+  out.status = static_cast<ResponseStatus>(status);
+  out.id = r.u64();
+  out.snapshot_digest = r.u64();
+  out.staleness_events = r.u32();
+  out.staleness_ms = r.f64();
+  out.from_cache = r.u8() != 0;
+  out.result.delivered = r.u32();
+  out.result.hops = r.u32();
+  out.result.switches_changed = r.u32();
+  out.result.dests_lost = r.u32();
+  out.result.flows_delivered = r.u32();
+  out.result.flows_lost = r.u32();
+  return r.ok && r.at == frame.size();
+}
+
+std::uint64_t query_fingerprint(const Request& request) {
+  // Chain the sanctioned mixer over the content fields; id and deadline are
+  // deliberately absent so a retried or re-deadlined query hits the cache.
+  std::uint64_t h = 0x5EBAE1u;
+  h = fault::derive_stream_seed(h, static_cast<std::uint64_t>(request.kind));
+  h = fault::derive_stream_seed(h, request.src);
+  h = fault::derive_stream_seed(h, request.dst);
+  h = fault::derive_stream_seed(h, request.flows);
+  h = fault::derive_stream_seed(h, request.flow_seed);
+  h = fault::derive_stream_seed(h, request.fail_links.size());
+  for (const std::uint32_t link : request.fail_links) {
+    h = fault::derive_stream_seed(h, link);
+  }
+  return h;
+}
+
+}  // namespace aspen::serve

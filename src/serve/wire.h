@@ -1,0 +1,102 @@
+// Length-prefixed binary wire protocol for the what-if query service.
+//
+// One frame is a little-endian u32 payload length followed by the payload;
+// payloads open with a magic ("ASRV"), a version byte, and a direction tag,
+// so a truncated, reordered, or corrupted frame decodes to "malformed"
+// instead of a wrong answer.  Requests carry an explicit client-assigned
+// id: the id is the service's idempotency key (retries reuse it, the
+// server replays the stored response instead of re-applying), while
+// query_fingerprint() — which deliberately excludes the id and deadline —
+// is the *content* identity the digest-keyed result cache is keyed on.
+//
+// Doubles cross the wire as IEEE-754 bit patterns, never as decimal text,
+// so encode/decode round-trips are byte-exact — the property the
+// kill-and-resume and golden-trace suites pin.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace aspen::serve {
+
+inline constexpr std::uint32_t kWireMagic = 0x41535256u;  // "ASRV"
+inline constexpr std::uint8_t kWireVersion = 1;
+
+/// The three query classes the service answers.
+enum class QueryKind : std::uint8_t {
+  kRoute = 0,   ///< can src reach dst right now, and over how many hops?
+  kWhatIf = 1,  ///< what breaks if these links die on top of current state?
+  kLoss = 2,    ///< expected delivery for a sampled flow set
+};
+
+[[nodiscard]] const char* to_cstring(QueryKind kind);
+
+struct Request {
+  std::uint64_t id = 0;       ///< idempotency key; retries reuse it
+  QueryKind kind = QueryKind::kRoute;
+  /// Absolute virtual-time deadline (ms); 0 means none.  The server admits
+  /// a query only when its projected completion meets the deadline, and
+  /// asserts the monotone budget at completion.
+  double deadline_ms = 0.0;
+  std::uint32_t src = 0;  ///< source host (kRoute, kWhatIf vantage)
+  std::uint32_t dst = 0;  ///< destination host (kRoute)
+  std::vector<std::uint32_t> fail_links;  ///< kWhatIf hypothetical cuts
+  std::uint32_t flows = 0;                ///< kLoss: flows to sample
+  std::uint64_t flow_seed = 0;  ///< ECMP / flow-sampling stream
+};
+
+enum class ResponseStatus : std::uint8_t {
+  kOk = 0,
+  kShed = 1,              ///< admission control refused: over the watermark
+  kDeadlineExceeded = 2,  ///< projected completion missed the deadline
+  kMalformed = 3,         ///< frame failed to decode
+};
+
+[[nodiscard]] const char* to_cstring(ResponseStatus status);
+
+/// The pure query answer — a function of (snapshot, query content) only,
+/// which is what makes it cacheable under a (digest, fingerprint) key and
+/// re-derivable by the post-hoc auditor.
+struct QueryResult {
+  std::uint32_t delivered = 0;         ///< kRoute: 1 iff the walk delivered
+  std::uint32_t hops = 0;              ///< kRoute: links traversed
+  std::uint32_t switches_changed = 0;  ///< kWhatIf: tables that would move
+  std::uint32_t dests_lost = 0;  ///< kWhatIf: vantage dests newly lost
+  std::uint32_t flows_delivered = 0;  ///< kLoss
+  std::uint32_t flows_lost = 0;       ///< kLoss
+
+  friend bool operator==(const QueryResult&, const QueryResult&) = default;
+};
+
+/// Every response — including shed and deadline rejections — is labeled
+/// with the serving snapshot's digest and a staleness bound (chaos events
+/// and virtual ms since that snapshot was sealed), so a client always
+/// knows *what* answered, even in degraded mode.
+struct Response {
+  std::uint64_t id = 0;
+  ResponseStatus status = ResponseStatus::kOk;
+  std::uint64_t snapshot_digest = 0;
+  std::uint32_t staleness_events = 0;  ///< chaos actions since the seal
+  double staleness_ms = 0.0;           ///< virtual ms since the seal
+  bool from_cache = false;
+  QueryResult result;
+};
+
+/// Encodes one full frame (length prefix included).
+[[nodiscard]] std::string encode_request(const Request& request);
+[[nodiscard]] std::string encode_response(const Response& response);
+
+/// Decodes a full frame.  Returns false on any framing error (short frame,
+/// bad magic/version/direction, truncated payload, trailing bytes); `out`
+/// then holds whatever prefix decoded — possibly the id, for error replies.
+[[nodiscard]] bool decode_request(const std::string& frame, Request& out);
+[[nodiscard]] bool decode_response(const std::string& frame, Response& out);
+
+/// Content identity of a request: everything that determines the answer
+/// (kind, endpoints, hypothetical cuts, flow set) and nothing that does
+/// not (id, deadline).  The result cache keys on (snapshot digest, this).
+[[nodiscard]] std::uint64_t query_fingerprint(const Request& request);
+
+}  // namespace aspen::serve

@@ -1,0 +1,10 @@
+// Corpus fixture: serve-bounded-retry suppression.  The file deliberately
+// lacks cap/deadline identifiers, so the rule fires — and the annotation
+// records why this one spot is exempt.  Lint input only; never compiled.
+
+namespace corpus {
+
+// aspen-lint: allow(serve-bounded-retry) -- one-shot probe: the caller sends at most a single follow-up by construction
+inline double probe_backoff(double rto_ms) { return rto_ms * 2.0; }
+
+}  // namespace corpus

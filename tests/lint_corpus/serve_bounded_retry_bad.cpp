@@ -1,0 +1,19 @@
+// Corpus fixture: serve-bounded-retry true positive.  A retry wait that
+// grows forever — no retry cap, no deadline check — is exactly the shape
+// that turns a shedding server into a retry storm.  Lint input only; never
+// compiled.
+
+namespace corpus {
+
+struct RetryTimer {
+  double wait_ms = 1.0;
+};
+
+// BAD: doubles the wait on every call, and nothing in this file bounds how
+// many times the caller may come back.
+inline double next_backoff(RetryTimer& timer) {
+  timer.wait_ms = timer.wait_ms * 2.0;
+  return timer.wait_ms;
+}
+
+}  // namespace corpus

@@ -187,7 +187,9 @@ INSTANTIATE_TEST_SUITE_P(
                     "emit_outside_orchestrator_bad.cpp",
                     "emit_outside_orchestrator_allowed.cpp"},
         RuleFixture{"float-accum", "survivability_float_accum_bad.cpp",
-                    "survivability_float_accum_allowed.cpp"}),
+                    "survivability_float_accum_allowed.cpp"},
+        RuleFixture{"serve-bounded-retry", "serve_bounded_retry_bad.cpp",
+                    "serve_bounded_retry_allowed.cpp"}),
     [](const ::testing::TestParamInfo<RuleFixture>& param_info) {
       std::string name = param_info.param.rule;
       for (char& c : name) {
@@ -285,6 +287,26 @@ TEST(LintScoping, FloatAccumOnlyGuardsIntegerAccumulatorFiles) {
   const std::string source = read_corpus("survivability_float_accum_bad.cpp");
   EXPECT_FALSE(lint_source("src/analysis/survivability.cpp", source).clean());
   EXPECT_TRUE(lint_source("src/analysis/availability.cpp", source).clean());
+}
+
+TEST(LintScoping, BoundedRetryOnlyGuardsTheServeLayer) {
+  const std::string source = read_corpus("serve_bounded_retry_bad.cpp");
+  EXPECT_FALSE(lint_source("src/serve/client.cpp", source).clean());
+  // The sim-layer ReliableTransport has its own backoff; it predates the
+  // serve contract and is out of this rule's scope.
+  EXPECT_TRUE(lint_source("src/sim/channel.cpp", source).clean());
+}
+
+TEST(LintRules, BoundedRetryEvidenceInTheSameFilePasses) {
+  const LintReport report = lint_source(
+      "src/serve/retry.cpp",
+      "inline constexpr int kMaxRetries = 5;\n"
+      "bool should_retry(int attempts, double now_ms, double deadline_ms,\n"
+      "                  double backoff_ms) {\n"
+      "  if (attempts >= kMaxRetries) return false;\n"
+      "  return deadline_ms <= 0.0 || now_ms + backoff_ms < deadline_ms;\n"
+      "}\n");
+  EXPECT_TRUE(report.clean()) << report_to_text(report);
 }
 
 // ---- engine odds and ends ----------------------------------------------

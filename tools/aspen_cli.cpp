@@ -17,9 +17,13 @@
 //   aspen audit <n> <k> <ftv> <links.csv>         validate external wiring
 //   aspen trace <n> <k> <ftv> <lsp|anp> [single|chaos [events]]
 //                                                 canonical traced scenario
+//   aspen serve <n> <k> <ftv> <lsp|anp|anp+> [queries [drop [seed [deadline]]]]
+//                                                 what-if query service under
+//                                                 live chaos, audited
 //
 // Every subcommand is a thin veneer over the public library API; exit code
 // 0 on success, 1 on bad usage, 2 when a check fails.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -42,6 +46,7 @@
 #include "src/aspen/generator.h"
 #include "src/aspen/recommend.h"
 #include "src/proto/experiment.h"
+#include "src/serve/driver.h"
 #include "src/labels/labels.h"
 #include "src/proto/inflight.h"
 #include "src/traffic/patterns.h"
@@ -130,6 +135,8 @@ int usage() {
       "  aspen label <n> <k> <ftv> [host]\n"
       "  aspen audit <n> <k> <ftv> <links.csv>\n"
       "  aspen trace <n> <k> <ftv> <lsp|anp> [single|chaos [events]]\n"
+      "  aspen serve <n> <k> <ftv> <lsp|anp|anp+> [queries [drop_rate "
+      "[seed [deadline_ms]]]]\n"
       "ftv syntax: \"<a,b,c>\" or \"a,b,c\" (top level first)\n"
       "global flags (any position):\n"
       "  --audit=<off|basic|paranoid>   runtime invariant-audit level;\n"
@@ -794,6 +801,95 @@ int cmd_trace(const std::vector<std::string>& args) {
   return rc;
 }
 
+// Serve-under-chaos campaign: a fleet of retrying clients fires route /
+// what-if / loss queries over lossy channels while a chaos campaign
+// mutates the fabric; every answer is labeled with its snapshot digest and
+// staleness, and the post-hoc auditor re-checks each one against ground
+// truth.  Exit 0 iff the report passed (zero audit mismatches, chaos
+// invariants held, every admitted query completed).
+int cmd_serve(const std::vector<std::string>& args) {
+  if (args.size() < 4 || args.size() > 8) return usage();
+  const Topology topo = Topology::build(
+      generate_tree(std::stoi(args[0]), std::stoi(args[1]),
+                    FaultToleranceVector::parse(args[2])));
+  serve::ServeChaosOptions options;
+  ProtocolKind kind;
+  if (args[3] == "lsp") {
+    kind = ProtocolKind::kLsp;
+  } else if (args[3] == "anp") {
+    kind = ProtocolKind::kAnp;
+  } else if (args[3] == "anp+") {
+    kind = ProtocolKind::kAnp;
+    options.chaos.anp.notify_children = true;
+  } else {
+    return usage();
+  }
+  if (args.size() >= 5) options.num_queries = std::stoi(args[4]);
+  if (args.size() >= 6) {
+    options.client.channel.drop_rate = std::stod(args[5]);
+    options.client.channel.duplicate_rate =
+        options.client.channel.drop_rate / 4.0;
+    options.client.channel.jitter_ms = 0.3;
+  }
+  if (args.size() >= 7) options.chaos.seed = std::stoull(args[6]);
+  if (g_seed) options.chaos.seed = *g_seed;
+  if (args.size() >= 8) options.deadline_ms = std::stod(args[7]);
+  options.chaos.num_events = std::max(4, options.num_queries / 25);
+  options.chaos.check_flows = 64;
+  options.action_every_ms = static_cast<double>(options.num_queries) *
+                            options.query_interarrival_ms /
+                            static_cast<double>(options.chaos.num_events + 1);
+  options.checkpoint_every = std::max(1, options.num_queries / 5);
+
+  const serve::ServeChaosReport report =
+      serve::run_serve_under_chaos(kind, topo, options);
+
+  std::printf("%s, protocol %s: %d queries / %d clients under a %d-event "
+              "chaos campaign, seed %lu, drop rate %.0f%%\n",
+              topo.describe().c_str(), args[3].c_str(), options.num_queries,
+              options.num_clients, options.chaos.num_events,
+              static_cast<unsigned long>(options.chaos.seed),
+              100.0 * options.client.channel.drop_rate);
+
+  TextTable table({"metric", "value"});
+  table.add_row({"answered / gave up",
+                 std::to_string(report.answered) + " / " +
+                     std::to_string(report.gave_up)});
+  table.add_row({"shed / deadline-rejected",
+                 std::to_string(report.server.shed) + " / " +
+                     std::to_string(report.server.deadline_rejected)});
+  table.add_row({"retransmits / duplicate replays / coalesced",
+                 std::to_string(report.clients.retransmits) + " / " +
+                     std::to_string(report.server.duplicate_replays) +
+                     " / " + std::to_string(report.server.coalesced)});
+  table.add_row({"cache hits / misses / evictions",
+                 std::to_string(report.cache_hits) + " / " +
+                     std::to_string(report.cache_misses) + " / " +
+                     std::to_string(report.cache_evictions)});
+  table.add_row({"snapshot seals / checkpoints",
+                 std::to_string(report.seals) + " / " +
+                     std::to_string(report.checkpoints_cut)});
+  if (report.staleness_ms.count() > 0) {
+    table.add_row({"staleness ms (avg/max)",
+                   format_double(report.staleness_ms.mean(), 2) + " / " +
+                       format_double(report.staleness_ms.max(), 2)});
+  }
+  table.add_row({"labels audited", std::to_string(report.audited)});
+  table.add_row({"audit mismatches",
+                 std::to_string(report.audit_mismatches)});
+  table.add_row({"ground-truth violations",
+                 std::to_string(report.chaos.ground_truth_violations)});
+  table.add_row({"tables restored",
+                 report.chaos.tables_restored ? "yes" : "NO"});
+  table.add_row({"report fingerprint",
+                 std::to_string(report.fingerprint())});
+  std::printf("%s", table.to_string().c_str());
+  for (const std::string& message : report.audit_messages) {
+    std::printf("  audit: %s\n", message.c_str());
+  }
+  return report.passed() ? 0 : 2;
+}
+
 int run_command(const std::string& command,
                 const std::vector<std::string>& args) {
   if (command == "generate") return cmd_generate(args);
@@ -811,6 +907,7 @@ int run_command(const std::string& command,
   if (command == "label") return cmd_label(args);
   if (command == "audit") return cmd_audit(args);
   if (command == "trace") return cmd_trace(args);
+  if (command == "serve") return cmd_serve(args);
   return usage();
 }
 
