@@ -10,19 +10,97 @@
 // buys when a link thrashes.
 //
 // Output is JSON (one document on stdout), bench_chaos_loss.cpp idiom.
+// The trailing "overlay_lookup" section is a memory-layout micro-benchmark:
+// the flat LinkStateOverlay (liveness bitset + degraded bitset + sorted
+// payload vectors) against the std::map layout it replaced, probed the way
+// the data plane probes it — loss_now() on every link — at two gray
+// densities.
+#include <chrono>
 #include <cstdio>
+#include <map>
 #include <vector>
 
 #include "src/obs/obs.h"
 #include "src/aspen/generator.h"
 #include "src/fault/detector.h"
 #include "src/proto/experiment.h"
+#include "src/topo/link_state.h"
 
 namespace {
 
 using namespace aspen;
 
 constexpr SimTime kSweepHorizonMs = 10'000.0;
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             // aspen-lint: allow(wall-clock) -- benchmark harness timing; measures host speed and never feeds a simulated result
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Reference overlay from before the flat layout: one ordered map keyed by
+/// link id, absent == clean.  Probing it costs a pointer chase per packet.
+double map_loss_now(const std::map<std::uint32_t, LinkHealthState>& states,
+                    std::uint32_t id) {
+  const auto it = states.find(id);
+  if (it == states.end()) return 0.0;
+  if (it->second.health == LinkHealth::kDown) return 1.0;
+  if (it->second.health == LinkHealth::kGray) return it->second.loss_rate;
+  return 0.0;
+}
+
+void print_overlay_lookup(const Topology& topo, double gray_fraction,
+                          bool trailing_comma) {
+  LinkStateOverlay overlay(topo);
+  std::map<std::uint32_t, LinkHealthState> reference;
+  const std::uint32_t links = static_cast<std::uint32_t>(topo.num_links());
+  const std::uint32_t stride =
+      static_cast<std::uint32_t>(1.0 / gray_fraction);
+  for (std::uint32_t id = 0; id < links; id += stride) {
+    overlay.set_gray(LinkId{id}, 0.3);
+    LinkHealthState s;
+    s.health = LinkHealth::kGray;
+    s.loss_rate = 0.3;
+    reference.emplace(id, s);
+  }
+
+  constexpr int kIters = 200;
+  double flat_sum = 0.0;
+  const double t_flat = now_ms();
+  for (int r = 0; r < kIters; ++r) {
+    for (std::uint32_t id = 0; id < links; ++id) {
+      flat_sum += overlay.loss_now(LinkId{id}, 5.0);
+    }
+  }
+  const double flat_ms = now_ms() - t_flat;
+
+  double map_sum = 0.0;
+  const double t_map = now_ms();
+  for (int r = 0; r < kIters; ++r) {
+    for (std::uint32_t id = 0; id < links; ++id) {
+      map_sum += map_loss_now(reference, id);
+    }
+  }
+  const double map_ms = now_ms() - t_map;
+
+  const double probes =
+      static_cast<double>(links) * static_cast<double>(kIters);
+  std::printf("    {\n");
+  std::printf("      \"gray_fraction\": %.2f,\n", gray_fraction);
+  std::printf("      \"links\": %u,\n", links);
+  std::printf("      \"degraded\": %llu,\n",
+              static_cast<unsigned long long>(overlay.num_degraded()));
+  std::printf("      \"probes\": %.0f,\n", probes);
+  std::printf("      \"flat_ms\": %.3f,\n", flat_ms);
+  std::printf("      \"map_ms\": %.3f,\n", map_ms);
+  std::printf("      \"flat_probes_per_s\": %.0f,\n",
+              probes / (flat_ms / 1000.0));
+  std::printf("      \"speedup_vs_map\": %.2f,\n", map_ms / flat_ms);
+  std::printf("      \"sums_agree\": %s\n",
+              flat_sum == map_sum ? "true" : "false");
+  std::printf("    }%s\n", trailing_comma ? "," : "");
+}
 
 void print_sweep_point(LinkId link, const Topology& topo, double interval,
                        double loss, bool trailing_comma) {
@@ -149,6 +227,14 @@ int main() {
   print_flap(ProtocolKind::kAnp, topo, link, /*damped=*/false, true);
   print_flap(ProtocolKind::kLsp, topo, link, /*damped=*/true, true);
   print_flap(ProtocolKind::kLsp, topo, link, /*damped=*/false, false);
+  std::printf("  ],\n");
+
+  // Overlay layout micro-benchmark on a tree big enough that the link
+  // array outruns L2: n=4, k=16 carries 32k links.
+  const Topology big = Topology::build(fat_tree(4, 16));
+  std::printf("  \"overlay_lookup\": [\n");
+  print_overlay_lookup(big, 0.1, true);
+  print_overlay_lookup(big, 0.5, false);
   std::printf("  ],\n");
   std::printf("  \"metrics\":\n%s\n", obs::metrics().to_json(2).c_str());
   std::printf("}\n");

@@ -16,9 +16,17 @@
 //
 // Output is JSON (one document on stdout), bench_detection.cpp idiom.
 // `--quick` shrinks the config list for CI smoke runs.
+//
+// `--mega` switches to Experiment X14: one n=5, k=48-class tree routed
+// entirely in RAM (FTV <0,0,7,23>; `--mega --quick` shrinks to
+// <0,0,23,23> for CI).  At this scale a deep table compare is itself a
+// multi-second pass, so identity checks run on the per-switch digests,
+// and the document reports peak RSS (VmHWM) alongside wall times.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -67,6 +75,91 @@ bool identical(const RoutingState& a, const RoutingState& b) {
   return a.tables == b.tables && a.digests == b.digests;
 }
 
+/// Peak resident set (VmHWM) in KiB, or -1 if /proc is unavailable.
+long peak_rss_kb() {
+  std::ifstream in("/proc/self/status");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) return std::atol(line.c_str() + 6);
+  }
+  return -1;
+}
+
+void run_mega(bool quick, int reps) {
+  const Config cfg = quick
+                         ? Config{5, 48, "<0,0,23,23>", {0, 0, 23, 23}}
+                         : Config{5, 48, "<0,0,7,23>", {0, 0, 7, 23}};
+  const double t_build = now_ms();
+  const Topology topo = Topology::build(
+      generate_tree(cfg.n, cfg.k, FaultToleranceVector(cfg.ftv)));
+  const double build_ms = now_ms() - t_build;
+  const LinkStateOverlay intact(topo);
+
+  std::printf("  \"config\": {\"n\": %d, \"k\": %d, \"ftv\": \"%s\"},\n",
+              cfg.n, cfg.k, cfg.ftv_text);
+  std::printf("  \"switches\": %llu, \"links\": %llu, \"dests\": %llu,\n",
+              static_cast<unsigned long long>(topo.num_switches()),
+              static_cast<unsigned long long>(topo.num_links()),
+              static_cast<unsigned long long>(topo.params().S));
+  std::printf("  \"build_ms\": %.1f,\n", build_ms);
+
+  RoutingState state;
+  const double full_ms = time_best_ms(reps, [&] {
+    state = compute_updown_routes(topo, intact, DestGranularity::kEdge, 1);
+  });
+
+  // Single-link churn against the freshly failed overlay; identity by
+  // digest (a deep == at this scale costs as much as the patch itself).
+  const std::span<const LinkId> top = topo.links_at_level(topo.levels());
+  const LinkId churn = top[top.size() / 2];
+  LinkStateOverlay failed(topo);
+  failed.fail(churn);
+  const LinkId changed[] = {churn};
+
+  // At this scale even the table *copy* is a hundreds-of-ms operation, so
+  // the patch is timed alone (copy outside the timed region, one rep).
+  RoutingState patched = state;
+  RecomputeStats stats{};
+  double inc_fail_ms = 0.0;
+  double inc_heal_ms = 0.0;
+  {
+    const obs::PauseObs quiet;
+    const double t_fail = now_ms();
+    stats = recompute_updown_routes(topo, failed, patched, changed, 1);
+    inc_fail_ms = now_ms() - t_fail;
+  }
+  const RoutingState fresh_failed =
+      compute_updown_routes(topo, failed, DestGranularity::kEdge, 1);
+  const bool fail_identical = tables_match_by_digest(patched, fresh_failed);
+
+  RoutingState healed = patched;
+  {
+    const obs::PauseObs quiet;
+    const double t_heal = now_ms();
+    (void)recompute_updown_routes(topo, intact, healed, changed, 1);
+    inc_heal_ms = now_ms() - t_heal;
+  }
+  const bool heal_identical = tables_match_by_digest(healed, state);
+
+  std::printf("  \"full_recompute_ms\": %.1f,\n", full_ms);
+  std::printf("  \"incremental_fail_ms\": %.2f,\n", inc_fail_ms);
+  std::printf("  \"incremental_heal_ms\": %.2f,\n", inc_heal_ms);
+  std::printf("  \"rows\": {\"total\": %llu, \"full\": %llu, "
+              "\"escalated\": %llu, \"patched_switches\": %llu},\n",
+              static_cast<unsigned long long>(stats.total_dests),
+              static_cast<unsigned long long>(stats.full_rows),
+              static_cast<unsigned long long>(stats.escalated_rows),
+              static_cast<unsigned long long>(stats.patched_switches));
+  std::printf("  \"fail_identical_by_digest\": %s,\n",
+              fail_identical ? "true" : "false");
+  std::printf("  \"heal_identical_by_digest\": %s,\n",
+              heal_identical ? "true" : "false");
+  std::printf("  \"state_fingerprint\": \"0x%016llx\",\n",
+              static_cast<unsigned long long>(state_fingerprint(state)));
+  std::printf("  \"peak_rss_mb\": %.1f,\n",
+              static_cast<double>(peak_rss_kb()) / 1024.0);
+}
+
 void run_config(const Config& cfg, int reps, bool trailing_comma) {
   const Topology topo =
       Topology::build(generate_tree(cfg.n, cfg.k, FaultToleranceVector(cfg.ftv)));
@@ -108,7 +201,7 @@ void run_config(const Config& cfg, int reps, bool trailing_comma) {
   // Axis 3: single-link churn.  Fail one top-level link, patch the rows it
   // dirties, heal it, patch back — versus a from-scratch recompute of each
   // overlay.  Patched states are verified identical to fresh ones.
-  const std::vector<LinkId> top = topo.links_at_level(topo.levels());
+  const std::span<const LinkId> top = topo.links_at_level(topo.levels());
   const LinkId churn = top[top.size() / 2];
   LinkStateOverlay failed(topo);
   failed.fail(churn);
@@ -168,8 +261,21 @@ int main(int argc, char** argv) {
   aspen::obs::configure(obs_config);
 
   bool quick = false;
+  bool mega = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--mega") == 0) mega = true;
+  }
+
+  if (mega) {
+    std::printf("{\n");
+    std::printf("  \"experiment\": \"routing_scale_mega\",\n");
+    std::printf("  \"quick\": %s,\n", quick ? "true" : "false");
+    run_mega(quick, quick ? 1 : 2);
+    std::printf("  \"metrics\":\n%s\n",
+                aspen::obs::metrics().to_json(2).c_str());
+    std::printf("}\n");
+    return 0;
   }
 
   std::vector<Config> configs;

@@ -45,7 +45,7 @@ std::vector<LinkId> random_inter_switch_links(const Topology& topo,
                                               std::size_t count, Rng& rng) {
   std::vector<LinkId> pool;
   for (Level i = 2; i <= topo.levels(); ++i) {
-    const std::vector<LinkId> at_level = topo.links_at_level(i);
+    const std::span<const LinkId> at_level = topo.links_at_level(i);
     pool.insert(pool.end(), at_level.begin(), at_level.end());
   }
   ASPEN_REQUIRE(count <= pool.size(), "asked for ", count, " links, only ",
@@ -61,7 +61,7 @@ std::vector<LinkId> random_inter_switch_links(const Topology& topo,
 std::vector<LinkId> far_apart_pair(const Topology& topo, Level level,
                                    Rng& rng) {
   ASPEN_REQUIRE(level >= 2 && level <= topo.levels(), "level out of range");
-  const std::vector<LinkId> at_level = topo.links_at_level(level);
+  const std::span<const LinkId> at_level = topo.links_at_level(level);
   ASPEN_REQUIRE(at_level.size() >= 2, "level has fewer than two links");
 
   const LinkId first = at_level[rng.index(at_level.size())];

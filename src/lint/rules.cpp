@@ -58,6 +58,10 @@ const std::vector<RuleInfo>& catalogue() {
        "a serve-layer backoff without same-file retry-cap and deadline "
        "evidence — an unbounded retry loop against a shedding server is a "
        "retry-storm generator"},
+      {"hot-path-nested-container", Severity::kError,
+       "vector<vector<...>> or a node-based associative-container member "
+       "in a src/topo/ or src/routing/ header — hot-path rows live in "
+       "flat arenas (DESIGN.md \"memory layout\")"},
       // Meta findings (emitted by lint.cpp, not the token rules):
       {"bad-suppression", Severity::kError,
        "aspen-lint: allow(...) annotation without a '-- reason' rationale "
@@ -541,6 +545,73 @@ void rule_serve_bounded_retry(const Ctx& ctx) {
           "kMaxClientRetries and the query's deadline");
 }
 
+// ---------------------------------------------------------------------
+// hot-path-nested-container: the topology and routing headers declare the
+// memory-layout hot path (DESIGN.md "memory layout") — adjacency is CSR,
+// forwarding rows live in one arena.  A vector<vector<...>> anywhere in
+// such a header, or an associative-container *member* (trailing-'_'
+// declarator), reintroduces an allocation per row and a pointer chase per
+// probe — exactly the layout the arena refactor removed.  Scoped to
+// headers: persistent state shapes are declared there; .cpp-local scratch
+// maps are fine.
+// ---------------------------------------------------------------------
+void rule_hot_path_nested_container(const Ctx& ctx) {
+  const bool corpus = contains_ci(ctx.path, "hot_path_nested_container");
+  if (!corpus) {
+    const bool hot_header =
+        (path_has_prefix(ctx.path, "src/topo/") ||
+         path_has_prefix(ctx.path, "src/routing/")) &&
+        ctx.path.size() > 2 &&
+        ctx.path.compare(ctx.path.size() - 2, 2, ".h") == 0;
+    if (!hot_header) return;
+  }
+  static constexpr std::array<const char*, 4> kAssociative = {
+      "map", "unordered_map", "multimap", "unordered_multimap"};
+  for (std::size_t i = 0; i + 1 < ctx.code.size(); ++i) {
+    const Token& t = ctx.code[i];
+    if (t.kind != TokKind::kIdentifier || ctx.member_access(i)) continue;
+
+    if (t.text == "vector" && ctx.is(i + 1, "<")) {
+      std::size_t j = i + 2;
+      if (ctx.ident(j, "std") && ctx.is(j + 1, "::")) j += 2;
+      if (ctx.ident(j, "vector") && ctx.is(j + 1, "<")) {
+        ctx.add("hot-path-nested-container", t.line,
+                "vector<vector<...>> stores each row behind its own "
+                "allocation; use a flat pool with (offset, count) rows");
+      }
+      continue;
+    }
+
+    if (!any_of_idents(t, kAssociative) || !ctx.is(i + 1, "<")) continue;
+    // Find the close of the template argument list, then the declarator.
+    int depth = 0;
+    std::size_t close = ctx.code.size();
+    for (std::size_t j = i + 1; j < ctx.code.size(); ++j) {
+      const std::string& s = ctx.code[j].text;
+      if (ctx.code[j].kind != TokKind::kPunct) continue;
+      if (s == "<") ++depth;
+      if (s == "(" || s == "[") {  // skip nested brackets wholesale
+        j = ctx.match(j, s == "(" ? "(" : "[", s == "(" ? ")" : "]") - 1;
+        continue;
+      }
+      if (s == ">" && --depth == 0) {
+        close = j;
+        break;
+      }
+    }
+    if (close == ctx.code.size()) continue;  // unbalanced; not a decl
+    std::size_t j = close + 1;
+    while (ctx.is(j, "&") || ctx.is(j, "*") || ctx.ident(j, "const")) ++j;
+    if (j < ctx.code.size() && ctx.code[j].kind == TokKind::kIdentifier &&
+        !ctx.code[j].text.empty() && ctx.code[j].text.back() == '_') {
+      ctx.add("hot-path-nested-container", t.line,
+              "member '" + ctx.code[j].text + "' is a node-based " + t.text +
+              "; use a membership bitset plus sorted parallel vectors "
+              "(the LinkStateOverlay degraded-set layout)");
+    }
+  }
+}
+
 }  // namespace
 
 const std::vector<RuleInfo>& rule_catalogue() { return catalogue(); }
@@ -570,6 +641,7 @@ void run_rules(const std::string& path, const std::vector<Token>& tokens,
   rule_emit_in_parallel(ctx);
   rule_float_accum(ctx);
   rule_serve_bounded_retry(ctx);
+  rule_hot_path_nested_container(ctx);
 }
 
 }  // namespace aspen::lint

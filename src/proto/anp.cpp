@@ -14,29 +14,21 @@ namespace aspen {
 
 namespace {
 
-// Keeps ECMP sets sorted by link id (the order route computation emits), so
-// fail-then-recover restores byte-identical tables.
-void insert_sorted(std::vector<Topology::Neighbor>& hops,
-                   const Topology::Neighbor& nb) {
-  const auto pos = std::ranges::lower_bound(
-      hops, nb.link.value(), {},
-      [](const Topology::Neighbor& h) { return h.link.value(); });
-  if (pos != hops.end() && pos->link == nb.link) return;  // already present
-  hops.insert(pos, nb);
-}
-
 // Rewrites one forwarding entry while keeping the engine's per-switch
 // digest in sync (fwd_table.h): digest ^= old_row_hash ^ new_row_hash.
 // Every ANP table mutation goes through here so digest short-circuits
 // (switches_with_changed_tables, chaos restoration checks) stay exact.
+// `fn` mutates the entry's pool slice through the owning RoutingTables
+// (erase_hop_at / insert_hop_by_link / erase_hops_if).
 template <typename Fn>
-void mutate_entry(RoutingState& tables, SwitchId s, std::uint64_t e, Fn&& fn) {
-  ForwardingTable::Entry& entry = tables.table(s).entry(e);
-  const bool keep = tables.has_digests();
-  const std::uint64_t before = keep ? hash_fwd_entry(e, entry) : 0;
+void mutate_entry(RoutingState& state, SwitchId s, std::uint64_t e, Fn&& fn) {
+  RoutingTables& tables = state.tables;
+  RoutingTables::Entry& entry = tables.entry_at(s.value(), e);
+  const bool keep = state.has_digests();
+  const std::uint64_t before = keep ? hash_fwd_entry(e, tables, entry) : 0;
   fn(entry);
   if (keep) {
-    tables.digests[s.value()] ^= before ^ hash_fwd_entry(e, entry);
+    state.digests[s.value()] ^= before ^ hash_fwd_entry(e, tables, entry);
   }
 }
 
@@ -191,13 +183,14 @@ void AnpSimulation::handle_notification(RunContext& ctx, SwitchId at,
     for (const DestIndex e : dests) {
       std::vector<Topology::Neighbor> removed;
       bool now_empty = false;
-      mutate_entry(tables_, at, e, [&](ForwardingTable::Entry& entry) {
-        std::erase_if(entry.next_hops, [&](const Topology::Neighbor& nb) {
-          if (nb.node != neighbor_node) return false;
-          removed.push_back(nb);
-          return true;
-        });
-        now_empty = entry.next_hops.empty();
+      mutate_entry(tables_, at, e, [&](RoutingTables::Entry& entry) {
+        tables_.tables.erase_hops_if(
+            entry, [&](const Topology::Neighbor& nb) {
+              if (nb.node != neighbor_node) return false;
+              removed.push_back(nb);
+              return true;
+            });
+        now_empty = entry.hop_count == 0;
       });
       if (removed.empty()) continue;
       changed = true;
@@ -216,12 +209,12 @@ void AnpSimulation::handle_notification(RunContext& ctx, SwitchId at,
       const auto log_it = nb_it->second.find(e);
       if (log_it == nb_it->second.end()) continue;
       bool was_empty = false;
-      mutate_entry(tables_, at, e, [&](ForwardingTable::Entry& entry) {
-        was_empty = entry.next_hops.empty();
+      mutate_entry(tables_, at, e, [&](RoutingTables::Entry& entry) {
+        was_empty = entry.hop_count == 0;
         for (const Topology::Neighbor& nb : log_it->second) {
-          insert_sorted(entry.next_hops, nb);
+          tables_.tables.insert_hop_by_link(entry, nb);
         }
-        ASPEN_ASSERT(!entry.next_hops.empty(),
+        ASPEN_ASSERT(entry.hop_count != 0,
                      "replaying a withdrawal log restores at least one hop");
       });
       nb_it->second.erase(log_it);
@@ -247,16 +240,18 @@ void AnpSimulation::detect_failure(RunContext& ctx, SwitchId s, LinkId link) {
   bool changed = false;
   std::vector<DestIndex> lost;
   for (DestIndex e = 0; e < tables_.num_dests(); ++e) {
-    ForwardingTable::Entry& probe = tables_.table(s).entry(e);
+    const RoutingTables::Entry& probe = tables_.tables.entry_at(s.value(), e);
+    const std::span<const Topology::Neighbor> phops =
+        tables_.tables.hops(probe);
     const auto it = std::ranges::find_if(
-        probe.next_hops,
-        [&](const Topology::Neighbor& nb) { return nb.link == link; });
-    if (it == probe.next_hops.end()) continue;
+        phops, [&](const Topology::Neighbor& nb) { return nb.link == link; });
+    if (it == phops.end()) continue;
+    const auto index = static_cast<std::uint64_t>(it - phops.begin());
     st.removed_by_link[link.value()][e] = *it;
     bool now_empty = false;
-    mutate_entry(tables_, s, e, [&](ForwardingTable::Entry& entry) {
-      entry.next_hops.erase(it);
-      now_empty = entry.next_hops.empty();
+    mutate_entry(tables_, s, e, [&](RoutingTables::Entry& entry) {
+      tables_.tables.erase_hop_at(entry, index);
+      now_empty = entry.hop_count == 0;
     });
     changed = true;
     if (now_empty && !st.announced_lost[e]) {
@@ -280,9 +275,9 @@ void AnpSimulation::detect_recovery(RunContext& ctx, SwitchId s, LinkId link) {
     std::vector<DestIndex> restored;
     for (const auto& [e, nb] : link_it->second) {
       bool was_empty = false;
-      mutate_entry(tables_, s, e, [&](ForwardingTable::Entry& entry) {
-        was_empty = entry.next_hops.empty();
-        insert_sorted(entry.next_hops, nb);
+      mutate_entry(tables_, s, e, [&](RoutingTables::Entry& entry) {
+        was_empty = entry.hop_count == 0;
+        tables_.tables.insert_hop_by_link(entry, nb);
       });
       changed = true;
       if (was_empty && st.announced_lost[e]) {
@@ -500,11 +495,11 @@ AuditReport AnpSimulation::audit() const {
     }
     for (DestIndex e = 0; e < tables_.num_dests(); ++e) {
       if (st.announced_lost[e] != 0 &&
-          !tables_.table(s).entry(e).next_hops.empty()) {
+          tables_.table(s).entry(e).hop_count != 0) {
         std::ostringstream os;
         os << to_string(s) << " announced dest " << e
            << " lost but still holds "
-           << tables_.table(s).entry(e).next_hops.size() << " next hop(s)";
+           << tables_.table(s).entry(e).hop_count << " next hop(s)";
         report.add(AuditCode::kAnnouncedLostMismatch, os.str());
       }
     }

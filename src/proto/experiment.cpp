@@ -60,7 +60,8 @@ SweepResult sweep_link_failures(ProtocolKind kind, const Topology& topo,
   for (const Level level : levels) {
     ASPEN_REQUIRE(level >= 1 && level <= topo.levels(),
                   "sweep level out of range: ", level);
-    std::vector<LinkId> at_level = topo.links_at_level(level);
+    const std::span<const LinkId> span = topo.links_at_level(level);
+    std::vector<LinkId> at_level(span.begin(), span.end());
     if (options.max_links_per_level > 0 &&
         at_level.size() > options.max_links_per_level) {
       rng.shuffle(at_level);

@@ -108,7 +108,8 @@ WalkResult walk_during_convergence(const Topology& topo,
     const bool updated =
         flipped_at != FailureReport::kNoChange && now >= flipped_at;
     const RoutingState& view = updated ? after : before;
-    const auto& hops = view.table(at).entry(view.dest_index(dst)).next_hops;
+    const std::span<const Topology::Neighbor> hops =
+        view.table(at).next_hops(view.dest_index(dst));
     if (hops.empty()) {
       result.status = WalkStatus::kNoRoute;
       result.dropped_at = at;

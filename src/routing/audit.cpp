@@ -50,20 +50,19 @@ void check_entries(const Topology& topo, const RoutingState& state,
     const SwitchId s{v};
     if (!is_alive(options, s)) continue;
     const NodeId self = topo.node_of(s);
-    const ForwardingTable& table = state.table(s);
+    const RoutingTables::TableView table = state.table(s);
     for (std::uint64_t d = 0; d < table.size(); ++d) {
-      const ForwardingTable::Entry& entry = table.entry(d);
+      const RoutingTables::Entry& entry = table.entry(d);
       // ANP withdraws hops without recomputing costs, so a non-empty hop
       // set with a stale cost is legal; hops surviving on an entry already
       // marked unreachable are not.
-      if (entry.cost == ForwardingTable::Entry::kUnreachable &&
-          !entry.next_hops.empty()) {
+      if (entry.cost == RoutingTables::kUnreachable && entry.hop_count != 0) {
         std::ostringstream os;
         os << to_string(s) << " dest " << d << ": cost says unreachable but "
-           << entry.next_hops.size() << " next hop(s) remain";
+           << entry.hop_count << " next hop(s) remain";
         report.add(AuditCode::kCostInconsistency, os.str());
       }
-      for (const Topology::Neighbor& nb : entry.next_hops) {
+      for (const Topology::Neighbor& nb : table.next_hops(d)) {
         if (!nb.link.valid() || nb.link.value() >= topo.num_links()) {
           std::ostringstream os;
           os << to_string(s) << " dest " << d << ": next hop carries invalid "
@@ -71,7 +70,7 @@ void check_entries(const Topology& topo, const RoutingState& state,
           report.add(AuditCode::kNextHopLink, os.str());
           continue;
         }
-        const Topology::LinkRec& rec = topo.link(nb.link);
+        const Topology::LinkRec rec = topo.link(nb.link);
         const bool joins = (rec.upper == self && rec.lower == nb.node) ||
                            (rec.lower == self && rec.upper == nb.node);
         if (!joins) {
@@ -155,7 +154,7 @@ class DestWalker {
 
     bool clean = true;
     const Level here = levels_[s.value()];
-    for (const Topology::Neighbor& nb : state_.table(s).entry(dest_).next_hops) {
+    for (const Topology::Neighbor& nb : state_.table(s).next_hops(dest_)) {
       if (nb.node == dest_node_) continue;  // delivered to the host itself
       if (!topo_.is_switch_node(nb.node)) {
         std::ostringstream os;
@@ -199,9 +198,9 @@ void check_reachability(const Topology& topo, const RoutingState& state,
   for (std::uint32_t v = 0; v < topo.num_switches(); ++v) {
     const SwitchId s{v};
     if (!is_alive(options, s)) continue;
-    const ForwardingTable& table = state.table(s);
+    const RoutingTables::TableView table = state.table(s);
     for (std::uint64_t d = 0; d < table.size(); ++d) {
-      const ForwardingTable::Entry& entry = table.entry(d);
+      const RoutingTables::Entry& entry = table.entry(d);
       if (entry.reachable()) continue;
       // The kEdge self-entry legitimately has no hops (local delivery).
       if (state.granularity == DestGranularity::kEdge &&

@@ -103,9 +103,9 @@ std::shared_ptr<const PinnedState> DeltaSession::pin() {
 void DeltaSession::corrupt_for_test() {
   ASPEN_REQUIRE(!state_.tables.empty() && state_.num_dests() > 0,
                 "nothing to corrupt");
-  ForwardingTable::Entry& entry = state_.tables.front().entry(0);
+  RoutingTables::Entry& entry = state_.tables.front().entry(0);
   entry.cost = entry.cost == 7 ? 8 : 7;
-  entry.next_hops.clear();
+  state_.tables.clear_hops(entry);
 }
 
 }  // namespace aspen::routing

@@ -45,7 +45,9 @@ bool link_live(const LinkStateOverlay& actual, LinkId link,
 
 std::vector<Topology::Neighbor> TableRouter::next_hops(SwitchId at,
                                                        HostId dst) const {
-  return state_->table(at).entry(state_->dest_index(dst)).next_hops;
+  const std::span<const Topology::Neighbor> hops =
+      state_->table(at).next_hops(state_->dest_index(dst));
+  return {hops.begin(), hops.end()};
 }
 
 StructuralRouter::StructuralRouter(const Topology& topo) : topo_(&topo) {

@@ -28,6 +28,7 @@ namespace aspen {
 /// up*/down* DAG encoded in `routes`.  Paths are returned as node
 /// sequences including the two hosts.  Exponential in path diversity —
 /// intended for small trees and tests.
+// aspen-lint: allow(hot-path-nested-container) -- cold-path query result built once per call for small trees and tests; never probed per packet
 [[nodiscard]] std::vector<std::vector<NodeId>> enumerate_shortest_paths(
     const Topology& topo, const RoutingState& routes, HostId src, HostId dst);
 

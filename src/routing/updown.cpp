@@ -1,8 +1,8 @@
 #include "src/routing/updown.h"
 
 #include <algorithm>
-#include <atomic>
 #include <limits>
+#include <numeric>
 #include <vector>
 
 #include "src/obs/obs.h"
@@ -15,10 +15,20 @@ namespace aspen {
 namespace {
 
 constexpr int kInf = std::numeric_limits<int>::max() / 2;
-constexpr int kUnreachable = ForwardingTable::Entry::kUnreachable;
+constexpr int kUnreachable = RoutingTables::kUnreachable;
+
+using Entry = RoutingTables::Entry;
+using Neighbor = Topology::Neighbor;
 
 inline SwitchId switch_id(std::uint64_t s) {
   return SwitchId{static_cast<std::uint32_t>(s)};
+}
+
+// Unchecked liveness probe over the overlay's word bitset — the engine
+// touches every link per destination row, so the per-call bounds check of
+// LinkStateOverlay::is_up would dominate.
+inline bool link_up(const std::uint64_t* up, std::uint32_t link) {
+  return (up[link >> 6] >> (link & 63)) & 1u;
 }
 
 // Contiguous switch-id range [begin, end) per level, precomputed once so
@@ -39,37 +49,54 @@ std::vector<LevelRange> make_level_ranges(const Topology& topo) {
   return ranges;
 }
 
-// Per-worker scratch arena: both buffers are allocated once (per worker,
-// per topology size) and reused across every destination row, replacing
-// the two full-size vector allocations the old engine made per row.
+// Per-worker scratch arena: every buffer is allocated once per worker and
+// reused across all that worker's destination rows.  digest_delta
+// accumulates this worker's old^new row-hash XORs per switch; deltas merge
+// into the shared digests only after the pool joins, so workers never write
+// shared memory (the atomic XOR per row this replaced was the one remaining
+// cross-thread write in the hot loop).  XOR commutes, so the merged digests
+// are independent of the chunk→worker deal and the thread count.
 struct Scratch {
   std::vector<char> down_reach;
   std::vector<int> best;
+  std::vector<std::uint64_t> digest_delta;
 };
 
-// XOR-updates a per-switch digest.  Atomic because destination jobs on
-// different threads land deltas on the same switch concurrently; XOR
-// commutes, so the result is independent of interleaving and thread count.
-inline void apply_digest_delta(std::uint64_t& digest, std::uint64_t delta) {
-  std::atomic_ref<std::uint64_t>(digest).fetch_xor(delta,
-                                                   std::memory_order_relaxed);
+// Destinations per scheduling chunk: size chunks so one chunk's writes —
+// its dest-major meta rows plus their next-hop pool slices — stay within a
+// cache-friendly footprint (~1 MiB), while the round-robin chunk deal in
+// parallel_for_chunks load-balances the ragged tail.
+std::uint64_t chunk_for(std::uint64_t num_switches,
+                        std::uint64_t pool_slots_per_dest) {
+  constexpr std::uint64_t kTargetBytes = std::uint64_t{1} << 20;
+  const std::uint64_t row_bytes = num_switches * sizeof(Entry) +
+                                  pool_slots_per_dest * sizeof(Neighbor);
+  return std::max<std::uint64_t>(1, kTargetBytes / std::max<std::uint64_t>(
+                                                       1, row_bytes));
 }
 
 // Fills (or rewrites, under incremental recompute) the row of every switch
-// for one destination, keeping the per-switch digests in sync via
-// old^new row-hash deltas.  For edge granularity the destination is the
-// edge switch itself (base cost 0 at the edge); for host granularity it is
-// one host, whose (possibly failed) host link adds a final hop below the
-// edge switch.
+// for one destination, accumulating old^new row-hash deltas in the worker's
+// digest_delta.  For edge granularity the destination is the edge switch
+// itself (base cost 0 at the edge); for host granularity it is one host,
+// whose (possibly failed) host link adds a final hop below the edge switch.
+//
+// All table access is raw arena pointers (RoutingTables::Raw) and raw CSR
+// adjacency (Topology::AdjacencyView): the row for destination d is the
+// contiguous meta slice raw.meta[d * num_tables ..], written in one
+// streaming pass per level.  Hop writes go straight into each entry's pool
+// slice; a row is always a subset of one adjacency direction, so it fits
+// its fixed capacity and the engine never grows a slice.
 void route_one_destination(const Topology& topo,
                            std::span<const LevelRange> ranges,
-                           const LinkStateOverlay& overlay,
-                           SwitchId dest_edge, std::uint64_t dest_index,
-                           const Topology::Neighbor* host_link,
-                           RoutingState& state, Scratch& scratch) {
-  const std::uint64_t num_switches = topo.num_switches();
+                           const std::uint64_t* up,
+                           const Topology::AdjacencyView av,
+                           const RoutingTables::Raw raw, SwitchId dest_edge,
+                           std::uint64_t dest_index,
+                           const Neighbor* host_link, Scratch& scratch) {
+  const std::uint64_t num_switches = raw.num_tables;
   const bool host_reachable =
-      host_link == nullptr || overlay.is_up(host_link->link);
+      host_link == nullptr || link_up(up, host_link->link.value());
 
   // Phase 1 — downward reachability.  Any all-downward path from level i to
   // the destination edge (level 1) has exactly i−1 hops, so we only track
@@ -80,10 +107,12 @@ void route_one_destination(const Topology& topo,
   for (Level i = 2; i <= topo.levels(); ++i) {
     const LevelRange range = ranges[static_cast<std::size_t>(i)];
     for (std::uint64_t s = range.begin; s < range.end; ++s) {
-      for (const Topology::Neighbor& nb : topo.down_neighbors(switch_id(s))) {
-        if (!overlay.is_up(nb.link)) continue;
-        if (!topo.is_switch_node(nb.node)) continue;
-        if (down_reach[nb.node.value()]) {
+      const Neighbor* nb = av.adj + av.split[s];
+      const Neighbor* const down_end = av.adj + av.begin[s + 1];
+      for (; nb != down_end; ++nb) {
+        if (!link_up(up, nb->link.value())) continue;
+        if (nb->node.value() >= num_switches) continue;  // host downlink
+        if (down_reach[nb->node.value()]) {
           down_reach[s] = 1;
           break;
         }
@@ -98,62 +127,68 @@ void route_one_destination(const Topology& topo,
   // switch can consult its parents' already-final costs.
   std::vector<int>& best = scratch.best;
   best.assign(num_switches, kInf);
+  Entry* const row = raw.meta + dest_index * raw.num_tables;
   for (Level i = topo.levels(); i >= 1; --i) {
     const LevelRange range = ranges[static_cast<std::size_t>(i)];
     for (std::uint64_t s = range.begin; s < range.end; ++s) {
-      ForwardingTable::Entry& entry = state.tables[s].entry(dest_index);
-      const std::uint64_t old_hash = hash_fwd_entry(dest_index, entry);
-      entry.next_hops.clear();
-      entry.cost = kUnreachable;
+      Entry& entry = row[s];
+      Neighbor* const slice = raw.pool + entry.hop_begin;
+      const std::uint64_t old_hash = hash_fwd_row(
+          dest_index, entry.cost, {slice, entry.hop_count});
+      std::uint32_t count = 0;
+      int cost = kUnreachable;
 
       if (down_reach[s]) {
         best[s] = i - 1 + base;
         if (s == dest_edge.value()) {
           if (host_link != nullptr) {
             // Host granularity: the final hop is the host link itself.
-            entry.next_hops.push_back(*host_link);
-            entry.cost = 1;
+            slice[count++] = *host_link;
+            cost = 1;
           } else {
             // Edge granularity: local delivery, no switch next hop.
-            entry.cost = 0;
+            cost = 0;
           }
         } else {
-          for (const Topology::Neighbor& nb :
-               topo.down_neighbors(switch_id(s))) {
-            if (!overlay.is_up(nb.link)) continue;
-            if (!topo.is_switch_node(nb.node)) continue;
-            if (down_reach[nb.node.value()]) entry.next_hops.push_back(nb);
+          const Neighbor* nb = av.adj + av.split[s];
+          const Neighbor* const down_end = av.adj + av.begin[s + 1];
+          for (; nb != down_end; ++nb) {
+            if (!link_up(up, nb->link.value())) continue;
+            if (nb->node.value() >= num_switches) continue;
+            if (down_reach[nb->node.value()]) slice[count++] = *nb;
           }
           // Down-reachability above L1 came from some live downward edge.
-          ASPEN_ASSERT(!entry.next_hops.empty(),
+          ASPEN_ASSERT(count != 0,
                        "down-reachable switch has no live downward hop");
-          entry.cost = best[s];
+          cost = best[s];
         }
       } else {
         // Must climb: ECMP over parents with the minimal best cost.
         int min_parent = kInf;
-        for (const Topology::Neighbor& nb : topo.up_neighbors(switch_id(s))) {
-          if (!overlay.is_up(nb.link)) continue;
-          min_parent = std::min(min_parent, best[nb.node.value()]);
+        const Neighbor* const up_begin = av.adj + av.begin[s];
+        const Neighbor* const up_end = av.adj + av.split[s];
+        for (const Neighbor* nb = up_begin; nb != up_end; ++nb) {
+          if (!link_up(up, nb->link.value())) continue;
+          min_parent = std::min(min_parent, best[nb->node.value()]);
         }
         if (min_parent < kInf) {  // else: destination unreachable from s
           best[s] = 1 + min_parent;
-          for (const Topology::Neighbor& nb :
-               topo.up_neighbors(switch_id(s))) {
-            if (!overlay.is_up(nb.link)) continue;
-            if (best[nb.node.value()] == min_parent) {
-              entry.next_hops.push_back(nb);
-            }
+          for (const Neighbor* nb = up_begin; nb != up_end; ++nb) {
+            if (!link_up(up, nb->link.value())) continue;
+            if (best[nb->node.value()] == min_parent) slice[count++] = *nb;
           }
-          ASPEN_ASSERT(!entry.next_hops.empty(),
+          ASPEN_ASSERT(count != 0,
                        "a finite parent cost implies at least one ECMP uplink");
-          entry.cost = best[s];
+          cost = best[s];
         }
       }
 
-      const std::uint64_t new_hash = hash_fwd_entry(dest_index, entry);
+      entry.hop_count = static_cast<std::uint16_t>(count);
+      entry.cost = cost;
+      const std::uint64_t new_hash =
+          hash_fwd_row(dest_index, cost, {slice, count});
       if (old_hash != new_hash) {
-        apply_digest_delta(state.digests[s], old_hash ^ new_hash);
+        scratch.digest_delta[s] ^= old_hash ^ new_hash;
       }
     }
   }
@@ -161,29 +196,49 @@ void route_one_destination(const Topology& topo,
 
 // Granularity dispatch for one destination row.
 void route_dest(const Topology& topo, std::span<const LevelRange> ranges,
-                const LinkStateOverlay& overlay, std::uint64_t dest,
-                RoutingState& state, Scratch& scratch) {
-  if (state.granularity == DestGranularity::kEdge) {
-    route_one_destination(topo, ranges, overlay,
+                const std::uint64_t* up, const Topology::AdjacencyView av,
+                const RoutingTables::Raw raw, DestGranularity granularity,
+                std::uint64_t dest, Scratch& scratch) {
+  if (granularity == DestGranularity::kEdge) {
+    route_one_destination(topo, ranges, up, av, raw,
                           switch_id(ranges[1].begin + dest), dest, nullptr,
-                          state, scratch);
+                          scratch);
   } else {
     const HostId host{static_cast<std::uint32_t>(dest)};
-    const Topology::Neighbor uplink = topo.host_uplink(host);
+    const Neighbor uplink = topo.host_uplink(host);
     ASPEN_ASSERT(uplink.link.valid(), "every host has a wired uplink");
     // The host's entry is keyed on the *downlink* direction: the same
     // physical link, seen from the edge switch.
-    const Topology::Neighbor downlink{topo.node_of(host), uplink.link};
-    route_one_destination(topo, ranges, overlay, topo.edge_switch_of(host),
-                          dest, &downlink, state, scratch);
+    const Neighbor downlink{topo.node_of(host), uplink.link};
+    route_one_destination(topo, ranges, up, av, raw,
+                          topo.edge_switch_of(host), dest, &downlink,
+                          scratch);
   }
 }
 
 // Parent costs feed the up-climb patch below.  A switch's entry cost is
 // exactly its phase-2 `best` value, with kUnreachable standing in for kInf
 // (the engine writes entry.cost = best whenever best is finite).
-inline int cost_as_best(const ForwardingTable::Entry& e) {
+inline int cost_as_best(const Entry& e) {
   return e.cost == kUnreachable ? kInf : e.cost;
+}
+
+// Merges the workers' private digest deltas into the shared per-switch
+// digests, after the pool has joined.  XOR is order-free, so the result is
+// identical at every thread count.
+void merge_digest_deltas(std::span<Scratch> scratch,
+                         std::vector<std::uint64_t>& digests) {
+  for (const Scratch& sc : scratch) {
+    for (std::uint64_t s = 0; s < sc.digest_delta.size(); ++s) {
+      digests[s] ^= sc.digest_delta[s];
+    }
+  }
+}
+
+std::vector<Scratch> make_scratch(int workers, std::uint64_t num_switches) {
+  std::vector<Scratch> scratch(static_cast<std::size_t>(workers));
+  for (Scratch& sc : scratch) sc.digest_delta.assign(num_switches, 0);
+  return scratch;
 }
 
 }  // namespace
@@ -197,28 +252,34 @@ RoutingState compute_updown_routes(const Topology& topo,
   const std::uint64_t num_dests = granularity == DestGranularity::kEdge
                                       ? topo.params().S
                                       : topo.num_hosts();
-  state.tables.assign(topo.num_switches(), ForwardingTable(num_dests));
+  const std::vector<std::uint32_t> caps = switch_row_caps(topo);
+  state.tables.reset(num_dests, caps);
 
   // Seed every digest with the all-default-rows fingerprint, so the uniform
   // old^new deltas in route_one_destination land on the true table digest.
   std::uint64_t empty_digest = 0;
-  const ForwardingTable::Entry default_entry{};
   for (std::uint64_t d = 0; d < num_dests; ++d) {
-    empty_digest ^= hash_fwd_entry(d, default_entry);
+    empty_digest ^= hash_fwd_row(d, kUnreachable, {});
   }
   state.digests.assign(topo.num_switches(), empty_digest);
 
   const std::vector<LevelRange> ranges = make_level_ranges(topo);
   const int workers = parallel::effective_num_threads(threads);
-  std::vector<Scratch> scratch(static_cast<std::size_t>(workers));
-  parallel::parallel_for_blocks(
-      num_dests, workers,
+  std::vector<Scratch> scratch = make_scratch(workers, topo.num_switches());
+  const RoutingTables::Raw raw = state.tables.raw();
+  const Topology::AdjacencyView av = topo.adjacency_view();
+  const std::uint64_t* up = overlay.up_words().data();
+  const std::uint64_t pool_per_dest =
+      std::accumulate(caps.begin(), caps.end(), std::uint64_t{0});
+  parallel::parallel_for_chunks(
+      num_dests, chunk_for(topo.num_switches(), pool_per_dest), workers,
       [&](std::uint64_t begin, std::uint64_t end, int worker) {
         Scratch& sc = scratch[static_cast<std::size_t>(worker)];
         for (std::uint64_t dest = begin; dest < end; ++dest) {
-          route_dest(topo, ranges, overlay, dest, state, sc);
+          route_dest(topo, ranges, up, av, raw, granularity, dest, sc);
         }
       });
+  merge_digest_deltas(scratch, state.digests);
   // Emitted once per computation, after the worker pool joins — never from
   // inside the parallel loop — so traces stay byte-identical across thread
   // counts (the golden-trace determinism contract).
@@ -288,7 +349,8 @@ RecomputeStats recompute_updown_routes(const Topology& topo,
     for (std::uint64_t s = 0; s < num_switches; ++s) {
       std::uint64_t h = 0;
       for (std::uint64_t d = 0; d < num_dests; ++d) {
-        h ^= hash_fwd_entry(d, state.tables[s].entry(d));
+        const Entry& e = state.tables.entry_at(s, d);
+        h ^= hash_fwd_row(d, e.cost, state.tables.hops(e));
       }
       state.digests[s] = h;
     }
@@ -340,7 +402,7 @@ RecomputeStats recompute_updown_routes(const Topology& topo,
         }
         continue;
       }
-      for (const Topology::Neighbor& nb : topo.down_neighbors(switch_id(s))) {
+      for (const Neighbor& nb : topo.down_neighbors(switch_id(s))) {
         if (!topo.is_switch_node(nb.node)) continue;
         if (!visited[nb.node.value()]) {
           visited[nb.node.value()] = 1;
@@ -353,7 +415,7 @@ RecomputeStats recompute_updown_routes(const Topology& topo,
   std::vector<char> in_patch(num_switches, 0);
   std::vector<SwitchId> patch_vs;
   for (const LinkId l : changed_links) {
-    const Topology::LinkRec& rec = topo.link(l);
+    const Topology::LinkRec rec = topo.link(l);
     if (rec.upper_level == 1) {
       if (host_gran) mark_dest(topo.host_of(rec.lower).value());
       continue;
@@ -373,8 +435,8 @@ RecomputeStats recompute_updown_routes(const Topology& topo,
   // ---- Row recompute / patch fan-out ----
   //
   // Each destination is handled end-to-end by one worker, so every write
-  // for a row happens on the thread that owns it; digests are the only
-  // shared writes (atomic XOR).
+  // for a row happens on the thread that owns it; the per-worker digest
+  // deltas merge after the pool joins, leaving no shared writes at all.
   const int workers = parallel::effective_num_threads(threads);
   struct WorkerStats {
     std::uint64_t full = 0;
@@ -382,33 +444,43 @@ RecomputeStats recompute_updown_routes(const Topology& topo,
     std::uint64_t patched = 0;
   };
   std::vector<WorkerStats> wstats(static_cast<std::size_t>(workers));
-  std::vector<Scratch> scratch(static_cast<std::size_t>(workers));
+  std::vector<Scratch> scratch = make_scratch(workers, num_switches);
+  RoutingTables& tables = state.tables;
+  const RoutingTables::Raw raw = tables.raw();
+  const Topology::AdjacencyView av = topo.adjacency_view();
+  const std::uint64_t* up = overlay.up_words().data();
+  const std::uint64_t pool_per_dest = [&] {
+    std::uint64_t total = 0;
+    for (std::uint64_t s = 0; s < num_switches; ++s) {
+      total += raw.meta[s].hop_cap;
+    }
+    return total;
+  }();
 
-  parallel::parallel_for_blocks(
-      num_dests, workers,
+  parallel::parallel_for_chunks(
+      num_dests, chunk_for(num_switches, pool_per_dest), workers,
       [&](std::uint64_t begin, std::uint64_t end, int worker) {
         Scratch& sc = scratch[static_cast<std::size_t>(worker)];
         WorkerStats& ws = wstats[static_cast<std::size_t>(worker)];
-        std::vector<Topology::Neighbor> hops;
+        std::vector<Neighbor> hops;
         for (std::uint64_t d = begin; d < end; ++d) {
           if (dirty[d]) {
-            route_dest(topo, ranges, overlay, d, state, sc);
+            route_dest(topo, ranges, up, av, raw, state.granularity, d, sc);
             ++ws.full;
             continue;
           }
+          Entry* const row = raw.meta + d * raw.num_tables;
           // Patch pass 1 (read-only): would any patched switch's cost
           // change for this destination?  Its parents' rows are final —
           // nothing for this destination has been written yet.
           bool escalate = false;
           for (const SwitchId v : patch_vs) {
-            const ForwardingTable::Entry& cur =
-                state.tables[v.value()].entry(d);
+            const Entry& cur = row[v.value()];
             int min_parent = kInf;
-            for (const Topology::Neighbor& nb : topo.up_neighbors(v)) {
-              if (!overlay.is_up(nb.link)) continue;
-              min_parent = std::min(
-                  min_parent,
-                  cost_as_best(state.tables[nb.node.value()].entry(d)));
+            for (const Neighbor& nb : topo.up_neighbors(v)) {
+              if (!link_up(up, nb.link.value())) continue;
+              min_parent =
+                  std::min(min_parent, cost_as_best(row[nb.node.value()]));
             }
             const int new_cost =
                 min_parent >= kInf ? kUnreachable : 1 + min_parent;
@@ -418,7 +490,7 @@ RecomputeStats recompute_updown_routes(const Topology& topo,
             }
           }
           if (escalate) {
-            route_dest(topo, ranges, overlay, d, state, sc);
+            route_dest(topo, ranges, up, av, raw, state.granularity, d, sc);
             ++ws.full;
             ++ws.escalated;
             continue;
@@ -427,29 +499,38 @@ RecomputeStats recompute_updown_routes(const Topology& topo,
           // switches' ECMP uplink sets can differ — rebuild them in place
           // (same up_neighbors enumeration order as the full engine).
           for (const SwitchId v : patch_vs) {
-            ForwardingTable::Entry& cur = state.tables[v.value()].entry(d);
+            Entry& cur = row[v.value()];
             hops.clear();
             if (cur.cost != kUnreachable) {
               const int want = cur.cost - 1;
-              for (const Topology::Neighbor& nb : topo.up_neighbors(v)) {
-                if (!overlay.is_up(nb.link)) continue;
-                if (cost_as_best(state.tables[nb.node.value()].entry(d)) ==
-                    want) {
+              for (const Neighbor& nb : topo.up_neighbors(v)) {
+                if (!link_up(up, nb.link.value())) continue;
+                if (cost_as_best(row[nb.node.value()]) == want) {
                   hops.push_back(nb);
                 }
               }
             }
-            if (hops != cur.next_hops) {
-              const std::uint64_t old_hash = hash_fwd_entry(d, cur);
-              cur.next_hops = hops;
-              apply_digest_delta(state.digests[v.value()],
-                                 old_hash ^ hash_fwd_entry(d, cur));
+            Neighbor* const slice = raw.pool + cur.hop_begin;
+            const bool same =
+                hops.size() == cur.hop_count &&
+                std::equal(hops.begin(), hops.end(), slice);
+            if (!same) {
+              const std::uint64_t old_hash = hash_fwd_row(
+                  d, cur.cost, {slice, cur.hop_count});
+              for (std::size_t i = 0; i < hops.size(); ++i) {
+                slice[i] = hops[i];
+              }
+              cur.hop_count = static_cast<std::uint16_t>(hops.size());
+              sc.digest_delta[v.value()] ^=
+                  old_hash ^
+                  hash_fwd_row(d, cur.cost, {slice, cur.hop_count});
               ++ws.patched;
             }
           }
         }
       });
 
+  merge_digest_deltas(scratch, state.digests);
   for (const WorkerStats& ws : wstats) {
     stats.full_rows += ws.full;
     stats.escalated_rows += ws.escalated;
@@ -467,7 +548,7 @@ std::uint64_t switches_with_changed_tables(const RoutingState& before,
   // per-switch deep compare only runs to confirm digest-equal tables.
   const bool use_digests = before.has_digests() && after.has_digests();
   std::uint64_t changed = 0;
-  for (std::size_t s = 0; s < before.tables.size(); ++s) {
+  for (std::uint64_t s = 0; s < before.tables.size(); ++s) {
     if (use_digests && before.digests[s] != after.digests[s]) {
       ++changed;
       continue;

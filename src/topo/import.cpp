@@ -33,16 +33,11 @@ Topology build_custom_topology(const TreeParams& params,
     }
   }
 
-  t.up_.resize(t.num_switches_);
-  t.down_.resize(t.num_switches_);
-  t.host_up_.resize(t.num_hosts_);
-
   std::vector<char> host_wired(t.num_hosts_, 0);
   for (const LinkSpec& spec : links) {
     ASPEN_REQUIRE(spec.upper.value() < t.num_switches_,
                   "upper switch out of range");
     const Level upper_level = t.switch_level_[spec.upper.value()];
-    const LinkId id{static_cast<std::uint32_t>(t.links_.size())};
     const NodeId upper_node = t.node_of(spec.upper);
 
     if (spec.lower_is_host) {
@@ -55,11 +50,7 @@ Topology build_custom_topology(const TreeParams& params,
                     "host ", host.value(),
                     " must attach to its numbering edge switch");
       host_wired[host.value()] = 1;
-      const NodeId host_node = t.node_of(host);
-      t.links_.push_back(Topology::LinkRec{upper_node, host_node, 1});
-      t.down_[spec.upper.value()].push_back(
-          Topology::Neighbor{host_node, id});
-      t.host_up_[host.value()] = Topology::Neighbor{upper_node, id};
+      t.add_link(upper_node, t.node_of(host), 1);
       continue;
     }
 
@@ -69,26 +60,25 @@ Topology build_custom_topology(const TreeParams& params,
     ASPEN_REQUIRE(t.switch_level_[lower.value()] == upper_level - 1,
                   "links must connect adjacent levels (", upper_level,
                   " vs ", t.switch_level_[lower.value()], ")");
-    const NodeId lower_node = t.node_of(lower);
-    t.links_.push_back(
-        Topology::LinkRec{upper_node, lower_node, upper_level});
-    t.down_[spec.upper.value()].push_back(
-        Topology::Neighbor{lower_node, id});
-    t.up_[lower.value()].push_back(Topology::Neighbor{upper_node, id});
+    t.add_link(upper_node, t.node_of(lower), upper_level);
   }
+
+  for (std::uint32_t h = 0; h < t.num_hosts_; ++h) {
+    ASPEN_REQUIRE(host_wired[h], "host ", h, " is not wired");
+  }
+  ASPEN_ASSERT(t.num_links() == params.total_links(),
+               "imported link count diverged from the spec count");
+  t.finalize_adjacency();
 
   // Port budgets: every switch must use exactly k ports, every host one.
   for (std::uint32_t v = 0; v < t.num_switches_; ++v) {
-    const std::uint64_t used = t.up_[v].size() + t.down_[v].size();
+    const SwitchId s{v};
+    const std::uint64_t used =
+        t.up_neighbors(s).size() + t.down_neighbors(s).size();
     ASPEN_REQUIRE(used == static_cast<std::uint64_t>(params.k),
                   "switch ", v, " uses ", used, " ports, expected ",
                   params.k);
   }
-  for (std::uint32_t h = 0; h < t.num_hosts_; ++h) {
-    ASPEN_REQUIRE(host_wired[h], "host ", h, " is not wired");
-  }
-  ASPEN_ASSERT(t.links_.size() == params.total_links(),
-               "imported link count diverged from the spec count");
   return t;
 }
 

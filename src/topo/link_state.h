@@ -21,14 +21,25 @@
 // instantaneous phase is a function of time (phase_up / loss_now), not of
 // the persistent overlay state.  fail()/recover() clear any degradation —
 // an administratively cut or repaired link starts from a clean slate.
+//
+// Storage is flat (see DESIGN.md "memory layout"): liveness is a word
+// bitset the routing engine reads through up_words(), and the degraded set
+// is a membership bitset plus a sorted (id, state) pair of parallel
+// vectors.  The hot probes — is_up(), "is this link degraded at all" — are
+// one word read; only a confirmed-degraded link pays a binary search.
+// The std::map this replaced cost a pointer chase per lookup on every
+// packet fate decision.
 #pragma once
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstdint>
-#include <map>
+#include <span>
 #include <vector>
 
 #include "src/topo/topology.h"
+#include "src/util/contracts.h"
 #include "src/util/ids.h"
 #include "src/util/status.h"
 
@@ -62,46 +73,64 @@ class LinkStateOverlay {
  public:
   /// All links initially up and healthy.
   explicit LinkStateOverlay(const Topology& topo)
-      : up_(topo.num_links(), true) {}
+      : num_links_(static_cast<std::uint32_t>(topo.num_links())),
+        up_words_(word_count(num_links_), ~std::uint64_t{0}),
+        degraded_words_(word_count(num_links_), 0) {}
 
-  [[nodiscard]] bool is_up(LinkId id) const { return up_.at(id.value()); }
+  [[nodiscard]] bool is_up(LinkId id) const {
+    ASPEN_REQUIRE(id.value() < num_links_, "link id out of range");
+    return bit_test(up_words_, id.value());
+  }
+
+  /// The liveness bitset (bit l set == link l up), for engine hot loops
+  /// that cannot afford the per-call bounds check of is_up().
+  [[nodiscard]] std::span<const std::uint64_t> up_words() const {
+    return up_words_;
+  }
+
+  [[nodiscard]] std::uint32_t num_links() const { return num_links_; }
 
   /// Marks a link failed; idempotent. Returns true if state changed.
   /// Clears any gray/flapping degradation — down dominates.
   bool fail(LinkId id) {
-    const bool was_up = up_.at(id.value());
-    up_[id.value()] = false;
-    degraded_.erase(id.value());
+    const bool was_up = is_up(id);
+    bit_clear(up_words_, id.value());
+    erase_degraded(id.value());
     return was_up;
   }
 
   /// Marks a link recovered; idempotent. Returns true if state changed.
   /// A repaired link comes back clean (no residual degradation).
   bool recover(LinkId id) {
-    const bool was_up = up_.at(id.value());
-    up_[id.value()] = true;
-    degraded_.erase(id.value());
+    const bool was_up = is_up(id);
+    bit_set(up_words_, id.value());
+    erase_degraded(id.value());
     return !was_up;
   }
 
   /// Restores every link to up and healthy.
   void recover_all() {
-    up_.assign(up_.size(), true);
-    degraded_.clear();
+    up_words_.assign(up_words_.size(), ~std::uint64_t{0});
+    degraded_words_.assign(degraded_words_.size(), 0);
+    degraded_ids_.clear();
+    degraded_states_.clear();
   }
 
   [[nodiscard]] std::vector<LinkId> failed_links() const {
     std::vector<LinkId> failed;
-    for (std::uint32_t id = 0; id < up_.size(); ++id) {
-      if (!up_[id]) failed.push_back(LinkId{id});
+    for (std::uint32_t id = 0; id < num_links_; ++id) {
+      if (!bit_test(up_words_, id)) failed.push_back(LinkId{id});
     }
     return failed;
   }
 
   [[nodiscard]] std::uint64_t num_failed() const {
-    std::uint64_t count = 0;
-    for (bool b : up_) count += b ? 0 : 1;
-    return count;
+    std::uint64_t up = 0;
+    for (const std::uint64_t w : up_words_) {
+      up += static_cast<std::uint64_t>(std::popcount(w));
+    }
+    // Padding bits past num_links_ stay 1 (they are never failed).
+    return num_links_ - (up - (word_count(num_links_) * 64 - num_links_));
   }
 
   // ---- degraded health (gray / flapping) --------------------------------
@@ -114,7 +143,7 @@ class LinkStateOverlay {
     LinkHealthState s;
     s.health = LinkHealth::kGray;
     s.loss_rate = loss_rate;
-    degraded_[id.value()] = s;
+    upsert_degraded(id.value(), s);
   }
 
   /// Marks an up link flapping: up for the first duty·period of every
@@ -127,13 +156,14 @@ class LinkStateOverlay {
     s.health = LinkHealth::kFlapping;
     s.period_ms = period_ms;
     s.duty = duty;
-    degraded_[id.value()] = s;
+    upsert_degraded(id.value(), s);
   }
 
   /// Restores a degraded link to clean health (liveness unchanged).
   /// Returns true if the link was degraded.
   bool clear_degradation(LinkId id) {
-    return degraded_.erase(id.value()) > 0;
+    ASPEN_REQUIRE(id.value() < num_links_, "link id out of range");
+    return erase_degraded(id.value());
   }
 
   /// Current health of a link; kDown wins over any stale degradation.
@@ -144,18 +174,17 @@ class LinkStateOverlay {
       s.loss_rate = 1.0;
       return s;
     }
-    const auto it = degraded_.find(id.value());
-    return it == degraded_.end() ? LinkHealthState{} : it->second;
+    if (!bit_test(degraded_words_, id.value())) return LinkHealthState{};
+    return degraded_states_[degraded_index(id.value())];
   }
 
   /// Is a flapping link in its up phase at `now_ms`? Non-flapping links are
   /// always "in phase" (their fate is decided by is_up / loss_rate).
   [[nodiscard]] bool phase_up(LinkId id, double now_ms) const {
-    const auto it = degraded_.find(id.value());
-    if (it == degraded_.end() || it->second.health != LinkHealth::kFlapping) {
-      return true;
-    }
-    const LinkHealthState& s = it->second;
+    ASPEN_REQUIRE(id.value() < num_links_, "link id out of range");
+    if (!bit_test(degraded_words_, id.value())) return true;
+    const LinkHealthState& s = degraded_states_[degraded_index(id.value())];
+    if (s.health != LinkHealth::kFlapping) return true;
     return std::fmod(now_ms, s.period_ms) < s.duty * s.period_ms;
   }
 
@@ -163,27 +192,78 @@ class LinkStateOverlay {
   /// down → 1, gray → loss_rate, flapping → 0 or 1 by phase, clean → 0.
   [[nodiscard]] double loss_now(LinkId id, double now_ms) const {
     if (!is_up(id)) return 1.0;
-    const auto it = degraded_.find(id.value());
-    if (it == degraded_.end()) return 0.0;
-    const LinkHealthState& s = it->second;
+    if (!bit_test(degraded_words_, id.value())) return 0.0;
+    const LinkHealthState& s = degraded_states_[degraded_index(id.value())];
     if (s.health == LinkHealth::kGray) return s.loss_rate;
-    return phase_up(id, now_ms) ? 0.0 : 1.0;
+    if (s.health != LinkHealth::kFlapping) return 0.0;
+    return std::fmod(now_ms, s.period_ms) < s.duty * s.period_ms ? 0.0 : 1.0;
   }
 
   [[nodiscard]] std::vector<LinkId> degraded_links() const {
     std::vector<LinkId> out;
-    out.reserve(degraded_.size());
-    for (const auto& [id, s] : degraded_) out.push_back(LinkId{id});
+    out.reserve(degraded_ids_.size());
+    for (const std::uint32_t id : degraded_ids_) out.push_back(LinkId{id});
     return out;
   }
 
-  [[nodiscard]] std::uint64_t num_degraded() const { return degraded_.size(); }
+  [[nodiscard]] std::uint64_t num_degraded() const {
+    return degraded_ids_.size();
+  }
 
  private:
-  std::vector<bool> up_;
-  // Sparse: only kGray/kFlapping entries live here, so the is_up() hot path
-  // and the all-links-clean case are untouched.
-  std::map<std::uint32_t, LinkHealthState> degraded_;
+  [[nodiscard]] static std::uint64_t word_count(std::uint64_t bits) {
+    return (bits + 63) / 64;
+  }
+  [[nodiscard]] static bool bit_test(const std::vector<std::uint64_t>& words,
+                                     std::uint32_t i) {
+    return (words[i >> 6] >> (i & 63)) & 1u;
+  }
+  static void bit_set(std::vector<std::uint64_t>& words, std::uint32_t i) {
+    words[i >> 6] |= std::uint64_t{1} << (i & 63);
+  }
+  static void bit_clear(std::vector<std::uint64_t>& words, std::uint32_t i) {
+    words[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+
+  /// Position of a *known-degraded* id in the sorted id vector.
+  [[nodiscard]] std::uint64_t degraded_index(std::uint32_t id) const {
+    const auto it =
+        std::lower_bound(degraded_ids_.begin(), degraded_ids_.end(), id);
+    ASPEN_ASSERT(it != degraded_ids_.end() && *it == id,
+                 "degraded bitset and id vector out of sync");
+    return static_cast<std::uint64_t>(it - degraded_ids_.begin());
+  }
+
+  void upsert_degraded(std::uint32_t id, const LinkHealthState& s) {
+    if (bit_test(degraded_words_, id)) {
+      degraded_states_[degraded_index(id)] = s;
+      return;
+    }
+    bit_set(degraded_words_, id);
+    const auto it =
+        std::lower_bound(degraded_ids_.begin(), degraded_ids_.end(), id);
+    const auto pos = it - degraded_ids_.begin();
+    degraded_ids_.insert(it, id);
+    degraded_states_.insert(degraded_states_.begin() + pos, s);
+  }
+
+  bool erase_degraded(std::uint32_t id) {
+    if (!bit_test(degraded_words_, id)) return false;
+    bit_clear(degraded_words_, id);
+    const std::uint64_t pos = degraded_index(id);
+    degraded_ids_.erase(degraded_ids_.begin() + static_cast<long>(pos));
+    degraded_states_.erase(degraded_states_.begin() + static_cast<long>(pos));
+    return true;
+  }
+
+  std::uint32_t num_links_ = 0;
+  std::vector<std::uint64_t> up_words_;        // bit l == link l is up
+  std::vector<std::uint64_t> degraded_words_;  // bit l == link l degraded
+  // Sparse payloads, sorted by link id, parallel to each other: only
+  // kGray/kFlapping entries live here, found by binary search after the
+  // bitset confirms membership.
+  std::vector<std::uint32_t> degraded_ids_;
+  std::vector<LinkHealthState> degraded_states_;
 };
 
 }  // namespace aspen

@@ -1,5 +1,6 @@
 #include "src/topo/topology.h"
 
+#include <limits>
 #include <sstream>
 
 #include "src/util/contracts.h"
@@ -35,15 +36,9 @@ Topology Topology::build(const TreeParams& params,
     }
   }
 
-  t.up_.resize(t.num_switches_);
-  t.down_.resize(t.num_switches_);
-  t.host_up_.resize(t.num_hosts_);
-
-  const auto add_link = [&t](NodeId upper, NodeId lower, Level upper_level) {
-    const LinkId id{static_cast<std::uint32_t>(t.links_.size())};
-    t.links_.push_back(LinkRec{upper, lower, upper_level});
-    return id;
-  };
+  t.link_upper_.reserve(params.total_links());
+  t.link_lower_.reserve(params.total_links());
+  t.link_level_.reserve(params.total_links());
 
   // Host links: k/2 hosts per L_1 switch, contiguous host ids.
   const auto half_k = static_cast<std::uint64_t>(params.k) / 2;
@@ -51,14 +46,12 @@ Topology Topology::build(const TreeParams& params,
     const SwitchId edge = t.switch_at(1, e);
     for (std::uint64_t j = 0; j < half_k; ++j) {
       const HostId h{static_cast<std::uint32_t>(e * half_k + j)};
-      const LinkId id = add_link(t.node_of(edge), t.node_of(h), 1);
-      t.down_[edge.value()].push_back(Neighbor{t.node_of(h), id});
-      t.host_up_[h.value()] = Neighbor{t.node_of(edge), id};
+      t.add_link(t.node_of(edge), t.node_of(h), 1);
     }
   }
 
-  ASPEN_ASSERT(t.links_.size() == t.num_hosts_,
-               "built ", t.links_.size(), " host links for ", t.num_hosts_,
+  ASPEN_ASSERT(t.num_links() == t.num_hosts_,
+               "built ", t.num_links(), " host links for ", t.num_hosts_,
                " hosts");
 
   // Inter-switch links, level by level (L_2→L_1 upward).  Pods at L_{i-1}
@@ -82,20 +75,91 @@ Topology Topology::build(const TreeParams& params,
                          " in a pod of ", m_below, " switches");
             const SwitchId lower =
                 t.switch_at(i - 1, child_pod * m_below + member);
-            const LinkId id = add_link(t.node_of(upper), t.node_of(lower), i);
-            t.down_[upper.value()].push_back(
-                Neighbor{t.node_of(lower), id});
-            t.up_[lower.value()].push_back(Neighbor{t.node_of(upper), id});
+            t.add_link(t.node_of(upper), t.node_of(lower), i);
           }
         }
       }
     }
   }
 
-  ASPEN_CHECK(t.links_.size() == params.total_links(),
-              "built ", t.links_.size(), " links, expected ",
+  ASPEN_CHECK(t.num_links() == params.total_links(),
+              "built ", t.num_links(), " links, expected ",
               params.total_links());
+  t.finalize_adjacency();
   return t;
+}
+
+LinkId Topology::add_link(NodeId upper, NodeId lower, Level upper_level) {
+  const LinkId id{static_cast<std::uint32_t>(link_upper_.size())};
+  link_upper_.push_back(upper);
+  link_lower_.push_back(lower);
+  link_level_.push_back(static_cast<std::uint8_t>(upper_level));
+  return id;
+}
+
+void Topology::finalize_adjacency() {
+  const std::uint64_t num_links = link_upper_.size();
+  host_up_.assign(num_hosts_, Neighbor{});
+
+  // Pass 1 — per-switch degree counts.  A link at upper_level 1 hangs a
+  // host below an L_1 switch (down slot only); higher links take a down
+  // slot on `upper` and an up slot on `lower`.
+  std::vector<std::uint32_t> up_deg(num_switches_, 0);
+  std::vector<std::uint32_t> down_deg(num_switches_, 0);
+  for (std::uint64_t l = 0; l < num_links; ++l) {
+    ++down_deg[link_upper_[l].value()];
+    if (link_level_[l] > 1) ++up_deg[link_lower_[l].value()];
+  }
+
+  // Prefix sums: [begin, split) up, [split, next begin) down.
+  adj_begin_.assign(num_switches_ + 1, 0);
+  adj_split_.assign(num_switches_, 0);
+  std::uint64_t offset = 0;
+  for (std::uint64_t s = 0; s < num_switches_; ++s) {
+    adj_begin_[s] = static_cast<std::uint32_t>(offset);
+    adj_split_[s] = static_cast<std::uint32_t>(offset + up_deg[s]);
+    offset += up_deg[s] + down_deg[s];
+  }
+  ASPEN_CHECK(offset <= std::numeric_limits<std::uint32_t>::max(),
+              "adjacency pool exceeds 32-bit offsets");
+  adj_begin_[num_switches_] = static_cast<std::uint32_t>(offset);
+  adj_.assign(offset, Neighbor{});
+
+  // Pass 2 — fill, in link-id order, which reproduces the push order of
+  // the per-switch vectors this layout replaced.
+  std::vector<std::uint32_t> up_cursor(adj_begin_.begin(),
+                                       adj_begin_.end() - 1);
+  std::vector<std::uint32_t> down_cursor(adj_split_);
+  for (std::uint64_t l = 0; l < num_links; ++l) {
+    const LinkId id{static_cast<std::uint32_t>(l)};
+    const NodeId upper = link_upper_[l];
+    const NodeId lower = link_lower_[l];
+    adj_[down_cursor[upper.value()]++] = Neighbor{lower, id};
+    if (link_level_[l] > 1) {
+      adj_[up_cursor[lower.value()]++] = Neighbor{upper, id};
+    } else {
+      host_up_[host_of(lower).value()] = Neighbor{upper, id};
+    }
+  }
+
+  // Per-level link pool, link-id order within each level.
+  const auto num_levels = static_cast<std::size_t>(params_.n);
+  std::vector<std::uint32_t> level_count(num_levels + 1, 0);
+  for (std::uint64_t l = 0; l < num_links; ++l) ++level_count[link_level_[l]];
+  level_links_begin_.assign(num_levels + 2, 0);
+  std::uint32_t level_offset = 0;
+  for (std::size_t i = 1; i <= num_levels; ++i) {
+    level_links_begin_[i] = level_offset;
+    level_offset += level_count[i];
+  }
+  level_links_begin_[num_levels + 1] = level_offset;
+  level_links_.assign(num_links, LinkId{});
+  std::vector<std::uint32_t> level_cursor(level_links_begin_.begin(),
+                                          level_links_begin_.end() - 1);
+  for (std::uint64_t l = 0; l < num_links; ++l) {
+    level_links_[level_cursor[link_level_[l]]++] =
+        LinkId{static_cast<std::uint32_t>(l)};
+  }
 }
 
 NodeId Topology::node_of(SwitchId s) const {
@@ -162,15 +226,10 @@ std::uint64_t Topology::member_index(SwitchId s) const {
   return index_in_level(s) % m;
 }
 
-std::vector<SwitchId> Topology::pod_members(Level level, PodId pod) const {
+SwitchRange Topology::pod_members(Level level, PodId pod) const {
   ASPEN_REQUIRE(pod.value() < pods_at_level(level), "pod out of range");
   const std::uint64_t m = params_.m[static_cast<std::size_t>(level)];
-  std::vector<SwitchId> members;
-  members.reserve(m);
-  for (std::uint64_t j = 0; j < m; ++j) {
-    members.push_back(switch_at(level, pod.value() * m + j));
-  }
-  return members;
+  return {switch_at(level, pod.value() * m).value(), m};
 }
 
 PodId Topology::parent_pod(Level level, PodId pod) const {
@@ -185,18 +244,12 @@ PodId Topology::parent_pod(Level level, PodId pod) const {
   return parent;
 }
 
-std::vector<PodId> Topology::child_pods(Level level, PodId pod) const {
+PodRange Topology::child_pods(Level level, PodId pod) const {
   ASPEN_REQUIRE(level >= 2 && level <= params_.n,
                 "child_pods: level must be >= 2");
   ASPEN_REQUIRE(pod.value() < pods_at_level(level), "pod out of range");
   const std::uint64_t r = params_.r[static_cast<std::size_t>(level)];
-  std::vector<PodId> children;
-  children.reserve(r);
-  for (std::uint64_t b = 0; b < r; ++b) {
-    children.push_back(
-        PodId{static_cast<std::uint32_t>(pod.value() * r + b)});
-  }
-  return children;
+  return {static_cast<std::uint64_t>(pod.value()) * r, r};
 }
 
 SwitchId Topology::edge_switch_of(HostId h) const {
@@ -205,27 +258,23 @@ SwitchId Topology::edge_switch_of(HostId h) const {
   return switch_at(1, h.value() / half_k);
 }
 
-std::vector<HostId> Topology::hosts_of_edge(SwitchId s) const {
+HostRange Topology::hosts_of_edge(SwitchId s) const {
   ASPEN_REQUIRE(level_of(s) == 1, "hosts attach only to L1 switches");
   const auto half_k = static_cast<std::uint64_t>(params_.k) / 2;
-  const std::uint64_t base = index_in_level(s) * half_k;
-  std::vector<HostId> hosts;
-  hosts.reserve(half_k);
-  for (std::uint64_t j = 0; j < half_k; ++j) {
-    hosts.push_back(HostId{static_cast<std::uint32_t>(base + j)});
-  }
-  return hosts;
+  return {index_in_level(s) * half_k, half_k};
 }
 
 std::span<const Topology::Neighbor> Topology::up_neighbors(SwitchId s) const {
   ASPEN_REQUIRE(s.value() < num_switches_, "switch id out of range");
-  return up_[s.value()];
+  return {adj_.data() + adj_begin_[s.value()],
+          adj_split_[s.value()] - adj_begin_[s.value()]};
 }
 
 std::span<const Topology::Neighbor> Topology::down_neighbors(
     SwitchId s) const {
   ASPEN_REQUIRE(s.value() < num_switches_, "switch id out of range");
-  return down_[s.value()];
+  return {adj_.data() + adj_split_[s.value()],
+          adj_begin_[s.value() + 1] - adj_split_[s.value()]};
 }
 
 Topology::Neighbor Topology::host_uplink(HostId h) const {
@@ -233,19 +282,19 @@ Topology::Neighbor Topology::host_uplink(HostId h) const {
   return host_up_[h.value()];
 }
 
-const Topology::LinkRec& Topology::link(LinkId id) const {
-  ASPEN_REQUIRE(id.value() < links_.size(), "link id out of range");
-  return links_[id.value()];
+Topology::LinkRec Topology::link(LinkId id) const {
+  ASPEN_REQUIRE(id.value() < num_links(), "link id out of range");
+  return LinkRec{link_upper_[id.value()], link_lower_[id.value()],
+                 static_cast<Level>(link_level_[id.value()])};
 }
 
-std::vector<LinkId> Topology::links_between(SwitchId upper,
-                                            SwitchId lower) const {
-  std::vector<LinkId> result;
+void Topology::links_between(SwitchId upper, SwitchId lower,
+                             std::vector<LinkId>& out) const {
+  out.clear();
   const NodeId lower_node = node_of(lower);
   for (const Neighbor& nb : down_neighbors(upper)) {
-    if (nb.node == lower_node) result.push_back(nb.link);
+    if (nb.node == lower_node) out.push_back(nb.link);
   }
-  return result;
 }
 
 LinkId Topology::find_link(SwitchId upper, SwitchId lower) const {
@@ -256,13 +305,11 @@ LinkId Topology::find_link(SwitchId upper, SwitchId lower) const {
   return LinkId::invalid();
 }
 
-std::vector<LinkId> Topology::links_at_level(Level level) const {
+std::span<const LinkId> Topology::links_at_level(Level level) const {
   ASPEN_REQUIRE(level >= 1 && level <= params_.n, "level out of range");
-  std::vector<LinkId> result;
-  for (std::uint32_t id = 0; id < links_.size(); ++id) {
-    if (links_[id].upper_level == level) result.push_back(LinkId{id});
-  }
-  return result;
+  const auto i = static_cast<std::size_t>(level);
+  return {level_links_.data() + level_links_begin_[i],
+          level_links_begin_[i + 1] - level_links_begin_[i]};
 }
 
 std::string Topology::describe() const {

@@ -9,6 +9,15 @@
 // The Topology itself is purely structural: link up/down state during
 // failure experiments is an overlay (see src/fault and src/sim), which keeps
 // a single built topology shareable across experiments.
+//
+// Storage is CSR (compressed sparse row): one contiguous Neighbor pool for
+// the whole graph with per-switch [up_begin, up_end) / [down_begin,
+// down_end) offset ranges, and struct-of-arrays link records.  At n=5/6,
+// k=48/64 scale (10^5 switches, 10^6 links) the per-switch
+// vector-of-vectors layout this replaced cost one pointer chase plus one
+// allocation per switch per direction; the CSR pool is a single
+// allocation the routing engine streams through.  See DESIGN.md "memory
+// layout".
 #pragma once
 
 #include <cstdint>
@@ -37,12 +46,22 @@ class Topology {
 
   /// A physical link.  `upper` is always the endpoint at the higher level;
   /// for host links, `upper` is the L_1 switch and `lower` the host.
+  /// Materialized on demand from struct-of-arrays storage (link()).
   struct LinkRec {
     NodeId upper;
     NodeId lower;
     Level upper_level = 0;  ///< level of `upper`; 1 for host links
 
     friend bool operator==(const LinkRec&, const LinkRec&) = default;
+  };
+
+  /// Raw CSR pointers for the routing engine's hot loops: the up slice of
+  /// switch s is adj[begin[s]..split[s]), the down slice adj[split[s]..
+  /// begin[s+1]).  Valid as long as the Topology is alive.
+  struct AdjacencyView {
+    const Neighbor* adj = nullptr;
+    const std::uint32_t* begin = nullptr;  ///< size num_switches()+1
+    const std::uint32_t* split = nullptr;  ///< size num_switches()
   };
 
   /// Builds the topology for `params` wired with `striping`.
@@ -58,7 +77,7 @@ class Topology {
 
   [[nodiscard]] std::uint64_t num_switches() const { return num_switches_; }
   [[nodiscard]] std::uint64_t num_hosts() const { return num_hosts_; }
-  [[nodiscard]] std::uint64_t num_links() const { return links_.size(); }
+  [[nodiscard]] std::uint64_t num_links() const { return link_upper_.size(); }
   [[nodiscard]] std::uint64_t num_nodes() const {
     return num_switches_ + num_hosts_;
   }
@@ -84,20 +103,20 @@ class Topology {
   [[nodiscard]] PodId pod_of(SwitchId s) const;
   /// Index of `s` within its pod, in [0, m_i).
   [[nodiscard]] std::uint64_t member_index(SwitchId s) const;
-  /// All switches of the given pod (contiguous, m_i of them).
-  [[nodiscard]] std::vector<SwitchId> pod_members(Level level,
-                                                  PodId pod) const;
+  /// All switches of the given pod (contiguous, m_i of them).  Pod-major
+  /// ordering makes this an index range, not a materialized vector.
+  [[nodiscard]] SwitchRange pod_members(Level level, PodId pod) const;
   /// Parent pod (at level+1) of the given pod; pods form a tree (Eq. 3).
   [[nodiscard]] PodId parent_pod(Level level, PodId pod) const;
   /// Child pods (at level−1) of the given pod, r_i of them, in order.
-  [[nodiscard]] std::vector<PodId> child_pods(Level level, PodId pod) const;
+  [[nodiscard]] PodRange child_pods(Level level, PodId pod) const;
 
   // ---- Hosts ---------------------------------------------------------
 
   /// The L_1 switch the host is attached to.
   [[nodiscard]] SwitchId edge_switch_of(HostId h) const;
   /// Hosts attached to an L_1 switch (k/2 of them, contiguous ids).
-  [[nodiscard]] std::vector<HostId> hosts_of_edge(SwitchId s) const;
+  [[nodiscard]] HostRange hosts_of_edge(SwitchId s) const;
 
   // ---- Adjacency -----------------------------------------------------
 
@@ -105,22 +124,29 @@ class Topology {
   [[nodiscard]] std::span<const Neighbor> up_neighbors(SwitchId s) const;
   /// Downward neighbors of a switch: switches below, or hosts for L_1.
   [[nodiscard]] std::span<const Neighbor> down_neighbors(SwitchId s) const;
+  /// Raw CSR pointers for hot loops that cannot afford the per-call bounds
+  /// checks of the span accessors above.
+  [[nodiscard]] AdjacencyView adjacency_view() const {
+    return {adj_.data(), adj_begin_.data(), adj_split_.data()};
+  }
   /// The single switch neighbor of a host.
   [[nodiscard]] Neighbor host_uplink(HostId h) const;
 
-  [[nodiscard]] const LinkRec& link(LinkId id) const;
-  /// All links incident on `s` going down to switch `t` (parallel links are
-  /// possible under some stripings).
-  [[nodiscard]] std::vector<LinkId> links_between(SwitchId upper,
-                                                  SwitchId lower) const;
+  /// Materialized view of one link's struct-of-arrays record.
+  [[nodiscard]] LinkRec link(LinkId id) const;
+  /// Appends every link incident on `upper` going down to switch `lower`
+  /// to `out` (parallel links are possible under some stripings).  Caller
+  /// owns (and typically reuses) the buffer; `out` is cleared first.
+  void links_between(SwitchId upper, SwitchId lower,
+                     std::vector<LinkId>& out) const;
   /// First link between the two switches, or LinkId::invalid().
   [[nodiscard]] LinkId find_link(SwitchId upper, SwitchId lower) const;
 
-  /// All links whose upper endpoint sits at `level` (level 1 with
-  /// `include_host_links=false` returns L_2→L_1 links' complement: none).
-  /// For level >= 2 these are the L_level → L_{level−1} links; for level 1
-  /// they are host links.
-  [[nodiscard]] std::vector<LinkId> links_at_level(Level level) const;
+  /// All links whose upper endpoint sits at `level`, in link-id order,
+  /// as a view into a pool built once at construction.  For level >= 2
+  /// these are the L_level → L_{level−1} links; for level 1 they are host
+  /// links.
+  [[nodiscard]] std::span<const LinkId> links_at_level(Level level) const;
 
   /// Human-readable structural summary.
   [[nodiscard]] std::string describe() const;
@@ -131,16 +157,38 @@ class Topology {
 
   Topology() = default;
 
+  /// Appends one link record (SoA) and returns its id.
+  LinkId add_link(NodeId upper, NodeId lower, Level upper_level);
+  /// Builds the CSR adjacency pool, host uplinks, and the per-level link
+  /// pool from the link records.  Called once, after every add_link.
+  void finalize_adjacency();
+
   TreeParams params_;
   StripingConfig striping_;
   std::uint64_t num_switches_ = 0;
   std::uint64_t num_hosts_ = 0;
   std::vector<std::uint64_t> level_offset_;  // [1..n] -> first switch id
   std::vector<Level> switch_level_;          // per switch
-  std::vector<LinkRec> links_;
-  std::vector<std::vector<Neighbor>> up_;    // per switch
-  std::vector<std::vector<Neighbor>> down_;  // per switch
-  std::vector<Neighbor> host_up_;            // per host
+
+  // Links, struct-of-arrays: three parallel flat vectors instead of an
+  // array-of-structs, so scans that touch one field stream one array.
+  std::vector<NodeId> link_upper_;
+  std::vector<NodeId> link_lower_;
+  std::vector<std::uint8_t> link_level_;  // upper_level; levels fit a byte
+
+  // CSR adjacency: per switch, adj_[adj_begin_[s]..adj_split_[s]) are the
+  // up neighbors and adj_[adj_split_[s]..adj_begin_[s+1]) the down
+  // neighbors, both in link-id order (the order the per-switch vectors
+  // were pushed in before this layout).
+  std::vector<Neighbor> adj_;
+  std::vector<std::uint32_t> adj_begin_;  // num_switches_+1
+  std::vector<std::uint32_t> adj_split_;  // num_switches_
+  std::vector<Neighbor> host_up_;         // per host
+
+  // Per-level link-id pool (CSR over levels 1..n, link-id order within a
+  // level), so links_at_level is a span, not a fresh vector per call.
+  std::vector<LinkId> level_links_;
+  std::vector<std::uint32_t> level_links_begin_;  // levels()+2
 };
 
 }  // namespace aspen

@@ -46,6 +46,62 @@ class TypedId {
 
 }  // namespace detail
 
+/// A contiguous run of typed ids [first, first+count) — pods, the hosts of
+/// an edge switch, and pod members are all index arithmetic in this
+/// codebase, so "all members of X" is two integers, not an allocated
+/// vector.  Iterators materialize ids on the fly (reference == value).
+template <typename Id>
+class IdRange {
+ public:
+  class iterator {
+   public:
+    using value_type = Id;
+    using reference = Id;
+    using pointer = void;
+    using difference_type = std::ptrdiff_t;
+    using iterator_category = std::forward_iterator_tag;
+
+    constexpr iterator() = default;
+    constexpr explicit iterator(std::uint64_t v) : v_(v) {}
+    constexpr Id operator*() const {
+      return Id{static_cast<typename Id::value_type>(v_)};
+    }
+    constexpr iterator& operator++() {
+      ++v_;
+      return *this;
+    }
+    constexpr iterator operator++(int) {
+      iterator old = *this;
+      ++v_;
+      return old;
+    }
+    friend constexpr bool operator==(iterator, iterator) = default;
+
+   private:
+    std::uint64_t v_ = 0;
+  };
+
+  constexpr IdRange() = default;
+  constexpr IdRange(std::uint64_t first, std::uint64_t count)
+      : first_(first), count_(count) {}
+
+  [[nodiscard]] constexpr iterator begin() const { return iterator{first_}; }
+  [[nodiscard]] constexpr iterator end() const {
+    return iterator{first_ + count_};
+  }
+  [[nodiscard]] constexpr std::uint64_t size() const { return count_; }
+  [[nodiscard]] constexpr bool empty() const { return count_ == 0; }
+  [[nodiscard]] constexpr Id operator[](std::uint64_t i) const {
+    return Id{static_cast<typename Id::value_type>(first_ + i)};
+  }
+  [[nodiscard]] constexpr Id front() const { return (*this)[0]; }
+  [[nodiscard]] constexpr Id back() const { return (*this)[count_ - 1]; }
+
+ private:
+  std::uint64_t first_ = 0;
+  std::uint64_t count_ = 0;
+};
+
 struct SwitchTag {};
 struct HostTag {};
 struct NodeTag {};
@@ -62,6 +118,10 @@ using NodeId = detail::TypedId<NodeTag>;
 using LinkId = detail::TypedId<LinkTag>;
 /// Index of a pod within a level of a Topology (dense, 0-based per level).
 using PodId = detail::TypedId<PodTag>;
+
+using SwitchRange = IdRange<SwitchId>;
+using HostRange = IdRange<HostId>;
+using PodRange = IdRange<PodId>;
 
 [[nodiscard]] inline std::string to_string(SwitchId id) {
   return id.valid() ? "s" + std::to_string(id.value()) : "s<invalid>";

@@ -205,4 +205,34 @@ void parallel_for_blocks(std::uint64_t n, int threads, const BlockBody& body) {
   WorkPool::instance().run(n, workers, body);
 }
 
+void parallel_for_chunks(std::uint64_t n, std::uint64_t chunk, int threads,
+                         const BlockBody& body) {
+  ASPEN_REQUIRE(body != nullptr, "parallel loop needs a body");
+  ASPEN_REQUIRE(chunk > 0, "chunk size must be positive");
+  if (n == 0) return;
+  const std::uint64_t num_chunks = (n + chunk - 1) / chunk;
+  int workers = effective_num_threads(threads);
+  if (num_chunks < static_cast<std::uint64_t>(workers)) {
+    workers = static_cast<int>(num_chunks);
+  }
+  const auto run_worker = [&](int w) {
+    for (std::uint64_t c = static_cast<std::uint64_t>(w); c < num_chunks;
+         c += static_cast<std::uint64_t>(workers)) {
+      const std::uint64_t begin = c * chunk;
+      body(begin, std::min(n, begin + chunk), w);
+    }
+  };
+  if (workers == 1 || t_inside_pool) {
+    for (int w = 0; w < workers; ++w) run_worker(w);
+    return;
+  }
+  // One pool index per worker slot: slot w walks its own chunk sequence.
+  const BlockBody outer = [&](std::uint64_t begin, std::uint64_t /*end*/,
+                              int /*worker*/) {
+    run_worker(static_cast<int>(begin));
+  };
+  WorkPool::instance().run(static_cast<std::uint64_t>(workers), workers,
+                           outer);
+}
+
 }  // namespace aspen::parallel

@@ -43,4 +43,15 @@ inline constexpr int kMaxThreads = 256;
 /// rethrown here.  Nested calls from inside a body run serially inline.
 void parallel_for_blocks(std::uint64_t n, int threads, const BlockBody& body);
 
+/// Cache-blocked variant: splits [0, n) into fixed-size chunks of `chunk`
+/// indices (the last one ragged) and deals chunk c to worker c % workers,
+/// each worker processing its chunks in increasing order.  The chunk→worker
+/// map depends only on (n, chunk, workers), so index-addressed output stays
+/// deterministic; body is invoked once per chunk with that chunk's
+/// [begin, end).  Pick `chunk` so one chunk's working set fits in cache —
+/// the round-robin deal then also load-balances ragged work better than one
+/// contiguous block per worker.
+void parallel_for_chunks(std::uint64_t n, std::uint64_t chunk, int threads,
+                         const BlockBody& body);
+
 }  // namespace aspen::parallel

@@ -1,0 +1,5 @@
+// Corpus fixture: suppressed hot-path-nested-container.  Never compiled.
+#include <vector>
+
+// aspen-lint: allow(hot-path-nested-container) -- fixture: cold-path result type built once per query, never probed per packet
+std::vector<std::vector<int>> enumerate_paths(int limit);

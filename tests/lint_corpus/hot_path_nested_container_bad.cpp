@@ -1,0 +1,10 @@
+// Corpus fixture: true positives for hot-path-nested-container.  Never
+// compiled.  Models the pre-arena forwarding layout: one heap vector per
+// table row plus a node-based index member.
+#include <map>
+#include <vector>
+
+struct OldForwardingTables {
+  std::vector<std::vector<int>> next_hops;
+  std::map<int, int> dest_index_;
+};

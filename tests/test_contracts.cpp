@@ -212,9 +212,9 @@ struct RoutingFixture {
   SwitchId edge = topo.switch_at(1, 0);
   std::uint64_t far_dest = topo.params().S - 1;
 
-  [[nodiscard]] ForwardingTable::Entry& entry_at(SwitchId s,
-                                                 std::uint64_t dest) {
-    return state.tables[s.value()].entry(dest);
+  [[nodiscard]] RoutingTables::Entry& entry_at(SwitchId s,
+                                               std::uint64_t dest) {
+    return state.tables.entry_at(s.value(), dest);
   }
 };
 
@@ -239,23 +239,23 @@ TEST(RoutingAudit, TableShapeFires) {
 
 TEST(RoutingAudit, CostInconsistencyFires) {
   RoutingFixture fx;
-  ForwardingTable::Entry& entry = fx.entry_at(fx.edge, fx.far_dest);
-  ASSERT_FALSE(entry.next_hops.empty());
-  entry.cost = ForwardingTable::Entry::kUnreachable;  // hops left behind
+  RoutingTables::Entry& entry = fx.entry_at(fx.edge, fx.far_dest);
+  ASSERT_NE(entry.hop_count, 0);
+  entry.cost = RoutingTables::kUnreachable;  // hops left behind
   EXPECT_TRUE(routing::audit_tables(fx.topo, fx.state, fx.overlay)
                   .has(AuditCode::kCostInconsistency));
 }
 
 TEST(RoutingAudit, NextHopLinkFires) {
   RoutingFixture fx;
-  ForwardingTable::Entry& entry = fx.entry_at(fx.edge, fx.far_dest);
-  ASSERT_FALSE(entry.next_hops.empty());
+  RoutingTables::Entry& entry = fx.entry_at(fx.edge, fx.far_dest);
+  ASSERT_NE(entry.hop_count, 0);
   // Swap in a link that is not even incident to the edge switch.
   const NodeId self = fx.topo.node_of(fx.edge);
   for (std::uint32_t l = 0; l < fx.topo.num_links(); ++l) {
-    const Topology::LinkRec& rec = fx.topo.link(LinkId{l});
+    const Topology::LinkRec rec = fx.topo.link(LinkId{l});
     if (rec.upper != self && rec.lower != self) {
-      entry.next_hops[0].link = LinkId{l};
+      fx.state.tables.hops_mut(entry)[0].link = LinkId{l};
       break;
     }
   }
@@ -265,9 +265,9 @@ TEST(RoutingAudit, NextHopLinkFires) {
 
 TEST(RoutingAudit, DeadNextHopFiresOnlyWhenChecked) {
   RoutingFixture fx;
-  const ForwardingTable::Entry& entry = fx.entry_at(fx.edge, fx.far_dest);
-  ASSERT_FALSE(entry.next_hops.empty());
-  fx.overlay.fail(entry.next_hops[0].link);
+  const RoutingTables::Entry& entry = fx.entry_at(fx.edge, fx.far_dest);
+  ASSERT_NE(entry.hop_count, 0);
+  fx.overlay.fail(fx.state.tables.hops(entry)[0].link);
 
   routing::TableAuditOptions options;
   options.check_dead_next_hops = true;
@@ -284,13 +284,13 @@ TEST(RoutingAudit, UpAfterDownFires) {
   RoutingFixture fx;
   // Point the edge switch's parent back down at the edge switch, so a walk
   // toward far_dest descends and is then forced to climb again.
-  const ForwardingTable::Entry& up = fx.entry_at(fx.edge, fx.far_dest);
-  ASSERT_FALSE(up.next_hops.empty());
-  const Topology::Neighbor uplink = up.next_hops[0];
+  const RoutingTables::Entry& up = fx.entry_at(fx.edge, fx.far_dest);
+  ASSERT_NE(up.hop_count, 0);
+  const Topology::Neighbor uplink = fx.state.tables.hops(up)[0];
   const SwitchId parent = fx.topo.switch_of(uplink.node);
-  ForwardingTable::Entry& down = fx.entry_at(parent, fx.far_dest);
-  down.next_hops = {
-      Topology::Neighbor{fx.topo.node_of(fx.edge), uplink.link}};
+  RoutingTables::Entry& down = fx.entry_at(parent, fx.far_dest);
+  const Topology::Neighbor back{fx.topo.node_of(fx.edge), uplink.link};
+  fx.state.tables.assign_hops(down, {&back, 1});
   down.cost = 1;
   EXPECT_TRUE(routing::audit_tables(fx.topo, fx.state, fx.overlay)
                   .has(AuditCode::kUpAfterDown));
@@ -309,17 +309,18 @@ TEST(RoutingAudit, ForwardingToWrongHostFires) {
     }
   }
   ASSERT_TRUE(host_link.valid());
-  ForwardingTable::Entry& entry = fx.entry_at(fx.edge, fx.far_dest);
-  entry.next_hops = {Topology::Neighbor{wrong_host, host_link}};
+  RoutingTables::Entry& entry = fx.entry_at(fx.edge, fx.far_dest);
+  const Topology::Neighbor detour{wrong_host, host_link};
+  fx.state.tables.assign_hops(entry, {&detour, 1});
   EXPECT_TRUE(routing::audit_tables(fx.topo, fx.state, fx.overlay)
                   .has(AuditCode::kRoutingLoop));
 }
 
 TEST(RoutingAudit, DefaultRouteGapFires) {
   RoutingFixture fx;
-  ForwardingTable::Entry& entry = fx.entry_at(fx.edge, fx.far_dest);
-  entry.next_hops.clear();
-  entry.cost = ForwardingTable::Entry::kUnreachable;
+  RoutingTables::Entry& entry = fx.entry_at(fx.edge, fx.far_dest);
+  fx.state.tables.clear_hops(entry);
+  entry.cost = RoutingTables::kUnreachable;
 
   routing::TableAuditOptions options;
   EXPECT_FALSE(routing::audit_tables(fx.topo, fx.state, fx.overlay, options)

@@ -29,10 +29,10 @@ TEST(HostGranularity, TableSizesAndCosts) {
 
   // The destination's edge switch holds the host link at cost 1.
   const SwitchId edge = topo.edge_switch_of(HostId{0});
-  const auto& entry = routes.table(edge).entry(0);
-  EXPECT_EQ(entry.cost, 1);
-  ASSERT_EQ(entry.next_hops.size(), 1u);
-  EXPECT_EQ(entry.next_hops[0].link, topo.host_uplink(HostId{0}).link);
+  const auto hops = routes.table(edge).next_hops(0);
+  EXPECT_EQ(routes.table(edge).entry(0).cost, 1);
+  ASSERT_EQ(hops.size(), 1u);
+  EXPECT_EQ(hops[0].link, topo.host_uplink(HostId{0}).link);
 
   // Everyone else pays one hop more than the edge-granularity cost.
   const RoutingState edge_routes = compute_updown_routes(topo);

@@ -189,7 +189,10 @@ INSTANTIATE_TEST_SUITE_P(
         RuleFixture{"float-accum", "survivability_float_accum_bad.cpp",
                     "survivability_float_accum_allowed.cpp"},
         RuleFixture{"serve-bounded-retry", "serve_bounded_retry_bad.cpp",
-                    "serve_bounded_retry_allowed.cpp"}),
+                    "serve_bounded_retry_allowed.cpp"},
+        RuleFixture{"hot-path-nested-container",
+                    "hot_path_nested_container_bad.cpp",
+                    "hot_path_nested_container_allowed.cpp"}),
     [](const ::testing::TestParamInfo<RuleFixture>& param_info) {
       std::string name = param_info.param.rule;
       for (char& c : name) {

@@ -1,0 +1,180 @@
+// Layout-equivalence suite for the flat memory layout (Experiment X14).
+//
+// The CSR adjacency + arena-backed forwarding tables must be invisible to
+// every observable the rest of the stack reads: per-switch digests, state
+// fingerprints, packet walks, and the table auditor — at any thread count,
+// on intact and randomly degraded fabrics, and across long incremental
+// fault/heal schedules.  The anchors are fingerprints recorded from the
+// pre-arena (per-entry vector) layout, so any bit drift in hop order,
+// cost, or digest folding fails here before it can silently invalidate
+// the recorded experiment baselines.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/aspen/generator.h"
+#include "src/routing/audit.h"
+#include "src/routing/packet_walk.h"
+#include "src/routing/updown.h"
+#include "src/topo/link_state.h"
+#include "src/util/rng.h"
+
+namespace aspen {
+namespace {
+
+struct Fig3Golden {
+  std::vector<int> ftv;
+  std::uint64_t edge_fp;
+  std::uint64_t host_fp;
+};
+
+/// State fingerprints of the paper's Fig. 3 trees (4-level, 6-port, FTV
+/// sweep), recorded from the seed layout before the arena refactor.
+const std::vector<Fig3Golden>& fig3_goldens() {
+  static const std::vector<Fig3Golden> goldens = {
+      {{0, 0, 0}, 0xde549d516f884ff8ull, 0xad4e6dd71c43a945ull},
+      {{0, 2, 0}, 0x735effc771039226ull, 0x67f3e484cf4f898cull},
+      {{2, 0, 0}, 0x5e0703e4b36c52dcull, 0x5c4110d7469483faull},
+      {{0, 2, 2}, 0x0d9193354287724dull, 0xdf13dc5a272a8b1eull},
+      {{2, 2, 0}, 0x151c09e09a59bd39ull, 0x2baaf6525f779628ull},
+  };
+  return goldens;
+}
+
+/// Fails `count` distinct random links; returns the overlay.
+LinkStateOverlay random_overlay(const Topology& topo, std::uint64_t count,
+                                Rng& rng) {
+  LinkStateOverlay overlay(topo);
+  std::uint64_t failed = 0;
+  while (failed < count) {
+    const LinkId link{static_cast<std::uint32_t>(
+        rng.uniform(0, static_cast<std::int64_t>(topo.num_links()) - 1))};
+    if (overlay.fail(link)) ++failed;
+  }
+  return overlay;
+}
+
+TEST(MegaLayout, Fig3FingerprintsMatchSeedLayout) {
+  for (const Fig3Golden& golden : fig3_goldens()) {
+    const std::optional<TreeParams> params =
+        try_generate_tree(4, 6, FaultToleranceVector(golden.ftv));
+    ASSERT_TRUE(params.has_value());
+    const Topology topo = Topology::build(*params);
+    const LinkStateOverlay intact(topo);
+    SCOPED_TRACE(topo.describe());
+    const RoutingState edge =
+        compute_updown_routes(topo, intact, DestGranularity::kEdge, 1);
+    const RoutingState host =
+        compute_updown_routes(topo, intact, DestGranularity::kHost, 1);
+    EXPECT_EQ(state_fingerprint(edge), golden.edge_fp);
+    EXPECT_EQ(state_fingerprint(host), golden.host_fp);
+  }
+}
+
+TEST(MegaLayout, DigestsThreadInvariantOnRandomOverlays) {
+  const Topology topo =
+      Topology::build(generate_tree(4, 6, FaultToleranceVector{0, 2, 0}));
+  Rng rng(0xA57E'11u);
+  for (const std::uint64_t failures : {0ull, 3ull, 12ull}) {
+    const LinkStateOverlay overlay = random_overlay(topo, failures, rng);
+    SCOPED_TRACE(failures);
+    const RoutingState serial =
+        compute_updown_routes(topo, overlay, DestGranularity::kEdge, 1);
+    for (const int threads : {2, 4, 8}) {
+      const RoutingState threaded =
+          compute_updown_routes(topo, overlay, DestGranularity::kEdge,
+                                threads);
+      ASSERT_EQ(threaded.digests, serial.digests) << "threads " << threads;
+      EXPECT_TRUE(threaded.tables == serial.tables) << "threads " << threads;
+      EXPECT_EQ(state_fingerprint(threaded), state_fingerprint(serial));
+    }
+  }
+}
+
+TEST(MegaLayout, HostGranularityThreadInvariant) {
+  const Topology topo =
+      Topology::build(generate_tree(4, 6, FaultToleranceVector{2, 0, 0}));
+  Rng rng(0xBEE5u);
+  const LinkStateOverlay overlay = random_overlay(topo, 5, rng);
+  const RoutingState serial =
+      compute_updown_routes(topo, overlay, DestGranularity::kHost, 1);
+  for (const int threads : {2, 4, 8}) {
+    const RoutingState threaded =
+        compute_updown_routes(topo, overlay, DestGranularity::kHost, threads);
+    EXPECT_EQ(threaded.digests, serial.digests) << "threads " << threads;
+    EXPECT_TRUE(threaded.tables == serial.tables) << "threads " << threads;
+  }
+}
+
+TEST(MegaLayout, AuditCleanOnDegradedFabrics) {
+  const Topology topo =
+      Topology::build(generate_tree(4, 6, FaultToleranceVector{0, 2, 2}));
+  Rng rng(0xC0FFEEu);
+  for (int round = 0; round < 3; ++round) {
+    const LinkStateOverlay overlay = random_overlay(topo, 8, rng);
+    const RoutingState state =
+        compute_updown_routes(topo, overlay, DestGranularity::kEdge, 4);
+    const AuditReport report = routing::audit_tables(topo, state, overlay);
+    EXPECT_TRUE(report.ok()) << report.to_string();
+  }
+}
+
+TEST(MegaLayout, PacketWalksIdenticalAcrossThreadCounts) {
+  const Topology topo =
+      Topology::build(generate_tree(4, 6, FaultToleranceVector{0, 2, 0}));
+  Rng rng(0xD1CEu);
+  const LinkStateOverlay overlay = random_overlay(topo, 6, rng);
+  const RoutingState serial =
+      compute_updown_routes(topo, overlay, DestGranularity::kEdge, 1);
+  const RoutingState threaded =
+      compute_updown_routes(topo, overlay, DestGranularity::kEdge, 4);
+  const TableRouter router_a(serial);
+  const TableRouter router_b(threaded);
+  for (int flow = 0; flow < 64; ++flow) {
+    const HostId src{static_cast<std::uint32_t>(
+        rng.uniform(0, static_cast<std::int64_t>(topo.num_hosts()) - 1))};
+    const HostId dst{static_cast<std::uint32_t>(
+        rng.uniform(0, static_cast<std::int64_t>(topo.num_hosts()) - 1))};
+    if (src == dst) continue;
+    WalkOptions options;
+    options.flow_seed = static_cast<std::uint64_t>(flow);
+    const WalkResult a = walk_packet(topo, router_a, overlay, src, dst,
+                                     options);
+    const WalkResult b = walk_packet(topo, router_b, overlay, src, dst,
+                                     options);
+    ASSERT_EQ(a.status, b.status) << "flow " << flow;
+    EXPECT_EQ(a.path, b.path) << "flow " << flow;
+  }
+}
+
+TEST(MegaLayout, FiftyStepChurnIncrementalEqualsFull) {
+  const Topology topo =
+      Topology::build(generate_tree(4, 6, FaultToleranceVector{0, 2, 0}));
+  LinkStateOverlay overlay(topo);
+  RoutingState state =
+      compute_updown_routes(topo, overlay, DestGranularity::kEdge, 2);
+  Rng rng(0x5057E9ull);
+  for (int step = 0; step < 50; ++step) {
+    const LinkId link{static_cast<std::uint32_t>(
+        rng.uniform(0, static_cast<std::int64_t>(topo.num_links()) - 1))};
+    if (overlay.is_up(link)) {
+      overlay.fail(link);
+    } else {
+      overlay.recover(link);
+    }
+    const LinkId changed[] = {link};
+    (void)recompute_updown_routes(topo, overlay, state, changed, 2);
+    const RoutingState fresh =
+        compute_updown_routes(topo, overlay, DestGranularity::kEdge, 2);
+    ASSERT_TRUE(tables_match_by_digest(state, fresh)) << "step " << step;
+    if (step % 10 == 9) {
+      // Periodic deep compare: digests are probabilistic one way.
+      ASSERT_TRUE(state.tables == fresh.tables) << "step " << step;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aspen

@@ -87,9 +87,9 @@ TEST(MiscCoverage, FindLinkReturnsInvalidForStrangers) {
   // An agg and an edge switch in a different pod share no link.
   EXPECT_FALSE(
       topo.find_link(topo.switch_at(2, 0), topo.switch_at(1, 7)).valid());
-  EXPECT_TRUE(
-      topo.links_between(topo.switch_at(2, 0), topo.switch_at(1, 7))
-          .empty());
+  std::vector<LinkId> between;
+  topo.links_between(topo.switch_at(2, 0), topo.switch_at(1, 7), between);
+  EXPECT_TRUE(between.empty());
 }
 
 // Paranoid audits combined with a multi-threaded routing pool: every other

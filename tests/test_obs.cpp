@@ -278,7 +278,7 @@ TEST(ObsProperty, RoutingRowAccountingOnLinkChurn) {
     std::uint64_t sum_escalated = 0;
     std::uint64_t sum_patched = 0;
     std::uint64_t patches = 0;
-    const std::vector<LinkId> candidates = topo.links_at_level(2);
+    const std::span<const LinkId> candidates = topo.links_at_level(2);
     ASSERT_FALSE(candidates.empty());
     for (int round = 0; round < 6; ++round) {
       const LinkId link =

@@ -177,7 +177,9 @@ TEST(Topology, FindLinkAndLinksBetween) {
   ASSERT_FALSE(downs.empty());
   const SwitchId edge = topo.switch_of(downs[0].node);
   EXPECT_EQ(topo.find_link(agg, edge), downs[0].link);
-  EXPECT_EQ(topo.links_between(agg, edge).size(), 1u);
+  std::vector<LinkId> between;
+  topo.links_between(agg, edge, between);
+  EXPECT_EQ(between.size(), 1u);
   // No link between two edge switches.
   EXPECT_FALSE(topo.find_link(agg, topo.switch_at(1, 7)).valid() &&
                topo.level_of(topo.switch_at(1, 7)) == 2);

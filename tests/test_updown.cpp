@@ -31,12 +31,12 @@ TEST(Updown, EcmpSetSizes) {
   const RoutingState routes = compute_updown_routes(topo);
   const SwitchId edge0 = topo.switch_at(1, 0);
   // Climbing anywhere: both uplinks are equal-cost options.
-  EXPECT_EQ(routes.table(edge0).entry(7).next_hops.size(), 2u);
+  EXPECT_EQ(routes.table(edge0).next_hops(7).size(), 2u);
   // An agg descending to an edge in its pod: single link.
   const SwitchId agg = topo.switch_at(2, 0);
-  EXPECT_EQ(routes.table(agg).entry(0).next_hops.size(), 1u);
+  EXPECT_EQ(routes.table(agg).next_hops(0).size(), 1u);
   // An agg climbing to a remote pod: both its core uplinks.
-  EXPECT_EQ(routes.table(agg).entry(7).next_hops.size(), 2u);
+  EXPECT_EQ(routes.table(agg).next_hops(7).size(), 2u);
 }
 
 TEST(Updown, EveryDestinationReachableInIntactTree) {
@@ -48,7 +48,7 @@ TEST(Updown, EveryDestinationReachableInIntactTree) {
     const RoutingState routes = compute_updown_routes(topo);
     SCOPED_TRACE(topo.describe());
     for (std::uint32_t v = 0; v < topo.num_switches(); ++v) {
-      const ForwardingTable& table = routes.tables[v];
+      const RoutingTables::TableView table = routes.tables[v];
       for (std::uint64_t e = 0; e < table.size(); ++e) {
         const auto& entry = table.entry(e);
         EXPECT_TRUE(entry.reachable() || entry.cost == 0)
@@ -66,7 +66,7 @@ TEST(Updown, CostsDecreaseAlongNextHops) {
   for (std::uint32_t v = 0; v < topo.num_switches(); ++v) {
     for (std::uint64_t e = 0; e < topo.params().S; ++e) {
       const auto& entry = routes.tables[v].entry(e);
-      for (const auto& nb : entry.next_hops) {
+      for (const auto& nb : routes.tables[v].next_hops(e)) {
         const auto& next_entry =
             routes.table(topo.switch_of(nb.node)).entry(e);
         ASSERT_TRUE(next_entry.cost == 0 || next_entry.reachable());
@@ -116,7 +116,7 @@ TEST(Updown, DisconnectionYieldsUnreachableEntries) {
   const SwitchId core = topo.switch_at(3, 0);
   EXPECT_FALSE(routes.table(core).entry(0).reachable());
   EXPECT_EQ(routes.table(core).entry(0).cost,
-            ForwardingTable::Entry::kUnreachable);
+            RoutingTables::kUnreachable);
   EXPECT_FALSE(routes.table(edge0).entry(5).reachable());
 }
 
@@ -163,7 +163,7 @@ TEST(Updown, AspenRedundancyWidensDownEcmp) {
   bool found_double = false;
   for (std::uint64_t e = 0; e < topo.params().S; ++e) {
     const auto& entry = routes.table(l3).entry(e);
-    if (entry.cost == 2 && entry.next_hops.size() == 2) found_double = true;
+    if (entry.cost == 2 && entry.hop_count == 2) found_double = true;
   }
   EXPECT_TRUE(found_double);
 }
