@@ -1,0 +1,235 @@
+// Experiment X15 — flow-scale traffic through the vulnerability window.
+//
+// The paper prices convergence in seconds; operators price it in lost
+// flows.  This bench admits over a million concurrent flows into the
+// FlowPlane (flat struct-of-arrays state over the arena forwarding
+// tables) and steps them through a ChaosCampaign fault/heal schedule for
+// ANP and LSP under the same seed, reporting:
+//
+//   1. headline flows/s — one epoch walking every admitted flow against
+//      healthy converged tables, best-of-reps, obs paused;
+//   2. ANP vs LSP traffic lost — the same schedule, batch admission
+//      before every fault-plane action, exact integer accounting
+//      (admitted == delivered + lost + inflight, by construction);
+//   3. determinism — each protocol's campaign repeated at plane threads
+//      1/2/4; the per-flow fate fingerprints must be byte-identical.
+//
+// The identity checks are exit-affecting: any fingerprint mismatch or
+// accounting breach makes the bench exit non-zero, so the CI artifact
+// job doubles as a determinism gate.  Output is one JSON document on
+// stdout (bench_routing_scale.cpp idiom).  `--quick` shrinks to a
+// Fig. 3-class tree with >=10^5 flows for CI smoke runs.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/aspen/generator.h"
+#include "src/obs/obs.h"
+#include "src/routing/updown.h"
+#include "src/topo/link_state.h"
+#include "src/traffic/flow_plane.h"
+#include "src/util/parallel.h"
+
+namespace {
+
+using namespace aspen;
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             // aspen-lint: allow(wall-clock) -- benchmark harness timing; measures host speed and never feeds a simulated result
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Peak resident set (VmHWM) in KiB, or -1 if /proc is unavailable.
+long peak_rss_kb() {
+  std::ifstream in("/proc/self/status");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) return std::atol(line.c_str() + 6);
+  }
+  return -1;
+}
+
+struct BenchConfig {
+  int n;
+  int k;
+  const char* ftv_text;
+  std::uint64_t flows;
+  int events;
+  int reps;
+};
+
+/// One campaign + its wall time.  Campaign runs are timed with obs live:
+/// unlike the headline epoch they are also the identity witnesses, so
+/// they must run exactly as CI runs them.
+struct TimedReport {
+  FlowChaosReport report;
+  double wall_ms = 0.0;
+};
+
+TimedReport run_campaign(ProtocolKind kind, const Topology& topo,
+                         const BenchConfig& cfg, int plane_threads) {
+  FlowChaosOptions options;
+  options.chaos.seed = 7;
+  options.chaos.num_events = cfg.events;
+  options.chaos.check_flows = 16;  // campaign self-checks stay cheap
+  options.plane.base_seed = 2026;
+  options.plane.threads = plane_threads;
+  options.total_flows = cfg.flows;
+
+  TimedReport out;
+  const double t0 = now_ms();
+  out.report = run_flow_chaos(kind, topo, options);
+  out.wall_ms = now_ms() - t0;
+  return out;
+}
+
+void print_report(const char* key, const TimedReport& tr,
+                  bool trailing_comma) {
+  const FlowChaosReport& r = tr.report;
+  std::printf("    \"%s\": {\n", key);
+  std::printf("      \"admitted\": %llu, \"delivered\": %llu, "
+              "\"lost\": %llu, \"inflight\": %llu,\n",
+              static_cast<unsigned long long>(r.admitted),
+              static_cast<unsigned long long>(r.delivered),
+              static_cast<unsigned long long>(r.lost),
+              static_cast<unsigned long long>(r.inflight));
+  std::printf("      \"blackholed\": %llu, \"looped\": %llu, "
+              "\"no_route\": %llu, \"reroutes\": %llu,\n",
+              static_cast<unsigned long long>(r.blackholed),
+              static_cast<unsigned long long>(r.looped),
+              static_cast<unsigned long long>(r.no_route),
+              static_cast<unsigned long long>(r.reroutes));
+  std::printf("      \"lost_rate\": %.6f, \"epochs\": %llu,\n",
+              r.lost_rate(), static_cast<unsigned long long>(r.epochs));
+  std::printf("      \"fate_fingerprint\": \"0x%016llx\",\n",
+              static_cast<unsigned long long>(r.fate_fingerprint));
+  std::printf("      \"campaign_ms\": %.1f,\n", tr.wall_ms);
+  std::printf("      \"chaos\": {\"link_failures\": %llu, "
+              "\"switch_crashes\": %llu, \"recoveries\": %llu, "
+              "\"ground_truth_violations\": %llu, "
+              "\"tables_restored\": %s}\n",
+              static_cast<unsigned long long>(r.chaos.link_failures),
+              static_cast<unsigned long long>(r.chaos.switch_crashes),
+              static_cast<unsigned long long>(r.chaos.link_recoveries +
+                                              r.chaos.switch_recoveries),
+              static_cast<unsigned long long>(
+                  r.chaos.ground_truth_violations),
+              r.chaos.tables_restored ? "true" : "false");
+  std::printf("    }%s\n", trailing_comma ? "," : "");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  aspen::obs::ObsConfig obs_config;
+  obs_config.metrics = true;
+  aspen::obs::configure(obs_config);
+
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+
+  // Quick: Fig. 3-class tree, >=10^5 flows.  Full: a k=16 fat tree with
+  // >=10^6 flows across a 24-action schedule.
+  const BenchConfig cfg = quick
+                              ? BenchConfig{4, 6, "<0,2,0>", 120'000, 12, 1}
+                              : BenchConfig{4, 16, "<0,0,0>", 1'200'000, 24, 2};
+
+  const Topology topo = Topology::build(
+      generate_tree(cfg.n, cfg.k, FaultToleranceVector::parse(cfg.ftv_text)));
+  const LinkStateOverlay intact(topo);
+
+  std::printf("{\n");
+  std::printf("  \"experiment\": \"flow_plane\",\n");
+  std::printf("  \"quick\": %s,\n", quick ? "true" : "false");
+  std::printf("  \"config\": {\"n\": %d, \"k\": %d, \"ftv\": \"%s\"},\n",
+              cfg.n, cfg.k, cfg.ftv_text);
+  std::printf("  \"hosts\": %llu, \"switches\": %llu, \"links\": %llu,\n",
+              static_cast<unsigned long long>(topo.num_hosts()),
+              static_cast<unsigned long long>(topo.num_switches()),
+              static_cast<unsigned long long>(topo.num_links()));
+  std::printf("  \"flows\": %llu,\n",
+              static_cast<unsigned long long>(cfg.flows));
+  std::printf("  \"chaos_events\": %d,\n", cfg.events);
+  std::printf("  \"host_threads\": %d,\n",
+              aspen::parallel::effective_num_threads(0));
+
+  bool ok = true;
+
+  // ---- Headline: one epoch over healthy converged tables ---------------
+  // Admission (untimed) then a single timed step walking every flow; the
+  // delivered total is cross-checked against a serial plane.
+  const RoutingState healthy =
+      compute_updown_routes(topo, intact, DestGranularity::kEdge, 0);
+  double step_ms = 0.0;
+  std::uint64_t headline_delivered = 0;
+  for (int rep = 0; rep < cfg.reps; ++rep) {
+    FlowPlaneOptions plane_options;
+    plane_options.base_seed = 2026;
+    FlowPlane plane(topo, plane_options);
+    (void)plane.admit_uniform(cfg.flows);
+    const obs::PauseObs quiet;
+    const double t0 = now_ms();
+    const FlowStepStats stats = plane.step(healthy, intact);
+    const double elapsed = now_ms() - t0;
+    if (rep == 0 || elapsed < step_ms) step_ms = elapsed;
+    headline_delivered = stats.delivered;
+    if (stats.attempted != cfg.flows) ok = false;
+  }
+  const double flows_per_sec =
+      static_cast<double>(cfg.flows) / (step_ms / 1000.0);
+  std::printf("  \"healthy_step_ms\": %.1f,\n", step_ms);
+  std::printf("  \"flows_per_sec\": %.0f,\n", flows_per_sec);
+  std::printf("  \"healthy_delivered\": %llu,\n",
+              static_cast<unsigned long long>(headline_delivered));
+  if (headline_delivered != cfg.flows) ok = false;  // converged ⇒ no loss
+
+  // ---- ANP vs LSP through the same fault/heal schedule -----------------
+  // threads=1 is the reference; 2 and 4 must reproduce its fingerprint.
+  const int sweep[] = {1, 2, 4};
+  std::printf("  \"protocols\": {\n");
+  double lost_rate[2] = {0.0, 0.0};
+  const ProtocolKind kinds[] = {ProtocolKind::kAnp, ProtocolKind::kLsp};
+  for (int p = 0; p < 2; ++p) {
+    const ProtocolKind kind = kinds[p];
+    TimedReport reference;
+    bool identical = true;
+    for (const int threads : sweep) {
+      const TimedReport tr = run_campaign(kind, topo, cfg, threads);
+      const FlowChaosReport& r = tr.report;
+      if (r.admitted != cfg.flows ||
+          r.admitted != r.delivered + r.lost + r.inflight) {
+        ok = false;
+      }
+      if (threads == 1) {
+        reference = tr;
+      } else if (r.fate_fingerprint != reference.report.fate_fingerprint) {
+        identical = false;
+      }
+    }
+    if (!identical) ok = false;
+    lost_rate[p] = reference.report.lost_rate();
+    print_report(kind == ProtocolKind::kAnp ? "anp" : "lsp", reference,
+                 /*trailing_comma=*/true);
+    std::printf("    \"%s_threads_identical\": %s%s\n",
+                kind == ProtocolKind::kAnp ? "anp" : "lsp",
+                identical ? "true" : "false", p == 0 ? "," : "");
+  }
+  std::printf("  },\n");
+  std::printf("  \"anp_minus_lsp_lost_rate\": %.6f,\n",
+              lost_rate[0] - lost_rate[1]);
+  std::printf("  \"identity_ok\": %s,\n", ok ? "true" : "false");
+  std::printf("  \"peak_rss_mb\": %.1f,\n",
+              static_cast<double>(peak_rss_kb()) / 1024.0);
+  std::printf("  \"metrics\":\n%s\n",
+              aspen::obs::metrics().to_json(2).c_str());
+  std::printf("}\n");
+  return ok ? 0 : 1;
+}

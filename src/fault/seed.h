@@ -27,6 +27,8 @@ enum : std::uint64_t {
   kStreamServeQueries = 0x107,   ///< serve driver's query generator
   kStreamServeClient = 0x108,    ///< per-client retry jitter (+ client id)
   kStreamServeChannel = 0x109,   ///< per-client lossy channel (+ client id)
+  kStreamFlowEcmp = 0x10A,       ///< flow-plane per-flow ECMP seeds (+ flow)
+  kStreamFlowAdmit = 0x10B,      ///< flow-plane admission pattern generator
 };
 
 /// Derives the seed for stream `tag` of a campaign keyed by `base`.

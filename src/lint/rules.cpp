@@ -60,8 +60,8 @@ const std::vector<RuleInfo>& catalogue() {
        "retry-storm generator"},
       {"hot-path-nested-container", Severity::kError,
        "vector<vector<...>> or a node-based associative-container member "
-       "in a src/topo/ or src/routing/ header — hot-path rows live in "
-       "flat arenas (DESIGN.md \"memory layout\")"},
+       "in a src/topo/, src/routing/ or src/traffic/ header — hot-path "
+       "rows live in flat arenas (DESIGN.md \"memory layout\")"},
       // Meta findings (emitted by lint.cpp, not the token rules):
       {"bad-suppression", Severity::kError,
        "aspen-lint: allow(...) annotation without a '-- reason' rationale "
@@ -546,9 +546,10 @@ void rule_serve_bounded_retry(const Ctx& ctx) {
 }
 
 // ---------------------------------------------------------------------
-// hot-path-nested-container: the topology and routing headers declare the
-// memory-layout hot path (DESIGN.md "memory layout") — adjacency is CSR,
-// forwarding rows live in one arena.  A vector<vector<...>> anywhere in
+// hot-path-nested-container: the topology, routing and traffic headers
+// declare the memory-layout hot path (DESIGN.md "memory layout") —
+// adjacency is CSR, forwarding rows live in one arena, per-flow state is
+// struct-of-arrays.  A vector<vector<...>> anywhere in
 // such a header, or an associative-container *member* (trailing-'_'
 // declarator), reintroduces an allocation per row and a pointer chase per
 // probe — exactly the layout the arena refactor removed.  Scoped to
@@ -560,7 +561,8 @@ void rule_hot_path_nested_container(const Ctx& ctx) {
   if (!corpus) {
     const bool hot_header =
         (path_has_prefix(ctx.path, "src/topo/") ||
-         path_has_prefix(ctx.path, "src/routing/")) &&
+         path_has_prefix(ctx.path, "src/routing/") ||
+         path_has_prefix(ctx.path, "src/traffic/")) &&
         ctx.path.size() > 2 &&
         ctx.path.compare(ctx.path.size() - 2, 2, ".h") == 0;
     if (!hot_header) return;

@@ -102,6 +102,9 @@ const char* trace_kind_name(TraceKind kind) {
     case TraceKind::kServeResponse: return "serve_response";
     case TraceKind::kServeSeal: return "serve_seal";
     case TraceKind::kServeCheckpoint: return "serve_checkpoint";
+    case TraceKind::kFlowAdmit: return "flow_admit";
+    case TraceKind::kFlowStep: return "flow_step";
+    case TraceKind::kFlowDrop: return "flow_drop";
   }
   ASPEN_UNREACHABLE("unknown TraceKind ",
                     static_cast<int>(kind));

@@ -47,6 +47,11 @@ enum class TraceKind : std::uint8_t {
   kServeResponse,    ///< response completed; a=id lo32, value=snapshot digest
   kServeSeal,        ///< serving snapshot sealed; value=digest, a=staleness
   kServeCheckpoint,  ///< server checkpoint cut; value=completed responses
+  kFlowAdmit,        ///< flow batch admitted; a=epoch, value=flows admitted
+  kFlowStep,         ///< flow-plane epoch done; a=epoch, b=flows attempted,
+                     ///< value=flows delivered this epoch
+  kFlowDrop,         ///< flows declared lost; a=epoch, value=count,
+                     ///< detail names the cause (blackhole/loop/no_route)
 };
 
 /// Stable snake_case name for JSONL export ("msg_send", "route_patch", ...).
@@ -54,7 +59,7 @@ enum class TraceKind : std::uint8_t {
 
 /// Number of distinct TraceKind values (for iteration / validation).
 inline constexpr std::size_t kNumTraceKinds =
-    static_cast<std::size_t>(TraceKind::kServeCheckpoint) + 1;
+    static_cast<std::size_t>(TraceKind::kFlowDrop) + 1;
 
 /// One fixed-size trace record.  `detail` must point at a string literal
 /// (or other storage outliving the tracer); the tracer never copies it.

@@ -1,0 +1,111 @@
+// Shared deterministic ECMP primitives.
+//
+// The per-flow hash, the gray-drop verdict, and the link-liveness probe
+// were born as statics inside the packet walker; the flow plane
+// (src/traffic/flow_plane.h) must reach *byte-identical* per-flow fates
+// while walking millions of flows, so the primitives live here once and
+// both walkers delegate.  Any change to these functions invalidates the
+// recorded goldens and EXPERIMENTS baselines — they pin the bit patterns.
+//
+// EcmpReadView is the allocation-free read path over the arena forwarding
+// tables: one raw() snapshot plus the dest-index mapping, giving a
+// span<const Neighbor> per (switch, destination) row with no virtual call
+// and no vector copy — what a million-flow step loop can afford where the
+// Router interface cannot.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "src/routing/fwd_table.h"
+#include "src/topo/link_state.h"
+#include "src/topo/topology.h"
+#include "src/util/ids.h"
+
+namespace aspen::ecmp {
+
+/// SplitMix64 finalizer: cheap, well-mixed hash for deterministic picks.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// The per-(flow, switch) ECMP key both walkers reduce modulo the offered
+/// next-hop count.  Bit pattern is pinned by recorded goldens.
+[[nodiscard]] constexpr std::uint64_t flow_key(std::uint64_t flow_seed,
+                                               HostId src, HostId dst,
+                                               SwitchId at) {
+  return
+      // aspen-lint: allow(seed-arith) -- per-flow ECMP hash predating derive_stream_seed; the mixing is pinned by recorded goldens and EXPERIMENTS baselines
+      mix64(flow_seed ^ (static_cast<std::uint64_t>(src.value()) << 32) ^
+            dst.value() ^ (static_cast<std::uint64_t>(at.value()) << 16));
+}
+
+/// Is the link physically usable at the walk instant?  Down links never
+/// are; a flapping link is usable only in its up phase (when health
+/// applies).
+[[nodiscard]] inline bool link_live(const LinkStateOverlay& actual,
+                                    LinkId link, bool apply_health,
+                                    double at_time_ms) {
+  if (!actual.is_up(link)) return false;
+  return !apply_health || actual.phase_up(link, at_time_ms);
+}
+
+/// Does a gray link drop this flow?  Keyed per (seed, link, src, dst) —
+/// not per hop — so any walker crossing the same gray link with the same
+/// flow reaches the same verdict, and repeated walks are deterministic.
+[[nodiscard]] inline bool gray_drops(const LinkStateOverlay& actual,
+                                     LinkId link, HostId src, HostId dst,
+                                     bool apply_health,
+                                     std::uint64_t health_seed) {
+  if (!apply_health) return false;
+  const LinkHealthState h = actual.health(link);
+  if (h.health != LinkHealth::kGray) return false;
+  const std::uint64_t key =
+      // aspen-lint: allow(seed-arith) -- per-(flow,link) gray-drop hash predating derive_stream_seed; the mixing is pinned by recorded goldens and EXPERIMENTS baselines
+      mix64(health_seed ^ (static_cast<std::uint64_t>(src.value()) << 40) ^
+            (static_cast<std::uint64_t>(dst.value()) << 20) ^ link.value());
+  // Top 53 bits → uniform double in [0, 1).
+  const double u = static_cast<double>(key >> 11) * 0x1.0p-53;
+  return u < h.loss_rate;
+}
+
+/// Allocation-free fan-out reads over a RoutingState's arena tables.
+///
+/// Snapshots raw() pointers; those are invalidated by RoutingTables slice
+/// growth (serial protocol mutation, e.g. ANP detours) — construct a fresh
+/// view per step against a possibly-mutated state, never cache one across
+/// protocol reactions.
+class EcmpReadView {
+ public:
+  explicit EcmpReadView(const RoutingState& state)
+      : raw_(state.tables.raw()),
+        hosts_per_edge_(state.hosts_per_edge),
+        edge_granularity_(state.granularity == DestGranularity::kEdge) {}
+
+  /// Table index for packets destined to `dst` (RoutingState::dest_index).
+  [[nodiscard]] std::uint64_t dest_index(HostId dst) const {
+    return edge_granularity_ ? dst.value() / hosts_per_edge_ : dst.value();
+  }
+
+  /// ECMP next-hop row of switch `at` for destination index `d`.  Empty
+  /// span == no route.
+  [[nodiscard]] std::span<const Topology::Neighbor> row(
+      SwitchId at, std::uint64_t d) const {
+    const RoutingTables::Entry& e =
+        raw_.meta[d * raw_.num_tables + at.value()];
+    return {raw_.pool + e.hop_begin, e.hop_count};
+  }
+
+  [[nodiscard]] std::uint64_t num_tables() const { return raw_.num_tables; }
+  [[nodiscard]] std::uint64_t num_dests() const { return raw_.num_dests; }
+
+ private:
+  RoutingTables::ConstRaw raw_;
+  std::uint32_t hosts_per_edge_;
+  bool edge_granularity_;
+};
+
+}  // namespace aspen::ecmp

@@ -1,5 +1,6 @@
 #include "src/routing/packet_walk.h"
 
+#include "src/routing/ecmp.h"
 #include "src/util/contracts.h"
 #include "src/util/status.h"
 
@@ -7,38 +8,20 @@ namespace aspen {
 
 namespace {
 
-// SplitMix64: cheap, well-mixed hash for deterministic ECMP picks.
-std::uint64_t mix64(std::uint64_t x) {
-  x += 0x9E3779B97F4A7C15ULL;
-  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
-  return x ^ (x >> 31);
-}
+// Thin adapters over the shared ECMP primitives (src/routing/ecmp.h): the
+// walker and the flow plane must reach byte-identical verdicts, so the
+// hashes and liveness probes live there once.
 
-// Does a gray link drop this flow?  Keyed per (seed, link, src, dst) — not
-// per hop — so any walker crossing the same gray link with the same flow
-// reaches the same verdict, and repeated walks are deterministic.
 bool gray_drops(const LinkStateOverlay& actual, LinkId link, HostId src,
                 HostId dst, const WalkOptions& options) {
-  if (!options.apply_health) return false;
-  const LinkHealthState h = actual.health(link);
-  if (h.health != LinkHealth::kGray) return false;
-  const std::uint64_t key =
-      // aspen-lint: allow(seed-arith) -- per-(flow,link) gray-drop hash predating derive_stream_seed; the mixing is pinned by recorded goldens and EXPERIMENTS baselines
-      mix64(options.health_seed ^
-            (static_cast<std::uint64_t>(src.value()) << 40) ^
-            (static_cast<std::uint64_t>(dst.value()) << 20) ^ link.value());
-  // Top 53 bits → uniform double in [0, 1).
-  const double u = static_cast<double>(key >> 11) * 0x1.0p-53;
-  return u < h.loss_rate;
+  return ecmp::gray_drops(actual, link, src, dst, options.apply_health,
+                          options.health_seed);
 }
 
-// Is the link physically usable at the walk instant?  Down links never are;
-// a flapping link is usable only in its up phase (when health applies).
 bool link_live(const LinkStateOverlay& actual, LinkId link,
                const WalkOptions& options) {
-  if (!actual.is_up(link)) return false;
-  return !options.apply_health || actual.phase_up(link, options.at_time_ms);
+  return ecmp::link_live(actual, link, options.apply_health,
+                         options.at_time_ms);
 }
 
 }  // namespace
@@ -161,10 +144,7 @@ WalkResult walk_packet(const Topology& topo, const Router& knowledge,
     }
 
     // Deterministic ECMP pick over the offered set.
-    const std::uint64_t key =
-        // aspen-lint: allow(seed-arith) -- per-flow ECMP hash predating derive_stream_seed; the mixing is pinned by recorded goldens and EXPERIMENTS baselines
-        mix64(options.flow_seed ^ (static_cast<std::uint64_t>(src.value()) << 32) ^
-              dst.value() ^ (static_cast<std::uint64_t>(at.value()) << 16));
+    const std::uint64_t key = ecmp::flow_key(options.flow_seed, src, dst, at);
     const std::size_t first_choice = key % hops.size();
 
     const Topology::Neighbor* chosen = nullptr;

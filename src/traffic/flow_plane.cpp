@@ -1,0 +1,436 @@
+#include "src/traffic/flow_plane.h"
+
+#include <algorithm>
+
+#include "src/fault/seed.h"
+#include "src/obs/obs.h"
+#include "src/util/contracts.h"
+#include "src/util/parallel.h"
+#include "src/util/status.h"
+
+namespace aspen {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+// FNV-1a over a node sequence; the hash of walk_packet's WalkResult::path.
+std::uint64_t fold_node(std::uint64_t h, NodeId node) {
+  h ^= node.value();
+  h *= kFnvPrime;
+  return h;
+}
+
+struct WalkScratch {
+  std::uint64_t path_hash = kFnvOffset;
+  std::uint16_t hops = 0;
+  std::vector<NodeId>* path_out = nullptr;
+
+  void visit(NodeId node) {
+    path_hash = fold_node(path_hash, node);
+    if (path_out != nullptr) path_out->push_back(node);
+  }
+};
+
+}  // namespace
+
+const char* to_cstring(NextHopPolicy policy) {
+  switch (policy) {
+    case NextHopPolicy::kSeededHash: return "hash";
+    case NextHopPolicy::kLowest: return "lowest";
+    case NextHopPolicy::kWeighted: return "weighted";
+  }
+  return "?";
+}
+
+bool parse_next_hop_policy(std::string_view text, NextHopPolicy& out) {
+  if (text == "hash") {
+    out = NextHopPolicy::kSeededHash;
+  } else if (text == "lowest") {
+    out = NextHopPolicy::kLowest;
+  } else if (text == "weighted") {
+    out = NextHopPolicy::kWeighted;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* to_cstring(FlowFate fate) {
+  switch (fate) {
+    case FlowFate::kInflight: return "inflight";
+    case FlowFate::kDelivered: return "delivered";
+    case FlowFate::kBlackholed: return "blackholed";
+    case FlowFate::kLooped: return "looped";
+    case FlowFate::kNoRoute: return "no_route";
+  }
+  return "?";
+}
+
+FlowPlane::FlowPlane(const Topology& topo, const FlowPlaneOptions& options)
+    : topo_(&topo),
+      options_(options),
+      admit_rng_(fault::derive_stream_seed(options.base_seed,
+                                           fault::kStreamFlowAdmit)) {
+  ASPEN_REQUIRE(options_.ttl >= 2, "flow ttl must allow at least two links");
+  ASPEN_REQUIRE(options_.patience >= 1 && options_.patience <= 255,
+                "flow patience must be in [1, 255]");
+  // Physical degree per node, for the weighted policy: a switch's CSR
+  // adjacency size (up + down), 1 for hosts.
+  node_weight_.assign(topo.num_nodes(), 1);
+  const Topology::AdjacencyView adj = topo.adjacency_view();
+  for (std::uint64_t s = 0; s < topo.num_switches(); ++s) {
+    node_weight_[s] = adj.begin[s + 1] - adj.begin[s];
+  }
+}
+
+std::uint64_t FlowPlane::flow_seed(std::uint64_t i) const {
+  return fault::derive_stream_seed(options_.base_seed,
+                                   fault::kStreamFlowEcmp + i);
+}
+
+std::uint64_t FlowPlane::admit(std::span<const Flow> flows) {
+  src_.reserve(src_.size() + flows.size());
+  dst_.reserve(dst_.size() + flows.size());
+  for (const Flow& f : flows) {
+    const auto index = static_cast<std::uint32_t>(src_.size());
+    src_.push_back(f.src.value());
+    dst_.push_back(f.dst.value());
+    fate_.push_back(static_cast<std::uint8_t>(FlowFate::kInflight));
+    fails_.push_back(0);
+    attempts_.push_back(0);
+    path_hash_.push_back(0);
+    hops_.push_back(0);
+    active_.push_back(index);
+  }
+  obs::count("flow.admitted", flows.size());
+  obs::trace_event(static_cast<double>(epoch_), obs::TraceKind::kFlowAdmit,
+                   static_cast<std::uint32_t>(epoch_), 0, flows.size(),
+                   "admit");
+  return flows.size();
+}
+
+std::uint64_t FlowPlane::admit_uniform(std::uint64_t count) {
+  const std::uint64_t hosts = topo_->num_hosts();
+  ASPEN_REQUIRE(hosts >= 2, "uniform admission needs at least two hosts");
+  std::vector<Flow> flows;
+  flows.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto src = static_cast<std::uint32_t>(admit_rng_.index(hosts));
+    auto dst = static_cast<std::uint32_t>(admit_rng_.index(hosts - 1));
+    if (dst >= src) ++dst;
+    flows.push_back(Flow{HostId{src}, HostId{dst}});
+  }
+  return admit(flows);
+}
+
+FlowPlane::Attempt FlowPlane::walk_one(std::uint64_t i,
+                                       const ecmp::EcmpReadView& view,
+                                       const LinkStateOverlay& actual,
+                                       double at_time_ms,
+                                       std::vector<NodeId>* path_out) const {
+  const Topology& topo = *topo_;
+  const HostId src{src_[i]};
+  const HostId dst{dst_[i]};
+  const std::uint64_t seed = flow_seed(i);
+  const bool health = options_.apply_health;
+  const std::uint64_t health_seed = options_.health_seed;
+
+  if (path_out != nullptr) path_out->clear();
+  WalkScratch walk;
+  walk.path_out = path_out;
+  walk.visit(topo.node_of(src));
+
+  Attempt attempt;
+  const auto fail = [&](FlowFate outcome) {
+    attempt.outcome = outcome;
+    attempt.path_hash = walk.path_hash;
+    attempt.hops = walk.hops;
+    return attempt;
+  };
+
+  const SwitchId dest_edge = topo.edge_switch_of(dst);
+  const std::uint64_t dest_index = view.dest_index(dst);
+
+  // First hop: host to its edge switch (same fate order as walk_packet:
+  // liveness, then the gray verdict).
+  const Topology::Neighbor ingress = topo.host_uplink(src);
+  if (!ecmp::link_live(actual, ingress.link, health, at_time_ms)) {
+    return fail(FlowFate::kBlackholed);
+  }
+  if (ecmp::gray_drops(actual, ingress.link, src, dst, health, health_seed)) {
+    return fail(FlowFate::kBlackholed);
+  }
+  SwitchId at = topo.switch_of(ingress.node);
+  walk.visit(ingress.node);
+  walk.hops = 1;
+
+  while (walk.hops < options_.ttl) {
+    if (at == dest_edge) {
+      // Final hop: edge switch to host.
+      const Topology::Neighbor downlink = topo.host_uplink(dst);
+      if (!ecmp::link_live(actual, downlink.link, health, at_time_ms) ||
+          ecmp::gray_drops(actual, downlink.link, src, dst, health,
+                           health_seed)) {
+        return fail(FlowFate::kBlackholed);
+      }
+      walk.visit(topo.node_of(dst));
+      ++walk.hops;
+      return fail(FlowFate::kDelivered);
+    }
+
+    const std::span<const Topology::Neighbor> row = view.row(at, dest_index);
+    if (row.empty()) return fail(FlowFate::kNoRoute);
+
+    const Topology::Neighbor* chosen = nullptr;
+    switch (options_.policy) {
+      case NextHopPolicy::kSeededHash: {
+        // The packet walker's exact pick: hash over the full offered row,
+        // then rotate to the first live hop (a switch sees its own dead
+        // ports; gray links look live here — their loss is silent).
+        const std::uint64_t key = ecmp::flow_key(seed, src, dst, at);
+        const std::size_t first_choice = key % row.size();
+        for (std::size_t off = 0; off < row.size(); ++off) {
+          const Topology::Neighbor& cand =
+              row[(first_choice + off) % row.size()];
+          if (ecmp::link_live(actual, cand.link, health, at_time_ms)) {
+            chosen = &cand;
+            break;
+          }
+        }
+        break;
+      }
+      case NextHopPolicy::kLowest: {
+        // Lowest live link id: no hash involved, so the pick is the same
+        // under every seed.
+        for (const Topology::Neighbor& cand : row) {
+          if (!ecmp::link_live(actual, cand.link, health, at_time_ms)) {
+            continue;
+          }
+          if (chosen == nullptr ||
+              cand.link.value() < chosen->link.value()) {
+            chosen = &cand;
+          }
+        }
+        break;
+      }
+      case NextHopPolicy::kWeighted: {
+        // Hash-weighted over live hops only; weight = candidate's physical
+        // degree, so fatter subtrees attract proportionally more flows.
+        std::uint64_t total_weight = 0;
+        for (const Topology::Neighbor& cand : row) {
+          if (ecmp::link_live(actual, cand.link, health, at_time_ms)) {
+            total_weight += node_weight_[cand.node.value()];
+          }
+        }
+        if (total_weight > 0) {
+          const std::uint64_t key = ecmp::flow_key(seed, src, dst, at);
+          std::uint64_t r = key % total_weight;
+          for (const Topology::Neighbor& cand : row) {
+            if (!ecmp::link_live(actual, cand.link, health, at_time_ms)) {
+              continue;
+            }
+            const std::uint64_t w = node_weight_[cand.node.value()];
+            if (r < w) {
+              chosen = &cand;
+              break;
+            }
+            r -= w;
+          }
+        }
+        break;
+      }
+    }
+    if (chosen == nullptr) return fail(FlowFate::kBlackholed);
+    if (ecmp::gray_drops(actual, chosen->link, src, dst, health,
+                         health_seed)) {
+      return fail(FlowFate::kBlackholed);
+    }
+
+    walk.visit(chosen->node);
+    ++walk.hops;
+    if (!topo.is_switch_node(chosen->node)) {
+      // Host-granularity tables can hand us the host link directly.
+      ASPEN_CHECK(chosen->node == topo.node_of(dst),
+                  "flow plane forwarded into a host that is not the "
+                  "destination");
+      return fail(FlowFate::kDelivered);
+    }
+    at = topo.switch_of(chosen->node);
+  }
+
+  return fail(FlowFate::kLooped);
+}
+
+FlowStepStats FlowPlane::step(const RoutingState& knowledge,
+                              const LinkStateOverlay& actual,
+                              double at_time_ms) {
+  FlowStepStats stats;
+  stats.epoch = epoch_;
+  stats.attempted = active_.size();
+
+  const ecmp::EcmpReadView view(knowledge);
+  attempt_scratch_.resize(active_.size());
+
+  // Fan out: every write is addressed by the active-list position, so the
+  // partition (and thread count) never shows in the output.  No obs
+  // emission inside the workers — counters aggregate after the join.
+  parallel::parallel_for_blocks(
+      active_.size(), options_.threads,
+      [&](std::uint64_t begin, std::uint64_t end, int /*worker*/) {
+        for (std::uint64_t pos = begin; pos < end; ++pos) {
+          attempt_scratch_[pos] =
+              walk_one(active_[pos], view, actual, at_time_ms, nullptr);
+        }
+      });
+
+  // Serial fold, in admission order: update fates, detect reroutes,
+  // compact the active list in place.
+  std::uint64_t kept = 0;
+  for (std::uint64_t pos = 0; pos < active_.size(); ++pos) {
+    const std::uint32_t f = active_[pos];
+    const Attempt& attempt = attempt_scratch_[pos];
+    ++attempts_[f];
+    if (path_hash_[f] != 0 && attempt.path_hash != path_hash_[f]) {
+      ++stats.reroutes;
+    }
+    path_hash_[f] = attempt.path_hash;
+    hops_[f] = attempt.hops;
+    if (attempt.outcome == FlowFate::kDelivered) {
+      fate_[f] = static_cast<std::uint8_t>(FlowFate::kDelivered);
+      ++stats.delivered;
+      continue;
+    }
+    if (++fails_[f] >= options_.patience) {
+      fate_[f] = static_cast<std::uint8_t>(attempt.outcome);
+      switch (attempt.outcome) {
+        case FlowFate::kBlackholed: ++stats.blackholed; break;
+        case FlowFate::kLooped: ++stats.looped; break;
+        case FlowFate::kNoRoute: ++stats.no_route; break;
+        default:
+          ASPEN_UNREACHABLE("walk_one returned a non-terminal outcome");
+      }
+      continue;
+    }
+    active_[kept++] = f;
+  }
+  active_.resize(kept);
+
+  delivered_ += stats.delivered;
+  blackholed_ += stats.blackholed;
+  looped_ += stats.looped;
+  no_route_ += stats.no_route;
+  reroutes_ += stats.reroutes;
+
+  obs::count("flow.attempted", stats.attempted);
+  obs::count("flow.delivered", stats.delivered);
+  obs::count("flow.lost", stats.lost());
+  obs::count("flow.rerouted", stats.reroutes);
+  obs::trace_event(static_cast<double>(epoch_), obs::TraceKind::kFlowStep,
+                   static_cast<std::uint32_t>(epoch_),
+                   static_cast<std::uint32_t>(stats.attempted),
+                   stats.delivered, "step");
+  if (stats.blackholed > 0) {
+    obs::trace_event(static_cast<double>(epoch_), obs::TraceKind::kFlowDrop,
+                     static_cast<std::uint32_t>(epoch_), 0, stats.blackholed,
+                     "blackhole");
+  }
+  if (stats.looped > 0) {
+    obs::trace_event(static_cast<double>(epoch_), obs::TraceKind::kFlowDrop,
+                     static_cast<std::uint32_t>(epoch_), 0, stats.looped,
+                     "loop");
+  }
+  if (stats.no_route > 0) {
+    obs::trace_event(static_cast<double>(epoch_), obs::TraceKind::kFlowDrop,
+                     static_cast<std::uint32_t>(epoch_), 0, stats.no_route,
+                     "no_route");
+  }
+  ++epoch_;
+
+  // The loss-accounting identity is structural; paranoid audits recount it
+  // from the per-flow fates to catch any future drift.
+  if (contracts::effective_audit_level(contracts::AuditLevel::kOff) >=
+      contracts::AuditLevel::kParanoid) {
+    std::uint64_t by_fate[5] = {0, 0, 0, 0, 0};
+    for (const std::uint8_t f : fate_) ++by_fate[f];
+    ASPEN_CHECK(by_fate[static_cast<int>(FlowFate::kInflight)] == inflight() &&
+                    by_fate[static_cast<int>(FlowFate::kDelivered)] ==
+                        delivered_ &&
+                    by_fate[static_cast<int>(FlowFate::kBlackholed)] ==
+                        blackholed_ &&
+                    by_fate[static_cast<int>(FlowFate::kLooped)] == looped_ &&
+                    by_fate[static_cast<int>(FlowFate::kNoRoute)] == no_route_,
+                "flow fate counters disagree with per-flow fates");
+  }
+  ASPEN_ASSERT(admitted() == delivered() + lost() + inflight(),
+               "flow accounting identity violated: ", admitted(), " != ",
+               delivered(), " + ", lost(), " + ", inflight());
+  return stats;
+}
+
+std::uint64_t FlowPlane::fate_fingerprint() const {
+  std::uint64_t h = kFnvOffset;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= kFnvPrime;
+    h ^= h >> 29;
+  };
+  mix(admitted());
+  for (std::uint64_t i = 0; i < admitted(); ++i) {
+    mix(fate_[i]);
+    mix(path_hash_[i]);
+    mix(hops_[i]);
+    mix(attempts_[i]);
+  }
+  return h;
+}
+
+FlowChaosReport run_flow_chaos(ProtocolKind kind, const Topology& topo,
+                               const FlowChaosOptions& options) {
+  fault::ChaosCampaign campaign(kind, topo, options.chaos);
+  FlowPlane plane(topo, options.plane);
+
+  const auto events =
+      static_cast<std::uint64_t>(std::max(options.chaos.num_events, 0));
+  const std::uint64_t batches = events + 1;
+  const std::uint64_t per_batch = options.total_flows / batches;
+
+  const auto step_now = [&]() {
+    plane.step(campaign.protocol().tables(), campaign.overlay(),
+               static_cast<double>(plane.epochs()));
+  };
+
+  // Up-front batch (plus the division remainder), walked against the
+  // freshly converged tables; then one batch + epoch per fault action.
+  plane.admit_uniform(per_batch + options.total_flows % batches);
+  step_now();
+  while (campaign.advance()) {
+    plane.admit_uniform(per_batch);
+    step_now();
+  }
+  campaign.finish();
+  // Healed fabric: drain the backlog for a bounded number of epochs.
+  for (int i = 0; i < options.drain_epochs && plane.inflight() > 0; ++i) {
+    step_now();
+  }
+
+  FlowChaosReport report;
+  report.admitted = plane.admitted();
+  report.delivered = plane.delivered();
+  report.lost = plane.lost();
+  report.inflight = plane.inflight();
+  report.blackholed = plane.blackholed();
+  report.looped = plane.looped();
+  report.no_route = plane.no_route();
+  report.reroutes = plane.reroutes();
+  report.epochs = plane.epochs();
+  report.fate_fingerprint = plane.fate_fingerprint();
+  report.chaos = campaign.outcome();
+  ASPEN_ASSERT(report.admitted ==
+                   report.delivered + report.lost + report.inflight,
+               "campaign flow accounting identity violated");
+  return report;
+}
+
+}  // namespace aspen

@@ -61,6 +61,22 @@ LoadResult assign_load(const Topology& topo, const Router& knowledge,
     obs::count("traffic.flows_routed");
   }
 
+  // Explicit loss accounting: the max-min fold below only sees routed
+  // flows, so the unroutable share must be reported, not implied.  The
+  // identity is always asserted; paranoid audits keep the check in
+  // builds that compile ASPEN_ASSERT out.
+  if (contracts::effective_audit_level(contracts::AuditLevel::kOff) >=
+      contracts::AuditLevel::kParanoid) {
+    ASPEN_CHECK(result.flows_routed + result.flows_unroutable == flows.size(),
+                "every flow is either routed or unroutable: ",
+                result.flows_routed, " + ", result.flows_unroutable,
+                " != ", flows.size());
+  }
+  if (!flows.empty()) {
+    result.lost_rate = static_cast<double>(result.flows_unroutable) /
+                       static_cast<double>(flows.size());
+  }
+
   // 2. Progressive-filling max-min fair allocation, unit capacities.
   const std::size_t nf = flow_links.size();
   result.rates.assign(nf, 0.0);

@@ -32,9 +32,15 @@ struct LoadResult {
   double min_rate = 0.0;
   double mean_rate = 0.0;
   double mean_path_links = 0.0;  ///< links per routed flow
+  /// Fraction of the *offered* pattern that was unroutable.  Reported
+  /// explicitly because normalized_throughput() divides by routed flows
+  /// only — a fabric that black-holes half its flows and gives the
+  /// survivors line rate still scores 1.0 there.
+  double lost_rate = 0.0;
 
-  /// Throughput normalized by flow count — 1.0 means every flow got full
-  /// line rate (the "full bisection bandwidth" ideal).
+  /// Throughput normalized by *routed* flow count — 1.0 means every routed
+  /// flow got full line rate (the "full bisection bandwidth" ideal).
+  /// Pair with lost_rate: unroutable flows are absent from this ratio.
   [[nodiscard]] double normalized_throughput() const {
     return flows_routed == 0 ? 0.0
                              : aggregate_throughput /

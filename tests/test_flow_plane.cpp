@@ -1,0 +1,440 @@
+// Flow-plane differential harness (ISSUE 10): every path the flow plane
+// picks must byte-match an independent packet_walk replay under the same
+// seed — healthy, under each single-link failure, and across a gray link —
+// plus thread-invariance, loop-freedom/TTL, ECMP-policy distribution
+// properties, exact campaign loss accounting, and the flow_chaos golden
+// trace.
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/aspen/generator.h"
+#include "src/fault/chaos.h"
+#include "src/obs/obs.h"
+#include "src/routing/ecmp.h"
+#include "src/routing/packet_walk.h"
+#include "src/routing/updown.h"
+#include "src/topo/link_state.h"
+#include "src/topo/topology.h"
+#include "src/traffic/flow_plane.h"
+#include "src/traffic/patterns.h"
+#include "src/util/rng.h"
+#include "tests/trace_golden.h"
+
+namespace aspen {
+namespace {
+
+Topology fig3_topology(const char* ftv) {
+  return Topology::build(
+      generate_tree(4, 6, FaultToleranceVector::parse(ftv)));
+}
+
+Topology small_topology() {
+  return Topology::build(
+      generate_tree(3, 4, FaultToleranceVector::parse("<1,0>")));
+}
+
+/// The walker status a terminal flow fate corresponds to.
+WalkStatus expected_status(FlowFate fate) {
+  switch (fate) {
+    case FlowFate::kDelivered: return WalkStatus::kDelivered;
+    case FlowFate::kBlackholed: return WalkStatus::kDropped;
+    case FlowFate::kLooped: return WalkStatus::kTtlExceeded;
+    case FlowFate::kNoRoute: return WalkStatus::kNoRoute;
+    case FlowFate::kInflight: break;
+  }
+  ADD_FAILURE() << "non-terminal fate";
+  return WalkStatus::kNoRoute;
+}
+
+/// Walks every admitted flow through both walkers and requires identical
+/// node paths and identical outcome classes.
+void expect_differential_match(const Topology& topo, const FlowPlane& plane,
+                               const RoutingState& state,
+                               const LinkStateOverlay& overlay,
+                               bool apply_health, std::uint64_t health_seed,
+                               const char* context) {
+  const ecmp::EcmpReadView view(state);
+  const TableRouter router(state);
+  std::vector<NodeId> plane_path;
+  for (std::uint64_t i = 0; i < plane.admitted(); ++i) {
+    const Flow flow = plane.flow(i);
+    const FlowPlane::Attempt attempt =
+        plane.walk_one(i, view, overlay, 0.0, &plane_path);
+
+    WalkOptions walk_options;
+    walk_options.flow_seed = plane.flow_seed(i);
+    walk_options.apply_health = apply_health;
+    walk_options.health_seed = health_seed;
+    const WalkResult walk =
+        walk_packet(topo, router, overlay, flow.src, flow.dst, walk_options);
+
+    ASSERT_EQ(expected_status(attempt.outcome), walk.status)
+        << context << " flow " << i << " (" << flow.src.value() << " -> "
+        << flow.dst.value() << ")";
+    ASSERT_EQ(plane_path, walk.path)
+        << context << " flow " << i << " path diverged";
+    ASSERT_EQ(attempt.hops, walk.hops) << context << " flow " << i;
+  }
+}
+
+// ---- differential: flow plane == packet walker, node for node ----------
+
+TEST(FlowPlaneDifferential, MatchesPacketWalkerHealthy) {
+  for (const char* ftv : {"<0,2,0>", "<2,0,0>", "<0,2,2>"}) {
+    const Topology topo = fig3_topology(ftv);
+    const RoutingState state = compute_updown_routes(topo);
+    const LinkStateOverlay overlay(topo);
+
+    FlowPlaneOptions options;
+    options.base_seed = 42;
+    FlowPlane plane(topo, options);
+    Rng rng(7);
+    std::vector<Flow> flows = permutation_traffic(topo, rng);
+    plane.admit(flows);
+    plane.admit_uniform(128);
+
+    expect_differential_match(topo, plane, state, overlay,
+                              /*apply_health=*/false, 0, ftv);
+  }
+}
+
+TEST(FlowPlaneDifferential, MatchesPacketWalkerUnderEachSingleLinkFailure) {
+  const Topology topo = fig3_topology("<0,2,0>");
+  const RoutingState state = compute_updown_routes(topo);
+
+  FlowPlaneOptions options;
+  options.base_seed = 9;
+  FlowPlane plane(topo, options);
+  plane.admit_uniform(48);
+
+  // Stale-tables scenario: the fabric loses one link, the tables have not
+  // heard — both walkers must rotate (or drop) identically.
+  for (std::uint64_t l = 0; l < topo.num_links(); ++l) {
+    LinkStateOverlay overlay(topo);
+    overlay.fail(LinkId{static_cast<std::uint32_t>(l)});
+    expect_differential_match(topo, plane, state, overlay,
+                              /*apply_health=*/false, 0,
+                              "single-link failure");
+  }
+}
+
+TEST(FlowPlaneDifferential, MatchesPacketWalkerAcrossGrayLink) {
+  const Topology topo = fig3_topology("<0,2,0>");
+  const RoutingState state = compute_updown_routes(topo);
+  LinkStateOverlay overlay(topo);
+  // Degrade a mid-fabric link: the shared gray-drop hash must give both
+  // walkers the same per-flow verdict.
+  const LinkId gray = topo.links_at_level(2).front();
+  overlay.set_gray(gray, 0.5);
+
+  FlowPlaneOptions options;
+  options.base_seed = 11;
+  options.apply_health = true;
+  options.health_seed = 77;
+  FlowPlane plane(topo, options);
+  plane.admit_uniform(160);
+
+  expect_differential_match(topo, plane, state, overlay,
+                            /*apply_health=*/true, 77, "gray link");
+}
+
+// ---- thread invariance --------------------------------------------------
+
+TEST(FlowPlaneDeterminism, ByteIdenticalFatesAcrossThreadCounts) {
+  const Topology topo = fig3_topology("<0,2,0>");
+  const RoutingState state = compute_updown_routes(topo);
+
+  const auto run_at = [&](int threads) {
+    FlowPlaneOptions options;
+    options.base_seed = 5;
+    options.threads = threads;
+    options.patience = 2;
+    FlowPlane plane(topo, options);
+    plane.admit_uniform(4096);
+
+    LinkStateOverlay overlay(topo);
+    plane.step(state, overlay);
+    overlay.fail(topo.links_at_level(2).front());
+    plane.step(state, overlay);
+    plane.step(state, overlay);
+    overlay.recover_all();
+    plane.admit_uniform(1024);
+    plane.step(state, overlay);
+    return plane.fate_fingerprint();
+  };
+
+  const std::uint64_t base = run_at(1);
+  for (const int threads : {2, 4, 8}) {
+    EXPECT_EQ(base, run_at(threads)) << threads << " threads";
+  }
+}
+
+// ---- loop freedom and TTL ----------------------------------------------
+
+TEST(FlowPlaneLoops, ConvergedTablesAreLoopFree) {
+  const Topology topo = fig3_topology("<0,2,2>");
+  const RoutingState state = compute_updown_routes(topo);
+  const LinkStateOverlay overlay(topo);
+
+  FlowPlane plane(topo, {});
+  Rng rng(3);
+  std::vector<Flow> flows = permutation_traffic(topo, rng);
+  plane.admit(flows);
+  plane.step(state, overlay);
+
+  EXPECT_EQ(plane.admitted(), plane.delivered());
+  EXPECT_EQ(0u, plane.looped());
+  // up*/down* paths cross at most 2·(levels − 1) switch links plus the two
+  // host links.
+  for (std::uint64_t i = 0; i < plane.admitted(); ++i) {
+    EXPECT_LE(plane.hops(i), 2 * (4 - 1) + 2) << "flow " << i;
+  }
+}
+
+TEST(FlowPlaneLoops, HandMadeLoopTripsTtlAndFateIsLooped) {
+  const Topology topo = small_topology();
+  RoutingState state = compute_updown_routes(topo);
+  const LinkStateOverlay overlay(topo);
+
+  // Mutate the tables into a 2-cycle for one destination: the source's
+  // edge switch points up at aggregation switch X, and X points back down.
+  const HostId src{0};
+  const HostId dst{static_cast<std::uint32_t>(topo.num_hosts() - 1)};
+  const SwitchId edge = topo.edge_switch_of(src);
+  const Topology::Neighbor up = topo.up_neighbors(edge)[0];
+  const SwitchId agg = topo.switch_of(up.node);
+  const std::uint64_t d = state.dest_index(dst);
+
+  RoutingTables::Entry& edge_row = state.tables.entry_at(edge.value(), d);
+  const Topology::Neighbor up_hop{up.node, up.link};
+  state.tables.assign_hops(edge_row, std::span<const Topology::Neighbor>(
+                                         &up_hop, 1));
+  RoutingTables::Entry& agg_row = state.tables.entry_at(agg.value(), d);
+  const Topology::Neighbor down_hop{topo.node_of(edge), up.link};
+  state.tables.assign_hops(agg_row, std::span<const Topology::Neighbor>(
+                                        &down_hop, 1));
+  state.digests.clear();  // hand-mutated state no longer matches its digests
+
+  FlowPlaneOptions options;
+  options.ttl = 16;
+  options.patience = 1;
+  FlowPlane plane(topo, options);
+  const Flow flow{src, dst};
+  plane.admit(std::span<const Flow>(&flow, 1));
+  plane.step(state, overlay);
+
+  EXPECT_EQ(FlowFate::kLooped, plane.fate(0));
+  EXPECT_EQ(1u, plane.looped());
+  EXPECT_EQ(16u, plane.hops(0));  // walked to the TTL, no further
+  EXPECT_EQ(plane.admitted(), plane.delivered() + plane.lost() +
+                                  plane.inflight());
+}
+
+// ---- 50-step campaign: exact loss accounting ----------------------------
+
+TEST(FlowPlaneCampaign, FiftyStepAccountingIdentityExact) {
+  const Topology topo = fig3_topology("<0,2,0>");
+  for (const ProtocolKind kind : {ProtocolKind::kAnp, ProtocolKind::kLsp}) {
+    FlowChaosOptions options;
+    options.chaos.seed = 1234;
+    options.chaos.num_events = 50;
+    options.chaos.check_flows = 16;  // keep the campaign's own checks cheap
+    options.plane.base_seed = 99;
+    options.plane.patience = 2;
+    options.total_flows = 10200;
+    const FlowChaosReport report = run_flow_chaos(kind, topo, options);
+
+    EXPECT_EQ(10200u, report.admitted) << to_cstring(kind);
+    EXPECT_EQ(report.lost,
+              report.admitted - report.delivered - report.inflight)
+        << to_cstring(kind);
+    EXPECT_EQ(report.lost, report.blackholed + report.looped + report.no_route)
+        << to_cstring(kind);
+    EXPECT_GT(report.delivered, 0u) << to_cstring(kind);
+    EXPECT_GE(report.epochs, 51u) << to_cstring(kind);
+    EXPECT_TRUE(report.chaos.tables_restored) << to_cstring(kind);
+    EXPECT_EQ(0u, report.chaos.ground_truth_violations) << to_cstring(kind);
+  }
+}
+
+// ---- ECMP policy properties ---------------------------------------------
+
+// Seeded-hash ECMP must spread flows across all equal-cost uplinks.  The
+// bound is a chi-square-style statistic kept in integers: with u uplinks
+// and n flows at one edge switch, Σ_j (u·c_j − n)² ≤ K·u·n  ⇔  χ² ≤ K.
+// K = 16 is far above the u−1 expectation yet far below what any stuck or
+// missing uplink produces (one dead choice alone contributes χ² ≈ n/u).
+TEST(FlowPlanePolicy, SeededHashSpreadsAcrossEqualCostUplinks) {
+  const Topology topo = small_topology();
+  const RoutingState state = compute_updown_routes(topo);
+  const LinkStateOverlay overlay(topo);
+  const ecmp::EcmpReadView view(state);
+
+  FlowPlaneOptions options;
+  options.base_seed = 21;
+  FlowPlane plane(topo, options);
+  plane.admit_uniform(4000);
+
+  // Tally the chosen ingress uplink per edge switch (flows delivered at
+  // their own edge never consult the row; skip them).
+  std::vector<std::vector<std::uint64_t>> uplink_counts(topo.num_switches());
+  for (std::uint64_t s = 0; s < topo.num_switches(); ++s) {
+    const SwitchId id{static_cast<std::uint32_t>(s)};
+    if (topo.level_of(id) == 1) {
+      uplink_counts[s].assign(topo.up_neighbors(id).size(), 0);
+    }
+  }
+  std::vector<NodeId> path;
+  for (std::uint64_t i = 0; i < plane.admitted(); ++i) {
+    const Flow flow = plane.flow(i);
+    const SwitchId edge = topo.edge_switch_of(flow.src);
+    if (edge == topo.edge_switch_of(flow.dst)) continue;
+    const FlowPlane::Attempt attempt =
+        plane.walk_one(i, view, overlay, 0.0, &path);
+    ASSERT_EQ(FlowFate::kDelivered, attempt.outcome);
+    ASSERT_GE(path.size(), 3u);
+    const std::span<const Topology::Neighbor> ups = topo.up_neighbors(edge);
+    bool found = false;
+    for (std::size_t j = 0; j < ups.size(); ++j) {
+      if (ups[j].node == path[2]) {
+        ++uplink_counts[edge.value()][j];
+        found = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(found) << "first hop is not an uplink of the ingress edge";
+  }
+
+  for (std::uint64_t s = 0; s < topo.num_switches(); ++s) {
+    const std::vector<std::uint64_t>& counts = uplink_counts[s];
+    if (counts.empty()) continue;
+    const std::uint64_t u = counts.size();
+    std::uint64_t n = 0;
+    for (const std::uint64_t c : counts) n += c;
+    ASSERT_GT(n, 100u) << "edge switch " << s << " saw too few flows";
+    std::uint64_t chi_scaled = 0;  // Σ (u·c − n)², all integer
+    for (const std::uint64_t c : counts) {
+      const std::int64_t dev =
+          static_cast<std::int64_t>(u * c) - static_cast<std::int64_t>(n);
+      chi_scaled += static_cast<std::uint64_t>(dev * dev);
+      EXPECT_GT(c, 0u) << "uplink starved at edge switch " << s;
+    }
+    EXPECT_LE(chi_scaled, 16u * u * n) << "edge switch " << s;
+  }
+}
+
+TEST(FlowPlanePolicy, LowestIsDeterministicRegardlessOfSeed) {
+  const Topology topo = small_topology();
+  const RoutingState state = compute_updown_routes(topo);
+  const LinkStateOverlay overlay(topo);
+
+  Rng rng(17);
+  const std::vector<Flow> flows = uniform_random_traffic(topo, 300, rng);
+
+  const auto run_with_seed = [&](std::uint64_t seed) {
+    FlowPlaneOptions options;
+    options.base_seed = seed;
+    options.policy = NextHopPolicy::kLowest;
+    FlowPlane plane(topo, options);
+    plane.admit(flows);
+    plane.step(state, overlay);
+    return plane;
+  };
+
+  const FlowPlane a = run_with_seed(1);
+  const FlowPlane b = run_with_seed(0xDEADBEEF);
+  ASSERT_EQ(a.admitted(), b.admitted());
+  for (std::uint64_t i = 0; i < a.admitted(); ++i) {
+    EXPECT_EQ(a.fate(i), b.fate(i)) << "flow " << i;
+    EXPECT_EQ(a.path_hash(i), b.path_hash(i)) << "flow " << i;
+    EXPECT_EQ(a.hops(i), b.hops(i)) << "flow " << i;
+  }
+  EXPECT_EQ(a.fate_fingerprint(), b.fate_fingerprint());
+}
+
+TEST(FlowPlanePolicy, WeightedDeliversAndUsesEveryUplinkEventually) {
+  const Topology topo = small_topology();
+  const RoutingState state = compute_updown_routes(topo);
+  const LinkStateOverlay overlay(topo);
+
+  FlowPlaneOptions options;
+  options.base_seed = 8;
+  options.policy = NextHopPolicy::kWeighted;
+  FlowPlane plane(topo, options);
+  plane.admit_uniform(2000);
+  plane.step(state, overlay);
+
+  EXPECT_EQ(plane.admitted(), plane.delivered());
+  EXPECT_EQ(0u, plane.lost());
+}
+
+TEST(FlowPlanePolicy, ParseRoundTrips) {
+  for (const NextHopPolicy policy :
+       {NextHopPolicy::kSeededHash, NextHopPolicy::kLowest,
+        NextHopPolicy::kWeighted}) {
+    NextHopPolicy parsed{};
+    ASSERT_TRUE(parse_next_hop_policy(to_cstring(policy), parsed));
+    EXPECT_EQ(policy, parsed);
+  }
+  NextHopPolicy parsed{};
+  EXPECT_FALSE(parse_next_hop_policy("bogus", parsed));
+}
+
+// ---- golden trace -------------------------------------------------------
+
+std::string flow_chaos_trace(int threads) {
+  obs::ObsConfig config;
+  config.trace = true;
+  config.trace_capacity = 4096;
+  obs::ScopedObs scoped(config);
+
+  const Topology topo = fig3_topology("<0,2,0>");
+  for (const ProtocolKind kind : {ProtocolKind::kAnp, ProtocolKind::kLsp}) {
+    FlowChaosOptions options;
+    options.chaos.seed = 31;
+    options.chaos.num_events = 1;  // single fault (plus its unwind)
+    options.chaos.check_flows = 8;
+    options.plane.base_seed = 13;
+    options.plane.threads = threads;
+    options.total_flows = 96;
+    const FlowChaosReport report = run_flow_chaos(kind, topo, options);
+    EXPECT_EQ(report.admitted,
+              report.delivered + report.lost + report.inflight);
+  }
+  return obs::tracer().to_jsonl();
+}
+
+TEST(FlowPlaneGolden, FlowChaosTraceMatchesGolden) {
+  EXPECT_TRUE(golden::matches_golden("flow_chaos.jsonl",
+                                     flow_chaos_trace(/*threads=*/1)));
+}
+
+TEST(FlowPlaneGolden, FlowChaosTraceByteIdenticalAcrossThreadCounts) {
+  const std::string base = flow_chaos_trace(1);
+  for (const int threads : {2, 4}) {
+    EXPECT_EQ(base, flow_chaos_trace(threads)) << threads << " threads";
+  }
+}
+
+}  // namespace
+}  // namespace aspen
+
+// Custom main: strip `--regen-goldens` before gtest parses the command
+// line, so `./test_flow_plane --regen-goldens` refreshes tests/golden/.
+int main(int argc, char** argv) {
+  std::vector<char*> kept;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--regen-goldens") == 0) {
+      aspen::golden::regen_flag() = true;
+      continue;
+    }
+    kept.push_back(argv[i]);
+  }
+  int kept_argc = static_cast<int>(kept.size());
+  kept.push_back(nullptr);
+  ::testing::InitGoogleTest(&kept_argc, kept.data());
+  return RUN_ALL_TESTS();
+}

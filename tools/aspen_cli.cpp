@@ -20,6 +20,9 @@
 //   aspen serve <n> <k> <ftv> <lsp|anp|anp+> [queries [drop [seed [deadline]]]]
 //                                                 what-if query service under
 //                                                 live chaos, audited
+//   aspen flows <n> <k> <ftv> <lsp|anp|anp+> [flows [events [seed [policy]]]]
+//                                                 flow-scale traffic through a
+//                                                 chaos schedule, exact loss
 //
 // Every subcommand is a thin veneer over the public library API; exit code
 // 0 on success, 1 on bad usage, 2 when a check fails.
@@ -49,6 +52,7 @@
 #include "src/serve/driver.h"
 #include "src/labels/labels.h"
 #include "src/proto/inflight.h"
+#include "src/traffic/flow_plane.h"
 #include "src/traffic/patterns.h"
 #include "src/topo/export.h"
 #include "src/topo/import.h"
@@ -137,6 +141,8 @@ int usage() {
       "  aspen trace <n> <k> <ftv> <lsp|anp> [single|chaos [events]]\n"
       "  aspen serve <n> <k> <ftv> <lsp|anp|anp+> [queries [drop_rate "
       "[seed [deadline_ms]]]]\n"
+      "  aspen flows <n> <k> <ftv> <lsp|anp|anp+> [flows [events "
+      "[seed [hash|lowest|weighted]]]]\n"
       "ftv syntax: \"<a,b,c>\" or \"a,b,c\" (top level first)\n"
       "global flags (any position):\n"
       "  --audit=<off|basic|paranoid>   runtime invariant-audit level;\n"
@@ -546,6 +552,87 @@ int cmd_chaos(const std::vector<std::string>& args) {
   return ok ? 0 : 2;
 }
 
+// Flow-scale traffic through the vulnerability window: run_flow_chaos
+// admits a batch of uniform-random flows before every fault-plane action
+// and walks all inflight flows against the protocol's live tables after
+// it, so the report prices convergence in lost flows rather than
+// milliseconds.  The accounting identity admitted == delivered + lost +
+// inflight is exact; exit 0 iff it holds and the campaign's own
+// invariants (tables restored, zero ground-truth violations) pass.
+int cmd_flows(const std::vector<std::string>& args) {
+  if (args.size() < 4 || args.size() > 8) return usage();
+  const Topology topo = Topology::build(
+      generate_tree(std::stoi(args[0]), std::stoi(args[1]),
+                    FaultToleranceVector::parse(args[2])));
+  FlowChaosOptions options;
+  ProtocolKind kind;
+  if (args[3] == "lsp") {
+    kind = ProtocolKind::kLsp;
+  } else if (args[3] == "anp") {
+    kind = ProtocolKind::kAnp;
+  } else if (args[3] == "anp+") {
+    kind = ProtocolKind::kAnp;
+    options.chaos.anp.notify_children = true;
+  } else {
+    return usage();
+  }
+  if (args.size() >= 5) {
+    options.total_flows = std::stoull(args[4]);
+  }
+  if (args.size() >= 6) options.chaos.num_events = std::stoi(args[5]);
+  if (args.size() >= 7) options.chaos.seed = std::stoull(args[6]);
+  if (g_seed) options.chaos.seed = *g_seed;
+  if (args.size() >= 8 &&
+      !parse_next_hop_policy(args[7], options.plane.policy)) {
+    return usage();
+  }
+  options.chaos.check_flows = 32;  // flows are the payload, not the checks
+  options.plane.base_seed =
+      fault::derive_stream_seed(options.chaos.seed, fault::kStreamFlowEcmp);
+
+  const FlowChaosReport report = run_flow_chaos(kind, topo, options);
+
+  std::printf("%s, protocol %s: %lu flows / policy %s through a %d-event "
+              "chaos campaign, seed %lu\n",
+              topo.describe().c_str(), args[3].c_str(),
+              static_cast<unsigned long>(report.admitted),
+              to_cstring(options.plane.policy), options.chaos.num_events,
+              static_cast<unsigned long>(options.chaos.seed));
+
+  TextTable table({"metric", "value"});
+  table.add_row({"admitted", std::to_string(report.admitted)});
+  table.add_row({"delivered", std::to_string(report.delivered)});
+  table.add_row({"lost (blackholed/looped/no-route)",
+                 std::to_string(report.lost) + " (" +
+                     std::to_string(report.blackholed) + "/" +
+                     std::to_string(report.looped) + "/" +
+                     std::to_string(report.no_route) + ")"});
+  table.add_row({"still inflight", std::to_string(report.inflight)});
+  table.add_row({"lost rate", format_double(100.0 * report.lost_rate(), 3) +
+                                  "%"});
+  table.add_row({"reroutes", std::to_string(report.reroutes)});
+  table.add_row({"epochs", std::to_string(report.epochs)});
+  table.add_row({"fate fingerprint",
+                 std::to_string(report.fate_fingerprint)});
+  table.add_row({"link failures / recoveries",
+                 std::to_string(report.chaos.link_failures) + " / " +
+                     std::to_string(report.chaos.link_recoveries)});
+  table.add_row({"switch crashes / recoveries",
+                 std::to_string(report.chaos.switch_crashes) + " / " +
+                     std::to_string(report.chaos.switch_recoveries)});
+  table.add_row({"ground-truth violations",
+                 std::to_string(report.chaos.ground_truth_violations)});
+  table.add_row({"tables restored",
+                 report.chaos.tables_restored ? "yes" : "NO"});
+  std::printf("%s", table.to_string().c_str());
+
+  const bool ok =
+      report.admitted == report.delivered + report.lost + report.inflight &&
+      report.chaos.tables_restored &&
+      report.chaos.ground_truth_violations == 0;
+  return ok ? 0 : 2;
+}
+
 // Monte Carlo survivability campaign: progressive correlated failures on a
 // warm incremental routing state, reported as a P(connected | j failed
 // domains) curve with Wilson intervals plus a steady-state availability
@@ -908,6 +995,7 @@ int run_command(const std::string& command,
   if (command == "audit") return cmd_audit(args);
   if (command == "trace") return cmd_trace(args);
   if (command == "serve") return cmd_serve(args);
+  if (command == "flows") return cmd_flows(args);
   return usage();
 }
 

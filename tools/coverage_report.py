@@ -10,8 +10,8 @@ under src/.  The gates that fail the run:
 
   * each entry in GATED (a directory prefix or a single file) below its
     gate percentage — currently src/obs/, src/lint/, src/serve/, the
-    memory-layout hot paths src/topo/ and src/routing/, and the
-    survivability engine's sources at 90%
+    memory-layout hot paths src/topo/, src/routing/ and src/traffic/,
+    and the survivability engine's sources at 90%
   * repo-wide src/ coverage more than REGRESSION_SLACK (2 points) below
     the recorded baseline in tools/coverage_baseline.txt
 
@@ -35,6 +35,7 @@ GATED = {
     os.path.join("src", "serve") + os.sep: 90.0,
     os.path.join("src", "topo") + os.sep: 90.0,
     os.path.join("src", "routing") + os.sep: 90.0,
+    os.path.join("src", "traffic") + os.sep: 90.0,
     os.path.join("src", "analysis", "survivability.cpp"): 90.0,
     os.path.join("src", "fault", "failure_domains.cpp"): 90.0,
 }
